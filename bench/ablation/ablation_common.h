@@ -1,0 +1,22 @@
+#ifndef CBIR_BENCH_ABLATION_ABLATION_COMMON_H_
+#define CBIR_BENCH_ABLATION_ABLATION_COMMON_H_
+
+#include "paper/harness.h"
+
+namespace cbir::bench {
+
+/// Reduced-size run used by the ablation benches so each sweep point stays
+/// cheap: 20 categories x 50 images, 100 log sessions, 80 queries. The
+/// qualitative effects survive the downscaling; the headline tables use the
+/// full paper configuration.
+inline PaperRunConfig AblationConfig() {
+  PaperRunConfig config = Config20Cat();
+  config.images_per_category = 50;
+  config.num_sessions = 100;
+  config.num_queries = 80;
+  return config;
+}
+
+}  // namespace cbir::bench
+
+#endif  // CBIR_BENCH_ABLATION_ABLATION_COMMON_H_

@@ -1,0 +1,56 @@
+// Ablation: volume of collected log sessions.
+// The paper (Section 6.3) uses 150 sessions and argues the algorithm "can
+// work well even with limited log sessions"; this bench sweeps the number
+// of sessions available to the log-based schemes.
+#include <iostream>
+
+#include "ablation/ablation_common.h"
+#include "core/scheme_factory.h"
+#include "logdb/simulated_user.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace cbir::bench;
+
+  PaperRunConfig config = AblationConfig();
+  config.num_sessions = 300;  // collect the maximum once, then truncate
+  PaperRunData data = BuildRunData(config);
+
+  // Keep the full store around for truncation.
+  cbir::logdb::LogCollectionOptions log_options;
+  log_options.num_sessions = 300;
+  log_options.session_size = config.session_size;
+  log_options.user.noise_rate = config.log_noise;
+  log_options.seed = config.log_seed;
+  const auto store = cbir::logdb::CollectLogs(
+      data.db->features(), data.db->categories(), log_options);
+
+  cbir::TablePrinter table(
+      {"sessions", "coverage", "LRF-2SVMs MAP", "LRF-CSVM MAP"});
+  for (int sessions : {25, 50, 100, 150, 300}) {
+    const auto matrix = store.BuildMatrix(data.db->num_images(), sessions);
+    data.log_features = matrix.ToDenseMatrix();
+    data.scheme_options =
+        cbir::core::MakeDefaultSchemeOptions(*data.db, &data.log_features);
+
+    std::vector<std::shared_ptr<cbir::core::FeedbackScheme>> schemes{
+        cbir::core::MakeScheme("LRF-2SVMs", data.scheme_options).value(),
+        cbir::core::MakeScheme("LRF-CSVM", data.scheme_options, config.csvm)
+            .value()};
+    const auto result = RunPaper(data, config, schemes);
+    table.AddRow({std::to_string(sessions),
+                  std::to_string(matrix.CoveredImages()) + "/" +
+                      std::to_string(data.db->num_images()),
+                  cbir::FormatDouble(result.schemes[0].map, 3),
+                  cbir::FormatDouble(result.schemes[1].map, 3)});
+  }
+
+  std::cout << "=== Ablation: log volume (number of sessions) ===\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: MAP grows with session count and begins "
+               "to saturate once most frequently-retrieved images carry "
+               "marks; gains persist even at 25-50 sessions (the paper's "
+               "'limited log' claim).\n";
+  return 0;
+}

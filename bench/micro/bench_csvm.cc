@@ -1,0 +1,80 @@
+// Micro-benchmarks for the coupled SVM: alternating-optimization cost as a
+// function of the unlabeled-sample count N' and the rho annealing schedule.
+#include <benchmark/benchmark.h>
+
+#include "core/coupled_svm.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cbir;
+
+core::CsvmTrainData MakeData(size_t nl, size_t nu, uint64_t seed) {
+  Rng rng(seed);
+  core::CsvmTrainData data;
+  data.visual = la::Matrix(nl + nu, 36);
+  data.log = la::Matrix(nl + nu, 150);
+  for (size_t i = 0; i < nl + nu; ++i) {
+    const double y = (i % 2 == 0) ? 1.0 : -1.0;
+    for (size_t d = 0; d < 36; ++d) {
+      data.visual.At(i, d) = rng.Gaussian() + 0.4 * y;
+    }
+    // Sparse ternary log vector with a class-correlated pattern.
+    for (size_t d = 0; d < 150; ++d) {
+      if (rng.Bernoulli(0.05)) {
+        data.log.At(i, d) = rng.Bernoulli(0.8) ? y : -y;
+      }
+    }
+    if (i < nl) {
+      data.labels.push_back(y);
+    } else {
+      data.initial_unlabeled_labels.push_back(y);
+    }
+  }
+  return data;
+}
+
+core::CsvmOptions BenchOptions() {
+  core::CsvmOptions options;
+  options.visual_kernel = svm::KernelParams::Rbf(1.0 / 36.0);
+  options.log_kernel = svm::KernelParams::Rbf(1.0 / 150.0);
+  return options;
+}
+
+void BM_CoupledTrainByNPrime(benchmark::State& state) {
+  const core::CsvmTrainData data =
+      MakeData(20, static_cast<size_t>(state.range(0)), 3);
+  const core::CoupledSvm csvm(BenchOptions());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csvm.Train(data));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoupledTrainByNPrime)->Arg(0)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_CoupledTrainByRhoInit(benchmark::State& state) {
+  // Larger rho_init -> fewer annealing steps -> proportionally cheaper.
+  const core::CsvmTrainData data = MakeData(20, 20, 5);
+  core::CsvmOptions options = BenchOptions();
+  options.rho = 1.0;  // fixed final weight so the step count is the knob
+  options.rho_init = 1.0 / static_cast<double>(state.range(0));
+  const core::CoupledSvm csvm(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csvm.Train(data));
+  }
+}
+BENCHMARK(BM_CoupledTrainByRhoInit)->Arg(2)->Arg(64)->Arg(10000);
+
+void BM_CoupledDecision(benchmark::State& state) {
+  const core::CsvmTrainData data = MakeData(20, 20, 7);
+  const core::CoupledSvm csvm(BenchOptions());
+  const auto model = csvm.Train(data);
+  const la::Vec x = data.visual.Row(0);
+  const la::Vec r = data.log.Row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.value().Decision(x, r));
+  }
+}
+BENCHMARK(BM_CoupledDecision);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Micro-benchmarks for the feature-extraction pipeline: per-stage cost and
+// full-pipeline throughput at several raster sizes.
+#include <benchmark/benchmark.h>
+
+#include "features/canny.h"
+#include "features/color_moments.h"
+#include "features/edge_histogram.h"
+#include "features/extractor.h"
+#include "features/gaussian.h"
+#include "features/wavelet_texture.h"
+#include "imaging/color.h"
+#include "imaging/synthetic.h"
+
+namespace {
+
+using namespace cbir;
+
+imaging::Image TestImage(int size) {
+  imaging::SyntheticCorelOptions options;
+  options.num_categories = 1;
+  options.images_per_category = 1;
+  options.width = size;
+  options.height = size;
+  options.seed = 5;
+  return imaging::SyntheticCorel(options).Generate(0, 0);
+}
+
+void BM_ColorMoments(benchmark::State& state) {
+  const imaging::Image img = TestImage(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::ColorMoments(img));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColorMoments)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const imaging::GrayImage gray =
+      imaging::ToGray(TestImage(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::GaussianBlur(gray, 1.4));
+  }
+}
+BENCHMARK(BM_GaussianBlur)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_Canny(benchmark::State& state) {
+  const imaging::GrayImage gray =
+      imaging::ToGray(TestImage(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::Canny(gray));
+  }
+}
+BENCHMARK(BM_Canny)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_EdgeHistogram(benchmark::State& state) {
+  const imaging::GrayImage gray = imaging::ToGray(TestImage(96));
+  const features::CannyResult canny = features::Canny(gray);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::EdgeDirectionHistogram(canny));
+  }
+}
+BENCHMARK(BM_EdgeHistogram);
+
+void BM_WaveletTexture(benchmark::State& state) {
+  const imaging::GrayImage gray =
+      imaging::ToGray(TestImage(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::WaveletTexture(gray));
+  }
+}
+BENCHMARK(BM_WaveletTexture)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const imaging::Image img = TestImage(static_cast<int>(state.range(0)));
+  const features::FeatureExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(img));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullPipeline)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  imaging::SyntheticCorelOptions options;
+  options.num_categories = 20;
+  options.images_per_category = 100;
+  options.width = static_cast<int>(state.range(0));
+  options.height = static_cast<int>(state.range(0));
+  const imaging::SyntheticCorel corpus(options);
+  int id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corpus.GenerateById(id));
+    id = (id + 1) % corpus.num_images();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(64)->Arg(96);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Micro-benchmarks for the SMO solver: scaling in training-set size, C and
+// kernel type. Relevance feedback solves many small QPs per query, so the
+// n <= 100 region is the one that matters.
+#include <benchmark/benchmark.h>
+
+#include "svm/trainer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cbir;
+
+struct Problem {
+  la::Matrix data;
+  std::vector<double> labels;
+};
+
+Problem MakeProblem(size_t n, size_t dims, double gap, uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.data = la::Matrix(n, dims);
+  p.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    p.labels[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    for (size_t d = 0; d < dims; ++d) {
+      p.data.At(i, d) = rng.Gaussian() + 0.5 * gap * p.labels[i];
+    }
+  }
+  return p;
+}
+
+void BM_SmoSolveRbf(benchmark::State& state) {
+  const Problem p = MakeProblem(static_cast<size_t>(state.range(0)), 36,
+                                1.0, 11);
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Rbf(1.0 / 36.0);
+  options.c = 10.0;
+  const svm::SvmTrainer trainer(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Train(p.data, p.labels));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmoSolveRbf)->Arg(20)->Arg(40)->Arg(100)->Arg(200);
+
+void BM_SmoSolveLinear(benchmark::State& state) {
+  const Problem p = MakeProblem(static_cast<size_t>(state.range(0)), 36,
+                                2.0, 13);
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Linear();
+  options.c = 10.0;
+  const svm::SvmTrainer trainer(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Train(p.data, p.labels));
+  }
+}
+BENCHMARK(BM_SmoSolveLinear)->Arg(20)->Arg(100);
+
+void BM_SmoSolveByC(benchmark::State& state) {
+  const Problem p = MakeProblem(40, 36, 0.5, 17);  // overlapping classes
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Rbf(1.0 / 36.0);
+  options.c = static_cast<double>(state.range(0));
+  const svm::SvmTrainer trainer(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Train(p.data, p.labels));
+  }
+}
+BENCHMARK(BM_SmoSolveByC)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_DecisionBatch(benchmark::State& state) {
+  const Problem train = MakeProblem(40, 36, 1.0, 19);
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Rbf(1.0 / 36.0);
+  const svm::SvmTrainer trainer(options);
+  const auto out = trainer.Train(train.data, train.labels);
+  const Problem corpus =
+      MakeProblem(static_cast<size_t>(state.range(0)), 36, 1.0, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(out.value().model.DecisionBatch(corpus.data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionBatch)->Arg(1000)->Arg(5000);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Regenerates Figure 3 of the paper: average precision versus the number of
+// returned images (20..100) on the 20-Category dataset, four curves
+// (Euclidean, RF-SVM, LRF-2SVMs, LRF-CSVM). Prints the series as an
+// ASCII-art chart plus a plottable CSV.
+#include <algorithm>
+#include <iostream>
+
+#include "paper/harness.h"
+#include "util/string_util.h"
+
+namespace {
+
+// Renders a small ASCII line chart: one row per scheme per scope.
+void PrintAsciiChart(const cbir::core::ExperimentResult& result) {
+  double max_p = 0.0;
+  for (const auto& s : result.schemes) {
+    for (double p : s.precision) max_p = std::max(max_p, p);
+  }
+  const int width = 60;
+  for (size_t i = 0; i < result.scopes.size(); ++i) {
+    std::cout << "scope " << result.scopes[i] << "\n";
+    for (const auto& s : result.schemes) {
+      const int bar =
+          static_cast<int>(s.precision[i] / (max_p + 1e-12) * width);
+      std::cout << "  " << s.name
+                << std::string(12 - std::min<size_t>(12, s.name.size()), ' ')
+                << cbir::FormatDouble(s.precision[i], 3) << " "
+                << std::string(static_cast<size_t>(bar), '#') << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbir::bench;
+
+  const PaperRunConfig config = Config20Cat();
+  const PaperRunData data = BuildRunData(config);
+  const cbir::core::ExperimentResult result =
+      RunPaper(data, config, PaperSchemes(data, config));
+
+  std::cout << "=== Figure 3: average precision vs #returned images, "
+               "20-Category dataset ===\n";
+  PrintAsciiChart(result);
+  WriteSeriesCsv(result, "fig3_20cat.csv");
+
+  PrintPaperReference(
+      "Paper reference (Fig. 3 shape):",
+      {
+          "All four curves decline monotonically from scope 20 to 100.",
+          "Order at every scope: LRF-CSVM > LRF-2SVMs > RF-SVM > Euclidean.",
+          "At scope 20 the curves span roughly 0.40 (Euclidean) to 0.70",
+          "(LRF-CSVM); at scope 100 roughly 0.22 to 0.34.",
+      });
+  return 0;
+}

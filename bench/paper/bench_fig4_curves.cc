@@ -1,0 +1,54 @@
+// Regenerates Figure 4 of the paper: average precision versus the number of
+// returned images (20..100) on the 50-Category dataset.
+#include <algorithm>
+#include <iostream>
+
+#include "paper/harness.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintAsciiChart(const cbir::core::ExperimentResult& result) {
+  double max_p = 0.0;
+  for (const auto& s : result.schemes) {
+    for (double p : s.precision) max_p = std::max(max_p, p);
+  }
+  const int width = 60;
+  for (size_t i = 0; i < result.scopes.size(); ++i) {
+    std::cout << "scope " << result.scopes[i] << "\n";
+    for (const auto& s : result.schemes) {
+      const int bar =
+          static_cast<int>(s.precision[i] / (max_p + 1e-12) * width);
+      std::cout << "  " << s.name
+                << std::string(12 - std::min<size_t>(12, s.name.size()), ' ')
+                << cbir::FormatDouble(s.precision[i], 3) << " "
+                << std::string(static_cast<size_t>(bar), '#') << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbir::bench;
+
+  const PaperRunConfig config = Config50Cat();
+  const PaperRunData data = BuildRunData(config);
+  const cbir::core::ExperimentResult result =
+      RunPaper(data, config, PaperSchemes(data, config));
+
+  std::cout << "=== Figure 4: average precision vs #returned images, "
+               "50-Category dataset ===\n";
+  PrintAsciiChart(result);
+  WriteSeriesCsv(result, "fig4_50cat.csv");
+
+  PrintPaperReference(
+      "Paper reference (Fig. 4 shape):",
+      {
+          "Same ordering as Fig. 3 (LRF-CSVM on top, Euclidean at bottom),",
+          "with all curves lower than the 20-Category run: at scope 20 the",
+          "span is roughly 0.34 to 0.52, at scope 100 roughly 0.19 to 0.26.",
+          "Relative gains of log-based schemes shrink versus Fig. 3.",
+      });
+  return 0;
+}

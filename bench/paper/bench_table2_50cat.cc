@@ -1,0 +1,34 @@
+// Regenerates Table 2 of the paper: quantitative evaluation on the
+// 50-Category dataset. The paper's finding: log-based schemes still win,
+// but by less than on 20 categories (the corpus is more diverse, so the
+// fixed 150-session log covers each concept more thinly).
+#include <iostream>
+
+#include "paper/harness.h"
+
+int main() {
+  using namespace cbir::bench;
+
+  const PaperRunConfig config = Config50Cat();
+  const PaperRunData data = BuildRunData(config);
+  const cbir::core::ExperimentResult result =
+      RunPaper(data, config, PaperSchemes(data, config));
+
+  std::cout << "=== Table 2: quantitative evaluation on the 50-Category "
+               "dataset ===\n";
+  std::cout << cbir::core::FormatPaperTable(result, /*baseline_column=*/1);
+  WriteSeriesCsv(result, "table2_50cat.csv");
+
+  PrintPaperReference(
+      "Paper reference (Hoi, Lyu & Jin, ICDE'05, Table 2; COREL corpus):",
+      {
+          "#TOP  Euclidean  RF-SVM  LRF-2SVMs        LRF-CSVM",
+          "20    0.342      0.399   0.475 (+18.9%)   0.522 (+30.6%)",
+          "50    0.244      0.296   0.331 (+11.7%)   0.355 (+19.8%)",
+          "100   0.189      0.226   0.241 (+6.7%)    0.258 (+14.4%)",
+          "MAP   0.242      0.291   0.325 (+11.2%)   0.351 (+20.0%)",
+          "Expected shape: same ordering as Table 1, with smaller",
+          "improvements than the 20-Category run (log diversity effect).",
+      });
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "paper/harness.h"
+
+#include <iostream>
+
+#include "core/scheme_factory.h"
+#include "util/csv_writer.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cbir::bench {
+
+PaperRunConfig Config20Cat() {
+  PaperRunConfig config;
+  config.num_categories = 20;
+  config.corpus_seed = 42;
+  config.log_seed = 7;
+  config.query_seed = 123;
+  return config;
+}
+
+PaperRunConfig Config50Cat() {
+  PaperRunConfig config;
+  config.num_categories = 50;
+  config.corpus_seed = 43;
+  config.log_seed = 8;
+  config.query_seed = 321;
+  return config;
+}
+
+PaperRunData BuildRunData(const PaperRunConfig& config) {
+  Stopwatch watch;
+  retrieval::DatabaseOptions db_options;
+  db_options.corpus.num_categories = config.num_categories;
+  db_options.corpus.images_per_category = config.images_per_category;
+  db_options.corpus.width = config.image_size;
+  db_options.corpus.height = config.image_size;
+  db_options.corpus.seed = config.corpus_seed;
+
+  std::cerr << "[harness] building " << config.num_categories
+            << "-category corpus ("
+            << config.num_categories * config.images_per_category
+            << " images, " << config.image_size << "x" << config.image_size
+            << ") and extracting features..." << std::endl;
+  PaperRunData data;
+  data.db = std::make_unique<retrieval::ImageDatabase>(
+      retrieval::ImageDatabase::Build(db_options));
+  std::cerr << "[harness]   done in " << watch.ElapsedSeconds() << "s"
+            << std::endl;
+
+  watch.Restart();
+  logdb::LogCollectionOptions log_options;
+  log_options.num_sessions = config.num_sessions;
+  log_options.session_size = config.session_size;
+  log_options.user.noise_rate = config.log_noise;
+  log_options.seed = config.log_seed;
+  const logdb::LogStore store = logdb::CollectLogs(
+      data.db->features(), data.db->categories(), log_options);
+  const logdb::RelevanceMatrix matrix =
+      store.BuildMatrix(data.db->num_images());
+  data.log_features = matrix.ToDenseMatrix();
+  std::cerr << "[harness] collected " << matrix.num_sessions()
+            << " log sessions covering " << matrix.CoveredImages() << "/"
+            << data.db->num_images() << " images ("
+            << matrix.PositiveCount() << " positive / "
+            << matrix.NegativeCount() << " negative marks) in "
+            << watch.ElapsedSeconds() << "s" << std::endl;
+
+  data.scheme_options =
+      core::MakeDefaultSchemeOptions(*data.db, &data.log_features);
+  return data;
+}
+
+core::ExperimentResult RunPaper(
+    const PaperRunData& data, const PaperRunConfig& config,
+    const std::vector<std::shared_ptr<core::FeedbackScheme>>& schemes) {
+  Stopwatch watch;
+  core::ExperimentOptions options;
+  options.num_queries = config.num_queries;
+  options.num_labeled = config.num_labeled;
+  options.seed = config.query_seed;
+  std::cerr << "[harness] running " << options.num_queries << " queries x "
+            << schemes.size() << " schemes..." << std::endl;
+  const core::ExperimentResult result =
+      core::RunExperiment(*data.db, &data.log_features, schemes, options);
+  std::cerr << "[harness]   done in " << watch.ElapsedSeconds() << "s"
+            << std::endl;
+  return result;
+}
+
+std::vector<std::shared_ptr<core::FeedbackScheme>> PaperSchemes(
+    const PaperRunData& data, const PaperRunConfig& config) {
+  return core::MakePaperSchemes(data.scheme_options, config.csvm);
+}
+
+void WriteSeriesCsv(const core::ExperimentResult& result,
+                    const std::string& path) {
+  std::vector<std::string> header{"scope"};
+  for (const auto& s : result.schemes) header.push_back(s.name);
+  CsvWriter csv(header);
+  for (size_t i = 0; i < result.scopes.size(); ++i) {
+    std::vector<double> row{static_cast<double>(result.scopes[i])};
+    for (const auto& s : result.schemes) row.push_back(s.precision[i]);
+    csv.AddNumericRow(row);
+  }
+  const Status status = csv.WriteToFile(path);
+  if (!status.ok()) {
+    CBIR_LOG(Warning) << "could not write " << path << ": "
+                      << status.ToString();
+  } else {
+    std::cerr << "[harness] series written to " << path << std::endl;
+  }
+}
+
+void PrintPaperReference(const std::string& title,
+                         const std::vector<std::string>& lines) {
+  std::cout << "\n" << title << "\n";
+  for (const std::string& line : lines) std::cout << "  " << line << "\n";
+  std::cout << std::endl;
+}
+
+}  // namespace cbir::bench

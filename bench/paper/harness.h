@@ -1,0 +1,78 @@
+#ifndef CBIR_BENCH_PAPER_HARNESS_H_
+#define CBIR_BENCH_PAPER_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/feedback_scheme.h"
+#include "core/lrf_csvm_scheme.h"
+#include "la/matrix.h"
+#include "logdb/simulated_user.h"
+#include "retrieval/image_database.h"
+
+namespace cbir::bench {
+
+/// \brief Everything that parameterizes one paper experiment run.
+struct PaperRunConfig {
+  /// Corpus: the paper's 20-Category / 50-Category datasets (100 images per
+  /// category from COREL; here the synthetic stand-in).
+  int num_categories = 20;
+  int images_per_category = 100;
+  int image_size = 96;
+  uint64_t corpus_seed = 42;
+
+  /// Log collection (paper Section 6.3): 150 sessions of 20 judged images.
+  int num_sessions = 150;
+  int session_size = 20;
+  double log_noise = 0.10;
+  uint64_t log_seed = 7;
+
+  /// Evaluation protocol (paper Section 6.4).
+  int num_queries = 200;
+  int num_labeled = 20;
+  uint64_t query_seed = 123;
+
+  /// LRF-CSVM knobs (paper Fig. 1).
+  core::LrfCsvmOptions csvm;
+};
+
+/// The two dataset presets of the paper.
+PaperRunConfig Config20Cat();
+PaperRunConfig Config50Cat();
+
+/// \brief Materialized corpus + log matrix for one run.
+struct PaperRunData {
+  std::unique_ptr<retrieval::ImageDatabase> db;
+  la::Matrix log_features;
+  core::SchemeOptions scheme_options;
+};
+
+/// Builds the corpus, extracts features, replays the log-collection
+/// protocol and derives default scheme options. Prints progress to stderr.
+PaperRunData BuildRunData(const PaperRunConfig& config);
+
+/// Runs the Section 6.4 evaluation over the given schemes.
+core::ExperimentResult RunPaper(const PaperRunData& data,
+                                const PaperRunConfig& config,
+                                const std::vector<std::shared_ptr<
+                                    core::FeedbackScheme>>& schemes);
+
+/// Convenience: the paper's four schemes with this run's options.
+std::vector<std::shared_ptr<core::FeedbackScheme>> PaperSchemes(
+    const PaperRunData& data, const PaperRunConfig& config);
+
+/// Writes the per-scope precision series of every scheme as CSV
+/// (columns: scope, one column per scheme) into `path`; logs a warning on
+/// I/O failure instead of aborting the harness.
+void WriteSeriesCsv(const core::ExperimentResult& result,
+                    const std::string& path);
+
+/// Prints the paper's reference numbers next to ours, for EXPERIMENTS.md.
+void PrintPaperReference(const std::string& title,
+                         const std::vector<std::string>& lines);
+
+}  // namespace cbir::bench
+
+#endif  // CBIR_BENCH_PAPER_HARNESS_H_

@@ -1,0 +1,56 @@
+// Dataset gallery: renders contact sheets of the synthetic COREL stand-in,
+// one per category, plus intermediate feature-pipeline visualizations
+// (grayscale, Canny edge map) for a sample image. Outputs PPM/PGM files.
+#include <iostream>
+
+#include "features/canny.h"
+#include "imaging/color.h"
+#include "imaging/ppm_io.h"
+#include "imaging/resize.h"
+#include "imaging/synthetic.h"
+
+int main() {
+  using namespace cbir;
+  using namespace cbir::imaging;
+
+  SyntheticCorelOptions options;
+  options.num_categories = 12;
+  options.images_per_category = 100;
+  options.width = 96;
+  options.height = 96;
+  options.seed = 42;
+  const SyntheticCorel corpus(options);
+
+  // Contact sheet: 12 categories x 8 samples.
+  const int cell = 96;
+  const int samples = 8;
+  Image sheet(cell * samples, cell * options.num_categories,
+              Rgb{255, 255, 255});
+  for (int c = 0; c < options.num_categories; ++c) {
+    for (int i = 0; i < samples; ++i) {
+      Paste(&sheet, corpus.Generate(c, i * 11), i * cell, c * cell);
+    }
+    std::cout << "row " << c << ": " << corpus.CategoryName(c) << "\n";
+  }
+  CBIR_CHECK_OK(WritePpm(sheet, "gallery_categories.ppm"));
+  std::cout << "wrote gallery_categories.ppm (" << sheet.width() << "x"
+            << sheet.height() << ")\n";
+
+  // Feature-pipeline visualization for one image.
+  const Image sample = corpus.Generate(2, 5);
+  CBIR_CHECK_OK(WritePpm(sample, "gallery_sample.ppm"));
+
+  const GrayImage gray = ToGray(sample);
+  CBIR_CHECK_OK(WritePgm(gray, "gallery_sample_gray.pgm"));
+
+  const features::CannyResult canny = features::Canny(gray);
+  CBIR_CHECK_OK(WritePgm(canny.edges, "gallery_sample_edges.pgm"));
+  std::cout << "wrote gallery_sample.ppm, gallery_sample_gray.pgm, "
+               "gallery_sample_edges.pgm (" << canny.edge_count
+            << " edge pixels)\n";
+
+  std::cout << "\nView the PPM/PGM files with any image viewer; the contact "
+               "sheet shows the intra-category coherence and cross-category "
+               "overlap the experiments rely on.\n";
+  return 0;
+}

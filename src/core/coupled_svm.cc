@@ -1,0 +1,130 @@
+#include "core/coupled_svm.h"
+
+#include <algorithm>
+
+#include "svm/trainer.h"
+#include "util/logging.h"
+
+namespace cbir::core {
+
+CoupledSvm::CoupledSvm(const CsvmOptions& options) : options_(options) {
+  CBIR_CHECK_GT(options_.c_visual, 0.0);
+  CBIR_CHECK_GT(options_.c_log, 0.0);
+  CBIR_CHECK_GT(options_.rho, 0.0);
+  CBIR_CHECK_GT(options_.rho_init, 0.0);
+  CBIR_CHECK_LE(options_.rho_init, options_.rho);
+  CBIR_CHECK_GE(options_.delta, 0.0);
+  CBIR_CHECK_GT(options_.max_inner_iterations, 0);
+}
+
+Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
+  const size_t nl = data.labels.size();
+  const size_t nu = data.initial_unlabeled_labels.size();
+  const size_t n = nl + nu;
+  if (nl == 0) {
+    return Status::InvalidArgument("coupled SVM: no labeled samples");
+  }
+  if (data.visual.rows() != n || data.log.rows() != n) {
+    return Status::InvalidArgument(
+        "coupled SVM: matrix rows must equal N_l + N'");
+  }
+
+  // Working label vector: user labels followed by mutable pseudo-labels.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < nl; ++i) y[i] = data.labels[i];
+  for (size_t j = 0; j < nu; ++j) y[nl + j] = data.initial_unlabeled_labels[j];
+
+  CoupledModel model;
+  CsvmDiagnostics& diag = model.diagnostics;
+
+  svm::TrainOptions visual_options;
+  visual_options.kernel = options_.visual_kernel;
+  visual_options.smo = options_.smo;
+  svm::TrainOptions log_options;
+  log_options.kernel = options_.log_kernel;
+  log_options.smo = options_.smo;
+
+  auto solve_both = [&](double rho_star, svm::TrainOutput* visual_out,
+                        svm::TrainOutput* log_out) -> Status {
+    std::vector<double> c_visual(n), c_log(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double scale = i < nl ? 1.0 : rho_star;
+      c_visual[i] = scale * options_.c_visual;
+      c_log[i] = scale * options_.c_log;
+    }
+    svm::SvmTrainer visual_trainer(visual_options);
+    svm::SvmTrainer log_trainer(log_options);
+    auto v = visual_trainer.TrainWeighted(data.visual, y, c_visual);
+    if (!v.ok()) return v.status();
+    auto l = log_trainer.TrainWeighted(data.log, y, c_log);
+    if (!l.ok()) return l.status();
+    *visual_out = std::move(v).value();
+    *log_out = std::move(l).value();
+    return Status::OK();
+  };
+
+  svm::TrainOutput visual_out, log_out;
+  double rho_star = nu == 0 ? options_.rho : options_.rho_init;
+
+  while (true) {
+    ++diag.outer_iterations;
+    CBIR_RETURN_NOT_OK(solve_both(rho_star, &visual_out, &log_out));
+
+    // Label-correction loop (Fig. 1 inner WHILE): flip pseudo-labels that
+    // both modalities jointly reject beyond Delta, then re-solve. With the
+    // class-balance guard, violators flip in +/- pairs (strongest joint
+    // violation first) so the pseudo-label ratio is preserved, as in
+    // transductive SVM.
+    for (int inner = 0; inner < options_.max_inner_iterations; ++inner) {
+      std::vector<std::pair<double, size_t>> pos_violators, neg_violators;
+      for (size_t j = 0; j < nu; ++j) {
+        const double xi = visual_out.slacks[nl + j];
+        const double eta = log_out.slacks[nl + j];
+        if (xi > 0.0 && eta > 0.0 && xi + eta > options_.delta) {
+          (y[nl + j] > 0 ? pos_violators : neg_violators)
+              .emplace_back(xi + eta, nl + j);
+        }
+      }
+      int flips = 0;
+      if (options_.enforce_class_balance) {
+        std::sort(pos_violators.rbegin(), pos_violators.rend());
+        std::sort(neg_violators.rbegin(), neg_violators.rend());
+        const size_t swaps =
+            std::min(pos_violators.size(), neg_violators.size());
+        for (size_t s = 0; s < swaps; ++s) {
+          y[pos_violators[s].second] = -1.0;
+          y[neg_violators[s].second] = 1.0;
+          flips += 2;
+        }
+      } else {
+        for (const auto& [violation, idx] : pos_violators) {
+          y[idx] = -y[idx];
+          ++flips;
+        }
+        for (const auto& [violation, idx] : neg_violators) {
+          y[idx] = -y[idx];
+          ++flips;
+        }
+      }
+      if (flips == 0) break;
+      diag.total_flips += flips;
+      ++diag.inner_iterations;
+      if (inner + 1 >= options_.max_inner_iterations) {
+        diag.inner_cap_hit = true;
+      }
+      CBIR_RETURN_NOT_OK(solve_both(rho_star, &visual_out, &log_out));
+    }
+
+    if (rho_star >= options_.rho) break;
+    rho_star = std::min(2.0 * rho_star, options_.rho);
+  }
+
+  model.visual = std::move(visual_out.model);
+  model.log = std::move(log_out.model);
+  model.unlabeled_labels.assign(y.begin() + static_cast<long>(nl), y.end());
+  diag.visual_objective = visual_out.objective;
+  diag.log_objective = log_out.objective;
+  return model;
+}
+
+}  // namespace cbir::core

@@ -1,0 +1,15 @@
+#include "core/euclidean_scheme.h"
+
+namespace cbir::core {
+
+Result<std::vector<int>> EuclideanScheme::Rank(
+    const FeedbackContext& ctx) const {
+  // Negative squared distance as the score gives ascending-distance order.
+  std::vector<double> scores(ctx.query_distances.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = -ctx.query_distances[i];
+  }
+  return FinalizeRanking(ctx, scores);
+}
+
+}  // namespace cbir::core

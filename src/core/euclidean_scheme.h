@@ -1,0 +1,19 @@
+#ifndef CBIR_CORE_EUCLIDEAN_SCHEME_H_
+#define CBIR_CORE_EUCLIDEAN_SCHEME_H_
+
+#include "core/feedback_scheme.h"
+
+namespace cbir::core {
+
+/// \brief The paper's reference curve: rank by Euclidean distance on
+/// low-level visual features, ignoring all feedback.
+class EuclideanScheme : public FeedbackScheme {
+ public:
+  std::string name() const override { return "Euclidean"; }
+
+  Result<std::vector<int>> Rank(const FeedbackContext& ctx) const override;
+};
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_EUCLIDEAN_SCHEME_H_

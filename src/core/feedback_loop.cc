@@ -1,0 +1,74 @@
+#include "core/feedback_loop.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "retrieval/evaluator.h"
+#include "retrieval/ranker.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cbir::core {
+
+Result<FeedbackLoopResult> RunFeedbackSession(
+    const retrieval::ImageDatabase& db, const la::Matrix* log_features,
+    const FeedbackScheme& scheme, int query_id,
+    const FeedbackLoopOptions& options) {
+  if (query_id < 0 || query_id >= db.num_images()) {
+    return Status::InvalidArgument("query id out of range");
+  }
+  if (options.rounds < 0 || options.judgments_per_round <= 0) {
+    return Status::InvalidArgument("invalid feedback loop configuration");
+  }
+  if (options.scopes.empty()) {
+    return Status::InvalidArgument("at least one evaluation scope required");
+  }
+
+  FeedbackContext ctx;
+  ctx.db = &db;
+  ctx.log_features = log_features;
+  ctx.query_id = query_id;
+  ctx.Prepare();
+
+  const int query_category = db.category(query_id);
+  logdb::SimulatedUser user(db.categories(),
+                            logdb::UserModel{options.judgment_noise});
+  Rng rng(options.seed);
+
+  FeedbackLoopResult result;
+
+  // Round 0: plain Euclidean retrieval.
+  std::vector<int> current =
+      retrieval::RankByEuclidean(db.features(), ctx.query_feature);
+  current.erase(std::remove(current.begin(), current.end(), query_id),
+                current.end());
+  result.precision.push_back(retrieval::PrecisionAtScopes(
+      current, db.categories(), query_category, options.scopes));
+
+  std::unordered_set<int> judged{query_id};
+  for (int round = 1; round <= options.rounds; ++round) {
+    // The user judges the top unjudged results of the current ranking.
+    logdb::LogSession session;
+    session.query_image_id = query_id;
+    for (int id : current) {
+      if (static_cast<int>(session.entries.size()) >=
+          options.judgments_per_round) {
+        break;
+      }
+      if (!judged.insert(id).second) continue;
+      const int8_t judgment = user.Judge(id, query_category, &rng);
+      session.entries.push_back(logdb::LogEntry{id, judgment});
+      ctx.labeled_ids.push_back(id);
+      ctx.labels.push_back(judgment);
+    }
+    result.total_judgments += static_cast<int>(session.entries.size());
+    result.recorded_sessions.push_back(std::move(session));
+
+    CBIR_ASSIGN_OR_RETURN(current, scheme.Rank(ctx));
+    result.precision.push_back(retrieval::PrecisionAtScopes(
+        current, db.categories(), query_category, options.scopes));
+  }
+  return result;
+}
+
+}  // namespace cbir::core

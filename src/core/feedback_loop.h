@@ -1,0 +1,58 @@
+#ifndef CBIR_CORE_FEEDBACK_LOOP_H_
+#define CBIR_CORE_FEEDBACK_LOOP_H_
+
+#include <vector>
+
+#include "core/feedback_scheme.h"
+#include "la/matrix.h"
+#include "logdb/log_store.h"
+#include "logdb/simulated_user.h"
+#include "retrieval/image_database.h"
+#include "util/result.h"
+
+namespace cbir::core {
+
+/// \brief Configuration of an iterative relevance-feedback session
+/// (paper Section 2: "the relevance feedback procedures are repeated again
+/// and again until the targets are found").
+struct FeedbackLoopOptions {
+  /// Number of feedback rounds after the initial Euclidean retrieval.
+  int rounds = 4;
+  /// Images judged per round (the paper's N_l per round).
+  int judgments_per_round = 20;
+  /// Noise applied to the in-session user judgments (0 reproduces the
+  /// paper's automatic evaluation protocol).
+  double judgment_noise = 0.0;
+  /// Scopes at which precision is recorded after every round.
+  std::vector<int> scopes = {20};
+  uint64_t seed = 1;
+};
+
+/// \brief Result of one feedback session.
+struct FeedbackLoopResult {
+  /// precision[r][s] = precision at scopes[s] after round r (round 0 is the
+  /// initial Euclidean retrieval, before any feedback).
+  std::vector<std::vector<double>> precision;
+  /// Total images judged by the simulated user across all rounds.
+  int total_judgments = 0;
+  /// The session recorded in log form (one LogSession per round), ready to
+  /// be appended to a LogStore — this is how a deployment accumulates the
+  /// long-term log the paper's schemes consume.
+  std::vector<logdb::LogSession> recorded_sessions;
+};
+
+/// \brief Runs a complete multi-round relevance-feedback session for one
+/// query: initial Euclidean retrieval, then `rounds` iterations of
+/// (simulated) user judgment on the top unjudged results followed by
+/// re-ranking with `scheme`.
+///
+/// The judged set accumulates across rounds, exactly like a real session.
+/// Deterministic in `options.seed`.
+Result<FeedbackLoopResult> RunFeedbackSession(
+    const retrieval::ImageDatabase& db, const la::Matrix* log_features,
+    const FeedbackScheme& scheme, int query_id,
+    const FeedbackLoopOptions& options);
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_FEEDBACK_LOOP_H_

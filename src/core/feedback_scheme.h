@@ -1,0 +1,75 @@
+#ifndef CBIR_CORE_FEEDBACK_SCHEME_H_
+#define CBIR_CORE_FEEDBACK_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "retrieval/image_database.h"
+#include "svm/kernel.h"
+#include "svm/smo_solver.h"
+#include "util/result.h"
+
+namespace cbir::core {
+
+/// \brief Everything a relevance-feedback scheme sees for one query round.
+///
+/// `labeled_ids` / `labels` are the user's judgments on the initially
+/// returned images (the paper's S_l with N_l = 20); `log_features` is the
+/// dense N x M matrix of per-image log vectors r_i (null when no log store
+/// is attached — the visual-only schemes ignore it).
+struct FeedbackContext {
+  const retrieval::ImageDatabase* db = nullptr;
+  const la::Matrix* log_features = nullptr;
+  int query_id = -1;
+  std::vector<int> labeled_ids;
+  std::vector<double> labels;  ///< +1 / -1, parallel to labeled_ids
+
+  // Derived values, filled by Prepare().
+  la::Vec query_feature;
+  std::vector<double> query_distances;  ///< squared distance per image
+
+  /// Computes the derived members; must be called once before Rank().
+  void Prepare();
+};
+
+/// \brief Shared hyper-parameters for the SVM-based schemes.
+struct SchemeOptions {
+  double c_visual = 10.0;  ///< C_w
+  double c_log = 10.0;     ///< C_u
+  svm::KernelParams visual_kernel = svm::KernelParams::Rbf(1.0);
+  svm::KernelParams log_kernel = svm::KernelParams::Rbf(1.0);
+  svm::SmoOptions smo;
+};
+
+/// Fills kernel gammas with LIBSVM-style defaults computed from the data
+/// (1 / (dims * variance)); log kernel falls back to visual defaults when no
+/// log matrix is given.
+SchemeOptions MakeDefaultSchemeOptions(const retrieval::ImageDatabase& db,
+                                       const la::Matrix* log_features);
+
+/// \brief Interface implemented by all four compared schemes.
+///
+/// Rank() returns every image id except the query itself, ordered from most
+/// to least relevant. Implementations must be const-thread-safe: the
+/// experiment harness calls Rank concurrently for different queries.
+class FeedbackScheme {
+ public:
+  virtual ~FeedbackScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Result<std::vector<int>> Rank(const FeedbackContext& ctx) const = 0;
+
+ protected:
+  /// Ranks by descending `scores` with Euclidean-distance tie-breaking,
+  /// excluding the query id. Shared by every learning scheme.
+  static std::vector<int> FinalizeRanking(const FeedbackContext& ctx,
+                                          const std::vector<double>& scores);
+};
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_FEEDBACK_SCHEME_H_

@@ -1,0 +1,48 @@
+#include "core/lrf_2svm_scheme.h"
+
+#include "svm/trainer.h"
+
+namespace cbir::core {
+
+Result<std::vector<int>> Lrf2SvmScheme::Rank(
+    const FeedbackContext& ctx) const {
+  if (ctx.labeled_ids.empty()) {
+    return Status::InvalidArgument("LRF-2SVMs requires labeled samples");
+  }
+  if (ctx.log_features == nullptr || ctx.log_features->empty()) {
+    return Status::FailedPrecondition("LRF-2SVMs requires a user-feedback log");
+  }
+
+  const size_t nl = ctx.labeled_ids.size();
+  la::Matrix train_visual(nl, ctx.db->features().cols());
+  la::Matrix train_log(nl, ctx.log_features->cols());
+  for (size_t i = 0; i < nl; ++i) {
+    const size_t id = static_cast<size_t>(ctx.labeled_ids[i]);
+    train_visual.SetRow(i, ctx.db->features().Row(id));
+    train_log.SetRow(i, ctx.log_features->Row(id));
+  }
+
+  svm::TrainOptions visual_options;
+  visual_options.kernel = options_.visual_kernel;
+  visual_options.c = options_.c_visual;
+  visual_options.smo = options_.smo;
+  svm::SvmTrainer visual_trainer(visual_options);
+  CBIR_ASSIGN_OR_RETURN(svm::TrainOutput visual,
+                        visual_trainer.Train(train_visual, ctx.labels));
+
+  svm::TrainOptions log_options;
+  log_options.kernel = options_.log_kernel;
+  log_options.c = options_.c_log;
+  log_options.smo = options_.smo;
+  svm::SvmTrainer log_trainer(log_options);
+  CBIR_ASSIGN_OR_RETURN(svm::TrainOutput logm,
+                        log_trainer.Train(train_log, ctx.labels));
+
+  std::vector<double> scores = visual.model.DecisionBatch(ctx.db->features());
+  const std::vector<double> log_scores =
+      logm.model.DecisionBatch(*ctx.log_features);
+  for (size_t i = 0; i < scores.size(); ++i) scores[i] += log_scores[i];
+  return FinalizeRanking(ctx, scores);
+}
+
+}  // namespace cbir::core

@@ -1,0 +1,28 @@
+#ifndef CBIR_CORE_LRF_2SVM_SCHEME_H_
+#define CBIR_CORE_LRF_2SVM_SCHEME_H_
+
+#include "core/feedback_scheme.h"
+
+namespace cbir::core {
+
+/// \brief LRF-2SVMs: the paper's "straightforward" log-based baseline.
+///
+/// Trains two independent SVMs — one on visual features, one on user-log
+/// vectors — over the labeled set and ranks by the *sum* of the two decision
+/// values. No unlabeled data, no coupling; the gap between this scheme and
+/// LRF-CSVM is the paper's headline comparison.
+class Lrf2SvmScheme : public FeedbackScheme {
+ public:
+  explicit Lrf2SvmScheme(const SchemeOptions& options) : options_(options) {}
+
+  std::string name() const override { return "LRF-2SVMs"; }
+
+  Result<std::vector<int>> Rank(const FeedbackContext& ctx) const override;
+
+ private:
+  SchemeOptions options_;
+};
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_LRF_2SVM_SCHEME_H_

@@ -1,0 +1,140 @@
+#include "core/lrf_csvm_scheme.h"
+
+#include <unordered_set>
+
+#include "svm/trainer.h"
+#include "util/logging.h"
+
+namespace cbir::core {
+
+LrfCsvmScheme::LrfCsvmScheme(const SchemeOptions& scheme_options,
+                             const LrfCsvmOptions& options)
+    : options_(options) {
+  // The shared scheme options carry the data-derived kernels and C values;
+  // fold them into the coupled-SVM configuration.
+  options_.csvm.c_visual = scheme_options.c_visual;
+  options_.csvm.c_log = scheme_options.c_log;
+  options_.csvm.visual_kernel = scheme_options.visual_kernel;
+  options_.csvm.log_kernel = scheme_options.log_kernel;
+  options_.csvm.smo = scheme_options.smo;
+  CBIR_CHECK_GE(options_.n_prime, 0);
+}
+
+Result<CoupledModel> LrfCsvmScheme::TrainForContext(
+    const FeedbackContext& ctx) const {
+  if (ctx.labeled_ids.empty()) {
+    return Status::InvalidArgument("LRF-CSVM requires labeled samples");
+  }
+  if (ctx.log_features == nullptr || ctx.log_features->empty()) {
+    return Status::FailedPrecondition("LRF-CSVM requires a user-feedback log");
+  }
+
+  const la::Matrix& visual_all = ctx.db->features();
+  const la::Matrix& log_all = *ctx.log_features;
+  const size_t nl = ctx.labeled_ids.size();
+
+  la::Matrix train_visual(nl, visual_all.cols());
+  la::Matrix train_log(nl, log_all.cols());
+  for (size_t i = 0; i < nl; ++i) {
+    const size_t id = static_cast<size_t>(ctx.labeled_ids[i]);
+    train_visual.SetRow(i, visual_all.Row(id));
+    train_log.SetRow(i, log_all.Row(id));
+  }
+
+  // --- Fig. 1 step 1: select the N' unlabeled samples ----------------------
+  std::unordered_set<int> excluded(ctx.labeled_ids.begin(),
+                                   ctx.labeled_ids.end());
+  excluded.insert(ctx.query_id);
+
+  SelectionInputs inputs;
+  inputs.candidate_ids.reserve(visual_all.rows());
+  for (size_t i = 0; i < visual_all.rows(); ++i) {
+    const int id = static_cast<int>(i);
+    if (excluded.count(id) == 0) inputs.candidate_ids.push_back(id);
+  }
+
+  if (options_.selection == SelectionStrategy::kMostSimilar) {
+    // Section 6.5: closeness to the labeled positives/negatives, measured
+    // by combined kernel similarity (no SVM training needed).
+    inputs.similarity_to_positives.reserve(inputs.candidate_ids.size());
+    inputs.similarity_to_negatives.reserve(inputs.candidate_ids.size());
+    for (int id : inputs.candidate_ids) {
+      const la::Vec x = visual_all.Row(static_cast<size_t>(id));
+      const la::Vec r = log_all.Row(static_cast<size_t>(id));
+      double sim_pos = 0.0, sim_neg = 0.0;
+      for (size_t j = 0; j < nl; ++j) {
+        const double sim =
+            svm::EvalKernelRow(options_.csvm.visual_kernel, train_visual, j,
+                               x) +
+            options_.selection_log_weight *
+                svm::EvalKernelRow(options_.csvm.log_kernel, train_log, j, r);
+        (ctx.labels[j] > 0 ? sim_pos : sim_neg) += sim;
+      }
+      inputs.similarity_to_positives.push_back(sim_pos);
+      inputs.similarity_to_negatives.push_back(sim_neg);
+    }
+  } else {
+    // Fig. 1 literal: combined decision values of the two labeled-only SVMs.
+    svm::TrainOptions visual_options;
+    visual_options.kernel = options_.csvm.visual_kernel;
+    visual_options.c = options_.csvm.c_visual;
+    visual_options.smo = options_.csvm.smo;
+    svm::SvmTrainer visual_trainer(visual_options);
+    CBIR_ASSIGN_OR_RETURN(svm::TrainOutput visual0,
+                          visual_trainer.Train(train_visual, ctx.labels));
+
+    svm::TrainOptions log_options;
+    log_options.kernel = options_.csvm.log_kernel;
+    log_options.c = options_.csvm.c_log;
+    log_options.smo = options_.csvm.smo;
+    svm::SvmTrainer log_trainer(log_options);
+    CBIR_ASSIGN_OR_RETURN(svm::TrainOutput log0,
+                          log_trainer.Train(train_log, ctx.labels));
+
+    inputs.combined_decisions.reserve(inputs.candidate_ids.size());
+    for (int id : inputs.candidate_ids) {
+      const size_t i = static_cast<size_t>(id);
+      inputs.combined_decisions.push_back(
+          visual0.model.Decision(visual_all.Row(i)) +
+          log0.model.Decision(log_all.Row(i)));
+    }
+  }
+
+  const SelectionResult selection = SelectUnlabeled(
+      options_.selection, inputs, options_.n_prime, options_.selection_seed);
+
+  // --- Fig. 1 step 2: coupled training --------------------------------------
+  const size_t nu = selection.ids.size();
+  CsvmTrainData data;
+  data.visual = la::Matrix(nl + nu, visual_all.cols());
+  data.log = la::Matrix(nl + nu, log_all.cols());
+  data.labels = ctx.labels;
+  data.initial_unlabeled_labels = selection.initial_labels;
+  for (size_t i = 0; i < nl; ++i) {
+    const size_t id = static_cast<size_t>(ctx.labeled_ids[i]);
+    data.visual.SetRow(i, visual_all.Row(id));
+    data.log.SetRow(i, log_all.Row(id));
+  }
+  for (size_t j = 0; j < nu; ++j) {
+    const size_t id = static_cast<size_t>(selection.ids[j]);
+    data.visual.SetRow(nl + j, visual_all.Row(id));
+    data.log.SetRow(nl + j, log_all.Row(id));
+  }
+
+  CoupledSvm csvm(options_.csvm);
+  return csvm.Train(data);
+}
+
+Result<std::vector<int>> LrfCsvmScheme::Rank(const FeedbackContext& ctx) const {
+  CBIR_ASSIGN_OR_RETURN(CoupledModel model, TrainForContext(ctx));
+
+  // --- Fig. 1 step 3: rank by CSVM_Dist -------------------------------------
+  const la::Matrix& visual_all = ctx.db->features();
+  const la::Matrix& log_all = *ctx.log_features;
+  std::vector<double> scores = model.visual.DecisionBatch(visual_all);
+  const std::vector<double> log_scores = model.log.DecisionBatch(log_all);
+  for (size_t i = 0; i < scores.size(); ++i) scores[i] += log_scores[i];
+  return FinalizeRanking(ctx, scores);
+}
+
+}  // namespace cbir::core

@@ -1,0 +1,149 @@
+#include "core/multi_coupled_svm.h"
+
+#include <algorithm>
+
+#include "svm/trainer.h"
+#include "util/logging.h"
+
+namespace cbir::core {
+
+double MultiCoupledModel::Decision(const std::vector<la::Vec>& samples) const {
+  CBIR_CHECK_EQ(samples.size(), models.size());
+  double sum = 0.0;
+  for (size_t k = 0; k < models.size(); ++k) {
+    sum += models[k].Decision(samples[k]);
+  }
+  return sum;
+}
+
+MultiCoupledSvm::MultiCoupledSvm(const MultiCsvmOptions& options)
+    : options_(options) {
+  CBIR_CHECK_GT(options_.rho, 0.0);
+  CBIR_CHECK_GT(options_.rho_init, 0.0);
+  CBIR_CHECK_LE(options_.rho_init, options_.rho);
+  CBIR_CHECK_GE(options_.delta, 0.0);
+  CBIR_CHECK_GT(options_.max_inner_iterations, 0);
+}
+
+Result<MultiCoupledModel> MultiCoupledSvm::Train(
+    const std::vector<Modality>& modalities, const std::vector<double>& labels,
+    const std::vector<double>& initial_unlabeled_labels) const {
+  if (modalities.empty()) {
+    return Status::InvalidArgument("multi coupled SVM: no modalities");
+  }
+  const size_t nl = labels.size();
+  const size_t nu = initial_unlabeled_labels.size();
+  const size_t n = nl + nu;
+  if (nl == 0) {
+    return Status::InvalidArgument("multi coupled SVM: no labeled samples");
+  }
+  for (size_t k = 0; k < modalities.size(); ++k) {
+    if (modalities[k].data.rows() != n) {
+      return Status::InvalidArgument(
+          "multi coupled SVM: modality " + std::to_string(k) +
+          " must have N_l + N' rows");
+    }
+    if (modalities[k].c <= 0.0) {
+      return Status::InvalidArgument("multi coupled SVM: non-positive C");
+    }
+  }
+
+  std::vector<double> y(n);
+  for (size_t i = 0; i < nl; ++i) y[i] = labels[i];
+  for (size_t j = 0; j < nu; ++j) y[nl + j] = initial_unlabeled_labels[j];
+
+  MultiCoupledModel model;
+  CsvmDiagnostics& diag = model.diagnostics;
+  const size_t num_modalities = modalities.size();
+  std::vector<svm::TrainOutput> outputs(num_modalities);
+
+  auto solve_all = [&](double rho_star) -> Status {
+    for (size_t k = 0; k < num_modalities; ++k) {
+      std::vector<double> c_bounds(n);
+      for (size_t i = 0; i < n; ++i) {
+        c_bounds[i] = (i < nl ? 1.0 : rho_star) * modalities[k].c;
+      }
+      svm::TrainOptions train_options;
+      train_options.kernel = modalities[k].kernel;
+      train_options.smo = options_.smo;
+      svm::SvmTrainer trainer(train_options);
+      auto out = trainer.TrainWeighted(modalities[k].data, y, c_bounds);
+      if (!out.ok()) return out.status();
+      outputs[k] = std::move(out).value();
+    }
+    return Status::OK();
+  };
+
+  double rho_star = nu == 0 ? options_.rho : options_.rho_init;
+  while (true) {
+    ++diag.outer_iterations;
+    CBIR_RETURN_NOT_OK(solve_all(rho_star));
+
+    for (int inner = 0; inner < options_.max_inner_iterations; ++inner) {
+      // A pseudo-label is a flip candidate only when EVERY modality
+      // penalizes it (the K-modality generalization of Fig. 1's
+      // "xi' > 0 AND eta' > 0") and the total violation exceeds Delta.
+      std::vector<std::pair<double, size_t>> pos_violators, neg_violators;
+      for (size_t j = 0; j < nu; ++j) {
+        double total = 0.0;
+        bool all_positive = true;
+        for (const svm::TrainOutput& out : outputs) {
+          const double slack = out.slacks[nl + j];
+          if (slack <= 0.0) {
+            all_positive = false;
+            break;
+          }
+          total += slack;
+        }
+        if (all_positive && total > options_.delta) {
+          (y[nl + j] > 0 ? pos_violators : neg_violators)
+              .emplace_back(total, nl + j);
+        }
+      }
+      int flips = 0;
+      if (options_.enforce_class_balance) {
+        std::sort(pos_violators.rbegin(), pos_violators.rend());
+        std::sort(neg_violators.rbegin(), neg_violators.rend());
+        const size_t swaps =
+            std::min(pos_violators.size(), neg_violators.size());
+        for (size_t s = 0; s < swaps; ++s) {
+          y[pos_violators[s].second] = -1.0;
+          y[neg_violators[s].second] = 1.0;
+          flips += 2;
+        }
+      } else {
+        for (const auto& [violation, idx] : pos_violators) {
+          y[idx] = -y[idx];
+          ++flips;
+        }
+        for (const auto& [violation, idx] : neg_violators) {
+          y[idx] = -y[idx];
+          ++flips;
+        }
+      }
+      if (flips == 0) break;
+      diag.total_flips += flips;
+      ++diag.inner_iterations;
+      if (inner + 1 >= options_.max_inner_iterations) {
+        diag.inner_cap_hit = true;
+      }
+      CBIR_RETURN_NOT_OK(solve_all(rho_star));
+    }
+
+    if (rho_star >= options_.rho) break;
+    rho_star = std::min(2.0 * rho_star, options_.rho);
+  }
+
+  model.models.reserve(num_modalities);
+  for (svm::TrainOutput& out : outputs) {
+    model.models.push_back(std::move(out.model));
+  }
+  model.unlabeled_labels.assign(y.begin() + static_cast<long>(nl), y.end());
+  if (num_modalities >= 1) {
+    diag.visual_objective = outputs.front().objective;
+    diag.log_objective = outputs.back().objective;
+  }
+  return model;
+}
+
+}  // namespace cbir::core

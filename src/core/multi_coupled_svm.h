@@ -1,0 +1,78 @@
+#ifndef CBIR_CORE_MULTI_COUPLED_SVM_H_
+#define CBIR_CORE_MULTI_COUPLED_SVM_H_
+
+#include <vector>
+
+#include "core/coupled_svm.h"
+#include "la/matrix.h"
+#include "svm/kernel.h"
+#include "svm/model.h"
+#include "util/result.h"
+
+namespace cbir::core {
+
+/// \brief One information modality in a multi-modal coupled problem.
+struct Modality {
+  /// (N_l + N') x dims sample matrix; labeled rows first, in the shared
+  /// sample order used by every modality.
+  la::Matrix data;
+  svm::KernelParams kernel = svm::KernelParams::Rbf(1.0);
+  /// Per-modality regularization C (the paper's C_w / C_u generalized).
+  double c = 10.0;
+};
+
+/// \brief Hyper-parameters shared across modalities; semantics match
+/// CsvmOptions (rho annealing, Delta-gated balanced label correction).
+struct MultiCsvmOptions {
+  double rho = 0.08;
+  double rho_init = 1e-4;
+  double delta = 2.0;  ///< threshold on the *sum* of per-modality slacks
+  int max_inner_iterations = 20;
+  bool enforce_class_balance = true;
+  svm::SmoOptions smo;
+};
+
+/// \brief Trained multi-modal coupled model: one SVM per modality plus the
+/// final pseudo-labels. The coupled decision is the sum over modalities.
+struct MultiCoupledModel {
+  std::vector<svm::SvmModel> models;  ///< parallel to the input modalities
+  std::vector<double> unlabeled_labels;
+  CsvmDiagnostics diagnostics;
+
+  /// Sum of per-modality decision values; `samples[k]` is the test sample's
+  /// representation in modality k.
+  double Decision(const std::vector<la::Vec>& samples) const;
+};
+
+/// \brief The paper's Section 4.1 generalization: coupled SVM for learning
+/// on data with K types of information.
+///
+/// The two-modality CoupledSvm is the K = 2 special case (verified by a
+/// property test); the alternating optimization is identical:
+///
+/// 1. With pseudo-labels fixed, solve the K weighted SVM QPs (labeled
+///    samples bounded by c_k, unlabeled by rho* c_k).
+/// 2. With the models fixed, flip pseudo-labels that every modality rejects
+///    (all slacks > 0) with joint violation above Delta, in class-balanced
+///    pairs by default.
+/// 3. Anneal rho* <- min(2 rho*, rho); repeat until rho* reaches rho.
+class MultiCoupledSvm {
+ public:
+  explicit MultiCoupledSvm(const MultiCsvmOptions& options);
+
+  const MultiCsvmOptions& options() const { return options_; }
+
+  /// `labels` are the N_l user labels; `initial_unlabeled_labels` the N'
+  /// starting pseudo-labels. Every modality must have N_l + N' rows.
+  Result<MultiCoupledModel> Train(
+      const std::vector<Modality>& modalities,
+      const std::vector<double>& labels,
+      const std::vector<double>& initial_unlabeled_labels) const;
+
+ private:
+  MultiCsvmOptions options_;
+};
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_MULTI_COUPLED_SVM_H_

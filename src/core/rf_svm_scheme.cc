@@ -1,0 +1,29 @@
+#include "core/rf_svm_scheme.h"
+
+#include "svm/trainer.h"
+
+namespace cbir::core {
+
+Result<std::vector<int>> RfSvmScheme::Rank(const FeedbackContext& ctx) const {
+  if (ctx.labeled_ids.empty()) {
+    return Status::InvalidArgument("RF-SVM requires labeled samples");
+  }
+
+  la::Matrix train(ctx.labeled_ids.size(), ctx.db->features().cols());
+  for (size_t i = 0; i < ctx.labeled_ids.size(); ++i) {
+    train.SetRow(i, ctx.db->feature(ctx.labeled_ids[i]));
+  }
+
+  svm::TrainOptions train_options;
+  train_options.kernel = options_.visual_kernel;
+  train_options.c = options_.c_visual;
+  train_options.smo = options_.smo;
+  svm::SvmTrainer trainer(train_options);
+  CBIR_ASSIGN_OR_RETURN(svm::TrainOutput out, trainer.Train(train, ctx.labels));
+
+  const std::vector<double> scores = out.model.DecisionBatch(
+      ctx.db->features());
+  return FinalizeRanking(ctx, scores);
+}
+
+}  // namespace cbir::core

@@ -1,0 +1,27 @@
+#ifndef CBIR_CORE_RF_SVM_SCHEME_H_
+#define CBIR_CORE_RF_SVM_SCHEME_H_
+
+#include "core/feedback_scheme.h"
+
+namespace cbir::core {
+
+/// \brief RF-SVM: the classical SVM relevance-feedback baseline.
+///
+/// Trains one SVM on the labeled visual features (RBF kernel, bound C_w) and
+/// ranks the corpus by the decision value f_w(x_i) — the regular relevance
+/// feedback the paper compares against (its Section 4 "typical" formulation).
+class RfSvmScheme : public FeedbackScheme {
+ public:
+  explicit RfSvmScheme(const SchemeOptions& options) : options_(options) {}
+
+  std::string name() const override { return "RF-SVM"; }
+
+  Result<std::vector<int>> Rank(const FeedbackContext& ctx) const override;
+
+ private:
+  SchemeOptions options_;
+};
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_RF_SVM_SCHEME_H_

@@ -1,0 +1,38 @@
+#include "core/scheme_factory.h"
+
+#include "core/euclidean_scheme.h"
+#include "core/lrf_2svm_scheme.h"
+#include "core/rf_svm_scheme.h"
+
+namespace cbir::core {
+
+Result<std::shared_ptr<FeedbackScheme>> MakeScheme(
+    const std::string& name, const SchemeOptions& scheme_options,
+    const LrfCsvmOptions& csvm_options) {
+  if (name == "Euclidean") {
+    return std::shared_ptr<FeedbackScheme>(new EuclideanScheme());
+  }
+  if (name == "RF-SVM") {
+    return std::shared_ptr<FeedbackScheme>(new RfSvmScheme(scheme_options));
+  }
+  if (name == "LRF-2SVMs") {
+    return std::shared_ptr<FeedbackScheme>(new Lrf2SvmScheme(scheme_options));
+  }
+  if (name == "LRF-CSVM") {
+    return std::shared_ptr<FeedbackScheme>(
+        new LrfCsvmScheme(scheme_options, csvm_options));
+  }
+  return Status::NotFound("unknown scheme: " + name);
+}
+
+std::vector<std::shared_ptr<FeedbackScheme>> MakePaperSchemes(
+    const SchemeOptions& scheme_options, const LrfCsvmOptions& csvm_options) {
+  std::vector<std::shared_ptr<FeedbackScheme>> out;
+  for (const char* name :
+       {"Euclidean", "RF-SVM", "LRF-2SVMs", "LRF-CSVM"}) {
+    out.push_back(MakeScheme(name, scheme_options, csvm_options).value());
+  }
+  return out;
+}
+
+}  // namespace cbir::core

@@ -1,0 +1,27 @@
+#ifndef CBIR_CORE_SCHEME_FACTORY_H_
+#define CBIR_CORE_SCHEME_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feedback_scheme.h"
+#include "core/lrf_csvm_scheme.h"
+#include "util/result.h"
+
+namespace cbir::core {
+
+/// Creates a scheme by its paper name: "Euclidean", "RF-SVM", "LRF-2SVMs" or
+/// "LRF-CSVM" (case-sensitive). `csvm_options` only affects LRF-CSVM.
+Result<std::shared_ptr<FeedbackScheme>> MakeScheme(
+    const std::string& name, const SchemeOptions& scheme_options,
+    const LrfCsvmOptions& csvm_options = {});
+
+/// The four schemes of the paper's evaluation, in table column order.
+std::vector<std::shared_ptr<FeedbackScheme>> MakePaperSchemes(
+    const SchemeOptions& scheme_options,
+    const LrfCsvmOptions& csvm_options = {});
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_SCHEME_FACTORY_H_

@@ -1,0 +1,125 @@
+#include "core/unlabeled_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cbir::core {
+
+const char* SelectionStrategyToString(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kMostSimilar:
+      return "most-similar";
+    case SelectionStrategy::kMaxMin:
+      return "max-min";
+    case SelectionStrategy::kBoundaryClosest:
+      return "boundary-closest";
+    case SelectionStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+// Sorts candidate positions by `keys` descending, ties by candidate id.
+std::vector<size_t> OrderByDesc(const std::vector<double>& keys,
+                                const std::vector<int>& ids) {
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] > keys[b];
+    return ids[a] < ids[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+SelectionResult SelectUnlabeled(SelectionStrategy strategy,
+                                const SelectionInputs& inputs, int n_prime,
+                                uint64_t seed) {
+  CBIR_CHECK_GE(n_prime, 0);
+  const std::vector<int>& ids = inputs.candidate_ids;
+  const size_t available = ids.size();
+
+  SelectionResult out;
+  const size_t want = std::min<size_t>(static_cast<size_t>(n_prime),
+                                       available);
+  if (want == 0) return out;
+
+  switch (strategy) {
+    case SelectionStrategy::kMostSimilar: {
+      CBIR_CHECK_EQ(inputs.similarity_to_positives.size(), available);
+      CBIR_CHECK_EQ(inputs.similarity_to_negatives.size(), available);
+      const size_t top = want / 2 + (want % 2);
+      const auto by_pos = OrderByDesc(inputs.similarity_to_positives, ids);
+      const auto by_neg = OrderByDesc(inputs.similarity_to_negatives, ids);
+      std::unordered_set<int> taken;
+      for (size_t i = 0; i < available && out.ids.size() < top; ++i) {
+        const int id = ids[by_pos[i]];
+        if (!taken.insert(id).second) continue;
+        out.ids.push_back(id);
+        out.initial_labels.push_back(1.0);
+      }
+      for (size_t i = 0; i < available && out.ids.size() < want; ++i) {
+        const int id = ids[by_neg[i]];
+        if (!taken.insert(id).second) continue;
+        out.ids.push_back(id);
+        out.initial_labels.push_back(-1.0);
+      }
+      break;
+    }
+    case SelectionStrategy::kMaxMin: {
+      CBIR_CHECK_EQ(inputs.combined_decisions.size(), available);
+      const auto order = OrderByDesc(inputs.combined_decisions, ids);
+      const size_t top = want / 2 + (want % 2);  // odd N' favors positives
+      const size_t bottom = want - top;
+      for (size_t i = 0; i < top; ++i) {
+        out.ids.push_back(ids[order[i]]);
+        out.initial_labels.push_back(1.0);
+      }
+      for (size_t i = 0; i < bottom; ++i) {
+        out.ids.push_back(ids[order[available - 1 - i]]);
+        out.initial_labels.push_back(-1.0);
+      }
+      break;
+    }
+    case SelectionStrategy::kBoundaryClosest: {
+      CBIR_CHECK_EQ(inputs.combined_decisions.size(), available);
+      std::vector<double> neg_abs(available);
+      for (size_t i = 0; i < available; ++i) {
+        neg_abs[i] = -std::fabs(inputs.combined_decisions[i]);
+      }
+      const auto order = OrderByDesc(neg_abs, ids);
+      for (size_t i = 0; i < want; ++i) {
+        const size_t pos = order[i];
+        out.ids.push_back(ids[pos]);
+        out.initial_labels.push_back(
+            inputs.combined_decisions[pos] >= 0.0 ? 1.0 : -1.0);
+      }
+      break;
+    }
+    case SelectionStrategy::kRandom: {
+      CBIR_CHECK_EQ(inputs.combined_decisions.size(), available);
+      std::vector<size_t> order(available);
+      std::iota(order.begin(), order.end(), size_t{0});
+      Rng rng(seed);
+      rng.Shuffle(&order);
+      for (size_t i = 0; i < want; ++i) {
+        const size_t pos = order[i];
+        out.ids.push_back(ids[pos]);
+        out.initial_labels.push_back(
+            inputs.combined_decisions[pos] >= 0.0 ? 1.0 : -1.0);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cbir::core

@@ -1,0 +1,109 @@
+#include "features/canny.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "features/gaussian.h"
+
+namespace cbir::features {
+
+namespace {
+
+// Quantizes an angle to one of 4 NMS neighbor axes:
+// 0 = E/W, 1 = NE/SW, 2 = N/S, 3 = NW/SE.
+int QuantizeDirection(float gx, float gy) {
+  double angle = std::atan2(gy, gx) * 180.0 / M_PI;  // [-180, 180]
+  if (angle < 0.0) angle += 180.0;                   // fold to [0, 180)
+  if (angle < 22.5 || angle >= 157.5) return 0;
+  if (angle < 67.5) return 1;
+  if (angle < 112.5) return 2;
+  return 3;
+}
+
+}  // namespace
+
+CannyResult Canny(const imaging::GrayImage& src, const CannyOptions& options) {
+  const imaging::GrayImage smoothed = GaussianBlur(src, options.sigma);
+  GradientField grad = Sobel(smoothed);
+
+  const int w = src.width();
+  const int h = src.height();
+
+  // Non-maximum suppression.
+  imaging::GrayImage nms(w, h, 0.0f);
+  float max_mag = 0.0f;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float mag = grad.magnitude.At(x, y);
+      if (mag <= 0.0f) continue;
+      const int dir =
+          QuantizeDirection(grad.gx.At(x, y), grad.gy.At(x, y));
+      float n1 = 0.0f, n2 = 0.0f;
+      switch (dir) {
+        case 0:
+          n1 = grad.magnitude.AtClamped(x - 1, y);
+          n2 = grad.magnitude.AtClamped(x + 1, y);
+          break;
+        case 1:
+          n1 = grad.magnitude.AtClamped(x + 1, y - 1);
+          n2 = grad.magnitude.AtClamped(x - 1, y + 1);
+          break;
+        case 2:
+          n1 = grad.magnitude.AtClamped(x, y - 1);
+          n2 = grad.magnitude.AtClamped(x, y + 1);
+          break;
+        default:
+          n1 = grad.magnitude.AtClamped(x - 1, y - 1);
+          n2 = grad.magnitude.AtClamped(x + 1, y + 1);
+          break;
+      }
+      if (mag >= n1 && mag >= n2) {
+        nms.Set(x, y, mag);
+        max_mag = std::max(max_mag, mag);
+      }
+    }
+  }
+
+  CannyResult result{imaging::GrayImage(w, h, 0.0f), std::move(grad), 0};
+  if (max_mag <= 0.0f) return result;
+
+  const float high = static_cast<float>(options.high_ratio) * max_mag;
+  const float low = static_cast<float>(options.low_ratio) * high;
+
+  // Hysteresis: seed from strong pixels, grow through weak ones (8-conn).
+  std::vector<std::pair<int, int>> stack;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (nms.At(x, y) >= high && result.edges.At(x, y) == 0.0f) {
+        result.edges.Set(x, y, 1.0f);
+        stack.emplace_back(x, y);
+        while (!stack.empty()) {
+          auto [cx, cy] = stack.back();
+          stack.pop_back();
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0) continue;
+              const int nx = cx + dx;
+              const int ny = cy + dy;
+              if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+              if (result.edges.At(nx, ny) == 0.0f && nms.At(nx, ny) >= low) {
+                result.edges.Set(nx, ny, 1.0f);
+                stack.emplace_back(nx, ny);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (result.edges.At(x, y) > 0.0f) ++result.edge_count;
+    }
+  }
+  return result;
+}
+
+}  // namespace cbir::features

@@ -1,0 +1,39 @@
+#ifndef CBIR_FEATURES_CANNY_H_
+#define CBIR_FEATURES_CANNY_H_
+
+#include "features/sobel.h"
+#include "imaging/image.h"
+
+namespace cbir::features {
+
+/// \brief Canny edge detector configuration.
+struct CannyOptions {
+  /// Pre-smoothing Gaussian sigma.
+  double sigma = 1.4;
+  /// High hysteresis threshold, as a fraction of the maximum gradient
+  /// magnitude after non-maximum suppression.
+  double high_ratio = 0.20;
+  /// Low threshold as a fraction of the high threshold.
+  double low_ratio = 0.40;
+};
+
+/// \brief Output of Canny edge detection.
+struct CannyResult {
+  /// Binary edge map: 1.0 at edge pixels, 0.0 elsewhere.
+  imaging::GrayImage edges;
+  /// Gradient field computed on the smoothed image (used downstream by the
+  /// edge-direction histogram, so directions match the detected edges).
+  GradientField gradient;
+  /// Number of edge pixels.
+  int edge_count = 0;
+};
+
+/// Full Canny pipeline: Gaussian smoothing, Sobel gradients, non-maximum
+/// suppression along the quantized gradient direction, and double-threshold
+/// hysteresis (weak pixels survive only when 8-connected to a strong pixel).
+CannyResult Canny(const imaging::GrayImage& src,
+                  const CannyOptions& options = {});
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_CANNY_H_

@@ -1,0 +1,35 @@
+#include "features/color_moments.h"
+
+#include "imaging/color.h"
+#include "la/stats.h"
+#include "util/logging.h"
+
+namespace cbir::features {
+
+la::Vec ColorMoments(const imaging::Image& image) {
+  CBIR_CHECK(!image.empty());
+  const size_t n = static_cast<size_t>(image.width()) * image.height();
+  std::vector<double> hch, sch, vch;
+  hch.reserve(n);
+  sch.reserve(n);
+  vch.reserve(n);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const imaging::Hsv hsv = imaging::RgbToHsv(image.At(x, y));
+      hch.push_back(hsv.h / 360.0);
+      sch.push_back(hsv.s);
+      vch.push_back(hsv.v);
+    }
+  }
+
+  la::Vec out;
+  out.reserve(kColorMomentDims);
+  for (const auto* channel : {&hch, &sch, &vch}) {
+    out.push_back(la::Mean(*channel));
+    out.push_back(la::StdDev(*channel));
+    out.push_back(la::SkewnessCubeRoot(*channel));
+  }
+  return out;
+}
+
+}  // namespace cbir::features

@@ -1,0 +1,24 @@
+#ifndef CBIR_FEATURES_COLOR_MOMENTS_H_
+#define CBIR_FEATURES_COLOR_MOMENTS_H_
+
+#include "imaging/image.h"
+#include "la/vector_ops.h"
+
+namespace cbir::features {
+
+/// Number of color-moment dimensions (3 moments x 3 HSV channels).
+inline constexpr int kColorMomentDims = 9;
+
+/// \brief Extracts the paper's 9-dim color-moment feature.
+///
+/// Per HSV channel: mean, standard deviation ("variance" in the paper's
+/// terminology) and signed cube root of the third central moment
+/// ("skewness", Stricker-Orengo convention). Hue is expressed in [0, 1]
+/// (i.e. degrees / 360) so all nine dimensions share a comparable scale.
+///
+/// Layout: [meanH, stdH, skewH, meanS, stdS, skewS, meanV, stdV, skewV].
+la::Vec ColorMoments(const imaging::Image& image);
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_COLOR_MOMENTS_H_

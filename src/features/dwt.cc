@@ -1,0 +1,121 @@
+#include "features/dwt.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::features {
+
+namespace {
+
+// Daubechies-4 (db2) filter coefficients.
+const double kSqrt3 = std::sqrt(3.0);
+const double kNorm = 4.0 * std::sqrt(2.0);
+const double kH[4] = {(1.0 + kSqrt3) / kNorm, (3.0 + kSqrt3) / kNorm,
+                      (3.0 - kSqrt3) / kNorm, (1.0 - kSqrt3) / kNorm};
+// High-pass via alternating flip: g[k] = (-1)^k h[3-k].
+const double kG[4] = {kH[3], -kH[2], kH[1], -kH[0]};
+
+}  // namespace
+
+void Dwt1d(const std::vector<double>& input, std::vector<double>* approx,
+           std::vector<double>* detail) {
+  const size_t n = input.size();
+  CBIR_CHECK_GE(n, 2u);
+  CBIR_CHECK_EQ(n % 2, 0u);
+  const size_t half = n / 2;
+  approx->assign(half, 0.0);
+  detail->assign(half, 0.0);
+  for (size_t i = 0; i < half; ++i) {
+    double a = 0.0;
+    double d = 0.0;
+    for (size_t k = 0; k < 4; ++k) {
+      const double x = input[(2 * i + k) % n];
+      a += kH[k] * x;
+      d += kG[k] * x;
+    }
+    (*approx)[i] = a;
+    (*detail)[i] = d;
+  }
+}
+
+std::vector<double> Idwt1d(const std::vector<double>& approx,
+                           const std::vector<double>& detail) {
+  const size_t half = approx.size();
+  CBIR_CHECK_EQ(half, detail.size());
+  CBIR_CHECK_GE(half, 1u);
+  const size_t n = half * 2;
+  std::vector<double> out(n, 0.0);
+  // Adjoint of the periodic analysis operator (orthonormal filters, so the
+  // transpose is the inverse).
+  for (size_t i = 0; i < half; ++i) {
+    for (size_t k = 0; k < 4; ++k) {
+      const size_t j = (2 * i + k) % n;
+      out[j] += kH[k] * approx[i] + kG[k] * detail[i];
+    }
+  }
+  return out;
+}
+
+DwtLevel Dwt2d(const imaging::GrayImage& src) {
+  const int w = src.width();
+  const int h = src.height();
+  CBIR_CHECK_EQ(w % 2, 0);
+  CBIR_CHECK_EQ(h % 2, 0);
+  const int hw = w / 2;
+  const int hh = h / 2;
+
+  // Row pass: produce low/high half-width planes.
+  imaging::GrayImage row_lo(hw, h), row_hi(hw, h);
+  std::vector<double> buf(static_cast<size_t>(w));
+  std::vector<double> a, d;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) buf[static_cast<size_t>(x)] = src.At(x, y);
+    Dwt1d(buf, &a, &d);
+    for (int x = 0; x < hw; ++x) {
+      row_lo.Set(x, y, static_cast<float>(a[static_cast<size_t>(x)]));
+      row_hi.Set(x, y, static_cast<float>(d[static_cast<size_t>(x)]));
+    }
+  }
+
+  // Column pass on each half.
+  DwtLevel out{imaging::GrayImage(hw, hh), imaging::GrayImage(hw, hh),
+               imaging::GrayImage(hw, hh), imaging::GrayImage(hw, hh)};
+  std::vector<double> col(static_cast<size_t>(h));
+  for (int x = 0; x < hw; ++x) {
+    for (int y = 0; y < h; ++y) col[static_cast<size_t>(y)] = row_lo.At(x, y);
+    Dwt1d(col, &a, &d);
+    for (int y = 0; y < hh; ++y) {
+      out.ll.Set(x, y, static_cast<float>(a[static_cast<size_t>(y)]));
+      out.lh.Set(x, y, static_cast<float>(d[static_cast<size_t>(y)]));
+    }
+    for (int y = 0; y < h; ++y) col[static_cast<size_t>(y)] = row_hi.At(x, y);
+    Dwt1d(col, &a, &d);
+    for (int y = 0; y < hh; ++y) {
+      out.hl.Set(x, y, static_cast<float>(a[static_cast<size_t>(y)]));
+      out.hh.Set(x, y, static_cast<float>(d[static_cast<size_t>(y)]));
+    }
+  }
+  return out;
+}
+
+DwtPyramid DwtPyramidDecompose(const imaging::GrayImage& src, int num_levels) {
+  CBIR_CHECK_GT(num_levels, 0);
+  const int divisor = 1 << num_levels;
+  CBIR_CHECK_EQ(src.width() % divisor, 0)
+      << "width " << src.width() << " not divisible by 2^" << num_levels;
+  CBIR_CHECK_EQ(src.height() % divisor, 0)
+      << "height " << src.height() << " not divisible by 2^" << num_levels;
+
+  DwtPyramid pyramid;
+  imaging::GrayImage current = src;
+  for (int level = 0; level < num_levels; ++level) {
+    DwtLevel decomposed = Dwt2d(current);
+    current = decomposed.ll;
+    pyramid.levels.push_back(std::move(decomposed));
+  }
+  pyramid.final_ll = current;
+  return pyramid;
+}
+
+}  // namespace cbir::features

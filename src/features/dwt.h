@@ -1,0 +1,50 @@
+#ifndef CBIR_FEATURES_DWT_H_
+#define CBIR_FEATURES_DWT_H_
+
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace cbir::features {
+
+/// \brief One-dimensional Daubechies-4 (db2) analysis step with periodic
+/// boundary extension.
+///
+/// Input length must be even; `approx` and `detail` each receive n/2
+/// coefficients.
+void Dwt1d(const std::vector<double>& input, std::vector<double>* approx,
+           std::vector<double>* detail);
+
+/// Inverse of Dwt1d (perfect reconstruction up to floating-point error).
+std::vector<double> Idwt1d(const std::vector<double>& approx,
+                           const std::vector<double>& detail);
+
+/// \brief The four subbands of a single 2-D DWT level.
+struct DwtLevel {
+  imaging::GrayImage ll;  ///< approximation
+  imaging::GrayImage lh;  ///< horizontal detail (rows low-passed)
+  imaging::GrayImage hl;  ///< vertical detail
+  imaging::GrayImage hh;  ///< diagonal detail
+};
+
+/// Single-level separable 2-D DWT (rows first, then columns).
+/// Requires even width and height.
+DwtLevel Dwt2d(const imaging::GrayImage& src);
+
+/// \brief Multi-level pyramid: the LL band is recursively decomposed.
+///
+/// `levels[k]` holds the detail subbands of decomposition level k (level 0 is
+/// the finest). `final_ll` is the coarsest approximation (the "subsampled
+/// average image" the paper discards before computing texture entropy).
+struct DwtPyramid {
+  std::vector<DwtLevel> levels;
+  imaging::GrayImage final_ll;
+};
+
+/// Performs `num_levels` decompositions. Width and height must be divisible
+/// by 2^num_levels.
+DwtPyramid DwtPyramidDecompose(const imaging::GrayImage& src, int num_levels);
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_DWT_H_

@@ -1,0 +1,39 @@
+#include "features/edge_histogram.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::features {
+
+la::Vec EdgeDirectionHistogram(const CannyResult& canny, int bins) {
+  CBIR_CHECK_GT(bins, 0);
+  la::Vec hist(static_cast<size_t>(bins), 0.0);
+  const int w = canny.edges.width();
+  const int h = canny.edges.height();
+  double total = 0.0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (canny.edges.At(x, y) <= 0.0f) continue;
+      const float gx = canny.gradient.gx.At(x, y);
+      const float gy = canny.gradient.gy.At(x, y);
+      double angle = std::atan2(gy, gx) * 180.0 / M_PI;
+      if (angle < 0.0) angle += 360.0;
+      int bin = static_cast<int>(angle / (360.0 / bins));
+      if (bin >= bins) bin = bins - 1;
+      hist[static_cast<size_t>(bin)] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : hist) v /= total;
+  }
+  return hist;
+}
+
+la::Vec EdgeDirectionHistogram(const imaging::GrayImage& gray,
+                               const CannyOptions& options, int bins) {
+  return EdgeDirectionHistogram(Canny(gray, options), bins);
+}
+
+}  // namespace cbir::features

@@ -1,0 +1,29 @@
+#ifndef CBIR_FEATURES_EDGE_HISTOGRAM_H_
+#define CBIR_FEATURES_EDGE_HISTOGRAM_H_
+
+#include "features/canny.h"
+#include "imaging/image.h"
+#include "la/vector_ops.h"
+
+namespace cbir::features {
+
+/// Default bin count from the paper: 18 bins of 20 degrees each.
+inline constexpr int kEdgeHistogramBins = 18;
+
+/// \brief Computes the edge direction histogram (Jain & Vailaya).
+///
+/// At every Canny edge pixel the gradient direction atan2(gy, gx) in
+/// [0, 360) is quantized into `bins` equal sectors; the histogram is
+/// normalized to sum to 1 (all-zero when the image has no edges, e.g. a
+/// constant raster).
+la::Vec EdgeDirectionHistogram(const CannyResult& canny,
+                               int bins = kEdgeHistogramBins);
+
+/// Convenience overload: runs Canny on a grayscale image first.
+la::Vec EdgeDirectionHistogram(const imaging::GrayImage& gray,
+                               const CannyOptions& options = {},
+                               int bins = kEdgeHistogramBins);
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_EDGE_HISTOGRAM_H_

@@ -1,0 +1,65 @@
+#include "features/extractor.h"
+
+#include <cstdio>
+
+#include "features/color_moments.h"
+#include "features/edge_histogram.h"
+#include "imaging/color.h"
+#include "util/logging.h"
+
+namespace cbir::features {
+
+std::string FeatureLayout::DimensionName(int dim) const {
+  static const char* kMomentNames[] = {"mean", "std", "skew"};
+  static const char* kChannelNames[] = {"H", "S", "V"};
+  if (dim >= color_offset && dim < color_offset + color_dims) {
+    const int rel = dim - color_offset;
+    return std::string("color:") + kMomentNames[rel % 3] +
+           kChannelNames[rel / 3];
+  }
+  if (dim >= edge_offset && dim < edge_offset + edge_dims) {
+    const int rel = dim - edge_offset;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "edge:bin%02d", rel);
+    return buf;
+  }
+  if (dim >= texture_offset && dim < texture_offset + texture_dims) {
+    static const char* kBandNames[] = {"LH", "HL", "HH"};
+    const int rel = dim - texture_offset;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "texture:L%d%s", rel / 3,
+                  kBandNames[rel % 3]);
+    return buf;
+  }
+  return "unknown:" + std::to_string(dim);
+}
+
+FeatureExtractor::FeatureExtractor(const FeatureOptions& options)
+    : options_(options) {
+  layout_.color_offset = 0;
+  layout_.color_dims = kColorMomentDims;
+  layout_.edge_offset = layout_.color_dims;
+  layout_.edge_dims = options_.edge_bins;
+  layout_.texture_offset = layout_.edge_offset + layout_.edge_dims;
+  layout_.texture_dims = 3 * options_.texture.levels;
+}
+
+la::Vec FeatureExtractor::Extract(const imaging::Image& image) const {
+  CBIR_CHECK(!image.empty());
+  const la::Vec color = ColorMoments(image);
+
+  const imaging::GrayImage gray = imaging::ToGray(image);
+  const CannyResult canny = Canny(gray, options_.canny);
+  const la::Vec edge = EdgeDirectionHistogram(canny, options_.edge_bins);
+  const la::Vec texture = WaveletTexture(gray, options_.texture);
+
+  la::Vec out;
+  out.reserve(color.size() + edge.size() + texture.size());
+  out.insert(out.end(), color.begin(), color.end());
+  out.insert(out.end(), edge.begin(), edge.end());
+  out.insert(out.end(), texture.begin(), texture.end());
+  CBIR_CHECK_EQ(static_cast<int>(out.size()), dims());
+  return out;
+}
+
+}  // namespace cbir::features

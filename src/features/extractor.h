@@ -1,0 +1,58 @@
+#ifndef CBIR_FEATURES_EXTRACTOR_H_
+#define CBIR_FEATURES_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "features/canny.h"
+#include "features/wavelet_texture.h"
+#include "imaging/image.h"
+#include "la/vector_ops.h"
+
+namespace cbir::features {
+
+/// \brief Configuration for the full 36-dim feature pipeline.
+struct FeatureOptions {
+  CannyOptions canny;
+  int edge_bins = 18;
+  WaveletTextureOptions texture;
+};
+
+/// \brief Describes the dimension ranges of the concatenated feature vector.
+struct FeatureLayout {
+  int color_offset = 0;
+  int color_dims = 9;
+  int edge_offset = 9;
+  int edge_dims = 18;
+  int texture_offset = 27;
+  int texture_dims = 9;
+
+  int total() const { return color_dims + edge_dims + texture_dims; }
+
+  /// Human-readable name of a dimension, e.g. "color:meanH" or "edge:bin07".
+  std::string DimensionName(int dim) const;
+};
+
+/// \brief Extracts the paper's visual representation: 9-dim HSV color
+/// moments + 18-dim edge direction histogram + 9-dim wavelet texture.
+///
+/// The extractor is stateless and safe to share across threads.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const FeatureOptions& options = {});
+
+  const FeatureOptions& options() const { return options_; }
+  const FeatureLayout& layout() const { return layout_; }
+  int dims() const { return layout_.total(); }
+
+  /// Computes the concatenated feature vector for one image.
+  la::Vec Extract(const imaging::Image& image) const;
+
+ private:
+  FeatureOptions options_;
+  FeatureLayout layout_;
+};
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_EXTRACTOR_H_

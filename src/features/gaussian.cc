@@ -1,0 +1,56 @@
+#include "features/gaussian.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::features {
+
+std::vector<float> GaussianKernel1d(double sigma) {
+  CBIR_CHECK_GT(sigma, 0.0);
+  const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<float> kernel(2 * radius + 1);
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    kernel[static_cast<size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : kernel) v = static_cast<float>(v / sum);
+  return kernel;
+}
+
+imaging::GrayImage GaussianBlur(const imaging::GrayImage& src, double sigma) {
+  if (sigma <= 0.0 || src.empty()) return src;
+  const std::vector<float> kernel = GaussianKernel1d(sigma);
+  const int radius = static_cast<int>(kernel.size() / 2);
+  const int w = src.width();
+  const int h = src.height();
+
+  imaging::GrayImage tmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[static_cast<size_t>(k + radius)] *
+               src.AtClamped(x + k, y);
+      }
+      tmp.Set(x, y, acc);
+    }
+  }
+
+  imaging::GrayImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[static_cast<size_t>(k + radius)] *
+               tmp.AtClamped(x, y + k);
+      }
+      out.Set(x, y, acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace cbir::features

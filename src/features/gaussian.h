@@ -1,0 +1,19 @@
+#ifndef CBIR_FEATURES_GAUSSIAN_H_
+#define CBIR_FEATURES_GAUSSIAN_H_
+
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace cbir::features {
+
+/// Builds a normalized 1-D Gaussian kernel with radius ceil(3*sigma).
+std::vector<float> GaussianKernel1d(double sigma);
+
+/// Separable Gaussian blur with replicate border handling.
+/// sigma <= 0 returns the input unchanged.
+imaging::GrayImage GaussianBlur(const imaging::GrayImage& src, double sigma);
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_GAUSSIAN_H_

@@ -1,0 +1,92 @@
+#include "features/normalizer.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace cbir::features {
+
+Normalizer Normalizer::Fit(const la::Matrix& features) {
+  CBIR_CHECK(!features.empty());
+  const size_t rows = features.rows();
+  const size_t cols = features.cols();
+
+  Normalizer out;
+  out.mean_.assign(cols, 0.0);
+  out.stddev_.assign(cols, 0.0);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const double* p = features.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) out.mean_[c] += p[c];
+  }
+  for (double& m : out.mean_) m /= static_cast<double>(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const double* p = features.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const double d = p[c] - out.mean_[c];
+      out.stddev_[c] += d * d;
+    }
+  }
+  for (double& s : out.stddev_) {
+    s = std::sqrt(s / static_cast<double>(rows));
+    if (s < 1e-12) s = 1.0;  // constant column -> map to 0
+  }
+  return out;
+}
+
+void Normalizer::Apply(la::Vec* v) const {
+  CBIR_CHECK(fitted());
+  CBIR_CHECK_EQ(v->size(), mean_.size());
+  for (size_t i = 0; i < v->size(); ++i) {
+    (*v)[i] = ((*v)[i] - mean_[i]) / stddev_[i];
+  }
+}
+
+void Normalizer::ApplyAll(la::Matrix* features) const {
+  CBIR_CHECK(fitted());
+  CBIR_CHECK_EQ(features->cols(), mean_.size());
+  for (size_t r = 0; r < features->rows(); ++r) {
+    double* p = features->RowPtr(r);
+    for (size_t c = 0; c < features->cols(); ++c) {
+      p[c] = (p[c] - mean_[c]) / stddev_[c];
+    }
+  }
+}
+
+la::Vec Normalizer::Transform(const la::Vec& v) const {
+  la::Vec out = v;
+  Apply(&out);
+  return out;
+}
+
+void Normalizer::Save(std::ostream& os) const {
+  os << mean_.size() << "\n";
+  os.precision(17);
+  for (size_t i = 0; i < mean_.size(); ++i) {
+    os << mean_[i] << " " << stddev_[i] << "\n";
+  }
+}
+
+Result<Normalizer> Normalizer::Load(std::istream& is) {
+  size_t dims = 0;
+  if (!(is >> dims)) {
+    return Status::IoError("normalizer: cannot read dimension count");
+  }
+  Normalizer out;
+  out.mean_.resize(dims);
+  out.stddev_.resize(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    if (!(is >> out.mean_[i] >> out.stddev_[i])) {
+      return Status::IoError("normalizer: truncated payload");
+    }
+    if (out.stddev_[i] <= 0.0) {
+      return Status::InvalidArgument("normalizer: non-positive stddev");
+    }
+  }
+  return out;
+}
+
+}  // namespace cbir::features

@@ -1,0 +1,53 @@
+#ifndef CBIR_FEATURES_NORMALIZER_H_
+#define CBIR_FEATURES_NORMALIZER_H_
+
+#include <iosfwd>
+
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbir::features {
+
+/// \brief Per-dimension z-score normalization fitted on a feature matrix.
+///
+/// SVM relevance feedback is sensitive to feature scales (color moments,
+/// histogram mass and subband entropies live on very different ranges); the
+/// database fits one normalizer over all images and applies it to every
+/// query/feature vector before kernel evaluation or Euclidean ranking.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Computes per-column mean and standard deviation. Constant columns get
+  /// stddev 1 so they map to exactly 0.
+  static Normalizer Fit(const la::Matrix& features);
+
+  bool fitted() const { return !mean_.empty(); }
+  int dims() const { return static_cast<int>(mean_.size()); }
+
+  /// Transforms one vector in place.
+  void Apply(la::Vec* v) const;
+
+  /// Transforms every row of the matrix in place.
+  void ApplyAll(la::Matrix* features) const;
+
+  /// Returns the transformed copy.
+  la::Vec Transform(const la::Vec& v) const;
+
+  const la::Vec& mean() const { return mean_; }
+  const la::Vec& stddev() const { return stddev_; }
+
+  /// Text serialization (one line per dimension: mean stddev).
+  void Save(std::ostream& os) const;
+  static Result<Normalizer> Load(std::istream& is);
+
+ private:
+  la::Vec mean_;
+  la::Vec stddev_;
+};
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_NORMALIZER_H_

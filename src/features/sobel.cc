@@ -1,0 +1,34 @@
+#include "features/sobel.h"
+
+#include <cmath>
+
+namespace cbir::features {
+
+GradientField Sobel(const imaging::GrayImage& src) {
+  const int w = src.width();
+  const int h = src.height();
+  GradientField out{imaging::GrayImage(w, h), imaging::GrayImage(w, h),
+                    imaging::GrayImage(w, h)};
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float p00 = src.AtClamped(x - 1, y - 1);
+      const float p10 = src.AtClamped(x, y - 1);
+      const float p20 = src.AtClamped(x + 1, y - 1);
+      const float p01 = src.AtClamped(x - 1, y);
+      const float p21 = src.AtClamped(x + 1, y);
+      const float p02 = src.AtClamped(x - 1, y + 1);
+      const float p12 = src.AtClamped(x, y + 1);
+      const float p22 = src.AtClamped(x + 1, y + 1);
+
+      const float gx = (p20 + 2.0f * p21 + p22) - (p00 + 2.0f * p01 + p02);
+      const float gy = (p02 + 2.0f * p12 + p22) - (p00 + 2.0f * p10 + p20);
+      out.gx.Set(x, y, gx);
+      out.gy.Set(x, y, gy);
+      out.magnitude.Set(x, y, std::sqrt(gx * gx + gy * gy));
+    }
+  }
+  return out;
+}
+
+}  // namespace cbir::features

@@ -1,0 +1,20 @@
+#ifndef CBIR_FEATURES_SOBEL_H_
+#define CBIR_FEATURES_SOBEL_H_
+
+#include "imaging/image.h"
+
+namespace cbir::features {
+
+/// \brief Per-pixel gradient field produced by the Sobel operator.
+struct GradientField {
+  imaging::GrayImage gx;         ///< horizontal derivative
+  imaging::GrayImage gy;         ///< vertical derivative
+  imaging::GrayImage magnitude;  ///< sqrt(gx^2 + gy^2)
+};
+
+/// Applies the 3x3 Sobel operator with replicate borders.
+GradientField Sobel(const imaging::GrayImage& src);
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_SOBEL_H_

@@ -1,0 +1,42 @@
+#include "features/wavelet_texture.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/stats.h"
+#include "util/logging.h"
+
+namespace cbir::features {
+
+double SubbandEntropy(const imaging::GrayImage& band, int bins) {
+  CBIR_CHECK_GT(bins, 0);
+  std::vector<double> magnitudes;
+  magnitudes.reserve(static_cast<size_t>(band.width()) * band.height());
+  double max_mag = 0.0;
+  for (int y = 0; y < band.height(); ++y) {
+    for (int x = 0; x < band.width(); ++x) {
+      const double m = std::fabs(static_cast<double>(band.At(x, y)));
+      magnitudes.push_back(m);
+      max_mag = std::max(max_mag, m);
+    }
+  }
+  if (max_mag <= 0.0) return 0.0;
+  const std::vector<double> hist = la::Histogram(
+      magnitudes, static_cast<size_t>(bins), 0.0, max_mag + 1e-12);
+  return la::Entropy(hist);
+}
+
+la::Vec WaveletTexture(const imaging::GrayImage& gray,
+                       const WaveletTextureOptions& options) {
+  const DwtPyramid pyramid = DwtPyramidDecompose(gray, options.levels);
+  la::Vec out;
+  out.reserve(static_cast<size_t>(3 * options.levels));
+  for (const DwtLevel& level : pyramid.levels) {
+    out.push_back(SubbandEntropy(level.lh, options.entropy_bins));
+    out.push_back(SubbandEntropy(level.hl, options.entropy_bins));
+    out.push_back(SubbandEntropy(level.hh, options.entropy_bins));
+  }
+  return out;
+}
+
+}  // namespace cbir::features

@@ -1,0 +1,37 @@
+#ifndef CBIR_FEATURES_WAVELET_TEXTURE_H_
+#define CBIR_FEATURES_WAVELET_TEXTURE_H_
+
+#include "features/dwt.h"
+#include "imaging/image.h"
+#include "la/vector_ops.h"
+
+namespace cbir::features {
+
+/// Number of texture dimensions with the paper's 3-level decomposition:
+/// 3 levels x 3 orientations (LH, HL, HH); the final LL average image is
+/// discarded, per the paper.
+inline constexpr int kWaveletTextureDims = 9;
+
+/// \brief Wavelet texture configuration.
+struct WaveletTextureOptions {
+  int levels = 3;        ///< decomposition depth (Daubechies-4)
+  int entropy_bins = 32; ///< histogram resolution for subband entropy
+};
+
+/// \brief Computes subband-entropy texture features.
+///
+/// For each of the `3 * levels` detail subbands, the Shannon entropy (base 2)
+/// of the distribution of absolute coefficient values is computed over a
+/// `entropy_bins`-bucket histogram spanning [0, max|coef|]. A constant
+/// subband yields entropy 0.
+///
+/// Layout: level-0 (finest) [LH, HL, HH], then level-1, then level-2, ...
+la::Vec WaveletTexture(const imaging::GrayImage& gray,
+                       const WaveletTextureOptions& options = {});
+
+/// Entropy of one subband (exposed for tests).
+double SubbandEntropy(const imaging::GrayImage& band, int bins);
+
+}  // namespace cbir::features
+
+#endif  // CBIR_FEATURES_WAVELET_TEXTURE_H_

@@ -1,0 +1,76 @@
+#include "imaging/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbir::imaging {
+
+Hsv RgbToHsv(Rgb rgb) {
+  const double r = rgb.r / 255.0;
+  const double g = rgb.g / 255.0;
+  const double b = rgb.b / 255.0;
+  const double mx = std::max({r, g, b});
+  const double mn = std::min({r, g, b});
+  const double delta = mx - mn;
+
+  Hsv out;
+  out.v = mx;
+  out.s = (mx <= 0.0) ? 0.0 : delta / mx;
+  if (delta <= 0.0) {
+    out.h = 0.0;
+  } else if (mx == r) {
+    out.h = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (mx == g) {
+    out.h = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (out.h < 0.0) out.h += 360.0;
+  return out;
+}
+
+Rgb HsvToRgb(Hsv hsv) {
+  double h = std::fmod(hsv.h, 360.0);
+  if (h < 0.0) h += 360.0;
+  const double s = std::clamp(hsv.s, 0.0, 1.0);
+  const double v = std::clamp(hsv.v, 0.0, 1.0);
+
+  const double c = v * s;
+  const double hp = h / 60.0;
+  const double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0.0, g = 0.0, b = 0.0;
+  if (hp < 1.0) {
+    r = c; g = x;
+  } else if (hp < 2.0) {
+    r = x; g = c;
+  } else if (hp < 3.0) {
+    g = c; b = x;
+  } else if (hp < 4.0) {
+    g = x; b = c;
+  } else if (hp < 5.0) {
+    r = x; b = c;
+  } else {
+    r = c; b = x;
+  }
+  const double m = v - c;
+  auto to8 = [](double f) {
+    return static_cast<uint8_t>(std::clamp(f * 255.0 + 0.5, 0.0, 255.0));
+  };
+  return Rgb{to8(r + m), to8(g + m), to8(b + m)};
+}
+
+double Luma(Rgb rgb) {
+  return (0.299 * rgb.r + 0.587 * rgb.g + 0.114 * rgb.b) / 255.0;
+}
+
+GrayImage ToGray(const Image& image) {
+  GrayImage gray(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      gray.Set(x, y, static_cast<float>(Luma(image.At(x, y))));
+    }
+  }
+  return gray;
+}
+
+}  // namespace cbir::imaging

@@ -1,0 +1,30 @@
+#ifndef CBIR_IMAGING_COLOR_H_
+#define CBIR_IMAGING_COLOR_H_
+
+#include "imaging/image.h"
+
+namespace cbir::imaging {
+
+/// \brief HSV color with h in [0, 360), s and v in [0, 1].
+struct Hsv {
+  double h = 0.0;
+  double s = 0.0;
+  double v = 0.0;
+};
+
+/// Converts an RGB pixel to HSV. Gray pixels report hue 0.
+Hsv RgbToHsv(Rgb rgb);
+
+/// Converts HSV back to 8-bit RGB. Hue outside [0,360) is wrapped; s and v
+/// are clamped to [0,1].
+Rgb HsvToRgb(Hsv hsv);
+
+/// Rec.601 luma in [0, 1].
+double Luma(Rgb rgb);
+
+/// Converts an RGB image to a float grayscale image using Rec.601 luma.
+GrayImage ToGray(const Image& image);
+
+}  // namespace cbir::imaging
+
+#endif  // CBIR_IMAGING_COLOR_H_

@@ -1,0 +1,172 @@
+#include "imaging/draw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cbir::imaging {
+
+void DrawLine(Image* img, Point a, Point b, Rgb color) {
+  int x0 = a.x, y0 = a.y, x1 = b.x, y1 = b.y;
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    img->SetClipped(x0, y0, color);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void DrawThickLine(Image* img, Point a, Point b, int thickness, Rgb color) {
+  if (thickness <= 1) {
+    DrawLine(img, a, b, color);
+    return;
+  }
+  const int r = thickness / 2;
+  int x0 = a.x, y0 = a.y, x1 = b.x, y1 = b.y;
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    FillCircle(img, Point{x0, y0}, r, color);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void FillCircle(Image* img, Point c, int radius, Rgb color) {
+  if (radius < 0) return;
+  const long r2 = static_cast<long>(radius) * radius;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (static_cast<long>(dx) * dx + static_cast<long>(dy) * dy <= r2) {
+        img->SetClipped(c.x + dx, c.y + dy, color);
+      }
+    }
+  }
+}
+
+void DrawCircle(Image* img, Point c, int radius, Rgb color) {
+  if (radius < 0) return;
+  int x = radius;
+  int y = 0;
+  int err = 1 - radius;
+  while (x >= y) {
+    img->SetClipped(c.x + x, c.y + y, color);
+    img->SetClipped(c.x + y, c.y + x, color);
+    img->SetClipped(c.x - y, c.y + x, color);
+    img->SetClipped(c.x - x, c.y + y, color);
+    img->SetClipped(c.x - x, c.y - y, color);
+    img->SetClipped(c.x - y, c.y - x, color);
+    img->SetClipped(c.x + y, c.y - x, color);
+    img->SetClipped(c.x + x, c.y - y, color);
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+void FillRect(Image* img, Point top_left, Point bottom_right, Rgb color) {
+  const int x0 = std::min(top_left.x, bottom_right.x);
+  const int x1 = std::max(top_left.x, bottom_right.x);
+  const int y0 = std::min(top_left.y, bottom_right.y);
+  const int y1 = std::max(top_left.y, bottom_right.y);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      img->SetClipped(x, y, color);
+    }
+  }
+}
+
+void FillPolygon(Image* img, const std::vector<Point>& vertices, Rgb color) {
+  if (vertices.size() < 3) return;
+  int ymin = std::numeric_limits<int>::max();
+  int ymax = std::numeric_limits<int>::min();
+  for (const Point& p : vertices) {
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  ymin = std::max(ymin, 0);
+  ymax = std::min(ymax, img->height() - 1);
+
+  std::vector<double> xs;
+  for (int y = ymin; y <= ymax; ++y) {
+    xs.clear();
+    const double yc = y + 0.5;  // sample at pixel centers
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      const Point& p0 = vertices[i];
+      const Point& p1 = vertices[(i + 1) % vertices.size()];
+      const double y0 = p0.y, y1 = p1.y;
+      if ((yc >= y0 && yc < y1) || (yc >= y1 && yc < y0)) {
+        const double t = (yc - y0) / (y1 - y0);
+        xs.push_back(p0.x + t * (p1.x - p0.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int x0 = static_cast<int>(std::ceil(xs[i]));
+      const int x1 = static_cast<int>(std::floor(xs[i + 1]));
+      for (int x = x0; x <= x1; ++x) img->SetClipped(x, y, color);
+    }
+  }
+}
+
+void FillVerticalGradient(Image* img, Rgb top, Rgb bottom) {
+  const int h = img->height();
+  for (int y = 0; y < h; ++y) {
+    const double t = h <= 1 ? 0.0 : static_cast<double>(y) / (h - 1);
+    auto mix = [t](uint8_t a, uint8_t b) {
+      return static_cast<uint8_t>(a + t * (b - a) + 0.5);
+    };
+    const Rgb c{mix(top.r, bottom.r), mix(top.g, bottom.g),
+                mix(top.b, bottom.b)};
+    for (int x = 0; x < img->width(); ++x) img->Set(x, y, c);
+  }
+}
+
+void FillRadialGradient(Image* img, Point center, int radius, Rgb center_color,
+                        Rgb edge_color) {
+  const double r = std::max(1, radius);
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) {
+      const double d =
+          std::sqrt(static_cast<double>(x - center.x) * (x - center.x) +
+                    static_cast<double>(y - center.y) * (y - center.y));
+      const double t = std::clamp(d / r, 0.0, 1.0);
+      auto mix = [t](uint8_t a, uint8_t b) {
+        return static_cast<uint8_t>(a + t * (b - a) + 0.5);
+      };
+      img->Set(x, y,
+               Rgb{mix(center_color.r, edge_color.r),
+                   mix(center_color.g, edge_color.g),
+                   mix(center_color.b, edge_color.b)});
+    }
+  }
+}
+
+}  // namespace cbir::imaging

@@ -1,0 +1,44 @@
+#ifndef CBIR_IMAGING_DRAW_H_
+#define CBIR_IMAGING_DRAW_H_
+
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace cbir::imaging {
+
+/// \brief Integer point used by the drawing primitives.
+struct Point {
+  int x = 0;
+  int y = 0;
+};
+
+/// Draws a 1px Bresenham line, clipped to the raster.
+void DrawLine(Image* img, Point a, Point b, Rgb color);
+
+/// Draws a thick line by stamping disks along the Bresenham path.
+void DrawThickLine(Image* img, Point a, Point b, int thickness, Rgb color);
+
+/// Fills a disk of radius r centred on c, clipped.
+void FillCircle(Image* img, Point c, int radius, Rgb color);
+
+/// Draws a 1px circle outline (midpoint algorithm), clipped.
+void DrawCircle(Image* img, Point c, int radius, Rgb color);
+
+/// Fills an axis-aligned rectangle [x0,x1] x [y0,y1] (inclusive), clipped.
+void FillRect(Image* img, Point top_left, Point bottom_right, Rgb color);
+
+/// Fills a convex or concave simple polygon via scanline even-odd rule.
+void FillPolygon(Image* img, const std::vector<Point>& vertices, Rgb color);
+
+/// Fills the whole image with a vertical gradient from `top` to `bottom`.
+void FillVerticalGradient(Image* img, Rgb top, Rgb bottom);
+
+/// Fills with a radial gradient from `center_color` at `center` to
+/// `edge_color` at distance `radius`.
+void FillRadialGradient(Image* img, Point center, int radius, Rgb center_color,
+                        Rgb edge_color);
+
+}  // namespace cbir::imaging
+
+#endif  // CBIR_IMAGING_DRAW_H_

@@ -1,0 +1,83 @@
+#include "imaging/image.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cbir::imaging {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height) {
+  CBIR_CHECK_GE(width, 0);
+  CBIR_CHECK_GE(height, 0);
+  data_.resize(static_cast<size_t>(width) * height * 3);
+  Fill(fill);
+}
+
+Rgb Image::At(int x, int y) const {
+  CBIR_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_)
+      << "pixel (" << x << "," << y << ") outside " << width_ << "x"
+      << height_;
+  const size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+  return Rgb{data_[idx], data_[idx + 1], data_[idx + 2]};
+}
+
+void Image::Set(int x, int y, Rgb color) {
+  CBIR_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_)
+      << "pixel (" << x << "," << y << ") outside " << width_ << "x"
+      << height_;
+  const size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+  data_[idx] = color.r;
+  data_[idx + 1] = color.g;
+  data_[idx + 2] = color.b;
+}
+
+bool Image::SetClipped(int x, int y, Rgb color) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return false;
+  Set(x, y, color);
+  return true;
+}
+
+void Image::BlendClipped(int x, int y, Rgb color, double alpha) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  const Rgb base = At(x, y);
+  auto mix = [alpha](uint8_t a, uint8_t b) {
+    return static_cast<uint8_t>(a + alpha * (b - a) + 0.5);
+  };
+  Set(x, y, Rgb{mix(base.r, color.r), mix(base.g, color.g),
+                mix(base.b, color.b)});
+}
+
+void Image::Fill(Rgb color) {
+  for (size_t i = 0; i + 2 < data_.size(); i += 3) {
+    data_[i] = color.r;
+    data_[i + 1] = color.g;
+    data_[i + 2] = color.b;
+  }
+}
+
+GrayImage::GrayImage(int width, int height, float fill)
+    : width_(width), height_(height) {
+  CBIR_CHECK_GE(width, 0);
+  CBIR_CHECK_GE(height, 0);
+  data_.assign(static_cast<size_t>(width) * height, fill);
+}
+
+float GrayImage::At(int x, int y) const {
+  CBIR_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return data_[static_cast<size_t>(y) * width_ + x];
+}
+
+void GrayImage::Set(int x, int y, float value) {
+  CBIR_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  data_[static_cast<size_t>(y) * width_ + x] = value;
+}
+
+float GrayImage::AtClamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return data_[static_cast<size_t>(y) * width_ + x];
+}
+
+}  // namespace cbir::imaging

@@ -1,0 +1,85 @@
+#ifndef CBIR_IMAGING_IMAGE_H_
+#define CBIR_IMAGING_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cbir::imaging {
+
+/// \brief An 8-bit sRGB pixel.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  bool operator==(const Rgb& o) const {
+    return r == o.r && g == o.g && b == o.b;
+  }
+};
+
+/// \brief Interleaved 8-bit RGB raster image.
+///
+/// The synthetic-corpus generator renders into this type; the feature
+/// pipeline consumes it (converting to HSV or grayscale as needed).
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  /// Unchecked in release; bounds-checked via CBIR_CHECK in At().
+  Rgb At(int x, int y) const;
+  void Set(int x, int y, Rgb color);
+
+  /// Returns true and sets the pixel only when (x, y) is inside the raster;
+  /// drawing primitives use this for implicit clipping.
+  bool SetClipped(int x, int y, Rgb color);
+
+  /// Alpha-blends `color` over the current pixel (alpha in [0,1]), clipped.
+  void BlendClipped(int x, int y, Rgb color, double alpha);
+
+  void Fill(Rgb color);
+
+  /// Raw interleaved RGB bytes, row-major, 3 bytes per pixel.
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t>& data() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// \brief Single-channel float image with values nominally in [0, 1].
+///
+/// Used for grayscale conversions, gradient maps and wavelet planes.
+class GrayImage {
+ public:
+  GrayImage() = default;
+  GrayImage(int width, int height, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  float At(int x, int y) const;
+  void Set(int x, int y, float value);
+
+  /// Clamps coordinates to the border (replicate padding); used by filters.
+  float AtClamped(int x, int y) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace cbir::imaging
+
+#endif  // CBIR_IMAGING_IMAGE_H_

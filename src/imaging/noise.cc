@@ -1,0 +1,115 @@
+#include "imaging/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cbir::imaging {
+
+namespace {
+
+uint64_t HashCoords(uint64_t seed, int64_t ix, int64_t iy) {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h ^= static_cast<uint64_t>(iy) * 0xC2B2AE3D27D4EB4Full;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+ValueNoise::ValueNoise(uint64_t seed) : seed_(seed) {}
+
+double ValueNoise::LatticeValue(int64_t ix, int64_t iy) const {
+  return static_cast<double>(HashCoords(seed_, ix, iy) >> 11) * 0x1.0p-53;
+}
+
+double ValueNoise::Sample(double x, double y) const {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const int64_t ix = static_cast<int64_t>(fx);
+  const int64_t iy = static_cast<int64_t>(fy);
+  const double tx = SmoothStep(x - fx);
+  const double ty = SmoothStep(y - fy);
+
+  const double v00 = LatticeValue(ix, iy);
+  const double v10 = LatticeValue(ix + 1, iy);
+  const double v01 = LatticeValue(ix, iy + 1);
+  const double v11 = LatticeValue(ix + 1, iy + 1);
+
+  const double a = v00 + tx * (v10 - v00);
+  const double b = v01 + tx * (v11 - v01);
+  return a + ty * (b - a);
+}
+
+double ValueNoise::Fbm(double x, double y, int octaves) const {
+  octaves = std::max(1, octaves);
+  double sum = 0.0;
+  double amp = 1.0;
+  double norm = 0.0;
+  double fx = x, fy = y;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * Sample(fx, fy);
+    norm += amp;
+    amp *= 0.5;
+    fx *= 2.0;
+    fy *= 2.0;
+  }
+  return sum / norm;
+}
+
+void AddFbmNoise(Image* img, uint64_t seed, double freq, int octaves,
+                 double amplitude) {
+  if (img->empty()) return;
+  const ValueNoise noise(seed);
+  const double sx = freq / img->width();
+  const double sy = freq / img->width();  // isotropic scale
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) {
+      const double n = noise.Fbm(x * sx, y * sy, octaves) - 0.5;
+      const double delta = 255.0 * amplitude * 2.0 * n;
+      Rgb c = img->At(x, y);
+      auto adj = [delta](uint8_t v) {
+        return static_cast<uint8_t>(std::clamp(v + delta, 0.0, 255.0));
+      };
+      img->Set(x, y, Rgb{adj(c.r), adj(c.g), adj(c.b)});
+    }
+  }
+}
+
+void AddGrating(Image* img, double freq, double angle_rad, double amplitude) {
+  if (img->empty()) return;
+  const double kx = std::cos(angle_rad) * 2.0 * M_PI * freq / img->width();
+  const double ky = std::sin(angle_rad) * 2.0 * M_PI * freq / img->width();
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) {
+      const double delta = 255.0 * amplitude * std::sin(kx * x + ky * y);
+      Rgb c = img->At(x, y);
+      auto adj = [delta](uint8_t v) {
+        return static_cast<uint8_t>(std::clamp(v + delta, 0.0, 255.0));
+      };
+      img->Set(x, y, Rgb{adj(c.r), adj(c.g), adj(c.b)});
+    }
+  }
+}
+
+void AddPixelNoise(Image* img, uint64_t seed, double sigma) {
+  if (sigma <= 0.0 || img->empty()) return;
+  Rng rng(seed);
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) {
+      Rgb c = img->At(x, y);
+      auto adj = [&rng, sigma](uint8_t v) {
+        return static_cast<uint8_t>(
+            std::clamp(v + rng.Gaussian(0.0, sigma), 0.0, 255.0));
+      };
+      img->Set(x, y, Rgb{adj(c.r), adj(c.g), adj(c.b)});
+    }
+  }
+}
+
+}  // namespace cbir::imaging

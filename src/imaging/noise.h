@@ -1,0 +1,48 @@
+#ifndef CBIR_IMAGING_NOISE_H_
+#define CBIR_IMAGING_NOISE_H_
+
+#include <cstdint>
+
+#include "imaging/image.h"
+
+namespace cbir::imaging {
+
+/// \brief Deterministic lattice value-noise field.
+///
+/// Evaluates smooth pseudo-random noise at arbitrary (x, y); the same seed
+/// always yields the same field. Used for synthetic texture generation
+/// (the DWT texture feature needs genuinely band-limited content).
+class ValueNoise {
+ public:
+  explicit ValueNoise(uint64_t seed);
+
+  /// Single octave of smoothed lattice noise in [0, 1].
+  double Sample(double x, double y) const;
+
+  /// Fractal Brownian motion: `octaves` octaves with per-octave gain 0.5 and
+  /// lacunarity 2.0; result normalized to [0, 1].
+  double Fbm(double x, double y, int octaves) const;
+
+ private:
+  /// Hash of lattice coordinates to [0, 1).
+  double LatticeValue(int64_t ix, int64_t iy) const;
+
+  uint64_t seed_;
+};
+
+/// Fills `img` with fBm noise mapped to gray values of mean `base` and
+/// amplitude `amplitude`, at spatial frequency `freq` (cycles across width).
+void AddFbmNoise(Image* img, uint64_t seed, double freq, int octaves,
+                 double amplitude);
+
+/// Overlays a sinusoidal grating of frequency `freq` (cycles across width)
+/// at angle `angle_rad`, modulating pixel brightness by +-`amplitude`.
+void AddGrating(Image* img, double freq, double angle_rad, double amplitude);
+
+/// Adds independent Gaussian pixel noise with the given sigma (on a 0-255
+/// scale), simulating sensor noise. Deterministic in `seed`.
+void AddPixelNoise(Image* img, uint64_t seed, double sigma);
+
+}  // namespace cbir::imaging
+
+#endif  // CBIR_IMAGING_NOISE_H_

@@ -1,0 +1,96 @@
+#include "imaging/ppm_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace cbir::imaging {
+
+namespace {
+
+// Reads the next header token, skipping whitespace and '#' comments.
+bool NextToken(std::istream& is, std::string* token) {
+  token->clear();
+  char ch;
+  while (is.get(ch)) {
+    if (ch == '#') {
+      std::string dummy;
+      std::getline(is, dummy);
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(ch))) {
+      token->push_back(ch);
+      while (is.get(ch) && !std::isspace(static_cast<unsigned char>(ch))) {
+        token->push_back(ch);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WritePpm(const Image& image, const std::string& path) {
+  if (image.empty()) return Status::InvalidArgument("cannot write empty image");
+  std::ofstream ofs(path, std::ios::binary | std::ios::trunc);
+  if (!ofs) return Status::IoError("cannot open for writing: " + path);
+  ofs << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  ofs.write(reinterpret_cast<const char*>(image.data().data()),
+            static_cast<std::streamsize>(image.data().size()));
+  if (!ofs) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Image> ReadPpm(const std::string& path) {
+  std::ifstream ifs(path, std::ios::binary);
+  if (!ifs) return Status::IoError("cannot open for reading: " + path);
+
+  std::string token;
+  if (!NextToken(ifs, &token) || token != "P6") {
+    return Status::InvalidArgument("not a binary PPM (P6): " + path);
+  }
+  int width = 0, height = 0, maxval = 0;
+  auto parse_int = [&](int* out) -> bool {
+    if (!NextToken(ifs, &token)) return false;
+    std::istringstream iss(token);
+    return static_cast<bool>(iss >> *out);
+  };
+  if (!parse_int(&width) || !parse_int(&height) || !parse_int(&maxval)) {
+    return Status::InvalidArgument("malformed PPM header: " + path);
+  }
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("invalid PPM dimensions: " + path);
+  }
+  if (maxval != 255) {
+    return Status::NotImplemented("only maxval 255 supported: " + path);
+  }
+
+  Image image(width, height);
+  ifs.read(reinterpret_cast<char*>(image.data().data()),
+           static_cast<std::streamsize>(image.data().size()));
+  if (ifs.gcount() != static_cast<std::streamsize>(image.data().size())) {
+    return Status::IoError("truncated PPM payload: " + path);
+  }
+  return image;
+}
+
+Status WritePgm(const GrayImage& image, const std::string& path) {
+  if (image.empty()) return Status::InvalidArgument("cannot write empty image");
+  std::ofstream ofs(path, std::ios::binary | std::ios::trunc);
+  if (!ofs) return Status::IoError("cannot open for writing: " + path);
+  ofs << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  std::vector<uint8_t> row(image.width());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const float v = std::clamp(image.At(x, y), 0.0f, 1.0f);
+      row[static_cast<size_t>(x)] = static_cast<uint8_t>(v * 255.0f + 0.5f);
+    }
+    ofs.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!ofs) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace cbir::imaging

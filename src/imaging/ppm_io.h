@@ -1,0 +1,24 @@
+#ifndef CBIR_IMAGING_PPM_IO_H_
+#define CBIR_IMAGING_PPM_IO_H_
+
+#include <string>
+
+#include "imaging/image.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbir::imaging {
+
+/// Writes a binary PPM (P6) file. Overwrites any existing file.
+Status WritePpm(const Image& image, const std::string& path);
+
+/// Reads a binary PPM (P6) file with maxval 255.
+Result<Image> ReadPpm(const std::string& path);
+
+/// Writes a binary PGM (P5) file from a float gray image; values are clamped
+/// to [0, 1] and quantized to 8 bits.
+Status WritePgm(const GrayImage& image, const std::string& path);
+
+}  // namespace cbir::imaging
+
+#endif  // CBIR_IMAGING_PPM_IO_H_

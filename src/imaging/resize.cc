@@ -1,0 +1,57 @@
+#include "imaging/resize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::imaging {
+
+Image ResizeBilinear(const Image& src, int new_width, int new_height) {
+  CBIR_CHECK_GT(new_width, 0);
+  CBIR_CHECK_GT(new_height, 0);
+  CBIR_CHECK(!src.empty());
+
+  Image dst(new_width, new_height);
+  const double sx = static_cast<double>(src.width()) / new_width;
+  const double sy = static_cast<double>(src.height()) / new_height;
+
+  for (int y = 0; y < new_height; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0,
+                              src.height() - 1);
+    const int y1 = std::min(y0 + 1, src.height() - 1);
+    const double ty = std::clamp(fy - y0, 0.0, 1.0);
+    for (int x = 0; x < new_width; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0,
+                                src.width() - 1);
+      const int x1 = std::min(x0 + 1, src.width() - 1);
+      const double tx = std::clamp(fx - x0, 0.0, 1.0);
+
+      const Rgb c00 = src.At(x0, y0), c10 = src.At(x1, y0);
+      const Rgb c01 = src.At(x0, y1), c11 = src.At(x1, y1);
+      auto lerp2 = [tx, ty](uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+        const double top = a + tx * (b - a);
+        const double bot = c + tx * (d - c);
+        return static_cast<uint8_t>(
+            std::clamp(top + ty * (bot - top) + 0.5, 0.0, 255.0));
+      };
+      dst.Set(x, y,
+              Rgb{lerp2(c00.r, c10.r, c01.r, c11.r),
+                  lerp2(c00.g, c10.g, c01.g, c11.g),
+                  lerp2(c00.b, c10.b, c01.b, c11.b)});
+    }
+  }
+  return dst;
+}
+
+void Paste(Image* dst, const Image& src, int x, int y) {
+  for (int sy = 0; sy < src.height(); ++sy) {
+    for (int sx = 0; sx < src.width(); ++sx) {
+      dst->SetClipped(x + sx, y + sy, src.At(sx, sy));
+    }
+  }
+}
+
+}  // namespace cbir::imaging

@@ -1,0 +1,16 @@
+#ifndef CBIR_IMAGING_RESIZE_H_
+#define CBIR_IMAGING_RESIZE_H_
+
+#include "imaging/image.h"
+
+namespace cbir::imaging {
+
+/// Bilinear resize to (new_width, new_height). Requires positive targets.
+Image ResizeBilinear(const Image& src, int new_width, int new_height);
+
+/// Pastes `src` into `dst` with its top-left corner at (x, y), clipped.
+void Paste(Image* dst, const Image& src, int x, int y);
+
+}  // namespace cbir::imaging
+
+#endif  // CBIR_IMAGING_RESIZE_H_

@@ -1,0 +1,256 @@
+#include "imaging/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+#include "imaging/noise.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cbir::imaging {
+
+namespace {
+
+// COREL-style semantic labels from the paper's examples, extended to 50.
+constexpr const char* kCategoryNames[] = {
+    "antique",   "antelope",  "aviation",  "balloon",   "botany",
+    "butterfly", "car",       "cat",       "dog",       "firework",
+    "horse",     "lizard",    "beach",     "building",  "bus",
+    "dinosaur",  "elephant",  "flower",    "food",      "mountain",
+    "waterfall", "ship",      "sunset",    "tiger",     "train",
+    "bird",      "bridge",    "castle",    "desert",    "fish",
+    "forest",    "fruit",     "glacier",   "harbor",    "island",
+    "jewelry",   "lake",      "meadow",    "orchid",    "penguin",
+    "pyramid",   "reef",      "river",     "rose",      "stadium",
+    "statue",    "tulip",     "village",   "vineyard",  "wolf",
+};
+constexpr int kNumNames = static_cast<int>(std::size(kCategoryNames));
+
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t h = seed ^ (a * 0x9E3779B97F4A7C15ull);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h ^= b * 0xC2B2AE3D27D4EB4Full;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+double WrapHue(double hue) {
+  hue = std::fmod(hue, 360.0);
+  if (hue < 0.0) hue += 360.0;
+  return hue;
+}
+
+}  // namespace
+
+SyntheticCorel::SyntheticCorel(const SyntheticCorelOptions& options)
+    : options_(options) {
+  CBIR_CHECK_GT(options_.num_categories, 0);
+  CBIR_CHECK_GT(options_.images_per_category, 0);
+  CBIR_CHECK_GT(options_.width, 7);
+  CBIR_CHECK_GT(options_.height, 7);
+  themes_.reserve(options_.num_categories);
+  for (int c = 0; c < options_.num_categories; ++c) {
+    themes_.push_back(MakeTheme(c));
+  }
+}
+
+const CategoryTheme& SyntheticCorel::theme(int category) const {
+  CBIR_CHECK_GE(category, 0);
+  CBIR_CHECK_LT(category, options_.num_categories);
+  return themes_[static_cast<size_t>(category)];
+}
+
+int SyntheticCorel::CategoryOf(int image_id) const {
+  CBIR_CHECK_GE(image_id, 0);
+  CBIR_CHECK_LT(image_id, num_images());
+  return image_id / options_.images_per_category;
+}
+
+std::string SyntheticCorel::CategoryName(int category) const {
+  CBIR_CHECK_GE(category, 0);
+  if (category < kNumNames) return kCategoryNames[category];
+  return "category-" + std::to_string(category);
+}
+
+CategoryTheme SyntheticCorel::MakeTheme(int category) const {
+  Rng rng(MixSeed(options_.seed, 0x7E37, static_cast<uint64_t>(category)));
+  CategoryTheme t;
+
+  // Quantized vocabularies force cross-category collisions on individual
+  // axes; only the combination of color+edge+texture separates categories,
+  // and imperfectly so (the intended semantic gap).
+  const int hue_family = static_cast<int>(rng.UniformInt(uint64_t{8}));
+  t.base_hue = WrapHue(hue_family * 45.0 + rng.Uniform(-14.0, 14.0));
+  t.hue_spread = rng.Uniform(8.0, 18.0);
+
+  const int sat_band = static_cast<int>(rng.UniformInt(uint64_t{3}));
+  t.sat_lo = 0.25 + 0.22 * sat_band;
+  t.sat_hi = t.sat_lo + 0.25;
+  const int val_band = static_cast<int>(rng.UniformInt(uint64_t{3}));
+  t.val_lo = 0.30 + 0.20 * val_band;
+  t.val_hi = t.val_lo + 0.30;
+
+  t.bg_kind = static_cast<int>(rng.UniformInt(uint64_t{4}));
+  t.shape_kind = static_cast<int>(rng.UniformInt(uint64_t{5}));
+  t.shape_count_lo = 1 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  t.shape_count_hi = t.shape_count_lo + 2 +
+                     static_cast<int>(rng.UniformInt(uint64_t{4}));
+  t.shape_size_lo = rng.Uniform(0.06, 0.12);
+  t.shape_size_hi = t.shape_size_lo + rng.Uniform(0.08, 0.18);
+  t.accent_hue_offset = rng.Bernoulli(0.5) ? 180.0 : rng.Uniform(60.0, 120.0);
+
+  t.noise_amp = rng.Uniform(0.03, 0.14);
+  t.noise_freq = rng.Uniform(3.0, 14.0);
+  t.noise_octaves = 1 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+
+  t.has_grating = rng.Bernoulli(0.35);
+  const double grating_freqs[] = {4.0, 8.0, 16.0, 24.0};
+  t.grating_freq = grating_freqs[rng.UniformInt(uint64_t{4})];
+  t.grating_angle = rng.Uniform(0.0, M_PI);
+  return t;
+}
+
+Image SyntheticCorel::GenerateById(int image_id) const {
+  const int c = CategoryOf(image_id);
+  return Generate(c, image_id - c * options_.images_per_category);
+}
+
+Image SyntheticCorel::Generate(int category, int index) const {
+  CBIR_CHECK_GE(index, 0);
+  CBIR_CHECK_LT(index, options_.images_per_category);
+  const CategoryTheme& t = theme(category);
+  Rng rng(MixSeed(options_.seed, static_cast<uint64_t>(category) + 1,
+                  static_cast<uint64_t>(index) + 1));
+
+  const double difficulty = options_.difficulty;
+  const bool outlier = rng.Bernoulli(options_.outlier_fraction);
+  const double jitter_scale = difficulty * (outlier ? 2.2 : 1.0);
+
+  const int w = options_.width;
+  const int h = options_.height;
+  Image img(w, h);
+
+  // --- Palette for this image ---------------------------------------------
+  const double hue =
+      WrapHue(t.base_hue + rng.Gaussian(0.0, t.hue_spread * jitter_scale));
+  const double sat =
+      std::clamp(rng.Uniform(t.sat_lo, t.sat_hi) +
+                     rng.Gaussian(0.0, 0.06 * jitter_scale),
+                 0.05, 1.0);
+  const double val =
+      std::clamp(rng.Uniform(t.val_lo, t.val_hi) +
+                     rng.Gaussian(0.0, 0.06 * jitter_scale),
+                 0.10, 1.0);
+  const Rgb bg_color = HsvToRgb(Hsv{hue, sat, val});
+  const Rgb bg_color2 = HsvToRgb(
+      Hsv{WrapHue(hue + rng.Uniform(-25.0, 25.0)),
+          std::clamp(sat * rng.Uniform(0.6, 1.0), 0.0, 1.0),
+          std::clamp(val * rng.Uniform(0.55, 0.95), 0.0, 1.0)});
+
+  // --- Background -----------------------------------------------------------
+  int bg_kind = t.bg_kind;
+  if (outlier) {
+    bg_kind = static_cast<int>(rng.UniformInt(uint64_t{4}));
+  }
+  switch (bg_kind) {
+    case 0:
+      img.Fill(bg_color);
+      break;
+    case 1:
+      FillVerticalGradient(&img, bg_color, bg_color2);
+      break;
+    case 2:
+      img.Fill(bg_color);
+      AddFbmNoise(&img, rng.Next(), t.noise_freq * 0.5, t.noise_octaves,
+                  t.noise_amp * 1.5);
+      break;
+    default:
+      FillRadialGradient(
+          &img,
+          Point{static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{w - 1})),
+                static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{h - 1}))},
+          std::max(w, h), bg_color, bg_color2);
+      break;
+  }
+
+  // --- Foreground shapes ----------------------------------------------------
+  const int count = static_cast<int>(
+      rng.UniformInt(static_cast<int64_t>(t.shape_count_lo),
+                     static_cast<int64_t>(t.shape_count_hi)));
+  const int min_dim = std::min(w, h);
+  for (int s = 0; s < count; ++s) {
+    const double size_frac = rng.Uniform(t.shape_size_lo, t.shape_size_hi);
+    const int size = std::max(2, static_cast<int>(size_frac * min_dim));
+    const Point pos{
+        static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{w - 1})),
+        static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{h - 1}))};
+    const bool use_accent = rng.Bernoulli(0.45);
+    const double shape_hue =
+        WrapHue(hue + (use_accent ? t.accent_hue_offset : 0.0) +
+                rng.Gaussian(0.0, 10.0 * jitter_scale));
+    const Rgb color = HsvToRgb(
+        Hsv{shape_hue, std::clamp(sat + rng.Uniform(-0.15, 0.15), 0.0, 1.0),
+            std::clamp(val + rng.Uniform(-0.30, 0.30), 0.05, 1.0)});
+
+    switch (t.shape_kind) {
+      case 0:
+        FillCircle(&img, pos, size / 2, color);
+        break;
+      case 1:
+        FillRect(&img, Point{pos.x - size / 2, pos.y - size / 2},
+                 Point{pos.x + size / 2, pos.y + size / 2}, color);
+        break;
+      case 2: {
+        const int r = size / 2;
+        const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+        std::vector<Point> tri;
+        for (int k = 0; k < 3; ++k) {
+          const double a = phase + k * 2.0 * M_PI / 3.0;
+          tri.push_back(Point{pos.x + static_cast<int>(r * std::cos(a)),
+                              pos.y + static_cast<int>(r * std::sin(a))});
+        }
+        FillPolygon(&img, tri, color);
+        break;
+      }
+      case 3: {
+        const int sides = 5 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+        const int r = size / 2;
+        const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+        std::vector<Point> poly;
+        for (int k = 0; k < sides; ++k) {
+          const double a = phase + k * 2.0 * M_PI / sides;
+          poly.push_back(Point{pos.x + static_cast<int>(r * std::cos(a)),
+                               pos.y + static_cast<int>(r * std::sin(a))});
+        }
+        FillPolygon(&img, poly, color);
+        break;
+      }
+      default: {
+        // Stripes: thick line across the image through `pos`.
+        const double angle = rng.Uniform(0.0, M_PI);
+        const int len = min_dim;
+        const Point p0{pos.x - static_cast<int>(len * std::cos(angle)),
+                       pos.y - static_cast<int>(len * std::sin(angle))};
+        const Point p1{pos.x + static_cast<int>(len * std::cos(angle)),
+                       pos.y + static_cast<int>(len * std::sin(angle))};
+        DrawThickLine(&img, p0, p1, std::max(1, size / 4), color);
+        break;
+      }
+    }
+  }
+
+  // --- Texture layers -------------------------------------------------------
+  if (t.has_grating) {
+    AddGrating(&img, t.grating_freq * rng.Uniform(0.85, 1.15),
+               t.grating_angle + rng.Gaussian(0.0, 0.15 * jitter_scale),
+               0.10);
+  }
+  AddFbmNoise(&img, rng.Next(), t.noise_freq, t.noise_octaves, t.noise_amp);
+  AddPixelNoise(&img, rng.Next(), 4.0);
+
+  return img;
+}
+
+}  // namespace cbir::imaging

@@ -1,0 +1,66 @@
+#include "la/matrix.h"
+
+#include "util/logging.h"
+
+namespace cbir::la {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::At(size_t r, size_t c) {
+  CBIR_CHECK_LT(r, rows_);
+  CBIR_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  CBIR_CHECK_LT(r, rows_);
+  CBIR_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::RowPtr(size_t r) {
+  CBIR_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::RowPtr(size_t r) const {
+  CBIR_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+Vec Matrix::Row(size_t r) const {
+  const double* p = RowPtr(r);
+  return Vec(p, p + cols_);
+}
+
+void Matrix::SetRow(size_t r, const Vec& v) {
+  CBIR_CHECK_EQ(v.size(), cols_);
+  double* p = RowPtr(r);
+  for (size_t c = 0; c < cols_; ++c) p[c] = v[c];
+}
+
+Vec Matrix::Multiply(const Vec& v) const {
+  CBIR_CHECK_EQ(v.size(), cols_);
+  Vec out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* p = RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += p[c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Vec Matrix::MultiplyTransposed(const Vec& v) const {
+  CBIR_CHECK_EQ(v.size(), rows_);
+  Vec out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* p = RowPtr(r);
+    const double vr = v[r];
+    for (size_t c = 0; c < cols_; ++c) out[c] += vr * p[c];
+  }
+  return out;
+}
+
+}  // namespace cbir::la

@@ -1,0 +1,56 @@
+#ifndef CBIR_LA_MATRIX_H_
+#define CBIR_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace cbir::la {
+
+/// \brief Row-major dense matrix of doubles.
+///
+/// Used for feature matrices (one row per image) and kernel Gram matrices.
+/// Deliberately minimal: the library needs storage, row views and a few
+/// products, not a full BLAS.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+
+  /// Pointer to the start of row r (contiguous `cols()` doubles).
+  double* RowPtr(size_t r);
+  const double* RowPtr(size_t r) const;
+
+  /// Copies row r into a Vec.
+  Vec Row(size_t r) const;
+
+  /// Overwrites row r. Requires v.size() == cols().
+  void SetRow(size_t r, const Vec& v);
+
+  /// Matrix-vector product (rows x cols) * (cols) -> (rows).
+  Vec Multiply(const Vec& v) const;
+
+  /// Transposed product: (cols) <- A^T * v where v has `rows()` entries.
+  Vec MultiplyTransposed(const Vec& v) const;
+
+  /// Raw storage access (row-major), used by serialization.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cbir::la
+
+#endif  // CBIR_LA_MATRIX_H_

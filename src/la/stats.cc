@@ -1,0 +1,71 @@
+#include "la/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::la {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double mu = Mean(v);
+  double sum = 0.0;
+  for (double x : v) {
+    const double d = x - mu;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double SkewnessCubeRoot(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double mu = Mean(v);
+  double sum = 0.0;
+  for (double x : v) {
+    const double d = x - mu;
+    sum += d * d * d;
+  }
+  const double m3 = sum / static_cast<double>(v.size());
+  return std::cbrt(m3);
+}
+
+double Entropy(const std::vector<double>& histogram) {
+  double total = 0.0;
+  for (double x : histogram) {
+    if (x > 0.0) total += x;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double x : histogram) {
+    if (x <= 0.0) continue;
+    const double p = x / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<double> Histogram(const std::vector<double>& v, size_t bins,
+                              double lo, double hi) {
+  CBIR_CHECK_GT(bins, 0u);
+  CBIR_CHECK_LT(lo, hi);
+  std::vector<double> hist(bins, 0.0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double x : v) {
+    long b = static_cast<long>((x - lo) * scale);
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    hist[static_cast<size_t>(b)] += 1.0;
+  }
+  return hist;
+}
+
+}  // namespace cbir::la

@@ -1,0 +1,33 @@
+#ifndef CBIR_LA_STATS_H_
+#define CBIR_LA_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cbir::la {
+
+/// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divide by n); 0 for fewer than 1 element.
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Signed cube root of the third central moment (Stricker-Orengo "skewness"
+/// used by color-moment features; shares the unit of the input).
+double SkewnessCubeRoot(const std::vector<double>& v);
+
+/// Shannon entropy (base 2) of a discrete distribution. The input is
+/// normalized internally; non-positive entries are ignored.
+double Entropy(const std::vector<double>& histogram);
+
+/// Builds a `bins`-bucket histogram of `v` over [lo, hi); values outside the
+/// range are clamped into the boundary bins.
+std::vector<double> Histogram(const std::vector<double>& v, size_t bins,
+                              double lo, double hi);
+
+}  // namespace cbir::la
+
+#endif  // CBIR_LA_STATS_H_

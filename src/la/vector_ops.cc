@@ -1,0 +1,60 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::la {
+
+double Dot(const Vec& a, const Vec& b) {
+  CBIR_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double SquaredDistance(const Vec& a, const Vec& b) {
+  CBIR_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Distance(const Vec& a, const Vec& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double alpha, const Vec& x, Vec* y) {
+  CBIR_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  CBIR_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Subtract(const Vec& a, const Vec& b) {
+  CBIR_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+void NormalizeL2(Vec* x) {
+  const double n = Norm(*x);
+  if (n > 0.0) Scale(1.0 / n, x);
+}
+
+}  // namespace cbir::la

@@ -1,0 +1,43 @@
+#ifndef CBIR_LA_VECTOR_OPS_H_
+#define CBIR_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cbir::la {
+
+/// Dense vector type used throughout the library for feature vectors and
+/// log vectors. Double precision: the SMO solver's convergence tolerance is
+/// far below float epsilon at realistic condition numbers.
+using Vec = std::vector<double>;
+
+/// Inner product <a, b>. Requires equal sizes.
+double Dot(const Vec& a, const Vec& b);
+
+/// Squared Euclidean distance ||a - b||^2. Requires equal sizes.
+double SquaredDistance(const Vec& a, const Vec& b);
+
+/// Euclidean distance ||a - b||.
+double Distance(const Vec& a, const Vec& b);
+
+/// L2 norm ||a||.
+double Norm(const Vec& a);
+
+/// In-place y += alpha * x. Requires equal sizes.
+void Axpy(double alpha, const Vec& x, Vec* y);
+
+/// In-place x *= alpha.
+void Scale(double alpha, Vec* x);
+
+/// Element-wise sum a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Element-wise difference a - b.
+Vec Subtract(const Vec& a, const Vec& b);
+
+/// Normalizes to unit L2 norm; leaves the zero vector untouched.
+void NormalizeL2(Vec* x);
+
+}  // namespace cbir::la
+
+#endif  // CBIR_LA_VECTOR_OPS_H_

@@ -1,0 +1,31 @@
+#ifndef CBIR_LOGDB_LOG_SESSION_H_
+#define CBIR_LOGDB_LOG_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cbir::logdb {
+
+/// \brief One relevance judgment inside a feedback session.
+struct LogEntry {
+  int image_id = 0;
+  /// +1 = marked relevant, -1 = marked irrelevant. Unjudged images simply
+  /// have no entry (the implicit "0" of the paper's relevance matrix).
+  int8_t judgment = 0;
+};
+
+/// \brief One unit of user-feedback log: a single relevance-feedback round.
+///
+/// Matches the paper's definition (Section 2): each round in which a user
+/// marks the returned images forms one log session, i.e. one row of the
+/// relevance matrix R.
+struct LogSession {
+  /// The query image that initiated the session (diagnostic; the learning
+  /// algorithms only consume the judgments).
+  int query_image_id = -1;
+  std::vector<LogEntry> entries;
+};
+
+}  // namespace cbir::logdb
+
+#endif  // CBIR_LOGDB_LOG_SESSION_H_

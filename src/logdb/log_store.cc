@@ -1,0 +1,81 @@
+#include "logdb/log_store.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace cbir::logdb {
+
+void LogStore::Append(LogSession session) {
+  sessions_.push_back(std::move(session));
+}
+
+RelevanceMatrix LogStore::BuildMatrix(int num_images,
+                                      int max_sessions) const {
+  RelevanceMatrix matrix(num_images);
+  int limit = max_sessions < 0 ? num_sessions()
+                               : std::min(max_sessions, num_sessions());
+  for (int s = 0; s < limit; ++s) {
+    matrix.AddSession(sessions_[static_cast<size_t>(s)]);
+  }
+  return matrix;
+}
+
+Status LogStore::SaveToFile(const std::string& path) const {
+  std::ofstream ofs(path, std::ios::trunc);
+  if (!ofs) return Status::IoError("cannot open for writing: " + path);
+  ofs << "cbir_log v1 " << sessions_.size() << "\n";
+  for (const LogSession& s : sessions_) {
+    ofs << "session " << s.query_image_id << " " << s.entries.size() << "\n";
+    for (const LogEntry& e : s.entries) {
+      ofs << e.image_id << " " << static_cast<int>(e.judgment) << "\n";
+    }
+  }
+  if (!ofs) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LogStore> LogStore::LoadFromFile(const std::string& path) {
+  std::ifstream ifs(path);
+  if (!ifs) return Status::IoError("cannot open for reading: " + path);
+  std::string magic, version;
+  size_t count = 0;
+  if (!(ifs >> magic >> version >> count) || magic != "cbir_log" ||
+      version != "v1") {
+    return Status::InvalidArgument("log store: bad header in " + path);
+  }
+  LogStore store;
+  for (size_t s = 0; s < count; ++s) {
+    std::string tag;
+    LogSession session;
+    size_t entries = 0;
+    if (!(ifs >> tag >> session.query_image_id >> entries) ||
+        tag != "session") {
+      return Status::IoError("log store: truncated session header");
+    }
+    session.entries.reserve(entries);
+    for (size_t e = 0; e < entries; ++e) {
+      int image_id = 0, judgment = 0;
+      if (!(ifs >> image_id >> judgment)) {
+        return Status::IoError("log store: truncated entry");
+      }
+      if (judgment != 1 && judgment != -1) {
+        return Status::InvalidArgument("log store: judgment must be +-1");
+      }
+      session.entries.push_back(
+          LogEntry{image_id, static_cast<int8_t>(judgment)});
+    }
+    store.Append(std::move(session));
+  }
+  return store;
+}
+
+int64_t LogStore::TotalJudgments() const {
+  int64_t total = 0;
+  for (const LogSession& s : sessions_) {
+    total += static_cast<int64_t>(s.entries.size());
+  }
+  return total;
+}
+
+}  // namespace cbir::logdb

@@ -1,0 +1,47 @@
+#ifndef CBIR_LOGDB_LOG_STORE_H_
+#define CBIR_LOGDB_LOG_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "logdb/log_session.h"
+#include "logdb/relevance_matrix.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbir::logdb {
+
+/// \brief Append-only store of user-feedback sessions with file persistence.
+///
+/// This is the "log database" of the paper: a CBIR deployment appends one
+/// session per completed feedback round and periodically rebuilds the
+/// relevance matrix consumed by the log-based learners.
+class LogStore {
+ public:
+  LogStore() = default;
+
+  void Append(LogSession session);
+
+  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+  const std::vector<LogSession>& sessions() const { return sessions_; }
+
+  /// Builds the relevance matrix over a database of `num_images` images,
+  /// optionally truncated to the first `max_sessions` sessions (-1 = all);
+  /// the truncation supports the log-volume ablation.
+  RelevanceMatrix BuildMatrix(int num_images, int max_sessions = -1) const;
+
+  /// Line-oriented text persistence:
+  ///   session <query_id> <n>
+  ///   <image_id> <judgment>   (n lines)
+  Status SaveToFile(const std::string& path) const;
+  static Result<LogStore> LoadFromFile(const std::string& path);
+
+  int64_t TotalJudgments() const;
+
+ private:
+  std::vector<LogSession> sessions_;
+};
+
+}  // namespace cbir::logdb
+
+#endif  // CBIR_LOGDB_LOG_STORE_H_

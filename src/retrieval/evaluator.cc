@@ -1,0 +1,68 @@
+#include "retrieval/evaluator.h"
+
+#include "util/logging.h"
+
+namespace cbir::retrieval {
+
+std::vector<int> PaperScopes() {
+  return {20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+double PrecisionAtN(const std::vector<int>& ranked,
+                    const std::vector<int>& categories, int query_category,
+                    int n) {
+  CBIR_CHECK_GT(n, 0);
+  CBIR_CHECK_GE(ranked.size(), static_cast<size_t>(n));
+  int relevant = 0;
+  for (int i = 0; i < n; ++i) {
+    const int id = ranked[static_cast<size_t>(i)];
+    if (categories[static_cast<size_t>(id)] == query_category) ++relevant;
+  }
+  return static_cast<double>(relevant) / n;
+}
+
+std::vector<double> PrecisionAtScopes(const std::vector<int>& ranked,
+                                      const std::vector<int>& categories,
+                                      int query_category,
+                                      const std::vector<int>& scopes) {
+  std::vector<double> out;
+  out.reserve(scopes.size());
+  for (int n : scopes) {
+    out.push_back(PrecisionAtN(ranked, categories, query_category, n));
+  }
+  return out;
+}
+
+PrecisionAccumulator::PrecisionAccumulator(std::vector<int> scopes)
+    : scopes_(std::move(scopes)), sums_(scopes_.size(), 0.0) {
+  CBIR_CHECK(!scopes_.empty());
+}
+
+void PrecisionAccumulator::Add(const std::vector<double>& precision) {
+  CBIR_CHECK_EQ(precision.size(), sums_.size());
+  for (size_t i = 0; i < sums_.size(); ++i) sums_[i] += precision[i];
+  ++count_;
+}
+
+std::vector<double> PrecisionAccumulator::MeanPrecision() const {
+  CBIR_CHECK_GT(count_, 0);
+  std::vector<double> out(sums_.size());
+  for (size_t i = 0; i < sums_.size(); ++i) {
+    out[i] = sums_[i] / count_;
+  }
+  return out;
+}
+
+double PrecisionAccumulator::MeanAveragePrecision() const {
+  const std::vector<double> mean = MeanPrecision();
+  double sum = 0.0;
+  for (double v : mean) sum += v;
+  return sum / static_cast<double>(mean.size());
+}
+
+double RelativeImprovement(double a, double b) {
+  if (b == 0.0) return 0.0;
+  return (a - b) / b;
+}
+
+}  // namespace cbir::retrieval

@@ -1,0 +1,54 @@
+#ifndef CBIR_RETRIEVAL_EVALUATOR_H_
+#define CBIR_RETRIEVAL_EVALUATOR_H_
+
+#include <vector>
+
+namespace cbir::retrieval {
+
+/// Default evaluation scopes from the paper's tables: top 20, 30, ..., 100.
+std::vector<int> PaperScopes();
+
+/// Precision at n: fraction of the first n entries of `ranked` whose
+/// category equals `query_category`. `ranked` must contain at least n ids.
+double PrecisionAtN(const std::vector<int>& ranked,
+                    const std::vector<int>& categories, int query_category,
+                    int n);
+
+/// Precision at each scope.
+std::vector<double> PrecisionAtScopes(const std::vector<int>& ranked,
+                                      const std::vector<int>& categories,
+                                      int query_category,
+                                      const std::vector<int>& scopes);
+
+/// \brief Accumulates per-query precision curves and reports their mean.
+///
+/// The paper's "MAP" is the mean over the scope list of the average
+/// precision values (i.e. the mean of the table column), not classical
+/// interpolated average precision — we follow the paper.
+class PrecisionAccumulator {
+ public:
+  explicit PrecisionAccumulator(std::vector<int> scopes);
+
+  void Add(const std::vector<double>& precision_at_scopes);
+
+  int num_queries() const { return count_; }
+  const std::vector<int>& scopes() const { return scopes_; }
+
+  /// Mean precision at each scope over all added queries.
+  std::vector<double> MeanPrecision() const;
+
+  /// Mean of MeanPrecision() entries — the paper's MAP row.
+  double MeanAveragePrecision() const;
+
+ private:
+  std::vector<int> scopes_;
+  std::vector<double> sums_;
+  int count_ = 0;
+};
+
+/// Relative improvement (a - b) / b; returns 0 when b == 0.
+double RelativeImprovement(double a, double b);
+
+}  // namespace cbir::retrieval
+
+#endif  // CBIR_RETRIEVAL_EVALUATOR_H_

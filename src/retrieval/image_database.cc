@@ -1,0 +1,115 @@
+#include "retrieval/image_database.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace cbir::retrieval {
+
+ImageDatabase::ImageDatabase(const DatabaseOptions& options)
+    : options_(options),
+      corpus_(std::make_shared<imaging::SyntheticCorel>(options.corpus)),
+      extractor_(options.feature) {}
+
+ImageDatabase ImageDatabase::Build(const DatabaseOptions& options) {
+  ImageDatabase db(options);
+  const int n = db.corpus_->num_images();
+  db.categories_.resize(static_cast<size_t>(n));
+  db.features_ = la::Matrix(static_cast<size_t>(n),
+                            static_cast<size_t>(db.extractor_.dims()));
+
+  ParallelFor(
+      static_cast<size_t>(n),
+      [&db](size_t i) {
+        const int image_id = static_cast<int>(i);
+        db.categories_[i] = db.corpus_->CategoryOf(image_id);
+        const imaging::Image img = db.corpus_->GenerateById(image_id);
+        db.features_.SetRow(i, db.extractor_.Extract(img));
+      },
+      options.num_threads);
+
+  if (options.normalize) {
+    db.normalizer_ = features::Normalizer::Fit(db.features_);
+    db.normalizer_.ApplyAll(&db.features_);
+  }
+  return db;
+}
+
+int ImageDatabase::category(int image_id) const {
+  CBIR_CHECK_GE(image_id, 0);
+  CBIR_CHECK_LT(image_id, num_images());
+  return categories_[static_cast<size_t>(image_id)];
+}
+
+la::Vec ImageDatabase::feature(int image_id) const {
+  CBIR_CHECK_GE(image_id, 0);
+  CBIR_CHECK_LT(image_id, num_images());
+  return features_.Row(static_cast<size_t>(image_id));
+}
+
+Status ImageDatabase::SaveToFile(const std::string& path) const {
+  std::ofstream ofs(path, std::ios::trunc);
+  if (!ofs) return Status::IoError("cannot open for writing: " + path);
+  ofs << "cbir_db v1\n";
+  const auto& c = options_.corpus;
+  ofs << c.num_categories << " " << c.images_per_category << " " << c.width
+      << " " << c.height << " " << c.seed << " " << c.difficulty << " "
+      << c.outlier_fraction << "\n";
+  ofs << features_.rows() << " " << features_.cols() << "\n";
+  ofs.precision(17);
+  for (size_t r = 0; r < features_.rows(); ++r) {
+    ofs << categories_[r];
+    const double* p = features_.RowPtr(r);
+    for (size_t col = 0; col < features_.cols(); ++col) ofs << " " << p[col];
+    ofs << "\n";
+  }
+  ofs << (normalizer_.fitted() ? 1 : 0) << "\n";
+  if (normalizer_.fitted()) normalizer_.Save(ofs);
+  if (!ofs) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ImageDatabase> ImageDatabase::LoadFromFile(const std::string& path) {
+  std::ifstream ifs(path);
+  if (!ifs) return Status::IoError("cannot open for reading: " + path);
+  std::string magic, version;
+  if (!(ifs >> magic >> version) || magic != "cbir_db" || version != "v1") {
+    return Status::InvalidArgument("image database: bad header in " + path);
+  }
+  DatabaseOptions options;
+  auto& c = options.corpus;
+  if (!(ifs >> c.num_categories >> c.images_per_category >> c.width >>
+        c.height >> c.seed >> c.difficulty >> c.outlier_fraction)) {
+    return Status::IoError("image database: truncated corpus options");
+  }
+  size_t rows = 0, cols = 0;
+  if (!(ifs >> rows >> cols)) {
+    return Status::IoError("image database: truncated shape");
+  }
+
+  ImageDatabase db(options);
+  db.categories_.resize(rows);
+  db.features_ = la::Matrix(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    if (!(ifs >> db.categories_[r])) {
+      return Status::IoError("image database: truncated categories");
+    }
+    double* p = db.features_.RowPtr(r);
+    for (size_t col = 0; col < cols; ++col) {
+      if (!(ifs >> p[col])) {
+        return Status::IoError("image database: truncated features");
+      }
+    }
+  }
+  int has_normalizer = 0;
+  if (!(ifs >> has_normalizer)) {
+    return Status::IoError("image database: truncated normalizer flag");
+  }
+  if (has_normalizer) {
+    CBIR_ASSIGN_OR_RETURN(db.normalizer_, features::Normalizer::Load(ifs));
+  }
+  return db;
+}
+
+}  // namespace cbir::retrieval

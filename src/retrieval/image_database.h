@@ -1,0 +1,80 @@
+#ifndef CBIR_RETRIEVAL_IMAGE_DATABASE_H_
+#define CBIR_RETRIEVAL_IMAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/extractor.h"
+#include "features/normalizer.h"
+#include "imaging/synthetic.h"
+#include "la/matrix.h"
+#include "util/result.h"
+
+namespace cbir::retrieval {
+
+/// \brief Options for building a feature database from the synthetic corpus.
+struct DatabaseOptions {
+  imaging::SyntheticCorelOptions corpus;
+  features::FeatureOptions feature;
+  /// Fit and apply per-dimension z-score normalization over the corpus.
+  bool normalize = true;
+  /// Worker threads for feature extraction (0 = hardware concurrency).
+  int num_threads = 0;
+};
+
+/// \brief An indexed image corpus: ground-truth categories plus the
+/// (normalized) 36-dim feature matrix, one row per image.
+///
+/// The database owns the corpus generator so callers can re-render any image
+/// (the gallery example does). Building is deterministic in the corpus seed.
+class ImageDatabase {
+ public:
+  /// Generates all images and extracts features (parallelized).
+  static ImageDatabase Build(const DatabaseOptions& options);
+
+  int num_images() const { return static_cast<int>(features_.rows()); }
+  int num_categories() const { return options_.corpus.num_categories; }
+
+  /// Ground-truth category of an image.
+  int category(int image_id) const;
+  const std::vector<int>& categories() const { return categories_; }
+
+  /// COREL-style category label.
+  std::string category_name(int category) const {
+    return corpus_->CategoryName(category);
+  }
+
+  /// Normalized feature matrix (num_images x dims).
+  const la::Matrix& features() const { return features_; }
+  la::Vec feature(int image_id) const;
+
+  const features::Normalizer& normalizer() const { return normalizer_; }
+  const features::FeatureExtractor& extractor() const { return extractor_; }
+  const imaging::SyntheticCorel& corpus() const { return *corpus_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Re-renders an image (identical to the one whose features are stored).
+  imaging::Image RenderImage(int image_id) const {
+    return corpus_->GenerateById(image_id);
+  }
+
+  /// Text serialization of categories + features + normalizer (images are
+  /// re-renderable from the corpus options, so pixels are never stored).
+  Status SaveToFile(const std::string& path) const;
+  static Result<ImageDatabase> LoadFromFile(const std::string& path);
+
+ private:
+  ImageDatabase(const DatabaseOptions& options);
+
+  DatabaseOptions options_;
+  std::shared_ptr<const imaging::SyntheticCorel> corpus_;
+  features::FeatureExtractor extractor_;
+  features::Normalizer normalizer_;
+  std::vector<int> categories_;
+  la::Matrix features_;
+};
+
+}  // namespace cbir::retrieval
+
+#endif  // CBIR_RETRIEVAL_IMAGE_DATABASE_H_

@@ -1,0 +1,74 @@
+#include "retrieval/ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace cbir::retrieval {
+
+std::vector<double> AllSquaredDistances(const la::Matrix& features,
+                                        const la::Vec& query) {
+  CBIR_CHECK_EQ(features.cols(), query.size());
+  std::vector<double> out(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const double* p = features.RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < query.size(); ++c) {
+      const double d = p[c] - query[c];
+      sum += d * d;
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<int> RankByEuclidean(const la::Matrix& features,
+                                 const la::Vec& query, int k) {
+  const std::vector<double> dist = AllSquaredDistances(features, query);
+  std::vector<int> order(features.rows());
+  std::iota(order.begin(), order.end(), 0);
+  auto cmp = [&dist](int a, int b) {
+    const double da = dist[static_cast<size_t>(a)];
+    const double db = dist[static_cast<size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;
+  };
+  if (k > 0 && static_cast<size_t>(k) < order.size()) {
+    std::partial_sort(order.begin(), order.begin() + k, order.end(), cmp);
+    order.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(order.begin(), order.end(), cmp);
+  }
+  return order;
+}
+
+std::vector<int> RankByScoreDesc(const std::vector<double>& scores,
+                                 const std::vector<double>& tiebreak_distances,
+                                 int k) {
+  CBIR_CHECK(tiebreak_distances.empty() ||
+             tiebreak_distances.size() == scores.size());
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const bool has_tiebreak = !tiebreak_distances.empty();
+  auto cmp = [&](int a, int b) {
+    const double sa = scores[static_cast<size_t>(a)];
+    const double sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa > sb;
+    if (has_tiebreak) {
+      const double da = tiebreak_distances[static_cast<size_t>(a)];
+      const double db = tiebreak_distances[static_cast<size_t>(b)];
+      if (da != db) return da < db;
+    }
+    return a < b;
+  };
+  if (k > 0 && static_cast<size_t>(k) < order.size()) {
+    std::partial_sort(order.begin(), order.begin() + k, order.end(), cmp);
+    order.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(order.begin(), order.end(), cmp);
+  }
+  return order;
+}
+
+}  // namespace cbir::retrieval

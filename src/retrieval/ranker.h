@@ -1,0 +1,31 @@
+#ifndef CBIR_RETRIEVAL_RANKER_H_
+#define CBIR_RETRIEVAL_RANKER_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+
+namespace cbir::retrieval {
+
+/// Ranks database rows by ascending Euclidean distance to `query`.
+/// Ties break on smaller index for determinism. When `k > 0`, only the top-k
+/// indices are returned (partial sort).
+std::vector<int> RankByEuclidean(const la::Matrix& features,
+                                 const la::Vec& query, int k = -1);
+
+/// Ranks indices by descending score. `tiebreak_distances` (optional, may be
+/// empty) breaks score ties by ascending distance, then by index; schemes use
+/// the query distance so degenerate constant-score models fall back to
+/// Euclidean order instead of input order.
+std::vector<int> RankByScoreDesc(const std::vector<double>& scores,
+                                 const std::vector<double>& tiebreak_distances,
+                                 int k = -1);
+
+/// Squared Euclidean distances from every row of `features` to `query`.
+std::vector<double> AllSquaredDistances(const la::Matrix& features,
+                                        const la::Vec& query);
+
+}  // namespace cbir::retrieval
+
+#endif  // CBIR_RETRIEVAL_RANKER_H_

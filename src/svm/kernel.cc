@@ -1,0 +1,103 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cbir::svm {
+
+const char* KernelTypeToString(KernelType type) {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kRbf:
+      return "rbf";
+    case KernelType::kPolynomial:
+      return "polynomial";
+  }
+  return "?";
+}
+
+std::string KernelParams::ToString() const {
+  std::string out = KernelTypeToString(type);
+  switch (type) {
+    case KernelType::kLinear:
+      break;
+    case KernelType::kRbf:
+      out += "(gamma=" + FormatDouble(gamma, 6) + ")";
+      break;
+    case KernelType::kPolynomial:
+      out += "(gamma=" + FormatDouble(gamma, 6) +
+             ", coef0=" + FormatDouble(coef0, 6) +
+             ", degree=" + std::to_string(degree) + ")";
+      break;
+  }
+  return out;
+}
+
+double EvalKernel(const KernelParams& params, const la::Vec& a,
+                  const la::Vec& b) {
+  switch (params.type) {
+    case KernelType::kLinear:
+      return la::Dot(a, b);
+    case KernelType::kRbf:
+      return std::exp(-params.gamma * la::SquaredDistance(a, b));
+    case KernelType::kPolynomial: {
+      double base = params.gamma * la::Dot(a, b) + params.coef0;
+      double out = 1.0;
+      for (int d = 0; d < params.degree; ++d) out *= base;
+      return out;
+    }
+  }
+  CBIR_LOG(Fatal) << "unreachable kernel type";
+  return 0.0;
+}
+
+double EvalKernelRow(const KernelParams& params, const la::Matrix& rows,
+                     size_t i, const la::Vec& b) {
+  CBIR_CHECK_EQ(rows.cols(), b.size());
+  const double* p = rows.RowPtr(i);
+  switch (params.type) {
+    case KernelType::kLinear: {
+      double sum = 0.0;
+      for (size_t c = 0; c < b.size(); ++c) sum += p[c] * b[c];
+      return sum;
+    }
+    case KernelType::kRbf: {
+      double sum = 0.0;
+      for (size_t c = 0; c < b.size(); ++c) {
+        const double d = p[c] - b[c];
+        sum += d * d;
+      }
+      return std::exp(-params.gamma * sum);
+    }
+    case KernelType::kPolynomial: {
+      double dot = 0.0;
+      for (size_t c = 0; c < b.size(); ++c) dot += p[c] * b[c];
+      double base = params.gamma * dot + params.coef0;
+      double out = 1.0;
+      for (int d = 0; d < params.degree; ++d) out *= base;
+      return out;
+    }
+  }
+  CBIR_LOG(Fatal) << "unreachable kernel type";
+  return 0.0;
+}
+
+double DefaultGamma(const la::Matrix& data) {
+  CBIR_CHECK(!data.empty());
+  const size_t n = data.rows() * data.cols();
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : data.data()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  const double denom = static_cast<double>(data.cols()) *
+                       (var > 1e-12 ? var : 1.0);
+  return 1.0 / denom;
+}
+
+}  // namespace cbir::svm

@@ -1,0 +1,52 @@
+#include "svm/kernel_cache.h"
+
+#include "util/logging.h"
+
+namespace cbir::svm {
+
+KernelCache::KernelCache(const la::Matrix& data, const KernelParams& params,
+                         size_t max_rows)
+    : data_(data), params_(params), n_(data.rows()), max_rows_(max_rows) {
+  CBIR_CHECK_GT(n_, 0u);
+  diag_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    diag_[i] = EvalKernelRow(params_, data_, i, data_.Row(i));
+  }
+}
+
+void KernelCache::ComputeRow(size_t i, std::vector<double>* out) const {
+  out->resize(n_);
+  const la::Vec xi = data_.Row(i);
+  for (size_t t = 0; t < n_; ++t) {
+    (*out)[t] = EvalKernelRow(params_, data_, t, xi);
+  }
+}
+
+const std::vector<double>& KernelCache::GetRow(size_t i) {
+  CBIR_CHECK_LT(i, n_);
+  auto it = rows_.find(i);
+  if (it != rows_.end()) {
+    ++hits_;
+    lru_.erase(it->second.second);
+    lru_.push_front(i);
+    it->second.second = lru_.begin();
+    return it->second.first;
+  }
+  ++misses_;
+  if (max_rows_ > 0) {
+    while (rows_.size() >= max_rows_ && !lru_.empty()) {
+      const size_t victim = lru_.back();
+      lru_.pop_back();
+      rows_.erase(victim);
+    }
+  }
+  std::vector<double> row;
+  ComputeRow(i, &row);
+  lru_.push_front(i);
+  auto [ins, ok] =
+      rows_.emplace(i, std::make_pair(std::move(row), lru_.begin()));
+  CBIR_CHECK(ok);
+  return ins->second.first;
+}
+
+}  // namespace cbir::svm

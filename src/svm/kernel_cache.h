@@ -1,0 +1,57 @@
+#ifndef CBIR_SVM_KERNEL_CACHE_H_
+#define CBIR_SVM_KERNEL_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.h"
+#include "svm/kernel.h"
+
+namespace cbir::svm {
+
+/// \brief Lazily computed, LRU-evicted kernel matrix rows.
+///
+/// The SMO solver touches kernel rows i and j each iteration; training sets
+/// in relevance feedback are small (tens of samples) so rows usually all fit,
+/// but the cache keeps memory bounded for the large-n micro-benchmarks.
+class KernelCache {
+ public:
+  /// `data` must outlive the cache. `max_rows` bounds resident rows
+  /// (0 = unlimited).
+  KernelCache(const la::Matrix& data, const KernelParams& params,
+              size_t max_rows = 0);
+
+  size_t n() const { return n_; }
+
+  /// Returns kernel row i (K(x_i, x_t) for all t); the reference is valid
+  /// until the next GetRow call.
+  const std::vector<double>& GetRow(size_t i);
+
+  /// Diagonal entry K(x_i, x_i), precomputed for all i.
+  double Diag(size_t i) const { return diag_[i]; }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  void ComputeRow(size_t i, std::vector<double>* out) const;
+
+  const la::Matrix& data_;
+  KernelParams params_;
+  size_t n_;
+  size_t max_rows_;
+
+  std::unordered_map<size_t, std::pair<std::vector<double>,
+                                       std::list<size_t>::iterator>>
+      rows_;
+  std::list<size_t> lru_;  // front = most recent
+  std::vector<double> diag_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace cbir::svm
+
+#endif  // CBIR_SVM_KERNEL_CACHE_H_

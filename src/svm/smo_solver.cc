@@ -1,0 +1,223 @@
+#include "svm/smo_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "svm/kernel_cache.h"
+#include "util/logging.h"
+
+namespace cbir::svm {
+
+namespace {
+constexpr double kTau = 1e-12;
+}  // namespace
+
+SmoSolver::SmoSolver(const la::Matrix& data, std::vector<double> labels,
+                     std::vector<double> c_bounds, const KernelParams& kernel,
+                     const SmoOptions& options)
+    : data_(data),
+      y_(std::move(labels)),
+      c_(std::move(c_bounds)),
+      kernel_params_(kernel),
+      options_(options),
+      n_(data.rows()),
+      cache_(data, kernel, options.cache_rows) {
+  CBIR_CHECK_EQ(y_.size(), n_);
+  CBIR_CHECK_EQ(c_.size(), n_);
+}
+
+bool SmoSolver::SelectWorkingSet(size_t* out_i, size_t* out_j) {
+  // i: maximize -y_t * grad_t over I_up.
+  double gmax = -std::numeric_limits<double>::infinity();
+  double gmin = std::numeric_limits<double>::infinity();
+  size_t i = n_;
+  for (size_t t = 0; t < n_; ++t) {
+    const bool in_up = (y_[t] > 0 && !IsUpperBound(t)) ||
+                       (y_[t] < 0 && !IsLowerBound(t));
+    if (in_up) {
+      const double v = -y_[t] * grad_[t];
+      if (v > gmax) {
+        gmax = v;
+        i = t;
+      }
+    }
+  }
+  if (i == n_) return false;
+
+  const std::vector<double>& Ki = cache_.GetRow(i);
+
+  // j: second-order selection among violating I_low members.
+  size_t j = n_;
+  double best_gain = std::numeric_limits<double>::infinity();  // minimize
+  for (size_t t = 0; t < n_; ++t) {
+    const bool in_low = (y_[t] > 0 && !IsLowerBound(t)) ||
+                        (y_[t] < 0 && !IsUpperBound(t));
+    if (!in_low) continue;
+    const double v = -y_[t] * grad_[t];
+    gmin = std::min(gmin, v);
+    const double b_it = gmax - v;
+    if (b_it <= 0.0) continue;  // not violating against i
+    // Curvature along the feasible pair direction; the label signs cancel,
+    // leaving ||phi(x_i) - phi(x_t)||^2 >= 0 for any Mercer kernel.
+    double a_it = cache_.Diag(i) + cache_.Diag(t) - 2.0 * Ki[t];
+    if (a_it <= 0.0) a_it = kTau;
+    const double gain = -(b_it * b_it) / a_it;
+    if (gain < best_gain) {
+      best_gain = gain;
+      j = t;
+    }
+  }
+
+  if (j == n_ || gmax - gmin < options_.eps) return false;
+  *out_i = i;
+  *out_j = j;
+  return true;
+}
+
+Result<SmoSolution> SmoSolver::Solve() {
+  if (n_ == 0) return Status::InvalidArgument("SMO: empty training set");
+  for (size_t t = 0; t < n_; ++t) {
+    if (y_[t] != 1.0 && y_[t] != -1.0) {
+      return Status::InvalidArgument("SMO: labels must be +1 or -1");
+    }
+    if (c_[t] <= 0.0) {
+      return Status::InvalidArgument("SMO: non-positive C bound");
+    }
+  }
+
+  alpha_.assign(n_, 0.0);
+  grad_.assign(n_, -1.0);  // Q*0 - e
+
+  const long max_iter =
+      options_.max_iterations > 0
+          ? options_.max_iterations
+          : std::max<long>(10'000'000, 100 * static_cast<long>(n_));
+
+  SmoSolution sol;
+  long iter = 0;
+  while (iter < max_iter) {
+    size_t i, j;
+    if (!SelectWorkingSet(&i, &j)) {
+      sol.converged = true;
+      break;
+    }
+    ++iter;
+
+    const std::vector<double> Ki = cache_.GetRow(i);  // copy: j fetch may evict
+    const std::vector<double>& Kj = cache_.GetRow(j);
+
+    const double yi = y_[i], yj = y_[j];
+    double a_ij = cache_.Diag(i) + cache_.Diag(j) - 2.0 * Ki[j];
+    if (a_ij <= 0.0) a_ij = kTau;
+
+    const double old_ai = alpha_[i];
+    const double old_aj = alpha_[j];
+
+    // Newton step along the feasible direction (LIBSVM update form).
+    if (yi != yj) {
+      const double delta = (-grad_[i] - grad_[j]) / a_ij;
+      double diff = alpha_[i] - alpha_[j];
+      alpha_[i] += delta;
+      alpha_[j] += delta;
+      if (diff > 0.0 && alpha_[j] < 0.0) {
+        alpha_[j] = 0.0;
+        alpha_[i] = diff;
+      } else if (diff <= 0.0 && alpha_[i] < 0.0) {
+        alpha_[i] = 0.0;
+        alpha_[j] = -diff;
+      }
+      if (diff > c_[i] - c_[j] && alpha_[i] > c_[i]) {
+        alpha_[i] = c_[i];
+        alpha_[j] = c_[i] - diff;
+      } else if (diff <= c_[i] - c_[j] && alpha_[j] > c_[j]) {
+        alpha_[j] = c_[j];
+        alpha_[i] = c_[j] + diff;
+      }
+    } else {
+      const double delta = (grad_[i] - grad_[j]) / a_ij;
+      double sum = alpha_[i] + alpha_[j];
+      alpha_[i] -= delta;
+      alpha_[j] += delta;
+      if (sum > c_[i] && alpha_[i] > c_[i]) {
+        alpha_[i] = c_[i];
+        alpha_[j] = sum - c_[i];
+      } else if (sum <= c_[i] && alpha_[j] < 0.0) {
+        alpha_[j] = 0.0;
+        alpha_[i] = sum;
+      }
+      if (sum > c_[j] && alpha_[j] > c_[j]) {
+        alpha_[j] = c_[j];
+        alpha_[i] = sum - c_[j];
+      } else if (sum <= c_[j] && alpha_[i] < 0.0) {
+        alpha_[i] = 0.0;
+        alpha_[j] = sum;
+      }
+    }
+
+    // Gradient maintenance: grad_t += Q_ti * dAi + Q_tj * dAj.
+    const double d_ai = alpha_[i] - old_ai;
+    const double d_aj = alpha_[j] - old_aj;
+    if (d_ai == 0.0 && d_aj == 0.0) {
+      // Numerically stuck pair; treat as converged to avoid spinning.
+      sol.converged = true;
+      break;
+    }
+    for (size_t t = 0; t < n_; ++t) {
+      grad_[t] += y_[t] * (yi * Ki[t] * d_ai + yj * Kj[t] * d_aj);
+    }
+  }
+
+  sol.alpha = alpha_;
+  sol.bias = ComputeBias();
+  sol.objective = ComputeObjective();
+  sol.iterations = iter;
+  if (iter >= max_iter) {
+    CBIR_LOG(Warning) << "SMO hit iteration cap (" << max_iter << ")";
+  }
+  return sol;
+}
+
+double SmoSolver::ComputeBias() const {
+  // For free SVs, y_i f(x_i) = 1 => b = y_i - (Qa)_i * y_i ... expressed via
+  // grad: (Qa)_i = grad_i + 1, and f(x_i) - b = y_i * (grad_i + 1) ... use
+  // the LIBSVM identity: for free i, b = -y_i * grad_i ... derived from
+  // y_i f(x_i) = 1 with f(x_i) = sum_t a_t y_t K_ti + b and
+  // grad_i = y_i * (f(x_i) - b) - 1.
+  double sum = 0.0;
+  int free_count = 0;
+  for (size_t t = 0; t < n_; ++t) {
+    if (!IsLowerBound(t) && !IsUpperBound(t)) {
+      sum += -y_[t] * grad_[t];
+      ++free_count;
+    }
+  }
+  if (free_count > 0) return sum / free_count;
+
+  // No free SVs: midpoint of the feasible interval.
+  double ub = std::numeric_limits<double>::infinity();
+  double lb = -std::numeric_limits<double>::infinity();
+  for (size_t t = 0; t < n_; ++t) {
+    const double v = -y_[t] * grad_[t];
+    const bool in_up = (y_[t] > 0 && !IsUpperBound(t)) ||
+                       (y_[t] < 0 && !IsLowerBound(t));
+    const bool in_low = (y_[t] > 0 && !IsLowerBound(t)) ||
+                        (y_[t] < 0 && !IsUpperBound(t));
+    if (in_up) lb = std::max(lb, v);
+    if (in_low) ub = std::min(ub, v);
+  }
+  if (std::isinf(ub) && std::isinf(lb)) return 0.0;
+  if (std::isinf(ub)) return lb;
+  if (std::isinf(lb)) return ub;
+  return (ub + lb) / 2.0;
+}
+
+double SmoSolver::ComputeObjective() const {
+  double obj = 0.0;
+  for (size_t t = 0; t < n_; ++t) {
+    obj += alpha_[t] * (grad_[t] - 1.0);
+  }
+  return obj / 2.0;
+}
+
+}  // namespace cbir::svm

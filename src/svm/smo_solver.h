@@ -1,0 +1,82 @@
+#ifndef CBIR_SVM_SMO_SOLVER_H_
+#define CBIR_SVM_SMO_SOLVER_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "svm/kernel.h"
+#include "svm/kernel_cache.h"
+#include "util/result.h"
+
+namespace cbir::svm {
+
+/// \brief Configuration for one dual QP solve.
+struct SmoOptions {
+  /// KKT violation tolerance (LIBSVM's epsilon).
+  double eps = 1e-3;
+  /// Hard iteration cap; <= 0 selects max(10'000'000, 100 * n).
+  long max_iterations = -1;
+  /// Kernel-cache row budget (0 = unlimited).
+  size_t cache_rows = 0;
+};
+
+/// \brief Output of the SMO solver.
+struct SmoSolution {
+  std::vector<double> alpha;  ///< dual variables, 0 <= alpha_i <= C_i
+  double bias = 0.0;          ///< b in f(x) = sum alpha_i y_i K(x_i,x) + b
+  double objective = 0.0;     ///< dual objective 0.5 a'Qa - e'a
+  long iterations = 0;
+  bool converged = false;     ///< false when the iteration cap was hit
+};
+
+/// \brief Sequential Minimal Optimization for the C-SVC dual with
+/// **per-sample box constraints**:
+///
+///   min_a  0.5 a'Qa - e'a
+///   s.t.   y'a = 0,  0 <= a_i <= C_i,
+///
+/// where Q_ij = y_i y_j K(x_i, x_j). Per-sample C is the LIBSVM modification
+/// the paper needs: the coupled SVM gives labeled samples bound C and
+/// unlabeled (transductively labeled) samples bound rho*C.
+///
+/// Working-set selection is LIBSVM's second-order heuristic (WSS2): i is the
+/// maximal violating index in I_up, j minimizes the quadratic gain estimate
+/// among violating indices in I_low.
+class SmoSolver {
+ public:
+  /// `data` rows are training vectors; `labels` in {+1,-1}; `c_bounds` gives
+  /// each sample's upper bound (> 0). All sizes must agree.
+  SmoSolver(const la::Matrix& data, std::vector<double> labels,
+            std::vector<double> c_bounds, const KernelParams& kernel,
+            const SmoOptions& options = {});
+
+  /// Runs the optimization. Returns an error for degenerate inputs (e.g.
+  /// single-class data is allowed and yields all-alpha-at-bound solutions,
+  /// but empty data is not).
+  Result<SmoSolution> Solve();
+
+ private:
+  bool IsUpperBound(size_t i) const { return alpha_[i] >= c_[i] - 1e-12; }
+  bool IsLowerBound(size_t i) const { return alpha_[i] <= 1e-12; }
+
+  /// Selects the (i, j) working pair; returns false at eps-optimality.
+  bool SelectWorkingSet(size_t* out_i, size_t* out_j);
+
+  double ComputeBias() const;
+  double ComputeObjective() const;
+
+  const la::Matrix& data_;
+  std::vector<double> y_;
+  std::vector<double> c_;
+  KernelParams kernel_params_;
+  SmoOptions options_;
+  size_t n_;
+
+  KernelCache cache_;
+  std::vector<double> alpha_;
+  std::vector<double> grad_;  ///< grad_i = (Qa)_i - 1
+};
+
+}  // namespace cbir::svm
+
+#endif  // CBIR_SVM_SMO_SOLVER_H_

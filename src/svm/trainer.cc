@@ -1,0 +1,67 @@
+#include "svm/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cbir::svm {
+
+SvmTrainer::SvmTrainer(const TrainOptions& options) : options_(options) {
+  CBIR_CHECK_GT(options_.c, 0.0);
+}
+
+Result<TrainOutput> SvmTrainer::Train(const la::Matrix& data,
+                                      const std::vector<double>& labels) const {
+  return TrainWeighted(data, labels,
+                       std::vector<double>(labels.size(), options_.c));
+}
+
+Result<TrainOutput> SvmTrainer::TrainWeighted(
+    const la::Matrix& data, const std::vector<double>& labels,
+    const std::vector<double>& c_bounds) const {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  if (labels.size() != data.rows() || c_bounds.size() != data.rows()) {
+    return Status::InvalidArgument("labels/c_bounds size mismatch");
+  }
+
+  SmoSolver solver(data, labels, c_bounds, options_.kernel, options_.smo);
+  CBIR_ASSIGN_OR_RETURN(SmoSolution sol, solver.Solve());
+
+  // Collect support vectors (alpha > 0).
+  constexpr double kSvEps = 1e-12;
+  size_t num_sv = 0;
+  for (double a : sol.alpha) {
+    if (a > kSvEps) ++num_sv;
+  }
+  la::Matrix sv(num_sv, data.cols());
+  std::vector<double> coeffs(num_sv);
+  size_t s = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (sol.alpha[i] > kSvEps) {
+      sv.SetRow(s, data.Row(i));
+      coeffs[s] = sol.alpha[i] * labels[i];
+      ++s;
+    }
+  }
+
+  TrainOutput out;
+  out.model = SvmModel(options_.kernel, std::move(sv), std::move(coeffs),
+                       sol.bias);
+  out.objective = sol.objective;
+  out.iterations = sol.iterations;
+  out.converged = sol.converged;
+
+  out.train_decisions.resize(data.rows());
+  out.slacks.resize(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double f = out.model.Decision(data.Row(i));
+    out.train_decisions[i] = f;
+    out.slacks[i] = std::max(0.0, 1.0 - labels[i] * f);
+  }
+  return out;
+}
+
+}  // namespace cbir::svm

@@ -1,0 +1,58 @@
+#ifndef CBIR_SVM_TRAINER_H_
+#define CBIR_SVM_TRAINER_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "svm/model.h"
+#include "svm/smo_solver.h"
+#include "util/result.h"
+
+namespace cbir::svm {
+
+/// \brief Training configuration.
+struct TrainOptions {
+  KernelParams kernel = KernelParams::Rbf(1.0);
+  /// Default per-sample bound; overridden sample-by-sample via
+  /// TrainWeighted's `c_bounds`.
+  double c = 1.0;
+  SmoOptions smo;
+};
+
+/// \brief A trained model plus per-sample training diagnostics.
+struct TrainOutput {
+  SvmModel model;
+  /// Decision values f(x_i) on the training set, in input order.
+  std::vector<double> train_decisions;
+  /// Hinge slacks xi_i = max(0, 1 - y_i f(x_i)), in input order. The
+  /// coupled-SVM label-correction step reads these.
+  std::vector<double> slacks;
+  double objective = 0.0;
+  long iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Trains binary C-SVC models with optional per-sample C bounds.
+class SvmTrainer {
+ public:
+  explicit SvmTrainer(const TrainOptions& options = {});
+
+  const TrainOptions& options() const { return options_; }
+
+  /// Uniform-C training. `labels` in {+1, -1}; one row of `data` per sample.
+  Result<TrainOutput> Train(const la::Matrix& data,
+                            const std::vector<double>& labels) const;
+
+  /// Per-sample-C training: the coupled SVM passes bound C for labeled and
+  /// rho*C for unlabeled samples.
+  Result<TrainOutput> TrainWeighted(const la::Matrix& data,
+                                    const std::vector<double>& labels,
+                                    const std::vector<double>& c_bounds) const;
+
+ private:
+  TrainOptions options_;
+};
+
+}  // namespace cbir::svm
+
+#endif  // CBIR_SVM_TRAINER_H_

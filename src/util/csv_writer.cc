@@ -1,0 +1,72 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace cbir {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string EscapeField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CBIR_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  CBIR_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  AddRow(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream ofs(path, std::ios::trunc);
+  if (!ofs) return Status::IoError("cannot open for writing: " + path);
+  ofs << ToString();
+  if (!ofs) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace cbir

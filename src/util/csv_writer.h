@@ -1,0 +1,38 @@
+#ifndef CBIR_UTIL_CSV_WRITER_H_
+#define CBIR_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cbir {
+
+/// \brief Writes simple CSV files (figure series for external plotting).
+///
+/// Values containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// Serializes the accumulated rows.
+  std::string ToString() const;
+
+  /// Writes to `path`, overwriting any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_CSV_WRITER_H_

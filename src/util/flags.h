@@ -1,0 +1,52 @@
+#ifndef CBIR_UTIL_FLAGS_H_
+#define CBIR_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbir {
+
+/// \brief Minimal `--key=value` command-line parser for the examples and
+/// the experiment driver tool.
+///
+/// Accepted forms: `--key=value`, `--key value`, and bare `--flag`
+/// (stored as "true"). Anything not starting with `--` is a positional
+/// argument.
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]). Fails on malformed arguments like
+  /// a trailing `--key` with no value when `=` is absent and it is the
+  /// last token... (bare flags are allowed; the ambiguity resolves in
+  /// favor of the bare-flag reading).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with defaults; type-mismatch returns the default and
+  /// the Get*Strict variants return errors.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int GetInt(const std::string& key, int fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  Result<int> GetIntStrict(const std::string& key) const;
+  Result<double> GetDoubleStrict(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All parsed keys (for --help style listings and unknown-flag checks).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_FLAGS_H_

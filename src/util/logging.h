@@ -1,0 +1,96 @@
+#ifndef CBIR_UTIL_LOGGING_H_
+#define CBIR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cbir {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Process-wide log configuration.
+///
+/// The default threshold is kWarning so library internals stay quiet in tests
+/// and benchmarks; examples raise it to kInfo explicitly.
+class LogConfig {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define CBIR_LOG_INTERNAL(level) \
+  ::cbir::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define CBIR_LOG(severity) CBIR_LOG_INTERNAL(::cbir::LogLevel::k##severity)
+
+/// Fatal assertion; always enabled (including release builds).
+#define CBIR_CHECK(condition)                                  \
+  (condition) ? static_cast<void>(0)                           \
+              : ::cbir::internal::LogFatalVoidify() &          \
+                    CBIR_LOG_INTERNAL(::cbir::LogLevel::kFatal) \
+                        << "Check failed: " #condition " "
+
+#define CBIR_CHECK_OK(expr)                                      \
+  do {                                                           \
+    ::cbir::Status _s = (expr);                                  \
+    CBIR_CHECK(_s.ok()) << _s.ToString();                        \
+  } while (false)
+
+#define CBIR_CHECK_EQ(a, b) CBIR_CHECK((a) == (b))
+#define CBIR_CHECK_NE(a, b) CBIR_CHECK((a) != (b))
+#define CBIR_CHECK_LT(a, b) CBIR_CHECK((a) < (b))
+#define CBIR_CHECK_LE(a, b) CBIR_CHECK((a) <= (b))
+#define CBIR_CHECK_GT(a, b) CBIR_CHECK((a) > (b))
+#define CBIR_CHECK_GE(a, b) CBIR_CHECK((a) >= (b))
+
+namespace internal {
+
+/// Helper so CBIR_CHECK can be used as a statement with streaming.
+struct LogFatalVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cbir {
+
+int EffectiveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 int num_threads) {
+  if (n == 0) return;
+  int workers = std::min<int>(EffectiveThreadCount(num_threads),
+                              static_cast<int>(n));
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunking keeps load balanced when per-item cost varies (e.g. the
+  // coupled-SVM query loop where AO iteration counts differ per query).
+  std::atomic<size_t> next{0};
+  const size_t chunk = std::max<size_t>(1, n / (8 * workers));
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&] {
+      while (true) {
+        size_t begin = next.fetch_add(chunk);
+        if (begin >= n) break;
+        size_t end = std::min(n, begin + chunk);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace cbir

@@ -1,0 +1,23 @@
+#ifndef CBIR_UTIL_PARALLEL_H_
+#define CBIR_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cbir {
+
+/// \brief Runs `fn(i)` for every i in [0, n) across up to `num_threads`
+/// worker threads (0 = hardware concurrency).
+///
+/// Iterations are distributed in contiguous blocks; `fn` must be safe to call
+/// concurrently for distinct indices. Determinism is the caller's job: seed
+/// any per-iteration RNG from the index, never from shared mutable state.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 int num_threads = 0);
+
+/// \brief Returns the effective worker count ParallelFor would use.
+int EffectiveThreadCount(int requested);
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_PARALLEL_H_

@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace cbir {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  CBIR_CHECK_GT(n, 0u);
+  // Rejection sampling for an unbiased result.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return x % n;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CBIR_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double z0 = mag * std::cos(2.0 * M_PI * u2);
+  const double z1 = mag * std::sin(2.0 * M_PI * u2);
+  cached_gaussian_ = z1;
+  has_cached_gaussian_ = true;
+  return z0;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  Shuffle(&all);
+  if (k < n) all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA3C59AC2F1EB4D5Full); }
+
+}  // namespace cbir

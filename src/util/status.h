@@ -1,0 +1,98 @@
+#ifndef CBIR_UTIL_STATUS_H_
+#define CBIR_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cbir {
+
+/// \brief Canonical error categories used across the library.
+///
+/// Mirrors the Arrow/RocksDB convention: library functions that can fail
+/// return a Status (or Result<T>) instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kNotImplemented = 6,
+  kFailedPrecondition = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation). Typical usage:
+///
+/// \code
+///   Status s = DoWork();
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define CBIR_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::cbir::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef CBIR_UTIL_STOPWATCH_H_
+#define CBIR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cbir {
+
+/// \brief Monotonic wall-clock stopwatch used by benches and diagnostics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_STOPWATCH_H_

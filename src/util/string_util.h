@@ -1,0 +1,30 @@
+#ifndef CBIR_UTIL_STRING_UTIL_H_
+#define CBIR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbir {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view input);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Fixed-precision float formatting (e.g. FormatDouble(0.4237, 3) == "0.424").
+std::string FormatDouble(double value, int precision);
+
+/// Renders a signed percentage with one decimal, e.g. "+42.4%".
+std::string FormatPercent(double fraction);
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_STRING_UTIL_H_

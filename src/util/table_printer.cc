@@ -1,0 +1,67 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cbir {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CBIR_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CBIR_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  auto print_separator = [&] {
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+  };
+
+  print_line(header_);
+  print_separator();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_separator();
+    } else {
+      print_line(row.cells);
+    }
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace cbir

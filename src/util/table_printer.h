@@ -1,0 +1,48 @@
+#ifndef CBIR_UTIL_TABLE_PRINTER_H_
+#define CBIR_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cbir {
+
+/// \brief Renders column-aligned ASCII tables, used by the paper-table
+/// benchmark harnesses to print Table 1 / Table 2 style output.
+///
+/// \code
+///   TablePrinter t({"#TOP", "Euclidean", "RF-SVM"});
+///   t.AddRow({"20", "0.398", "0.491"});
+///   t.Print(std::cout);
+/// \endcode
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the row must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with 2-space column gutters.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used in tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cbir
+
+#endif  // CBIR_UTIL_TABLE_PRINTER_H_

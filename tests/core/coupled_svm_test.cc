@@ -1,0 +1,245 @@
+#include "core/coupled_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cbir::core {
+namespace {
+
+// Builds a two-modality problem where both views carry the class signal:
+// visual = 2-D Gaussians at +-visual_gap, log = 1-D at +-log_gap.
+CsvmTrainData TwoModalityProblem(size_t nl_per_class, size_t nu,
+                                 double visual_gap, double log_gap,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  const size_t nl = 2 * nl_per_class;
+  CsvmTrainData data;
+  data.visual = la::Matrix(nl + nu, 2);
+  data.log = la::Matrix(nl + nu, 1);
+  for (size_t i = 0; i < nl; ++i) {
+    const double y = (i < nl_per_class) ? 1.0 : -1.0;
+    data.labels.push_back(y);
+    data.visual.At(i, 0) = rng.Gaussian() + visual_gap * y;
+    data.visual.At(i, 1) = rng.Gaussian();
+    data.log.At(i, 0) = rng.Gaussian() * 0.3 + log_gap * y;
+  }
+  for (size_t j = 0; j < nu; ++j) {
+    const double y = (j % 2 == 0) ? 1.0 : -1.0;
+    data.visual.At(nl + j, 0) = rng.Gaussian() + visual_gap * y;
+    data.visual.At(nl + j, 1) = rng.Gaussian();
+    data.log.At(nl + j, 0) = rng.Gaussian() * 0.3 + log_gap * y;
+    data.initial_unlabeled_labels.push_back(y);
+  }
+  return data;
+}
+
+CsvmOptions TestOptions() {
+  CsvmOptions options;
+  options.c_visual = 10.0;
+  options.c_log = 10.0;
+  options.rho = 0.5;
+  options.visual_kernel = svm::KernelParams::Rbf(0.5);
+  options.log_kernel = svm::KernelParams::Rbf(0.5);
+  return options;
+}
+
+TEST(CoupledSvmTest, TrainsOnCleanTwoModalityData) {
+  const CsvmTrainData data = TwoModalityProblem(8, 6, 3.0, 2.0, 1);
+  CoupledSvm csvm(TestOptions());
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GT(model->diagnostics.outer_iterations, 1);
+  // Labeled points classified correctly by the coupled decision.
+  for (size_t i = 0; i < data.labels.size(); ++i) {
+    const double f =
+        model->Decision(data.visual.Row(i), data.log.Row(i));
+    EXPECT_GT(data.labels[i] * f, 0.0) << "labeled sample " << i;
+  }
+}
+
+TEST(CoupledSvmTest, DecisionIsSumOfModalities) {
+  const CsvmTrainData data = TwoModalityProblem(6, 4, 2.0, 2.0, 3);
+  CoupledSvm csvm(TestOptions());
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok());
+  const la::Vec x = data.visual.Row(0);
+  const la::Vec r = data.log.Row(0);
+  EXPECT_NEAR(model->Decision(x, r),
+              model->visual.Decision(x) + model->log.Decision(r), 1e-12);
+}
+
+TEST(CoupledSvmTest, CorrectsMislabeledUnlabeledSample) {
+  // The unlabeled sample sits deep in positive territory in BOTH modalities
+  // but is pseudo-labeled -1: the Delta-gated flip must correct it.
+  CsvmTrainData data = TwoModalityProblem(8, 0, 3.0, 2.0, 5);
+  data.visual = la::Matrix(17, 2);
+  data.log = la::Matrix(17, 1);
+  {
+    const CsvmTrainData base = TwoModalityProblem(8, 0, 3.0, 2.0, 5);
+    for (size_t i = 0; i < 16; ++i) {
+      data.visual.SetRow(i, base.visual.Row(i));
+      data.log.SetRow(i, base.log.Row(i));
+    }
+    data.labels = base.labels;
+  }
+  data.visual.SetRow(16, {3.0, 0.0});  // clearly positive visually
+  data.log.SetRow(16, {2.0});          // clearly positive in the log view
+  data.initial_unlabeled_labels = {-1.0};
+
+  // A lone violator has no opposite-class partner, so this exercises the
+  // literal Fig. 1 rule (balance guard off).
+  CsvmOptions options = TestOptions();
+  options.enforce_class_balance = false;
+  CoupledSvm csvm(options);
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok()) << model.status();
+  ASSERT_EQ(model->unlabeled_labels.size(), 1u);
+  EXPECT_DOUBLE_EQ(model->unlabeled_labels[0], 1.0);
+  EXPECT_GE(model->diagnostics.total_flips, 1);
+}
+
+TEST(CoupledSvmTest, HugeDeltaPreventsFlips) {
+  CsvmTrainData data = TwoModalityProblem(8, 0, 3.0, 2.0, 5);
+  // Same mislabeled construction as above.
+  CsvmTrainData extended;
+  extended.visual = la::Matrix(17, 2);
+  extended.log = la::Matrix(17, 1);
+  for (size_t i = 0; i < 16; ++i) {
+    extended.visual.SetRow(i, data.visual.Row(i));
+    extended.log.SetRow(i, data.log.Row(i));
+  }
+  extended.labels = data.labels;
+  extended.visual.SetRow(16, {3.0, 0.0});
+  extended.log.SetRow(16, {2.0});
+  extended.initial_unlabeled_labels = {-1.0};
+
+  CsvmOptions options = TestOptions();
+  options.enforce_class_balance = false;
+  options.delta = 1e6;  // flips disabled
+  CoupledSvm csvm(options);
+  auto model = csvm.Train(extended);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->unlabeled_labels[0], -1.0);
+  EXPECT_EQ(model->diagnostics.total_flips, 0);
+}
+
+TEST(CoupledSvmTest, BalancedCorrectionSwapsOpposedViolators) {
+  // Two unlabeled samples with SWAPPED pseudo-labels: one deep positive
+  // labeled -1, one deep negative labeled +1. The balance-preserving
+  // correction must swap both in one round.
+  const CsvmTrainData base = TwoModalityProblem(8, 0, 3.0, 2.0, 21);
+  CsvmTrainData data;
+  data.visual = la::Matrix(18, 2);
+  data.log = la::Matrix(18, 1);
+  for (size_t i = 0; i < 16; ++i) {
+    data.visual.SetRow(i, base.visual.Row(i));
+    data.log.SetRow(i, base.log.Row(i));
+  }
+  data.labels = base.labels;
+  data.visual.SetRow(16, {3.0, 0.0});   // positive region
+  data.log.SetRow(16, {2.0});
+  data.visual.SetRow(17, {-3.0, 0.0});  // negative region
+  data.log.SetRow(17, {-2.0});
+  data.initial_unlabeled_labels = {-1.0, 1.0};  // both wrong
+
+  CoupledSvm csvm(TestOptions());  // balance guard on by default
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_DOUBLE_EQ(model->unlabeled_labels[0], 1.0);
+  EXPECT_DOUBLE_EQ(model->unlabeled_labels[1], -1.0);
+}
+
+TEST(CoupledSvmTest, BalanceGuardBlocksOneSidedCollapse) {
+  // All unlabeled pseudo-negatives sit in positive territory. The literal
+  // Fig. 1 rule would flip them all (losing every pseudo-negative); the
+  // balanced correction must keep the ratio intact.
+  const CsvmTrainData base = TwoModalityProblem(8, 0, 3.0, 2.0, 23);
+  CsvmTrainData data;
+  data.visual = la::Matrix(20, 2);
+  data.log = la::Matrix(20, 1);
+  for (size_t i = 0; i < 16; ++i) {
+    data.visual.SetRow(i, base.visual.Row(i));
+    data.log.SetRow(i, base.log.Row(i));
+  }
+  data.labels = base.labels;
+  for (size_t j = 0; j < 4; ++j) {
+    data.visual.SetRow(16 + j, {3.0 + 0.1 * j, 0.0});
+    data.log.SetRow(16 + j, {2.0});
+    data.initial_unlabeled_labels.push_back(-1.0);
+  }
+
+  CoupledSvm csvm(TestOptions());
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok());
+  int negatives = 0;
+  for (double yj : model->unlabeled_labels) {
+    if (yj < 0) ++negatives;
+  }
+  EXPECT_EQ(negatives, 4);  // ratio preserved
+  EXPECT_EQ(model->diagnostics.total_flips, 0);
+}
+
+TEST(CoupledSvmTest, NoUnlabeledReducesToSupervised) {
+  const CsvmTrainData data = TwoModalityProblem(10, 0, 3.0, 2.0, 7);
+  CoupledSvm csvm(TestOptions());
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->unlabeled_labels.empty());
+  // With no unlabeled data the rho annealing collapses to a single solve.
+  EXPECT_EQ(model->diagnostics.outer_iterations, 1);
+  EXPECT_EQ(model->diagnostics.total_flips, 0);
+}
+
+TEST(CoupledSvmTest, RhoInitEqualToRhoRunsOneOuterIteration) {
+  CsvmOptions options = TestOptions();
+  options.rho_init = options.rho;
+  const CsvmTrainData data = TwoModalityProblem(6, 4, 3.0, 2.0, 9);
+  CoupledSvm csvm(options);
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->diagnostics.outer_iterations, 1);
+}
+
+TEST(CoupledSvmTest, AnnealingStepsAreLogarithmicInRhoRatio) {
+  CsvmOptions options = TestOptions();
+  options.rho_init = 1e-4;
+  options.rho = 0.5;
+  const CsvmTrainData data = TwoModalityProblem(6, 4, 3.0, 2.0, 11);
+  CoupledSvm csvm(options);
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok());
+  // ceil(log2(0.5 / 1e-4)) = 13 doublings + the initial solve.
+  EXPECT_EQ(model->diagnostics.outer_iterations, 14);
+}
+
+TEST(CoupledSvmTest, RejectsBadInput) {
+  CoupledSvm csvm(TestOptions());
+  CsvmTrainData empty;
+  EXPECT_FALSE(csvm.Train(empty).ok());
+
+  CsvmTrainData mismatched = TwoModalityProblem(4, 2, 2.0, 2.0, 13);
+  mismatched.initial_unlabeled_labels.push_back(1.0);  // rows now disagree
+  EXPECT_FALSE(csvm.Train(mismatched).ok());
+}
+
+TEST(CoupledSvmTest, DiagnosticsObjectivesPopulated) {
+  const CsvmTrainData data = TwoModalityProblem(8, 4, 3.0, 2.0, 15);
+  CoupledSvm csvm(TestOptions());
+  auto model = csvm.Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->diagnostics.visual_objective, 1e-9);
+  EXPECT_LE(model->diagnostics.log_objective, 1e-9);
+}
+
+TEST(CoupledSvmDeathTest, InvalidOptions) {
+  CsvmOptions bad = TestOptions();
+  bad.rho_init = 2.0;  // > rho
+  EXPECT_DEATH(CoupledSvm{bad}, "Check failed");
+  CsvmOptions bad2 = TestOptions();
+  bad2.c_visual = 0.0;
+  EXPECT_DEATH(CoupledSvm{bad2}, "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::core

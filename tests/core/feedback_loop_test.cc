@@ -1,0 +1,150 @@
+#include "core/feedback_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "core/euclidean_scheme.h"
+#include "core/rf_svm_scheme.h"
+#include "logdb/log_store.h"
+
+namespace cbir::core {
+namespace {
+
+class FeedbackLoopTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    retrieval::DatabaseOptions options;
+    options.corpus.num_categories = 4;
+    options.corpus.images_per_category = 20;
+    options.corpus.width = 48;
+    options.corpus.height = 48;
+    options.corpus.seed = 9;
+    db_ = new retrieval::ImageDatabase(
+        retrieval::ImageDatabase::Build(options));
+    scheme_options_ = new SchemeOptions(
+        MakeDefaultSchemeOptions(*db_, nullptr));
+  }
+  static void TearDownTestSuite() {
+    delete scheme_options_;
+    delete db_;
+  }
+
+  static retrieval::ImageDatabase* db_;
+  static SchemeOptions* scheme_options_;
+};
+
+retrieval::ImageDatabase* FeedbackLoopTest::db_ = nullptr;
+SchemeOptions* FeedbackLoopTest::scheme_options_ = nullptr;
+
+TEST_F(FeedbackLoopTest, ResultShape) {
+  RfSvmScheme scheme(*scheme_options_);
+  FeedbackLoopOptions options;
+  options.rounds = 3;
+  options.judgments_per_round = 10;
+  options.scopes = {10, 20};
+  auto result = RunFeedbackSession(*db_, nullptr, scheme, 5, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->precision.size(), 4u);  // round 0 + 3 feedback rounds
+  for (const auto& row : result->precision) {
+    ASSERT_EQ(row.size(), 2u);
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  EXPECT_EQ(result->total_judgments, 30);
+  EXPECT_EQ(result->recorded_sessions.size(), 3u);
+}
+
+TEST_F(FeedbackLoopTest, JudgmentsNeverRepeatAcrossRounds) {
+  RfSvmScheme scheme(*scheme_options_);
+  FeedbackLoopOptions options;
+  options.rounds = 4;
+  options.judgments_per_round = 8;
+  auto result = RunFeedbackSession(*db_, nullptr, scheme, 12, options);
+  ASSERT_TRUE(result.ok());
+  std::set<int> seen;
+  for (const auto& session : result->recorded_sessions) {
+    EXPECT_EQ(session.query_image_id, 12);
+    for (const auto& entry : session.entries) {
+      EXPECT_NE(entry.image_id, 12);  // the query is never judged
+      EXPECT_TRUE(seen.insert(entry.image_id).second)
+          << "image " << entry.image_id << " judged twice";
+    }
+  }
+}
+
+TEST_F(FeedbackLoopTest, FeedbackImprovesOverInitialRetrieval) {
+  RfSvmScheme scheme(*scheme_options_);
+  FeedbackLoopOptions options;
+  options.rounds = 3;
+  options.judgments_per_round = 15;
+  // Average over several queries: feedback must beat round 0 on average.
+  double initial_sum = 0.0, final_sum = 0.0;
+  int count = 0;
+  for (int query = 0; query < 79; query += 13) {
+    auto result = RunFeedbackSession(*db_, nullptr, scheme, query, options);
+    ASSERT_TRUE(result.ok());
+    initial_sum += result->precision.front()[0];
+    final_sum += result->precision.back()[0];
+    ++count;
+  }
+  EXPECT_GT(final_sum / count, initial_sum / count);
+}
+
+TEST_F(FeedbackLoopTest, RecordedSessionsFeedTheLogStore) {
+  // A session's recorded judgments are exactly the long-term log unit the
+  // paper's schemes consume: appending them must build a valid matrix.
+  RfSvmScheme scheme(*scheme_options_);
+  FeedbackLoopOptions options;
+  options.rounds = 2;
+  options.judgments_per_round = 10;
+  auto result = RunFeedbackSession(*db_, nullptr, scheme, 30, options);
+  ASSERT_TRUE(result.ok());
+
+  logdb::LogStore store;
+  for (const auto& session : result->recorded_sessions) {
+    store.Append(session);
+  }
+  EXPECT_EQ(store.num_sessions(), 2);
+  const logdb::RelevanceMatrix matrix = store.BuildMatrix(db_->num_images());
+  EXPECT_EQ(matrix.PositiveCount() + matrix.NegativeCount(),
+            result->total_judgments);
+}
+
+TEST_F(FeedbackLoopTest, DeterministicInSeed) {
+  RfSvmScheme scheme(*scheme_options_);
+  FeedbackLoopOptions options;
+  options.rounds = 2;
+  options.judgment_noise = 0.3;  // exercises the RNG path
+  auto a = RunFeedbackSession(*db_, nullptr, scheme, 7, options);
+  auto b = RunFeedbackSession(*db_, nullptr, scheme, 7, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->precision, b->precision);
+}
+
+TEST_F(FeedbackLoopTest, ZeroRoundsIsInitialRetrievalOnly) {
+  EuclideanScheme scheme;
+  FeedbackLoopOptions options;
+  options.rounds = 0;
+  auto result = RunFeedbackSession(*db_, nullptr, scheme, 3, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->precision.size(), 1u);
+  EXPECT_EQ(result->total_judgments, 0);
+}
+
+TEST_F(FeedbackLoopTest, InputValidation) {
+  EuclideanScheme scheme;
+  FeedbackLoopOptions options;
+  EXPECT_FALSE(RunFeedbackSession(*db_, nullptr, scheme, -1, options).ok());
+  EXPECT_FALSE(
+      RunFeedbackSession(*db_, nullptr, scheme, 9999, options).ok());
+  options.judgments_per_round = 0;
+  EXPECT_FALSE(RunFeedbackSession(*db_, nullptr, scheme, 0, options).ok());
+  options.judgments_per_round = 10;
+  options.scopes.clear();
+  EXPECT_FALSE(RunFeedbackSession(*db_, nullptr, scheme, 0, options).ok());
+}
+
+}  // namespace
+}  // namespace cbir::core

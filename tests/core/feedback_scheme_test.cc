@@ -1,0 +1,87 @@
+#include "core/feedback_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "core/euclidean_scheme.h"
+#include "retrieval/ranker.h"
+
+namespace cbir::core {
+namespace {
+
+retrieval::ImageDatabase SmallDb() {
+  retrieval::DatabaseOptions options;
+  options.corpus.num_categories = 2;
+  options.corpus.images_per_category = 6;
+  options.corpus.width = 32;
+  options.corpus.height = 32;
+  options.corpus.seed = 5;
+  return retrieval::ImageDatabase::Build(options);
+}
+
+TEST(FeedbackContextTest, PrepareFillsDerivedFields) {
+  const retrieval::ImageDatabase db = SmallDb();
+  FeedbackContext ctx;
+  ctx.db = &db;
+  ctx.query_id = 3;
+  ctx.Prepare();
+  EXPECT_EQ(ctx.query_feature, db.feature(3));
+  ASSERT_EQ(ctx.query_distances.size(), static_cast<size_t>(db.num_images()));
+  EXPECT_DOUBLE_EQ(ctx.query_distances[3], 0.0);  // self-distance
+  for (double d : ctx.query_distances) EXPECT_GE(d, 0.0);
+}
+
+TEST(FeedbackContextDeathTest, PrepareValidates) {
+  const retrieval::ImageDatabase db = SmallDb();
+  {
+    FeedbackContext ctx;  // no db
+    ctx.query_id = 0;
+    EXPECT_DEATH(ctx.Prepare(), "Check failed");
+  }
+  {
+    FeedbackContext ctx;
+    ctx.db = &db;
+    ctx.query_id = 99;  // out of range
+    EXPECT_DEATH(ctx.Prepare(), "Check failed");
+  }
+  {
+    FeedbackContext ctx;
+    ctx.db = &db;
+    ctx.query_id = 0;
+    ctx.labeled_ids = {1, 2};
+    ctx.labels = {1.0};  // arity mismatch
+    EXPECT_DEATH(ctx.Prepare(), "Check failed");
+  }
+}
+
+TEST(FinalizeRankingTest, ExcludesQueryAndKeepsEveryoneElse) {
+  const retrieval::ImageDatabase db = SmallDb();
+  FeedbackContext ctx;
+  ctx.db = &db;
+  ctx.query_id = 7;
+  ctx.Prepare();
+  EuclideanScheme scheme;
+  auto ranked = scheme.Rank(ctx);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), static_cast<size_t>(db.num_images() - 1));
+  for (int id : ranked.value()) EXPECT_NE(id, 7);
+}
+
+TEST(FinalizeRankingTest, EuclideanRanksNearestFirst) {
+  const retrieval::ImageDatabase db = SmallDb();
+  FeedbackContext ctx;
+  ctx.db = &db;
+  ctx.query_id = 0;
+  ctx.Prepare();
+  EuclideanScheme scheme;
+  auto ranked = scheme.Rank(ctx);
+  ASSERT_TRUE(ranked.ok());
+  // Distances along the returned order must be non-decreasing.
+  for (size_t i = 0; i + 1 < ranked->size(); ++i) {
+    EXPECT_LE(ctx.query_distances[static_cast<size_t>((*ranked)[i])],
+              ctx.query_distances[static_cast<size_t>((*ranked)[i + 1])] +
+                  1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cbir::core

@@ -1,0 +1,112 @@
+#include "features/canny.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::features {
+namespace {
+
+using imaging::GrayImage;
+
+GrayImage VerticalStep(int w, int h) {
+  GrayImage img(w, h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = w / 2; x < w; ++x) img.Set(x, y, 1.0f);
+  }
+  return img;
+}
+
+TEST(CannyTest, ConstantImageHasNoEdges) {
+  const CannyResult r = Canny(GrayImage(32, 32, 0.5f));
+  EXPECT_EQ(r.edge_count, 0);
+}
+
+TEST(CannyTest, StepEdgeDetectedAsThinLine) {
+  const CannyResult r = Canny(VerticalStep(32, 32));
+  EXPECT_GT(r.edge_count, 0);
+  // Non-maximum suppression must leave a thin (1-2 px per row) response.
+  for (int y = 4; y < 28; ++y) {
+    int edges_in_row = 0;
+    for (int x = 0; x < 32; ++x) {
+      if (r.edges.At(x, y) > 0.0f) ++edges_in_row;
+    }
+    EXPECT_GE(edges_in_row, 1) << "row " << y;
+    EXPECT_LE(edges_in_row, 2) << "row " << y;
+  }
+}
+
+TEST(CannyTest, EdgeLocatedNearTransition) {
+  const CannyResult r = Canny(VerticalStep(32, 32));
+  for (int y = 8; y < 24; ++y) {
+    bool found_near = false;
+    for (int x = 13; x <= 18; ++x) {
+      if (r.edges.At(x, y) > 0.0f) found_near = true;
+    }
+    EXPECT_TRUE(found_near) << "row " << y;
+  }
+}
+
+TEST(CannyTest, RectangleOutlineDetected) {
+  GrayImage img(48, 48, 0.1f);
+  for (int y = 12; y < 36; ++y) {
+    for (int x = 12; x < 36; ++x) img.Set(x, y, 0.9f);
+  }
+  const CannyResult r = Canny(img);
+  // Perimeter of a 24x24 square is ~96; Canny should find a comparable
+  // number of edge pixels (smoothing rounds corners).
+  EXPECT_GT(r.edge_count, 60);
+  EXPECT_LT(r.edge_count, 220);
+  // Interior must be edge-free.
+  for (int y = 20; y < 28; ++y) {
+    for (int x = 20; x < 28; ++x) {
+      EXPECT_EQ(r.edges.At(x, y), 0.0f);
+    }
+  }
+}
+
+TEST(CannyTest, HysteresisConnectsWeakEdges) {
+  // A gradient ramp edge whose middle is weaker: with a generous low
+  // threshold the contour stays connected; with low_ratio == 1 (low ==
+  // high) fewer pixels survive.
+  // Middle strength 0.1: below the high threshold (0.2 * max) but above the
+  // loose low threshold (0.4 * 0.2 * max = 0.08 * max) after NMS.
+  GrayImage img(32, 32, 0.0f);
+  for (int y = 0; y < 32; ++y) {
+    const float strength = (y >= 10 && y <= 21) ? 0.10f : 1.0f;
+    for (int x = 16; x < 32; ++x) img.Set(x, y, strength);
+  }
+  CannyOptions loose;
+  loose.low_ratio = 0.2;
+  CannyOptions strict;
+  strict.low_ratio = 1.0;
+  const int loose_count = Canny(img, loose).edge_count;
+  const int strict_count = Canny(img, strict).edge_count;
+  EXPECT_GT(loose_count, strict_count);
+}
+
+TEST(CannyTest, HigherThresholdFindsFewerEdges) {
+  GrayImage img(32, 32, 0.0f);
+  // Two steps of different contrast.
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 8; x < 32; ++x) img.Set(x, y, 0.3f);
+    for (int x = 24; x < 32; ++x) img.Set(x, y, 1.0f);
+  }
+  CannyOptions low;
+  low.high_ratio = 0.10;
+  CannyOptions high;
+  high.high_ratio = 0.8;
+  EXPECT_GT(Canny(img, low).edge_count, Canny(img, high).edge_count);
+}
+
+TEST(CannyTest, EdgeCountMatchesMap) {
+  const CannyResult r = Canny(VerticalStep(24, 24));
+  int manual = 0;
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 24; ++x) {
+      if (r.edges.At(x, y) > 0.0f) ++manual;
+    }
+  }
+  EXPECT_EQ(manual, r.edge_count);
+}
+
+}  // namespace
+}  // namespace cbir::features

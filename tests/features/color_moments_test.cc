@@ -1,0 +1,79 @@
+#include "features/color_moments.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+
+namespace cbir::features {
+namespace {
+
+using imaging::Image;
+using imaging::Rgb;
+
+TEST(ColorMomentsTest, DimensionCount) {
+  Image img(8, 8, Rgb{100, 150, 200});
+  const la::Vec m = ColorMoments(img);
+  EXPECT_EQ(m.size(), static_cast<size_t>(kColorMomentDims));
+}
+
+TEST(ColorMomentsTest, ConstantImageHasZeroSpread) {
+  Image img(8, 8, Rgb{200, 50, 120});
+  const la::Vec m = ColorMoments(img);
+  const imaging::Hsv hsv = imaging::RgbToHsv(Rgb{200, 50, 120});
+  // Mean matches pixel HSV; std and skew are exactly zero per channel.
+  EXPECT_NEAR(m[0], hsv.h / 360.0, 1e-9);
+  EXPECT_NEAR(m[1], 0.0, 1e-9);
+  EXPECT_NEAR(m[2], 0.0, 1e-9);
+  EXPECT_NEAR(m[3], hsv.s, 1e-9);
+  EXPECT_NEAR(m[4], 0.0, 1e-9);
+  EXPECT_NEAR(m[5], 0.0, 1e-9);
+  EXPECT_NEAR(m[6], hsv.v, 1e-9);
+  EXPECT_NEAR(m[7], 0.0, 1e-9);
+  EXPECT_NEAR(m[8], 0.0, 1e-9);
+}
+
+TEST(ColorMomentsTest, ValueChannelMeanOfBlackWhiteMix) {
+  Image img(2, 1);
+  img.Set(0, 0, Rgb{0, 0, 0});
+  img.Set(1, 0, Rgb{255, 255, 255});
+  const la::Vec m = ColorMoments(img);
+  EXPECT_NEAR(m[6], 0.5, 1e-9);   // mean V
+  EXPECT_NEAR(m[7], 0.5, 1e-9);   // std V of {0, 1}
+}
+
+TEST(ColorMomentsTest, SaturationDistinguishesVividFromGray) {
+  Image vivid(4, 4, Rgb{255, 0, 0});
+  Image gray(4, 4, Rgb{128, 128, 128});
+  EXPECT_GT(ColorMoments(vivid)[3], ColorMoments(gray)[3] + 0.9);
+}
+
+TEST(ColorMomentsTest, SkewnessSignOnValueChannel) {
+  // Mostly dark with one bright pixel -> right-skewed V distribution.
+  Image img(4, 4, Rgb{10, 10, 10});
+  img.Set(0, 0, Rgb{250, 250, 250});
+  const la::Vec m = ColorMoments(img);
+  EXPECT_GT(m[8], 0.0);
+}
+
+TEST(ColorMomentsTest, InvariantToPixelPermutation) {
+  // Moments are order-free: a shuffled raster yields identical features.
+  Image a(4, 2);
+  Image b(4, 2);
+  const Rgb colors[] = {Rgb{1, 2, 3},    Rgb{200, 30, 90}, Rgb{0, 0, 0},
+                        Rgb{255, 255, 0}, Rgb{17, 99, 180}, Rgb{45, 45, 45},
+                        Rgb{90, 10, 10}, Rgb{10, 90, 10}};
+  for (int i = 0; i < 8; ++i) a.Set(i % 4, i / 4, colors[i]);
+  for (int i = 0; i < 8; ++i) b.Set(i % 4, i / 4, colors[7 - i]);
+  const la::Vec ma = ColorMoments(a);
+  const la::Vec mb = ColorMoments(b);
+  for (size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_NEAR(ma[i], mb[i], 1e-12) << "dim " << i;
+  }
+}
+
+TEST(ColorMomentsDeathTest, EmptyImage) {
+  EXPECT_DEATH((void)ColorMoments(Image()), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::features

@@ -1,0 +1,134 @@
+#include "features/dwt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cbir::features {
+namespace {
+
+using imaging::GrayImage;
+
+TEST(Dwt1dTest, OutputSizes) {
+  std::vector<double> a, d;
+  Dwt1d({1, 2, 3, 4, 5, 6, 7, 8}, &a, &d);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(d.size(), 4u);
+}
+
+TEST(Dwt1dTest, ConstantSignalHasZeroDetail) {
+  std::vector<double> a, d;
+  Dwt1d(std::vector<double>(16, 3.0), &a, &d);
+  for (double v : d) EXPECT_NEAR(v, 0.0, 1e-12);
+  // Orthonormal low-pass of a constant is constant * sqrt(2).
+  for (double v : a) EXPECT_NEAR(v, 3.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Dwt1dTest, LinearSignalHasZeroDetail) {
+  // Daubechies-4 has two vanishing moments: linear ramps produce zero
+  // detail coefficients (up to the periodic wrap-around positions).
+  std::vector<double> ramp(32);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  std::vector<double> a, d;
+  Dwt1d(ramp, &a, &d);
+  // All interior detail coefficients vanish; the last two wrap the boundary.
+  for (size_t i = 0; i + 2 < d.size(); ++i) {
+    EXPECT_NEAR(d[i], 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(Dwt1dTest, EnergyPreservation) {
+  Rng rng(5);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> a, d;
+  Dwt1d(x, &a, &d);
+  double in_energy = 0.0, out_energy = 0.0;
+  for (double v : x) in_energy += v * v;
+  for (double v : a) out_energy += v * v;
+  for (double v : d) out_energy += v * v;
+  EXPECT_NEAR(in_energy, out_energy, 1e-9);
+}
+
+TEST(Dwt1dTest, PerfectReconstruction) {
+  Rng rng(9);
+  for (size_t n : {4u, 8u, 32u, 128u}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.Uniform(-10.0, 10.0);
+    std::vector<double> a, d;
+    Dwt1d(x, &a, &d);
+    const std::vector<double> rec = Idwt1d(a, d);
+    ASSERT_EQ(rec.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(rec[i], x[i], 1e-10) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Dwt2dTest, SubbandShapes) {
+  const DwtLevel level = Dwt2d(GrayImage(16, 12, 1.0f));
+  EXPECT_EQ(level.ll.width(), 8);
+  EXPECT_EQ(level.ll.height(), 6);
+  EXPECT_EQ(level.hh.width(), 8);
+  EXPECT_EQ(level.hh.height(), 6);
+}
+
+TEST(Dwt2dTest, ConstantImageDetailIsZero) {
+  const DwtLevel level = Dwt2d(GrayImage(16, 16, 0.5f));
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_NEAR(level.lh.At(x, y), 0.0f, 1e-6);
+      EXPECT_NEAR(level.hl.At(x, y), 0.0f, 1e-6);
+      EXPECT_NEAR(level.hh.At(x, y), 0.0f, 1e-6);
+      // 2-D orthonormal low-pass of a constant scales by 2.
+      EXPECT_NEAR(level.ll.At(x, y), 1.0f, 1e-6);
+    }
+  }
+}
+
+TEST(Dwt2dTest, VerticalStripesActivateRowHighPass) {
+  // Alternating columns: high horizontal frequency -> LH ("rows
+  // high-passed" here means the row-direction filter saw the oscillation).
+  GrayImage img(16, 16, 0.0f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; x += 2) img.Set(x, y, 1.0f);
+  }
+  const DwtLevel level = Dwt2d(img);
+  double lh_energy = 0.0, hl_energy = 0.0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      // In our layout LH = row high-pass (gx direction), HL = column.
+      lh_energy += level.hl.At(x, y) * level.hl.At(x, y);
+      hl_energy += level.lh.At(x, y) * level.lh.At(x, y);
+    }
+  }
+  // One orientation dominates by a wide margin.
+  const double hi = std::max(lh_energy, hl_energy);
+  const double lo = std::min(lh_energy, hl_energy);
+  EXPECT_GT(hi, 100.0 * (lo + 1e-9));
+}
+
+TEST(DwtPyramidTest, LevelsAndFinalLl) {
+  const DwtPyramid p = DwtPyramidDecompose(GrayImage(64, 64, 0.3f), 3);
+  EXPECT_EQ(p.levels.size(), 3u);
+  EXPECT_EQ(p.levels[0].ll.width(), 32);
+  EXPECT_EQ(p.levels[1].ll.width(), 16);
+  EXPECT_EQ(p.levels[2].ll.width(), 8);
+  EXPECT_EQ(p.final_ll.width(), 8);
+  EXPECT_EQ(p.final_ll.height(), 8);
+}
+
+TEST(DwtPyramidDeathTest, IndivisibleDimensions) {
+  EXPECT_DEATH((void)DwtPyramidDecompose(GrayImage(20, 16, 0.0f), 3),
+               "not divisible");
+}
+
+TEST(Dwt1dDeathTest, OddLength) {
+  std::vector<double> a, d;
+  EXPECT_DEATH(Dwt1d({1, 2, 3}, &a, &d), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::features

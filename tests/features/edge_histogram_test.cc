@@ -1,0 +1,79 @@
+#include "features/edge_histogram.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace cbir::features {
+namespace {
+
+using imaging::GrayImage;
+
+GrayImage VerticalStep(int w, int h) {
+  GrayImage img(w, h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = w / 2; x < w; ++x) img.Set(x, y, 1.0f);
+  }
+  return img;
+}
+
+TEST(EdgeHistogramTest, DimensionAndNormalization) {
+  const la::Vec h = EdgeDirectionHistogram(VerticalStep(32, 32));
+  EXPECT_EQ(h.size(), static_cast<size_t>(kEdgeHistogramBins));
+  const double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EdgeHistogramTest, EmptyEdgeMapIsAllZero) {
+  const la::Vec h = EdgeDirectionHistogram(GrayImage(16, 16, 0.5f));
+  for (double v : h) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeHistogramTest, VerticalEdgeMassInHorizontalGradientBin) {
+  // Dark->bright left to right: gradient points along +x (angle 0).
+  const la::Vec h = EdgeDirectionHistogram(VerticalStep(32, 32));
+  // Bin 0 covers [0, 20) degrees; allow the wrap bin too.
+  EXPECT_GT(h[0] + h[kEdgeHistogramBins - 1], 0.9);
+}
+
+TEST(EdgeHistogramTest, OppositeContrastLandsInOppositeBin) {
+  // Bright->dark left to right: gradient points along -x (angle 180).
+  GrayImage img(32, 32, 1.0f);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 16; x < 32; ++x) img.Set(x, y, 0.0f);
+  }
+  const la::Vec h = EdgeDirectionHistogram(img);
+  const int bin180 = 180 / (360 / kEdgeHistogramBins);
+  EXPECT_GT(h[static_cast<size_t>(bin180)] +
+                h[static_cast<size_t>(bin180 - 1)],
+            0.9);
+}
+
+TEST(EdgeHistogramTest, HorizontalEdgeInVerticalBins) {
+  GrayImage img(32, 32, 0.0f);
+  for (int y = 16; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) img.Set(x, y, 1.0f);
+  }
+  const la::Vec h = EdgeDirectionHistogram(img);
+  const int bin90 = 90 / (360 / kEdgeHistogramBins);
+  EXPECT_GT(h[static_cast<size_t>(bin90)] +
+                h[static_cast<size_t>(bin90 - 1)],
+            0.9);
+}
+
+TEST(EdgeHistogramTest, CustomBinCount) {
+  const la::Vec h = EdgeDirectionHistogram(
+      Canny(VerticalStep(32, 32)), /*bins=*/36);
+  EXPECT_EQ(h.size(), 36u);
+  const double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EdgeHistogramDeathTest, NonPositiveBins) {
+  EXPECT_DEATH(
+      (void)EdgeDirectionHistogram(Canny(VerticalStep(16, 16)), 0),
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::features

@@ -1,0 +1,91 @@
+#include "features/extractor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "imaging/synthetic.h"
+
+namespace cbir::features {
+namespace {
+
+TEST(FeatureLayoutTest, DefaultTotals) {
+  FeatureLayout layout;
+  EXPECT_EQ(layout.total(), 36);
+}
+
+TEST(FeatureLayoutTest, DimensionNames) {
+  FeatureLayout layout;
+  EXPECT_EQ(layout.DimensionName(0), "color:meanH");
+  EXPECT_EQ(layout.DimensionName(1), "color:stdH");
+  EXPECT_EQ(layout.DimensionName(2), "color:skewH");
+  EXPECT_EQ(layout.DimensionName(3), "color:meanS");
+  EXPECT_EQ(layout.DimensionName(9), "edge:bin00");
+  EXPECT_EQ(layout.DimensionName(26), "edge:bin17");
+  EXPECT_EQ(layout.DimensionName(27), "texture:L0LH");
+  EXPECT_EQ(layout.DimensionName(35), "texture:L2HH");
+  EXPECT_EQ(layout.DimensionName(99), "unknown:99");
+}
+
+TEST(FeatureExtractorTest, PaperDimensionality) {
+  FeatureExtractor extractor;
+  EXPECT_EQ(extractor.dims(), 36);  // 9 color + 18 edge + 9 texture
+}
+
+TEST(FeatureExtractorTest, ExtractProducesFiniteVector) {
+  imaging::SyntheticCorelOptions corpus_options;
+  corpus_options.num_categories = 2;
+  corpus_options.images_per_category = 2;
+  corpus_options.width = 64;
+  corpus_options.height = 64;
+  imaging::SyntheticCorel corpus(corpus_options);
+  FeatureExtractor extractor;
+  const la::Vec f = extractor.Extract(corpus.Generate(0, 0));
+  ASSERT_EQ(f.size(), 36u);
+  for (double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FeatureExtractorTest, DeterministicExtraction) {
+  imaging::SyntheticCorelOptions corpus_options;
+  corpus_options.num_categories = 1;
+  corpus_options.images_per_category = 1;
+  corpus_options.width = 64;
+  corpus_options.height = 64;
+  imaging::SyntheticCorel corpus(corpus_options);
+  FeatureExtractor extractor;
+  EXPECT_EQ(extractor.Extract(corpus.Generate(0, 0)),
+            extractor.Extract(corpus.Generate(0, 0)));
+}
+
+TEST(FeatureExtractorTest, CustomEdgeBinsChangeLayout) {
+  FeatureOptions options;
+  options.edge_bins = 36;
+  FeatureExtractor extractor(options);
+  EXPECT_EQ(extractor.dims(), 9 + 36 + 9);
+  EXPECT_EQ(extractor.layout().texture_offset, 45);
+}
+
+TEST(FeatureExtractorTest, CustomTextureLevels) {
+  FeatureOptions options;
+  options.texture.levels = 2;
+  FeatureExtractor extractor(options);
+  EXPECT_EQ(extractor.dims(), 9 + 18 + 6);
+}
+
+TEST(FeatureExtractorTest, DifferentImagesGiveDifferentFeatures) {
+  imaging::SyntheticCorelOptions corpus_options;
+  corpus_options.num_categories = 2;
+  corpus_options.images_per_category = 1;
+  corpus_options.width = 64;
+  corpus_options.height = 64;
+  imaging::SyntheticCorel corpus(corpus_options);
+  FeatureExtractor extractor;
+  const la::Vec f0 = extractor.Extract(corpus.Generate(0, 0));
+  const la::Vec f1 = extractor.Extract(corpus.Generate(1, 0));
+  EXPECT_NE(f0, f1);
+}
+
+}  // namespace
+}  // namespace cbir::features

@@ -1,0 +1,81 @@
+#include "features/gaussian.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace cbir::features {
+namespace {
+
+using imaging::GrayImage;
+
+TEST(GaussianKernelTest, SumsToOne) {
+  for (double sigma : {0.5, 1.0, 1.4, 3.0}) {
+    const auto kernel = GaussianKernel1d(sigma);
+    const double sum = std::accumulate(kernel.begin(), kernel.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "sigma=" << sigma;
+    EXPECT_EQ(kernel.size() % 2, 1u);  // odd length
+  }
+}
+
+TEST(GaussianKernelTest, SymmetricAndPeakedAtCenter) {
+  const auto kernel = GaussianKernel1d(1.4);
+  const size_t mid = kernel.size() / 2;
+  for (size_t i = 0; i < mid; ++i) {
+    EXPECT_FLOAT_EQ(kernel[i], kernel[kernel.size() - 1 - i]);
+    EXPECT_LT(kernel[i], kernel[mid]);
+  }
+}
+
+TEST(GaussianBlurTest, PreservesConstantImage) {
+  GrayImage img(16, 16, 0.42f);
+  const GrayImage out = GaussianBlur(img, 1.4);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_NEAR(out.At(x, y), 0.42f, 1e-5);
+    }
+  }
+}
+
+TEST(GaussianBlurTest, NonPositiveSigmaIsIdentity) {
+  GrayImage img(4, 4);
+  img.Set(2, 2, 1.0f);
+  const GrayImage out = GaussianBlur(img, 0.0);
+  EXPECT_EQ(out.data(), img.data());
+}
+
+TEST(GaussianBlurTest, SpreadsImpulse) {
+  GrayImage img(15, 15, 0.0f);
+  img.Set(7, 7, 1.0f);
+  const GrayImage out = GaussianBlur(img, 1.0);
+  EXPECT_LT(out.At(7, 7), 1.0f);
+  EXPECT_GT(out.At(7, 7), out.At(8, 7));
+  EXPECT_GT(out.At(8, 7), out.At(9, 7));
+  EXPECT_GT(out.At(8, 7), 0.0f);
+}
+
+TEST(GaussianBlurTest, ApproximatelyConservesMass) {
+  // With replicate borders an interior impulse keeps total mass ~1.
+  GrayImage img(21, 21, 0.0f);
+  img.Set(10, 10, 1.0f);
+  const GrayImage out = GaussianBlur(img, 1.4);
+  double mass = 0.0;
+  for (float v : out.data()) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-4);
+}
+
+TEST(GaussianBlurTest, SeparableMatchesTwoPasses) {
+  // Blurring twice with sigma s is a blur with sigma s*sqrt(2): check the
+  // variance-addition property loosely via peak decay.
+  GrayImage img(31, 31, 0.0f);
+  img.Set(15, 15, 1.0f);
+  const GrayImage once = GaussianBlur(img, 2.0);
+  const GrayImage twice = GaussianBlur(GaussianBlur(img, 2.0), 2.0);
+  const GrayImage direct = GaussianBlur(img, 2.0 * std::sqrt(2.0));
+  EXPECT_NEAR(twice.At(15, 15), direct.At(15, 15), 0.005);
+  EXPECT_LT(twice.At(15, 15), once.At(15, 15));
+}
+
+}  // namespace
+}  // namespace cbir::features

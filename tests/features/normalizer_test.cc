@@ -1,0 +1,105 @@
+#include "features/normalizer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cbir::features {
+namespace {
+
+la::Matrix SampleMatrix() {
+  la::Matrix m(4, 2);
+  m.SetRow(0, {1.0, 100.0});
+  m.SetRow(1, {2.0, 200.0});
+  m.SetRow(2, {3.0, 300.0});
+  m.SetRow(3, {4.0, 400.0});
+  return m;
+}
+
+TEST(NormalizerTest, FitComputesMoments) {
+  const Normalizer n = Normalizer::Fit(SampleMatrix());
+  ASSERT_TRUE(n.fitted());
+  EXPECT_EQ(n.dims(), 2);
+  EXPECT_DOUBLE_EQ(n.mean()[0], 2.5);
+  EXPECT_DOUBLE_EQ(n.mean()[1], 250.0);
+  EXPECT_NEAR(n.stddev()[0], std::sqrt(1.25), 1e-12);
+}
+
+TEST(NormalizerTest, TransformedColumnsAreStandardized) {
+  la::Matrix m = SampleMatrix();
+  const Normalizer n = Normalizer::Fit(m);
+  n.ApplyAll(&m);
+  for (size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (size_t r = 0; r < 4; ++r) mean += m.At(r, c);
+    mean /= 4;
+    for (size_t r = 0; r < 4; ++r) {
+      var += (m.At(r, c) - mean) * (m.At(r, c) - mean);
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizerTest, ConstantColumnMapsToZero) {
+  la::Matrix m(3, 1);
+  m.SetRow(0, {5.0});
+  m.SetRow(1, {5.0});
+  m.SetRow(2, {5.0});
+  const Normalizer n = Normalizer::Fit(m);
+  la::Vec v{5.0};
+  n.Apply(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(NormalizerTest, TransformMatchesApply) {
+  const Normalizer n = Normalizer::Fit(SampleMatrix());
+  la::Vec v{2.0, 150.0};
+  const la::Vec t = n.Transform(v);
+  n.Apply(&v);
+  EXPECT_EQ(t, v);
+}
+
+TEST(NormalizerTest, SaveLoadRoundTrip) {
+  const Normalizer n = Normalizer::Fit(SampleMatrix());
+  std::stringstream ss;
+  n.Save(ss);
+  auto loaded = Normalizer::Load(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->mean(), n.mean());
+  EXPECT_EQ(loaded->stddev(), n.stddev());
+}
+
+TEST(NormalizerTest, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-number");
+  EXPECT_FALSE(Normalizer::Load(ss).ok());
+}
+
+TEST(NormalizerTest, LoadRejectsTruncated) {
+  std::stringstream ss("3\n0.0 1.0\n");
+  EXPECT_FALSE(Normalizer::Load(ss).ok());
+}
+
+TEST(NormalizerTest, LoadRejectsNonPositiveStddev) {
+  std::stringstream ss("1\n0.0 -1.0\n");
+  auto r = Normalizer::Load(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizerDeathTest, ApplyWithoutFit) {
+  Normalizer n;
+  la::Vec v{1.0};
+  EXPECT_DEATH(n.Apply(&v), "Check failed");
+}
+
+TEST(NormalizerDeathTest, DimensionMismatch) {
+  const Normalizer n = Normalizer::Fit(SampleMatrix());
+  la::Vec v{1.0};
+  EXPECT_DEATH(n.Apply(&v), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::features

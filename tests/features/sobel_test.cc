@@ -1,0 +1,71 @@
+#include "features/sobel.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::features {
+namespace {
+
+using imaging::GrayImage;
+
+GrayImage VerticalStep(int w, int h) {
+  GrayImage img(w, h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = w / 2; x < w; ++x) img.Set(x, y, 1.0f);
+  }
+  return img;
+}
+
+TEST(SobelTest, ConstantImageHasZeroGradient) {
+  const GradientField g = Sobel(GrayImage(8, 8, 0.7f));
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_FLOAT_EQ(g.magnitude.At(x, y), 0.0f);
+    }
+  }
+}
+
+TEST(SobelTest, VerticalEdgeHasHorizontalGradient) {
+  const GradientField g = Sobel(VerticalStep(16, 16));
+  const int edge_x = 16 / 2 - 1;  // transition column
+  EXPECT_GT(g.gx.At(edge_x, 8), 0.0f);
+  EXPECT_NEAR(g.gy.At(edge_x, 8), 0.0f, 1e-5);
+  // Sobel response to a unit step is 4 (1+2+1).
+  EXPECT_NEAR(g.gx.At(edge_x, 8), 4.0f, 1e-5);
+  EXPECT_NEAR(g.magnitude.At(edge_x, 8), 4.0f, 1e-5);
+}
+
+TEST(SobelTest, HorizontalEdgeHasVerticalGradient) {
+  GrayImage img(16, 16, 0.0f);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) img.Set(x, y, 1.0f);
+  }
+  const GradientField g = Sobel(img);
+  EXPECT_GT(g.gy.At(8, 7), 0.0f);
+  EXPECT_NEAR(g.gx.At(8, 7), 0.0f, 1e-5);
+}
+
+TEST(SobelTest, GradientSignFollowsIntensityDirection) {
+  // Bright-to-dark from left to right: gx negative at the edge.
+  GrayImage img(16, 16, 1.0f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) img.Set(x, y, 0.0f);
+  }
+  const GradientField g = Sobel(img);
+  EXPECT_LT(g.gx.At(7, 8), 0.0f);
+}
+
+TEST(SobelTest, DiagonalEdgeActivatesBothComponents) {
+  GrayImage img(16, 16, 0.0f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (x + y > 16) img.Set(x, y, 1.0f);
+    }
+  }
+  const GradientField g = Sobel(img);
+  // Mid-diagonal pixel: both gradient components nonzero with equal signs.
+  EXPECT_GT(g.gx.At(8, 8), 0.0f);
+  EXPECT_GT(g.gy.At(8, 8), 0.0f);
+}
+
+}  // namespace
+}  // namespace cbir::features

@@ -1,0 +1,72 @@
+#include "features/wavelet_texture.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/noise.h"
+
+namespace cbir::features {
+namespace {
+
+using imaging::GrayImage;
+
+TEST(WaveletTextureTest, DimensionCount) {
+  const la::Vec t = WaveletTexture(GrayImage(64, 64, 0.5f));
+  EXPECT_EQ(t.size(), static_cast<size_t>(kWaveletTextureDims));
+}
+
+TEST(WaveletTextureTest, ConstantImageHasZeroEntropy) {
+  const la::Vec t = WaveletTexture(GrayImage(64, 64, 0.7f));
+  for (double v : t) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(WaveletTextureTest, TexturedImageHasHigherEntropyThanFlat) {
+  GrayImage flat(64, 64, 0.5f);
+  // Build a noisy texture via the RGB noise helper on a gray-ish image.
+  imaging::Image noisy_rgb(64, 64, imaging::Rgb{128, 128, 128});
+  imaging::AddFbmNoise(&noisy_rgb, 7, 8.0, 4, 0.3);
+  GrayImage noisy(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      noisy.Set(x, y, noisy_rgb.At(x, y).r / 255.0f);
+    }
+  }
+  const la::Vec t_flat = WaveletTexture(flat);
+  const la::Vec t_noisy = WaveletTexture(noisy);
+  double sum_flat = 0.0, sum_noisy = 0.0;
+  for (double v : t_flat) sum_flat += v;
+  for (double v : t_noisy) sum_noisy += v;
+  EXPECT_GT(sum_noisy, sum_flat + 1.0);
+}
+
+TEST(WaveletTextureTest, CustomLevels) {
+  WaveletTextureOptions options;
+  options.levels = 2;
+  const la::Vec t = WaveletTexture(GrayImage(32, 32, 0.1f), options);
+  EXPECT_EQ(t.size(), 6u);
+}
+
+TEST(SubbandEntropyTest, UniformBandMaximizesEntropy) {
+  // A band whose |coefficients| spread uniformly across bins approaches
+  // log2(bins); a two-valued band yields ~1 bit.
+  GrayImage spread(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      spread.Set(x, y, static_cast<float>(y * 16 + x) / 256.0f);
+    }
+  }
+  GrayImage binary(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      binary.Set(x, y, (x % 2 == 0) ? 0.25f : 0.75f);
+    }
+  }
+  EXPECT_GT(SubbandEntropy(spread, 32), 4.0);
+  EXPECT_NEAR(SubbandEntropy(binary, 32), 1.0, 1e-6);
+}
+
+TEST(SubbandEntropyTest, ZeroBandIsZero) {
+  EXPECT_DOUBLE_EQ(SubbandEntropy(GrayImage(8, 8, 0.0f), 32), 0.0);
+}
+
+}  // namespace
+}  // namespace cbir::features

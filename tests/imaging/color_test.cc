@@ -1,0 +1,79 @@
+#include "imaging/color.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cbir::imaging {
+namespace {
+
+TEST(ColorTest, PrimariesToHsv) {
+  const Hsv red = RgbToHsv(Rgb{255, 0, 0});
+  EXPECT_NEAR(red.h, 0.0, 1e-9);
+  EXPECT_NEAR(red.s, 1.0, 1e-9);
+  EXPECT_NEAR(red.v, 1.0, 1e-9);
+
+  const Hsv green = RgbToHsv(Rgb{0, 255, 0});
+  EXPECT_NEAR(green.h, 120.0, 1e-9);
+
+  const Hsv blue = RgbToHsv(Rgb{0, 0, 255});
+  EXPECT_NEAR(blue.h, 240.0, 1e-9);
+}
+
+TEST(ColorTest, GraysHaveZeroSaturation) {
+  for (uint8_t v : {uint8_t{0}, uint8_t{128}, uint8_t{255}}) {
+    const Hsv hsv = RgbToHsv(Rgb{v, v, v});
+    EXPECT_DOUBLE_EQ(hsv.s, 0.0);
+    EXPECT_DOUBLE_EQ(hsv.h, 0.0);
+    EXPECT_NEAR(hsv.v, v / 255.0, 1e-9);
+  }
+}
+
+TEST(ColorTest, HsvToRgbPrimaries) {
+  EXPECT_EQ(HsvToRgb(Hsv{0, 1, 1}), (Rgb{255, 0, 0}));
+  EXPECT_EQ(HsvToRgb(Hsv{120, 1, 1}), (Rgb{0, 255, 0}));
+  EXPECT_EQ(HsvToRgb(Hsv{240, 1, 1}), (Rgb{0, 0, 255}));
+  EXPECT_EQ(HsvToRgb(Hsv{60, 1, 1}), (Rgb{255, 255, 0}));
+}
+
+TEST(ColorTest, HsvHueWrapsAndClamps) {
+  EXPECT_EQ(HsvToRgb(Hsv{360, 1, 1}), HsvToRgb(Hsv{0, 1, 1}));
+  EXPECT_EQ(HsvToRgb(Hsv{-120, 1, 1}), HsvToRgb(Hsv{240, 1, 1}));
+  EXPECT_EQ(HsvToRgb(Hsv{0, 2.0, 2.0}), (Rgb{255, 0, 0}));
+}
+
+TEST(ColorTest, RoundTripIsNearIdentity) {
+  // Quantization bounds the round-trip error to about 1/255 per channel.
+  for (int r = 0; r < 256; r += 37) {
+    for (int g = 0; g < 256; g += 41) {
+      for (int b = 0; b < 256; b += 43) {
+        const Rgb in{static_cast<uint8_t>(r), static_cast<uint8_t>(g),
+                     static_cast<uint8_t>(b)};
+        const Rgb out = HsvToRgb(RgbToHsv(in));
+        EXPECT_NEAR(out.r, in.r, 2) << r << "," << g << "," << b;
+        EXPECT_NEAR(out.g, in.g, 2);
+        EXPECT_NEAR(out.b, in.b, 2);
+      }
+    }
+  }
+}
+
+TEST(ColorTest, LumaWeights) {
+  EXPECT_NEAR(Luma(Rgb{255, 255, 255}), 1.0, 1e-9);
+  EXPECT_NEAR(Luma(Rgb{0, 0, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(Luma(Rgb{255, 0, 0}), 0.299, 1e-9);
+  EXPECT_NEAR(Luma(Rgb{0, 255, 0}), 0.587, 1e-9);
+  EXPECT_NEAR(Luma(Rgb{0, 0, 255}), 0.114, 1e-9);
+}
+
+TEST(ColorTest, ToGray) {
+  Image img(2, 1);
+  img.Set(0, 0, Rgb{255, 255, 255});
+  img.Set(1, 0, Rgb{0, 0, 0});
+  const GrayImage gray = ToGray(img);
+  EXPECT_NEAR(gray.At(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(gray.At(1, 0), 0.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace cbir::imaging

@@ -1,0 +1,121 @@
+#include "imaging/draw.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::imaging {
+namespace {
+
+constexpr Rgb kWhite{255, 255, 255};
+constexpr Rgb kBlack{0, 0, 0};
+
+int CountPixels(const Image& img, Rgb color) {
+  int count = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (img.At(x, y) == color) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(DrawTest, HorizontalLine) {
+  Image img(10, 10, kBlack);
+  DrawLine(&img, Point{1, 5}, Point{8, 5}, kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 8);
+  for (int x = 1; x <= 8; ++x) EXPECT_EQ(img.At(x, 5), kWhite);
+}
+
+TEST(DrawTest, DiagonalLineHitsEndpoints) {
+  Image img(10, 10, kBlack);
+  DrawLine(&img, Point{0, 0}, Point{9, 9}, kWhite);
+  EXPECT_EQ(img.At(0, 0), kWhite);
+  EXPECT_EQ(img.At(9, 9), kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 10);
+}
+
+TEST(DrawTest, LineClipsOutsideRaster) {
+  Image img(4, 4, kBlack);
+  DrawLine(&img, Point{-5, 2}, Point{10, 2}, kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 4);  // only the in-raster span
+}
+
+TEST(DrawTest, SinglePointLine) {
+  Image img(3, 3, kBlack);
+  DrawLine(&img, Point{1, 1}, Point{1, 1}, kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 1);
+}
+
+TEST(DrawTest, ThickLineWiderThanThin) {
+  Image thin(20, 20, kBlack), thick(20, 20, kBlack);
+  DrawLine(&thin, Point{2, 10}, Point{17, 10}, kWhite);
+  DrawThickLine(&thick, Point{2, 10}, Point{17, 10}, 5, kWhite);
+  EXPECT_GT(CountPixels(thick, kWhite), 2 * CountPixels(thin, kWhite));
+}
+
+TEST(DrawTest, FillCircleAreaApproximation) {
+  Image img(41, 41, kBlack);
+  FillCircle(&img, Point{20, 20}, 10, kWhite);
+  const int area = CountPixels(img, kWhite);
+  EXPECT_NEAR(area, 3.14159 * 10 * 10, 25);
+  EXPECT_EQ(img.At(20, 20), kWhite);
+  EXPECT_EQ(img.At(20, 9), kBlack);  // just outside radius 10 ring? inside=10
+}
+
+TEST(DrawTest, FillCircleNegativeRadiusIsNoop) {
+  Image img(5, 5, kBlack);
+  FillCircle(&img, Point{2, 2}, -1, kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 0);
+}
+
+TEST(DrawTest, CircleOutlineOnPerimeter) {
+  Image img(21, 21, kBlack);
+  DrawCircle(&img, Point{10, 10}, 5, kWhite);
+  EXPECT_EQ(img.At(15, 10), kWhite);
+  EXPECT_EQ(img.At(10, 15), kWhite);
+  EXPECT_EQ(img.At(5, 10), kWhite);
+  EXPECT_EQ(img.At(10, 10), kBlack);  // interior untouched
+}
+
+TEST(DrawTest, FillRectInclusiveAndNormalized) {
+  Image img(10, 10, kBlack);
+  // Corners given in "wrong" order still fill the same rect.
+  FillRect(&img, Point{6, 7}, Point{2, 3}, kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 5 * 5);
+  EXPECT_EQ(img.At(2, 3), kWhite);
+  EXPECT_EQ(img.At(6, 7), kWhite);
+  EXPECT_EQ(img.At(1, 3), kBlack);
+}
+
+TEST(DrawTest, FillPolygonTriangleArea) {
+  Image img(30, 30, kBlack);
+  FillPolygon(&img, {Point{0, 0}, Point{20, 0}, Point{0, 20}}, kWhite);
+  // Right triangle, legs 20: area ~200.
+  EXPECT_NEAR(CountPixels(img, kWhite), 200, 30);
+}
+
+TEST(DrawTest, FillPolygonDegenerateIsNoop) {
+  Image img(10, 10, kBlack);
+  FillPolygon(&img, {Point{1, 1}, Point{5, 5}}, kWhite);
+  EXPECT_EQ(CountPixels(img, kWhite), 0);
+}
+
+TEST(DrawTest, VerticalGradientEndpoints) {
+  Image img(3, 5, kBlack);
+  FillVerticalGradient(&img, Rgb{0, 0, 0}, Rgb{200, 100, 50});
+  EXPECT_EQ(img.At(1, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.At(1, 4), (Rgb{200, 100, 50}));
+  // Middle row is interpolated.
+  const Rgb mid = img.At(1, 2);
+  EXPECT_NEAR(mid.r, 100, 2);
+  EXPECT_NEAR(mid.g, 50, 2);
+}
+
+TEST(DrawTest, RadialGradientCenterAndEdge) {
+  Image img(21, 21, kBlack);
+  FillRadialGradient(&img, Point{10, 10}, 10, Rgb{255, 255, 255}, kBlack);
+  EXPECT_EQ(img.At(10, 10), (Rgb{255, 255, 255}));
+  EXPECT_EQ(img.At(0, 0), kBlack);  // beyond radius -> edge color
+}
+
+}  // namespace
+}  // namespace cbir::imaging

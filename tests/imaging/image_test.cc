@@ -1,0 +1,98 @@
+#include "imaging/image.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::imaging {
+namespace {
+
+TEST(ImageTest, ConstructWithFill) {
+  Image img(4, 3, Rgb{10, 20, 30});
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_FALSE(img.empty());
+  EXPECT_EQ(img.At(3, 2), (Rgb{10, 20, 30}));
+}
+
+TEST(ImageTest, DefaultIsEmpty) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+}
+
+TEST(ImageTest, SetAndGet) {
+  Image img(2, 2);
+  img.Set(1, 0, Rgb{255, 0, 128});
+  EXPECT_EQ(img.At(1, 0), (Rgb{255, 0, 128}));
+  EXPECT_EQ(img.At(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(ImageTest, DataLayoutIsInterleavedRowMajor) {
+  Image img(2, 2);
+  img.Set(1, 0, Rgb{1, 2, 3});
+  img.Set(0, 1, Rgb{4, 5, 6});
+  const auto& d = img.data();
+  ASSERT_EQ(d.size(), 12u);
+  EXPECT_EQ(d[3], 1);  // pixel (1,0) starts at byte 3
+  EXPECT_EQ(d[4], 2);
+  EXPECT_EQ(d[5], 3);
+  EXPECT_EQ(d[6], 4);  // pixel (0,1) starts at byte 6
+}
+
+TEST(ImageTest, SetClippedInsideAndOutside) {
+  Image img(2, 2);
+  EXPECT_TRUE(img.SetClipped(0, 0, Rgb{9, 9, 9}));
+  EXPECT_FALSE(img.SetClipped(-1, 0, Rgb{9, 9, 9}));
+  EXPECT_FALSE(img.SetClipped(0, 2, Rgb{9, 9, 9}));
+  EXPECT_FALSE(img.SetClipped(5, 5, Rgb{9, 9, 9}));
+  EXPECT_EQ(img.At(0, 0), (Rgb{9, 9, 9}));
+}
+
+TEST(ImageTest, BlendClipped) {
+  Image img(1, 1, Rgb{0, 0, 0});
+  img.BlendClipped(0, 0, Rgb{200, 100, 50}, 0.5);
+  const Rgb c = img.At(0, 0);
+  EXPECT_EQ(c.r, 100);
+  EXPECT_EQ(c.g, 50);
+  EXPECT_EQ(c.b, 25);
+  // Out-of-range alpha clamps.
+  img.BlendClipped(0, 0, Rgb{255, 255, 255}, 2.0);
+  EXPECT_EQ(img.At(0, 0), (Rgb{255, 255, 255}));
+  // Outside the raster: no-op.
+  img.BlendClipped(7, 7, Rgb{1, 1, 1}, 1.0);
+}
+
+TEST(ImageTest, Fill) {
+  Image img(3, 3);
+  img.Fill(Rgb{7, 8, 9});
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_EQ(img.At(x, y), (Rgb{7, 8, 9}));
+    }
+  }
+}
+
+TEST(ImageDeathTest, AtOutOfBounds) {
+  Image img(2, 2);
+  EXPECT_DEATH((void)img.At(2, 0), "outside");
+  EXPECT_DEATH(img.Set(0, -1, Rgb{}), "outside");
+}
+
+TEST(GrayImageTest, ConstructAndAccess) {
+  GrayImage g(3, 2, 0.5f);
+  EXPECT_EQ(g.width(), 3);
+  EXPECT_EQ(g.height(), 2);
+  EXPECT_FLOAT_EQ(g.At(2, 1), 0.5f);
+  g.Set(1, 1, 0.25f);
+  EXPECT_FLOAT_EQ(g.At(1, 1), 0.25f);
+}
+
+TEST(GrayImageTest, AtClampedReplicatesBorder) {
+  GrayImage g(2, 2);
+  g.Set(0, 0, 1.0f);
+  g.Set(1, 1, 4.0f);
+  EXPECT_FLOAT_EQ(g.AtClamped(-5, -5), 1.0f);
+  EXPECT_FLOAT_EQ(g.AtClamped(10, 10), 4.0f);
+  EXPECT_FLOAT_EQ(g.AtClamped(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace cbir::imaging

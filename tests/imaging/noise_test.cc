@@ -1,0 +1,110 @@
+#include "imaging/noise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cbir::imaging {
+namespace {
+
+TEST(ValueNoiseTest, DeterministicForSeed) {
+  ValueNoise a(42), b(42);
+  for (double x = 0.0; x < 5.0; x += 0.7) {
+    EXPECT_DOUBLE_EQ(a.Sample(x, 2 * x), b.Sample(x, 2 * x));
+  }
+}
+
+TEST(ValueNoiseTest, DifferentSeedsDiffer) {
+  ValueNoise a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (std::fabs(a.Sample(i * 0.37, i * 0.61) -
+                  b.Sample(i * 0.37, i * 0.61)) < 1e-12) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ValueNoiseTest, RangeWithinUnitInterval) {
+  ValueNoise noise(7);
+  for (int i = 0; i < 500; ++i) {
+    const double v = noise.Sample(i * 0.173, i * 0.291);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ValueNoiseTest, SmoothBetweenLatticePoints) {
+  ValueNoise noise(11);
+  // Adjacent samples 0.01 apart must differ far less than distant ones can.
+  double max_step = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = i * 0.01;
+    max_step = std::max(max_step,
+                        std::fabs(noise.Sample(x + 0.01, 0.5) -
+                                  noise.Sample(x, 0.5)));
+  }
+  EXPECT_LT(max_step, 0.2);
+}
+
+TEST(ValueNoiseTest, FbmStaysInRange) {
+  ValueNoise noise(13);
+  for (int i = 0; i < 300; ++i) {
+    const double v = noise.Fbm(i * 0.17, i * 0.05, 4);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AddFbmNoiseTest, ChangesPixelsButKeepsMeanRoughly) {
+  Image img(32, 32, Rgb{128, 128, 128});
+  AddFbmNoise(&img, 99, 4.0, 3, 0.2);
+  double mean = 0.0;
+  int changed = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      mean += img.At(x, y).r;
+      if (img.At(x, y).r != 128) ++changed;
+    }
+  }
+  mean /= 32 * 32;
+  EXPECT_GT(changed, 500);
+  EXPECT_NEAR(mean, 128.0, 20.0);
+}
+
+TEST(AddGratingTest, CreatesPeriodicPattern) {
+  Image img(64, 64, Rgb{128, 128, 128});
+  AddGrating(&img, 8.0, 0.0, 0.3);  // horizontal frequency, 8 cycles / width
+  // One full period is 8 pixels: value at x and x+8 must match closely.
+  for (int x = 0; x < 32; ++x) {
+    EXPECT_NEAR(img.At(x, 10).r, img.At(x + 8, 10).r, 2);
+  }
+  // And the pattern is non-constant.
+  int distinct = 0;
+  for (int x = 1; x < 16; ++x) {
+    if (img.At(x, 10).r != img.At(0, 10).r) ++distinct;
+  }
+  EXPECT_GT(distinct, 4);
+}
+
+TEST(AddPixelNoiseTest, ZeroSigmaIsNoop) {
+  Image img(8, 8, Rgb{100, 100, 100});
+  AddPixelNoise(&img, 3, 0.0);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(img.At(x, y), (Rgb{100, 100, 100}));
+    }
+  }
+}
+
+TEST(AddPixelNoiseTest, DeterministicInSeed) {
+  Image a(16, 16, Rgb{100, 100, 100});
+  Image b(16, 16, Rgb{100, 100, 100});
+  AddPixelNoise(&a, 5, 8.0);
+  AddPixelNoise(&b, 5, 8.0);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace cbir::imaging

@@ -1,0 +1,111 @@
+#include "imaging/ppm_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace cbir::imaging {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PpmIoTest, RoundTrip) {
+  Image img(3, 2);
+  img.Set(0, 0, Rgb{255, 0, 0});
+  img.Set(1, 0, Rgb{0, 255, 0});
+  img.Set(2, 0, Rgb{0, 0, 255});
+  img.Set(0, 1, Rgb{10, 20, 30});
+
+  const std::string path = TempPath("roundtrip.ppm");
+  ASSERT_TRUE(WritePpm(img, path).ok());
+
+  auto loaded = ReadPpm(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->width(), 3);
+  EXPECT_EQ(loaded->height(), 2);
+  EXPECT_EQ(loaded->data(), img.data());
+  std::remove(path.c_str());
+}
+
+TEST(PpmIoTest, WriteEmptyImageFails) {
+  EXPECT_FALSE(WritePpm(Image(), TempPath("empty.ppm")).ok());
+}
+
+TEST(PpmIoTest, ReadMissingFileFails) {
+  auto r = ReadPpm(TempPath("does-not-exist.ppm"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(PpmIoTest, ReadRejectsWrongMagic) {
+  const std::string path = TempPath("bad-magic.ppm");
+  std::ofstream(path) << "P3\n1 1\n255\n0 0 0\n";
+  auto r = ReadPpm(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIoTest, ReadSkipsComments) {
+  const std::string path = TempPath("comments.ppm");
+  {
+    std::ofstream ofs(path, std::ios::binary);
+    ofs << "P6\n# a comment line\n2 # width trailing\n1\n255\n";
+    const char pixels[] = {10, 20, 30, 40, 50, 60};
+    ofs.write(pixels, sizeof(pixels));
+  }
+  auto r = ReadPpm(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->width(), 2);
+  EXPECT_EQ(r->At(0, 0), (Rgb{10, 20, 30}));
+  std::remove(path.c_str());
+}
+
+TEST(PpmIoTest, ReadRejectsTruncatedPayload) {
+  const std::string path = TempPath("truncated.ppm");
+  {
+    std::ofstream ofs(path, std::ios::binary);
+    ofs << "P6\n4 4\n255\n";
+    ofs << "only-a-few-bytes";
+  }
+  auto r = ReadPpm(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIoTest, ReadRejectsNonstandardMaxval) {
+  const std::string path = TempPath("maxval.ppm");
+  std::ofstream(path, std::ios::binary) << "P6\n1 1\n65535\n";
+  auto r = ReadPpm(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+  std::remove(path.c_str());
+}
+
+TEST(PgmIoTest, WritesClampedGray) {
+  GrayImage g(2, 1);
+  g.Set(0, 0, -0.5f);  // clamps to 0
+  g.Set(1, 0, 2.0f);   // clamps to 1
+  const std::string path = TempPath("gray.pgm");
+  ASSERT_TRUE(WritePgm(g, path).ok());
+  std::ifstream ifs(path, std::ios::binary);
+  std::string header;
+  ifs >> header;
+  EXPECT_EQ(header, "P5");
+  int w, h, maxval;
+  ifs >> w >> h >> maxval;
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(h, 1);
+  EXPECT_EQ(maxval, 255);
+  ifs.get();  // single whitespace after maxval
+  EXPECT_EQ(ifs.get(), 0);
+  EXPECT_EQ(ifs.get(), 255);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cbir::imaging

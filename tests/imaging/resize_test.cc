@@ -1,0 +1,61 @@
+#include "imaging/resize.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::imaging {
+namespace {
+
+TEST(ResizeTest, IdentityResize) {
+  Image img(4, 4);
+  img.Set(1, 2, Rgb{10, 20, 30});
+  const Image out = ResizeBilinear(img, 4, 4);
+  EXPECT_EQ(out.data(), img.data());
+}
+
+TEST(ResizeTest, ConstantImageStaysConstant) {
+  Image img(8, 8, Rgb{77, 88, 99});
+  const Image out = ResizeBilinear(img, 3, 5);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      EXPECT_EQ(out.At(x, y), (Rgb{77, 88, 99}));
+    }
+  }
+}
+
+TEST(ResizeTest, UpscaleDimensions) {
+  Image img(2, 2);
+  const Image out = ResizeBilinear(img, 7, 9);
+  EXPECT_EQ(out.width(), 7);
+  EXPECT_EQ(out.height(), 9);
+}
+
+TEST(ResizeTest, DownscaleAveragesRegions) {
+  // Left half white, right half black; 2x1 downscale keeps the halves apart.
+  Image img(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      img.Set(x, y, x < 4 ? Rgb{255, 255, 255} : Rgb{0, 0, 0});
+    }
+  }
+  const Image out = ResizeBilinear(img, 2, 1);
+  EXPECT_GT(out.At(0, 0).r, 200);
+  EXPECT_LT(out.At(1, 0).r, 55);
+}
+
+TEST(PasteTest, PlacesAndClips) {
+  Image dst(4, 4, Rgb{0, 0, 0});
+  Image src(2, 2, Rgb{255, 0, 0});
+  Paste(&dst, src, 3, 3);  // only (3,3) lands inside
+  EXPECT_EQ(dst.At(3, 3), (Rgb{255, 0, 0}));
+  EXPECT_EQ(dst.At(2, 2), (Rgb{0, 0, 0}));
+  Paste(&dst, src, -1, -1);  // only overlapping pixel (0,0) <- src(1,1)
+  EXPECT_EQ(dst.At(0, 0), (Rgb{255, 0, 0}));
+}
+
+TEST(ResizeDeathTest, NonPositiveTarget) {
+  Image img(2, 2);
+  EXPECT_DEATH((void)ResizeBilinear(img, 0, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::imaging

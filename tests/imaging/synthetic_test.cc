@@ -1,0 +1,139 @@
+#include "imaging/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+
+namespace cbir::imaging {
+namespace {
+
+SyntheticCorelOptions SmallOptions() {
+  SyntheticCorelOptions options;
+  options.num_categories = 5;
+  options.images_per_category = 4;
+  options.width = 32;
+  options.height = 32;
+  options.seed = 42;
+  return options;
+}
+
+TEST(SyntheticCorelTest, Dimensions) {
+  SyntheticCorel corpus(SmallOptions());
+  EXPECT_EQ(corpus.num_images(), 20);
+  const Image img = corpus.Generate(0, 0);
+  EXPECT_EQ(img.width(), 32);
+  EXPECT_EQ(img.height(), 32);
+}
+
+TEST(SyntheticCorelTest, DeterministicAcrossInstances) {
+  SyntheticCorel a(SmallOptions()), b(SmallOptions());
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_EQ(a.Generate(c, 1).data(), b.Generate(c, 1).data());
+  }
+}
+
+TEST(SyntheticCorelTest, DifferentImagesDiffer) {
+  SyntheticCorel corpus(SmallOptions());
+  EXPECT_NE(corpus.Generate(0, 0).data(), corpus.Generate(0, 1).data());
+  EXPECT_NE(corpus.Generate(0, 0).data(), corpus.Generate(1, 0).data());
+}
+
+TEST(SyntheticCorelTest, SeedChangesCorpus) {
+  SyntheticCorelOptions other = SmallOptions();
+  other.seed = 43;
+  SyntheticCorel a(SmallOptions()), b(other);
+  EXPECT_NE(a.Generate(0, 0).data(), b.Generate(0, 0).data());
+}
+
+TEST(SyntheticCorelTest, GenerateByIdMatchesCategoryIndex) {
+  SyntheticCorel corpus(SmallOptions());
+  // id 7 = category 1, index 3 (4 images per category).
+  EXPECT_EQ(corpus.GenerateById(7).data(), corpus.Generate(1, 3).data());
+  EXPECT_EQ(corpus.CategoryOf(7), 1);
+  EXPECT_EQ(corpus.CategoryOf(0), 0);
+  EXPECT_EQ(corpus.CategoryOf(19), 4);
+}
+
+TEST(SyntheticCorelTest, CategoryNames) {
+  SyntheticCorel corpus(SmallOptions());
+  EXPECT_EQ(corpus.CategoryName(0), "antique");
+  EXPECT_EQ(corpus.CategoryName(1), "antelope");
+  // Past the built-in list of 50 names, synthesized labels appear.
+  SyntheticCorelOptions big = SmallOptions();
+  big.num_categories = 60;
+  big.images_per_category = 1;
+  SyntheticCorel large(big);
+  EXPECT_EQ(large.CategoryName(55), "category-55");
+}
+
+TEST(SyntheticCorelTest, ThemesVaryAcrossCategories) {
+  SyntheticCorelOptions options = SmallOptions();
+  options.num_categories = 20;
+  SyntheticCorel corpus(options);
+  std::set<int> shape_kinds, bg_kinds;
+  for (int c = 0; c < 20; ++c) {
+    shape_kinds.insert(corpus.theme(c).shape_kind);
+    bg_kinds.insert(corpus.theme(c).bg_kind);
+  }
+  // With 20 categories the small vocabularies should be well covered.
+  EXPECT_GE(shape_kinds.size(), 3u);
+  EXPECT_GE(bg_kinds.size(), 3u);
+}
+
+TEST(SyntheticCorelTest, IntraCategoryHuesCluster) {
+  // Images of one category should have mean hue closer to the category base
+  // hue than to an arbitrary different family, on average. We check hue
+  // dispersion: same-category images cluster more tightly than the corpus.
+  SyntheticCorelOptions options = SmallOptions();
+  options.num_categories = 8;
+  options.images_per_category = 6;
+  SyntheticCorel corpus(options);
+
+  auto mean_saturation_weighted_hue = [](const Image& img) {
+    double sx = 0.0, sy = 0.0;
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        const Hsv hsv = RgbToHsv(img.At(x, y));
+        const double rad = hsv.h * M_PI / 180.0;
+        sx += hsv.s * std::cos(rad);
+        sy += hsv.s * std::sin(rad);
+      }
+    }
+    return std::atan2(sy, sx);
+  };
+
+  // Circular variance of per-image hue within category 0 vs across the
+  // whole corpus.
+  auto circular_resultant = [&](const std::vector<double>& angles) {
+    double cx = 0.0, cy = 0.0;
+    for (double a : angles) {
+      cx += std::cos(a);
+      cy += std::sin(a);
+    }
+    return std::sqrt(cx * cx + cy * cy) / angles.size();
+  };
+
+  std::vector<double> within, across;
+  for (int i = 0; i < 6; ++i) {
+    within.push_back(mean_saturation_weighted_hue(corpus.Generate(0, i)));
+  }
+  for (int c = 0; c < 8; ++c) {
+    across.push_back(mean_saturation_weighted_hue(corpus.Generate(c, 0)));
+  }
+  // Resultant length near 1 = tight cluster; the within-category cluster
+  // must be tighter than the cross-category spread.
+  EXPECT_GT(circular_resultant(within), circular_resultant(across));
+}
+
+TEST(SyntheticCorelDeathTest, BadArguments) {
+  SyntheticCorel corpus(SmallOptions());
+  EXPECT_DEATH((void)corpus.Generate(5, 0), "Check failed");
+  EXPECT_DEATH((void)corpus.Generate(0, 4), "Check failed");
+  EXPECT_DEATH((void)corpus.CategoryOf(20), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::imaging

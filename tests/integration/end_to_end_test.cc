@@ -1,0 +1,120 @@
+// End-to-end integration test: builds a mid-size synthetic corpus, collects
+// simulated user logs, runs the paper's full evaluation protocol across all
+// four schemes and asserts the *shape* of the paper's headline result:
+//
+//   Euclidean < RF-SVM <= LRF-2SVMs <= LRF-CSVM   (at P@20 and MAP)
+//
+// Tolerances are loose: this guards the qualitative ordering, not the exact
+// values (those are the benchmarks' job).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scheme_factory.h"
+#include "logdb/simulated_user.h"
+
+namespace cbir::core {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    retrieval::DatabaseOptions options;
+    options.corpus.num_categories = 5;
+    options.corpus.images_per_category = 40;
+    options.corpus.width = 64;
+    options.corpus.height = 64;
+    options.corpus.seed = 2024;
+    db_ = new retrieval::ImageDatabase(
+        retrieval::ImageDatabase::Build(options));
+
+    logdb::LogCollectionOptions log_options;
+    log_options.num_sessions = 60;
+    log_options.session_size = 15;
+    log_options.user.noise_rate = 0.10;
+    log_options.seed = 31;
+    const logdb::LogStore store =
+        logdb::CollectLogs(db_->features(), db_->categories(), log_options);
+    log_features_ = new la::Matrix(
+        store.BuildMatrix(db_->num_images()).ToDenseMatrix());
+
+    const SchemeOptions scheme_options =
+        MakeDefaultSchemeOptions(*db_, log_features_);
+    ExperimentOptions exp_options;
+    exp_options.num_queries = 30;
+    exp_options.num_labeled = 15;
+    exp_options.scopes = {20, 40, 60};
+    exp_options.seed = 77;
+    result_ = new ExperimentResult(
+        RunExperiment(*db_, log_features_, MakePaperSchemes(scheme_options),
+                      exp_options));
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete log_features_;
+    delete db_;
+  }
+
+  const SchemeResult& Scheme(const std::string& name) {
+    for (const SchemeResult& s : result_->schemes) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "scheme " << name << " missing";
+    static SchemeResult empty;
+    return empty;
+  }
+
+  static retrieval::ImageDatabase* db_;
+  static la::Matrix* log_features_;
+  static ExperimentResult* result_;
+};
+
+retrieval::ImageDatabase* EndToEndTest::db_ = nullptr;
+la::Matrix* EndToEndTest::log_features_ = nullptr;
+ExperimentResult* EndToEndTest::result_ = nullptr;
+
+TEST_F(EndToEndTest, AllSchemesEvaluated) {
+  ASSERT_EQ(result_->schemes.size(), 4u);
+  EXPECT_EQ(result_->num_queries, 30);
+}
+
+TEST_F(EndToEndTest, FeedbackBeatsEuclidean) {
+  EXPECT_GT(Scheme("RF-SVM").map, Scheme("Euclidean").map);
+}
+
+TEST_F(EndToEndTest, LogSchemesBeatRegularFeedback) {
+  // The paper's central claim: integrating the feedback log helps, clearly.
+  EXPECT_GT(Scheme("LRF-2SVMs").map, Scheme("RF-SVM").map + 0.02);
+  EXPECT_GT(Scheme("LRF-CSVM").map, Scheme("RF-SVM").map + 0.05);
+}
+
+TEST_F(EndToEndTest, CoupledSvmBeatsTwoSvms) {
+  // The paper's headline comparison: the coupled SVM must beat the naive
+  // combination of two SVMs, both at the top of the ranking and on MAP.
+  EXPECT_GT(Scheme("LRF-CSVM").map, Scheme("LRF-2SVMs").map + 0.02);
+  EXPECT_GT(Scheme("LRF-CSVM").precision[0],
+            Scheme("LRF-2SVMs").precision[0]);
+}
+
+TEST_F(EndToEndTest, PrecisionDecaysWithScope) {
+  // Precision@N is non-increasing in N for reasonable retrieval (each
+  // category has 40 relevant images; scopes are 20/40/60).
+  for (const SchemeResult& s : result_->schemes) {
+    EXPECT_GE(s.precision[0] + 0.02, s.precision[1]) << s.name;
+    EXPECT_GE(s.precision[1] + 0.02, s.precision[2]) << s.name;
+  }
+}
+
+TEST_F(EndToEndTest, EuclideanPrecisionAboveChance) {
+  // 5 categories: random precision ~0.2. Features must carry real signal.
+  EXPECT_GT(Scheme("Euclidean").precision[0], 0.3);
+}
+
+TEST_F(EndToEndTest, PaperTableRendersAllRows) {
+  const std::string table = FormatPaperTable(*result_);
+  EXPECT_NE(table.find("20"), std::string::npos);
+  EXPECT_NE(table.find("MAP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbir::core

@@ -1,0 +1,68 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::la {
+namespace {
+
+TEST(MatrixTest, ConstructAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+    }
+  }
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, AtReadWrite) {
+  Matrix m(2, 2);
+  m.At(0, 1) = 7.0;
+  m.At(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m(2, 3);
+  m.SetRow(1, {4, 5, 6});
+  EXPECT_EQ(m.Row(1), (Vec{4, 5, 6}));
+  EXPECT_EQ(m.Row(0), (Vec{0, 0, 0}));
+  const double* p = m.RowPtr(1);
+  EXPECT_DOUBLE_EQ(p[2], 6.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1, 2, 3});
+  m.SetRow(1, {4, 5, 6});
+  EXPECT_EQ(m.Multiply({1, 1, 1}), (Vec{6, 15}));
+  EXPECT_EQ(m.Multiply({1, 0, -1}), (Vec{-2, -2}));
+}
+
+TEST(MatrixTest, MultiplyTransposed) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1, 2, 3});
+  m.SetRow(1, {4, 5, 6});
+  EXPECT_EQ(m.MultiplyTransposed({1, 1}), (Vec{5, 7, 9}));
+  EXPECT_EQ(m.MultiplyTransposed({2, 0}), (Vec{2, 4, 6}));
+}
+
+TEST(MatrixDeathTest, OutOfBounds) {
+  Matrix m(2, 2);
+  EXPECT_DEATH((void)m.At(2, 0), "Check failed");
+  EXPECT_DEATH((void)m.At(0, 2), "Check failed");
+  EXPECT_DEATH(m.SetRow(0, {1.0}), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::la

@@ -1,0 +1,80 @@
+#include "la/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cbir::la {
+namespace {
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5}), -5.0);
+}
+
+TEST(StatsTest, Variance) {
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  // Population variance of {1,3}: mean 2, var = ((1)^2+(1)^2)/2 = 1.
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);
+}
+
+TEST(StatsTest, StdDev) {
+  EXPECT_DOUBLE_EQ(StdDev({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(StdDev({0, 0, 0, 0}), 0.0);
+}
+
+TEST(StatsTest, SkewnessCubeRootSymmetricIsZero) {
+  EXPECT_NEAR(SkewnessCubeRoot({-1, 0, 1}), 0.0, 1e-12);
+}
+
+TEST(StatsTest, SkewnessCubeRootSign) {
+  // Right-skewed data -> positive third moment.
+  EXPECT_GT(SkewnessCubeRoot({0, 0, 0, 10}), 0.0);
+  // Left-skewed.
+  EXPECT_LT(SkewnessCubeRoot({0, 10, 10, 10}), 0.0);
+}
+
+TEST(StatsTest, SkewnessSharesScale) {
+  // Scaling data by k scales the cube-root skewness by k.
+  const std::vector<double> base{0, 0, 1, 5};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(10.0 * v);
+  EXPECT_NEAR(SkewnessCubeRoot(scaled), 10.0 * SkewnessCubeRoot(base), 1e-9);
+}
+
+TEST(StatsTest, EntropyUniformIsLogN) {
+  EXPECT_NEAR(Entropy({1, 1, 1, 1}), 2.0, 1e-12);          // log2(4)
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, EntropyDegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({5, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0, 0}), 0.0);
+}
+
+TEST(StatsTest, EntropyIgnoresNonPositive) {
+  EXPECT_NEAR(Entropy({1, 1, -3, 0}), 1.0, 1e-12);  // two live buckets
+}
+
+TEST(StatsTest, HistogramCountsAndClamps) {
+  const auto h = Histogram({0.1, 0.2, 0.9, -5.0, 99.0}, 2, 0.0, 1.0);
+  ASSERT_EQ(h.size(), 2u);
+  // -5 clamps into bin 0; 99 clamps into bin 1.
+  EXPECT_DOUBLE_EQ(h[0], 3.0);
+  EXPECT_DOUBLE_EQ(h[1], 2.0);
+}
+
+TEST(StatsTest, HistogramEdgeValueGoesToLastBin) {
+  const auto h = Histogram({1.0}, 4, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(h[3], 1.0);
+}
+
+TEST(StatsDeathTest, HistogramBadArgs) {
+  EXPECT_DEATH((void)Histogram({1.0}, 0, 0.0, 1.0), "Check failed");
+  EXPECT_DEATH((void)Histogram({1.0}, 4, 1.0, 1.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::la

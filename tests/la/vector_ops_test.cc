@@ -1,0 +1,65 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cbir::la {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Dot({1, -1}, {1, 1}), 0.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(VectorOpsTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(VectorOpsTest, Norm) {
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vec y{1, 1, 1};
+  Axpy(2.0, {1, 2, 3}, &y);
+  EXPECT_EQ(y, (Vec{3, 5, 7}));
+}
+
+TEST(VectorOpsTest, Scale) {
+  Vec x{2, -4};
+  Scale(0.5, &x);
+  EXPECT_EQ(x, (Vec{1, -2}));
+}
+
+TEST(VectorOpsTest, AddSubtract) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (Vec{4, 6}));
+  EXPECT_EQ(Subtract({3, 4}, {1, 2}), (Vec{2, 2}));
+}
+
+TEST(VectorOpsTest, NormalizeL2) {
+  Vec x{3, 4};
+  NormalizeL2(&x);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+  EXPECT_DOUBLE_EQ(x[1], 0.8);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorUnchanged) {
+  Vec x{0, 0, 0};
+  NormalizeL2(&x);
+  EXPECT_EQ(x, (Vec{0, 0, 0}));
+}
+
+TEST(VectorOpsDeathTest, SizeMismatch) {
+  EXPECT_DEATH((void)Dot({1}, {1, 2}), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::la

@@ -1,0 +1,109 @@
+#include "logdb/log_store.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace cbir::logdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+LogStore SampleStore() {
+  LogStore store;
+  LogSession s1;
+  s1.query_image_id = 5;
+  s1.entries = {LogEntry{1, 1}, LogEntry{2, -1}};
+  LogSession s2;
+  s2.query_image_id = 9;
+  s2.entries = {LogEntry{3, 1}};
+  store.Append(s1);
+  store.Append(s2);
+  return store;
+}
+
+TEST(LogStoreTest, AppendAndCount) {
+  const LogStore store = SampleStore();
+  EXPECT_EQ(store.num_sessions(), 2);
+  EXPECT_EQ(store.TotalJudgments(), 3);
+}
+
+TEST(LogStoreTest, BuildMatrix) {
+  const LogStore store = SampleStore();
+  const RelevanceMatrix m = store.BuildMatrix(10);
+  EXPECT_EQ(m.num_sessions(), 2);
+  EXPECT_EQ(m.Value(0, 1), 1);
+  EXPECT_EQ(m.Value(1, 3), 1);
+}
+
+TEST(LogStoreTest, BuildMatrixTruncated) {
+  const LogStore store = SampleStore();
+  const RelevanceMatrix m = store.BuildMatrix(10, /*max_sessions=*/1);
+  EXPECT_EQ(m.num_sessions(), 1);
+}
+
+TEST(LogStoreTest, BuildMatrixTruncationClamps) {
+  const LogStore store = SampleStore();
+  EXPECT_EQ(store.BuildMatrix(10, 99).num_sessions(), 2);
+}
+
+TEST(LogStoreTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("log_store_roundtrip.txt");
+  const LogStore store = SampleStore();
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  auto loaded = LogStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_sessions(), 2);
+  EXPECT_EQ(loaded->sessions()[0].query_image_id, 5);
+  EXPECT_EQ(loaded->sessions()[0].entries.size(), 2u);
+  EXPECT_EQ(loaded->sessions()[0].entries[1].image_id, 2);
+  EXPECT_EQ(loaded->sessions()[0].entries[1].judgment, -1);
+  EXPECT_EQ(loaded->sessions()[1].entries[0].image_id, 3);
+  std::remove(path.c_str());
+}
+
+TEST(LogStoreTest, LoadMissingFileFails) {
+  auto r = LogStore::LoadFromFile(TempPath("missing.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(LogStoreTest, LoadRejectsBadHeader) {
+  const std::string path = TempPath("bad_header.txt");
+  std::ofstream(path) << "wrong v1 0\n";
+  EXPECT_FALSE(LogStore::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LogStoreTest, LoadRejectsBadJudgment) {
+  const std::string path = TempPath("bad_judgment.txt");
+  std::ofstream(path) << "cbir_log v1 1\nsession 0 1\n3 5\n";
+  auto r = LogStore::LoadFromFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(LogStoreTest, LoadRejectsTruncated) {
+  const std::string path = TempPath("truncated.txt");
+  std::ofstream(path) << "cbir_log v1 2\nsession 0 1\n3 1\n";
+  EXPECT_FALSE(LogStore::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LogStoreTest, EmptyStoreRoundTrip) {
+  const std::string path = TempPath("empty_store.txt");
+  LogStore store;
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  auto loaded = LogStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_sessions(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cbir::logdb

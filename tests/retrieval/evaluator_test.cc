@@ -1,0 +1,81 @@
+#include "retrieval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::retrieval {
+namespace {
+
+TEST(PaperScopesTest, MatchesTableRows) {
+  EXPECT_EQ(PaperScopes(),
+            (std::vector<int>{20, 30, 40, 50, 60, 70, 80, 90, 100}));
+}
+
+TEST(PrecisionAtNTest, Basic) {
+  const std::vector<int> categories{0, 0, 1, 1, 0};
+  const std::vector<int> ranked{0, 2, 1, 4, 3};
+  // Query category 0: ranked relevance pattern = {1, 0, 1, 1, 0}.
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, categories, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, categories, 0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, categories, 0, 4), 0.75);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, categories, 0, 5), 0.6);
+}
+
+TEST(PrecisionAtNTest, NoRelevant) {
+  const std::vector<int> categories{1, 1, 1};
+  const std::vector<int> ranked{0, 1, 2};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, categories, 0, 3), 0.0);
+}
+
+TEST(PrecisionAtScopesTest, MultipleScopes) {
+  const std::vector<int> categories{0, 1, 0, 1};
+  const std::vector<int> ranked{0, 2, 1, 3};
+  const auto p = PrecisionAtScopes(ranked, categories, 0, {1, 2, 4});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(PrecisionAccumulatorTest, MeanOverQueries) {
+  PrecisionAccumulator acc({10, 20});
+  acc.Add({1.0, 0.5});
+  acc.Add({0.0, 0.5});
+  EXPECT_EQ(acc.num_queries(), 2);
+  const auto mean = acc.MeanPrecision();
+  EXPECT_DOUBLE_EQ(mean[0], 0.5);
+  EXPECT_DOUBLE_EQ(mean[1], 0.5);
+}
+
+TEST(PrecisionAccumulatorTest, MapIsMeanOfScopeMeans) {
+  PrecisionAccumulator acc({10, 20, 30});
+  acc.Add({0.9, 0.6, 0.3});
+  EXPECT_NEAR(acc.MeanAveragePrecision(), 0.6, 1e-12);
+}
+
+TEST(PrecisionAccumulatorDeathTest, RequiresMatchingArity) {
+  PrecisionAccumulator acc({10, 20});
+  EXPECT_DEATH(acc.Add({1.0}), "Check failed");
+}
+
+TEST(PrecisionAccumulatorDeathTest, MeanWithoutQueries) {
+  PrecisionAccumulator acc({10});
+  EXPECT_DEATH((void)acc.MeanPrecision(), "Check failed");
+}
+
+TEST(RelativeImprovementTest, Basic) {
+  EXPECT_DOUBLE_EQ(RelativeImprovement(0.699, 0.491),
+                   (0.699 - 0.491) / 0.491);
+  EXPECT_DOUBLE_EQ(RelativeImprovement(0.5, 0.5), 0.0);
+  EXPECT_LT(RelativeImprovement(0.4, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeImprovement(1.0, 0.0), 0.0);  // guarded
+}
+
+TEST(PrecisionAtNDeathTest, BadArguments) {
+  const std::vector<int> categories{0, 0};
+  const std::vector<int> ranked{0, 1};
+  EXPECT_DEATH((void)PrecisionAtN(ranked, categories, 0, 0), "Check failed");
+  EXPECT_DEATH((void)PrecisionAtN(ranked, categories, 0, 3), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::retrieval

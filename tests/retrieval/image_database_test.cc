@@ -1,0 +1,111 @@
+#include "retrieval/image_database.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace cbir::retrieval {
+namespace {
+
+DatabaseOptions SmallDbOptions() {
+  DatabaseOptions options;
+  options.corpus.num_categories = 3;
+  options.corpus.images_per_category = 5;
+  options.corpus.width = 64;
+  options.corpus.height = 64;
+  options.corpus.seed = 11;
+  return options;
+}
+
+TEST(ImageDatabaseTest, BuildShapeAndLabels) {
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  EXPECT_EQ(db.num_images(), 15);
+  EXPECT_EQ(db.num_categories(), 3);
+  EXPECT_EQ(db.features().rows(), 15u);
+  EXPECT_EQ(db.features().cols(), 36u);
+  EXPECT_EQ(db.category(0), 0);
+  EXPECT_EQ(db.category(5), 1);
+  EXPECT_EQ(db.category(14), 2);
+  EXPECT_EQ(db.categories().size(), 15u);
+  EXPECT_EQ(db.category_name(0), "antique");
+}
+
+TEST(ImageDatabaseTest, BuildIsDeterministic) {
+  const ImageDatabase a = ImageDatabase::Build(SmallDbOptions());
+  const ImageDatabase b = ImageDatabase::Build(SmallDbOptions());
+  EXPECT_EQ(a.features().data(), b.features().data());
+}
+
+TEST(ImageDatabaseTest, ParallelAndSerialBuildsAgree) {
+  DatabaseOptions serial = SmallDbOptions();
+  serial.num_threads = 1;
+  DatabaseOptions parallel = SmallDbOptions();
+  parallel.num_threads = 4;
+  const ImageDatabase a = ImageDatabase::Build(serial);
+  const ImageDatabase b = ImageDatabase::Build(parallel);
+  EXPECT_EQ(a.features().data(), b.features().data());
+}
+
+TEST(ImageDatabaseTest, NormalizedFeaturesAreStandardized) {
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  ASSERT_TRUE(db.normalizer().fitted());
+  const la::Matrix& f = db.features();
+  for (size_t c = 0; c < f.cols(); ++c) {
+    double mean = 0.0;
+    for (size_t r = 0; r < f.rows(); ++r) mean += f.At(r, c);
+    mean /= static_cast<double>(f.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9) << "column " << c;
+  }
+}
+
+TEST(ImageDatabaseTest, UnnormalizedBuild) {
+  DatabaseOptions options = SmallDbOptions();
+  options.normalize = false;
+  const ImageDatabase db = ImageDatabase::Build(options);
+  EXPECT_FALSE(db.normalizer().fitted());
+}
+
+TEST(ImageDatabaseTest, FeatureAccessorMatchesMatrixRow) {
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  EXPECT_EQ(db.feature(7), db.features().Row(7));
+}
+
+TEST(ImageDatabaseTest, RenderImageMatchesCorpus) {
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  const imaging::Image img = db.RenderImage(4);
+  EXPECT_EQ(img.width(), 64);
+  EXPECT_EQ(img.data(), db.corpus().GenerateById(4).data());
+}
+
+TEST(ImageDatabaseTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/db_roundtrip.txt";
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+
+  auto loaded = ImageDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_images(), db.num_images());
+  EXPECT_EQ(loaded->categories(), db.categories());
+  ASSERT_EQ(loaded->features().rows(), db.features().rows());
+  for (size_t r = 0; r < db.features().rows(); ++r) {
+    for (size_t c = 0; c < db.features().cols(); ++c) {
+      EXPECT_NEAR(loaded->features().At(r, c), db.features().At(r, c), 1e-12);
+    }
+  }
+  EXPECT_TRUE(loaded->normalizer().fitted());
+  std::remove(path.c_str());
+}
+
+TEST(ImageDatabaseTest, LoadMissingFileFails) {
+  auto r = ImageDatabase::LoadFromFile(::testing::TempDir() + "/no-such-db");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ImageDatabaseDeathTest, CategoryOutOfRange) {
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  EXPECT_DEATH((void)db.category(15), "Check failed");
+  EXPECT_DEATH((void)db.feature(-1), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::retrieval

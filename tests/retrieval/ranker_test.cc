@@ -1,0 +1,78 @@
+#include "retrieval/ranker.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir::retrieval {
+namespace {
+
+la::Matrix PointsOnLine() {
+  la::Matrix m(5, 1);
+  m.SetRow(0, {0.0});
+  m.SetRow(1, {10.0});
+  m.SetRow(2, {3.0});
+  m.SetRow(3, {-2.0});
+  m.SetRow(4, {7.0});
+  return m;
+}
+
+TEST(RankerTest, EuclideanOrdersByDistance) {
+  const auto ranked = RankByEuclidean(PointsOnLine(), {1.0});
+  // Distances from 1: id0=1, id1=9, id2=2, id3=3, id4=6.
+  EXPECT_EQ(ranked, (std::vector<int>{0, 2, 3, 4, 1}));
+}
+
+TEST(RankerTest, EuclideanTopK) {
+  const auto ranked = RankByEuclidean(PointsOnLine(), {1.0}, 2);
+  EXPECT_EQ(ranked, (std::vector<int>{0, 2}));
+}
+
+TEST(RankerTest, EuclideanTopKLargerThanNReturnsAll) {
+  const auto ranked = RankByEuclidean(PointsOnLine(), {1.0}, 99);
+  EXPECT_EQ(ranked.size(), 5u);
+}
+
+TEST(RankerTest, EuclideanTieBreaksByIndex) {
+  la::Matrix m(3, 1);
+  m.SetRow(0, {1.0});
+  m.SetRow(1, {-1.0});
+  m.SetRow(2, {1.0});
+  const auto ranked = RankByEuclidean(m, {0.0});
+  EXPECT_EQ(ranked, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RankerTest, AllSquaredDistances) {
+  const auto d = AllSquaredDistances(PointsOnLine(), {1.0});
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 81.0);
+  EXPECT_DOUBLE_EQ(d[3], 9.0);
+}
+
+TEST(RankerTest, ScoreDescOrdering) {
+  const auto ranked = RankByScoreDesc({0.1, 0.9, -0.5, 0.9}, {});
+  // Ties (ids 1 and 3 at 0.9) break on index.
+  EXPECT_EQ(ranked, (std::vector<int>{1, 3, 0, 2}));
+}
+
+TEST(RankerTest, ScoreDescTieBreakByDistance) {
+  // Equal scores everywhere: distances decide.
+  const auto ranked =
+      RankByScoreDesc({1.0, 1.0, 1.0}, {5.0, 1.0, 3.0});
+  EXPECT_EQ(ranked, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(RankerTest, ScoreDescTopK) {
+  const auto ranked = RankByScoreDesc({0.1, 0.9, -0.5, 0.6}, {}, 2);
+  EXPECT_EQ(ranked, (std::vector<int>{1, 3}));
+}
+
+TEST(RankerDeathTest, TiebreakSizeMismatch) {
+  EXPECT_DEATH((void)RankByScoreDesc({1.0, 2.0}, {1.0}), "Check failed");
+}
+
+TEST(RankerDeathTest, QueryDimensionMismatch) {
+  EXPECT_DEATH((void)RankByEuclidean(PointsOnLine(), {1.0, 2.0}),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::retrieval

@@ -1,0 +1,90 @@
+#include "svm/kernel_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cbir::svm {
+namespace {
+
+la::Matrix RandomData(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix data(n, dims);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < dims; ++c) data.At(r, c) = rng.Gaussian();
+  }
+  return data;
+}
+
+TEST(KernelCacheTest, RowsMatchDirectEvaluation) {
+  const la::Matrix data = RandomData(10, 3, 1);
+  const KernelParams k = KernelParams::Rbf(0.5);
+  KernelCache cache(data, k);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto& row = cache.GetRow(i);
+    ASSERT_EQ(row.size(), 10u);
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(row[j], EvalKernel(k, data.Row(i), data.Row(j)), 1e-12);
+    }
+  }
+}
+
+TEST(KernelCacheTest, DiagPrecomputed) {
+  const la::Matrix data = RandomData(6, 4, 2);
+  const KernelParams k = KernelParams::Rbf(1.0);
+  KernelCache cache(data, k);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(cache.Diag(i), 1.0, 1e-12);  // RBF diagonal is always 1
+  }
+  KernelCache linear(data, KernelParams::Linear());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(linear.Diag(i), la::Dot(data.Row(i), data.Row(i)), 1e-12);
+  }
+}
+
+TEST(KernelCacheTest, HitsAndMisses) {
+  const la::Matrix data = RandomData(4, 2, 3);
+  KernelCache cache(data, KernelParams::Linear());
+  cache.GetRow(0);
+  cache.GetRow(0);
+  cache.GetRow(1);
+  cache.GetRow(0);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(KernelCacheTest, EvictionKeepsResultsCorrect) {
+  const la::Matrix data = RandomData(8, 3, 4);
+  const KernelParams k = KernelParams::Rbf(0.3);
+  KernelCache cache(data, k, /*max_rows=*/2);
+  // Touch rows in a pattern that forces eviction, verifying values always.
+  const size_t pattern[] = {0, 1, 2, 3, 0, 1, 7, 0};
+  for (size_t i : pattern) {
+    const auto& row = cache.GetRow(i);
+    for (size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(row[j], EvalKernel(k, data.Row(i), data.Row(j)), 1e-12);
+    }
+  }
+  EXPECT_GT(cache.misses(), 2u);  // eviction happened
+}
+
+TEST(KernelCacheTest, LruKeepsRecentRow) {
+  const la::Matrix data = RandomData(4, 2, 5);
+  KernelCache cache(data, KernelParams::Linear(), /*max_rows=*/2);
+  cache.GetRow(0);  // miss
+  cache.GetRow(1);  // miss
+  cache.GetRow(0);  // hit (refreshes 0)
+  cache.GetRow(2);  // miss, evicts 1
+  cache.GetRow(0);  // must still be resident
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(KernelCacheDeathTest, OutOfRangeRow) {
+  const la::Matrix data = RandomData(3, 2, 6);
+  KernelCache cache(data, KernelParams::Linear());
+  EXPECT_DEATH((void)cache.GetRow(3), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::svm

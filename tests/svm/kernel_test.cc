@@ -1,0 +1,130 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cbir::svm {
+namespace {
+
+TEST(KernelTest, LinearIsDotProduct) {
+  const KernelParams k = KernelParams::Linear();
+  EXPECT_DOUBLE_EQ(EvalKernel(k, {1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(KernelTest, RbfAtZeroDistanceIsOne) {
+  const KernelParams k = KernelParams::Rbf(0.7);
+  EXPECT_DOUBLE_EQ(EvalKernel(k, {1, 2}, {1, 2}), 1.0);
+}
+
+TEST(KernelTest, RbfDecaysWithDistance) {
+  const KernelParams k = KernelParams::Rbf(1.0);
+  const double near = EvalKernel(k, {0, 0}, {0.1, 0});
+  const double far = EvalKernel(k, {0, 0}, {3, 0});
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(far, std::exp(-9.0), 1e-12);
+}
+
+TEST(KernelTest, RbfGammaControlsWidth) {
+  const double narrow = EvalKernel(KernelParams::Rbf(10.0), {0}, {1});
+  const double wide = EvalKernel(KernelParams::Rbf(0.1), {0}, {1});
+  EXPECT_LT(narrow, wide);
+}
+
+TEST(KernelTest, PolynomialMatchesClosedForm) {
+  const KernelParams k = KernelParams::Polynomial(2.0, 1.0, 3);
+  // (2*<a,b> + 1)^3 with <a,b> = 2 -> 125.
+  EXPECT_DOUBLE_EQ(EvalKernel(k, {1, 1}, {1, 1}), 125.0);
+}
+
+TEST(KernelTest, PolynomialDegreeZeroIsOne) {
+  const KernelParams k = KernelParams::Polynomial(2.0, 5.0, 0);
+  EXPECT_DOUBLE_EQ(EvalKernel(k, {3}, {4}), 1.0);
+}
+
+TEST(KernelTest, EvalKernelRowMatchesEvalKernel) {
+  la::Matrix rows(3, 2);
+  rows.SetRow(0, {1, 2});
+  rows.SetRow(1, {-1, 0.5});
+  rows.SetRow(2, {0, 0});
+  const la::Vec b{0.3, -0.7};
+  for (const KernelParams& k :
+       {KernelParams::Linear(), KernelParams::Rbf(0.5),
+        KernelParams::Polynomial(1.0, 1.0, 2)}) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(EvalKernelRow(k, rows, i, b),
+                  EvalKernel(k, rows.Row(i), b), 1e-12);
+    }
+  }
+}
+
+TEST(KernelTest, SymmetryProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    la::Vec a(5), b(5);
+    for (double& v : a) v = rng.Gaussian();
+    for (double& v : b) v = rng.Gaussian();
+    for (const KernelParams& k :
+         {KernelParams::Linear(), KernelParams::Rbf(0.8),
+          KernelParams::Polynomial(0.5, 1.0, 2)}) {
+      EXPECT_NEAR(EvalKernel(k, a, b), EvalKernel(k, b, a), 1e-12);
+    }
+  }
+}
+
+// Mercer property: random Gram matrices must be positive semidefinite.
+// Checked via z'Kz >= 0 for random z (sufficient statistical evidence).
+class KernelPsdTest : public ::testing::TestWithParam<KernelParams> {};
+
+TEST_P(KernelPsdTest, GramMatrixIsPsd) {
+  Rng rng(11);
+  const size_t n = 12, dims = 4;
+  std::vector<la::Vec> xs(n, la::Vec(dims));
+  for (auto& x : xs) {
+    for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+  }
+  la::Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      gram.At(i, j) = EvalKernel(GetParam(), xs[i], xs[j]);
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    la::Vec z(n);
+    for (double& v : z) v = rng.Gaussian();
+    const la::Vec gz = gram.Multiply(z);
+    EXPECT_GE(la::Dot(z, gz), -1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelPsdTest,
+    ::testing::Values(KernelParams::Linear(), KernelParams::Rbf(0.1),
+                      KernelParams::Rbf(1.0), KernelParams::Rbf(10.0),
+                      KernelParams::Polynomial(1.0, 1.0, 2),
+                      KernelParams::Polynomial(0.5, 1.0, 4)));
+
+TEST(DefaultGammaTest, MatchesLibsvmFormula) {
+  la::Matrix data(2, 2);
+  data.SetRow(0, {0.0, 0.0});
+  data.SetRow(1, {2.0, 2.0});
+  // All entries {0,0,2,2}: mean 1, var 1 -> gamma = 1/(2*1) = 0.5.
+  EXPECT_NEAR(DefaultGamma(data), 0.5, 1e-12);
+}
+
+TEST(DefaultGammaTest, ConstantDataFallsBackToOneOverDims) {
+  la::Matrix data(3, 4, 7.0);
+  EXPECT_NEAR(DefaultGamma(data), 0.25, 1e-12);
+}
+
+TEST(KernelTest, ToStringMentionsTypeAndParams) {
+  EXPECT_EQ(KernelParams::Linear().ToString(), "linear");
+  EXPECT_NE(KernelParams::Rbf(0.5).ToString().find("rbf"), std::string::npos);
+  EXPECT_NE(KernelParams::Polynomial(1, 0, 3).ToString().find("degree=3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbir::svm

@@ -1,0 +1,250 @@
+#include "svm/smo_solver.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cbir::svm {
+namespace {
+
+la::Matrix MatrixFromRows(const std::vector<la::Vec>& rows) {
+  la::Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
+  return m;
+}
+
+TEST(SmoSolverTest, TwoPointAnalyticSolution) {
+  // +1 at x=0, -1 at x=2, linear kernel, C large.
+  // Max-margin solution: f(x) = 1 - x, alpha_1 = alpha_2 = 0.5,
+  // dual objective = -0.5.
+  const la::Matrix data = MatrixFromRows({{0.0}, {2.0}});
+  SmoSolver solver(data, {1.0, -1.0}, {10.0, 10.0}, KernelParams::Linear());
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_TRUE(sol->converged);
+  EXPECT_NEAR(sol->alpha[0], 0.5, 1e-3);
+  EXPECT_NEAR(sol->alpha[1], 0.5, 1e-3);
+  EXPECT_NEAR(sol->bias, 1.0, 1e-3);
+  EXPECT_NEAR(sol->objective, -0.5, 1e-3);
+}
+
+TEST(SmoSolverTest, EqualityConstraintHolds) {
+  Rng rng(17);
+  const size_t n = 30;
+  la::Matrix data(n, 3);
+  std::vector<double> y(n), c(n, 5.0);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    for (size_t d = 0; d < 3; ++d) {
+      data.At(i, d) = rng.Gaussian() + (y[i] > 0 ? 1.0 : -1.0);
+    }
+  }
+  SmoSolver solver(data, y, c, KernelParams::Rbf(0.5));
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  double constraint = 0.0;
+  for (size_t i = 0; i < n; ++i) constraint += sol->alpha[i] * y[i];
+  EXPECT_NEAR(constraint, 0.0, 1e-9);
+}
+
+TEST(SmoSolverTest, BoxConstraintsRespected) {
+  Rng rng(19);
+  const size_t n = 24;
+  la::Matrix data(n, 2);
+  std::vector<double> y(n), c(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    c[i] = 0.1 + 0.4 * static_cast<double>(i % 5);  // heterogeneous bounds
+    // Overlapping classes so bounds bind.
+    data.At(i, 0) = rng.Gaussian() + 0.2 * y[i];
+    data.At(i, 1) = rng.Gaussian();
+  }
+  SmoSolver solver(data, y, c, KernelParams::Rbf(1.0));
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(sol->alpha[i], -1e-12);
+    EXPECT_LE(sol->alpha[i], c[i] + 1e-12);
+  }
+}
+
+// Verifies the KKT optimality conditions against the returned model:
+//   alpha = 0      =>  y f(x) >= 1 - tol
+//   0 < alpha < C  =>  |y f(x) - 1| <= tol
+//   alpha = C      =>  y f(x) <= 1 + tol
+void CheckKkt(const la::Matrix& data, const std::vector<double>& y,
+              const std::vector<double>& c, const KernelParams& kernel,
+              const SmoSolution& sol, double tol) {
+  const size_t n = data.rows();
+  for (size_t i = 0; i < n; ++i) {
+    double f = sol.bias;
+    for (size_t j = 0; j < n; ++j) {
+      f += sol.alpha[j] * y[j] * EvalKernel(kernel, data.Row(j), data.Row(i));
+    }
+    const double margin = y[i] * f;
+    if (sol.alpha[i] <= 1e-9) {
+      EXPECT_GE(margin, 1.0 - tol) << "i=" << i;
+    } else if (sol.alpha[i] >= c[i] - 1e-9) {
+      EXPECT_LE(margin, 1.0 + tol) << "i=" << i;
+    } else {
+      EXPECT_NEAR(margin, 1.0, tol) << "i=" << i;
+    }
+  }
+}
+
+TEST(SmoSolverTest, KktConditionsOnSeparableData) {
+  Rng rng(23);
+  const size_t n = 40;
+  la::Matrix data(n, 2);
+  std::vector<double> y(n), c(n, 10.0);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i < n / 2) ? 1.0 : -1.0;
+    data.At(i, 0) = rng.Gaussian() + 3.0 * y[i];
+    data.At(i, 1) = rng.Gaussian();
+  }
+  const KernelParams kernel = KernelParams::Linear();
+  SmoSolver solver(data, y, c, kernel);
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->converged);
+  CheckKkt(data, y, c, kernel, *sol, 0.02);
+}
+
+TEST(SmoSolverTest, KktConditionsOnOverlappingDataRbf) {
+  Rng rng(29);
+  const size_t n = 50;
+  la::Matrix data(n, 3);
+  std::vector<double> y(n), c(n, 2.0);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    for (size_t d = 0; d < 3; ++d) {
+      data.At(i, d) = rng.Gaussian() + 0.5 * y[i];
+    }
+  }
+  const KernelParams kernel = KernelParams::Rbf(0.7);
+  SmoSolver solver(data, y, c, kernel);
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  CheckKkt(data, y, c, kernel, *sol, 0.02);
+}
+
+TEST(SmoSolverTest, XorSolvableWithRbf) {
+  const la::Matrix data =
+      MatrixFromRows({{0, 0}, {1, 1}, {0, 1}, {1, 0}});
+  const std::vector<double> y{1.0, 1.0, -1.0, -1.0};
+  const KernelParams kernel = KernelParams::Rbf(2.0);
+  SmoSolver solver(data, y, {50, 50, 50, 50}, kernel);
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    double f = sol->bias;
+    for (size_t j = 0; j < 4; ++j) {
+      f += sol->alpha[j] * y[j] *
+           EvalKernel(kernel, data.Row(j), data.Row(i));
+    }
+    EXPECT_GT(y[i] * f, 0.0) << "XOR point " << i << " misclassified";
+  }
+}
+
+TEST(SmoSolverTest, SingleClassDataConverges) {
+  const la::Matrix data = MatrixFromRows({{0.0}, {1.0}, {2.0}});
+  SmoSolver solver(data, {1.0, 1.0, 1.0}, {1, 1, 1}, KernelParams::Linear());
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  // With all labels equal, the equality constraint forces alpha = 0.
+  for (double a : sol->alpha) EXPECT_NEAR(a, 0.0, 1e-12);
+  EXPECT_TRUE(sol->converged);
+}
+
+TEST(SmoSolverTest, DuplicateContradictoryPointsSaturate) {
+  // The same point labeled both ways: both alphas hit the box bound.
+  const la::Matrix data = MatrixFromRows({{1.0}, {1.0}});
+  SmoSolver solver(data, {1.0, -1.0}, {0.7, 0.7}, KernelParams::Linear());
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->alpha[0], 0.7, 1e-6);
+  EXPECT_NEAR(sol->alpha[1], 0.7, 1e-6);
+}
+
+TEST(SmoSolverTest, PerSampleBoundLimitsInfluence) {
+  // Same geometry, but one sample's C is tiny: its alpha must stay small.
+  const la::Matrix data = MatrixFromRows({{0.0}, {0.1}, {2.0}});
+  const std::vector<double> y{1.0, 1.0, -1.0};
+  SmoSolver solver(data, y, {10.0, 0.01, 10.0}, KernelParams::Linear());
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LE(sol->alpha[1], 0.01 + 1e-12);
+}
+
+TEST(SmoSolverTest, RejectsBadInputs) {
+  const la::Matrix data = MatrixFromRows({{0.0}, {1.0}});
+  {
+    SmoSolver s(data, {1.0, 0.5}, {1, 1}, KernelParams::Linear());
+    EXPECT_FALSE(s.Solve().ok());  // label not +-1
+  }
+  {
+    SmoSolver s(data, {1.0, -1.0}, {1, 0}, KernelParams::Linear());
+    EXPECT_FALSE(s.Solve().ok());  // non-positive C
+  }
+}
+
+TEST(SmoSolverTest, ObjectiveMatchesDirectComputation) {
+  Rng rng(31);
+  const size_t n = 20;
+  la::Matrix data(n, 2);
+  std::vector<double> y(n), c(n, 1.5);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    data.At(i, 0) = rng.Gaussian() + y[i];
+    data.At(i, 1) = rng.Gaussian();
+  }
+  const KernelParams kernel = KernelParams::Rbf(0.4);
+  SmoSolver solver(data, y, c, kernel);
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  // 0.5 a'Qa - e'a computed directly.
+  double direct = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      direct += 0.5 * sol->alpha[i] * sol->alpha[j] * y[i] * y[j] *
+                EvalKernel(kernel, data.Row(i), data.Row(j));
+    }
+    direct -= sol->alpha[i];
+  }
+  EXPECT_NEAR(sol->objective, direct, 1e-9);
+}
+
+TEST(SmoSolverTest, LargerCReducesTrainingError) {
+  // Overlapping data: larger C must not increase the hinge loss.
+  Rng rng(37);
+  const size_t n = 40;
+  la::Matrix data(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    data.At(i, 0) = rng.Gaussian() + 0.6 * y[i];
+    data.At(i, 1) = rng.Gaussian();
+  }
+  const KernelParams kernel = KernelParams::Rbf(0.8);
+  auto hinge_at = [&](double c_value) {
+    SmoSolver solver(data, y, std::vector<double>(n, c_value), kernel);
+    auto sol = solver.Solve();
+    EXPECT_TRUE(sol.ok());
+    double hinge = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double f = sol->bias;
+      for (size_t j = 0; j < n; ++j) {
+        f += sol->alpha[j] * y[j] *
+             EvalKernel(kernel, data.Row(j), data.Row(i));
+      }
+      hinge += std::max(0.0, 1.0 - y[i] * f);
+    }
+    return hinge;
+  };
+  EXPECT_LE(hinge_at(10.0), hinge_at(0.1) + 1e-6);
+}
+
+}  // namespace
+}  // namespace cbir::svm

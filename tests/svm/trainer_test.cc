@@ -1,0 +1,115 @@
+#include "svm/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cbir::svm {
+namespace {
+
+la::Matrix SeparableData(std::vector<double>* labels, size_t n,
+                         uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix data(n, 2);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*labels)[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    data.At(i, 0) = rng.Gaussian() + 2.5 * (*labels)[i];
+    data.At(i, 1) = rng.Gaussian();
+  }
+  return data;
+}
+
+TEST(TrainerTest, SeparableDataPerfectlyClassified) {
+  std::vector<double> y;
+  const la::Matrix data = SeparableData(&y, 30, 41);
+  TrainOptions options;
+  options.kernel = KernelParams::Linear();
+  options.c = 10.0;
+  SvmTrainer trainer(options);
+  auto out = trainer.Train(data, y);
+  ASSERT_TRUE(out.ok()) << out.status();
+  for (size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(out->model.Predict(data.Row(i)), y[i]) << "sample " << i;
+  }
+}
+
+TEST(TrainerTest, SlacksMatchDecisions) {
+  std::vector<double> y;
+  const la::Matrix data = SeparableData(&y, 20, 43);
+  SvmTrainer trainer;
+  auto out = trainer.Train(data, y);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->slacks.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    const double expected =
+        std::max(0.0, 1.0 - y[i] * out->train_decisions[i]);
+    EXPECT_NEAR(out->slacks[i], expected, 1e-12);
+    EXPECT_NEAR(out->train_decisions[i], out->model.Decision(data.Row(i)),
+                1e-12);
+  }
+}
+
+TEST(TrainerTest, SupportVectorsAreSubset) {
+  std::vector<double> y;
+  const la::Matrix data = SeparableData(&y, 40, 47);
+  TrainOptions options;
+  options.kernel = KernelParams::Linear();
+  options.c = 100.0;
+  SvmTrainer trainer(options);
+  auto out = trainer.Train(data, y);
+  ASSERT_TRUE(out.ok());
+  // Widely separable data keeps only a few support vectors.
+  EXPECT_LT(out->model.num_support_vectors(), 40u);
+  EXPECT_GE(out->model.num_support_vectors(), 2u);
+}
+
+TEST(TrainerTest, WeightedTrainingLimitsLowCSamples) {
+  // An intentionally mislabeled sample with a tiny C bound cannot dominate.
+  la::Matrix data(5, 1);
+  data.SetRow(0, {0.0});
+  data.SetRow(1, {0.5});
+  data.SetRow(2, {3.0});
+  data.SetRow(3, {3.5});
+  data.SetRow(4, {0.2});  // mislabeled negative in positive territory
+  const std::vector<double> y{1, 1, -1, -1, -1};
+  TrainOptions options;
+  options.kernel = KernelParams::Linear();
+  SvmTrainer trainer(options);
+  auto out = trainer.TrainWeighted(data, y, {10, 10, 10, 10, 1e-3});
+  ASSERT_TRUE(out.ok());
+  // The mislabeled point has negligible influence: points near it still
+  // classify positive.
+  EXPECT_GT(out->model.Decision({0.3}), 0.0);
+}
+
+TEST(TrainerTest, InputValidation) {
+  la::Matrix empty;
+  SvmTrainer trainer;
+  EXPECT_FALSE(trainer.Train(empty, {}).ok());
+
+  la::Matrix data(2, 1);
+  EXPECT_FALSE(trainer.Train(data, {1.0}).ok());           // label count
+  EXPECT_FALSE(trainer.TrainWeighted(data, {1.0, -1.0}, {1.0}).ok());
+}
+
+TEST(TrainerTest, ConvergedFlagSet) {
+  std::vector<double> y;
+  const la::Matrix data = SeparableData(&y, 10, 53);
+  SvmTrainer trainer;
+  auto out = trainer.Train(data, y);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->converged);
+  EXPECT_GT(out->iterations, 0);
+}
+
+TEST(TrainerDeathTest, NonPositiveC) {
+  TrainOptions options;
+  options.c = 0.0;
+  EXPECT_DEATH(SvmTrainer{options}, "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir::svm

@@ -1,0 +1,56 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cbir {
+namespace {
+
+TEST(CsvWriterTest, BasicRows) {
+  CsvWriter csv({"n", "precision"});
+  csv.AddRow({"20", "0.398"});
+  csv.AddRow({"30", "0.342"});
+  EXPECT_EQ(csv.ToString(), "n,precision\n20,0.398\n30,0.342\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"name", "note"});
+  csv.AddRow({"a,b", "say \"hi\""});
+  EXPECT_EQ(csv.ToString(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  CsvWriter csv({"x"});
+  csv.AddRow({"line1\nline2"});
+  EXPECT_EQ(csv.ToString(), "x\n\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterTest, NumericRowFormatting) {
+  CsvWriter csv({"a", "b"});
+  csv.AddNumericRow({0.5, 123456.0});
+  EXPECT_EQ(csv.ToString(), "a,b\n0.5,123456\n");
+}
+
+TEST(CsvWriterTest, WriteToFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csv_writer_test.csv";
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"1", "one"});
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream ifs(path);
+  std::stringstream buffer;
+  buffer << ifs.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\n1,one\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent-dir/deep/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace cbir

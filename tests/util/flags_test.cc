@@ -1,0 +1,99 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir {
+namespace {
+
+Flags MustParse(std::vector<const char*> args) {
+  auto r = Flags::Parse(static_cast<int>(args.size()), args.data());
+  CBIR_CHECK(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  const Flags f = MustParse({"--dataset=20cat", "--queries=200"});
+  EXPECT_EQ(f.GetString("dataset", ""), "20cat");
+  EXPECT_EQ(f.GetInt("queries", 0), 200);
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  const Flags f = MustParse({"--queries", "50", "--noise", "0.25"});
+  EXPECT_EQ(f.GetInt("queries", 0), 50);
+  EXPECT_DOUBLE_EQ(f.GetDouble("noise", 0.0), 0.25);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const Flags f = MustParse({"--verbose", "--fast", "--level=3"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.GetBool("fast", false));
+  EXPECT_FALSE(f.GetBool("absent", false));
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  const Flags f = MustParse({"--a=true", "--b=0", "--c=yes", "--d=off",
+                             "--e=banana"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+  EXPECT_TRUE(f.GetBool("e", true));  // unparseable -> fallback
+}
+
+TEST(FlagsTest, Positional) {
+  const Flags f = MustParse({"input.txt", "--k=1", "output.txt"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(FlagsTest, BareFlagFollowedByFlag) {
+  const Flags f = MustParse({"--dry-run", "--queries=5"});
+  EXPECT_TRUE(f.GetBool("dry-run", false));
+  EXPECT_EQ(f.GetInt("queries", 0), 5);
+}
+
+TEST(FlagsTest, StrictGettersReportErrors) {
+  const Flags f = MustParse({"--n=abc", "--x=1.5"});
+  EXPECT_FALSE(f.GetIntStrict("n").ok());
+  EXPECT_FALSE(f.GetIntStrict("missing").ok());
+  EXPECT_EQ(f.GetIntStrict("missing").status().code(), StatusCode::kNotFound);
+  auto d = f.GetDoubleStrict("x");
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 1.5);
+}
+
+TEST(FlagsTest, NonNumericFallsBack) {
+  const Flags f = MustParse({"--n=abc"});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("n", 2.5), 2.5);
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags f = MustParse({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+TEST(FlagsTest, RejectsMalformed) {
+  {
+    const char* args[] = {"--"};
+    EXPECT_FALSE(Flags::Parse(1, args).ok());
+  }
+  {
+    const char* args[] = {"--=value"};
+    EXPECT_FALSE(Flags::Parse(1, args).ok());
+  }
+}
+
+TEST(FlagsTest, KeysListsAllFlags) {
+  const Flags f = MustParse({"--b=1", "--a=2"});
+  EXPECT_EQ(f.Keys(), (std::vector<std::string>{"a", "b"}));  // sorted (map)
+}
+
+TEST(FlagsTest, EmptyArgv) {
+  const Flags f = MustParse({});
+  EXPECT_TRUE(f.positional().empty());
+  EXPECT_TRUE(f.Keys().empty());
+}
+
+}  // namespace
+}  // namespace cbir

@@ -1,0 +1,56 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cbir {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> counts(n);
+  ParallelFor(n, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  bool called = false;
+  ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); },
+              /*num_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // sequential order
+}
+
+TEST(ParallelForTest, ResultsMatchSequential) {
+  const size_t n = 4096;
+  std::vector<double> parallel_out(n), serial_out(n);
+  auto work = [](size_t i) {
+    double acc = 0.0;
+    for (size_t k = 1; k <= (i % 64) + 1; ++k) acc += 1.0 / k;
+    return acc;
+  };
+  ParallelFor(n, [&](size_t i) { parallel_out[i] = work(i); }, 8);
+  for (size_t i = 0; i < n; ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(EffectiveThreadCountTest, PositivePassThrough) {
+  EXPECT_EQ(EffectiveThreadCount(3), 3);
+}
+
+TEST(EffectiveThreadCountTest, AutoDetectIsPositive) {
+  EXPECT_GT(EffectiveThreadCount(0), 0);
+}
+
+}  // namespace
+}  // namespace cbir

@@ -1,0 +1,91 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cbir {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::IoError("e"), StatusCode::kIoError, "IoError"},
+      {Status::NotImplemented("f"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+      {Status::FailedPrecondition("g"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream oss;
+  oss << Status::InvalidArgument("bad");
+  EXPECT_EQ(oss.str(), "InvalidArgument: bad");
+}
+
+Status FailsFast() { return Status::Internal("inner"); }
+
+Status Propagates() {
+  CBIR_RETURN_NOT_OK(FailsFast());
+  return Status::OK();  // unreachable
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = Propagates();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+Status Succeeds() { return Status::OK(); }
+
+Status PropagatesOk() {
+  CBIR_RETURN_NOT_OK(Succeeds());
+  return Status::NotFound("after");
+}
+
+TEST(StatusTest, ReturnNotOkMacroFallsThroughOnOk) {
+  EXPECT_EQ(PropagatesOk().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cbir

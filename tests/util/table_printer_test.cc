@@ -1,0 +1,54 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace cbir {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"#TOP", "Euclidean"});
+  t.AddRow({"20", "0.398"});
+  t.AddRow({"100", "0.221"});
+  const std::string out = t.ToString();
+  // Header present and separator drawn.
+  EXPECT_NE(out.find("#TOP"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Rows are present.
+  EXPECT_NE(out.find("0.398"), std::string::npos);
+  EXPECT_NE(out.find("0.221"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnWidthFollowsWidestCell) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"wide-cell-here", "x"});
+  const std::string out = t.ToString();
+  // The header row is padded to the data width: "a" followed by spaces up to
+  // the width of "wide-cell-here" plus the 2-space gutter, then "b".
+  const std::string header_line = out.substr(0, out.find('\n'));
+  EXPECT_EQ(header_line.find('b'), std::string("wide-cell-here").size() + 2);
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.ToString();
+  // Header separator + explicit separator = at least 2 dashed lines.
+  size_t dashes = 0;
+  size_t pos = 0;
+  while ((pos = out.find("\n-", pos)) != std::string::npos) {
+    ++dashes;
+    pos += 2;
+  }
+  EXPECT_GE(dashes, 2u);
+  EXPECT_EQ(t.num_rows(), 3u);  // 2 data + 1 separator
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace cbir
