@@ -65,6 +65,71 @@ void BM_CoupledTrainByRhoInit(benchmark::State& state) {
 }
 BENCHMARK(BM_CoupledTrainByRhoInit)->Arg(2)->Arg(64)->Arg(10000);
 
+// Multi-round coupled-SVM feedback simulation: round r trains on r * 10
+// labeled samples plus a fixed unlabeled pool. range(0) == 1 warm-starts
+// every round from the previous round's duals (alphas aligned by sample,
+// new samples entering at zero); 0 is the cold baseline. This is the
+// end-to-end pattern of a live relevance-feedback session.
+void BM_CoupledFeedbackSession(benchmark::State& state) {
+  constexpr int kRounds = 4;
+  const size_t step = 10;
+  const size_t nu = 20;
+  const core::CsvmTrainData full = MakeData(step * kRounds, nu, 9);
+  const core::CoupledSvm csvm(BenchOptions());
+  const bool warm = state.range(0) != 0;
+  long total_smo_iters = 0;
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    std::vector<double> carried_visual, carried_log;
+    for (int r = 1; r <= kRounds; ++r) {
+      const size_t nl = step * static_cast<size_t>(r);
+      core::CsvmTrainData data;
+      data.visual = la::Matrix(nl + nu, 36);
+      data.log = la::Matrix(nl + nu, 150);
+      data.labels.assign(full.labels.begin(),
+                         full.labels.begin() + static_cast<long>(nl));
+      data.initial_unlabeled_labels = full.initial_unlabeled_labels;
+      for (size_t i = 0; i < nl; ++i) {
+        data.visual.SetRow(i, full.visual.Row(i));
+        data.log.SetRow(i, full.log.Row(i));
+      }
+      const size_t full_nl = step * kRounds;
+      for (size_t j = 0; j < nu; ++j) {
+        data.visual.SetRow(nl + j, full.visual.Row(full_nl + j));
+        data.log.SetRow(nl + j, full.log.Row(full_nl + j));
+      }
+      if (warm && !carried_visual.empty()) {
+        // Labeled prefix + unlabeled suffix both carry over; the new
+        // judgments of this round enter at zero.
+        data.initial_visual_alpha.assign(nl + nu, 0.0);
+        data.initial_log_alpha.assign(nl + nu, 0.0);
+        const size_t prev_nl = nl - step;
+        for (size_t i = 0; i < prev_nl; ++i) {
+          data.initial_visual_alpha[i] = carried_visual[i];
+          data.initial_log_alpha[i] = carried_log[i];
+        }
+        for (size_t j = 0; j < nu; ++j) {
+          data.initial_visual_alpha[nl + j] = carried_visual[prev_nl + j];
+          data.initial_log_alpha[nl + j] = carried_log[prev_nl + j];
+        }
+      }
+      auto model = csvm.Train(data);
+      benchmark::DoNotOptimize(model);
+      total_smo_iters += model.value().diagnostics.total_smo_iterations;
+      hit_rate = model.value().diagnostics.cache_stats.hit_rate();
+      if (warm) {
+        carried_visual = std::move(model.value().visual_alpha);
+        carried_log = std::move(model.value().log_alpha);
+      }
+    }
+  }
+  state.counters["smo_iters_per_session"] =
+      static_cast<double>(total_smo_iters) /
+      static_cast<double>(state.iterations());
+  state.counters["cache_hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_CoupledFeedbackSession)->Arg(0)->Arg(1);
+
 void BM_CoupledDecision(benchmark::State& state) {
   const core::CsvmTrainData data = MakeData(20, 20, 7);
   const core::CoupledSvm csvm(BenchOptions());

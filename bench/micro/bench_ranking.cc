@@ -39,6 +39,19 @@ void BM_EuclideanTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_EuclideanTopK)->Arg(20)->Arg(100)->Arg(1000);
 
+void BM_EuclideanTopKLargeCorpus(benchmark::State& state) {
+  // Million-image corpus scan + top-20: the production-scale retrieval path
+  // (parallel blocked distance scan, nth_element selection).
+  const la::Matrix corpus =
+      RandomCorpus(static_cast<size_t>(state.range(0)), 36, 5);
+  const la::Vec query = corpus.Row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval::RankByEuclidean(corpus, query, 20));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EuclideanTopKLargeCorpus)->Arg(100000)->Arg(1000000);
+
 void BM_DistanceScan(benchmark::State& state) {
   const la::Matrix corpus =
       RandomCorpus(static_cast<size_t>(state.range(0)), 36, 3);

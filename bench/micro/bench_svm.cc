@@ -1,6 +1,8 @@
 // Micro-benchmarks for the SMO solver: scaling in training-set size, C and
-// kernel type. Relevance feedback solves many small QPs per query, so the
-// n <= 100 region is the one that matters.
+// kernel type, plus before/after comparisons for the training-core
+// optimizations (slab kernel cache, shrinking, warm-starting). Relevance
+// feedback solves many small QPs per query, so the n <= 100 region is the
+// one that matters; the larger sizes exercise shrinking and cache eviction.
 #include <benchmark/benchmark.h>
 
 #include "svm/trainer.h"
@@ -29,6 +31,16 @@ Problem MakeProblem(size_t n, size_t dims, double gap, uint64_t seed) {
   return p;
 }
 
+// Reports solver diagnostics (iterations, cache hit rate) as bench counters
+// so before/after runs can be compared on work done, not just wall time.
+void ReportSolveCounters(benchmark::State& state,
+                         const svm::TrainOutput& out) {
+  state.counters["iters"] = static_cast<double>(out.iterations);
+  state.counters["cache_hit_rate"] = out.cache_stats.hit_rate();
+  state.counters["cache_evictions"] =
+      static_cast<double>(out.cache_stats.evictions);
+}
+
 void BM_SmoSolveRbf(benchmark::State& state) {
   const Problem p = MakeProblem(static_cast<size_t>(state.range(0)), 36,
                                 1.0, 11);
@@ -40,6 +52,7 @@ void BM_SmoSolveRbf(benchmark::State& state) {
     benchmark::DoNotOptimize(trainer.Train(p.data, p.labels));
   }
   state.SetItemsProcessed(state.iterations());
+  ReportSolveCounters(state, trainer.Train(p.data, p.labels).value());
 }
 BENCHMARK(BM_SmoSolveRbf)->Arg(20)->Arg(40)->Arg(100)->Arg(200);
 
@@ -68,6 +81,81 @@ void BM_SmoSolveByC(benchmark::State& state) {
 }
 BENCHMARK(BM_SmoSolveByC)->Arg(1)->Arg(10)->Arg(100);
 
+// Shrinking on/off on a heavily overlapping problem (range(1) toggles).
+// Shrinking pays when iterations >> n: many examples saturate at C early
+// and every gradient/selection pass over them is wasted work.
+void BM_SmoSolveShrinking(benchmark::State& state) {
+  const Problem p = MakeProblem(static_cast<size_t>(state.range(0)), 2,
+                                0.2, 29);
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Rbf(0.5);
+  options.c = 1000.0;
+  options.smo.shrinking = state.range(1) != 0;
+  const svm::SvmTrainer trainer(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Train(p.data, p.labels));
+  }
+  ReportSolveCounters(state, trainer.Train(p.data, p.labels).value());
+}
+BENCHMARK(BM_SmoSolveShrinking)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({500, 0})
+    ->Args({500, 1});
+
+// Bounded cache on a problem whose kernel matrix does not fit: the slab
+// cache's eviction path and batched GetRows are the subject here.
+void BM_SmoSolveTinyCache(benchmark::State& state) {
+  const Problem p = MakeProblem(300, 36, 0.8, 31);
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Rbf(1.0 / 36.0);
+  options.c = 10.0;
+  options.smo.cache_rows = static_cast<size_t>(state.range(0));
+  const svm::SvmTrainer trainer(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Train(p.data, p.labels));
+  }
+  ReportSolveCounters(state, trainer.Train(p.data, p.labels).value());
+}
+BENCHMARK(BM_SmoSolveTinyCache)->Arg(0)->Arg(64)->Arg(16);
+
+// Multi-round relevance-feedback simulation: each round adds `step` newly
+// judged samples. range(1) == 1 carries alphas across rounds (warm start),
+// 0 re-solves from scratch — the before/after pair for the feedback loop.
+void BM_SmoFeedbackRounds(benchmark::State& state) {
+  constexpr int kRounds = 5;
+  const size_t step = 20;
+  const Problem full = MakeProblem(step * kRounds, 36, 0.8, 37);
+  svm::TrainOptions options;
+  options.kernel = svm::KernelParams::Rbf(1.0 / 36.0);
+  options.c = 10.0;
+  const bool warm = state.range(1) != 0;
+  long total_iters = 0;
+  for (auto _ : state) {
+    std::vector<double> carried;
+    for (int r = 1; r <= kRounds; ++r) {
+      const size_t n = step * static_cast<size_t>(r);
+      la::Matrix data(n, 36);
+      for (size_t i = 0; i < n; ++i) data.SetRow(i, full.data.Row(i));
+      std::vector<double> labels(full.labels.begin(),
+                                 full.labels.begin() + static_cast<long>(n));
+      svm::TrainOptions round_options = options;
+      if (warm) {
+        round_options.smo.initial_alpha = carried;
+        round_options.smo.initial_alpha.resize(n, 0.0);
+      }
+      const svm::SvmTrainer trainer(round_options);
+      auto out = trainer.Train(data, labels);
+      benchmark::DoNotOptimize(out);
+      total_iters += out.value().iterations;
+      if (warm) carried = std::move(out.value().alpha);
+    }
+  }
+  state.counters["iters_per_session"] =
+      static_cast<double>(total_iters) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SmoFeedbackRounds)->Args({0, 0})->Args({0, 1});
+
 void BM_DecisionBatch(benchmark::State& state) {
   const Problem train = MakeProblem(40, 36, 1.0, 19);
   svm::TrainOptions options;
@@ -81,6 +169,6 @@ void BM_DecisionBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_DecisionBatch)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_DecisionBatch)->Arg(1000)->Arg(5000)->Arg(20000);
 
 }  // namespace

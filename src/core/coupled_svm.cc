@@ -34,6 +34,16 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
   for (size_t i = 0; i < nl; ++i) y[i] = data.labels[i];
   for (size_t j = 0; j < nu; ++j) y[nl + j] = data.initial_unlabeled_labels[j];
 
+  if (!data.initial_visual_alpha.empty() &&
+      data.initial_visual_alpha.size() != n) {
+    return Status::InvalidArgument(
+        "coupled SVM: initial_visual_alpha size must equal N_l + N'");
+  }
+  if (!data.initial_log_alpha.empty() && data.initial_log_alpha.size() != n) {
+    return Status::InvalidArgument(
+        "coupled SVM: initial_log_alpha size must equal N_l + N'");
+  }
+
   CoupledModel model;
   CsvmDiagnostics& diag = model.diagnostics;
 
@@ -44,6 +54,12 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
   log_options.kernel = options_.log_kernel;
   log_options.smo = options_.smo;
 
+  // Every QP after the first solves a problem differing only in rho_star or
+  // a few flipped pseudo-labels; its predecessor's alphas are a near-optimal
+  // starting point. Seeded from the caller's previous round when provided.
+  std::vector<double> warm_visual = data.initial_visual_alpha;
+  std::vector<double> warm_log = data.initial_log_alpha;
+
   auto solve_both = [&](double rho_star, svm::TrainOutput* visual_out,
                         svm::TrainOutput* log_out) -> Status {
     std::vector<double> c_visual(n), c_log(n);
@@ -52,6 +68,8 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
       c_visual[i] = scale * options_.c_visual;
       c_log[i] = scale * options_.c_log;
     }
+    visual_options.smo.initial_alpha = warm_visual;
+    log_options.smo.initial_alpha = warm_log;
     svm::SvmTrainer visual_trainer(visual_options);
     svm::SvmTrainer log_trainer(log_options);
     auto v = visual_trainer.TrainWeighted(data.visual, y, c_visual);
@@ -60,6 +78,12 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
     if (!l.ok()) return l.status();
     *visual_out = std::move(v).value();
     *log_out = std::move(l).value();
+    warm_visual = visual_out->alpha;
+    warm_log = log_out->alpha;
+    diag.total_smo_iterations +=
+        visual_out->iterations + log_out->iterations;
+    diag.cache_stats.Accumulate(visual_out->cache_stats);
+    diag.cache_stats.Accumulate(log_out->cache_stats);
     return Status::OK();
   };
 
@@ -85,6 +109,13 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
               .emplace_back(xi + eta, nl + j);
         }
       }
+      // A flipped sample's carried alpha belongs to the other class now;
+      // restart it from zero so the warm start stays meaningful.
+      const auto flip_sample = [&](size_t idx) {
+        y[idx] = -y[idx];
+        warm_visual[idx] = 0.0;
+        warm_log[idx] = 0.0;
+      };
       int flips = 0;
       if (options_.enforce_class_balance) {
         std::sort(pos_violators.rbegin(), pos_violators.rend());
@@ -92,17 +123,17 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
         const size_t swaps =
             std::min(pos_violators.size(), neg_violators.size());
         for (size_t s = 0; s < swaps; ++s) {
-          y[pos_violators[s].second] = -1.0;
-          y[neg_violators[s].second] = 1.0;
+          flip_sample(pos_violators[s].second);
+          flip_sample(neg_violators[s].second);
           flips += 2;
         }
       } else {
         for (const auto& [violation, idx] : pos_violators) {
-          y[idx] = -y[idx];
+          flip_sample(idx);
           ++flips;
         }
         for (const auto& [violation, idx] : neg_violators) {
-          y[idx] = -y[idx];
+          flip_sample(idx);
           ++flips;
         }
       }
@@ -121,6 +152,8 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
 
   model.visual = std::move(visual_out.model);
   model.log = std::move(log_out.model);
+  model.visual_alpha = std::move(visual_out.alpha);
+  model.log_alpha = std::move(log_out.alpha);
   model.unlabeled_labels.assign(y.begin() + static_cast<long>(nl), y.end());
   diag.visual_objective = visual_out.objective;
   diag.log_objective = log_out.objective;

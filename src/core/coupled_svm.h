@@ -61,6 +61,11 @@ struct CsvmDiagnostics {
   bool inner_cap_hit = false;   ///< true if any inner loop hit the cap
   double visual_objective = 0.0;
   double log_objective = 0.0;
+  /// SMO iterations summed across every QP solve of the alternating
+  /// optimization (both modalities); the cost driver warm-starting attacks.
+  long total_smo_iterations = 0;
+  /// Kernel-cache counters aggregated across all solves.
+  svm::CacheStats cache_stats;
 };
 
 /// \brief The trained pair of consistent models.
@@ -69,6 +74,11 @@ struct CoupledModel {
   svm::SvmModel log;
   /// Final pseudo-labels of the unlabeled samples (post label correction).
   std::vector<double> unlabeled_labels;
+  /// Final dual variables of both QPs, in training-row order. Feed them back
+  /// through CsvmTrainData::initial_*_alpha (aligned by image, zero for new
+  /// rows) to warm-start the next feedback round.
+  std::vector<double> visual_alpha;
+  std::vector<double> log_alpha;
   CsvmDiagnostics diagnostics;
 
   /// The paper's CSVM_Dist: f_w(x) + f_u(r).
@@ -85,6 +95,11 @@ struct CsvmTrainData {
   la::Matrix log;               ///< (N_l + N') x M
   std::vector<double> labels;   ///< N_l user labels, +1/-1
   std::vector<double> initial_unlabeled_labels;  ///< N' pseudo-labels
+  /// Optional warm start (empty or N_l + N' entries): dual variables carried
+  /// over from the previous round's CoupledModel for rows whose image carries
+  /// over, zero for rows that are new this round.
+  std::vector<double> initial_visual_alpha;
+  std::vector<double> initial_log_alpha;
 };
 
 /// \brief Trainer implementing the alternating optimization of Section 4.2:

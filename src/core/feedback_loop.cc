@@ -28,6 +28,10 @@ Result<FeedbackLoopResult> RunFeedbackSession(
   ctx.db = &db;
   ctx.log_features = log_features;
   ctx.query_id = query_id;
+  // Round t+1's QPs differ from round t's only by the newly judged images;
+  // the session state lets SVM-based schemes warm-start from round t's duals.
+  SessionState session_state;
+  ctx.session_state = &session_state;
   ctx.Prepare();
 
   const int query_category = db.category(query_id);

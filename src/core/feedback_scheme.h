@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "la/matrix.h"
@@ -13,6 +14,23 @@
 #include "util/result.h"
 
 namespace cbir::core {
+
+/// \brief Mutable cross-round state owned by one feedback session.
+///
+/// Successive rounds of a session retrain SVMs on nearly identical problems
+/// (the labeled set only grows); schemes that solve QPs stash their final
+/// dual variables here, keyed by image id, and warm-start the next round's
+/// solver from them. Purely an accelerator: rankings are identical (within
+/// solver tolerance) with or without a state attached.
+struct SessionState {
+  std::unordered_map<int, double> visual_alpha;
+  std::unordered_map<int, double> log_alpha;
+
+  void Clear() {
+    visual_alpha.clear();
+    log_alpha.clear();
+  }
+};
 
 /// \brief Everything a relevance-feedback scheme sees for one query round.
 ///
@@ -26,6 +44,11 @@ struct FeedbackContext {
   int query_id = -1;
   std::vector<int> labeled_ids;
   std::vector<double> labels;  ///< +1 / -1, parallel to labeled_ids
+  /// Optional per-session warm-start state (null = cold start every round).
+  /// The owner (e.g. RunFeedbackSession) keeps it alive across rounds; a
+  /// scheme may read and update it from Rank() despite constness because the
+  /// state belongs to the session, not the scheme.
+  SessionState* session_state = nullptr;
 
   // Derived values, filled by Prepare().
   la::Vec query_feature;

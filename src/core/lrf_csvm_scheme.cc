@@ -121,8 +121,40 @@ Result<CoupledModel> LrfCsvmScheme::TrainForContext(
     data.log.SetRow(nl + j, log_all.Row(id));
   }
 
+  // Warm start from the previous round of this session: rows whose image was
+  // already in last round's training set inherit its dual variables, fresh
+  // rows start at zero (exactly the carried/new split the solver projects
+  // back to feasibility).
+  SessionState* state = ctx.session_state;
+  if (state != nullptr && !state->visual_alpha.empty()) {
+    data.initial_visual_alpha.assign(nl + nu, 0.0);
+    data.initial_log_alpha.assign(nl + nu, 0.0);
+    const auto seed_row = [&](size_t row, int id) {
+      if (auto it = state->visual_alpha.find(id);
+          it != state->visual_alpha.end()) {
+        data.initial_visual_alpha[row] = it->second;
+      }
+      if (auto it = state->log_alpha.find(id); it != state->log_alpha.end()) {
+        data.initial_log_alpha[row] = it->second;
+      }
+    };
+    for (size_t i = 0; i < nl; ++i) seed_row(i, ctx.labeled_ids[i]);
+    for (size_t j = 0; j < nu; ++j) seed_row(nl + j, selection.ids[j]);
+  }
+
   CoupledSvm csvm(options_.csvm);
-  return csvm.Train(data);
+  auto model = csvm.Train(data);
+
+  if (model.ok() && state != nullptr) {
+    state->Clear();
+    for (size_t i = 0; i < nl + nu; ++i) {
+      const int id = i < nl ? ctx.labeled_ids[i]
+                            : selection.ids[i - nl];
+      state->visual_alpha[id] = model->visual_alpha[i];
+      state->log_alpha[id] = model->log_alpha[i];
+    }
+  }
+  return model;
 }
 
 Result<std::vector<int>> LrfCsvmScheme::Rank(const FeedbackContext& ctx) const {

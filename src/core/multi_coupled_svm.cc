@@ -56,6 +56,10 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
   CsvmDiagnostics& diag = model.diagnostics;
   const size_t num_modalities = modalities.size();
   std::vector<svm::TrainOutput> outputs(num_modalities);
+  // Successive solves of one modality differ only in rho_star or a few
+  // flipped pseudo-labels; warm-start each from its predecessor (mirrors
+  // CoupledSvm, keeping the K = 2 case an exact reproduction).
+  std::vector<std::vector<double>> warm(num_modalities);
 
   auto solve_all = [&](double rho_star) -> Status {
     for (size_t k = 0; k < num_modalities; ++k) {
@@ -66,10 +70,14 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
       svm::TrainOptions train_options;
       train_options.kernel = modalities[k].kernel;
       train_options.smo = options_.smo;
+      train_options.smo.initial_alpha = warm[k];
       svm::SvmTrainer trainer(train_options);
       auto out = trainer.TrainWeighted(modalities[k].data, y, c_bounds);
       if (!out.ok()) return out.status();
       outputs[k] = std::move(out).value();
+      warm[k] = outputs[k].alpha;
+      diag.total_smo_iterations += outputs[k].iterations;
+      diag.cache_stats.Accumulate(outputs[k].cache_stats);
     }
     return Status::OK();
   };
@@ -100,6 +108,12 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
               .emplace_back(total, nl + j);
         }
       }
+      // A flipped sample's carried duals belong to the other class now;
+      // restart them from zero so the warm start stays meaningful.
+      const auto flip_sample = [&](size_t idx) {
+        y[idx] = -y[idx];
+        for (std::vector<double>& w : warm) w[idx] = 0.0;
+      };
       int flips = 0;
       if (options_.enforce_class_balance) {
         std::sort(pos_violators.rbegin(), pos_violators.rend());
@@ -107,17 +121,17 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
         const size_t swaps =
             std::min(pos_violators.size(), neg_violators.size());
         for (size_t s = 0; s < swaps; ++s) {
-          y[pos_violators[s].second] = -1.0;
-          y[neg_violators[s].second] = 1.0;
+          flip_sample(pos_violators[s].second);
+          flip_sample(neg_violators[s].second);
           flips += 2;
         }
       } else {
         for (const auto& [violation, idx] : pos_violators) {
-          y[idx] = -y[idx];
+          flip_sample(idx);
           ++flips;
         }
         for (const auto& [violation, idx] : neg_violators) {
-          y[idx] = -y[idx];
+          flip_sample(idx);
           ++flips;
         }
       }

@@ -18,8 +18,26 @@ Result<std::vector<int>> RfSvmScheme::Rank(const FeedbackContext& ctx) const {
   train_options.kernel = options_.visual_kernel;
   train_options.c = options_.c_visual;
   train_options.smo = options_.smo;
+  // Warm-start from the previous round of this session: carried judged
+  // images keep their duals, newly judged ones enter at zero.
+  SessionState* state = ctx.session_state;
+  if (state != nullptr && !state->visual_alpha.empty()) {
+    train_options.smo.initial_alpha.assign(ctx.labeled_ids.size(), 0.0);
+    for (size_t i = 0; i < ctx.labeled_ids.size(); ++i) {
+      if (auto it = state->visual_alpha.find(ctx.labeled_ids[i]);
+          it != state->visual_alpha.end()) {
+        train_options.smo.initial_alpha[i] = it->second;
+      }
+    }
+  }
   svm::SvmTrainer trainer(train_options);
   CBIR_ASSIGN_OR_RETURN(svm::TrainOutput out, trainer.Train(train, ctx.labels));
+  if (state != nullptr) {
+    state->visual_alpha.clear();
+    for (size_t i = 0; i < ctx.labeled_ids.size(); ++i) {
+      state->visual_alpha[ctx.labeled_ids[i]] = out.alpha[i];
+    }
+  }
 
   const std::vector<double> scores = out.model.DecisionBatch(
       ctx.db->features());

@@ -6,21 +6,63 @@
 
 namespace cbir::la {
 
+double DotN(const double* a, const double* b, size_t n) {
+  // Four independent accumulators break the serial dependency chain so the
+  // compiler can keep multiple FMAs in flight (and auto-vectorize).
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double SquaredDistanceN(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void SquaredDistanceToRows(const double* rows, size_t num_rows, size_t dims,
+                           const double* query, double* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = SquaredDistanceN(rows + r * dims, query, dims);
+  }
+}
+
+void DotToRows(const double* rows, size_t num_rows, size_t dims,
+               const double* query, double* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = DotN(rows + r * dims, query, dims);
+  }
+}
+
 double Dot(const Vec& a, const Vec& b) {
   CBIR_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return DotN(a.data(), b.data(), a.size());
 }
 
 double SquaredDistance(const Vec& a, const Vec& b) {
   CBIR_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return SquaredDistanceN(a.data(), b.data(), a.size());
 }
 
 double Distance(const Vec& a, const Vec& b) {

@@ -38,6 +38,24 @@ Vec Subtract(const Vec& a, const Vec& b);
 /// Normalizes to unit L2 norm; leaves the zero vector untouched.
 void NormalizeL2(Vec* x);
 
+/// Unrolled inner product over raw storage; `a` and `b` hold `n` doubles.
+double DotN(const double* a, const double* b, size_t n);
+
+/// Unrolled squared distance over raw storage; `a` and `b` hold `n` doubles.
+double SquaredDistanceN(const double* a, const double* b, size_t n);
+
+/// Batch primitive: out[r] = ||rows[r] - query||^2 for r in [0, num_rows),
+/// where `rows` is row-major contiguous storage with `dims` doubles per row.
+/// One pass over the block; the hot loop of Euclidean corpus scans and RBF
+/// kernel-row evaluation.
+void SquaredDistanceToRows(const double* rows, size_t num_rows, size_t dims,
+                           const double* query, double* out);
+
+/// Batch primitive: out[r] = <rows[r], query>, same layout contract as
+/// SquaredDistanceToRows. Hot loop of linear/polynomial kernel rows.
+void DotToRows(const double* rows, size_t num_rows, size_t dims,
+               const double* query, double* out);
+
 }  // namespace cbir::la
 
 #endif  // CBIR_LA_VECTOR_OPS_H_

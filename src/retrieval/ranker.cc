@@ -4,22 +4,54 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace cbir::retrieval {
+
+namespace {
+
+// Below this many scanned doubles a corpus scan runs serially: thread spawn
+// overhead dwarfs the work.
+constexpr size_t kParallelScanThreshold = 1u << 17;
+
+// Keeps the top-k prefix: selects with nth_element (O(n)) and then orders
+// only the k winners, instead of partial_sort's heap pass over all n.
+template <typename Cmp>
+std::vector<int> TakeTopK(std::vector<int> order, int k, const Cmp& cmp) {
+  if (k > 0 && static_cast<size_t>(k) < order.size()) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(), cmp);
+    order.resize(static_cast<size_t>(k));
+    std::sort(order.begin(), order.end(), cmp);
+  } else {
+    std::sort(order.begin(), order.end(), cmp);
+  }
+  return order;
+}
+
+}  // namespace
 
 std::vector<double> AllSquaredDistances(const la::Matrix& features,
                                         const la::Vec& query) {
   CBIR_CHECK_EQ(features.cols(), query.size());
-  std::vector<double> out(features.rows());
-  for (size_t r = 0; r < features.rows(); ++r) {
-    const double* p = features.RowPtr(r);
-    double sum = 0.0;
-    for (size_t c = 0; c < query.size(); ++c) {
-      const double d = p[c] - query[c];
-      sum += d * d;
-    }
-    out[r] = sum;
+  const size_t rows = features.rows();
+  const size_t dims = features.cols();
+  std::vector<double> out(rows);
+  if (rows == 0) return out;
+  if (rows * dims < kParallelScanThreshold) {
+    la::SquaredDistanceToRows(features.RowPtr(0), rows, dims, query.data(),
+                              out.data());
+    return out;
   }
+  // Block-parallel scan; each block writes a disjoint slice of `out`, so the
+  // result is bit-identical to the serial pass.
+  const size_t block = 1024;
+  const size_t num_blocks = (rows + block - 1) / block;
+  ParallelFor(num_blocks, [&](size_t b) {
+    const size_t begin = b * block;
+    const size_t end = std::min(rows, begin + block);
+    la::SquaredDistanceToRows(features.RowPtr(begin), end - begin, dims,
+                              query.data(), out.data() + begin);
+  });
   return out;
 }
 
@@ -34,13 +66,7 @@ std::vector<int> RankByEuclidean(const la::Matrix& features,
     if (da != db) return da < db;
     return a < b;
   };
-  if (k > 0 && static_cast<size_t>(k) < order.size()) {
-    std::partial_sort(order.begin(), order.begin() + k, order.end(), cmp);
-    order.resize(static_cast<size_t>(k));
-  } else {
-    std::sort(order.begin(), order.end(), cmp);
-  }
-  return order;
+  return TakeTopK(std::move(order), k, cmp);
 }
 
 std::vector<int> RankByScoreDesc(const std::vector<double>& scores,
@@ -62,13 +88,7 @@ std::vector<int> RankByScoreDesc(const std::vector<double>& scores,
     }
     return a < b;
   };
-  if (k > 0 && static_cast<size_t>(k) < order.size()) {
-    std::partial_sort(order.begin(), order.begin() + k, order.end(), cmp);
-    order.resize(static_cast<size_t>(k));
-  } else {
-    std::sort(order.begin(), order.end(), cmp);
-  }
-  return order;
+  return TakeTopK(std::move(order), k, cmp);
 }
 
 }  // namespace cbir::retrieval

@@ -58,26 +58,16 @@ double EvalKernelRow(const KernelParams& params, const la::Matrix& rows,
                      size_t i, const la::Vec& b) {
   CBIR_CHECK_EQ(rows.cols(), b.size());
   const double* p = rows.RowPtr(i);
+  const size_t d = b.size();
   switch (params.type) {
-    case KernelType::kLinear: {
-      double sum = 0.0;
-      for (size_t c = 0; c < b.size(); ++c) sum += p[c] * b[c];
-      return sum;
-    }
-    case KernelType::kRbf: {
-      double sum = 0.0;
-      for (size_t c = 0; c < b.size(); ++c) {
-        const double d = p[c] - b[c];
-        sum += d * d;
-      }
-      return std::exp(-params.gamma * sum);
-    }
+    case KernelType::kLinear:
+      return la::DotN(p, b.data(), d);
+    case KernelType::kRbf:
+      return std::exp(-params.gamma * la::SquaredDistanceN(p, b.data(), d));
     case KernelType::kPolynomial: {
-      double dot = 0.0;
-      for (size_t c = 0; c < b.size(); ++c) dot += p[c] * b[c];
-      double base = params.gamma * dot + params.coef0;
+      double base = params.gamma * la::DotN(p, b.data(), d) + params.coef0;
       double out = 1.0;
-      for (int d = 0; d < params.degree; ++d) out *= base;
+      for (int deg = 0; deg < params.degree; ++deg) out *= base;
       return out;
     }
   }
@@ -85,8 +75,41 @@ double EvalKernelRow(const KernelParams& params, const la::Matrix& rows,
   return 0.0;
 }
 
+void EvalKernelRowBatch(const KernelParams& params, const la::Matrix& rows,
+                        const double* b, double* out, size_t begin,
+                        size_t end) {
+  CBIR_CHECK_LE(begin, end);
+  CBIR_CHECK_LE(end, rows.rows());
+  if (begin == end) return;
+  const size_t dims = rows.cols();
+  const double* base = rows.RowPtr(begin);
+  const size_t count = end - begin;
+  switch (params.type) {
+    case KernelType::kLinear:
+      la::DotToRows(base, count, dims, b, out);
+      return;
+    case KernelType::kRbf: {
+      la::SquaredDistanceToRows(base, count, dims, b, out);
+      const double gamma = params.gamma;
+      for (size_t r = 0; r < count; ++r) out[r] = std::exp(-gamma * out[r]);
+      return;
+    }
+    case KernelType::kPolynomial: {
+      la::DotToRows(base, count, dims, b, out);
+      for (size_t r = 0; r < count; ++r) {
+        const double p = params.gamma * out[r] + params.coef0;
+        double v = 1.0;
+        for (int deg = 0; deg < params.degree; ++deg) v *= p;
+        out[r] = v;
+      }
+      return;
+    }
+  }
+  CBIR_LOG(Fatal) << "unreachable kernel type";
+}
+
 double DefaultGamma(const la::Matrix& data) {
-  CBIR_CHECK(!data.empty());
+  if (data.empty()) return 1.0;
   const size_t n = data.rows() * data.cols();
   double sum = 0.0, sum_sq = 0.0;
   for (double v : data.data()) {
@@ -94,9 +117,14 @@ double DefaultGamma(const la::Matrix& data) {
     sum_sq += v * v;
   }
   const double mean = sum / static_cast<double>(n);
-  const double var = sum_sq / static_cast<double>(n) - mean * mean;
-  const double denom = static_cast<double>(data.cols()) *
-                       (var > 1e-12 ? var : 1.0);
+  // Guard the catastrophic-cancellation case: sum_sq/n and mean^2 can differ
+  // by rounding noise for constant data, yielding a tiny negative variance.
+  const double var =
+      std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+  double denom = static_cast<double>(data.cols()) * (var > 1e-12 ? var : 1.0);
+  if (!std::isfinite(denom) || denom <= 0.0) {
+    denom = static_cast<double>(data.cols());
+  }
   return 1.0 / denom;
 }
 

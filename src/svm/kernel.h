@@ -47,8 +47,16 @@ double EvalKernel(const KernelParams& params, const la::Vec& a,
 double EvalKernelRow(const KernelParams& params, const la::Matrix& rows,
                      size_t i, const la::Vec& b);
 
+/// Evaluates out[r - begin] = K(rows[r], b) for r in [begin, end) in one
+/// blocked pass; `b` holds `rows.cols()` doubles. The batched form feeds the
+/// kernel-cache row fill and model scoring without per-element dispatch.
+void EvalKernelRowBatch(const KernelParams& params, const la::Matrix& rows,
+                        const double* b, double* out, size_t begin,
+                        size_t end);
+
 /// LIBSVM-style default gamma: 1 / (dims * variance_of_all_entries); falls
-/// back to 1/dims for (near-)constant data.
+/// back to 1/dims for (near-)constant data and returns 1.0 for an empty
+/// matrix instead of crashing.
 double DefaultGamma(const la::Matrix& data);
 
 }  // namespace cbir::svm

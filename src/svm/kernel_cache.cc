@@ -1,52 +1,190 @@
 #include "svm/kernel_cache.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace cbir::svm {
 
 KernelCache::KernelCache(const la::Matrix& data, const KernelParams& params,
                          size_t max_rows)
-    : data_(data), params_(params), n_(data.rows()), max_rows_(max_rows) {
+    : data_(data), params_(params), n_(data.rows()) {
   CBIR_CHECK_GT(n_, 0u);
+  // Default budget: all rows when they fit in kDefaultSlabBytes, otherwise
+  // as many as fit — an unbounded default would eagerly allocate n*n doubles
+  // (gigabytes for corpus-scale n). GetRows needs two simultaneously
+  // resident rows, so the floor is 2.
+  size_t budget = max_rows;
+  if (budget == 0) {
+    constexpr size_t kDefaultSlabBytes = size_t{128} << 20;
+    budget = std::max<size_t>(kDefaultSlabBytes / (n_ * sizeof(double)), 2);
+  }
+  capacity_ = std::min(std::max<size_t>(budget, 2), n_);
+  slab_.resize(capacity_ * n_);
+  slot_of_row_.assign(n_, kNoSlot);
+  row_of_slot_.assign(capacity_, kNoSlot);
+  lru_prev_.assign(capacity_, kNoSlot);
+  lru_next_.assign(capacity_, kNoSlot);
+  stats_.capacity_rows = capacity_;
+
   diag_.resize(n_);
   for (size_t i = 0; i < n_; ++i) {
     diag_[i] = EvalKernelRow(params_, data_, i, data_.Row(i));
   }
 }
 
-void KernelCache::ComputeRow(size_t i, std::vector<double>* out) const {
-  out->resize(n_);
-  const la::Vec xi = data_.Row(i);
-  for (size_t t = 0; t < n_; ++t) {
-    (*out)[t] = EvalKernelRow(params_, data_, t, xi);
-  }
+void KernelCache::UnlinkSlot(int32_t slot) {
+  const int32_t prev = lru_prev_[slot];
+  const int32_t next = lru_next_[slot];
+  if (prev != kNoSlot) lru_next_[prev] = next;
+  if (next != kNoSlot) lru_prev_[next] = prev;
+  if (lru_head_ == slot) lru_head_ = next;
+  if (lru_tail_ == slot) lru_tail_ = prev;
+  lru_prev_[slot] = lru_next_[slot] = kNoSlot;
 }
 
-const std::vector<double>& KernelCache::GetRow(size_t i) {
-  CBIR_CHECK_LT(i, n_);
-  auto it = rows_.find(i);
-  if (it != rows_.end()) {
-    ++hits_;
-    lru_.erase(it->second.second);
-    lru_.push_front(i);
-    it->second.second = lru_.begin();
-    return it->second.first;
+void KernelCache::PushFrontSlot(int32_t slot) {
+  lru_prev_[slot] = kNoSlot;
+  lru_next_[slot] = lru_head_;
+  if (lru_head_ != kNoSlot) lru_prev_[lru_head_] = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNoSlot) lru_tail_ = slot;
+}
+
+void KernelCache::TouchSlot(int32_t slot) {
+  if (lru_head_ == slot) return;
+  UnlinkSlot(slot);
+  PushFrontSlot(slot);
+}
+
+int32_t KernelCache::AcquireSlot(int32_t pinned_slot) {
+  if (static_cast<size_t>(next_free_slot_) < capacity_) {
+    return next_free_slot_++;
   }
-  ++misses_;
-  if (max_rows_ > 0) {
-    while (rows_.size() >= max_rows_ && !lru_.empty()) {
-      const size_t victim = lru_.back();
-      lru_.pop_back();
-      rows_.erase(victim);
+  int32_t victim = lru_tail_;
+  if (victim == pinned_slot) victim = lru_prev_[victim];
+  CBIR_CHECK(victim != kNoSlot);
+  UnlinkSlot(victim);
+  slot_of_row_[row_of_slot_[victim]] = kNoSlot;
+  row_of_slot_[victim] = kNoSlot;
+  ++stats_.evictions;
+  --stats_.resident_rows;
+  return victim;
+}
+
+void KernelCache::FillRow(size_t i, double* out) const {
+  EvalKernelRowBatch(params_, data_, data_.RowPtr(i), out, 0, n_);
+}
+
+void KernelCache::FillRowPair(size_t i, size_t j, double* out_i,
+                              double* out_j) const {
+  // One pass over the data: each row x_t is loaded once and evaluated against
+  // both x_i and x_j, halving memory traffic versus two separate fills.
+  const double* xi = data_.RowPtr(i);
+  const double* xj = data_.RowPtr(j);
+  const size_t dims = data_.cols();
+  switch (params_.type) {
+    case KernelType::kLinear:
+      for (size_t t = 0; t < n_; ++t) {
+        const double* xt = data_.RowPtr(t);
+        out_i[t] = la::DotN(xi, xt, dims);
+        out_j[t] = la::DotN(xj, xt, dims);
+      }
+      return;
+    case KernelType::kRbf:
+      for (size_t t = 0; t < n_; ++t) {
+        const double* xt = data_.RowPtr(t);
+        out_i[t] = std::exp(-params_.gamma * la::SquaredDistanceN(xi, xt, dims));
+        out_j[t] = std::exp(-params_.gamma * la::SquaredDistanceN(xj, xt, dims));
+      }
+      return;
+    case KernelType::kPolynomial:
+      for (size_t t = 0; t < n_; ++t) {
+        const double* xt = data_.RowPtr(t);
+        double base_i = params_.gamma * la::DotN(xi, xt, dims) + params_.coef0;
+        double base_j = params_.gamma * la::DotN(xj, xt, dims) + params_.coef0;
+        double vi = 1.0, vj = 1.0;
+        for (int d = 0; d < params_.degree; ++d) {
+          vi *= base_i;
+          vj *= base_j;
+        }
+        out_i[t] = vi;
+        out_j[t] = vj;
+      }
+      return;
+  }
+  CBIR_LOG(Fatal) << "unreachable kernel type";
+}
+
+const double* KernelCache::GetRow(size_t i) {
+  CBIR_CHECK_LT(i, n_);
+  int32_t slot = slot_of_row_[i];
+  if (slot != kNoSlot) {
+    ++stats_.hits;
+    TouchSlot(slot);
+    return SlotPtr(slot);
+  }
+  ++stats_.misses;
+  slot = AcquireSlot(kNoSlot);
+  FillRow(i, SlotPtr(slot));
+  slot_of_row_[i] = slot;
+  row_of_slot_[slot] = static_cast<int32_t>(i);
+  ++stats_.resident_rows;
+  PushFrontSlot(slot);
+  return SlotPtr(slot);
+}
+
+void KernelCache::GetRows(size_t i, size_t j, const double** ki,
+                          const double** kj) {
+  CBIR_CHECK_LT(i, n_);
+  CBIR_CHECK_LT(j, n_);
+  if (i == j) {
+    *ki = *kj = GetRow(i);
+    return;
+  }
+  int32_t slot_i = slot_of_row_[i];
+  int32_t slot_j = slot_of_row_[j];
+  if (slot_i != kNoSlot && slot_j != kNoSlot) {
+    stats_.hits += 2;
+    TouchSlot(slot_j);
+    TouchSlot(slot_i);
+  } else if (slot_i == kNoSlot && slot_j == kNoSlot) {
+    // Double miss: allocate both slots up front (pinning the first against
+    // eviction by the second), then fill both rows in one data pass.
+    stats_.misses += 2;
+    slot_i = AcquireSlot(kNoSlot);
+    slot_j = AcquireSlot(slot_i);
+    FillRowPair(i, j, SlotPtr(slot_i), SlotPtr(slot_j));
+    slot_of_row_[i] = slot_i;
+    row_of_slot_[slot_i] = static_cast<int32_t>(i);
+    slot_of_row_[j] = slot_j;
+    row_of_slot_[slot_j] = static_cast<int32_t>(j);
+    stats_.resident_rows += 2;
+    PushFrontSlot(slot_j);
+    PushFrontSlot(slot_i);
+  } else {
+    // Single miss: fetch the missing row while pinning the resident one.
+    const bool missing_is_i = slot_i == kNoSlot;
+    const size_t missing = missing_is_i ? i : j;
+    int32_t pinned = missing_is_i ? slot_j : slot_i;
+    ++stats_.hits;
+    ++stats_.misses;
+    TouchSlot(pinned);
+    const int32_t slot = AcquireSlot(pinned);
+    FillRow(missing, SlotPtr(slot));
+    slot_of_row_[missing] = slot;
+    row_of_slot_[slot] = static_cast<int32_t>(missing);
+    ++stats_.resident_rows;
+    PushFrontSlot(slot);
+    if (missing_is_i) {
+      slot_i = slot;
+    } else {
+      slot_j = slot;
     }
   }
-  std::vector<double> row;
-  ComputeRow(i, &row);
-  lru_.push_front(i);
-  auto [ins, ok] =
-      rows_.emplace(i, std::make_pair(std::move(row), lru_.begin()));
-  CBIR_CHECK(ok);
-  return ins->second.first;
+  *ki = SlotPtr(slot_i);
+  *kj = SlotPtr(slot_j);
 }
 
 }  // namespace cbir::svm

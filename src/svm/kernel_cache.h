@@ -1,9 +1,9 @@
 #ifndef CBIR_SVM_KERNEL_CACHE_H_
 #define CBIR_SVM_KERNEL_CACHE_H_
 
+#include <algorithm>
 #include <cstddef>
-#include <list>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "la/matrix.h"
@@ -11,45 +11,102 @@
 
 namespace cbir::svm {
 
-/// \brief Lazily computed, LRU-evicted kernel matrix rows.
+/// \brief Counters describing one cache's lifetime behaviour; consumed by the
+/// micro-benchmarks and surfaced through SmoSolution/TrainOutput.
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t resident_rows = 0;  ///< rows currently materialized
+  size_t capacity_rows = 0;  ///< slab capacity in rows
+
+  double hit_rate() const {
+    const size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+  /// Folds another solve's counters in: event counts sum; the row fields
+  /// become high-water marks (an aggregate spans caches of different sizes,
+  /// e.g. the coupled SVM's visual and log modalities).
+  void Accumulate(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    resident_rows = std::max(resident_rows, other.resident_rows);
+    capacity_rows = std::max(capacity_rows, other.capacity_rows);
+  }
+};
+
+/// \brief Lazily computed, LRU-evicted kernel matrix rows backed by one
+/// contiguous slab.
 ///
-/// The SMO solver touches kernel rows i and j each iteration; training sets
-/// in relevance feedback are small (tens of samples) so rows usually all fit,
-/// but the cache keeps memory bounded for the large-n micro-benchmarks.
+/// All rows live in a single flat buffer of `capacity * n` doubles with a
+/// fixed row stride: no per-row heap allocation, no hash lookups on the hot
+/// path (a dense row -> slot index table), and an intrusive doubly-linked LRU
+/// threaded through slot-indexed arrays. GetRows(i, j) materializes both of
+/// the SMO working pair's rows in one pass over the data and guarantees both
+/// pointers stay valid together (the first row is pinned while the second is
+/// fetched), so the solver never has to defensively copy a row.
 class KernelCache {
  public:
-  /// `data` must outlive the cache. `max_rows` bounds resident rows
-  /// (0 = unlimited).
+  /// `data` must outlive the cache. `max_rows` bounds resident rows,
+  /// clamped to [2, n]; 0 selects a default budget of all rows up to a
+  /// 128 MiB slab (keeps corpus-scale n from eagerly allocating n*n).
   KernelCache(const la::Matrix& data, const KernelParams& params,
               size_t max_rows = 0);
 
   size_t n() const { return n_; }
 
-  /// Returns kernel row i (K(x_i, x_t) for all t); the reference is valid
-  /// until the next GetRow call.
-  const std::vector<double>& GetRow(size_t i);
+  /// Returns kernel row i (K(x_i, x_t) for all t); the pointer is valid until
+  /// the next GetRow/GetRows call.
+  const double* GetRow(size_t i);
+
+  /// Materializes rows i and j together; both pointers remain valid until the
+  /// next GetRow/GetRows call. When both rows miss they are computed in a
+  /// single pass over the data matrix.
+  void GetRows(size_t i, size_t j, const double** ki, const double** kj);
 
   /// Diagonal entry K(x_i, x_i), precomputed for all i.
   double Diag(size_t i) const { return diag_[i]; }
 
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  const CacheStats& stats() const { return stats_; }
+  size_t hits() const { return stats_.hits; }
+  size_t misses() const { return stats_.misses; }
 
  private:
-  void ComputeRow(size_t i, std::vector<double>* out) const;
+  static constexpr int32_t kNoSlot = -1;
+
+  double* SlotPtr(int32_t slot) {
+    return slab_.data() + static_cast<size_t>(slot) * n_;
+  }
+  /// Moves `slot` to the MRU end of the intrusive list.
+  void TouchSlot(int32_t slot);
+  void UnlinkSlot(int32_t slot);
+  void PushFrontSlot(int32_t slot);
+  /// Returns a free slot, evicting the LRU resident row if needed;
+  /// `pinned_slot` is never chosen as the victim.
+  int32_t AcquireSlot(int32_t pinned_slot);
+  /// Computes kernel row i into `out` (n doubles).
+  void FillRow(size_t i, double* out) const;
+  /// Computes rows i and j together in one pass over the data.
+  void FillRowPair(size_t i, size_t j, double* out_i, double* out_j) const;
 
   const la::Matrix& data_;
   KernelParams params_;
   size_t n_;
-  size_t max_rows_;
+  size_t capacity_;
 
-  std::unordered_map<size_t, std::pair<std::vector<double>,
-                                       std::list<size_t>::iterator>>
-      rows_;
-  std::list<size_t> lru_;  // front = most recent
+  std::vector<double> slab_;           ///< capacity_ * n_ doubles
+  std::vector<int32_t> slot_of_row_;   ///< n_ entries, kNoSlot if absent
+  std::vector<int32_t> row_of_slot_;   ///< capacity_ entries
+  std::vector<int32_t> lru_prev_;      ///< per slot
+  std::vector<int32_t> lru_next_;      ///< per slot
+  int32_t lru_head_ = kNoSlot;         ///< most recently used
+  int32_t lru_tail_ = kNoSlot;         ///< least recently used
+  int32_t next_free_slot_ = 0;         ///< slots [next_free, capacity) unused
+
   std::vector<double> diag_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  CacheStats stats_;
 };
 
 }  // namespace cbir::svm

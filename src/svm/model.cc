@@ -1,10 +1,12 @@
 #include "svm/model.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <string>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace cbir::svm {
 
@@ -27,8 +29,33 @@ double SvmModel::Decision(const la::Vec& x) const {
 
 std::vector<double> SvmModel::DecisionBatch(const la::Matrix& batch) const {
   std::vector<double> out(batch.rows());
-  for (size_t r = 0; r < batch.rows(); ++r) {
-    out[r] = Decision(batch.Row(r));
+  if (batch.rows() == 0) return out;
+  const size_t num_sv = support_vectors_.rows();
+  if (num_sv == 0) {
+    std::fill(out.begin(), out.end(), bias_);
+    return out;
+  }
+  CBIR_CHECK_EQ(batch.cols(), support_vectors_.cols());
+
+  // Scoring one row is a batched kernel evaluation against all SVs followed
+  // by a dot with the coefficients; rows are independent, so corpus-sized
+  // batches fan out across threads (the per-query ranking hot path).
+  const auto score_row = [&](size_t r, std::vector<double>& scratch) {
+    svm::EvalKernelRowBatch(kernel_, support_vectors_, batch.RowPtr(r),
+                            scratch.data(), 0, num_sv);
+    out[r] = bias_ + la::DotN(scratch.data(), coefficients_.data(), num_sv);
+  };
+
+  const size_t work = batch.rows() * num_sv * batch.cols();
+  if (work < (1u << 18)) {
+    std::vector<double> scratch(num_sv);
+    for (size_t r = 0; r < batch.rows(); ++r) score_row(r, scratch);
+  } else {
+    ParallelFor(batch.rows(), [&](size_t r) {
+      thread_local std::vector<double> scratch;
+      scratch.resize(num_sv);
+      score_row(r, scratch);
+    });
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "svm/kernel_cache.h"
 #include "util/logging.h"
@@ -27,15 +28,85 @@ SmoSolver::SmoSolver(const la::Matrix& data, std::vector<double> labels,
   CBIR_CHECK_EQ(c_.size(), n_);
 }
 
+Status SmoSolver::InitializeState() {
+  alpha_.assign(n_, 0.0);
+  grad_.assign(n_, -1.0);  // Q*0 - e
+  active_.resize(n_);
+  std::iota(active_.begin(), active_.end(), size_t{0});
+  active_size_ = n_;
+  unshrunk_ = false;
+
+  if (options_.initial_alpha.empty()) return Status::OK();
+  if (options_.initial_alpha.size() != n_) {
+    return Status::InvalidArgument(
+        "SMO: initial_alpha size does not match training set");
+  }
+
+  // Clamp the warm start into the box, then repair the equality constraint.
+  // The residual s = y'a can always be absorbed by shrinking alphas of the
+  // matching label sign toward zero (their total is at least |s|).
+  double residual = 0.0;
+  bool any_positive = false;
+  for (size_t t = 0; t < n_; ++t) {
+    alpha_[t] = std::clamp(options_.initial_alpha[t], 0.0, c_[t]);
+    residual += y_[t] * alpha_[t];
+    any_positive = any_positive || alpha_[t] > 0.0;
+  }
+  if (!any_positive) return Status::OK();
+  for (size_t t = 0; t < n_ && std::abs(residual) > kTau; ++t) {
+    if (y_[t] * residual <= 0.0) continue;
+    const double take = std::min(alpha_[t], std::abs(residual));
+    alpha_[t] -= take;
+    residual -= y_[t] * take;
+  }
+
+  // grad_t = y_t * sum_s y_s a_s K_ts - 1, accumulated over the support
+  // vectors of the warm start (their rows land in the cache exactly where
+  // the first iterations will look for them). Rows are fetched in pairs so
+  // uncached pairs are computed in one pass over the data.
+  AccumulateSupportRows(0, n_);
+  return Status::OK();
+}
+
+void SmoSolver::AccumulateSupportRows(size_t grad_begin, size_t grad_end) {
+  std::vector<size_t> svs;
+  svs.reserve(n_);
+  for (size_t s = 0; s < n_; ++s) {
+    if (alpha_[s] > 0.0) svs.push_back(s);
+  }
+  size_t k = 0;
+  for (; k + 2 <= svs.size(); k += 2) {
+    const size_t s0 = svs[k];
+    const size_t s1 = svs[k + 1];
+    const double* K0;
+    const double* K1;
+    cache_.GetRows(s0, s1, &K0, &K1);
+    const double c0 = alpha_[s0] * y_[s0];
+    const double c1 = alpha_[s1] * y_[s1];
+    for (size_t p = grad_begin; p < grad_end; ++p) {
+      const size_t t = active_[p];
+      grad_[t] += y_[t] * (c0 * K0[t] + c1 * K1[t]);
+    }
+  }
+  if (k < svs.size()) {
+    const size_t s = svs[k];
+    const double* Ks = cache_.GetRow(s);
+    const double coef = alpha_[s] * y_[s];
+    for (size_t p = grad_begin; p < grad_end; ++p) {
+      const size_t t = active_[p];
+      grad_[t] += y_[t] * coef * Ks[t];
+    }
+  }
+}
+
 bool SmoSolver::SelectWorkingSet(size_t* out_i, size_t* out_j) {
-  // i: maximize -y_t * grad_t over I_up.
+  // i: maximize -y_t * grad_t over I_up of the active set.
   double gmax = -std::numeric_limits<double>::infinity();
   double gmin = std::numeric_limits<double>::infinity();
   size_t i = n_;
-  for (size_t t = 0; t < n_; ++t) {
-    const bool in_up = (y_[t] > 0 && !IsUpperBound(t)) ||
-                       (y_[t] < 0 && !IsLowerBound(t));
-    if (in_up) {
+  for (size_t p = 0; p < active_size_; ++p) {
+    const size_t t = active_[p];
+    if (InUp(t)) {
       const double v = -y_[t] * grad_[t];
       if (v > gmax) {
         gmax = v;
@@ -45,15 +116,14 @@ bool SmoSolver::SelectWorkingSet(size_t* out_i, size_t* out_j) {
   }
   if (i == n_) return false;
 
-  const std::vector<double>& Ki = cache_.GetRow(i);
+  const double* Ki = cache_.GetRow(i);
 
   // j: second-order selection among violating I_low members.
   size_t j = n_;
   double best_gain = std::numeric_limits<double>::infinity();  // minimize
-  for (size_t t = 0; t < n_; ++t) {
-    const bool in_low = (y_[t] > 0 && !IsLowerBound(t)) ||
-                        (y_[t] < 0 && !IsUpperBound(t));
-    if (!in_low) continue;
+  for (size_t p = 0; p < active_size_; ++p) {
+    const size_t t = active_[p];
+    if (!InLow(t)) continue;
     const double v = -y_[t] * grad_[t];
     gmin = std::min(gmin, v);
     const double b_it = gmax - v;
@@ -75,6 +145,59 @@ bool SmoSolver::SelectWorkingSet(size_t* out_i, size_t* out_j) {
   return true;
 }
 
+void SmoSolver::Shrink(int* shrink_passes, int* reconstructions) {
+  // LIBSVM do_shrinking: compute the maximal violations over the active set,
+  // then retire bounded examples whose gradient says they cannot re-enter.
+  double gmax1 = -std::numeric_limits<double>::infinity();  // I_up
+  double gmax2 = -std::numeric_limits<double>::infinity();  // I_low
+  for (size_t p = 0; p < active_size_; ++p) {
+    const size_t t = active_[p];
+    if (InUp(t)) gmax1 = std::max(gmax1, -y_[t] * grad_[t]);
+    if (InLow(t)) gmax2 = std::max(gmax2, y_[t] * grad_[t]);
+  }
+
+  if (!unshrunk_ && gmax1 + gmax2 <= options_.eps * 10) {
+    // Close to optimal: reconstruct once and re-shrink over the full set so
+    // no example is left behind with a stale gradient near convergence.
+    unshrunk_ = true;
+    ReconstructGradient(reconstructions);
+  }
+
+  const auto be_shrunk = [&](size_t t) {
+    if (IsUpperBound(t)) {
+      return y_[t] > 0 ? -grad_[t] > gmax1 : -grad_[t] > gmax2;
+    }
+    if (IsLowerBound(t)) {
+      return y_[t] > 0 ? grad_[t] > gmax2 : grad_[t] > gmax1;
+    }
+    return false;
+  };
+
+  ++*shrink_passes;
+  for (size_t p = 0; p < active_size_;) {
+    if (be_shrunk(active_[p])) {
+      --active_size_;
+      std::swap(active_[p], active_[active_size_]);
+    } else {
+      ++p;
+    }
+  }
+}
+
+void SmoSolver::ReconstructGradient(int* reconstructions) {
+  if (active_size_ == n_) return;
+  ++*reconstructions;
+  // Inactive gradients are stale; recompute them from scratch using the
+  // kernel rows of the current support vectors (K is symmetric, so row s
+  // supplies K(t, s) for every inactive t). Pairwise fetches let uncached
+  // SV rows be computed in one pass over the data.
+  for (size_t p = active_size_; p < n_; ++p) {
+    grad_[active_[p]] = -1.0;
+  }
+  AccumulateSupportRows(active_size_, n_);
+  active_size_ = n_;
+}
+
 Result<SmoSolution> SmoSolver::Solve() {
   if (n_ == 0) return Status::InvalidArgument("SMO: empty training set");
   for (size_t t = 0; t < n_; ++t) {
@@ -85,27 +208,45 @@ Result<SmoSolution> SmoSolver::Solve() {
       return Status::InvalidArgument("SMO: non-positive C bound");
     }
   }
-
-  alpha_.assign(n_, 0.0);
-  grad_.assign(n_, -1.0);  // Q*0 - e
+  CBIR_RETURN_NOT_OK(InitializeState());
 
   const long max_iter =
       options_.max_iterations > 0
           ? options_.max_iterations
           : std::max<long>(10'000'000, 100 * static_cast<long>(n_));
+  const long shrink_interval =
+      options_.shrink_interval > 0
+          ? options_.shrink_interval
+          : std::min<long>(static_cast<long>(n_), 1000) + 1;
 
   SmoSolution sol;
   long iter = 0;
+  long counter = shrink_interval;
   while (iter < max_iter) {
+    if (--counter == 0) {
+      counter = shrink_interval;
+      if (options_.shrinking) {
+        Shrink(&sol.shrink_passes, &sol.gradient_reconstructions);
+      }
+    }
+
     size_t i, j;
     if (!SelectWorkingSet(&i, &j)) {
-      sol.converged = true;
-      break;
+      // Optimal on the active set: verify against the full problem.
+      ReconstructGradient(&sol.gradient_reconstructions);
+      if (!SelectWorkingSet(&i, &j)) {
+        sol.converged = true;
+        break;
+      }
+      counter = 1;  // re-shrink immediately after the forced unshrink
+      continue;
     }
     ++iter;
 
-    const std::vector<double> Ki = cache_.GetRow(i);  // copy: j fetch may evict
-    const std::vector<double>& Kj = cache_.GetRow(j);
+    // Both rows stay valid together: the slab cache pins i while fetching j.
+    const double* Ki;
+    const double* Kj;
+    cache_.GetRows(i, j, &Ki, &Kj);
 
     const double yi = y_[i], yj = y_[j];
     double a_ij = cache_.Diag(i) + cache_.Diag(j) - 2.0 * Ki[j];
@@ -155,23 +296,38 @@ Result<SmoSolution> SmoSolver::Solve() {
       }
     }
 
-    // Gradient maintenance: grad_t += Q_ti * dAi + Q_tj * dAj.
+    // Gradient maintenance over the active set:
+    //   grad_t += Q_ti * dAi + Q_tj * dAj.
     const double d_ai = alpha_[i] - old_ai;
     const double d_aj = alpha_[j] - old_aj;
     if (d_ai == 0.0 && d_aj == 0.0) {
       // Numerically stuck pair; treat as converged to avoid spinning.
+      ReconstructGradient(&sol.gradient_reconstructions);
       sol.converged = true;
       break;
     }
-    for (size_t t = 0; t < n_; ++t) {
-      grad_[t] += y_[t] * (yi * Ki[t] * d_ai + yj * Kj[t] * d_aj);
+    const double ci = yi * d_ai;
+    const double cj = yj * d_aj;
+    for (size_t p = 0; p < active_size_; ++p) {
+      const size_t t = active_[p];
+      grad_[t] += y_[t] * (ci * Ki[t] + cj * Kj[t]);
     }
   }
+
+  // Every exit path must leave the full gradient fresh: bias, objective and
+  // the recovered decision values all read it.
+  ReconstructGradient(&sol.gradient_reconstructions);
 
   sol.alpha = alpha_;
   sol.bias = ComputeBias();
   sol.objective = ComputeObjective();
   sol.iterations = iter;
+  sol.cache_stats = cache_.stats();
+  // f(x_t) recovered from the gradient identity grad_t = y_t (f_t - b) - 1.
+  sol.train_decisions.resize(n_);
+  for (size_t t = 0; t < n_; ++t) {
+    sol.train_decisions[t] = sol.bias + y_[t] * (grad_[t] + 1.0);
+  }
   if (iter >= max_iter) {
     CBIR_LOG(Warning) << "SMO hit iteration cap (" << max_iter << ")";
   }
@@ -199,12 +355,8 @@ double SmoSolver::ComputeBias() const {
   double lb = -std::numeric_limits<double>::infinity();
   for (size_t t = 0; t < n_; ++t) {
     const double v = -y_[t] * grad_[t];
-    const bool in_up = (y_[t] > 0 && !IsUpperBound(t)) ||
-                       (y_[t] < 0 && !IsLowerBound(t));
-    const bool in_low = (y_[t] > 0 && !IsLowerBound(t)) ||
-                        (y_[t] < 0 && !IsUpperBound(t));
-    if (in_up) lb = std::max(lb, v);
-    if (in_low) ub = std::min(ub, v);
+    if (InUp(t)) lb = std::max(lb, v);
+    if (InLow(t)) ub = std::min(ub, v);
   }
   if (std::isinf(ub) && std::isinf(lb)) return 0.0;
   if (std::isinf(ub)) return lb;

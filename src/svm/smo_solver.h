@@ -18,6 +18,20 @@ struct SmoOptions {
   long max_iterations = -1;
   /// Kernel-cache row budget (0 = unlimited).
   size_t cache_rows = 0;
+  /// LIBSVM-style shrinking: periodically drop examples that are pinned at a
+  /// bound and KKT-consistent from the active set; the full gradient is
+  /// reconstructed and optimality re-verified over all examples before the
+  /// solver declares convergence, so the solution is unchanged.
+  bool shrinking = true;
+  /// Iterations between shrinking passes; 0 selects LIBSVM's min(n, 1000).
+  long shrink_interval = 0;
+  /// Warm start: when non-empty (size n), the solve starts from these dual
+  /// variables instead of zero. Values are clamped to [0, C_i] and projected
+  /// back onto the equality constraint y'a = 0, so alphas carried over from a
+  /// nearly identical problem (the previous relevance-feedback round, the
+  /// previous rho-annealing step) are always usable: new examples enter at
+  /// alpha 0, carried examples keep their values.
+  std::vector<double> initial_alpha;
 };
 
 /// \brief Output of the SMO solver.
@@ -27,6 +41,14 @@ struct SmoSolution {
   double objective = 0.0;     ///< dual objective 0.5 a'Qa - e'a
   long iterations = 0;
   bool converged = false;     ///< false when the iteration cap was hit
+  /// Decision values f(x_i) on the training set, recovered from the final
+  /// gradient for free (no O(n * n_sv) kernel re-evaluation).
+  std::vector<double> train_decisions;
+  /// Kernel-cache behaviour during this solve.
+  CacheStats cache_stats;
+  /// Shrinking passes executed and full-gradient reconstructions performed.
+  int shrink_passes = 0;
+  int gradient_reconstructions = 0;
 };
 
 /// \brief Sequential Minimal Optimization for the C-SVC dual with
@@ -41,7 +63,9 @@ struct SmoSolution {
 ///
 /// Working-set selection is LIBSVM's second-order heuristic (WSS2): i is the
 /// maximal violating index in I_up, j minimizes the quadratic gain estimate
-/// among violating indices in I_low.
+/// among violating indices in I_low. With options.shrinking the selection
+/// scans only the active set; convergence is always verified on the full set
+/// after gradient reconstruction.
 class SmoSolver {
  public:
   /// `data` rows are training vectors; `labels` in {+1,-1}; `c_bounds` gives
@@ -58,9 +82,34 @@ class SmoSolver {
  private:
   bool IsUpperBound(size_t i) const { return alpha_[i] >= c_[i] - 1e-12; }
   bool IsLowerBound(size_t i) const { return alpha_[i] <= 1e-12; }
+  /// Membership in I_up / I_low of the violating-pair framework: the sets of
+  /// indices whose alpha may still move up / down the feasible direction.
+  bool InUp(size_t t) const {
+    return (y_[t] > 0 && !IsUpperBound(t)) || (y_[t] < 0 && !IsLowerBound(t));
+  }
+  bool InLow(size_t t) const {
+    return (y_[t] > 0 && !IsLowerBound(t)) || (y_[t] < 0 && !IsUpperBound(t));
+  }
 
-  /// Selects the (i, j) working pair; returns false at eps-optimality.
+  /// Initializes alpha (zero or clamped+projected warm start) and the
+  /// matching gradient.
+  Status InitializeState();
+
+  /// Adds y_t * sum_s y_s a_s K_ts to grad_[active_[p]] for p in
+  /// [grad_begin, grad_end), fetching support-vector rows in pairs so
+  /// uncached pairs are filled in one pass over the data.
+  void AccumulateSupportRows(size_t grad_begin, size_t grad_end);
+
+  /// Selects the (i, j) working pair from the active set; returns false at
+  /// eps-optimality of the active subproblem.
   bool SelectWorkingSet(size_t* out_i, size_t* out_j);
+
+  /// Removes bounded, KKT-consistent examples from the active set.
+  void Shrink(int* shrink_passes, int* reconstructions);
+
+  /// Recomputes the (stale) gradient of every inactive example from the
+  /// current alphas and restores the full active set.
+  void ReconstructGradient(int* reconstructions);
 
   double ComputeBias() const;
   double ComputeObjective() const;
@@ -74,7 +123,10 @@ class SmoSolver {
 
   KernelCache cache_;
   std::vector<double> alpha_;
-  std::vector<double> grad_;  ///< grad_i = (Qa)_i - 1
+  std::vector<double> grad_;    ///< grad_i = (Qa)_i - 1 (active entries fresh)
+  std::vector<size_t> active_;  ///< permutation; first active_size_ are active
+  size_t active_size_ = 0;
+  bool unshrunk_ = false;       ///< one-time early unshrink near optimality
 };
 
 }  // namespace cbir::svm

@@ -53,14 +53,16 @@ Result<TrainOutput> SvmTrainer::TrainWeighted(
   out.objective = sol.objective;
   out.iterations = sol.iterations;
   out.converged = sol.converged;
+  out.cache_stats = sol.cache_stats;
 
-  out.train_decisions.resize(data.rows());
+  // Training decisions come straight out of the solver's final gradient
+  // instead of an O(n * n_sv * d) kernel re-evaluation pass.
+  out.train_decisions = std::move(sol.train_decisions);
   out.slacks.resize(data.rows());
   for (size_t i = 0; i < data.rows(); ++i) {
-    const double f = out.model.Decision(data.Row(i));
-    out.train_decisions[i] = f;
-    out.slacks[i] = std::max(0.0, 1.0 - labels[i] * f);
+    out.slacks[i] = std::max(0.0, 1.0 - labels[i] * out.train_decisions[i]);
   }
+  out.alpha = std::move(sol.alpha);
   return out;
 }
 

@@ -27,9 +27,15 @@ struct TrainOutput {
   /// Hinge slacks xi_i = max(0, 1 - y_i f(x_i)), in input order. The
   /// coupled-SVM label-correction step reads these.
   std::vector<double> slacks;
+  /// Full per-sample dual variables, in input order (zero for non-SVs).
+  /// Callers feed these back through SmoOptions::initial_alpha to warm-start
+  /// the next, nearly identical solve (next feedback round / rho step).
+  std::vector<double> alpha;
   double objective = 0.0;
   long iterations = 0;
   bool converged = false;
+  /// Kernel-cache counters from the underlying SMO solve.
+  CacheStats cache_stats;
 };
 
 /// \brief Trains binary C-SVC models with optional per-sample C bounds.

@@ -7,6 +7,14 @@
 
 namespace cbir {
 
+namespace {
+// Set inside ParallelFor workers so nested ParallelFor calls (e.g. a
+// per-query experiment loop whose schemes call the parallel corpus scans)
+// degrade to serial execution instead of oversubscribing the machine with
+// workers^2 threads.
+thread_local bool in_parallel_worker = false;
+}  // namespace
+
 int EffectiveThreadCount(int requested) {
   if (requested > 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
@@ -18,7 +26,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   if (n == 0) return;
   int workers = std::min<int>(EffectiveThreadCount(num_threads),
                               static_cast<int>(n));
-  if (workers <= 1) {
+  if (workers <= 1 || in_parallel_worker) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -31,6 +39,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   threads.reserve(workers);
   for (int t = 0; t < workers; ++t) {
     threads.emplace_back([&] {
+      in_parallel_worker = true;
       while (true) {
         size_t begin = next.fetch_add(chunk);
         if (begin >= n) break;

@@ -232,6 +232,43 @@ TEST(CoupledSvmTest, DiagnosticsObjectivesPopulated) {
   EXPECT_LE(model->diagnostics.log_objective, 1e-9);
 }
 
+TEST(CoupledSvmTest, WarmStartAcrossRoundsMatchesColdTraining) {
+  // Round t+1 warm-started from round t's duals must produce the same model
+  // as a cold solve (warm starting is an accelerator, not an approximation).
+  const CsvmTrainData data = TwoModalityProblem(8, 6, 2.0, 1.5, 21);
+  CoupledSvm csvm(TestOptions());
+  auto cold = csvm.Train(data);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->visual_alpha.size(), data.visual.rows());
+  ASSERT_EQ(cold->log_alpha.size(), data.log.rows());
+
+  CsvmTrainData warm_data = data;
+  warm_data.initial_visual_alpha = cold->visual_alpha;
+  warm_data.initial_log_alpha = cold->log_alpha;
+  auto warm = csvm.Train(warm_data);
+  ASSERT_TRUE(warm.ok());
+
+  EXPECT_EQ(warm->unlabeled_labels, cold->unlabeled_labels);
+  for (size_t i = 0; i < data.visual.rows(); ++i) {
+    EXPECT_NEAR(warm->Decision(data.visual.Row(i), data.log.Row(i)),
+                cold->Decision(data.visual.Row(i), data.log.Row(i)), 5e-3)
+        << i;
+  }
+  // Both runs warm-start internally across the annealing chain, so the
+  // cross-round carry only shaves the first solve; totals must stay in the
+  // same ballpark (the strict single-solve speedup is asserted in
+  // SmoSolverTest.WarmStartMatchesColdStartAfterGrowth).
+  EXPECT_LE(warm->diagnostics.total_smo_iterations,
+            cold->diagnostics.total_smo_iterations * 6 / 5);
+}
+
+TEST(CoupledSvmTest, RejectsMismatchedWarmStart) {
+  CsvmTrainData data = TwoModalityProblem(4, 2, 2.0, 2.0, 23);
+  data.initial_visual_alpha = {0.1};  // wrong size
+  CoupledSvm csvm(TestOptions());
+  EXPECT_FALSE(csvm.Train(data).ok());
+}
+
 TEST(CoupledSvmDeathTest, InvalidOptions) {
   CsvmOptions bad = TestOptions();
   bad.rho_init = 2.0;  // > rho

@@ -1,6 +1,10 @@
 #include "retrieval/ranker.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.h"
 
 namespace cbir::retrieval {
 namespace {
@@ -63,6 +67,67 @@ TEST(RankerTest, ScoreDescTieBreakByDistance) {
 TEST(RankerTest, ScoreDescTopK) {
   const auto ranked = RankByScoreDesc({0.1, 0.9, -0.5, 0.6}, {}, 2);
   EXPECT_EQ(ranked, (std::vector<int>{1, 3}));
+}
+
+TEST(RankerTest, TopKEqualsFullSortPrefix) {
+  // The nth_element-based top-k path must return exactly the first k entries
+  // of the full ranking, for every k, including with duplicate distances.
+  Rng rng(77);
+  la::Matrix corpus(257, 5);
+  for (size_t r = 0; r < corpus.rows(); ++r) {
+    for (size_t c = 0; c < corpus.cols(); ++c) {
+      // Quantized values create plenty of exact distance ties.
+      corpus.At(r, c) = std::round(rng.Gaussian() * 2.0) / 2.0;
+    }
+  }
+  const la::Vec query = corpus.Row(3);
+  const std::vector<int> full = RankByEuclidean(corpus, query);
+  ASSERT_EQ(full.size(), corpus.rows());
+  for (int k : {1, 2, 7, 20, 100, 256, 257, 500}) {
+    const std::vector<int> topk = RankByEuclidean(corpus, query, k);
+    const size_t expect =
+        std::min<size_t>(static_cast<size_t>(k), corpus.rows());
+    ASSERT_EQ(topk.size(), expect) << "k=" << k;
+    for (size_t i = 0; i < expect; ++i) {
+      EXPECT_EQ(topk[i], full[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(RankerTest, ScoreTopKEqualsFullSortPrefix) {
+  Rng rng(78);
+  const size_t n = 300;
+  std::vector<double> scores(n), dists(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = std::round(rng.Gaussian() * 4.0) / 4.0;  // many ties
+    dists[i] = rng.Uniform();
+  }
+  const std::vector<int> full = RankByScoreDesc(scores, dists);
+  for (int k : {1, 5, 50, 299, 300}) {
+    const std::vector<int> topk = RankByScoreDesc(scores, dists, k);
+    ASSERT_EQ(topk.size(), static_cast<size_t>(k));
+    for (size_t i = 0; i < topk.size(); ++i) {
+      EXPECT_EQ(topk[i], full[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(RankerTest, LargeCorpusParallelScanMatchesSerial) {
+  // Big enough to cross the parallel-scan threshold; distances must be
+  // bit-identical to the direct serial formula.
+  Rng rng(79);
+  la::Matrix corpus(5000, 36);
+  for (size_t r = 0; r < corpus.rows(); ++r) {
+    for (size_t c = 0; c < corpus.cols(); ++c) {
+      corpus.At(r, c) = rng.Gaussian();
+    }
+  }
+  const la::Vec query = corpus.Row(11);
+  const std::vector<double> dist = AllSquaredDistances(corpus, query);
+  for (size_t r = 0; r < corpus.rows(); r += 271) {
+    EXPECT_DOUBLE_EQ(dist[r], la::SquaredDistance(corpus.Row(r), query));
+  }
+  EXPECT_DOUBLE_EQ(dist[11], 0.0);
 }
 
 TEST(RankerDeathTest, TiebreakSizeMismatch) {

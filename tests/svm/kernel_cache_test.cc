@@ -21,8 +21,7 @@ TEST(KernelCacheTest, RowsMatchDirectEvaluation) {
   const KernelParams k = KernelParams::Rbf(0.5);
   KernelCache cache(data, k);
   for (size_t i = 0; i < 10; ++i) {
-    const auto& row = cache.GetRow(i);
-    ASSERT_EQ(row.size(), 10u);
+    const double* row = cache.GetRow(i);
     for (size_t j = 0; j < 10; ++j) {
       EXPECT_NEAR(row[j], EvalKernel(k, data.Row(i), data.Row(j)), 1e-12);
     }
@@ -51,6 +50,10 @@ TEST(KernelCacheTest, HitsAndMisses) {
   cache.GetRow(0);
   EXPECT_EQ(cache.misses(), 2u);
   EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.stats().resident_rows, 2u);
+  EXPECT_EQ(cache.stats().capacity_rows, 4u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_NEAR(cache.stats().hit_rate(), 0.5, 1e-12);
 }
 
 TEST(KernelCacheTest, EvictionKeepsResultsCorrect) {
@@ -60,12 +63,14 @@ TEST(KernelCacheTest, EvictionKeepsResultsCorrect) {
   // Touch rows in a pattern that forces eviction, verifying values always.
   const size_t pattern[] = {0, 1, 2, 3, 0, 1, 7, 0};
   for (size_t i : pattern) {
-    const auto& row = cache.GetRow(i);
+    const double* row = cache.GetRow(i);
     for (size_t j = 0; j < 8; ++j) {
       EXPECT_NEAR(row[j], EvalKernel(k, data.Row(i), data.Row(j)), 1e-12);
     }
   }
   EXPECT_GT(cache.misses(), 2u);  // eviction happened
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.stats().resident_rows, 2u);
 }
 
 TEST(KernelCacheTest, LruKeepsRecentRow) {
@@ -78,6 +83,65 @@ TEST(KernelCacheTest, LruKeepsRecentRow) {
   cache.GetRow(0);  // must still be resident
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(KernelCacheTest, GetRowsBothValidSimultaneously) {
+  const la::Matrix data = RandomData(8, 3, 6);
+  const KernelParams k = KernelParams::Rbf(0.4);
+  // Tiny capacity: without pinning, fetching j would evict i's slot.
+  KernelCache cache(data, k, /*max_rows=*/2);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double* ki = nullptr;
+      const double* kj = nullptr;
+      cache.GetRows(i, j, &ki, &kj);
+      for (size_t t = 0; t < 8; ++t) {
+        EXPECT_NEAR(ki[t], EvalKernel(k, data.Row(i), data.Row(t)), 1e-12)
+            << "i=" << i << " j=" << j;
+        EXPECT_NEAR(kj[t], EvalKernel(k, data.Row(j), data.Row(t)), 1e-12)
+            << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(KernelCacheTest, GetRowsSameIndexAliases) {
+  const la::Matrix data = RandomData(4, 2, 7);
+  KernelCache cache(data, KernelParams::Linear(), /*max_rows=*/2);
+  const double* ki = nullptr;
+  const double* kj = nullptr;
+  cache.GetRows(2, 2, &ki, &kj);
+  EXPECT_EQ(ki, kj);
+  EXPECT_NEAR(ki[2], la::Dot(data.Row(2), data.Row(2)), 1e-12);
+}
+
+TEST(KernelCacheTest, GetRowsMixedHitMissUnderTinyCapacity) {
+  const la::Matrix data = RandomData(6, 2, 8);
+  const KernelParams k = KernelParams::Linear();
+  KernelCache cache(data, k, /*max_rows=*/2);
+  const double* ki = nullptr;
+  const double* kj = nullptr;
+  cache.GetRows(0, 1, &ki, &kj);  // double miss fills both slots
+  cache.GetRows(0, 2, &ki, &kj);  // 0 hits; 2 must evict 1, not pinned 0
+  for (size_t t = 0; t < 6; ++t) {
+    EXPECT_NEAR(ki[t], EvalKernel(k, data.Row(0), data.Row(t)), 1e-12);
+    EXPECT_NEAR(kj[t], EvalKernel(k, data.Row(2), data.Row(t)), 1e-12);
+  }
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(KernelCacheTest, CapacityClampedToAtLeastTwoRows) {
+  const la::Matrix data = RandomData(5, 2, 9);
+  const KernelParams k = KernelParams::Rbf(0.2);
+  KernelCache cache(data, k, /*max_rows=*/1);
+  EXPECT_EQ(cache.stats().capacity_rows, 2u);
+  const double* ki = nullptr;
+  const double* kj = nullptr;
+  cache.GetRows(3, 4, &ki, &kj);
+  EXPECT_NEAR(ki[4], EvalKernel(k, data.Row(3), data.Row(4)), 1e-12);
+  EXPECT_NEAR(kj[3], EvalKernel(k, data.Row(4), data.Row(3)), 1e-12);
 }
 
 TEST(KernelCacheDeathTest, OutOfRangeRow) {

@@ -119,6 +119,28 @@ TEST(DefaultGammaTest, ConstantDataFallsBackToOneOverDims) {
   EXPECT_NEAR(DefaultGamma(data), 0.25, 1e-12);
 }
 
+TEST(DefaultGammaTest, NearZeroVarianceFallsBackToOneOverDims) {
+  // Variance far below the 1e-12 guard but not exactly zero: the fallback
+  // branch must engage instead of producing an astronomically large gamma.
+  la::Matrix data(4, 5, 3.0);
+  data.At(0, 0) = 3.0 + 1e-9;
+  EXPECT_NEAR(DefaultGamma(data), 0.2, 1e-12);
+}
+
+TEST(DefaultGammaTest, EmptyMatrixReturnsOne) {
+  EXPECT_DOUBLE_EQ(DefaultGamma(la::Matrix()), 1.0);
+  EXPECT_DOUBLE_EQ(DefaultGamma(la::Matrix(0, 7)), 1.0);
+}
+
+TEST(DefaultGammaTest, LargeMagnitudeConstantDataStaysFinite) {
+  // Catastrophic cancellation can produce a tiny negative variance here;
+  // the guard must clamp it instead of returning a negative or inf gamma.
+  la::Matrix data(3, 2, 1e154);
+  const double gamma = DefaultGamma(data);
+  EXPECT_TRUE(std::isfinite(gamma));
+  EXPECT_GT(gamma, 0.0);
+}
+
 TEST(KernelTest, ToStringMentionsTypeAndParams) {
   EXPECT_EQ(KernelParams::Linear().ToString(), "linear");
   EXPECT_NE(KernelParams::Rbf(0.5).ToString().find("rbf"), std::string::npos);

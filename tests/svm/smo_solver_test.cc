@@ -216,6 +216,187 @@ TEST(SmoSolverTest, ObjectiveMatchesDirectComputation) {
   EXPECT_NEAR(sol->objective, direct, 1e-9);
 }
 
+// Shared fixture data: overlapping two-class Gaussian problem.
+struct DenseProblem {
+  la::Matrix data;
+  std::vector<double> y;
+  std::vector<double> c;
+};
+
+DenseProblem MakeDenseProblem(size_t n, double gap, double c_value,
+                              uint64_t seed) {
+  Rng rng(seed);
+  DenseProblem p;
+  p.data = la::Matrix(n, 4);
+  p.y.resize(n);
+  p.c.assign(n, c_value);
+  for (size_t i = 0; i < n; ++i) {
+    p.y[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    for (size_t d = 0; d < 4; ++d) {
+      p.data.At(i, d) = rng.Gaussian() + (d == 0 ? gap * p.y[i] : 0.0);
+    }
+  }
+  return p;
+}
+
+TEST(SmoSolverTest, ShrinkingMatchesNoShrinkingSolution) {
+  const DenseProblem p = MakeDenseProblem(80, 0.4, 20.0, 41);
+  const KernelParams kernel = KernelParams::Rbf(0.3);
+
+  SmoOptions no_shrink;
+  no_shrink.shrinking = false;
+  SmoSolver cold(p.data, p.y, p.c, kernel, no_shrink);
+  auto base = cold.Solve();
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(base->converged);
+
+  SmoOptions shrink;
+  shrink.shrinking = true;
+  shrink.shrink_interval = 10;  // force many shrink passes on a small problem
+  SmoSolver fast(p.data, p.y, p.c, kernel, shrink);
+  auto sol = fast.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->converged);
+  EXPECT_GT(sol->shrink_passes, 0);
+
+  // Same optimum: objective within tolerance, decisions equivalent.
+  EXPECT_NEAR(sol->objective, base->objective, 1e-6);
+  for (size_t t = 0; t < p.data.rows(); ++t) {
+    EXPECT_NEAR(sol->train_decisions[t], base->train_decisions[t], 5e-3)
+        << "t=" << t;
+  }
+}
+
+TEST(SmoSolverTest, ShrinkingWithTinyCacheStaysCorrect) {
+  const DenseProblem p = MakeDenseProblem(50, 0.5, 10.0, 43);
+  const KernelParams kernel = KernelParams::Rbf(0.4);
+
+  SmoOptions reference;
+  reference.shrinking = false;
+  SmoSolver ref_solver(p.data, p.y, p.c, kernel, reference);
+  auto ref = ref_solver.Solve();
+  ASSERT_TRUE(ref.ok());
+
+  SmoOptions tiny;
+  tiny.shrinking = true;
+  tiny.shrink_interval = 7;
+  tiny.cache_rows = 3;  // heavy eviction under the slab cache
+  SmoSolver solver(p.data, p.y, p.c, kernel, tiny);
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, ref->objective, 1e-6);
+  EXPECT_GT(sol->cache_stats.evictions, 0u);
+}
+
+TEST(SmoSolverTest, WarmStartFromOwnSolutionConvergesInstantly) {
+  const DenseProblem p = MakeDenseProblem(40, 0.6, 10.0, 47);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+
+  SmoSolver cold(p.data, p.y, p.c, kernel);
+  auto base = cold.Solve();
+  ASSERT_TRUE(base.ok());
+
+  SmoOptions warm_options;
+  warm_options.initial_alpha = base->alpha;
+  SmoSolver warm(p.data, p.y, p.c, kernel, warm_options);
+  auto sol = warm.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->converged);
+  EXPECT_EQ(sol->iterations, 0);
+  EXPECT_NEAR(sol->objective, base->objective, 1e-9);
+  for (size_t t = 0; t < p.data.rows(); ++t) {
+    EXPECT_NEAR(sol->alpha[t], base->alpha[t], 1e-9);
+  }
+}
+
+TEST(SmoSolverTest, WarmStartMatchesColdStartAfterGrowth) {
+  // Feedback-round simulation: solve on the first 30 samples, then warm-start
+  // the 40-sample problem from the padded alphas. Objective and decisions
+  // must match the cold solve of the full problem.
+  const DenseProblem full = MakeDenseProblem(40, 0.5, 10.0, 53);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+
+  DenseProblem first;
+  first.data = la::Matrix(30, 4);
+  for (size_t i = 0; i < 30; ++i) first.data.SetRow(i, full.data.Row(i));
+  first.y.assign(full.y.begin(), full.y.begin() + 30);
+  first.c.assign(full.c.begin(), full.c.begin() + 30);
+  SmoSolver round0(first.data, first.y, first.c, kernel);
+  auto sol0 = round0.Solve();
+  ASSERT_TRUE(sol0.ok());
+
+  SmoOptions warm_options;
+  warm_options.initial_alpha = sol0->alpha;
+  warm_options.initial_alpha.resize(40, 0.0);  // new samples enter at zero
+  SmoSolver warm(full.data, full.y, full.c, kernel, warm_options);
+  auto warm_sol = warm.Solve();
+  ASSERT_TRUE(warm_sol.ok());
+
+  SmoSolver cold(full.data, full.y, full.c, kernel);
+  auto cold_sol = cold.Solve();
+  ASSERT_TRUE(cold_sol.ok());
+
+  EXPECT_NEAR(warm_sol->objective, cold_sol->objective, 1e-6);
+  for (size_t t = 0; t < 40; ++t) {
+    EXPECT_NEAR(warm_sol->train_decisions[t], cold_sol->train_decisions[t],
+                5e-3)
+        << "t=" << t;
+  }
+  // The warm solve must do less work than the cold one.
+  EXPECT_LT(warm_sol->iterations, cold_sol->iterations);
+}
+
+TEST(SmoSolverTest, WarmStartRepairsInfeasibleInitialAlpha) {
+  // Deliberately infeasible warm start: everything at the box bound violates
+  // both the equality constraint and (after label flips) class consistency.
+  const DenseProblem p = MakeDenseProblem(30, 0.5, 5.0, 59);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+
+  SmoOptions warm_options;
+  warm_options.initial_alpha.assign(30, 1e9);  // clamped to C, then projected
+  SmoSolver warm(p.data, p.y, p.c, kernel, warm_options);
+  auto sol = warm.Solve();
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol->converged);
+  double constraint = 0.0;
+  for (size_t t = 0; t < 30; ++t) {
+    constraint += sol->alpha[t] * p.y[t];
+    EXPECT_GE(sol->alpha[t], -1e-12);
+    EXPECT_LE(sol->alpha[t], p.c[t] + 1e-12);
+  }
+  EXPECT_NEAR(constraint, 0.0, 1e-9);
+
+  SmoSolver cold(p.data, p.y, p.c, kernel);
+  auto base = cold.Solve();
+  ASSERT_TRUE(base.ok());
+  EXPECT_NEAR(sol->objective, base->objective, 1e-6);
+}
+
+TEST(SmoSolverTest, WarmStartSizeMismatchRejected) {
+  const la::Matrix data = MatrixFromRows({{0.0}, {2.0}});
+  SmoOptions options;
+  options.initial_alpha = {0.5};  // wrong size
+  SmoSolver solver(data, {1.0, -1.0}, {10.0, 10.0}, KernelParams::Linear(),
+                   options);
+  EXPECT_FALSE(solver.Solve().ok());
+}
+
+TEST(SmoSolverTest, TrainDecisionsMatchDirectEvaluation) {
+  const DenseProblem p = MakeDenseProblem(24, 0.8, 5.0, 61);
+  const KernelParams kernel = KernelParams::Rbf(0.6);
+  SmoSolver solver(p.data, p.y, p.c, kernel);
+  auto sol = solver.Solve();
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 0; i < 24; ++i) {
+    double f = sol->bias;
+    for (size_t j = 0; j < 24; ++j) {
+      f += sol->alpha[j] * p.y[j] *
+           EvalKernel(kernel, p.data.Row(j), p.data.Row(i));
+    }
+    EXPECT_NEAR(sol->train_decisions[i], f, 1e-9) << i;
+  }
+}
+
 TEST(SmoSolverTest, LargerCReducesTrainingError) {
   // Overlapping data: larger C must not increase the hinge loss.
   Rng rng(37);

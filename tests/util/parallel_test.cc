@@ -44,6 +44,21 @@ TEST(ParallelForTest, ResultsMatchSequential) {
   EXPECT_EQ(parallel_out, serial_out);
 }
 
+TEST(ParallelForTest, NestedCallsRunSeriallyAndCorrectly) {
+  // An inner ParallelFor issued from a worker must not spawn its own thread
+  // team (oversubscription guard) and must still visit every index.
+  const size_t outer = 8, inner = 100;
+  std::vector<std::vector<int>> counts(outer, std::vector<int>(inner, 0));
+  ParallelFor(outer, [&](size_t o) {
+    ParallelFor(inner, [&](size_t i) { counts[o][i] += 1; }, 4);
+  }, 4);
+  for (size_t o = 0; o < outer; ++o) {
+    for (size_t i = 0; i < inner; ++i) {
+      EXPECT_EQ(counts[o][i], 1) << "o=" << o << " i=" << i;
+    }
+  }
+}
+
 TEST(EffectiveThreadCountTest, PositivePassThrough) {
   EXPECT_EQ(EffectiveThreadCount(3), 3);
 }
