@@ -1,0 +1,145 @@
+// Micro-benchmarks for the index subsystem: exact exhaustive top-k retrieval
+// versus the signature index's Hamming-candidate + exact-rerank path, with
+// the measured recall@50 attached to every approximate timing so speedups
+// are never quoted without their quality cost.
+//
+// Before/after pairs: BM_ExactIndexTop50/<n> is the "before" for
+// BM_SignatureIndexTop50/<n>/<bits>.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+
+#include "index/exact_index.h"
+#include "index/signature_index.h"
+#include "retrieval/evaluator.h"
+#include "smoke.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cbir;
+
+constexpr size_t kDims = 36;  // the paper's visual feature width
+
+// Clustered corpus shaped like category image features: well-separated
+// Gaussian centers (one per ~100 rows) with tight within-cluster noise.
+la::Matrix ClusteredCorpus(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const size_t clusters = n < 100 ? 1 : n / 100;
+  la::Matrix centers(clusters, kDims);
+  for (size_t r = 0; r < clusters; ++r) {
+    for (size_t c = 0; c < kDims; ++c) centers.At(r, c) = rng.Gaussian() * 1.5;
+  }
+  la::Matrix m(n, kDims);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t cluster = r % clusters;
+    for (size_t c = 0; c < kDims; ++c) {
+      m.At(r, c) = centers.At(cluster, c) + rng.Gaussian() * 0.4;
+    }
+  }
+  return m;
+}
+
+la::Vec ProbeQuery(const la::Matrix& corpus, size_t i) {
+  return corpus.Row((i * 9973) % corpus.rows());
+}
+
+void BM_ExactIndexTop50(benchmark::State& state) {
+  const la::Matrix corpus =
+      ClusteredCorpus(static_cast<size_t>(state.range(0)), 1);
+  retrieval::ExactIndex index;
+  index.Build(corpus);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(ProbeQuery(corpus, i++), 50));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+void ExactTop50Args(benchmark::internal::Benchmark* b) {
+  for (long n : cbir_bench::SmokeSizes({20000, 100000})) b->Arg(n);
+}
+BENCHMARK(BM_ExactIndexTop50)->Apply(ExactTop50Args);
+
+void BM_SignatureIndexTop50(benchmark::State& state) {
+  const la::Matrix corpus =
+      ClusteredCorpus(static_cast<size_t>(state.range(0)), 1);
+  retrieval::SignatureIndexOptions options;
+  options.bits = static_cast<int>(state.range(1));
+  retrieval::SignatureIndex index(options);
+  index.Build(corpus);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(ProbeQuery(corpus, i++), 50));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+
+  // Quality of this configuration, measured outside the timed loop against
+  // the exhaustive ranking (20 probes).
+  retrieval::ExactIndex exact;
+  exact.Build(corpus);
+  double recall = 0.0;
+  const int probes = 20;
+  for (int q = 0; q < probes; ++q) {
+    const la::Vec query = ProbeQuery(corpus, static_cast<size_t>(q));
+    recall += retrieval::RecallAtK(index.Query(query, 50),
+                                   exact.Query(query, 50), 50);
+  }
+  state.counters["recall_at_50"] = recall / probes;
+  state.counters["recall_proxy"] = index.stats().recall_proxy;
+  state.counters["candidates"] =
+      static_cast<double>(50 * options.candidate_factor);
+}
+// Size/bits pairs, deduped after smoke capping collapses the sizes.
+void DedupedSizeBitsArgs(benchmark::internal::Benchmark* b,
+                         std::initializer_list<std::pair<long, long>> cfgs) {
+  std::vector<std::pair<long, long>> seen;
+  for (const auto& [n, bits] : cfgs) {
+    const std::pair<long, long> cfg{cbir_bench::SmokeCapped(n), bits};
+    if (std::find(seen.begin(), seen.end(), cfg) == seen.end()) {
+      seen.push_back(cfg);
+      b->Args({cfg.first, cfg.second});
+    }
+  }
+}
+
+void SignatureTop50Args(benchmark::internal::Benchmark* b) {
+  DedupedSizeBitsArgs(
+      b, {{20000, 128}, {20000, 256}, {20000, 512}, {100000, 256}});
+}
+BENCHMARK(BM_SignatureIndexTop50)->Apply(SignatureTop50Args);
+
+void BM_SignatureIndexBuild(benchmark::State& state) {
+  const la::Matrix corpus =
+      ClusteredCorpus(static_cast<size_t>(state.range(0)), 2);
+  retrieval::SignatureIndexOptions options;
+  options.bits = static_cast<int>(state.range(1));
+  retrieval::SignatureIndex index(options);
+  for (auto _ : state) {
+    index.Build(corpus);
+    benchmark::DoNotOptimize(index.signatures().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+void SignatureBuildArgs(benchmark::internal::Benchmark* b) {
+  DedupedSizeBitsArgs(b, {{20000, 256}, {100000, 256}});
+}
+BENCHMARK(BM_SignatureIndexBuild)->Apply(SignatureBuildArgs);
+
+void BM_SignatureIndexQueryBatch(benchmark::State& state) {
+  // 64 queries per iteration, fanned across threads by QueryBatch.
+  const la::Matrix corpus =
+      ClusteredCorpus(static_cast<size_t>(state.range(0)), 3);
+  retrieval::SignatureIndex index(retrieval::SignatureIndexOptions{});
+  index.Build(corpus);
+  const size_t batch = 64;
+  la::Matrix queries(batch, kDims);
+  for (size_t q = 0; q < batch; ++q) queries.SetRow(q, ProbeQuery(corpus, q));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.QueryBatch(queries, 50));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SignatureIndexQueryBatch)->Arg(cbir_bench::SmokeCapped(20000));
+
+}  // namespace

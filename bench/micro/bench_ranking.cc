@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "retrieval/ranker.h"
+#include "smoke.h"
 #include "util/rng.h"
 
 namespace {
@@ -50,7 +51,10 @@ void BM_EuclideanTopKLargeCorpus(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EuclideanTopKLargeCorpus)->Arg(100000)->Arg(1000000);
+void LargeCorpusArgs(benchmark::internal::Benchmark* b) {
+  for (long n : cbir_bench::SmokeSizes({100000, 1000000})) b->Arg(n);
+}
+BENCHMARK(BM_EuclideanTopKLargeCorpus)->Apply(LargeCorpusArgs);
 
 void BM_DistanceScan(benchmark::State& state) {
   const la::Matrix corpus =

@@ -1,0 +1,38 @@
+#ifndef CBIR_BENCH_MICRO_SMOKE_H_
+#define CBIR_BENCH_MICRO_SMOKE_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <initializer_list>
+#include <vector>
+
+namespace cbir_bench {
+
+/// CI smoke mode: with CBIR_BENCH_SMOKE=1 in the environment, problem sizes
+/// are capped so every micro bench binary finishes one repetition in seconds
+/// (the CI bench-smoke job runs each with --benchmark_min_time=0.001).
+/// Numbers produced this way are crash tests, not measurements.
+inline bool SmokeMode() { return std::getenv("CBIR_BENCH_SMOKE") != nullptr; }
+
+/// Caps a benchmark size argument in smoke mode; full size otherwise.
+inline long SmokeCapped(long n, long cap = 2000) {
+  return SmokeMode() && n > cap ? cap : n;
+}
+
+/// Caps a size list and drops the duplicates capping creates, so smoke mode
+/// never registers the same benchmark configuration twice.
+inline std::vector<long> SmokeSizes(std::initializer_list<long> sizes,
+                                    long cap = 2000) {
+  std::vector<long> out;
+  for (long n : sizes) {
+    const long capped = SmokeCapped(n, cap);
+    if (std::find(out.begin(), out.end(), capped) == out.end()) {
+      out.push_back(capped);
+    }
+  }
+  return out;
+}
+
+}  // namespace cbir_bench
+
+#endif  // CBIR_BENCH_MICRO_SMOKE_H_

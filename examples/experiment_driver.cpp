@@ -13,6 +13,7 @@
 #include "logdb/simulated_user.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -43,9 +44,25 @@ LRF-CSVM:
   --delta=X          label-flip threshold (default 2.0)
   --selection=S      most-similar | max-min | boundary-closest | random
 
+Index:
+  --index=M          exact | signature (default exact; exact reproduces the
+                     exhaustive scan bit-for-bit)
+  --signature_bits=N signature width in bits (default 256)
+  --candidate_factor=N  Hamming candidates per requested result (default 8)
+  --candidate-depth=N   depth requested from an approximate index
+                        (default: max scope + labeled + 1)
+  --index-seed=N     hyperplane seed (default 333427)
+
 Output:
   --csv=PATH         also write the precision series as CSV
 )";
+
+constexpr const char* kKnownFlags[] = {
+    "categories", "images",      "size",      "difficulty", "corpus-seed",
+    "sessions",   "session-size", "noise",    "neg-weight", "log-seed",
+    "queries",    "labeled",     "query-seed", "nprime",    "rho",
+    "delta",      "selection",   "candidate-depth", "csv",  "help",
+};
 
 cbir::core::SelectionStrategy ParseStrategy(const std::string& name) {
   using cbir::core::SelectionStrategy;
@@ -70,7 +87,18 @@ int main(int argc, char** argv) {
     std::cout << kHelp;
     return 0;
   }
+  std::vector<std::string> known{std::begin(kKnownFlags),
+                                 std::end(kKnownFlags)};
+  for (const std::string& name : retrieval::IndexFlagNames()) {
+    known.push_back(name);
+  }
+  if (Status s = flags.RequireKnown(known); !s.ok()) {
+    std::cerr << s << "\n" << kHelp;
+    return 1;
+  }
 
+  // Read every flag before the (expensive) corpus build so a garbage value
+  // aborts immediately instead of minutes in.
   retrieval::DatabaseOptions db_options;
   db_options.corpus.num_categories = flags.GetInt("categories", 20);
   db_options.corpus.images_per_category = flags.GetInt("images", 100);
@@ -79,28 +107,21 @@ int main(int argc, char** argv) {
   db_options.corpus.difficulty = flags.GetDouble("difficulty", 2.5);
   db_options.corpus.seed =
       static_cast<uint64_t>(flags.GetInt("corpus-seed", 42));
-  std::cerr << "building " << db_options.corpus.num_categories
-            << "-category corpus ("
-            << db_options.corpus.num_categories *
-                   db_options.corpus.images_per_category
-            << " images)..." << std::endl;
-  const retrieval::ImageDatabase db = retrieval::ImageDatabase::Build(
-      db_options);
+  auto index_options_or = retrieval::IndexOptionsFromFlags(flags);
+  if (!index_options_or.ok()) {
+    std::cerr << index_options_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  const retrieval::IndexOptions index_options = index_options_or.value();
 
   logdb::LogCollectionOptions log_options;
   log_options.num_sessions = flags.GetInt("sessions", 150);
   log_options.session_size = flags.GetInt("session-size", 20);
   log_options.user.noise_rate = flags.GetDouble("noise", 0.10);
   log_options.seed = static_cast<uint64_t>(flags.GetInt("log-seed", 7));
-  const logdb::LogStore store =
-      logdb::CollectLogs(db.features(), db.categories(), log_options);
-  const la::Matrix log_features =
-      store.BuildMatrix(db.num_images())
-          .ToDenseMatrix(flags.GetDouble(
-              "neg-weight", logdb::RelevanceMatrix::kRocchioNegativeWeight));
+  const double neg_weight = flags.GetDouble(
+      "neg-weight", logdb::RelevanceMatrix::kRocchioNegativeWeight);
 
-  const core::SchemeOptions scheme_options =
-      core::MakeDefaultSchemeOptions(db, &log_features);
   core::LrfCsvmOptions csvm_options;
   csvm_options.n_prime = flags.GetInt("nprime", 20);
   csvm_options.csvm.rho = flags.GetDouble("rho", 0.08);
@@ -112,6 +133,29 @@ int main(int argc, char** argv) {
   exp_options.num_queries = flags.GetInt("queries", 200);
   exp_options.num_labeled = flags.GetInt("labeled", 20);
   exp_options.seed = static_cast<uint64_t>(flags.GetInt("query-seed", 123));
+  exp_options.candidate_depth = flags.GetInt("candidate-depth", 0);
+
+  std::cerr << "building " << db_options.corpus.num_categories
+            << "-category corpus ("
+            << db_options.corpus.num_categories *
+                   db_options.corpus.images_per_category
+            << " images)..." << std::endl;
+  retrieval::ImageDatabase db = retrieval::ImageDatabase::Build(db_options);
+  db.BuildIndex(index_options);
+  std::cerr << "index: " << db.index()->name();
+  if (index_options.mode == retrieval::IndexMode::kSignature) {
+    std::cerr << " (" << index_options.signature.bits << " bits, factor "
+              << index_options.signature.candidate_factor << ")";
+  }
+  std::cerr << std::endl;
+
+  const logdb::LogStore store =
+      logdb::CollectLogs(db.features(), db.categories(), log_options);
+  const la::Matrix log_features =
+      store.BuildMatrix(db.num_images()).ToDenseMatrix(neg_weight);
+
+  const core::SchemeOptions scheme_options =
+      core::MakeDefaultSchemeOptions(db, &log_features);
   // Small corpora cannot fill the paper's 20..100 scopes; keep the ones a
   // ranking of num_images - 1 entries can satisfy.
   std::erase_if(exp_options.scopes,
@@ -126,6 +170,14 @@ int main(int argc, char** argv) {
       db, &log_features, core::MakePaperSchemes(scheme_options, csvm_options),
       exp_options);
   std::cout << core::FormatPaperTable(result);
+
+  const retrieval::IndexStats index_stats = db.index()->stats();
+  std::cerr << "index stats: queries=" << index_stats.queries
+            << " rows_scanned=" << index_stats.rows_scanned
+            << " signatures_scanned=" << index_stats.signatures_scanned
+            << " candidates_reranked=" << index_stats.candidates_reranked
+            << " recall_proxy=" << FormatDouble(index_stats.recall_proxy, 3)
+            << std::endl;
 
   const std::string csv_path = flags.GetString("csv", "");
   if (!csv_path.empty()) {

@@ -14,11 +14,46 @@
 #include "core/rf_svm_scheme.h"
 #include "logdb/simulated_user.h"
 #include "retrieval/evaluator.h"
-#include "retrieval/ranker.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 
-int main() {
+namespace {
+
+constexpr const char* kHelp =
+    R"(feedback_session — multi-round LRF-CSVM vs RF-SVM session
+
+  --index=M             exact | signature (default exact)
+  --signature_bits=N    signature width in bits (default 256)
+  --candidate_factor=N  Hamming candidates per requested result (default 8)
+  --index-seed=N        hyperplane seed (default 333427)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace cbir;
+
+  auto flags_or = Flags::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  const Flags& flags = flags_or.value();
+  if (flags.GetBool("help", false)) {
+    std::cout << kHelp;
+    return 0;
+  }
+  std::vector<std::string> known = retrieval::IndexFlagNames();
+  known.push_back("help");
+  if (Status s = flags.RequireKnown(known); !s.ok()) {
+    std::cerr << s << "\n" << kHelp;
+    return 1;
+  }
+  auto index_options = retrieval::IndexOptionsFromFlags(flags);
+  if (!index_options.ok()) {
+    std::cerr << index_options.status() << "\n" << kHelp;
+    return 1;
+  }
 
   retrieval::DatabaseOptions db_options;
   db_options.corpus.num_categories = 8;
@@ -27,8 +62,9 @@ int main() {
   db_options.corpus.height = 64;
   db_options.corpus.seed = 21;
   std::cout << "building corpus (8 categories x 40 images)...\n";
-  const retrieval::ImageDatabase db = retrieval::ImageDatabase::Build(
-      db_options);
+  retrieval::ImageDatabase db = retrieval::ImageDatabase::Build(db_options);
+  db.BuildIndex(index_options.value());
+  std::cout << "retrieval index: " << db.index()->name() << "\n";
 
   logdb::LogCollectionOptions log_options;
   log_options.num_sessions = 60;
@@ -51,8 +87,7 @@ int main() {
   int query_id = 0;
   double worst_p20 = 2.0;
   for (int candidate = 0; candidate < 60; ++candidate) {
-    auto ranked = retrieval::RankByEuclidean(db.features(),
-                                             db.feature(candidate));
+    auto ranked = db.TopK(db.feature(candidate), 21);
     ranked.erase(std::remove(ranked.begin(), ranked.end(), candidate),
                  ranked.end());
     const double p20 = retrieval::PrecisionAtN(
@@ -76,12 +111,14 @@ int main() {
     ctx.db = &db;
     ctx.log_features = &log_features;
     ctx.query_id = query_id;
+    // 4 rounds x 20 judgments plus the P@20 reads.
+    ctx.candidate_depth = 128;
     ctx.Prepare();
 
     std::set<int> judged{query_id};
     // Round 0: the user judges the top-20 Euclidean results.
-    std::vector<int> current = retrieval::RankByEuclidean(
-        db.features(), ctx.query_feature);
+    std::vector<int> current = db.TopK(ctx.query_feature,
+                                       ctx.candidate_depth);
     for (int round = 1; round <= 4; ++round) {
       int added = 0;
       for (int id : current) {

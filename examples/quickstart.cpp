@@ -4,21 +4,57 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--index=exact|signature]
+//       [--signature_bits=N] [--candidate_factor=N]
 #include <iostream>
 
 #include "core/experiment.h"
 #include "core/scheme_factory.h"
 #include "logdb/simulated_user.h"
-#include "retrieval/ranker.h"
+#include "util/flags.h"
 #include "util/string_util.h"
 
-int main() {
+namespace {
+
+constexpr const char* kHelp = R"(quickstart — one query through all four schemes
+
+  --index=M             exact | signature (default exact)
+  --signature_bits=N    signature width in bits (default 256)
+  --candidate_factor=N  Hamming candidates per requested result (default 8)
+  --index-seed=N        hyperplane seed (default 333427)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace cbir;
+
+  auto flags_or = Flags::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  const Flags& flags = flags_or.value();
+  if (flags.GetBool("help", false)) {
+    std::cout << kHelp;
+    return 0;
+  }
+  std::vector<std::string> known = retrieval::IndexFlagNames();
+  known.push_back("help");
+  if (Status s = flags.RequireKnown(known); !s.ok()) {
+    std::cerr << s << "\n" << kHelp;
+    return 1;
+  }
+  auto index_options = retrieval::IndexOptionsFromFlags(flags);
+  if (!index_options.ok()) {
+    std::cerr << index_options.status() << "\n" << kHelp;
+    return 1;
+  }
 
   // 1. Build an image database: 5 categories x 30 synthetic images, with
   //    the paper's 36-dim visual features (color moments + edge direction
-  //    histogram + wavelet texture) extracted and normalized.
+  //    histogram + wavelet texture) extracted and normalized, plus the
+  //    retrieval index every corpus scan routes through.
   retrieval::DatabaseOptions db_options;
   db_options.corpus.num_categories = 5;
   db_options.corpus.images_per_category = 30;
@@ -26,8 +62,9 @@ int main() {
   db_options.corpus.height = 64;
   db_options.corpus.seed = 7;
   std::cout << "building corpus and extracting features...\n";
-  const retrieval::ImageDatabase db = retrieval::ImageDatabase::Build(
-      db_options);
+  retrieval::ImageDatabase db = retrieval::ImageDatabase::Build(db_options);
+  db.BuildIndex(index_options.value());
+  std::cout << "retrieval index: " << db.index()->name() << "\n";
 
   // 2. Collect a user-feedback log (paper Section 6.3): 40 sessions of 10
   //    judged images each, with 10% judgment noise.
@@ -49,9 +86,9 @@ int main() {
   ctx.db = &db;
   ctx.log_features = &log_features;
   ctx.query_id = 3;
+  ctx.candidate_depth = 64;  // this demo reads the top-10 plus the judgments
   ctx.Prepare();
-  const auto initial =
-      retrieval::RankByEuclidean(db.features(), ctx.query_feature, 11);
+  const auto initial = db.TopK(ctx.query_feature, 11);
   const int query_category = db.category(ctx.query_id);
   for (int id : initial) {
     if (id == ctx.query_id) continue;

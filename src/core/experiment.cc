@@ -1,8 +1,8 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <sstream>
 
-#include "retrieval/ranker.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -35,6 +35,14 @@ ExperimentResult RunExperiment(
       static_cast<size_t>(std::min(options.num_queries, n)));
   const size_t num_queries = query_pool.size();
 
+  // Depth an approximate index must serve: the deepest scope consumers read
+  // plus the judged prefix and the query itself.
+  int max_scope = 0;
+  for (int scope : options.scopes) max_scope = std::max(max_scope, scope);
+  const int candidate_depth = options.candidate_depth > 0
+                                  ? options.candidate_depth
+                                  : max_scope + options.num_labeled + 1;
+
   // precision[s][q] = precision vector of scheme s on query q.
   std::vector<std::vector<std::vector<double>>> precision(
       schemes.size(),
@@ -47,13 +55,15 @@ ExperimentResult RunExperiment(
         ctx.db = &db;
         ctx.log_features = log_features;
         ctx.query_id = static_cast<int>(query_pool[q]);
+        ctx.candidate_depth = candidate_depth;
         ctx.Prepare();
 
         // Initial retrieval: top-N_l Euclidean results (query excluded),
         // auto-judged against ground-truth categories (noise-free, per the
-        // paper's automatic evaluation protocol).
-        const std::vector<int> initial = retrieval::RankByEuclidean(
-            db.features(), ctx.query_feature, options.num_labeled + 1);
+        // paper's automatic evaluation protocol). Routed through the
+        // database index when one is attached.
+        const std::vector<int> initial =
+            db.TopK(ctx.query_feature, options.num_labeled + 1);
         const int query_category = db.category(ctx.query_id);
         for (int id : initial) {
           if (id == ctx.query_id) continue;

@@ -19,6 +19,10 @@ struct ExperimentOptions {
   uint64_t seed = 123;
   std::vector<int> scopes = retrieval::PaperScopes();
   int num_threads = 0;    ///< 0 = hardware concurrency
+  /// Retrieval depth requested from an approximate database index
+  /// (0 = auto: max scope + num_labeled + 1). Ignored when the database has
+  /// no index or an exhaustive one.
+  int candidate_depth = 0;
 };
 
 /// \brief One scheme's row block in a results table.

@@ -32,6 +32,14 @@ Result<FeedbackLoopResult> RunFeedbackSession(
   // the session state lets SVM-based schemes warm-start from round t's duals.
   SessionState session_state;
   ctx.session_state = &session_state;
+  // Depth the session consumes from an approximate index: the deepest scope
+  // read each round plus every judgment the session will request.
+  int max_scope = 0;
+  for (int scope : options.scopes) max_scope = std::max(max_scope, scope);
+  ctx.candidate_depth =
+      options.candidate_depth > 0
+          ? options.candidate_depth
+          : max_scope + options.rounds * options.judgments_per_round + 1;
   ctx.Prepare();
 
   const int query_category = db.category(query_id);
@@ -41,9 +49,25 @@ Result<FeedbackLoopResult> RunFeedbackSession(
 
   FeedbackLoopResult result;
 
-  // Round 0: plain Euclidean retrieval.
-  std::vector<int> current =
-      retrieval::RankByEuclidean(db.features(), ctx.query_feature);
+  // Round 0: plain Euclidean retrieval. When Prepare() narrowed the scan
+  // space, the candidate scan already ran for this exact (query, depth) —
+  // rank the gathered distances instead of paying a second index scan
+  // (scan_ids is ascending, so position ties break on the smaller id just
+  // like RankByEuclidean). Otherwise the exhaustive path is unchanged.
+  std::vector<int> current;
+  if (!ctx.scan_ids.empty()) {
+    std::vector<double> scores(ctx.query_distances.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      scores[i] = -ctx.query_distances[i];
+    }
+    for (int pos : retrieval::RankByScoreDesc(scores, {},
+                                              ctx.candidate_depth)) {
+      current.push_back(ctx.ScanId(static_cast<size_t>(pos)));
+    }
+  } else {
+    current = db.TopK(ctx.query_feature,
+                      db.index() == nullptr ? -1 : ctx.candidate_depth);
+  }
   current.erase(std::remove(current.begin(), current.end(), query_id),
                 current.end());
   result.precision.push_back(retrieval::PrecisionAtScopes(

@@ -26,6 +26,10 @@ struct FeedbackLoopOptions {
   /// Scopes at which precision is recorded after every round.
   std::vector<int> scopes = {20};
   uint64_t seed = 1;
+  /// Retrieval depth requested from an approximate database index
+  /// (0 = auto: max scope + rounds * judgments_per_round + 1). Ignored when
+  /// the database has no index or an exhaustive one.
+  int candidate_depth = 0;
 };
 
 /// \brief Result of one feedback session.

@@ -11,8 +11,57 @@ void FeedbackContext::Prepare() {
   CBIR_CHECK_LT(query_id, db->num_images());
   CBIR_CHECK_EQ(labeled_ids.size(), labels.size());
   query_feature = db->feature(query_id);
+
+  scan_ids.clear();
+  scan_features_ = la::Matrix();
+  scan_log_features_ = la::Matrix();
+  if (db->index() != nullptr && candidate_depth > 0) {
+    // Exhaustive indexes return the "every row" sentinel (empty), keeping
+    // the corpus-wide path below — and its bit-identical rankings.
+    scan_ids = db->index()->Candidates(query_feature, candidate_depth);
+  }
+  if (scan_ids.empty()) {
+    query_distances =
+        retrieval::AllSquaredDistances(db->features(), query_feature);
+    return;
+  }
+
+  // Narrowed scan space: gather the candidate rows once so every scheme's
+  // scoring loop (SVM decision batches, similarity sums, distance ranks)
+  // touches only |scan_ids| rows instead of the whole corpus.
+  const la::Matrix& all = db->features();
+  scan_features_ = la::Matrix(scan_ids.size(), all.cols());
+  for (size_t pos = 0; pos < scan_ids.size(); ++pos) {
+    scan_features_.SetRow(pos, all.Row(static_cast<size_t>(scan_ids[pos])));
+  }
   query_distances =
-      retrieval::AllSquaredDistances(db->features(), query_feature);
+      retrieval::AllSquaredDistances(scan_features_, query_feature);
+  if (log_features != nullptr && !log_features->empty()) {
+    scan_log_features_ = la::Matrix(scan_ids.size(), log_features->cols());
+    for (size_t pos = 0; pos < scan_ids.size(); ++pos) {
+      scan_log_features_.SetRow(
+          pos, log_features->Row(static_cast<size_t>(scan_ids[pos])));
+    }
+  }
+}
+
+size_t FeedbackContext::scan_size() const {
+  if (!scan_ids.empty()) return scan_ids.size();
+  return db == nullptr ? 0 : static_cast<size_t>(db->num_images());
+}
+
+int FeedbackContext::ScanId(size_t pos) const {
+  return scan_ids.empty() ? static_cast<int>(pos)
+                          : scan_ids[pos];
+}
+
+const la::Matrix& FeedbackContext::ScanFeatures() const {
+  return scan_ids.empty() ? db->features() : scan_features_;
+}
+
+const la::Matrix* FeedbackContext::ScanLogFeatures() const {
+  if (log_features == nullptr || log_features->empty()) return nullptr;
+  return scan_ids.empty() ? log_features : &scan_log_features_;
 }
 
 SchemeOptions MakeDefaultSchemeOptions(const retrieval::ImageDatabase& db,
@@ -40,12 +89,15 @@ SchemeOptions MakeDefaultSchemeOptions(const retrieval::ImageDatabase& db,
 
 std::vector<int> FeedbackScheme::FinalizeRanking(
     const FeedbackContext& ctx, const std::vector<double>& scores) {
+  CBIR_CHECK_EQ(scores.size(), ctx.scan_size());
   std::vector<int> ranked = retrieval::RankByScoreDesc(
       scores, ctx.query_distances);
-  // Drop the query itself; every scheme ranks the remaining N-1 images.
+  // Map scan positions back to image ids and drop the query itself; every
+  // scheme ranks the remaining scanned images.
   std::vector<int> out;
-  out.reserve(ranked.size() - 1);
-  for (int id : ranked) {
+  out.reserve(ranked.size());
+  for (int pos : ranked) {
+    const int id = ctx.ScanId(static_cast<size_t>(pos));
     if (id != ctx.query_id) out.push_back(id);
   }
   return out;

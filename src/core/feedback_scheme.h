@@ -49,13 +49,37 @@ struct FeedbackContext {
   /// scheme may read and update it from Rank() despite constness because the
   /// state belongs to the session, not the scheme.
   SessionState* session_state = nullptr;
+  /// Retrieval depth this session actually consumes (max evaluation scope
+  /// plus the judgments it will request). When the database carries an
+  /// approximate index, Prepare() narrows every corpus scan to the index's
+  /// candidate set for this depth; 0 (or an exhaustive/absent index) keeps
+  /// the scans corpus-wide.
+  int candidate_depth = 0;
 
   // Derived values, filled by Prepare().
   la::Vec query_feature;
-  std::vector<double> query_distances;  ///< squared distance per image
+  /// Ids of the rows the schemes score, ascending (empty = every image).
+  std::vector<int> scan_ids;
+  /// Squared query distance per scanned row, parallel to the scan space.
+  std::vector<double> query_distances;
 
   /// Computes the derived members; must be called once before Rank().
   void Prepare();
+
+  // --- Scan space: the rows corpus-wide scoring loops iterate over. -------
+  /// Number of scanned rows (the whole corpus unless narrowed).
+  size_t scan_size() const;
+  /// Image id of scan position `pos`.
+  int ScanId(size_t pos) const;
+  /// Visual feature rows of the scan space; the full corpus matrix when the
+  /// scan is exhaustive, otherwise a gathered candidate matrix.
+  const la::Matrix& ScanFeatures() const;
+  /// Log-vector rows of the scan space (null when no log is attached).
+  const la::Matrix* ScanLogFeatures() const;
+
+ private:
+  la::Matrix scan_features_;      ///< gathered rows when scan_ids is set
+  la::Matrix scan_log_features_;  ///< gathered log rows when scan_ids is set
 };
 
 /// \brief Shared hyper-parameters for the SVM-based schemes.
@@ -88,7 +112,9 @@ class FeedbackScheme {
 
  protected:
   /// Ranks by descending `scores` with Euclidean-distance tie-breaking,
-  /// excluding the query id. Shared by every learning scheme.
+  /// excluding the query id. `scores` is parallel to the context's scan
+  /// space (ctx.ScanId maps positions to image ids). Shared by every
+  /// learning scheme.
   static std::vector<int> FinalizeRanking(const FeedbackContext& ctx,
                                           const std::vector<double>& scores);
 };

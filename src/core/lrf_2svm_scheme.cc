@@ -38,9 +38,9 @@ Result<std::vector<int>> Lrf2SvmScheme::Rank(
   CBIR_ASSIGN_OR_RETURN(svm::TrainOutput logm,
                         log_trainer.Train(train_log, ctx.labels));
 
-  std::vector<double> scores = visual.model.DecisionBatch(ctx.db->features());
+  std::vector<double> scores = visual.model.DecisionBatch(ctx.ScanFeatures());
   const std::vector<double> log_scores =
-      logm.model.DecisionBatch(*ctx.log_features);
+      logm.model.DecisionBatch(*ctx.ScanLogFeatures());
   for (size_t i = 0; i < scores.size(); ++i) scores[i] += log_scores[i];
   return FinalizeRanking(ctx, scores);
 }

@@ -47,9 +47,9 @@ Result<CoupledModel> LrfCsvmScheme::TrainForContext(
   excluded.insert(ctx.query_id);
 
   SelectionInputs inputs;
-  inputs.candidate_ids.reserve(visual_all.rows());
-  for (size_t i = 0; i < visual_all.rows(); ++i) {
-    const int id = static_cast<int>(i);
+  inputs.candidate_ids.reserve(ctx.scan_size());
+  for (size_t pos = 0; pos < ctx.scan_size(); ++pos) {
+    const int id = ctx.ScanId(pos);
     if (excluded.count(id) == 0) inputs.candidate_ids.push_back(id);
   }
 
@@ -161,10 +161,9 @@ Result<std::vector<int>> LrfCsvmScheme::Rank(const FeedbackContext& ctx) const {
   CBIR_ASSIGN_OR_RETURN(CoupledModel model, TrainForContext(ctx));
 
   // --- Fig. 1 step 3: rank by CSVM_Dist -------------------------------------
-  const la::Matrix& visual_all = ctx.db->features();
-  const la::Matrix& log_all = *ctx.log_features;
-  std::vector<double> scores = model.visual.DecisionBatch(visual_all);
-  const std::vector<double> log_scores = model.log.DecisionBatch(log_all);
+  std::vector<double> scores = model.visual.DecisionBatch(ctx.ScanFeatures());
+  const std::vector<double> log_scores =
+      model.log.DecisionBatch(*ctx.ScanLogFeatures());
   for (size_t i = 0; i < scores.size(); ++i) scores[i] += log_scores[i];
   return FinalizeRanking(ctx, scores);
 }

@@ -40,7 +40,7 @@ Result<std::vector<int>> RfSvmScheme::Rank(const FeedbackContext& ctx) const {
   }
 
   const std::vector<double> scores = out.model.DecisionBatch(
-      ctx.db->features());
+      ctx.ScanFeatures());
   return FinalizeRanking(ctx, scores);
 }
 

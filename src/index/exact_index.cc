@@ -1,0 +1,43 @@
+#include "index/exact_index.h"
+
+#include "retrieval/ranker.h"
+#include "util/logging.h"
+
+namespace cbir::retrieval {
+
+void ExactIndex::Build(const la::Matrix& features) {
+  rows_ = features.rows();
+  dims_ = features.cols();
+  data_ = features.empty() ? nullptr : features.RowPtr(0);
+  ResetStats();
+}
+
+std::vector<int> ExactIndex::Query(const la::Vec& query, int k) const {
+  CBIR_CHECK_EQ(query.size(), dims_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  rows_scanned_.fetch_add(rows_, std::memory_order_relaxed);
+  return RankByEuclidean(data_, rows_, dims_, query.data(), k);
+}
+
+std::vector<int> ExactIndex::Candidates(const la::Vec& query, int k) const {
+  CBIR_CHECK_EQ(query.size(), dims_);
+  // Counted as a query (matching SignatureIndex) so IndexStats.queries
+  // means the same thing in both modes.
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  (void)k;
+  return {};  // every row is a candidate
+}
+
+IndexStats ExactIndex::stats() const {
+  IndexStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ExactIndex::ResetStats() {
+  queries_.store(0, std::memory_order_relaxed);
+  rows_scanned_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cbir::retrieval

@@ -1,0 +1,44 @@
+#ifndef CBIR_INDEX_EXACT_INDEX_H_
+#define CBIR_INDEX_EXACT_INDEX_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace cbir::retrieval {
+
+/// \brief The brute-force corpus scan behind the Index interface.
+///
+/// Query() is exactly RankByEuclidean over the indexed rows — bit-for-bit,
+/// including tie-breaks — so attaching an ExactIndex never changes results,
+/// it only adds the stats counters. Candidates() narrows nothing (returns
+/// the "every row" sentinel).
+class ExactIndex final : public Index {
+ public:
+  std::string name() const override { return "exact"; }
+
+  void Build(const la::Matrix& features) override;
+
+  size_t num_rows() const override { return rows_; }
+
+  std::vector<int> Query(const la::Vec& query, int k) const override;
+
+  std::vector<int> Candidates(const la::Vec& query, int k) const override;
+
+  IndexStats stats() const override;
+  void ResetStats() override;
+
+ private:
+  const double* data_ = nullptr;  ///< caller-owned row-major feature storage
+  size_t rows_ = 0;
+  size_t dims_ = 0;
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> rows_scanned_{0};
+};
+
+}  // namespace cbir::retrieval
+
+#endif  // CBIR_INDEX_EXACT_INDEX_H_

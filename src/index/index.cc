@@ -1,0 +1,16 @@
+#include "index/index.h"
+
+#include "util/logging.h"
+
+namespace cbir::retrieval {
+
+std::vector<std::vector<int>> Index::QueryBatch(const la::Matrix& queries,
+                                                int k) const {
+  std::vector<std::vector<int>> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Query(queries.Row(q), k);
+  }
+  return out;
+}
+
+}  // namespace cbir::retrieval

@@ -1,0 +1,52 @@
+#include "index/index_factory.h"
+
+#include "index/exact_index.h"
+
+namespace cbir::retrieval {
+
+const char* IndexModeToString(IndexMode mode) {
+  switch (mode) {
+    case IndexMode::kExact:
+      return "exact";
+    case IndexMode::kSignature:
+      return "signature";
+  }
+  return "?";
+}
+
+Result<IndexMode> ParseIndexMode(const std::string& name) {
+  if (name == "exact") return IndexMode::kExact;
+  if (name == "signature") return IndexMode::kSignature;
+  return Status::InvalidArgument("unknown index mode: '" + name +
+                                 "' (expected exact|signature)");
+}
+
+std::unique_ptr<Index> MakeIndex(const IndexOptions& options) {
+  switch (options.mode) {
+    case IndexMode::kExact:
+      return std::make_unique<ExactIndex>();
+    case IndexMode::kSignature:
+      return std::make_unique<SignatureIndex>(options.signature);
+  }
+  return nullptr;
+}
+
+Result<IndexOptions> IndexOptionsFromFlags(const Flags& flags) {
+  IndexOptions options;
+  CBIR_ASSIGN_OR_RETURN(options.mode,
+                        ParseIndexMode(flags.GetString("index", "exact")));
+  options.signature.bits =
+      flags.GetInt("signature_bits", flags.GetInt("signature-bits", 256));
+  options.signature.candidate_factor =
+      flags.GetInt("candidate_factor", flags.GetInt("candidate-factor", 8));
+  options.signature.seed = static_cast<uint64_t>(
+      flags.GetInt("index-seed", static_cast<int>(options.signature.seed)));
+  return options;
+}
+
+std::vector<std::string> IndexFlagNames() {
+  return {"index",            "signature_bits",   "signature-bits",
+          "candidate_factor", "candidate-factor", "index-seed"};
+}
+
+}  // namespace cbir::retrieval

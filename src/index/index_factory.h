@@ -1,0 +1,45 @@
+#ifndef CBIR_INDEX_INDEX_FACTORY_H_
+#define CBIR_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "index/index.h"
+#include "index/signature_index.h"
+#include "util/flags.h"
+#include "util/result.h"
+
+namespace cbir::retrieval {
+
+enum class IndexMode {
+  kExact,      ///< exhaustive scan behind the Index interface
+  kSignature,  ///< random-hyperplane signatures + exact rerank
+};
+
+const char* IndexModeToString(IndexMode mode);
+
+/// Parses "exact" / "signature" (the --index flag spellings).
+Result<IndexMode> ParseIndexMode(const std::string& name);
+
+/// \brief Full index configuration, as exposed by the driver flags.
+struct IndexOptions {
+  IndexMode mode = IndexMode::kExact;
+  SignatureIndexOptions signature;
+};
+
+/// Creates an unbuilt index; call Build() with the corpus features before
+/// querying (ImageDatabase::BuildIndex does both).
+std::unique_ptr<Index> MakeIndex(const IndexOptions& options);
+
+/// The `--index` flag family every example exposes, parsed in one place:
+/// --index=exact|signature, --signature_bits, --candidate_factor (dashed
+/// spellings also accepted), --index-seed. Errors on an unknown mode.
+/// Callers still list these names in their RequireKnown set.
+Result<IndexOptions> IndexOptionsFromFlags(const Flags& flags);
+
+/// The flag names IndexOptionsFromFlags reads, for RequireKnown lists.
+std::vector<std::string> IndexFlagNames();
+
+}  // namespace cbir::retrieval
+
+#endif  // CBIR_INDEX_INDEX_FACTORY_H_

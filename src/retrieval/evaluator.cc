@@ -1,5 +1,8 @@
 #include "retrieval/evaluator.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "util/logging.h"
 
 namespace cbir::retrieval {
@@ -63,6 +66,20 @@ double PrecisionAccumulator::MeanAveragePrecision() const {
 double RelativeImprovement(double a, double b) {
   if (b == 0.0) return 0.0;
   return (a - b) / b;
+}
+
+double RecallAtK(const std::vector<int>& approx, const std::vector<int>& exact,
+                 int k) {
+  CBIR_CHECK_GT(k, 0);
+  CBIR_CHECK_GE(exact.size(), static_cast<size_t>(k));
+  const size_t kk = static_cast<size_t>(k);
+  std::unordered_set<int> truth(exact.begin(), exact.begin() + kk);
+  int hits = 0;
+  const size_t depth = std::min(kk, approx.size());
+  for (size_t i = 0; i < depth; ++i) {
+    if (truth.count(approx[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / k;
 }
 
 }  // namespace cbir::retrieval

@@ -49,6 +49,14 @@ class PrecisionAccumulator {
 /// Relative improvement (a - b) / b; returns 0 when b == 0.
 double RelativeImprovement(double a, double b);
 
+/// Recall-at-k overlap of an approximate ranking against the exact one:
+/// |top-k(approx) ∩ top-k(exact)| / k. The index subsystem's quality metric
+/// (1.0 = the approximate top-k is a permutation-free match). `exact` must
+/// hold at least k entries; a shorter `approx` simply loses the missing
+/// entries' overlap.
+double RecallAtK(const std::vector<int>& approx, const std::vector<int>& exact,
+                 int k);
+
 }  // namespace cbir::retrieval
 
 #endif  // CBIR_RETRIEVAL_EVALUATOR_H_

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "retrieval/ranker.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -11,6 +12,26 @@ ImageDatabase::ImageDatabase(const DatabaseOptions& options)
     : options_(options),
       corpus_(std::make_shared<imaging::SyntheticCorel>(options.corpus)),
       extractor_(options.feature) {}
+
+ImageDatabase::ImageDatabase(const ImageDatabase& other)
+    : options_(other.options_),
+      corpus_(other.corpus_),
+      extractor_(other.extractor_),
+      normalizer_(other.normalizer_),
+      categories_(other.categories_),
+      features_(other.features_) {}  // index_ stays null: see the header
+
+ImageDatabase& ImageDatabase::operator=(const ImageDatabase& other) {
+  if (this == &other) return *this;
+  options_ = other.options_;
+  corpus_ = other.corpus_;
+  extractor_ = other.extractor_;
+  normalizer_ = other.normalizer_;
+  categories_ = other.categories_;
+  features_ = other.features_;
+  index_.reset();  // would reference `other`'s (or our stale) storage
+  return *this;
+}
 
 ImageDatabase ImageDatabase::Build(const DatabaseOptions& options) {
   ImageDatabase db(options);
@@ -46,6 +67,16 @@ la::Vec ImageDatabase::feature(int image_id) const {
   CBIR_CHECK_GE(image_id, 0);
   CBIR_CHECK_LT(image_id, num_images());
   return features_.Row(static_cast<size_t>(image_id));
+}
+
+void ImageDatabase::BuildIndex(const IndexOptions& index_options) {
+  index_ = MakeIndex(index_options);
+  index_->Build(features_);
+}
+
+std::vector<int> ImageDatabase::TopK(const la::Vec& query, int k) const {
+  if (index_ != nullptr) return index_->Query(query, k);
+  return RankByEuclidean(features_, query, k);
 }
 
 Status ImageDatabase::SaveToFile(const std::string& path) const {

@@ -8,6 +8,7 @@
 #include "features/extractor.h"
 #include "features/normalizer.h"
 #include "imaging/synthetic.h"
+#include "index/index_factory.h"
 #include "la/matrix.h"
 #include "util/result.h"
 
@@ -33,6 +34,15 @@ class ImageDatabase {
   /// Generates all images and extracts features (parallelized).
   static ImageDatabase Build(const DatabaseOptions& options);
 
+  /// Copies drop the retrieval index: an index references the feature
+  /// storage of the database it was built over, so sharing it would dangle
+  /// once the original dies. Call BuildIndex on the copy if it needs one.
+  /// Moves keep the index (the referenced heap buffer moves along).
+  ImageDatabase(const ImageDatabase& other);
+  ImageDatabase& operator=(const ImageDatabase& other);
+  ImageDatabase(ImageDatabase&&) = default;
+  ImageDatabase& operator=(ImageDatabase&&) = default;
+
   int num_images() const { return static_cast<int>(features_.rows()); }
   int num_categories() const { return options_.corpus.num_categories; }
 
@@ -48,6 +58,21 @@ class ImageDatabase {
   /// Normalized feature matrix (num_images x dims).
   const la::Matrix& features() const { return features_; }
   la::Vec feature(int image_id) const;
+
+  /// Builds and attaches a retrieval index over features(), replacing any
+  /// previous one. The index references this database's feature storage:
+  /// rebuild after mutating features or after copying the database.
+  /// Not serialized by SaveToFile — rebuild after LoadFromFile.
+  void BuildIndex(const IndexOptions& index_options);
+  /// The attached retrieval index, or null when none was built.
+  const Index* index() const { return index_.get(); }
+
+  /// Top-k image ids by ascending Euclidean distance to `query` (ties on the
+  /// smaller id; k <= 0 = full ranking). Routed through the attached index;
+  /// falls back to the exhaustive scan when none is attached. Every corpus
+  /// ranking in the library goes through here so one BuildIndex call
+  /// accelerates all of them.
+  std::vector<int> TopK(const la::Vec& query, int k = -1) const;
 
   const features::Normalizer& normalizer() const { return normalizer_; }
   const features::FeatureExtractor& extractor() const { return extractor_; }
@@ -73,6 +98,9 @@ class ImageDatabase {
   features::Normalizer normalizer_;
   std::vector<int> categories_;
   la::Matrix features_;
+  /// References features_' heap storage; dropped on copy (see the copy
+  /// constructor comment above), moved along with features_ on move.
+  std::unique_ptr<Index> index_;
 };
 
 }  // namespace cbir::retrieval

@@ -30,35 +30,40 @@ std::vector<int> TakeTopK(std::vector<int> order, int k, const Cmp& cmp) {
 
 }  // namespace
 
-std::vector<double> AllSquaredDistances(const la::Matrix& features,
-                                        const la::Vec& query) {
-  CBIR_CHECK_EQ(features.cols(), query.size());
-  const size_t rows = features.rows();
-  const size_t dims = features.cols();
-  std::vector<double> out(rows);
-  if (rows == 0) return out;
-  if (rows * dims < kParallelScanThreshold) {
-    la::SquaredDistanceToRows(features.RowPtr(0), rows, dims, query.data(),
-                              out.data());
+std::vector<double> AllSquaredDistances(const double* rows, size_t num_rows,
+                                        size_t dims, const double* query) {
+  std::vector<double> out(num_rows);
+  if (num_rows == 0) return out;
+  if (num_rows * dims < kParallelScanThreshold) {
+    la::SquaredDistanceToRows(rows, num_rows, dims, query, out.data());
     return out;
   }
   // Block-parallel scan; each block writes a disjoint slice of `out`, so the
   // result is bit-identical to the serial pass.
   const size_t block = 1024;
-  const size_t num_blocks = (rows + block - 1) / block;
+  const size_t num_blocks = (num_rows + block - 1) / block;
   ParallelFor(num_blocks, [&](size_t b) {
     const size_t begin = b * block;
-    const size_t end = std::min(rows, begin + block);
-    la::SquaredDistanceToRows(features.RowPtr(begin), end - begin, dims,
-                              query.data(), out.data() + begin);
+    const size_t end = std::min(num_rows, begin + block);
+    la::SquaredDistanceToRows(rows + begin * dims, end - begin, dims, query,
+                              out.data() + begin);
   });
   return out;
 }
 
-std::vector<int> RankByEuclidean(const la::Matrix& features,
-                                 const la::Vec& query, int k) {
-  const std::vector<double> dist = AllSquaredDistances(features, query);
-  std::vector<int> order(features.rows());
+std::vector<double> AllSquaredDistances(const la::Matrix& features,
+                                        const la::Vec& query) {
+  CBIR_CHECK_EQ(features.cols(), query.size());
+  if (features.rows() == 0) return {};
+  return AllSquaredDistances(features.RowPtr(0), features.rows(),
+                             features.cols(), query.data());
+}
+
+std::vector<int> RankByEuclidean(const double* rows, size_t num_rows,
+                                 size_t dims, const double* query, int k) {
+  const std::vector<double> dist =
+      AllSquaredDistances(rows, num_rows, dims, query);
+  std::vector<int> order(num_rows);
   std::iota(order.begin(), order.end(), 0);
   auto cmp = [&dist](int a, int b) {
     const double da = dist[static_cast<size_t>(a)];
@@ -67,6 +72,14 @@ std::vector<int> RankByEuclidean(const la::Matrix& features,
     return a < b;
   };
   return TakeTopK(std::move(order), k, cmp);
+}
+
+std::vector<int> RankByEuclidean(const la::Matrix& features,
+                                 const la::Vec& query, int k) {
+  CBIR_CHECK_EQ(features.cols(), query.size());
+  if (features.rows() == 0) return {};
+  return RankByEuclidean(features.RowPtr(0), features.rows(), features.cols(),
+                         query.data(), k);
 }
 
 std::vector<int> RankByScoreDesc(const std::vector<double>& scores,

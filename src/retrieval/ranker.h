@@ -14,6 +14,12 @@ namespace cbir::retrieval {
 std::vector<int> RankByEuclidean(const la::Matrix& features,
                                  const la::Vec& query, int k = -1);
 
+/// Raw-storage variant of RankByEuclidean: `rows` is row-major contiguous
+/// storage holding `num_rows` rows of `dims` doubles. Identical output to the
+/// Matrix overload; this is the exhaustive scan the index subsystem wraps.
+std::vector<int> RankByEuclidean(const double* rows, size_t num_rows,
+                                 size_t dims, const double* query, int k = -1);
+
 /// Ranks indices by descending score. `tiebreak_distances` (optional, may be
 /// empty) breaks score ties by ascending distance, then by index; schemes use
 /// the query distance so degenerate constant-score models fall back to
@@ -25,6 +31,11 @@ std::vector<int> RankByScoreDesc(const std::vector<double>& scores,
 /// Squared Euclidean distances from every row of `features` to `query`.
 std::vector<double> AllSquaredDistances(const la::Matrix& features,
                                         const la::Vec& query);
+
+/// Raw-storage variant of AllSquaredDistances (same layout contract as the
+/// raw RankByEuclidean); goes block-parallel past the same size threshold.
+std::vector<double> AllSquaredDistances(const double* rows, size_t num_rows,
+                                        size_t dims, const double* query);
 
 }  // namespace cbir::retrieval
 

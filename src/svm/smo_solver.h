@@ -16,7 +16,8 @@ struct SmoOptions {
   double eps = 1e-3;
   /// Hard iteration cap; <= 0 selects max(10'000'000, 100 * n).
   long max_iterations = -1;
-  /// Kernel-cache row budget (0 = unlimited).
+  /// Kernel-cache row budget; 0 selects KernelCache's default of all rows
+  /// up to a 128 MiB slab (see kernel_cache.h), not an unlimited cache.
   size_t cache_rows = 0;
   /// LIBSVM-style shrinking: periodically drop examples that are pinned at a
   /// bound and KKT-consistent from the active set; the full gradient is

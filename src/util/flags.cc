@@ -1,7 +1,9 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cbir {
@@ -43,6 +45,17 @@ bool Flags::Has(const std::string& key) const {
   return values_.count(key) > 0;
 }
 
+Status Flags::RequireKnown(const std::vector<std::string>& known) const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + key;
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown flag(s): " + unknown);
+}
+
 std::string Flags::GetString(const std::string& key,
                              const std::string& fallback) const {
   auto it = values_.find(key);
@@ -50,13 +63,17 @@ std::string Flags::GetString(const std::string& key,
 }
 
 int Flags::GetInt(const std::string& key, int fallback) const {
+  if (!Has(key)) return fallback;
   auto r = GetIntStrict(key);
-  return r.ok() ? r.value() : fallback;
+  CBIR_CHECK(r.ok()) << r.status().ToString();
+  return r.value();
 }
 
 double Flags::GetDouble(const std::string& key, double fallback) const {
+  if (!Has(key)) return fallback;
   auto r = GetDoubleStrict(key);
-  return r.ok() ? r.value() : fallback;
+  CBIR_CHECK(r.ok()) << r.status().ToString();
+  return r.value();
 }
 
 bool Flags::GetBool(const std::string& key, bool fallback) const {

@@ -26,8 +26,16 @@ class Flags {
 
   bool Has(const std::string& key) const;
 
-  /// Typed getters with defaults; type-mismatch returns the default and
-  /// the Get*Strict variants return errors.
+  /// Errors (InvalidArgument listing the offenders) when any parsed flag is
+  /// not in `known`. Drivers call this right after Parse so a typo'd flag
+  /// aborts the run instead of silently running the default config.
+  Status RequireKnown(const std::vector<std::string>& known) const;
+
+  /// Typed getters with defaults. The fallback is used only when the flag is
+  /// ABSENT: a flag that is present but not parseable as the requested type
+  /// is fatal (message + nonzero exit) — running the wrong config beats no
+  /// diagnostics only when the value was never given. The Get*Strict
+  /// variants return errors instead.
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
   int GetInt(const std::string& key, int fallback) const;

@@ -70,6 +70,25 @@ TEST(RelativeImprovementTest, Basic) {
   EXPECT_DOUBLE_EQ(RelativeImprovement(1.0, 0.0), 0.0);  // guarded
 }
 
+TEST(RecallAtKTest, Overlap) {
+  const std::vector<int> exact{5, 2, 9, 1, 7, 3};
+  // Identical prefix: full recall regardless of order inside the prefix.
+  EXPECT_DOUBLE_EQ(RecallAtK({5, 2, 9, 1}, exact, 4), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 9, 2, 5}, exact, 4), 1.0);
+  // Half the exact top-4 replaced by deeper/foreign ids.
+  EXPECT_DOUBLE_EQ(RecallAtK({5, 2, 7, 42}, exact, 4), 0.5);
+  // Entries beyond position k in `approx` do not count.
+  EXPECT_DOUBLE_EQ(RecallAtK({42, 43, 9, 1, 5, 2}, exact, 4), 0.5);
+  // Shorter approximate rankings lose the missing entries' overlap.
+  EXPECT_DOUBLE_EQ(RecallAtK({5, 2}, exact, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, exact, 4), 0.0);
+}
+
+TEST(RecallAtKDeathTest, BadArguments) {
+  EXPECT_DEATH((void)RecallAtK({1}, {1, 2}, 0), "Check failed");
+  EXPECT_DEATH((void)RecallAtK({1}, {1, 2}, 3), "Check failed");
+}
+
 TEST(PrecisionAtNDeathTest, BadArguments) {
   const std::vector<int> categories{0, 0};
   const std::vector<int> ranked{0, 1};

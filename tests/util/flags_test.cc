@@ -62,10 +62,33 @@ TEST(FlagsTest, StrictGettersReportErrors) {
   EXPECT_DOUBLE_EQ(d.value(), 1.5);
 }
 
-TEST(FlagsTest, NonNumericFallsBack) {
-  const Flags f = MustParse({"--n=abc"});
-  EXPECT_EQ(f.GetInt("n", 7), 7);
-  EXPECT_DOUBLE_EQ(f.GetDouble("n", 2.5), 2.5);
+TEST(FlagsTest, AbsentFlagFallsBack) {
+  const Flags f = MustParse({"--n=3"});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsDeathTest, NonNumericValueIsFatal) {
+  // A present-but-garbage value must never run the default config silently.
+  const Flags f = MustParse({"--n=abc", "--x=1.2.3"});
+  EXPECT_DEATH((void)f.GetInt("n", 7), "not an integer");
+  EXPECT_DEATH((void)f.GetDouble("x", 2.5), "not a number");
+  EXPECT_DEATH((void)f.GetInt("x", 7), "not an integer");
+}
+
+TEST(FlagsTest, RequireKnownAcceptsKnownFlags) {
+  const Flags f = MustParse({"--queries=5", "--verbose"});
+  EXPECT_TRUE(f.RequireKnown({"queries", "verbose", "unused"}).ok());
+  EXPECT_TRUE(MustParse({}).RequireKnown({}).ok());
+}
+
+TEST(FlagsTest, RequireKnownRejectsUnknownFlags) {
+  const Flags f = MustParse({"--queries=5", "--quieries=7", "--typo"});
+  const Status s = f.RequireKnown({"queries"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("--quieries"), std::string::npos);
+  EXPECT_NE(s.ToString().find("--typo"), std::string::npos);
+  EXPECT_EQ(s.ToString().find("--queries,"), std::string::npos);
 }
 
 TEST(FlagsTest, LastValueWins) {
