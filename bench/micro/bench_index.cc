@@ -12,8 +12,8 @@
 #include "index/exact_index.h"
 #include "index/signature_index.h"
 #include "retrieval/evaluator.h"
+#include "retrieval/synthetic_features.h"
 #include "smoke.h"
-#include "util/rng.h"
 
 namespace {
 
@@ -24,20 +24,7 @@ constexpr size_t kDims = 36;  // the paper's visual feature width
 // Clustered corpus shaped like category image features: well-separated
 // Gaussian centers (one per ~100 rows) with tight within-cluster noise.
 la::Matrix ClusteredCorpus(size_t n, uint64_t seed) {
-  Rng rng(seed);
-  const size_t clusters = n < 100 ? 1 : n / 100;
-  la::Matrix centers(clusters, kDims);
-  for (size_t r = 0; r < clusters; ++r) {
-    for (size_t c = 0; c < kDims; ++c) centers.At(r, c) = rng.Gaussian() * 1.5;
-  }
-  la::Matrix m(n, kDims);
-  for (size_t r = 0; r < n; ++r) {
-    const size_t cluster = r % clusters;
-    for (size_t c = 0; c < kDims; ++c) {
-      m.At(r, c) = centers.At(cluster, c) + rng.Gaussian() * 0.4;
-    }
-  }
-  return m;
+  return retrieval::ClusteredFeatures(n, kDims, n < 100 ? 1 : n / 100, seed);
 }
 
 la::Vec ProbeQuery(const la::Matrix& corpus, size_t i) {

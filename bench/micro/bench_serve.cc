@@ -1,0 +1,152 @@
+// Micro-benchmarks for the serving subsystem: full feedback sessions and
+// first-round queries pushed through one shared serve::RetrievalService
+// from 1..8 concurrent threads (google-benchmark ->Threads). Real-time
+// rates are the point: per-session state is behind per-session locks and
+// the first-round cache is sharded, so sessions/s should scale with cores
+// until the SVM solves saturate them.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/feedback_scheme.h"
+#include "logdb/simulated_user.h"
+#include "retrieval/synthetic_features.h"
+#include "serve/retrieval_service.h"
+#include "smoke.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cbir;
+
+constexpr int kRounds = 2;
+constexpr int kJudgments = 10;
+constexpr int kDepth = 20 + kRounds * kJudgments + 1;
+
+// One service shared by every bench and thread count, built lazily once
+// (static local init is thread-safe); accumulated service stats are fine —
+// the benchmarks measure rates, not counters.
+struct ServeEnv {
+  retrieval::ImageDatabase db;
+  la::Matrix log_features;
+  logdb::LogStore store;
+  std::unique_ptr<logdb::SimulatedUser> user;
+  std::unique_ptr<serve::RetrievalService> service;
+  /// Same configuration with the first-round cache disabled, so the miss
+  /// bench measures the uncached path on every iteration.
+  std::unique_ptr<serve::RetrievalService> service_nocache;
+
+  explicit ServeEnv(retrieval::ImageDatabase built) : db(std::move(built)) {}
+};
+
+ServeEnv& Env() {
+  static ServeEnv* env = [] {
+    auto* e = new ServeEnv(retrieval::ClusteredDatabase(
+        static_cast<int>(cbir_bench::SmokeCapped(20000)), 1));
+    retrieval::IndexOptions index_options;
+    index_options.mode = retrieval::IndexMode::kSignature;
+    e->db.BuildIndex(index_options);
+
+    logdb::LogCollectionOptions log_options;
+    log_options.num_sessions = 150;
+    log_options.seed = 7;
+    e->store = logdb::CollectLogs(e->db.features(), e->db.categories(),
+                                  log_options);
+    e->log_features = e->store.BuildMatrix(e->db.num_images()).ToDenseMatrix();
+    e->user = std::make_unique<logdb::SimulatedUser>(
+        e->db.categories(), logdb::UserModel{0.1});
+
+    serve::ServiceOptions service_options;
+    service_options.scheme = "RF-SVM";
+    service_options.candidate_depth = kDepth;
+    service_options.sessions.max_sessions = 1 << 14;
+    const core::SchemeOptions scheme_options =
+        core::MakeDefaultSchemeOptions(e->db, &e->log_features);
+    auto service = serve::RetrievalService::Create(
+        &e->db, &e->log_features, &e->store, scheme_options, service_options);
+    e->service = std::move(service.value());
+    service_options.cache.capacity = 0;
+    auto nocache = serve::RetrievalService::Create(
+        &e->db, &e->log_features, &e->store, scheme_options, service_options);
+    e->service_nocache = std::move(nocache.value());
+    return e;
+  }();
+  return *env;
+}
+
+// One full feedback session per iteration: Start, first-round Query,
+// kRounds judged Feedback re-rankings, End. The dominant cost is the
+// per-round SVM train + candidate rerank — the serving hot path.
+void BM_ServeFeedbackSession(benchmark::State& state) {
+  ServeEnv& env = Env();
+  serve::RetrievalService& service = *env.service;
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    Rng rng(0x51F15EED ^ ++i);
+    const int query_id = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(env.db.num_images())));
+    const uint64_t sid = service.StartSession(query_id).value();
+    auto ranking = service.Query(sid, kDepth).value();
+    std::unordered_set<int> judged{query_id};
+    const int category = env.db.category(query_id);
+    for (int r = 0; r < kRounds; ++r) {
+      std::vector<logdb::LogEntry> round;
+      for (int id : ranking) {
+        if (static_cast<int>(round.size()) >= kJudgments) break;
+        if (!judged.insert(id).second) continue;
+        round.push_back(
+            logdb::LogEntry{id, env.user->Judge(id, category, &rng)});
+      }
+      ranking = service.Feedback(sid, round, kDepth).value();
+    }
+    benchmark::DoNotOptimize(service.EndSession(sid));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const serve::ServiceStats stats = service.stats();
+    state.counters["p95_us"] = stats.latency.p95_us;
+    state.counters["cache_hit_rate"] = stats.cache_hit_rate;
+  }
+}
+BENCHMARK(BM_ServeFeedbackSession)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Query-only sessions over a small repeating query pool: the cache-hit
+// serving path (session bookkeeping + one cache lookup + a top-k copy).
+void BM_ServeFirstRoundQuery(benchmark::State& state) {
+  ServeEnv& env = Env();
+  serve::RetrievalService& service = *env.service;
+  const int pool = std::min(64, env.db.num_images());
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    const int query_id = static_cast<int>(++i % static_cast<uint64_t>(pool));
+    const uint64_t sid = service.StartSession(query_id).value();
+    benchmark::DoNotOptimize(service.Query(sid));
+    benchmark::DoNotOptimize(service.EndSession(sid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeFirstRoundQuery)->ThreadRange(1, 8)->UseRealTime();
+
+// Cache disabled: every request pays the signature candidate scan + exact
+// rerank — the before-side of the cache-hit pair above.
+void BM_ServeFirstRoundQueryMiss(benchmark::State& state) {
+  ServeEnv& env = Env();
+  serve::RetrievalService& service = *env.service_nocache;
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    Rng rng(0xC01DCA5E ^ ++i);
+    const int query_id = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(env.db.num_images())));
+    const uint64_t sid = service.StartSession(query_id).value();
+    benchmark::DoNotOptimize(service.Query(sid));
+    benchmark::DoNotOptimize(service.EndSession(sid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeFirstRoundQueryMiss)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Many-user serving load generator: N worker threads replay simulated
+// relevance-feedback sessions against ONE shared serve::RetrievalService
+// (shared ImageDatabase + retrieval index + feedback log), then print
+// throughput and latency percentiles — the concurrent-deployment scenario
+// the paper assumes when it talks about accumulating feedback logs from
+// many users.
+//
+// Every completed session is appended to the live logdb::LogStore by the
+// service, so the run finishes with a bigger feedback log than it started
+// with: the paper's data-collection loop, closed.
+//
+// The default corpus is synthetic clustered features (no image rendering),
+// so a 20k-row run starts in about a second:
+//
+//   ./example_load_driver --threads=8 --sessions=200
+//   ./example_load_driver --threads=1 --sessions=200   # scaling baseline
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/feedback_scheme.h"
+#include "logdb/simulated_user.h"
+#include "retrieval/synthetic_features.h"
+#include "serve/retrieval_service.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace {
+
+constexpr const char* kHelp =
+    R"(load_driver — concurrent serving load generator
+
+ load shape
+  --threads=N           worker threads (default 4)
+  --sessions=N          total sessions replayed across all threads (default 200)
+  --rounds=N            feedback rounds per session (default 2)
+  --judgments=N         images judged per round (default 10)
+  --noise=F             judgment label-flip probability (default 0.1)
+  --repeat-queries=N    draw query images from a pool of N images so the
+                        first-round cache can hit (default 64; 0 = any image)
+  --seed=N              master seed (default 17)
+
+ corpus
+  --synthetic-rows=N    clustered 36-dim feature corpus, no image rendering
+                        (default 20000; category = cluster, one per ~100 rows)
+  --categories=N --images-per-category=N
+                        render a real synthetic-Corel corpus instead (slow)
+
+ service
+  --scheme=S            Euclidean | RF-SVM | LRF-2SVMs | LRF-CSVM
+                        (default RF-SVM)
+  --k=N                 results per response (default 20)
+  --depth=N             session ranking depth (0 = auto: k + rounds*judgments + 1)
+  --max-sessions=N      session-manager capacity (default 4096)
+  --ttl=F               session idle TTL seconds (default 0 = none)
+  --cache-capacity=N    first-round cache entries (default 4096)
+  --log-sessions=N      pre-collected feedback-log sessions (default 150)
+
+ index (see quickstart): --index=exact|signature (default signature),
+  --signature_bits, --candidate_factor, --index-seed
+)";
+
+using namespace cbir;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  const Flags& flags = flags_or.value();
+  if (flags.GetBool("help", false)) {
+    std::cout << kHelp;
+    return 0;
+  }
+  std::vector<std::string> known = retrieval::IndexFlagNames();
+  for (const char* name :
+       {"help", "threads", "sessions", "rounds", "judgments", "noise",
+        "repeat-queries", "seed", "synthetic-rows", "categories",
+        "images-per-category", "scheme", "k", "depth", "max-sessions", "ttl",
+        "cache-capacity", "log-sessions"}) {
+    known.push_back(name);
+  }
+  if (Status s = flags.RequireKnown(known); !s.ok()) {
+    std::cerr << s << "\n" << kHelp;
+    return 1;
+  }
+
+  const int threads = flags.GetInt("threads", 4);
+  const int total_sessions = flags.GetInt("sessions", 200);
+  const int rounds = flags.GetInt("rounds", 2);
+  const int judgments = flags.GetInt("judgments", 10);
+  const double noise = flags.GetDouble("noise", 0.1);
+  const int repeat_queries = flags.GetInt("repeat-queries", 64);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  const int k = flags.GetInt("k", 20);
+  if (threads < 1 || total_sessions < 1 || rounds < 0 || judgments < 1 ||
+      k < 1) {
+    std::cerr << "invalid load shape\n" << kHelp;
+    return 1;
+  }
+
+  auto index_options = retrieval::IndexOptionsFromFlags(flags);
+  if (!index_options.ok()) {
+    std::cerr << index_options.status() << "\n" << kHelp;
+    return 1;
+  }
+  if (!flags.Has("index")) {
+    // Serving default: sub-linear retrieval plus narrowed per-round scans.
+    index_options->mode = retrieval::IndexMode::kSignature;
+  }
+
+  // ---- shared serving data: one database, one index, one feedback log ----
+  Stopwatch setup_watch;
+  retrieval::ImageDatabase db = [&] {
+    if (flags.Has("categories") || flags.Has("images-per-category")) {
+      retrieval::DatabaseOptions db_options;
+      db_options.corpus.num_categories = flags.GetInt("categories", 8);
+      db_options.corpus.images_per_category =
+          flags.GetInt("images-per-category", 40);
+      db_options.corpus.width = 64;
+      db_options.corpus.height = 64;
+      db_options.corpus.seed = 21;
+      std::cout << "rendering corpus ("
+                << db_options.corpus.num_categories << " x "
+                << db_options.corpus.images_per_category << " images)...\n";
+      return retrieval::ImageDatabase::Build(db_options);
+    }
+    const int rows = flags.GetInt("synthetic-rows", 20000);
+    std::cout << "building synthetic clustered corpus (" << rows
+              << " rows)...\n";
+    return retrieval::ClusteredDatabase(rows, seed);
+  }();
+  db.BuildIndex(index_options.value());
+
+  logdb::LogCollectionOptions log_options;
+  log_options.num_sessions = flags.GetInt("log-sessions", 150);
+  log_options.session_size = 20;
+  log_options.user.noise_rate = noise;
+  log_options.seed = seed + 1;
+  logdb::LogStore store =
+      logdb::CollectLogs(db.features(), db.categories(), log_options);
+  const la::Matrix log_features =
+      store.BuildMatrix(db.num_images()).ToDenseMatrix();
+  const int64_t initial_log_sessions = store.num_sessions();
+
+  serve::ServiceOptions service_options;
+  service_options.scheme = flags.GetString("scheme", "RF-SVM");
+  service_options.default_k = k;
+  service_options.candidate_depth =
+      flags.GetInt("depth", 0) > 0 ? flags.GetInt("depth", 0)
+                                   : k + rounds * judgments + 1;
+  service_options.sessions.max_sessions =
+      static_cast<size_t>(flags.GetInt("max-sessions", 4096));
+  service_options.sessions.ttl_seconds = flags.GetDouble("ttl", 0.0);
+  service_options.cache.capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+
+  const core::SchemeOptions scheme_options =
+      core::MakeDefaultSchemeOptions(db, &log_features);
+  auto service_or = serve::RetrievalService::Create(
+      &db, &log_features, &store, scheme_options, service_options);
+  if (!service_or.ok()) {
+    std::cerr << service_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  serve::RetrievalService& service = *service_or.value();
+  std::cout << "service ready in "
+            << FormatDouble(setup_watch.ElapsedSeconds(), 2) << "s: "
+            << db.num_images() << " images, index=" << db.index()->name()
+            << ", scheme=" << service_options.scheme
+            << ", depth=" << service_options.candidate_depth << "\n"
+            << "replaying " << total_sessions << " sessions ("
+            << rounds << " rounds x " << judgments << " judgments) on "
+            << threads << " thread(s)...\n";
+
+  // ---- the load: every thread replays sessions against the one service ----
+  const logdb::SimulatedUser user(db.categories(), logdb::UserModel{noise});
+  const int query_pool =
+      repeat_queries > 0 ? std::min(repeat_queries, db.num_images())
+                         : db.num_images();
+  std::atomic<int> next_session{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> evicted_midflight{0};
+  Stopwatch load_watch;
+  auto worker = [&] {
+    for (int s = next_session.fetch_add(1); s < total_sessions;
+         s = next_session.fetch_add(1)) {
+      // Deterministic per-session stream regardless of which thread runs it.
+      Rng rng(seed ^ (0x5851F42D4C957F2Dull * static_cast<uint64_t>(s + 1)));
+      const int query_id =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(query_pool)));
+      auto session_or = service.StartSession(query_id);
+      if (!session_or.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const uint64_t sid = session_or.value();
+      const int fetch_k = service_options.candidate_depth;
+      // A NotFound mid-session is not a failure: under --ttl /
+      // --max-sessions eviction pressure the service legitimately reclaims
+      // sessions out from under slow users.
+      const auto evicted = [](const Status& s) {
+        return s.code() == StatusCode::kNotFound;
+      };
+      auto ranking_or = service.Query(sid, fetch_k);
+      bool ok = ranking_or.ok();
+      bool gone = !ok && evicted(ranking_or.status());
+      std::unordered_set<int> judged{query_id};
+      const int query_category = db.category(query_id);
+      for (int r = 0; r < rounds && ok; ++r) {
+        std::vector<logdb::LogEntry> round;
+        for (int id : ranking_or.value()) {
+          if (static_cast<int>(round.size()) >= judgments) break;
+          if (!judged.insert(id).second) continue;
+          round.push_back(
+              logdb::LogEntry{id, user.Judge(id, query_category, &rng)});
+        }
+        ranking_or = service.Feedback(sid, round, fetch_k);
+        ok = ranking_or.ok();
+        gone = !ok && evicted(ranking_or.status());
+      }
+      // End the session even on a failed round so its completed rounds
+      // still reach the log store and nothing idles until eviction.
+      const Status end = service.EndSession(sid);
+      if (gone || (!end.ok() && evicted(end))) {
+        evicted_midflight.fetch_add(1);
+      } else if (!ok || !end.ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  const double elapsed = load_watch.ElapsedSeconds();
+
+  // ---- results ----
+  const serve::ServiceStats stats = service.stats();
+  std::cout << "\n"
+            << serve::FormatServiceStats(stats) << "\n\n"
+            << "wall time        " << FormatDouble(elapsed, 2) << " s\n"
+            << "sessions/s       "
+            << FormatDouble(total_sessions / elapsed, 1) << "\n"
+            << "requests/s (QPS) "
+            << FormatDouble(static_cast<double>(stats.requests) / elapsed, 1)
+            << "\n"
+            << "failures         " << failures.load() << "\n"
+            << "evicted mid-run  " << evicted_midflight.load() << "\n"
+            << "feedback log     " << initial_log_sessions << " -> "
+            << store.num_sessions() << " sessions ("
+            << store.TotalJudgments() << " judgments)\n";
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -1,8 +1,8 @@
 #include "core/coupled_svm.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "svm/trainer.h"
+#include "core/multi_coupled_svm.h"
 #include "util/logging.h"
 
 namespace cbir::core {
@@ -17,6 +17,10 @@ CoupledSvm::CoupledSvm(const CsvmOptions& options) : options_(options) {
   CBIR_CHECK_GT(options_.max_inner_iterations, 0);
 }
 
+// The two-modality coupled SVM is exactly the K = 2 instantiation of the
+// Section 4.1 generalization, so Train delegates to MultiCoupledSvm (one
+// shared implementation of the rho-annealing / label-correction chain)
+// and repackages the pair of models under the paper's visual/log names.
 Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
   const size_t nl = data.labels.size();
   const size_t nu = data.initial_unlabeled_labels.size();
@@ -28,12 +32,6 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
     return Status::InvalidArgument(
         "coupled SVM: matrix rows must equal N_l + N'");
   }
-
-  // Working label vector: user labels followed by mutable pseudo-labels.
-  std::vector<double> y(n);
-  for (size_t i = 0; i < nl; ++i) y[i] = data.labels[i];
-  for (size_t j = 0; j < nu; ++j) y[nl + j] = data.initial_unlabeled_labels[j];
-
   if (!data.initial_visual_alpha.empty() &&
       data.initial_visual_alpha.size() != n) {
     return Status::InvalidArgument(
@@ -44,119 +42,38 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
         "coupled SVM: initial_log_alpha size must equal N_l + N'");
   }
 
+  MultiCsvmOptions multi_options;
+  multi_options.rho = options_.rho;
+  multi_options.rho_init = options_.rho_init;
+  multi_options.delta = options_.delta;
+  multi_options.max_inner_iterations = options_.max_inner_iterations;
+  multi_options.enforce_class_balance = options_.enforce_class_balance;
+  multi_options.smo = options_.smo;
+
+  // Views: the per-round delegation borrows the caller's matrices.
+  std::vector<ModalityView> modalities(2);
+  modalities[0].data = &data.visual;
+  modalities[0].kernel = options_.visual_kernel;
+  modalities[0].c = options_.c_visual;
+  modalities[0].initial_alpha = &data.initial_visual_alpha;
+  modalities[1].data = &data.log;
+  modalities[1].kernel = options_.log_kernel;
+  modalities[1].c = options_.c_log;
+  modalities[1].initial_alpha = &data.initial_log_alpha;
+
+  CBIR_ASSIGN_OR_RETURN(
+      MultiCoupledModel multi,
+      MultiCoupledSvm(multi_options)
+          .TrainViews(modalities, data.labels,
+                      data.initial_unlabeled_labels));
+
   CoupledModel model;
-  CsvmDiagnostics& diag = model.diagnostics;
-
-  svm::TrainOptions visual_options;
-  visual_options.kernel = options_.visual_kernel;
-  visual_options.smo = options_.smo;
-  svm::TrainOptions log_options;
-  log_options.kernel = options_.log_kernel;
-  log_options.smo = options_.smo;
-
-  // Every QP after the first solves a problem differing only in rho_star or
-  // a few flipped pseudo-labels; its predecessor's alphas are a near-optimal
-  // starting point. Seeded from the caller's previous round when provided.
-  std::vector<double> warm_visual = data.initial_visual_alpha;
-  std::vector<double> warm_log = data.initial_log_alpha;
-
-  auto solve_both = [&](double rho_star, svm::TrainOutput* visual_out,
-                        svm::TrainOutput* log_out) -> Status {
-    std::vector<double> c_visual(n), c_log(n);
-    for (size_t i = 0; i < n; ++i) {
-      const double scale = i < nl ? 1.0 : rho_star;
-      c_visual[i] = scale * options_.c_visual;
-      c_log[i] = scale * options_.c_log;
-    }
-    visual_options.smo.initial_alpha = warm_visual;
-    log_options.smo.initial_alpha = warm_log;
-    svm::SvmTrainer visual_trainer(visual_options);
-    svm::SvmTrainer log_trainer(log_options);
-    auto v = visual_trainer.TrainWeighted(data.visual, y, c_visual);
-    if (!v.ok()) return v.status();
-    auto l = log_trainer.TrainWeighted(data.log, y, c_log);
-    if (!l.ok()) return l.status();
-    *visual_out = std::move(v).value();
-    *log_out = std::move(l).value();
-    warm_visual = visual_out->alpha;
-    warm_log = log_out->alpha;
-    diag.total_smo_iterations +=
-        visual_out->iterations + log_out->iterations;
-    diag.cache_stats.Accumulate(visual_out->cache_stats);
-    diag.cache_stats.Accumulate(log_out->cache_stats);
-    return Status::OK();
-  };
-
-  svm::TrainOutput visual_out, log_out;
-  double rho_star = nu == 0 ? options_.rho : options_.rho_init;
-
-  while (true) {
-    ++diag.outer_iterations;
-    CBIR_RETURN_NOT_OK(solve_both(rho_star, &visual_out, &log_out));
-
-    // Label-correction loop (Fig. 1 inner WHILE): flip pseudo-labels that
-    // both modalities jointly reject beyond Delta, then re-solve. With the
-    // class-balance guard, violators flip in +/- pairs (strongest joint
-    // violation first) so the pseudo-label ratio is preserved, as in
-    // transductive SVM.
-    for (int inner = 0; inner < options_.max_inner_iterations; ++inner) {
-      std::vector<std::pair<double, size_t>> pos_violators, neg_violators;
-      for (size_t j = 0; j < nu; ++j) {
-        const double xi = visual_out.slacks[nl + j];
-        const double eta = log_out.slacks[nl + j];
-        if (xi > 0.0 && eta > 0.0 && xi + eta > options_.delta) {
-          (y[nl + j] > 0 ? pos_violators : neg_violators)
-              .emplace_back(xi + eta, nl + j);
-        }
-      }
-      // A flipped sample's carried alpha belongs to the other class now;
-      // restart it from zero so the warm start stays meaningful.
-      const auto flip_sample = [&](size_t idx) {
-        y[idx] = -y[idx];
-        warm_visual[idx] = 0.0;
-        warm_log[idx] = 0.0;
-      };
-      int flips = 0;
-      if (options_.enforce_class_balance) {
-        std::sort(pos_violators.rbegin(), pos_violators.rend());
-        std::sort(neg_violators.rbegin(), neg_violators.rend());
-        const size_t swaps =
-            std::min(pos_violators.size(), neg_violators.size());
-        for (size_t s = 0; s < swaps; ++s) {
-          flip_sample(pos_violators[s].second);
-          flip_sample(neg_violators[s].second);
-          flips += 2;
-        }
-      } else {
-        for (const auto& [violation, idx] : pos_violators) {
-          flip_sample(idx);
-          ++flips;
-        }
-        for (const auto& [violation, idx] : neg_violators) {
-          flip_sample(idx);
-          ++flips;
-        }
-      }
-      if (flips == 0) break;
-      diag.total_flips += flips;
-      ++diag.inner_iterations;
-      if (inner + 1 >= options_.max_inner_iterations) {
-        diag.inner_cap_hit = true;
-      }
-      CBIR_RETURN_NOT_OK(solve_both(rho_star, &visual_out, &log_out));
-    }
-
-    if (rho_star >= options_.rho) break;
-    rho_star = std::min(2.0 * rho_star, options_.rho);
-  }
-
-  model.visual = std::move(visual_out.model);
-  model.log = std::move(log_out.model);
-  model.visual_alpha = std::move(visual_out.alpha);
-  model.log_alpha = std::move(log_out.alpha);
-  model.unlabeled_labels.assign(y.begin() + static_cast<long>(nl), y.end());
-  diag.visual_objective = visual_out.objective;
-  diag.log_objective = log_out.objective;
+  model.visual = std::move(multi.models[0]);
+  model.log = std::move(multi.models[1]);
+  model.visual_alpha = std::move(multi.alphas[0]);
+  model.log_alpha = std::move(multi.alphas[1]);
+  model.unlabeled_labels = std::move(multi.unlabeled_labels);
+  model.diagnostics = multi.diagnostics;
   return model;
 }
 

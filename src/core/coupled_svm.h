@@ -114,6 +114,10 @@ struct CsvmTrainData {
 /// Deviation from Fig. 1 (documented in DESIGN.md): we run the final
 /// train/correct round at rho* == rho inclusive, matching transductive-SVM
 /// practice; the literal pseudo-code exits before ever training at rho.
+///
+/// Implemented as the K = 2 instantiation of MultiCoupledSvm (the paper's
+/// Section 4.1 generalization), so the annealing / label-correction chain
+/// exists exactly once.
 class CoupledSvm {
  public:
   explicit CoupledSvm(const CsvmOptions& options);

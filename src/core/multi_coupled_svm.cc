@@ -28,6 +28,18 @@ MultiCoupledSvm::MultiCoupledSvm(const MultiCsvmOptions& options)
 Result<MultiCoupledModel> MultiCoupledSvm::Train(
     const std::vector<Modality>& modalities, const std::vector<double>& labels,
     const std::vector<double>& initial_unlabeled_labels) const {
+  std::vector<ModalityView> views;
+  views.reserve(modalities.size());
+  for (const Modality& m : modalities) {
+    views.push_back(ModalityView{&m.data, m.kernel, m.c, &m.initial_alpha});
+  }
+  return TrainViews(views, labels, initial_unlabeled_labels);
+}
+
+Result<MultiCoupledModel> MultiCoupledSvm::TrainViews(
+    const std::vector<ModalityView>& modalities,
+    const std::vector<double>& labels,
+    const std::vector<double>& initial_unlabeled_labels) const {
   if (modalities.empty()) {
     return Status::InvalidArgument("multi coupled SVM: no modalities");
   }
@@ -38,13 +50,24 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
     return Status::InvalidArgument("multi coupled SVM: no labeled samples");
   }
   for (size_t k = 0; k < modalities.size(); ++k) {
-    if (modalities[k].data.rows() != n) {
+    if (modalities[k].data == nullptr) {
+      return Status::InvalidArgument("multi coupled SVM: modality " +
+                                     std::to_string(k) + " has no data");
+    }
+    if (modalities[k].data->rows() != n) {
       return Status::InvalidArgument(
           "multi coupled SVM: modality " + std::to_string(k) +
           " must have N_l + N' rows");
     }
     if (modalities[k].c <= 0.0) {
       return Status::InvalidArgument("multi coupled SVM: non-positive C");
+    }
+    const std::vector<double>* warm_start = modalities[k].initial_alpha;
+    if (warm_start != nullptr && !warm_start->empty() &&
+        warm_start->size() != n) {
+      return Status::InvalidArgument(
+          "multi coupled SVM: modality " + std::to_string(k) +
+          " initial_alpha size must equal N_l + N'");
     }
   }
 
@@ -57,9 +80,14 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
   const size_t num_modalities = modalities.size();
   std::vector<svm::TrainOutput> outputs(num_modalities);
   // Successive solves of one modality differ only in rho_star or a few
-  // flipped pseudo-labels; warm-start each from its predecessor (mirrors
-  // CoupledSvm, keeping the K = 2 case an exact reproduction).
+  // flipped pseudo-labels; warm-start each from its predecessor, seeded
+  // from the caller's previous round when provided.
   std::vector<std::vector<double>> warm(num_modalities);
+  for (size_t k = 0; k < num_modalities; ++k) {
+    if (modalities[k].initial_alpha != nullptr) {
+      warm[k] = *modalities[k].initial_alpha;
+    }
+  }
 
   auto solve_all = [&](double rho_star) -> Status {
     for (size_t k = 0; k < num_modalities; ++k) {
@@ -72,7 +100,7 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
       train_options.smo = options_.smo;
       train_options.smo.initial_alpha = warm[k];
       svm::SvmTrainer trainer(train_options);
-      auto out = trainer.TrainWeighted(modalities[k].data, y, c_bounds);
+      auto out = trainer.TrainWeighted(*modalities[k].data, y, c_bounds);
       if (!out.ok()) return out.status();
       outputs[k] = std::move(out).value();
       warm[k] = outputs[k].alpha;
@@ -149,8 +177,10 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
   }
 
   model.models.reserve(num_modalities);
+  model.alphas.reserve(num_modalities);
   for (svm::TrainOutput& out : outputs) {
     model.models.push_back(std::move(out.model));
+    model.alphas.push_back(std::move(out.alpha));
   }
   model.unlabeled_labels.assign(y.begin() + static_cast<long>(nl), y.end());
   if (num_modalities >= 1) {

@@ -19,6 +19,20 @@ struct Modality {
   svm::KernelParams kernel = svm::KernelParams::Rbf(1.0);
   /// Per-modality regularization C (the paper's C_w / C_u generalized).
   double c = 10.0;
+  /// Optional warm start (empty or N_l + N' entries): this modality's dual
+  /// variables from a previous round's model, zero for rows new this round.
+  std::vector<double> initial_alpha;
+};
+
+/// \brief Non-owning Modality: borrows the sample matrix (and warm start)
+/// instead of copying them. For callers that already hold the matrices —
+/// CoupledSvm hands its CsvmTrainData through this so the per-round
+/// delegation copies nothing.
+struct ModalityView {
+  const la::Matrix* data = nullptr;          ///< required, caller-owned
+  svm::KernelParams kernel = svm::KernelParams::Rbf(1.0);
+  double c = 10.0;
+  const std::vector<double>* initial_alpha = nullptr;  ///< null = cold start
 };
 
 /// \brief Hyper-parameters shared across modalities; semantics match
@@ -37,6 +51,10 @@ struct MultiCsvmOptions {
 struct MultiCoupledModel {
   std::vector<svm::SvmModel> models;  ///< parallel to the input modalities
   std::vector<double> unlabeled_labels;
+  /// Final dual variables of each modality's QP, in training-row order
+  /// (parallel to the input modalities). Feed them back through
+  /// Modality::initial_alpha to warm-start the next feedback round.
+  std::vector<std::vector<double>> alphas;
   CsvmDiagnostics diagnostics;
 
   /// Sum of per-modality decision values; `samples[k]` is the test sample's
@@ -66,6 +84,15 @@ class MultiCoupledSvm {
   /// starting pseudo-labels. Every modality must have N_l + N' rows.
   Result<MultiCoupledModel> Train(
       const std::vector<Modality>& modalities,
+      const std::vector<double>& labels,
+      const std::vector<double>& initial_unlabeled_labels) const;
+
+  /// Same optimization over borrowed modality data (no matrix copies); the
+  /// referenced matrices/vectors must stay alive for the duration of the
+  /// call. (Named rather than overloaded: `Train({}, ...)` stays
+  /// unambiguous.)
+  Result<MultiCoupledModel> TrainViews(
+      const std::vector<ModalityView>& modalities,
       const std::vector<double>& labels,
       const std::vector<double>& initial_unlabeled_labels) const;
 

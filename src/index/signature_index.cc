@@ -63,7 +63,7 @@ SignatureIndex::SignatureIndex(const SignatureIndexOptions& options)
   words_ = (static_cast<size_t>(options_.bits) + 63) / 64;
 }
 
-void SignatureIndex::Build(const la::Matrix& features) {
+void SignatureIndex::BuildPlanes(const la::Matrix& features) {
   rows_ = features.rows();
   dims_ = features.cols();
   data_ = features.empty() ? nullptr : features.RowPtr(0);
@@ -91,7 +91,11 @@ void SignatureIndex::Build(const la::Matrix& features) {
     plane_offsets_[b] = la::DotN(hyperplanes_.data() + b * dims_,
                                  centroid.data(), dims_);
   }
+}
 
+void SignatureIndex::Build(const la::Matrix& features) {
+  BuildPlanes(features);
+  const size_t bits = static_cast<size_t>(options_.bits);
   signatures_.assign(rows_ * words_, 0);
   ParallelFor(
       rows_,
@@ -105,6 +109,15 @@ void SignatureIndex::Build(const la::Matrix& features) {
         }
       },
       options_.num_threads);
+  ResetStats();
+}
+
+void SignatureIndex::RestoreSignatures(const la::Matrix& features,
+                                       std::vector<uint64_t> signatures) {
+  BuildPlanes(features);
+  CBIR_CHECK_EQ(signatures.size(), rows_ * words_)
+      << "RestoreSignatures: packed block does not match rows x words";
+  signatures_ = std::move(signatures);
   ResetStats();
 }
 

@@ -49,6 +49,14 @@ class SignatureIndex final : public Index {
 
   void Build(const la::Matrix& features) override;
 
+  /// Rebuilds the cheap derived state (hyperplanes, offsets) from the seed
+  /// and `features`, then installs previously computed `signatures` instead
+  /// of re-encoding every row — the expensive part of Build. `signatures`
+  /// must be the packed block of a Build over the same options and data
+  /// (ImageDatabase persistence uses this to skip the rebuild after load).
+  void RestoreSignatures(const la::Matrix& features,
+                         std::vector<uint64_t> signatures);
+
   size_t num_rows() const override { return rows_; }
 
   std::vector<int> Query(const la::Vec& query, int k) const override;
@@ -82,6 +90,10 @@ class SignatureIndex final : public Index {
                                     uint32_t* cutoff, bool* truncated) const;
 
   std::vector<int> ExhaustiveQuery(const la::Vec& query, int k) const;
+
+  /// Shared prefix of Build/RestoreSignatures: binds `features` and derives
+  /// the hyperplane family (everything except the per-row encoding).
+  void BuildPlanes(const la::Matrix& features);
 
   SignatureIndexOptions options_;
   const double* data_ = nullptr;  ///< caller-owned row-major feature storage

@@ -1,20 +1,61 @@
 #include "logdb/log_store.h"
 
+#include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace cbir::logdb {
 
+LogStore::LogStore(const LogStore& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  sessions_ = other.sessions_;
+}
+
+LogStore& LogStore::operator=(const LogStore& other) {
+  if (this == &other) return *this;
+  // Consistent order (address order) would matter only for concurrent
+  // cross-assignment; scoped_lock's deadlock-avoidance handles it.
+  std::scoped_lock lock(mu_, other.mu_);
+  sessions_ = other.sessions_;
+  return *this;
+}
+
+LogStore::LogStore(LogStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  sessions_ = std::move(other.sessions_);
+}
+
+LogStore& LogStore::operator=(LogStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  sessions_ = std::move(other.sessions_);
+  return *this;
+}
+
 void LogStore::Append(LogSession session) {
+  std::lock_guard<std::mutex> lock(mu_);
   sessions_.push_back(std::move(session));
+}
+
+int LogStore::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+std::vector<LogSession> LogStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_;
 }
 
 RelevanceMatrix LogStore::BuildMatrix(int num_images,
                                       int max_sessions) const {
+  std::lock_guard<std::mutex> lock(mu_);
   RelevanceMatrix matrix(num_images);
-  int limit = max_sessions < 0 ? num_sessions()
-                               : std::min(max_sessions, num_sessions());
+  const int available = static_cast<int>(sessions_.size());
+  int limit =
+      max_sessions < 0 ? available : std::min(max_sessions, available);
   for (int s = 0; s < limit; ++s) {
     matrix.AddSession(sessions_[static_cast<size_t>(s)]);
   }
@@ -22,10 +63,13 @@ RelevanceMatrix LogStore::BuildMatrix(int num_images,
 }
 
 Status LogStore::SaveToFile(const std::string& path) const {
+  // Write a snapshot so the (possibly slow) file I/O never holds the mutex
+  // — concurrent appends land in the store, just not in this save.
+  const std::vector<LogSession> sessions = Snapshot();
   std::ofstream ofs(path, std::ios::trunc);
   if (!ofs) return Status::IoError("cannot open for writing: " + path);
-  ofs << "cbir_log v1 " << sessions_.size() << "\n";
-  for (const LogSession& s : sessions_) {
+  ofs << "cbir_log v1 " << sessions.size() << "\n";
+  for (const LogSession& s : sessions) {
     ofs << "session " << s.query_image_id << " " << s.entries.size() << "\n";
     for (const LogEntry& e : s.entries) {
       ofs << e.image_id << " " << static_cast<int>(e.judgment) << "\n";
@@ -71,6 +115,7 @@ Result<LogStore> LogStore::LoadFromFile(const std::string& path) {
 }
 
 int64_t LogStore::TotalJudgments() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (const LogSession& s : sessions_) {
     total += static_cast<int64_t>(s.entries.size());

@@ -1,6 +1,7 @@
 #ifndef CBIR_LOGDB_LOG_STORE_H_
 #define CBIR_LOGDB_LOG_STORE_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,14 +17,32 @@ namespace cbir::logdb {
 /// This is the "log database" of the paper: a CBIR deployment appends one
 /// session per completed feedback round and periodically rebuilds the
 /// relevance matrix consumed by the log-based learners.
+///
+/// Thread safety: Append, num_sessions, TotalJudgments, BuildMatrix,
+/// SaveToFile, and Snapshot synchronize on an internal mutex, so the serving
+/// layer can append from many worker threads while readers rebuild matrices
+/// or persist the store. The zero-copy sessions() accessor is the one
+/// exception: it returns a reference into the store, so it must not run
+/// concurrently with Append — use Snapshot() when writers may be live.
 class LogStore {
  public:
   LogStore() = default;
 
+  LogStore(const LogStore& other);
+  LogStore& operator=(const LogStore& other);
+  LogStore(LogStore&& other) noexcept;
+  LogStore& operator=(LogStore&& other) noexcept;
+
   void Append(LogSession session);
 
-  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+  int num_sessions() const;
+
+  /// Borrowed view of the sessions. NOT safe against concurrent Append (the
+  /// vector may reallocate under the reader); single-writer phases only.
   const std::vector<LogSession>& sessions() const { return sessions_; }
+
+  /// Copy of the sessions, consistent under concurrent appends.
+  std::vector<LogSession> Snapshot() const;
 
   /// Builds the relevance matrix over a database of `num_images` images,
   /// optionally truncated to the first `max_sessions` sessions (-1 = all);
@@ -39,6 +58,7 @@ class LogStore {
   int64_t TotalJudgments() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<LogSession> sessions_;
 };
 

@@ -34,6 +34,16 @@ class ImageDatabase {
   /// Generates all images and extracts features (parallelized).
   static ImageDatabase Build(const DatabaseOptions& options);
 
+  /// Wraps a precomputed feature matrix (one row per image, already
+  /// normalized or not — no normalizer is fitted) in a database. For
+  /// serving benches, load drivers, and tests that need big corpora without
+  /// paying image rendering; RenderImage() on the result produces synthetic
+  /// images unrelated to the injected features. `categories[i]` must be in
+  /// [0, num_categories).
+  static ImageDatabase FromFeatures(la::Matrix features,
+                                    std::vector<int> categories,
+                                    int num_categories);
+
   /// Copies drop the retrieval index: an index references the feature
   /// storage of the database it was built over, so sharing it would dangle
   /// once the original dies. Call BuildIndex on the copy if it needs one.
@@ -62,7 +72,9 @@ class ImageDatabase {
   /// Builds and attaches a retrieval index over features(), replacing any
   /// previous one. The index references this database's feature storage:
   /// rebuild after mutating features or after copying the database.
-  /// Not serialized by SaveToFile — rebuild after LoadFromFile.
+  /// Serialized by SaveToFile: a signature index round-trips its packed
+  /// signature block (no re-encoding on load), an exact index is rebuilt
+  /// for free.
   void BuildIndex(const IndexOptions& index_options);
   /// The attached retrieval index, or null when none was built.
   const Index* index() const { return index_.get(); }
@@ -84,8 +96,11 @@ class ImageDatabase {
     return corpus_->GenerateById(image_id);
   }
 
-  /// Text serialization of categories + features + normalizer (images are
-  /// re-renderable from the corpus options, so pixels are never stored).
+  /// Text serialization of categories + features + normalizer + attached
+  /// index (images are re-renderable from the corpus options, so pixels are
+  /// never stored). Signature indexes store their packed signature block so
+  /// 100k+ corpora skip the ~0.4s re-encoding on load; v1 files (written
+  /// before indexes were serialized) still load, just without an index.
   Status SaveToFile(const std::string& path) const;
   static Result<ImageDatabase> LoadFromFile(const std::string& path);
 

@@ -1,0 +1,41 @@
+#include "retrieval/synthetic_features.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cbir::retrieval {
+
+la::Matrix ClusteredFeatures(size_t rows, size_t dims, size_t clusters,
+                             uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix centers(clusters, dims);
+  for (size_t r = 0; r < clusters; ++r) {
+    for (size_t c = 0; c < dims; ++c) centers.At(r, c) = rng.Gaussian() * 1.5;
+  }
+  la::Matrix m(rows, dims);
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t cluster = r % clusters;
+    for (size_t c = 0; c < dims; ++c) {
+      m.At(r, c) = centers.At(cluster, c) + rng.Gaussian() * 0.4;
+    }
+  }
+  return m;
+}
+
+ImageDatabase ClusteredDatabase(int rows, uint64_t seed) {
+  constexpr size_t kDims = 36;  // the paper's visual feature width
+  const int categories = rows < 100 ? 1 : rows / 100;
+  la::Matrix features = ClusteredFeatures(
+      static_cast<size_t>(rows), kDims, static_cast<size_t>(categories),
+      seed);
+  std::vector<int> labels(static_cast<size_t>(rows));
+  for (size_t r = 0; r < labels.size(); ++r) {
+    labels[r] = static_cast<int>(r % static_cast<size_t>(categories));
+  }
+  return ImageDatabase::FromFeatures(std::move(features), std::move(labels),
+                                     categories);
+}
+
+}  // namespace cbir::retrieval

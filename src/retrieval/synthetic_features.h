@@ -1,0 +1,31 @@
+#ifndef CBIR_RETRIEVAL_SYNTHETIC_FEATURES_H_
+#define CBIR_RETRIEVAL_SYNTHETIC_FEATURES_H_
+
+#include <cstdint>
+
+#include "la/matrix.h"
+#include "retrieval/image_database.h"
+
+namespace cbir::retrieval {
+
+/// \brief Clustered synthetic feature corpus shaped like category image
+/// features: `clusters` well-separated Gaussian centers (spread 1.5) with
+/// tight within-cluster noise (0.4), z-scored scale, row r in cluster
+/// r % clusters. Euclidean neighbors are overwhelmingly same-cluster rows —
+/// exactly the structure category corpora give the index and the schemes.
+///
+/// One generator shared by the index/serve benches, the load driver, and
+/// tests, so "the 20k-row clustered corpus" means the same corpus
+/// everywhere. Deterministic in `seed`.
+la::Matrix ClusteredFeatures(size_t rows, size_t dims, size_t clusters,
+                             uint64_t seed);
+
+/// The same corpus wrapped in an ImageDatabase via FromFeatures (category =
+/// cluster, one cluster per ~100 rows, 36 dims — the paper's feature
+/// width). For serving benches and load drivers that need big corpora
+/// without paying image rendering.
+ImageDatabase ClusteredDatabase(int rows, uint64_t seed);
+
+}  // namespace cbir::retrieval
+
+#endif  // CBIR_RETRIEVAL_SYNTHETIC_FEATURES_H_

@@ -1,0 +1,118 @@
+#ifndef CBIR_SERVE_QUERY_CACHE_H_
+#define CBIR_SERVE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace cbir::serve {
+
+/// \brief Knobs for the first-round result cache.
+struct QueryCacheOptions {
+  /// Total cached rankings across all shards (0 disables the cache).
+  size_t capacity = 4096;
+  /// Lock shards; rounded up to a power of two. More shards = less mutex
+  /// contention between unrelated queries.
+  int num_shards = 8;
+};
+
+/// \brief Lifetime counters of a QueryCache.
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      ///< LRU capacity evictions
+  uint64_t invalidations = 0;  ///< Invalidate() epoch bumps
+
+  double hit_rate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// \brief Sharded LRU cache of first-round top-k rankings.
+///
+/// Keys are 64-bit fingerprints of (query feature, retrieval depth, index
+/// configuration) — see FingerprintQuery — so two sessions issuing the same
+/// query image against the same index share one ranking computation.
+/// Invalidation is epoch-based: every entry is stamped with the epoch
+/// observed *before* its ranking was computed (pass `epoch()` to Insert),
+/// and Invalidate() bumps the epoch, making every older entry a miss.
+/// Stale entries are reclaimed lazily on lookup and by LRU eviction; no
+/// global sweep ever blocks the serving path.
+///
+/// All methods are thread-safe; Lookup/Insert take exactly one shard mutex.
+class QueryCache {
+ public:
+  explicit QueryCache(const QueryCacheOptions& options);
+
+  /// Current invalidation epoch. Read it before computing a ranking and
+  /// hand it to Insert so a concurrent Invalidate() poisons the entry.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// On hit, copies the cached ranking into `out` and refreshes its LRU
+  /// position. Counts a miss (and erases the entry) when the entry's epoch
+  /// is stale.
+  bool Lookup(uint64_t key, std::vector<int>* out);
+
+  /// Caches `ranking` under `key`, stamped with `epoch` (from epoch()).
+  /// Replaces an existing entry for the key; evicts the shard's LRU tail
+  /// beyond capacity. No-op when the entry is already stale or capacity 0.
+  void Insert(uint64_t key, const std::vector<int>& ranking, uint64_t epoch);
+
+  /// Makes every current entry a miss (epoch bump). Call after the data a
+  /// cached ranking derives from (index, corpus) has been swapped.
+  void Invalidate();
+
+  QueryCacheStats stats() const;
+
+  /// Live entries across all shards (stale-but-unreclaimed ones included).
+  size_t size() const;
+
+  /// FNV-1a fingerprint of a query feature vector plus the retrieval depth
+  /// and an index-configuration fingerprint. 64-bit collisions across live
+  /// cache entries are vanishingly rare; a collision serves the colliding
+  /// query the other query's (deterministic) ranking.
+  static uint64_t FingerprintQuery(const la::Vec& query, int depth,
+                                   uint64_t config_fingerprint);
+
+  /// Fingerprint helper for the index-configuration part of the key.
+  static uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t epoch = 0;
+    std::vector<int> ranking;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(uint64_t key);
+
+  size_t shard_mask_ = 0;  ///< num_shards - 1 (power of two)
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace cbir::serve
+
+#endif  // CBIR_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,290 @@
+#include "serve/retrieval_service.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "index/signature_index.h"
+#include "util/logging.h"
+
+namespace cbir::serve {
+
+namespace {
+
+/// Hashes the parts of the retrieval configuration a cached first-round
+/// ranking depends on, so rankings computed against a differently-built
+/// index can never alias in the cache.
+uint64_t ConfigFingerprint(const retrieval::ImageDatabase& db) {
+  uint64_t fp = QueryCache::HashCombine(
+      0, static_cast<uint64_t>(db.num_images()));
+  const retrieval::Index* index = db.index();
+  if (index == nullptr) {
+    return QueryCache::HashCombine(fp, 0x6e6f6e65ull);  // "none"
+  }
+  for (char c : index->name()) {
+    fp = QueryCache::HashCombine(fp, static_cast<uint64_t>(c));
+  }
+  if (const auto* sig = dynamic_cast<const retrieval::SignatureIndex*>(index);
+      sig != nullptr) {
+    fp = QueryCache::HashCombine(fp, static_cast<uint64_t>(sig->bits()));
+    fp = QueryCache::HashCombine(
+        fp, static_cast<uint64_t>(sig->options().candidate_factor));
+    fp = QueryCache::HashCombine(fp, sig->options().seed);
+  }
+  return fp;
+}
+
+}  // namespace
+
+RetrievalService::RetrievalService(
+    const retrieval::ImageDatabase* db, const la::Matrix* log_features,
+    logdb::LogStore* log_store,
+    std::shared_ptr<const core::FeedbackScheme> scheme,
+    const ServiceOptions& options)
+    : db_(db),
+      log_features_(log_features),
+      log_store_(log_store),
+      scheme_(std::move(scheme)),
+      options_(options),
+      cache_(options.cache),
+      config_fingerprint_(ConfigFingerprint(*db)) {
+  sessions_ = std::make_unique<SessionManager>(
+      options_.sessions,
+      [this](ServeSession& session) { FlushSessionLocked(session); });
+}
+
+Result<std::unique_ptr<RetrievalService>> RetrievalService::Create(
+    const retrieval::ImageDatabase* db, const la::Matrix* log_features,
+    logdb::LogStore* log_store, const core::SchemeOptions& scheme_options,
+    const ServiceOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("retrieval service: null database");
+  }
+  if (options.default_k <= 0) {
+    return Status::InvalidArgument("retrieval service: default_k must be > 0");
+  }
+  if (options.candidate_depth < 0) {
+    return Status::InvalidArgument(
+        "retrieval service: candidate_depth must be >= 0");
+  }
+  if (options.sessions.max_sessions == 0) {
+    return Status::InvalidArgument(
+        "retrieval service: max_sessions must be > 0");
+  }
+  if (options.sessions.ttl_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "retrieval service: ttl_seconds must be >= 0");
+  }
+  CBIR_ASSIGN_OR_RETURN(
+      std::shared_ptr<core::FeedbackScheme> scheme,
+      core::MakeScheme(options.scheme, scheme_options, options.csvm));
+  return std::unique_ptr<RetrievalService>(new RetrievalService(
+      db, log_features, log_store, std::move(scheme), options));
+}
+
+int RetrievalService::EffectiveDepth() const {
+  if (options_.candidate_depth <= 0) return -1;
+  // Without an index the exhaustive scan produces the full ranking anyway;
+  // mirroring RunFeedbackSession keeps the two paths rank-identical.
+  return db_->index() == nullptr ? -1 : options_.candidate_depth;
+}
+
+Result<uint64_t> RetrievalService::StartSession(int query_id) {
+  if (query_id < 0 || query_id >= db_->num_images()) {
+    return Status::InvalidArgument("retrieval service: query id out of range");
+  }
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  // Fully initialize before registering: the session only becomes visible
+  // to concurrent Acquire calls once its context is ready. Register() also
+  // runs the lazy TTL sweep.
+  auto session = std::make_shared<ServeSession>();
+  session->id = id;
+  session->ctx.db = db_;
+  session->ctx.log_features = log_features_;
+  session->ctx.query_id = query_id;
+  session->ctx.candidate_depth =
+      options_.candidate_depth > 0 ? options_.candidate_depth : 0;
+  session->ctx.session_state = &session->warm_start;
+  session->ctx.query_feature = db_->feature(query_id);
+  sessions_->Register(std::move(session));
+  return id;
+}
+
+void RetrievalService::EnsureFirstRoundLocked(ServeSession& session) {
+  if (session.has_ranking) return;
+  const int depth = EffectiveDepth();
+  // Full-corpus rankings (depth <= 0) are never cached: the cache capacity
+  // counts entries, so corpus-length vectors would turn it into
+  // corpus-size x 4096 bytes of memory. Bounded-depth serving configs (a
+  // positive candidate_depth over an index) get the memoization.
+  std::vector<int> ranking;
+  if (depth <= 0) {
+    ranking = db_->TopK(session.ctx.query_feature, depth);
+  } else {
+    // The cached ranking still contains the query row itself: the TopK
+    // result depends only on (feature, depth, index config), so sessions
+    // for different images with identical features can share one entry;
+    // the session-specific self-exclusion happens after the fetch.
+    const uint64_t key = QueryCache::FingerprintQuery(
+        session.ctx.query_feature, depth, config_fingerprint_);
+    if (!cache_.Lookup(key, &ranking)) {
+      const uint64_t epoch = cache_.epoch();
+      ranking = db_->TopK(session.ctx.query_feature, depth);
+      cache_.Insert(key, ranking, epoch);
+    }
+  }
+  ranking.erase(
+      std::remove(ranking.begin(), ranking.end(), session.ctx.query_id),
+      ranking.end());
+  session.ranking = std::move(ranking);
+  session.has_ranking = true;
+}
+
+Result<std::vector<int>> RetrievalService::TopKOfRanking(
+    const ServeSession& session, int k) const {
+  const int want = k > 0 ? k : options_.default_k;
+  const size_t n = std::min(session.ranking.size(),
+                            static_cast<size_t>(want));
+  return std::vector<int>(session.ranking.begin(),
+                          session.ranking.begin() + static_cast<long>(n));
+}
+
+Result<std::vector<int>> RetrievalService::Query(uint64_t session_id, int k) {
+  Stopwatch watch;
+  std::shared_ptr<ServeSession> session = sessions_->Acquire(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("retrieval service: unknown session");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->ended) {
+    return Status::NotFound("retrieval service: session already ended");
+  }
+  EnsureFirstRoundLocked(*session);
+  Result<std::vector<int>> out = TopKOfRanking(*session, k);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(watch.ElapsedSeconds() * 1e6);
+  return out;
+}
+
+Result<std::vector<int>> RetrievalService::Feedback(
+    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k) {
+  Stopwatch watch;
+  for (const logdb::LogEntry& e : round) {
+    if (e.image_id < 0 || e.image_id >= db_->num_images()) {
+      return Status::InvalidArgument(
+          "retrieval service: judged image id out of range");
+    }
+    if (e.judgment != 1 && e.judgment != -1) {
+      return Status::InvalidArgument(
+          "retrieval service: judgment must be +-1");
+    }
+  }
+  std::shared_ptr<ServeSession> session = sessions_->Acquire(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("retrieval service: unknown session");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->ended) {
+    return Status::NotFound("retrieval service: session already ended");
+  }
+  if (!session->prepared) {
+    // One candidate scan narrows every subsequent round's scoring loops,
+    // exactly like RunFeedbackSession's single Prepare() call.
+    session->ctx.Prepare();
+    session->prepared = true;
+  }
+
+  std::unordered_set<int> seen(session->ctx.labeled_ids.begin(),
+                               session->ctx.labeled_ids.end());
+  seen.insert(session->ctx.query_id);
+  logdb::LogSession record;
+  record.query_image_id = session->ctx.query_id;
+  for (const logdb::LogEntry& e : round) {
+    if (!seen.insert(e.image_id).second) continue;  // duplicate or query
+    session->ctx.labeled_ids.push_back(e.image_id);
+    session->ctx.labels.push_back(static_cast<double>(e.judgment));
+    record.entries.push_back(e);
+  }
+
+  CBIR_ASSIGN_OR_RETURN(session->ranking, scheme_->Rank(session->ctx));
+  // Recorded only after the round actually ranked: a failed round must not
+  // end up in the persisted feedback log.
+  if (!record.entries.empty()) {
+    session->pending_log.push_back(std::move(record));
+  }
+  session->has_ranking = true;
+  ++session->rounds;
+  Result<std::vector<int>> out = TopKOfRanking(*session, k);
+  feedbacks_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(watch.ElapsedSeconds() * 1e6);
+  return out;
+}
+
+Status RetrievalService::EndSession(uint64_t session_id) {
+  std::shared_ptr<ServeSession> session = sessions_->Remove(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("retrieval service: unknown session");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  session->ended = true;
+  FlushSessionLocked(*session);
+  return Status::OK();
+}
+
+size_t RetrievalService::EvictExpiredSessions() {
+  return sessions_->EvictExpired();
+}
+
+void RetrievalService::FlushSessionLocked(ServeSession& session) {
+  if (log_store_ == nullptr) {
+    session.pending_log.clear();
+    return;
+  }
+  for (logdb::LogSession& record : session.pending_log) {
+    log_store_->Append(std::move(record));
+    log_sessions_appended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  session.pending_log.clear();
+}
+
+void RetrievalService::InvalidateCache() { cache_.Invalidate(); }
+
+ServiceStats RetrievalService::stats() const {
+  ServiceStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.feedbacks = feedbacks_.load(std::memory_order_relaxed);
+  s.requests = s.queries + s.feedbacks;
+
+  const SessionManagerStats sm = sessions_->stats();
+  s.sessions_started = sm.started;
+  s.sessions_ended = sm.ended;
+  s.sessions_evicted_capacity = sm.evicted_capacity;
+  s.sessions_evicted_ttl = sm.evicted_ttl;
+  s.active_sessions = sm.active;
+
+  const QueryCacheStats qc = cache_.stats();
+  s.cache_hits = qc.hits;
+  s.cache_misses = qc.misses;
+  s.cache_evictions = qc.evictions;
+  s.cache_invalidations = qc.invalidations;
+  s.cache_hit_rate = qc.hit_rate();
+
+  s.log_sessions_appended =
+      log_sessions_appended_.load(std::memory_order_relaxed);
+  s.elapsed_seconds = uptime_.ElapsedSeconds();
+  s.qps = s.elapsed_seconds > 0.0
+              ? static_cast<double>(s.requests) / s.elapsed_seconds
+              : 0.0;
+  s.latency = latency_.Summarize();
+  return s;
+}
+
+void RetrievalService::ResetStats() {
+  queries_.store(0, std::memory_order_relaxed);
+  feedbacks_.store(0, std::memory_order_relaxed);
+  latency_.Reset();
+  uptime_.Restart();
+}
+
+}  // namespace cbir::serve

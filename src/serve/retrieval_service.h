@@ -1,0 +1,153 @@
+#ifndef CBIR_SERVE_RETRIEVAL_SERVICE_H_
+#define CBIR_SERVE_RETRIEVAL_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme_factory.h"
+#include "logdb/log_store.h"
+#include "retrieval/image_database.h"
+#include "serve/query_cache.h"
+#include "serve/service_stats.h"
+#include "serve/session_manager.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace cbir::serve {
+
+/// \brief Configuration of one RetrievalService.
+struct ServiceOptions {
+  /// Feedback scheme ranking every session's rounds (a core::MakeScheme
+  /// name: "Euclidean", "RF-SVM", "LRF-2SVMs", "LRF-CSVM").
+  std::string scheme = "LRF-CSVM";
+  /// LRF-CSVM knobs (ignored by the other schemes).
+  core::LrfCsvmOptions csvm;
+  /// Retrieval depth of the per-session ranking: how deep the first-round
+  /// retrieval and every re-ranking go when the database carries an
+  /// approximate index (the session can serve results and accept judgments
+  /// down to this rank). 0 = full corpus ranking — exact, but every round
+  /// scans everything and first-round results are not cached (corpus-length
+  /// rankings would blow the entry-counted cache); pick max-results +
+  /// expected rounds * judgments like FeedbackLoopOptions::candidate_depth
+  /// does.
+  int candidate_depth = 0;
+  /// Results returned by Query/Feedback when the caller passes k = 0.
+  int default_k = 20;
+  SessionManagerOptions sessions;
+  QueryCacheOptions cache;
+};
+
+/// \brief Thread-safe many-user serving facade over one shared
+/// ImageDatabase (+ optional retrieval index), feedback scheme, and log
+/// store — the deployment loop the paper assumes: many users run feedback
+/// sessions concurrently, and every completed session lands in the log
+/// database future queries learn from.
+///
+/// Concurrency model: the database, log-feature matrix, and scheme are
+/// immutable and shared by all sessions; per-session mutable state lives in
+/// a ServeSession behind its own mutex (SessionManager, TTL + LRU bounded);
+/// first-round rankings are memoized in a sharded QueryCache. Requests for
+/// different sessions never contend beyond map lookups, so throughput
+/// scales with cores until the corpus scans themselves saturate memory
+/// bandwidth.
+///
+/// A single-threaded session reproduces core::RunFeedbackSession exactly:
+/// same first-round ranking, same scan narrowing, same warm-started duals
+/// (verified by tests/serve/retrieval_service_test.cc).
+class RetrievalService {
+ public:
+  /// `db` (and `log_features` when given) must outlive the service and stay
+  /// unmodified while it serves — swap in a new service after a rebuild.
+  /// `log_store` may be null (completed sessions are then dropped instead
+  /// of appended); it may be shared with other writers since LogStore
+  /// synchronizes internally.
+  static Result<std::unique_ptr<RetrievalService>> Create(
+      const retrieval::ImageDatabase* db, const la::Matrix* log_features,
+      logdb::LogStore* log_store, const core::SchemeOptions& scheme_options,
+      const ServiceOptions& options);
+
+  /// Opens a feedback session for the given query image and returns its
+  /// session id. May evict the least-recently-used session at capacity.
+  Result<uint64_t> StartSession(int query_id);
+
+  /// Top-k of the session's current ranking (k = 0 uses default_k; k is
+  /// clamped to the ranking depth). The first call of a session computes —
+  /// or serves from the query cache — the first-round retrieval; after
+  /// Feedback() it returns the re-ranked results.
+  Result<std::vector<int>> Query(uint64_t session_id, int k = 0);
+
+  /// Applies one round of user judgments (+1 relevant / -1 irrelevant,
+  /// already-judged and query-self entries are ignored), re-ranks with the
+  /// scheme, records the round for the log store, and returns the new
+  /// top-k.
+  Result<std::vector<int>> Feedback(uint64_t session_id,
+                                    const std::vector<logdb::LogEntry>& round,
+                                    int k = 0);
+
+  /// Closes the session and appends its recorded rounds to the log store —
+  /// the paper's "deployment accumulates the feedback log" loop. Unknown
+  /// (ended, evicted, never-issued) ids return NotFound.
+  Status EndSession(uint64_t session_id);
+
+  /// Sweeps TTL-expired sessions now (they are also swept lazily on every
+  /// StartSession). Evicted sessions flush to the log store like ended
+  /// ones. Returns how many were evicted.
+  size_t EvictExpiredSessions();
+
+  /// Drops every cached first-round ranking (epoch bump); call after the
+  /// serving data (index, log matrix) has been swapped.
+  void InvalidateCache();
+
+  ServiceStats stats() const;
+  void ResetStats();
+
+  const ServiceOptions& options() const { return options_; }
+  const retrieval::ImageDatabase& db() const { return *db_; }
+
+ private:
+  RetrievalService(const retrieval::ImageDatabase* db,
+                   const la::Matrix* log_features, logdb::LogStore* log_store,
+                   std::shared_ptr<const core::FeedbackScheme> scheme,
+                   const ServiceOptions& options);
+
+  /// Effective TopK depth of first-round retrievals (candidate_depth, or -1
+  /// = full ranking when unset or the database has no index).
+  int EffectiveDepth() const;
+
+  /// Computes (or cache-loads) the session's first-round ranking. Caller
+  /// holds the session mutex.
+  void EnsureFirstRoundLocked(ServeSession& session);
+
+  /// Moves the session's recorded rounds into the log store. Caller holds
+  /// the session mutex.
+  void FlushSessionLocked(ServeSession& session);
+
+  /// Looks up + locks the session and finishes shared accounting; the
+  /// callback runs under the session mutex.
+  Result<std::vector<int>> TopKOfRanking(const ServeSession& session,
+                                         int k) const;
+
+  const retrieval::ImageDatabase* db_;
+  const la::Matrix* log_features_;
+  logdb::LogStore* log_store_;
+  std::shared_ptr<const core::FeedbackScheme> scheme_;
+  ServiceOptions options_;
+
+  std::unique_ptr<SessionManager> sessions_;
+  QueryCache cache_;
+  uint64_t config_fingerprint_ = 0;
+
+  LatencyHistogram latency_;
+  Stopwatch uptime_;
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> feedbacks_{0};
+  std::atomic<uint64_t> log_sessions_appended_{0};
+};
+
+}  // namespace cbir::serve
+
+#endif  // CBIR_SERVE_RETRIEVAL_SERVICE_H_

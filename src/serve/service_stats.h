@@ -1,0 +1,101 @@
+#ifndef CBIR_SERVE_SERVICE_STATS_H_
+#define CBIR_SERVE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cbir::serve {
+
+/// \brief Latency percentiles summarized from a LatencyHistogram.
+///
+/// Percentile values are bucket upper bounds, so they over-estimate by at
+/// most one bucket width (~12.5% with the log-linear layout below); `max_us`
+/// has the same granularity.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// \brief Fixed-bucket concurrent latency histogram (microsecond domain).
+///
+/// Log-linear layout: 8 linear buckets below 8us, then 8 sub-buckets per
+/// power of two up to ~68s, so relative resolution stays ~12.5% across the
+/// whole range. Record() is wait-free (one relaxed fetch_add per call plus
+/// two for the mean), which keeps the serving hot path uncontended; the
+/// percentile math happens only in Summarize().
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;                ///< 2^3 sub-buckets/octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kMaxOctave = 36;             ///< caps at ~2^36 us
+  static constexpr int kBuckets = kSub + (kMaxOctave - kSubBits) * kSub;
+
+  /// Records one latency observation (values are clamped to the last
+  /// bucket). Safe to call from any number of threads.
+  void Record(double micros);
+
+  /// Aggregates the current counts into percentiles. Concurrent Record()
+  /// calls may or may not be included — the summary is a snapshot, not a
+  /// barrier.
+  LatencySummary Summarize() const;
+
+  /// Zeroes all buckets (not atomic with respect to concurrent Record()).
+  void Reset();
+
+  /// Bucket index for a microsecond value; exposed for tests.
+  static int BucketIndex(uint64_t us);
+  /// Exclusive upper bound (in us) of the given bucket; exposed for tests.
+  static uint64_t BucketUpperBound(int bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> total_us_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// \brief One coherent snapshot of everything the serving layer counts,
+/// surfaced the way IndexStats / CacheStats are for the lower layers.
+struct ServiceStats {
+  // Request counters.
+  uint64_t queries = 0;        ///< first-round Query() calls answered
+  uint64_t feedbacks = 0;      ///< Feedback() rounds ranked
+  uint64_t requests = 0;       ///< queries + feedbacks
+
+  // Session lifecycle (from the SessionManager).
+  uint64_t sessions_started = 0;
+  uint64_t sessions_ended = 0;          ///< explicit EndSession calls
+  uint64_t sessions_evicted_capacity = 0;
+  uint64_t sessions_evicted_ttl = 0;
+  uint64_t active_sessions = 0;
+
+  // First-round cache (from the QueryCache).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+
+  // Feedback log integration.
+  uint64_t log_sessions_appended = 0;  ///< LogSessions flushed to the store
+
+  double elapsed_seconds = 0.0;  ///< since service start (or ResetStats)
+  /// requests / elapsed_seconds (0 when no time has passed).
+  double qps = 0.0;
+  /// cache_hits / (cache_hits + cache_misses), 1.0 when no lookups ran.
+  double cache_hit_rate = 1.0;
+
+  LatencySummary latency;  ///< over all Query + Feedback requests
+};
+
+/// One-line human-readable rendering, in the "index stats:" key=value style
+/// the experiment driver uses.
+std::string FormatServiceStats(const ServiceStats& stats);
+
+}  // namespace cbir::serve
+
+#endif  // CBIR_SERVE_SERVICE_STATS_H_

@@ -1,0 +1,121 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cbir::serve {
+
+SessionManager::SessionManager(const SessionManagerOptions& options,
+                               EvictCallback on_evict)
+    : options_(options), on_evict_(std::move(on_evict)) {
+  CBIR_CHECK_GT(options_.max_sessions, 0u);
+  CBIR_CHECK_GE(options_.ttl_seconds, 0.0);
+}
+
+std::vector<std::shared_ptr<ServeSession>>
+SessionManager::CollectVictimsLocked(bool need_room) {
+  std::vector<std::shared_ptr<ServeSession>> victims;
+  // TTL pass: walk from the LRU tail, the oldest touches; stop at the first
+  // still-fresh session (touch times are monotone along the list).
+  if (options_.ttl_seconds > 0.0 && !lru_.empty()) {
+    const auto cutoff =
+        Clock::now() - std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options_.ttl_seconds));
+    while (!lru_.empty()) {
+      auto it = entries_.find(lru_.back());
+      CBIR_CHECK(it != entries_.end());
+      if (it->second.last_touch > cutoff) break;
+      victims.push_back(std::move(it->second.session));
+      lru_.pop_back();
+      entries_.erase(it);
+      ++evicted_ttl_;
+    }
+  }
+  // Capacity pass: make room for one more.
+  if (need_room) {
+    while (entries_.size() >= options_.max_sessions && !lru_.empty()) {
+      auto it = entries_.find(lru_.back());
+      CBIR_CHECK(it != entries_.end());
+      victims.push_back(std::move(it->second.session));
+      lru_.pop_back();
+      entries_.erase(it);
+      ++evicted_capacity_;
+    }
+  }
+  return victims;
+}
+
+void SessionManager::FinishVictims(
+    const std::vector<std::shared_ptr<ServeSession>>& victims) {
+  for (const std::shared_ptr<ServeSession>& victim : victims) {
+    std::lock_guard<std::mutex> lock(victim->mu);
+    victim->ended = true;
+    if (on_evict_) on_evict_(*victim);
+  }
+}
+
+void SessionManager::Register(std::shared_ptr<ServeSession> session) {
+  CBIR_CHECK(session != nullptr);
+  const uint64_t id = session->id;
+  std::vector<std::shared_ptr<ServeSession>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims = CollectVictimsLocked(/*need_room=*/true);
+    CBIR_CHECK(entries_.find(id) == entries_.end())
+        << "duplicate session id " << id;
+    lru_.push_front(id);
+    entries_[id] = Entry{std::move(session), lru_.begin(), Clock::now()};
+    ++started_;
+  }
+  FinishVictims(victims);
+}
+
+std::shared_ptr<ServeSession> SessionManager::Acquire(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.last_touch = Clock::now();
+  return it->second.session;
+}
+
+std::shared_ptr<ServeSession> SessionManager::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  std::shared_ptr<ServeSession> session = std::move(it->second.session);
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++ended_;
+  return session;
+}
+
+size_t SessionManager::EvictExpired() {
+  if (options_.ttl_seconds <= 0.0) return 0;
+  std::vector<std::shared_ptr<ServeSession>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims = CollectVictimsLocked(/*need_room=*/false);
+  }
+  FinishVictims(victims);
+  return victims.size();
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionManagerStats s;
+  s.started = started_;
+  s.ended = ended_;
+  s.evicted_capacity = evicted_capacity_;
+  s.evicted_ttl = evicted_ttl_;
+  s.active = entries_.size();
+  return s;
+}
+
+size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace cbir::serve

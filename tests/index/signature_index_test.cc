@@ -6,30 +6,18 @@
 
 #include "retrieval/evaluator.h"
 #include "retrieval/ranker.h"
+#include "retrieval/synthetic_features.h"
 #include "util/rng.h"
 
 namespace cbir::retrieval {
 namespace {
 
-// Clustered synthetic corpus shaped like the image features: `clusters`
-// well-separated Gaussian centers with tight within-cluster noise, z-scored
-// scale. Euclidean neighbors are overwhelmingly same-cluster rows, exactly
-// the structure category corpora give the index.
+// Clustered synthetic corpus (see retrieval::ClusteredFeatures): Euclidean
+// neighbors are overwhelmingly same-cluster rows, exactly the structure
+// category corpora give the index.
 la::Matrix ClusteredCorpus(size_t n, size_t dims, size_t clusters,
                            uint64_t seed) {
-  Rng rng(seed);
-  la::Matrix centers(clusters, dims);
-  for (size_t r = 0; r < clusters; ++r) {
-    for (size_t c = 0; c < dims; ++c) centers.At(r, c) = rng.Gaussian() * 1.5;
-  }
-  la::Matrix m(n, dims);
-  for (size_t r = 0; r < n; ++r) {
-    const size_t cluster = r % clusters;
-    for (size_t c = 0; c < dims; ++c) {
-      m.At(r, c) = centers.At(cluster, c) + rng.Gaussian() * 0.4;
-    }
-  }
-  return m;
+  return ClusteredFeatures(n, dims, clusters, seed);
 }
 
 TEST(SignatureIndexTest, DeterministicSignaturesAcrossRebuilds) {
@@ -170,6 +158,37 @@ TEST(SignatureIndexTest, StatsCountScansAndReranks) {
   EXPECT_LE(s.recall_proxy, 1.0);
   index.ResetStats();
   EXPECT_EQ(index.stats().signatures_scanned, 0u);
+}
+
+TEST(SignatureIndexTest, RestoreSignaturesMatchesFreshBuild) {
+  const la::Matrix corpus = ClusteredCorpus(600, 16, 12, 19);
+  SignatureIndexOptions options;
+  options.bits = 128;
+  SignatureIndex built(options);
+  built.Build(corpus);
+
+  // Restoring a saved signature block must reproduce the built index
+  // exactly: same packed words, same query answers, same candidate sets.
+  SignatureIndex restored(options);
+  restored.RestoreSignatures(corpus, built.signatures());
+  EXPECT_EQ(restored.signatures(), built.signatures());
+  EXPECT_EQ(restored.num_rows(), built.num_rows());
+  for (int q = 0; q < 10; ++q) {
+    const la::Vec query = corpus.Row(static_cast<size_t>(q * 37));
+    EXPECT_EQ(restored.Query(query, 25), built.Query(query, 25)) << q;
+    EXPECT_EQ(restored.Candidates(query, 25), built.Candidates(query, 25));
+    EXPECT_EQ(restored.Encode(query), built.Encode(query));
+  }
+}
+
+TEST(SignatureIndexDeathTest, RestoreRejectsWrongShape) {
+  const la::Matrix corpus = ClusteredCorpus(100, 8, 5, 20);
+  SignatureIndexOptions options;
+  options.bits = 64;
+  SignatureIndex index(options);
+  EXPECT_DEATH(
+      index.RestoreSignatures(corpus, std::vector<uint64_t>(3, 0)),
+      "RestoreSignatures");
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include "logdb/log_store.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -93,6 +97,78 @@ TEST(LogStoreTest, LoadRejectsTruncated) {
   std::ofstream(path) << "cbir_log v1 2\nsession 0 1\n3 1\n";
   EXPECT_FALSE(LogStore::LoadFromFile(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(LogStoreTest, ConcurrentAppendsAllLand) {
+  // The serving layer appends from many worker threads while readers build
+  // matrices and count judgments; none of it may tear or drop sessions.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  LogStore store;
+  std::vector<std::thread> pool;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&store, &go, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        LogSession session;
+        session.query_image_id = t;
+        session.entries = {LogEntry{i % 50, 1}, LogEntry{(i + 1) % 50, -1}};
+        store.Append(std::move(session));
+      }
+    });
+  }
+  // Concurrent readers exercise the locked read paths while writers run.
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&store, &stop_reader] {
+    while (!stop_reader.load()) {
+      (void)store.num_sessions();
+      (void)store.TotalJudgments();
+      (void)store.BuildMatrix(50);
+      (void)store.Snapshot();
+    }
+  });
+  go.store(true);
+  for (std::thread& t : pool) t.join();
+  stop_reader.store(true);
+  reader.join();
+
+  EXPECT_EQ(store.num_sessions(), kThreads * kPerThread);
+  EXPECT_EQ(store.TotalJudgments(), int64_t{kThreads * kPerThread * 2});
+  // Per-thread append order is preserved (each thread's sessions appear in
+  // its own program order even though threads interleave).
+  std::vector<int> next_i(kThreads, 0);
+  for (const LogSession& s : store.sessions()) {
+    ASSERT_GE(s.query_image_id, 0);
+    ASSERT_LT(s.query_image_id, kThreads);
+    const int t = s.query_image_id;
+    EXPECT_EQ(s.entries[0].image_id, next_i[static_cast<size_t>(t)] % 50);
+    ++next_i[static_cast<size_t>(t)];
+  }
+}
+
+TEST(LogStoreTest, SnapshotIsConsistentCopy) {
+  LogStore store = SampleStore();
+  const std::vector<LogSession> snapshot = store.Snapshot();
+  store.Append(LogSession{1, {LogEntry{4, 1}}});
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(store.num_sessions(), 3);
+}
+
+TEST(LogStoreTest, CopyAndMoveKeepSessions) {
+  const LogStore store = SampleStore();
+  LogStore copy(store);
+  EXPECT_EQ(copy.num_sessions(), 2);
+  LogStore moved(std::move(copy));
+  EXPECT_EQ(moved.num_sessions(), 2);
+  LogStore assigned;
+  assigned = moved;
+  EXPECT_EQ(assigned.num_sessions(), 2);
+  LogStore move_assigned;
+  move_assigned = std::move(assigned);
+  EXPECT_EQ(move_assigned.num_sessions(), 2);
+  EXPECT_EQ(move_assigned.sessions()[0].query_image_id, 5);
 }
 
 TEST(LogStoreTest, EmptyStoreRoundTrip) {

@@ -1,8 +1,14 @@
 #include "retrieval/image_database.h"
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "index/signature_index.h"
 
 namespace cbir::retrieval {
 namespace {
@@ -99,6 +105,113 @@ TEST(ImageDatabaseTest, SaveLoadRoundTrip) {
 TEST(ImageDatabaseTest, LoadMissingFileFails) {
   auto r = ImageDatabase::LoadFromFile(::testing::TempDir() + "/no-such-db");
   EXPECT_FALSE(r.ok());
+}
+
+TEST(ImageDatabaseTest, SaveLoadRoundTripsSignatureIndex) {
+  const std::string path = ::testing::TempDir() + "/db_index_roundtrip.txt";
+  ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  IndexOptions index_options;
+  index_options.mode = IndexMode::kSignature;
+  index_options.signature.bits = 96;
+  index_options.signature.candidate_factor = 3;
+  index_options.signature.seed = 4242;
+  db.BuildIndex(index_options);
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+
+  auto loaded = ImageDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_NE(loaded->index(), nullptr);
+  EXPECT_EQ(loaded->index()->name(), "signature");
+  const auto* original = dynamic_cast<const SignatureIndex*>(db.index());
+  const auto* restored =
+      dynamic_cast<const SignatureIndex*>(loaded->index());
+  ASSERT_NE(restored, nullptr);
+  // Exact option + signature-block round trip: no re-encoding happened,
+  // the packed words are bit-identical.
+  EXPECT_EQ(restored->bits(), 96);
+  EXPECT_EQ(restored->options().candidate_factor, 3);
+  EXPECT_EQ(restored->options().seed, 4242u);
+  EXPECT_EQ(restored->signatures(), original->signatures());
+  // And the restored index answers queries identically.
+  for (int q : {0, 7, 14}) {
+    EXPECT_EQ(loaded->TopK(loaded->feature(q), 5), db.TopK(db.feature(q), 5));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageDatabaseTest, SaveLoadRoundTripsExactIndex) {
+  const std::string path = ::testing::TempDir() + "/db_exact_roundtrip.txt";
+  ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  db.BuildIndex(IndexOptions{});  // exact
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+  auto loaded = ImageDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_NE(loaded->index(), nullptr);
+  EXPECT_EQ(loaded->index()->name(), "exact");
+  EXPECT_EQ(loaded->TopK(loaded->feature(3), 4), db.TopK(db.feature(3), 4));
+  std::remove(path.c_str());
+}
+
+TEST(ImageDatabaseTest, LoadsV1FilesWithoutIndexSection) {
+  // Files written before the index was serialized: header says v1 and the
+  // stream ends after the normalizer block.
+  const std::string path = ::testing::TempDir() + "/db_v1_compat.txt";
+  const ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+  // Rewrite the v2 file as v1 by dropping the index section.
+  {
+    std::ifstream ifs(path);
+    std::string content((std::istreambuf_iterator<char>(ifs)),
+                        std::istreambuf_iterator<char>());
+    const size_t index_pos = content.find("\nindex ");
+    ASSERT_NE(index_pos, std::string::npos);
+    content.resize(index_pos + 1);
+    const size_t v2 = content.find("v2");
+    ASSERT_NE(v2, std::string::npos);
+    content.replace(v2, 2, "v1");
+    std::ofstream(path, std::ios::trunc) << content;
+  }
+  auto loaded = ImageDatabase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->index(), nullptr);
+  EXPECT_EQ(loaded->categories(), db.categories());
+  std::remove(path.c_str());
+}
+
+TEST(ImageDatabaseTest, LoadRejectsTruncatedSignatureBlock) {
+  const std::string path = ::testing::TempDir() + "/db_truncated_sig.txt";
+  ImageDatabase db = ImageDatabase::Build(SmallDbOptions());
+  IndexOptions index_options;
+  index_options.mode = IndexMode::kSignature;
+  db.BuildIndex(index_options);
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+  {
+    std::ifstream ifs(path);
+    std::string content((std::istreambuf_iterator<char>(ifs)),
+                        std::istreambuf_iterator<char>());
+    content.resize(content.size() - 40);  // chop into the hex block
+    std::ofstream(path, std::ios::trunc) << content;
+  }
+  EXPECT_FALSE(ImageDatabase::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ImageDatabaseTest, FromFeaturesWrapsMatrix) {
+  la::Matrix features(6, 4);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      features.At(r, c) = static_cast<double>(r * 4 + c);
+    }
+  }
+  const ImageDatabase db = ImageDatabase::FromFeatures(
+      features, std::vector<int>{0, 0, 1, 1, 2, 2}, 3);
+  EXPECT_EQ(db.num_images(), 6);
+  EXPECT_EQ(db.num_categories(), 3);
+  EXPECT_EQ(db.category(3), 1);
+  EXPECT_EQ(db.features().data(), features.data());
+  EXPECT_FALSE(db.normalizer().fitted());
+  // Rankings work without any index attached.
+  EXPECT_EQ(db.TopK(db.feature(0), 3), (std::vector<int>{0, 1, 2}));
 }
 
 TEST(ImageDatabaseDeathTest, CategoryOutOfRange) {

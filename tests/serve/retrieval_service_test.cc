@@ -1,0 +1,374 @@
+#include "serve/retrieval_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/feedback_loop.h"
+#include "core/scheme_factory.h"
+#include "logdb/simulated_user.h"
+#include "retrieval/evaluator.h"
+
+namespace cbir::serve {
+namespace {
+
+retrieval::DatabaseOptions SmallCorpus() {
+  retrieval::DatabaseOptions options;
+  options.corpus.num_categories = 5;
+  options.corpus.images_per_category = 24;
+  options.corpus.width = 48;
+  options.corpus.height = 48;
+  options.corpus.seed = 77;
+  return options;
+}
+
+/// Shared fixture state: one rendered corpus + log matrix, reused by every
+/// test (building it is the expensive part).
+class RetrievalServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new retrieval::ImageDatabase(
+        retrieval::ImageDatabase::Build(SmallCorpus()));
+    logdb::LogCollectionOptions log_options;
+    log_options.num_sessions = 40;
+    log_options.session_size = 12;
+    log_options.seed = 5;
+    logdb::LogStore store =
+        logdb::CollectLogs(db_->features(), db_->categories(), log_options);
+    log_features_ =
+        new la::Matrix(store.BuildMatrix(db_->num_images()).ToDenseMatrix());
+  }
+  static void TearDownTestSuite() {
+    delete log_features_;
+    log_features_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static core::SchemeOptions SchemeOpts() {
+    return core::MakeDefaultSchemeOptions(*db_, log_features_);
+  }
+
+  static std::unique_ptr<RetrievalService> MakeService(
+      logdb::LogStore* store, ServiceOptions options) {
+    auto service = RetrievalService::Create(db_, log_features_, store,
+                                            SchemeOpts(), options);
+    EXPECT_TRUE(service.ok()) << service.status();
+    return std::move(service).value();
+  }
+
+  static retrieval::ImageDatabase* db_;
+  static la::Matrix* log_features_;
+};
+
+retrieval::ImageDatabase* RetrievalServiceTest::db_ = nullptr;
+la::Matrix* RetrievalServiceTest::log_features_ = nullptr;
+
+TEST_F(RetrievalServiceTest, StartQueryEndBasics) {
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  auto service = MakeService(nullptr, options);
+
+  auto sid = service->StartSession(3);
+  ASSERT_TRUE(sid.ok()) << sid.status();
+  auto top = service->Query(sid.value(), 10);
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_EQ(top->size(), 10u);
+  // Matches the database ranking with the query excluded.
+  std::vector<int> expected = db_->TopK(db_->feature(3), 11);
+  expected.erase(std::remove(expected.begin(), expected.end(), 3),
+                 expected.end());
+  expected.resize(10);
+  EXPECT_EQ(top.value(), expected);
+
+  EXPECT_TRUE(service->EndSession(sid.value()).ok());
+  // Every further request on the ended session fails NotFound.
+  EXPECT_EQ(service->Query(sid.value()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service->EndSession(sid.value()).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RetrievalServiceTest, RejectsBadInputs) {
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  auto service = MakeService(nullptr, options);
+  EXPECT_EQ(service->StartSession(-1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->StartSession(db_->num_images()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Query(99999).status().code(), StatusCode::kNotFound);
+
+  auto sid = service->StartSession(0);
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(service
+                ->Feedback(sid.value(),
+                           {logdb::LogEntry{1, 3}})  // judgment not +-1
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service
+                ->Feedback(sid.value(), {logdb::LogEntry{db_->num_images(), 1}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceOptions bad;
+  bad.scheme = "NoSuchScheme";
+  EXPECT_FALSE(
+      RetrievalService::Create(db_, log_features_, nullptr, SchemeOpts(), bad)
+          .ok());
+}
+
+// The acceptance-critical property: a single-threaded service session is
+// rank-identical to core::RunFeedbackSession — same first-round ranking,
+// same narrowed scan space, same warm-started re-rankings.
+TEST_F(RetrievalServiceTest, MatchesRunFeedbackSessionExactly) {
+  for (const char* scheme_name : {"RF-SVM", "LRF-CSVM"}) {
+    SCOPED_TRACE(scheme_name);
+    for (const bool signature_index : {false, true}) {
+      SCOPED_TRACE(signature_index ? "signature" : "no index");
+      retrieval::ImageDatabase db(*db_);  // copy: private index config
+      if (signature_index) {
+        retrieval::IndexOptions index_options;
+        index_options.mode = retrieval::IndexMode::kSignature;
+        db.BuildIndex(index_options);
+      }
+
+      core::FeedbackLoopOptions loop;
+      loop.rounds = 3;
+      loop.judgments_per_round = 8;
+      loop.scopes = {10};
+      loop.seed = 11;
+      const int query_id = 17;
+      const int depth =
+          10 + loop.rounds * loop.judgments_per_round + 1;  // loop's auto
+
+      auto scheme =
+          core::MakeScheme(scheme_name, core::MakeDefaultSchemeOptions(
+                                            db, log_features_));
+      ASSERT_TRUE(scheme.ok());
+      auto reference =
+          core::RunFeedbackSession(db, log_features_, *scheme.value(),
+                                   query_id, loop);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+
+      ServiceOptions options;
+      options.scheme = scheme_name;
+      options.candidate_depth = depth;
+      auto service = RetrievalService::Create(
+          &db, log_features_, nullptr,
+          core::MakeDefaultSchemeOptions(db, log_features_), options);
+      ASSERT_TRUE(service.ok());
+
+      // Drive the service with the same simulated user stream the loop
+      // used, and check the per-round precision trace matches exactly.
+      logdb::SimulatedUser user(db.categories(),
+                                logdb::UserModel{loop.judgment_noise});
+      Rng rng(loop.seed);
+      const int query_category = db.category(query_id);
+      auto sid = service.value()->StartSession(query_id);
+      ASSERT_TRUE(sid.ok());
+      auto ranking = service.value()->Query(sid.value(), depth);
+      ASSERT_TRUE(ranking.ok());
+      EXPECT_EQ(retrieval::PrecisionAtScopes(ranking.value(), db.categories(),
+                                             query_category, loop.scopes),
+                reference->precision[0]);
+
+      std::unordered_set<int> judged{query_id};
+      for (int round = 1; round <= loop.rounds; ++round) {
+        SCOPED_TRACE(round);
+        std::vector<logdb::LogEntry> entries;
+        for (int id : ranking.value()) {
+          if (static_cast<int>(entries.size()) >= loop.judgments_per_round) {
+            break;
+          }
+          if (!judged.insert(id).second) continue;
+          entries.push_back(
+              logdb::LogEntry{id, user.Judge(id, query_category, &rng)});
+        }
+        ranking = service.value()->Feedback(sid.value(), entries, depth);
+        ASSERT_TRUE(ranking.ok()) << ranking.status();
+        EXPECT_EQ(
+            retrieval::PrecisionAtScopes(ranking.value(), db.categories(),
+                                         query_category, loop.scopes),
+            reference->precision[static_cast<size_t>(round)]);
+      }
+    }
+  }
+}
+
+TEST_F(RetrievalServiceTest, FeedbackImprovesAndRecordsLog) {
+  logdb::LogStore store;
+  ServiceOptions options;
+  options.scheme = "RF-SVM";
+  options.candidate_depth = 60;
+  auto service = MakeService(&store, options);
+
+  const int query_id = 2;
+  const int query_category = db_->category(query_id);
+  auto sid = service->StartSession(query_id);
+  ASSERT_TRUE(sid.ok());
+  auto ranking = service->Query(sid.value(), 60);
+  ASSERT_TRUE(ranking.ok());
+
+  // Two noise-free feedback rounds.
+  logdb::SimulatedUser user(db_->categories(), logdb::UserModel{0.0});
+  Rng rng(3);
+  std::unordered_set<int> judged{query_id};
+  for (int round = 0; round < 2; ++round) {
+    std::vector<logdb::LogEntry> entries;
+    for (int id : ranking.value()) {
+      if (static_cast<int>(entries.size()) >= 15) break;
+      if (!judged.insert(id).second) continue;
+      entries.push_back(
+          logdb::LogEntry{id, user.Judge(id, query_category, &rng)});
+    }
+    ranking = service->Feedback(sid.value(), entries, 60);
+    ASSERT_TRUE(ranking.ok()) << ranking.status();
+  }
+
+  // Nothing lands in the log until the session ends.
+  EXPECT_EQ(store.num_sessions(), 0);
+  ASSERT_TRUE(service->EndSession(sid.value()).ok());
+  EXPECT_EQ(store.num_sessions(), 2);  // one LogSession per feedback round
+  EXPECT_EQ(store.sessions()[0].query_image_id, query_id);
+  EXPECT_EQ(store.sessions()[0].entries.size(), 15u);
+
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.feedbacks, 2u);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.sessions_started, 1u);
+  EXPECT_EQ(stats.sessions_ended, 1u);
+  EXPECT_EQ(stats.log_sessions_appended, 2u);
+  EXPECT_EQ(stats.latency.count, 3u);
+  EXPECT_GT(stats.latency.p95_us, 0.0);
+}
+
+TEST_F(RetrievalServiceTest, DuplicateAndSelfJudgmentsAreIgnored) {
+  ServiceOptions options;
+  options.scheme = "RF-SVM";
+  options.candidate_depth = 40;
+  logdb::LogStore store;
+  auto service = MakeService(&store, options);
+
+  auto sid = service->StartSession(4);
+  ASSERT_TRUE(sid.ok());
+  auto first = service->Query(sid.value(), 40);
+  ASSERT_TRUE(first.ok());
+  const int other = first.value()[0];
+  // The query itself and a repeated id are dropped; the duplicate round
+  // re-judging `other` contributes nothing.
+  auto r1 = service->Feedback(
+      sid.value(), {logdb::LogEntry{4, 1}, logdb::LogEntry{other, 1},
+                    logdb::LogEntry{other, -1}, logdb::LogEntry{first.value()[1], -1}});
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  auto r2 = service->Feedback(sid.value(), {logdb::LogEntry{other, -1}});
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  ASSERT_TRUE(service->EndSession(sid.value()).ok());
+  // Round 1 kept two judgments; round 2 kept none (all duplicates).
+  ASSERT_EQ(store.num_sessions(), 1);
+  EXPECT_EQ(store.sessions()[0].entries.size(), 2u);
+}
+
+TEST_F(RetrievalServiceTest, QueryCacheHitsAcrossSessions) {
+  // First-round caching only engages for bounded-depth serving over an
+  // index (full-corpus rankings are deliberately not cached).
+  retrieval::ImageDatabase db(*db_);
+  db.BuildIndex(retrieval::IndexOptions{});  // exact
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  options.candidate_depth = 30;
+  auto service_or = RetrievalService::Create(
+      &db, log_features_, nullptr,
+      core::MakeDefaultSchemeOptions(db, log_features_), options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = service_or.value();
+
+  auto first = service->StartSession(6);
+  ASSERT_TRUE(first.ok());
+  auto r1 = service->Query(first.value(), 30);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(service->stats().cache_misses, 1u);
+
+  auto second = service->StartSession(6);
+  ASSERT_TRUE(second.ok());
+  auto r2 = service->Query(second.value(), 30);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value(), r2.value());
+  EXPECT_EQ(service->stats().cache_hits, 1u);
+  EXPECT_EQ(service->stats().cache_misses, 1u);
+
+  // Invalidate: the same query misses once, then hits again.
+  service->InvalidateCache();
+  auto third = service->StartSession(6);
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(service->Query(third.value(), 30).ok());
+  EXPECT_EQ(service->stats().cache_misses, 2u);
+  EXPECT_EQ(service->stats().cache_invalidations, 1u);
+}
+
+TEST_F(RetrievalServiceTest, CapacityEvictionFlushesToLog) {
+  logdb::LogStore store;
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  options.candidate_depth = 30;
+  options.sessions.max_sessions = 2;
+  auto service = MakeService(&store, options);
+
+  auto s1 = service->StartSession(1);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(service->Query(s1.value()).ok());
+  ASSERT_TRUE(
+      service->Feedback(s1.value(), {logdb::LogEntry{2, 1}}).ok());
+  auto s2 = service->StartSession(2);
+  ASSERT_TRUE(s2.ok());
+  // Session 3 exceeds capacity: s1 (LRU) is evicted and its round flushed.
+  auto s3 = service->StartSession(3);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(service->stats().sessions_evicted_capacity, 1u);
+  EXPECT_EQ(service->stats().active_sessions, 2u);
+  EXPECT_EQ(store.num_sessions(), 1);
+  EXPECT_EQ(service->Query(s1.value()).status().code(), StatusCode::kNotFound);
+  // The survivors still work.
+  EXPECT_TRUE(service->Query(s2.value()).ok());
+  EXPECT_TRUE(service->Query(s3.value()).ok());
+}
+
+TEST_F(RetrievalServiceTest, TtlEvictionExpiresIdleSessions) {
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  options.sessions.ttl_seconds = 0.02;
+  auto service = MakeService(nullptr, options);
+
+  auto sid = service->StartSession(1);
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(service->Query(sid.value()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(service->EvictExpiredSessions(), 1u);
+  EXPECT_EQ(service->Query(sid.value()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service->stats().sessions_evicted_ttl, 1u);
+}
+
+TEST_F(RetrievalServiceTest, DefaultKAndClamping) {
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  options.default_k = 7;
+  auto service = MakeService(nullptr, options);
+  auto sid = service->StartSession(0);
+  ASSERT_TRUE(sid.ok());
+  auto by_default = service->Query(sid.value());
+  ASSERT_TRUE(by_default.ok());
+  EXPECT_EQ(by_default->size(), 7u);
+  auto huge = service->Query(sid.value(), db_->num_images() * 2);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge->size(), static_cast<size_t>(db_->num_images() - 1));
+}
+
+}  // namespace
+}  // namespace cbir::serve
