@@ -1,0 +1,169 @@
+// Wire-protocol micro-benchmarks: raw codec encode+decode cost, and full
+// loopback TCP round trips against an in-process net::TcpServer from 1..8
+// client threads (one connection per thread, exactly like load_driver
+// --remote). The service side uses the cheap Euclidean scheme so the
+// numbers isolate transport + codec overhead, not SVM training.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/dispatcher.h"
+#include "core/feedback_scheme.h"
+#include "net/tcp_client.h"
+#include "net/tcp_server.h"
+#include "retrieval/synthetic_features.h"
+#include "serve/retrieval_service.h"
+#include "smoke.h"
+
+namespace {
+
+using namespace cbir;
+
+constexpr int kDepth = 41;
+
+struct NetEnv {
+  retrieval::ImageDatabase db;
+  std::unique_ptr<serve::RetrievalService> service;
+  std::unique_ptr<api::Dispatcher> dispatcher;
+  std::unique_ptr<net::TcpServer> server;
+
+  explicit NetEnv(retrieval::ImageDatabase built) : db(std::move(built)) {}
+};
+
+NetEnv& Env() {
+  static NetEnv* env = [] {
+    auto* e = new NetEnv(retrieval::ClusteredDatabase(
+        static_cast<int>(cbir_bench::SmokeCapped(20000)), 1));
+    retrieval::IndexOptions index_options;
+    index_options.mode = retrieval::IndexMode::kSignature;
+    e->db.BuildIndex(index_options);
+
+    serve::ServiceOptions service_options;
+    service_options.scheme = "Euclidean";
+    service_options.candidate_depth = kDepth;
+    service_options.sessions.max_sessions = 1 << 14;
+    auto service = serve::RetrievalService::Create(
+        &e->db, nullptr, nullptr,
+        core::MakeDefaultSchemeOptions(e->db, nullptr), service_options);
+    e->service = std::move(service.value());
+    e->dispatcher = std::make_unique<api::Dispatcher>(e->service.get());
+    e->server =
+        std::make_unique<net::TcpServer>(e->dispatcher.get(),
+                                         net::TcpServerOptions{});
+    auto started = e->server->Start();
+    if (!started.ok()) {
+      std::abort();  // bench cannot run without a loopback port
+    }
+    return e;
+  }();
+  return *env;
+}
+
+// Pure codec cost: one 36-dim feature-vector StartSessionRequest encoded
+// into a frame and decoded back (the biggest request the protocol ships).
+void BM_CodecStartSessionFeature(benchmark::State& state) {
+  api::StartSessionRequest request;
+  request.query = api::QuerySpec::ByFeature(la::Vec(36, 0.25));
+  const api::Request wrapped(request);
+  for (auto _ : state) {
+    const std::vector<uint8_t> frame = api::EncodeRequest(wrapped);
+    auto decoded = api::DecodeRequest(frame.data(), frame.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecStartSessionFeature);
+
+// Codec cost of the dominant response shape: a depth-41 ranking.
+void BM_CodecQueryResponse(benchmark::State& state) {
+  api::QueryResponse response;
+  for (int i = 0; i < kDepth; ++i) response.ranking.push_back(i * 3);
+  const api::Response wrapped(response);
+  for (auto _ : state) {
+    const std::vector<uint8_t> frame = api::EncodeResponse(wrapped);
+    auto decoded = api::DecodeResponse(frame.data(), frame.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecQueryResponse);
+
+// Smallest possible round trip (StatsRequest): the floor the transport puts
+// under every remote call — syscalls + framing, no retrieval work.
+void BM_LoopbackStatsRoundTrip(benchmark::State& state) {
+  NetEnv& env = Env();
+  auto client = net::TcpClient::Connect("127.0.0.1", env.server->port());
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto stats = client->Stats();
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoopbackStatsRoundTrip)->ThreadRange(1, 8)->UseRealTime();
+
+// Full remote first-round query session: Start + Query(41) + End, three
+// round trips over one connection — the remote counterpart of
+// BM_ServeFirstRoundQuery in bench_serve.cc (the delta is the wire).
+void BM_LoopbackQuerySession(benchmark::State& state) {
+  NetEnv& env = Env();
+  auto client = net::TcpClient::Connect("127.0.0.1", env.server->port());
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const int pool = std::min(64, env.db.num_images());
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    const int query_id = static_cast<int>(++i % static_cast<uint64_t>(pool));
+    auto sid = client->StartSession(api::QuerySpec::ById(query_id));
+    auto ranking = client->Query(sid.value(), kDepth);
+    benchmark::DoNotOptimize(ranking);
+    benchmark::DoNotOptimize(client->EndSession(sid.value()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoopbackQuerySession)->ThreadRange(1, 8)->UseRealTime();
+
+// The same three requests pipelined onto the wire before reading any
+// response: one effective round trip instead of three — what a batching
+// client buys on the unchanged server.
+void BM_LoopbackQuerySessionPipelined(benchmark::State& state) {
+  NetEnv& env = Env();
+  auto client = net::TcpClient::Connect("127.0.0.1", env.server->port());
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const int pool = std::min(64, env.db.num_images());
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    const int query_id = static_cast<int>(++i % static_cast<uint64_t>(pool));
+    // StartSession must be answered first (the session id feeds the next
+    // frames), so pipeline the Query + EndSession pair behind it.
+    auto sid = client->StartSession(api::QuerySpec::ById(query_id));
+    api::QueryRequest query;
+    query.session_id = sid.value();
+    query.k = kDepth;
+    api::EndSessionRequest end;
+    end.session_id = sid.value();
+    (void)client->Send(api::Request(query));
+    (void)client->Send(api::Request(end));
+    auto ranking = client->Receive();
+    auto ended = client->Receive();
+    benchmark::DoNotOptimize(ranking);
+    benchmark::DoNotOptimize(ended);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoopbackQuerySessionPipelined)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,193 @@
+// CBIR retrieval server: one serve::RetrievalService behind the api wire
+// protocol on a TCP port — the paper's deployment story as an actual network
+// service. Any number of remote clients open feedback sessions (by corpus
+// image id or by raw query feature vector), judge results, and every
+// completed session grows the feedback log the coupled SVM mines.
+//
+// The corpus/service flags mirror examples/load_driver.cpp, so a driver
+// started with the same --synthetic-rows/--seed/--scheme/... replays
+// sessions whose rankings are byte-identical to an in-process run:
+//
+//   ./example_cbir_server --port=7345 --synthetic-rows=20000 &
+//   ./example_load_driver --remote=127.0.0.1:7345 --sessions=200
+//
+// SIGINT/SIGTERM shut the server down cleanly (all connection threads
+// joined) and print the final service stats.
+#include <csignal>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "api/dispatcher.h"
+#include "core/feedback_scheme.h"
+#include "logdb/simulated_user.h"
+#include "net/tcp_server.h"
+#include "retrieval/synthetic_features.h"
+#include "serve/retrieval_service.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+constexpr const char* kHelp =
+    R"(cbir_server — TCP retrieval service over the api wire protocol
+
+ transport
+  --port=N              listen port (default 7345; 0 = OS-assigned, printed)
+  --host=S              bind address (default 127.0.0.1; 0.0.0.0 = public)
+
+ corpus (must match the driver's for byte-identical rankings)
+  --synthetic-rows=N    clustered 36-dim feature corpus (default 20000)
+  --categories=N --images-per-category=N
+                        render a real synthetic-Corel corpus instead (slow)
+  --seed=N              master seed (default 17)
+
+ service (see load_driver)
+  --scheme=S            Euclidean | RF-SVM | LRF-2SVMs | LRF-CSVM
+                        (default RF-SVM)
+  --k=N                 default results per response (default 20)
+  --rounds=N --judgments=N
+                        expected session shape, used for the --depth default
+                        (default 2 x 10)
+  --depth=N             session ranking depth (0 = auto: k + rounds*judgments + 1)
+  --noise=F             pre-collected log judgment noise (default 0.1)
+  --max-sessions=N --ttl=F --cache-capacity=N --log-sessions=N
+
+ index (see quickstart): --index=exact|signature (default signature),
+  --signature_bits, --candidate_factor, --index-seed
+)";
+
+using namespace cbir;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  const Flags& flags = flags_or.value();
+  if (flags.GetBool("help", false)) {
+    std::cout << kHelp;
+    return 0;
+  }
+  std::vector<std::string> known = retrieval::IndexFlagNames();
+  for (const char* name :
+       {"help", "port", "host", "synthetic-rows", "categories",
+        "images-per-category", "seed", "scheme", "k", "rounds", "judgments",
+        "depth", "noise", "max-sessions", "ttl", "cache-capacity",
+        "log-sessions"}) {
+    known.push_back(name);
+  }
+  if (Status s = flags.RequireKnown(known); !s.ok()) {
+    std::cerr << s << "\n" << kHelp;
+    return 1;
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  const int k = flags.GetInt("k", 20);
+  const int rounds = flags.GetInt("rounds", 2);
+  const int judgments = flags.GetInt("judgments", 10);
+  const double noise = flags.GetDouble("noise", 0.1);
+
+  auto index_options = retrieval::IndexOptionsFromFlags(flags);
+  if (!index_options.ok()) {
+    std::cerr << index_options.status() << "\n" << kHelp;
+    return 1;
+  }
+  if (!flags.Has("index")) {
+    index_options->mode = retrieval::IndexMode::kSignature;
+  }
+
+  // ---- serving data, mirroring load_driver's construction exactly --------
+  retrieval::ImageDatabase db = [&] {
+    if (flags.Has("categories") || flags.Has("images-per-category")) {
+      retrieval::DatabaseOptions db_options;
+      db_options.corpus.num_categories = flags.GetInt("categories", 8);
+      db_options.corpus.images_per_category =
+          flags.GetInt("images-per-category", 40);
+      db_options.corpus.width = 64;
+      db_options.corpus.height = 64;
+      db_options.corpus.seed = 21;
+      std::cout << "rendering corpus ("
+                << db_options.corpus.num_categories << " x "
+                << db_options.corpus.images_per_category << " images)...\n";
+      return retrieval::ImageDatabase::Build(db_options);
+    }
+    const int rows = flags.GetInt("synthetic-rows", 20000);
+    std::cout << "building synthetic clustered corpus (" << rows
+              << " rows)...\n";
+    return retrieval::ClusteredDatabase(rows, seed);
+  }();
+  db.BuildIndex(index_options.value());
+
+  logdb::LogCollectionOptions log_options;
+  log_options.num_sessions = flags.GetInt("log-sessions", 150);
+  log_options.session_size = 20;
+  log_options.user.noise_rate = noise;
+  log_options.seed = seed + 1;
+  logdb::LogStore store =
+      logdb::CollectLogs(db.features(), db.categories(), log_options);
+  const la::Matrix log_features =
+      store.BuildMatrix(db.num_images()).ToDenseMatrix();
+
+  serve::ServiceOptions service_options;
+  service_options.scheme = flags.GetString("scheme", "RF-SVM");
+  service_options.default_k = k;
+  service_options.candidate_depth =
+      flags.GetInt("depth", 0) > 0 ? flags.GetInt("depth", 0)
+                                   : k + rounds * judgments + 1;
+  service_options.sessions.max_sessions =
+      static_cast<size_t>(flags.GetInt("max-sessions", 4096));
+  service_options.sessions.ttl_seconds = flags.GetDouble("ttl", 0.0);
+  service_options.cache.capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+
+  auto service_or = serve::RetrievalService::Create(
+      &db, &log_features, &store,
+      core::MakeDefaultSchemeOptions(db, &log_features), service_options);
+  if (!service_or.ok()) {
+    std::cerr << service_or.status() << "\n" << kHelp;
+    return 1;
+  }
+  api::Dispatcher dispatcher(service_or.value().get());
+
+  net::TcpServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = flags.GetInt("port", 7345);
+  net::TcpServer server(&dispatcher, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::cout << "serving " << db.num_images()
+            << " images (index=" << db.index()->name()
+            << ", scheme=" << service_options.scheme
+            << ", depth=" << service_options.candidate_depth << ")\n"
+            << "listening on " << server_options.host << ":" << server.port()
+            << "\n"
+            << std::flush;
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "shutting down...\n";
+  server.Stop();
+  const net::TcpServerStats net_stats = server.stats();
+  std::cout << serve::FormatServiceStats(service_or.value()->stats()) << "\n"
+            << "connections accepted " << net_stats.connections_accepted
+            << ", requests served " << net_stats.requests_served
+            << ", decode errors " << net_stats.decode_errors << "\n"
+            << "feedback log " << store.num_sessions() << " sessions ("
+            << store.TotalJudgments() << " judgments)\n";
+  return 0;
+}

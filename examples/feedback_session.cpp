@@ -15,6 +15,7 @@
 #include "logdb/simulated_user.h"
 #include "retrieval/evaluator.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace {
@@ -113,7 +114,7 @@ int main(int argc, char** argv) {
     ctx.query_id = query_id;
     // 4 rounds x 20 judgments plus the P@20 reads.
     ctx.candidate_depth = 128;
-    ctx.Prepare();
+    CBIR_CHECK_OK(ctx.Prepare());
 
     std::set<int> judged{query_id};
     // Round 0: the user judges the top-20 Euclidean results.

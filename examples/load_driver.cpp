@@ -14,14 +14,24 @@
 //
 //   ./example_load_driver --threads=8 --sessions=200
 //   ./example_load_driver --threads=1 --sessions=200   # scaling baseline
+//
+// With --remote=host:port the same load is driven over TCP against a
+// running example_cbir_server (one net::TcpClient connection per worker
+// thread). The driver still builds the corpus locally — it needs the ground
+// truth categories to simulate user judgments — so start the server with
+// the same corpus/seed flags; the sessions it replays are then
+// byte-identical to the in-process run (test-gated in tests/net).
 #include <atomic>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "api/messages.h"
 #include "core/feedback_scheme.h"
 #include "logdb/simulated_user.h"
+#include "net/tcp_client.h"
 #include "retrieval/synthetic_features.h"
 #include "serve/retrieval_service.h"
 #include "util/flags.h"
@@ -51,6 +61,9 @@ constexpr const char* kHelp =
                         render a real synthetic-Corel corpus instead (slow)
 
  service
+  --remote=HOST:PORT    drive a running example_cbir_server over TCP instead
+                        of an in-process service (one connection per worker;
+                        start the server with the same corpus/seed flags)
   --scheme=S            Euclidean | RF-SVM | LRF-2SVMs | LRF-CSVM
                         (default RF-SVM)
   --k=N                 results per response (default 20)
@@ -65,6 +78,62 @@ constexpr const char* kHelp =
 )";
 
 using namespace cbir;
+
+/// The session operations a worker replays — one implementation calls the
+/// in-process service, the other speaks the wire protocol. Same sequence of
+/// calls either way (the api::Dispatcher guarantees the server side maps
+/// them onto the identical service methods).
+class SessionApi {
+ public:
+  virtual ~SessionApi() = default;
+  virtual Result<uint64_t> Start(int query_id) = 0;
+  virtual Result<std::vector<int>> Query(uint64_t sid, int k) = 0;
+  virtual Result<std::vector<int>> Feedback(
+      uint64_t sid, const std::vector<logdb::LogEntry>& round, int k) = 0;
+  virtual Status End(uint64_t sid) = 0;
+};
+
+class LocalSessionApi : public SessionApi {
+ public:
+  explicit LocalSessionApi(serve::RetrievalService* service)
+      : service_(service) {}
+  Result<uint64_t> Start(int query_id) override {
+    return service_->StartSession(query_id);
+  }
+  Result<std::vector<int>> Query(uint64_t sid, int k) override {
+    return service_->Query(sid, k);
+  }
+  Result<std::vector<int>> Feedback(uint64_t sid,
+                                    const std::vector<logdb::LogEntry>& round,
+                                    int k) override {
+    return service_->Feedback(sid, round, k);
+  }
+  Status End(uint64_t sid) override { return service_->EndSession(sid); }
+
+ private:
+  serve::RetrievalService* service_;
+};
+
+class RemoteSessionApi : public SessionApi {
+ public:
+  explicit RemoteSessionApi(net::TcpClient client)
+      : client_(std::move(client)) {}
+  Result<uint64_t> Start(int query_id) override {
+    return client_.StartSession(api::QuerySpec::ById(query_id));
+  }
+  Result<std::vector<int>> Query(uint64_t sid, int k) override {
+    return client_.Query(sid, k);
+  }
+  Result<std::vector<int>> Feedback(uint64_t sid,
+                                    const std::vector<logdb::LogEntry>& round,
+                                    int k) override {
+    return client_.Feedback(sid, round, k);
+  }
+  Status End(uint64_t sid) override { return client_.EndSession(sid); }
+
+ private:
+  net::TcpClient client_;
+};
 
 }  // namespace
 
@@ -83,8 +152,8 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"help", "threads", "sessions", "rounds", "judgments", "noise",
         "repeat-queries", "seed", "synthetic-rows", "categories",
-        "images-per-category", "scheme", "k", "depth", "max-sessions", "ttl",
-        "cache-capacity", "log-sessions"}) {
+        "images-per-category", "remote", "scheme", "k", "depth",
+        "max-sessions", "ttl", "cache-capacity", "log-sessions"}) {
     known.push_back(name);
   }
   if (Status s = flags.RequireKnown(known); !s.ok()) {
@@ -100,6 +169,7 @@ int main(int argc, char** argv) {
   const int repeat_queries = flags.GetInt("repeat-queries", 64);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
   const int k = flags.GetInt("k", 20);
+  const std::string remote = flags.GetString("remote", "");
   if (threads < 1 || total_sessions < 1 || rounds < 0 || judgments < 1 ||
       k < 1) {
     std::cerr << "invalid load shape\n" << kHelp;
@@ -117,6 +187,9 @@ int main(int argc, char** argv) {
   }
 
   // ---- shared serving data: one database, one index, one feedback log ----
+  // In remote mode the server owns the serving copy; the driver still
+  // builds the corpus because the simulated users judge against its ground
+  // truth categories (no index/log build needed locally, though).
   Stopwatch setup_watch;
   retrieval::ImageDatabase db = [&] {
     if (flags.Has("categories") || flags.Has("images-per-category")) {
@@ -137,18 +210,6 @@ int main(int argc, char** argv) {
               << " rows)...\n";
     return retrieval::ClusteredDatabase(rows, seed);
   }();
-  db.BuildIndex(index_options.value());
-
-  logdb::LogCollectionOptions log_options;
-  log_options.num_sessions = flags.GetInt("log-sessions", 150);
-  log_options.session_size = 20;
-  log_options.user.noise_rate = noise;
-  log_options.seed = seed + 1;
-  logdb::LogStore store =
-      logdb::CollectLogs(db.features(), db.categories(), log_options);
-  const la::Matrix log_features =
-      store.BuildMatrix(db.num_images()).ToDenseMatrix();
-  const int64_t initial_log_sessions = store.num_sessions();
 
   serve::ServiceOptions service_options;
   service_options.scheme = flags.GetString("scheme", "RF-SVM");
@@ -162,23 +223,57 @@ int main(int argc, char** argv) {
   service_options.cache.capacity =
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
 
-  const core::SchemeOptions scheme_options =
-      core::MakeDefaultSchemeOptions(db, &log_features);
-  auto service_or = serve::RetrievalService::Create(
-      &db, &log_features, &store, scheme_options, service_options);
-  if (!service_or.ok()) {
-    std::cerr << service_or.status() << "\n" << kHelp;
-    return 1;
+  la::Matrix log_features;
+  logdb::LogStore store;
+  int64_t initial_log_sessions = 0;
+  std::unique_ptr<serve::RetrievalService> service;
+  if (remote.empty()) {
+    db.BuildIndex(index_options.value());
+    logdb::LogCollectionOptions log_options;
+    log_options.num_sessions = flags.GetInt("log-sessions", 150);
+    log_options.session_size = 20;
+    log_options.user.noise_rate = noise;
+    log_options.seed = seed + 1;
+    store = logdb::CollectLogs(db.features(), db.categories(), log_options);
+    log_features = store.BuildMatrix(db.num_images()).ToDenseMatrix();
+    initial_log_sessions = store.num_sessions();
+
+    auto service_or = serve::RetrievalService::Create(
+        &db, &log_features, &store,
+        core::MakeDefaultSchemeOptions(db, &log_features), service_options);
+    if (!service_or.ok()) {
+      std::cerr << service_or.status() << "\n" << kHelp;
+      return 1;
+    }
+    service = std::move(service_or).value();
+    std::cout << "service ready in "
+              << FormatDouble(setup_watch.ElapsedSeconds(), 2) << "s: "
+              << db.num_images() << " images, index=" << db.index()->name()
+              << ", scheme=" << service_options.scheme
+              << ", depth=" << service_options.candidate_depth << "\n";
+  } else {
+    // Probe the endpoint once up front so a bad address fails fast instead
+    // of as N confusing worker failures.
+    auto probe = net::TcpClient::ConnectEndpoint(remote);
+    if (!probe.ok()) {
+      std::cerr << probe.status() << "\n" << kHelp;
+      return 1;
+    }
+    auto remote_stats = probe->Stats();
+    if (!remote_stats.ok()) {
+      std::cerr << "remote stats probe failed: " << remote_stats.status()
+                << "\n";
+      return 1;
+    }
+    initial_log_sessions =
+        static_cast<int64_t>(remote_stats->log_sessions_appended);
+    std::cout << "remote service at " << remote << " ready ("
+              << remote_stats->sessions_started
+              << " sessions served so far)\n";
   }
-  serve::RetrievalService& service = *service_or.value();
-  std::cout << "service ready in "
-            << FormatDouble(setup_watch.ElapsedSeconds(), 2) << "s: "
-            << db.num_images() << " images, index=" << db.index()->name()
-            << ", scheme=" << service_options.scheme
-            << ", depth=" << service_options.candidate_depth << "\n"
-            << "replaying " << total_sessions << " sessions ("
-            << rounds << " rounds x " << judgments << " judgments) on "
-            << threads << " thread(s)...\n";
+  std::cout << "replaying " << total_sessions << " sessions (" << rounds
+            << " rounds x " << judgments << " judgments) on " << threads
+            << " thread(s)...\n";
 
   // ---- the load: every thread replays sessions against the one service ----
   const logdb::SimulatedUser user(db.categories(), logdb::UserModel{noise});
@@ -190,13 +285,27 @@ int main(int argc, char** argv) {
   std::atomic<int> evicted_midflight{0};
   Stopwatch load_watch;
   auto worker = [&] {
+    // One backend per worker: the in-process service is shared; a remote
+    // worker owns its TCP connection (the server is thread-per-connection).
+    std::unique_ptr<SessionApi> backend;
+    if (remote.empty()) {
+      backend = std::make_unique<LocalSessionApi>(service.get());
+    } else {
+      auto client = net::TcpClient::ConnectEndpoint(remote);
+      if (!client.ok()) {
+        std::cerr << client.status() << "\n";
+        failures.fetch_add(1);
+        return;
+      }
+      backend = std::make_unique<RemoteSessionApi>(std::move(client).value());
+    }
     for (int s = next_session.fetch_add(1); s < total_sessions;
          s = next_session.fetch_add(1)) {
       // Deterministic per-session stream regardless of which thread runs it.
       Rng rng(seed ^ (0x5851F42D4C957F2Dull * static_cast<uint64_t>(s + 1)));
       const int query_id =
           static_cast<int>(rng.UniformInt(static_cast<uint64_t>(query_pool)));
-      auto session_or = service.StartSession(query_id);
+      auto session_or = backend->Start(query_id);
       if (!session_or.ok()) {
         failures.fetch_add(1);
         continue;
@@ -209,7 +318,7 @@ int main(int argc, char** argv) {
       const auto evicted = [](const Status& s) {
         return s.code() == StatusCode::kNotFound;
       };
-      auto ranking_or = service.Query(sid, fetch_k);
+      auto ranking_or = backend->Query(sid, fetch_k);
       bool ok = ranking_or.ok();
       bool gone = !ok && evicted(ranking_or.status());
       std::unordered_set<int> judged{query_id};
@@ -222,13 +331,13 @@ int main(int argc, char** argv) {
           round.push_back(
               logdb::LogEntry{id, user.Judge(id, query_category, &rng)});
         }
-        ranking_or = service.Feedback(sid, round, fetch_k);
+        ranking_or = backend->Feedback(sid, round, fetch_k);
         ok = ranking_or.ok();
         gone = !ok && evicted(ranking_or.status());
       }
       // End the session even on a failed round so its completed rounds
       // still reach the log store and nothing idles until eviction.
-      const Status end = service.EndSession(sid);
+      const Status end = backend->End(sid);
       if (gone || (!end.ok() && evicted(end))) {
         evicted_midflight.fetch_add(1);
       } else if (!ok || !end.ok()) {
@@ -243,19 +352,42 @@ int main(int argc, char** argv) {
   const double elapsed = load_watch.ElapsedSeconds();
 
   // ---- results ----
-  const serve::ServiceStats stats = service.stats();
-  std::cout << "\n"
-            << serve::FormatServiceStats(stats) << "\n\n"
-            << "wall time        " << FormatDouble(elapsed, 2) << " s\n"
-            << "sessions/s       "
-            << FormatDouble(total_sessions / elapsed, 1) << "\n"
-            << "requests/s (QPS) "
-            << FormatDouble(static_cast<double>(stats.requests) / elapsed, 1)
-            << "\n"
-            << "failures         " << failures.load() << "\n"
-            << "evicted mid-run  " << evicted_midflight.load() << "\n"
-            << "feedback log     " << initial_log_sessions << " -> "
-            << store.num_sessions() << " sessions ("
-            << store.TotalJudgments() << " judgments)\n";
+  std::cout << "\n";
+  if (remote.empty()) {
+    const serve::ServiceStats stats = service->stats();
+    std::cout << serve::FormatServiceStats(stats) << "\n\n"
+              << "wall time        " << FormatDouble(elapsed, 2) << " s\n"
+              << "sessions/s       "
+              << FormatDouble(total_sessions / elapsed, 1) << "\n"
+              << "requests/s (QPS) "
+              << FormatDouble(static_cast<double>(stats.requests) / elapsed, 1)
+              << "\n"
+              << "failures         " << failures.load() << "\n"
+              << "evicted mid-run  " << evicted_midflight.load() << "\n"
+              << "feedback log     " << initial_log_sessions << " -> "
+              << store.num_sessions() << " sessions ("
+              << store.TotalJudgments() << " judgments)\n";
+  } else {
+    auto final_client = net::TcpClient::ConnectEndpoint(remote);
+    std::cout << "wall time        " << FormatDouble(elapsed, 2) << " s\n"
+              << "sessions/s       "
+              << FormatDouble(total_sessions / elapsed, 1) << "\n"
+              << "failures         " << failures.load() << "\n"
+              << "evicted mid-run  " << evicted_midflight.load() << "\n";
+    if (final_client.ok()) {
+      auto stats = final_client->Stats();
+      if (stats.ok()) {
+        std::cout << "server: " << stats->requests << " requests, "
+                  << stats->sessions_started << " sessions started, "
+                  << stats->sessions_ended << " ended, p95 "
+                  << FormatDouble(stats->latency_p95_us, 1) << " us, "
+                  << "cache hit rate "
+                  << FormatDouble(stats->cache_hit_rate, 3) << "\n"
+                  << "feedback log     " << initial_log_sessions << " -> "
+                  << stats->log_sessions_appended
+                  << " sessions appended by the server\n";
+      }
+    }
+  }
   return failures.load() == 0 ? 0 : 1;
 }

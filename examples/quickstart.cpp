@@ -12,6 +12,7 @@
 #include "core/scheme_factory.h"
 #include "logdb/simulated_user.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace {
@@ -87,7 +88,7 @@ int main(int argc, char** argv) {
   ctx.log_features = &log_features;
   ctx.query_id = 3;
   ctx.candidate_depth = 64;  // this demo reads the top-10 plus the judgments
-  ctx.Prepare();
+  CBIR_CHECK_OK(ctx.Prepare());
   const auto initial = db.TopK(ctx.query_feature, 11);
   const int query_category = db.category(ctx.query_id);
   for (int id : initial) {

@@ -1,0 +1,453 @@
+#include "api/codec.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace cbir::api {
+
+namespace {
+
+// ------------------------------------------------------------------ writer --
+
+/// Appends little-endian primitives to a byte buffer. Encoding writes bytes
+/// explicitly (no reinterpret_cast of multi-byte values), so the format is
+/// identical on any host endianness.
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) {
+    for (int i = 0; i < 2; ++i) out_->push_back(uint8_t(v >> (8 * i)));
+  }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(uint8_t(v >> (8 * i)));
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(uint8_t(v >> (8 * i)));
+  }
+  void PutI8(int8_t v) { PutU8(static_cast<uint8_t>(v)); }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutF64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// ------------------------------------------------------------------ reader --
+
+/// Bounds-checked little-endian reader over one frame body. Every Read*
+/// returns false instead of touching out-of-range memory; decoders translate
+/// that into a typed error. Length-prefixed containers verify the prefix
+/// against the bytes actually remaining *before* allocating, so a hostile
+/// length cannot trigger a huge allocation.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) *v |= uint16_t(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= uint32_t(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= uint64_t(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool ReadI8(int8_t* v) {
+    uint8_t raw;
+    if (!ReadU8(&raw)) return false;
+    *v = static_cast<int8_t>(raw);
+    return true;
+  }
+  bool ReadI32(int32_t* v) {
+    uint32_t raw;
+    if (!ReadU32(&raw)) return false;
+    *v = static_cast<int32_t>(raw);
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (len > remaining()) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool ReadVecF64(std::vector<double>* v) {
+    uint32_t n;
+    if (!ReadU32(&n)) return false;
+    if (static_cast<size_t>(n) * 8 > remaining()) return false;
+    v->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!ReadF64(&(*v)[i])) return false;
+    }
+    return true;
+  }
+  bool ReadVecI32(std::vector<int32_t>* v) {
+    uint32_t n;
+    if (!ReadU32(&n)) return false;
+    if (static_cast<size_t>(n) * 4 > remaining()) return false;
+    v->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!ReadI32(&(*v)[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("wire codec: malformed frame (") +
+                                 what + ")");
+}
+
+// ------------------------------------------------------- field (en|de)code --
+
+void PutQuerySpec(Writer& w, const QuerySpec& spec) {
+  w.PutU8(static_cast<uint8_t>(spec.kind));
+  if (spec.kind == QuerySpec::Kind::kCorpusId) {
+    w.PutI32(spec.corpus_id);
+  } else {
+    w.PutU32(static_cast<uint32_t>(spec.feature.size()));
+    for (double v : spec.feature) w.PutF64(v);
+  }
+}
+
+bool ReadQuerySpec(Reader& r, QuerySpec* spec) {
+  uint8_t kind;
+  if (!r.ReadU8(&kind)) return false;
+  switch (kind) {
+    case static_cast<uint8_t>(QuerySpec::Kind::kCorpusId):
+      spec->kind = QuerySpec::Kind::kCorpusId;
+      return r.ReadI32(&spec->corpus_id);
+    case static_cast<uint8_t>(QuerySpec::Kind::kFeature):
+      spec->kind = QuerySpec::Kind::kFeature;
+      return r.ReadVecF64(&spec->feature);
+    default:
+      return false;  // unknown QuerySpec kind
+  }
+}
+
+void PutWireStatus(Writer& w, const WireStatus& status) {
+  w.PutU32(status.code);
+  w.PutString(status.message);
+}
+
+bool ReadWireStatus(Reader& r, WireStatus* status) {
+  return r.ReadU32(&status->code) && r.ReadString(&status->message);
+}
+
+// ----------------------------------------------------------- message bodies --
+
+void PutBody(Writer& w, const StartSessionRequest& m) {
+  PutQuerySpec(w, m.query);
+}
+void PutBody(Writer& w, const QueryRequest& m) {
+  w.PutU64(m.session_id);
+  w.PutI32(m.k);
+}
+void PutBody(Writer& w, const FeedbackRequest& m) {
+  w.PutU64(m.session_id);
+  w.PutI32(m.k);
+  w.PutU32(static_cast<uint32_t>(m.round.size()));
+  for (const logdb::LogEntry& e : m.round) {
+    w.PutI32(e.image_id);
+    w.PutI8(e.judgment);
+  }
+}
+void PutBody(Writer& w, const EndSessionRequest& m) { w.PutU64(m.session_id); }
+void PutBody(Writer&, const StatsRequest&) {}
+
+void PutBody(Writer& w, const StartSessionResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU64(m.session_id);
+}
+void PutBody(Writer& w, const QueryResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU32(static_cast<uint32_t>(m.ranking.size()));
+  for (int32_t id : m.ranking) w.PutI32(id);
+}
+void PutBody(Writer& w, const FeedbackResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU32(static_cast<uint32_t>(m.ranking.size()));
+  for (int32_t id : m.ranking) w.PutI32(id);
+}
+void PutBody(Writer& w, const EndSessionResponse& m) {
+  PutWireStatus(w, m.status);
+}
+void PutBody(Writer& w, const StatsResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU64(m.requests);
+  w.PutU64(m.queries);
+  w.PutU64(m.feedbacks);
+  w.PutU64(m.sessions_started);
+  w.PutU64(m.sessions_ended);
+  w.PutU64(m.active_sessions);
+  w.PutU64(m.log_sessions_appended);
+  w.PutF64(m.cache_hit_rate);
+  w.PutF64(m.qps);
+  w.PutF64(m.latency_p50_us);
+  w.PutF64(m.latency_p95_us);
+  w.PutF64(m.latency_p99_us);
+}
+void PutBody(Writer& w, const ErrorResponse& m) { PutWireStatus(w, m.status); }
+
+bool ReadBody(Reader& r, StartSessionRequest* m) {
+  return ReadQuerySpec(r, &m->query);
+}
+bool ReadBody(Reader& r, QueryRequest* m) {
+  return r.ReadU64(&m->session_id) && r.ReadI32(&m->k);
+}
+bool ReadBody(Reader& r, FeedbackRequest* m) {
+  if (!r.ReadU64(&m->session_id) || !r.ReadI32(&m->k)) return false;
+  uint32_t n;
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 5 > r.remaining()) return false;
+  m->round.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r.ReadI32(&m->round[i].image_id) ||
+        !r.ReadI8(&m->round[i].judgment)) {
+      return false;
+    }
+  }
+  return true;
+}
+bool ReadBody(Reader& r, EndSessionRequest* m) {
+  return r.ReadU64(&m->session_id);
+}
+bool ReadBody(Reader&, StatsRequest*) { return true; }
+
+bool ReadBody(Reader& r, StartSessionResponse* m) {
+  return ReadWireStatus(r, &m->status) && r.ReadU64(&m->session_id);
+}
+bool ReadBody(Reader& r, QueryResponse* m) {
+  return ReadWireStatus(r, &m->status) && r.ReadVecI32(&m->ranking);
+}
+bool ReadBody(Reader& r, FeedbackResponse* m) {
+  return ReadWireStatus(r, &m->status) && r.ReadVecI32(&m->ranking);
+}
+bool ReadBody(Reader& r, EndSessionResponse* m) {
+  return ReadWireStatus(r, &m->status);
+}
+bool ReadBody(Reader& r, StatsResponse* m) {
+  return ReadWireStatus(r, &m->status) && r.ReadU64(&m->requests) &&
+         r.ReadU64(&m->queries) && r.ReadU64(&m->feedbacks) &&
+         r.ReadU64(&m->sessions_started) && r.ReadU64(&m->sessions_ended) &&
+         r.ReadU64(&m->active_sessions) &&
+         r.ReadU64(&m->log_sessions_appended) &&
+         r.ReadF64(&m->cache_hit_rate) && r.ReadF64(&m->qps) &&
+         r.ReadF64(&m->latency_p50_us) && r.ReadF64(&m->latency_p95_us) &&
+         r.ReadF64(&m->latency_p99_us);
+}
+bool ReadBody(Reader& r, ErrorResponse* m) {
+  return ReadWireStatus(r, &m->status);
+}
+
+// ----------------------------------------------------------------- framing --
+
+template <typename Message>
+std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message) {
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.PutU32(kWireMagic);
+  w.PutU16(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(0);  // reserved
+  w.PutU32(0);  // body_size placeholder
+  PutBody(w, message);
+  const uint32_t body_size = static_cast<uint32_t>(out.size()) -
+                             static_cast<uint32_t>(kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) out[8 + i] = uint8_t(body_size >> (8 * i));
+  return out;
+}
+
+bool KnownMessageType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MessageType::kStartSessionRequest) &&
+         type <= static_cast<uint8_t>(MessageType::kErrorResponse);
+}
+
+/// Decodes one body into the variant alternative `header.type` names.
+/// `Variant` is Request or Response; `Alternatives...` its member types.
+template <typename Variant, typename Alternative>
+Result<Variant> DecodeAs(const uint8_t* body, size_t size) {
+  Reader r(body, size);
+  Alternative message;
+  if (!ReadBody(r, &message)) return Malformed("short body");
+  if (r.remaining() != 0) return Malformed("trailing bytes");
+  return Variant(std::move(message));
+}
+
+}  // namespace
+
+MessageType TypeOf(const Request& request) {
+  switch (request.index()) {
+    case 0: return MessageType::kStartSessionRequest;
+    case 1: return MessageType::kQueryRequest;
+    case 2: return MessageType::kFeedbackRequest;
+    case 3: return MessageType::kEndSessionRequest;
+    default: return MessageType::kStatsRequest;
+  }
+}
+
+MessageType TypeOf(const Response& response) {
+  switch (response.index()) {
+    case 0: return MessageType::kStartSessionResponse;
+    case 1: return MessageType::kQueryResponse;
+    case 2: return MessageType::kFeedbackResponse;
+    case 3: return MessageType::kEndSessionResponse;
+    case 4: return MessageType::kStatsResponse;
+    default: return MessageType::kErrorResponse;
+  }
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  return std::visit(
+      [&](const auto& message) { return EncodeFrame(TypeOf(request), message); },
+      request);
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  return std::visit(
+      [&](const auto& message) {
+        return EncodeFrame(TypeOf(response), message);
+      },
+      response);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) return Malformed("truncated header");
+  Reader r(data, kFrameHeaderBytes);
+  uint32_t magic;
+  uint16_t version;
+  uint8_t type, reserved;
+  uint32_t body_size;
+  // The header reads cannot fail (12 bytes were checked), but keep the
+  // pattern uniform.
+  if (!r.ReadU32(&magic) || !r.ReadU16(&version) || !r.ReadU8(&type) ||
+      !r.ReadU8(&reserved) || !r.ReadU32(&body_size)) {
+    return Malformed("truncated header");
+  }
+  if (magic != kWireMagic) return Malformed("bad magic");
+  if (version != kProtocolVersion) {
+    return Status::NotImplemented(
+        "wire codec: unsupported protocol version " + std::to_string(version) +
+        " (this peer speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  if (body_size > kMaxFrameBody) {
+    return Status::OutOfRange("wire codec: frame body of " +
+                              std::to_string(body_size) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxFrameBody) + "-byte limit");
+  }
+  if (!KnownMessageType(type)) {
+    return Malformed("unknown message type");
+  }
+  FrameHeader header;
+  header.version = version;
+  header.type = static_cast<MessageType>(type);
+  header.body_size = body_size;
+  return header;
+}
+
+Result<Request> DecodeRequestBody(const FrameHeader& header,
+                                  const uint8_t* body, size_t size) {
+  switch (header.type) {
+    case MessageType::kStartSessionRequest:
+      return DecodeAs<Request, StartSessionRequest>(body, size);
+    case MessageType::kQueryRequest:
+      return DecodeAs<Request, QueryRequest>(body, size);
+    case MessageType::kFeedbackRequest:
+      return DecodeAs<Request, FeedbackRequest>(body, size);
+    case MessageType::kEndSessionRequest:
+      return DecodeAs<Request, EndSessionRequest>(body, size);
+    case MessageType::kStatsRequest:
+      return DecodeAs<Request, StatsRequest>(body, size);
+    default:
+      return Malformed("response type where a request was expected");
+  }
+}
+
+Result<Response> DecodeResponseBody(const FrameHeader& header,
+                                    const uint8_t* body, size_t size) {
+  switch (header.type) {
+    case MessageType::kStartSessionResponse:
+      return DecodeAs<Response, StartSessionResponse>(body, size);
+    case MessageType::kQueryResponse:
+      return DecodeAs<Response, QueryResponse>(body, size);
+    case MessageType::kFeedbackResponse:
+      return DecodeAs<Response, FeedbackResponse>(body, size);
+    case MessageType::kEndSessionResponse:
+      return DecodeAs<Response, EndSessionResponse>(body, size);
+    case MessageType::kStatsResponse:
+      return DecodeAs<Response, StatsResponse>(body, size);
+    case MessageType::kErrorResponse:
+      return DecodeAs<Response, ErrorResponse>(body, size);
+    default:
+      return Malformed("request type where a response was expected");
+  }
+}
+
+namespace {
+
+template <typename Variant>
+Result<Variant> DecodeFrame(
+    const uint8_t* data, size_t size,
+    Result<Variant> (*decode_body)(const FrameHeader&, const uint8_t*,
+                                   size_t)) {
+  CBIR_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(data, size));
+  if (size != kFrameHeaderBytes + header.body_size) {
+    return Malformed(size < kFrameHeaderBytes + header.body_size
+                         ? "truncated body"
+                         : "trailing bytes after frame");
+  }
+  return decode_body(header, data + kFrameHeaderBytes, header.body_size);
+}
+
+}  // namespace
+
+Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
+  return DecodeFrame<Request>(data, size, &DecodeRequestBody);
+}
+
+Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
+  return DecodeFrame<Response>(data, size, &DecodeResponseBody);
+}
+
+}  // namespace cbir::api

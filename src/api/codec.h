@@ -1,0 +1,93 @@
+#ifndef CBIR_API_CODEC_H_
+#define CBIR_API_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/messages.h"
+#include "util/result.h"
+
+namespace cbir::api {
+
+/// \brief Versioned length-prefixed binary wire format for the API messages.
+///
+/// Every message travels as one frame (all integers little-endian, encoded
+/// and decoded byte-by-byte so the codec is endian-portable):
+///
+///   uint32 magic       0x43424952 ("CBIR" read as a big-endian word)
+///   uint16 version     kProtocolVersion
+///   uint8  type        MessageType
+///   uint8  reserved    0
+///   uint32 body_size   bytes following this header
+///   byte[body_size]    message body (layouts in docs/API.md)
+///
+/// Decoding never trusts the peer: truncated frames, bad magic, unsupported
+/// versions, oversized bodies, unknown message types, short bodies, and
+/// trailing bytes all return typed errors (never UB or a crash — the codec
+/// tests run the malformed-frame corpus under ASan).
+inline constexpr uint32_t kWireMagic = 0x43424952;  // "CBIR"
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Upper bound on body_size (64 MiB): a frame any bigger is rejected before
+/// any allocation, so a hostile length prefix cannot OOM the server.
+inline constexpr uint32_t kMaxFrameBody = 64u << 20;
+
+/// \brief Wire discriminator of each message; values are part of the
+/// protocol and never change once shipped.
+enum class MessageType : uint8_t {
+  kStartSessionRequest = 1,
+  kStartSessionResponse = 2,
+  kQueryRequest = 3,
+  kQueryResponse = 4,
+  kFeedbackRequest = 5,
+  kFeedbackResponse = 6,
+  kEndSessionRequest = 7,
+  kEndSessionResponse = 8,
+  kStatsRequest = 9,
+  kStatsResponse = 10,
+  kErrorResponse = 11,
+};
+
+/// \brief Parsed frame header (magic already verified).
+struct FrameHeader {
+  uint16_t version = 0;
+  MessageType type = MessageType::kErrorResponse;
+  uint32_t body_size = 0;
+};
+
+/// Serializes a message into one complete frame (header + body). Encoding
+/// itself is unbounded — it cannot fail — so transports must check the
+/// result against kFrameHeaderBytes + kMaxFrameBody before putting it on
+/// the wire (net::TcpServer substitutes a typed ErrorResponse,
+/// net::TcpClient::Send fails OutOfRange), or the receiving decoder would
+/// reject the frame and desynchronize the stream.
+std::vector<uint8_t> EncodeRequest(const Request& request);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+
+/// Parses and validates the 12-byte frame header: checks size, magic,
+/// version, body limit, and that `type` names a known message. `size` may
+/// exceed kFrameHeaderBytes; only the first 12 bytes are read.
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
+
+/// Decodes one complete frame (header + body, exactly `size` bytes).
+/// A response frame handed to DecodeRequest (or vice versa) is an
+/// InvalidArgument, as are truncated/trailing bytes.
+Result<Request> DecodeRequest(const uint8_t* data, size_t size);
+Result<Response> DecodeResponse(const uint8_t* data, size_t size);
+
+/// Body-only decoders for transports that read the header and body
+/// separately (the TCP server/client do): `header` must come from
+/// DecodeFrameHeader and `size` must equal header.body_size.
+Result<Request> DecodeRequestBody(const FrameHeader& header,
+                                  const uint8_t* body, size_t size);
+Result<Response> DecodeResponseBody(const FrameHeader& header,
+                                    const uint8_t* body, size_t size);
+
+/// Wire type of a message (exposed for tests and the server loop).
+MessageType TypeOf(const Request& request);
+MessageType TypeOf(const Response& response);
+
+}  // namespace cbir::api
+
+#endif  // CBIR_API_CODEC_H_

@@ -1,0 +1,86 @@
+#include "api/dispatcher.h"
+
+#include <utility>
+#include <variant>
+
+namespace cbir::api {
+
+namespace {
+
+/// Copies a ranking into the int32 wire representation (image ids are int in
+/// memory; the wire fixes them at 32 bits).
+std::vector<int32_t> ToWireRanking(const std::vector<int>& ranking) {
+  return std::vector<int32_t>(ranking.begin(), ranking.end());
+}
+
+}  // namespace
+
+Response Dispatcher::Dispatch(const Request& request) {
+  return std::visit(
+      [this](const auto& typed) -> Response { return Handle(typed); },
+      request);
+}
+
+StartSessionResponse Dispatcher::Handle(const StartSessionRequest& request) {
+  StartSessionResponse response;
+  Result<uint64_t> session =
+      request.query.kind == QuerySpec::Kind::kCorpusId
+          ? service_->StartSession(static_cast<int>(request.query.corpus_id))
+          : service_->StartSession(request.query.feature);
+  if (session.ok()) {
+    response.session_id = session.value();
+  } else {
+    response.status = ToWireStatus(session.status());
+  }
+  return response;
+}
+
+QueryResponse Dispatcher::Handle(const QueryRequest& request) {
+  QueryResponse response;
+  Result<std::vector<int>> ranking =
+      service_->Query(request.session_id, static_cast<int>(request.k));
+  if (ranking.ok()) {
+    response.ranking = ToWireRanking(ranking.value());
+  } else {
+    response.status = ToWireStatus(ranking.status());
+  }
+  return response;
+}
+
+FeedbackResponse Dispatcher::Handle(const FeedbackRequest& request) {
+  FeedbackResponse response;
+  Result<std::vector<int>> ranking = service_->Feedback(
+      request.session_id, request.round, static_cast<int>(request.k));
+  if (ranking.ok()) {
+    response.ranking = ToWireRanking(ranking.value());
+  } else {
+    response.status = ToWireStatus(ranking.status());
+  }
+  return response;
+}
+
+EndSessionResponse Dispatcher::Handle(const EndSessionRequest& request) {
+  EndSessionResponse response;
+  response.status = ToWireStatus(service_->EndSession(request.session_id));
+  return response;
+}
+
+StatsResponse Dispatcher::Handle(const StatsRequest&) {
+  const serve::ServiceStats stats = service_->stats();
+  StatsResponse response;
+  response.requests = stats.requests;
+  response.queries = stats.queries;
+  response.feedbacks = stats.feedbacks;
+  response.sessions_started = stats.sessions_started;
+  response.sessions_ended = stats.sessions_ended;
+  response.active_sessions = stats.active_sessions;
+  response.log_sessions_appended = stats.log_sessions_appended;
+  response.cache_hit_rate = stats.cache_hit_rate;
+  response.qps = stats.qps;
+  response.latency_p50_us = stats.latency.p50_us;
+  response.latency_p95_us = stats.latency.p95_us;
+  response.latency_p99_us = stats.latency.p99_us;
+  return response;
+}
+
+}  // namespace cbir::api

@@ -1,0 +1,42 @@
+#ifndef CBIR_API_DISPATCHER_H_
+#define CBIR_API_DISPATCHER_H_
+
+#include "api/messages.h"
+#include "serve/retrieval_service.h"
+
+namespace cbir::api {
+
+/// \brief Maps each typed API request onto one serve::RetrievalService.
+///
+/// The dispatcher is the single point where the message surface meets the
+/// service, so in-process callers (tests, embedded use) and remote callers
+/// (net::TcpServer) share one code path and cannot drift: a remote session
+/// is the same sequence of service calls an in-process session is.
+///
+/// Every handler is total — service errors come back as the response's
+/// WireStatus, never as an exception or a crash — and thread-safe, because
+/// RetrievalService is (the TCP server dispatches from one thread per
+/// connection).
+class Dispatcher {
+ public:
+  /// `service` must outlive the dispatcher.
+  explicit Dispatcher(serve::RetrievalService* service) : service_(service) {}
+
+  /// Routes a request to its typed handler.
+  Response Dispatch(const Request& request);
+
+  StartSessionResponse Handle(const StartSessionRequest& request);
+  QueryResponse Handle(const QueryRequest& request);
+  FeedbackResponse Handle(const FeedbackRequest& request);
+  EndSessionResponse Handle(const EndSessionRequest& request);
+  StatsResponse Handle(const StatsRequest& request);
+
+  serve::RetrievalService& service() { return *service_; }
+
+ private:
+  serve::RetrievalService* service_;
+};
+
+}  // namespace cbir::api
+
+#endif  // CBIR_API_DISPATCHER_H_

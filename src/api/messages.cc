@@ -1,0 +1,18 @@
+#include "api/messages.h"
+
+namespace cbir::api {
+
+WireStatus ToWireStatus(const Status& status) {
+  WireStatus wire;
+  wire.code = StatusCodeToWireCode(status.code());
+  wire.message = status.message();
+  return wire;
+}
+
+Status FromWireStatus(const WireStatus& wire) {
+  const StatusCode code = StatusCodeFromWireCode(wire.code);
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, wire.message);
+}
+
+}  // namespace cbir::api

@@ -1,0 +1,214 @@
+#ifndef CBIR_API_MESSAGES_H_
+#define CBIR_API_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "logdb/log_session.h"
+#include "util/status.h"
+
+namespace cbir::api {
+
+/// \brief Transport-agnostic typed messages of the retrieval service API.
+///
+/// These plain structs are the one service surface shared by in-process
+/// callers (api::Dispatcher -> serve::RetrievalService) and remote callers
+/// (net::TcpClient -> wire codec -> net::TcpServer -> the same Dispatcher),
+/// so the two paths can never drift apart. The wire layout lives in
+/// api/codec.h; nothing in this header knows about bytes.
+
+/// \brief Status as it crosses the wire: a stable uint32 code (see
+/// StatusCodeToWireCode) plus the human-readable message. Every response
+/// carries one; payload fields are meaningful only when ok().
+struct WireStatus {
+  uint32_t code = 0;  ///< StatusCodeToWireCode(StatusCode::kOk)
+  std::string message;
+
+  bool ok() const { return code == StatusCodeToWireCode(StatusCode::kOk); }
+
+  bool operator==(const WireStatus& other) const {
+    return code == other.code && message == other.message;
+  }
+};
+
+/// Converts a util::Status into its wire form and back. Unknown wire codes
+/// come back as kInternal (never kOk), so a corrupt frame cannot fake
+/// success.
+WireStatus ToWireStatus(const Status& status);
+Status FromWireStatus(const WireStatus& wire);
+
+/// \brief What a session queries for: either a corpus image id (the paper's
+/// evaluation protocol) or a raw feature vector for an image the corpus has
+/// never seen (the standard CBIR query-by-example deployment setting).
+struct QuerySpec {
+  enum class Kind : uint8_t {
+    kCorpusId = 0,
+    kFeature = 1,
+  };
+
+  Kind kind = Kind::kCorpusId;
+  int32_t corpus_id = -1;  ///< valid when kind == kCorpusId
+  la::Vec feature;         ///< valid when kind == kFeature
+
+  static QuerySpec ById(int32_t id) {
+    QuerySpec spec;
+    spec.kind = Kind::kCorpusId;
+    spec.corpus_id = id;
+    return spec;
+  }
+  static QuerySpec ByFeature(la::Vec feature) {
+    QuerySpec spec;
+    spec.kind = Kind::kFeature;
+    spec.feature = std::move(feature);
+    return spec;
+  }
+
+  bool operator==(const QuerySpec& other) const {
+    return kind == other.kind && corpus_id == other.corpus_id &&
+           feature == other.feature;
+  }
+};
+
+// ---------------------------------------------------------------- requests --
+
+struct StartSessionRequest {
+  QuerySpec query;
+
+  bool operator==(const StartSessionRequest& o) const {
+    return query == o.query;
+  }
+};
+
+struct QueryRequest {
+  uint64_t session_id = 0;
+  int32_t k = 0;  ///< 0 = the service's default_k
+
+  bool operator==(const QueryRequest& o) const {
+    return session_id == o.session_id && k == o.k;
+  }
+};
+
+struct FeedbackRequest {
+  uint64_t session_id = 0;
+  int32_t k = 0;
+  std::vector<logdb::LogEntry> round;  ///< judgments, +-1 each
+
+  bool operator==(const FeedbackRequest& o) const {
+    if (session_id != o.session_id || k != o.k ||
+        round.size() != o.round.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < round.size(); ++i) {
+      if (round[i].image_id != o.round[i].image_id ||
+          round[i].judgment != o.round[i].judgment) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct EndSessionRequest {
+  uint64_t session_id = 0;
+
+  bool operator==(const EndSessionRequest& o) const {
+    return session_id == o.session_id;
+  }
+};
+
+struct StatsRequest {
+  bool operator==(const StatsRequest&) const { return true; }
+};
+
+// --------------------------------------------------------------- responses --
+
+struct StartSessionResponse {
+  WireStatus status;
+  uint64_t session_id = 0;
+
+  bool operator==(const StartSessionResponse& o) const {
+    return status == o.status && session_id == o.session_id;
+  }
+};
+
+struct QueryResponse {
+  WireStatus status;
+  std::vector<int32_t> ranking;
+
+  bool operator==(const QueryResponse& o) const {
+    return status == o.status && ranking == o.ranking;
+  }
+};
+
+struct FeedbackResponse {
+  WireStatus status;
+  std::vector<int32_t> ranking;
+
+  bool operator==(const FeedbackResponse& o) const {
+    return status == o.status && ranking == o.ranking;
+  }
+};
+
+struct EndSessionResponse {
+  WireStatus status;
+
+  bool operator==(const EndSessionResponse& o) const {
+    return status == o.status;
+  }
+};
+
+/// Snapshot of the serve::ServiceStats counters a remote operator needs.
+struct StatsResponse {
+  WireStatus status;
+  uint64_t requests = 0;
+  uint64_t queries = 0;
+  uint64_t feedbacks = 0;
+  uint64_t sessions_started = 0;
+  uint64_t sessions_ended = 0;
+  uint64_t active_sessions = 0;
+  uint64_t log_sessions_appended = 0;
+  double cache_hit_rate = 1.0;
+  double qps = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+
+  bool operator==(const StatsResponse& o) const {
+    return status == o.status && requests == o.requests &&
+           queries == o.queries && feedbacks == o.feedbacks &&
+           sessions_started == o.sessions_started &&
+           sessions_ended == o.sessions_ended &&
+           active_sessions == o.active_sessions &&
+           log_sessions_appended == o.log_sessions_appended &&
+           cache_hit_rate == o.cache_hit_rate && qps == o.qps &&
+           latency_p50_us == o.latency_p50_us &&
+           latency_p95_us == o.latency_p95_us &&
+           latency_p99_us == o.latency_p99_us;
+  }
+};
+
+/// Sent when a request frame could not be decoded at all (bad magic,
+/// unsupported version, malformed body): there is no request type to answer,
+/// so the server replies with this and closes the connection (the stream may
+/// be desynchronized).
+struct ErrorResponse {
+  WireStatus status;
+
+  bool operator==(const ErrorResponse& o) const { return status == o.status; }
+};
+
+/// The closed set of API messages. The codec and the dispatcher both
+/// std::visit these, so adding a message type is a compile-enforced
+/// five-line checklist (struct, variant entry, MessageType, encode, decode).
+using Request = std::variant<StartSessionRequest, QueryRequest,
+                             FeedbackRequest, EndSessionRequest, StatsRequest>;
+using Response =
+    std::variant<StartSessionResponse, QueryResponse, FeedbackResponse,
+                 EndSessionResponse, StatsResponse, ErrorResponse>;
+
+}  // namespace cbir::api
+
+#endif  // CBIR_API_MESSAGES_H_

@@ -56,7 +56,9 @@ ExperimentResult RunExperiment(
         ctx.log_features = log_features;
         ctx.query_id = static_cast<int>(query_pool[q]);
         ctx.candidate_depth = candidate_depth;
-        ctx.Prepare();
+        // Queries come from the validated pool, so a failure here is a
+        // programming error, not user input.
+        CBIR_CHECK_OK(ctx.Prepare());
 
         // Initial retrieval: top-N_l Euclidean results (query excluded),
         // auto-judged against ground-truth categories (noise-free, per the

@@ -40,7 +40,7 @@ Result<FeedbackLoopResult> RunFeedbackSession(
       options.candidate_depth > 0
           ? options.candidate_depth
           : max_scope + options.rounds * options.judgments_per_round + 1;
-  ctx.Prepare();
+  CBIR_RETURN_NOT_OK(ctx.Prepare());
 
   const int query_category = db.category(query_id);
   logdb::SimulatedUser user(db.categories(),

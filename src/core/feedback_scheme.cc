@@ -5,12 +5,36 @@
 
 namespace cbir::core {
 
-void FeedbackContext::Prepare() {
-  CBIR_CHECK(db != nullptr);
-  CBIR_CHECK_GE(query_id, 0);
-  CBIR_CHECK_LT(query_id, db->num_images());
-  CBIR_CHECK_EQ(labeled_ids.size(), labels.size());
-  query_feature = db->feature(query_id);
+Status FeedbackContext::Prepare() {
+  if (db == nullptr) {
+    return Status::InvalidArgument("feedback context: null database");
+  }
+  if (labeled_ids.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "feedback context: labeled_ids/labels size mismatch");
+  }
+  if (query_id >= 0) {
+    if (query_id >= db->num_images()) {
+      return Status::InvalidArgument("feedback context: query id " +
+                                     std::to_string(query_id) +
+                                     " out of range [0, " +
+                                     std::to_string(db->num_images()) + ")");
+    }
+    query_feature = db->feature(query_id);
+  } else {
+    // External query-by-example: the caller supplied the raw feature vector.
+    if (query_feature.empty()) {
+      return Status::InvalidArgument(
+          "feedback context: external query (query_id < 0) requires a "
+          "query_feature");
+    }
+    if (query_feature.size() != db->features().cols()) {
+      return Status::InvalidArgument(
+          "feedback context: query feature has " +
+          std::to_string(query_feature.size()) + " dims, corpus has " +
+          std::to_string(db->features().cols()));
+    }
+  }
 
   scan_ids.clear();
   scan_features_ = la::Matrix();
@@ -23,7 +47,7 @@ void FeedbackContext::Prepare() {
   if (scan_ids.empty()) {
     query_distances =
         retrieval::AllSquaredDistances(db->features(), query_feature);
-    return;
+    return Status::OK();
   }
 
   // Narrowed scan space: gather the candidate rows once so every scheme's
@@ -43,6 +67,7 @@ void FeedbackContext::Prepare() {
           pos, log_features->Row(static_cast<size_t>(scan_ids[pos])));
     }
   }
+  return Status::OK();
 }
 
 size_t FeedbackContext::scan_size() const {

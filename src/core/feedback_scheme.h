@@ -41,6 +41,12 @@ struct SessionState {
 struct FeedbackContext {
   const retrieval::ImageDatabase* db = nullptr;
   const la::Matrix* log_features = nullptr;
+  /// Corpus id of the query image, or -1 for an external
+  /// query-by-example: the caller then fills `query_feature` with the raw
+  /// feature vector before Prepare() (the standard CBIR setting where the
+  /// query is not part of the corpus). With an external query no corpus row
+  /// is excluded from the ranking — an identical-feature corpus image ranks
+  /// first instead of being dropped.
   int query_id = -1;
   std::vector<int> labeled_ids;
   std::vector<double> labels;  ///< +1 / -1, parallel to labeled_ids
@@ -56,7 +62,9 @@ struct FeedbackContext {
   /// the scans corpus-wide.
   int candidate_depth = 0;
 
-  // Derived values, filled by Prepare().
+  // Derived values, filled by Prepare(). `query_feature` is an *input* when
+  // query_id < 0 (external query); for in-corpus queries Prepare overwrites
+  // it with the corpus row.
   la::Vec query_feature;
   /// Ids of the rows the schemes score, ascending (empty = every image).
   std::vector<int> scan_ids;
@@ -64,7 +72,11 @@ struct FeedbackContext {
   std::vector<double> query_distances;
 
   /// Computes the derived members; must be called once before Rank().
-  void Prepare();
+  /// Malformed input (null db, out-of-range query id, empty or
+  /// wrong-dimension external query feature, labeled/labels arity mismatch)
+  /// returns InvalidArgument instead of aborting — a bad request must never
+  /// kill a serving process.
+  Status Prepare();
 
   // --- Scan space: the rows corpus-wide scoring loops iterate over. -------
   /// Number of scanned rows (the whole corpus unless narrowed).

@@ -1,0 +1,190 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cbir::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Resolves host:port into a sockaddr_in (IPv4; the serving deployments this
+/// repo targets are loopback and private-net).
+Result<sockaddr_in> ResolveIpv4(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("socket: port " + std::to_string(port) +
+                                   " out of range");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) {
+    return addr;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &info);
+  if (rc != 0 || info == nullptr) {
+    return Status::IoError("socket: cannot resolve host '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(info->ai_addr)->sin_addr;
+  freeaddrinfo(info);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, int port) {
+  CBIR_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveIpv4(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket: socket()");
+  // Frames are written as one buffer; disabling Nagle keeps small
+  // request/response round trips at sub-millisecond latency.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // POSIX: an interrupted connect continues asynchronously, and calling
+    // connect() again yields EALREADY — so wait for writability and read
+    // the outcome from SO_ERROR instead of retrying the call.
+    pollfd pfd{};
+    pfd.fd = sock.fd();
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, -1);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Errno("socket: poll after interrupted connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("socket: getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      return Errno("socket: connect to " + host + ":" + std::to_string(port));
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
+    return Errno("socket: connect to " + host + ":" + std::to_string(port));
+  }
+  return sock;
+}
+
+Result<Socket> Socket::ListenTcp(const std::string& host, int port,
+                                 int backlog) {
+  CBIR_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveIpv4(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket: socket()");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("socket: bind to " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return Errno("socket: listen");
+  return sock;
+}
+
+Result<Socket> Socket::Accept() const {
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::FailedPrecondition(
+        std::string("socket: accept interrupted (") + std::strerror(errno) +
+        ")");
+  }
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status Socket::WriteAll(const void* data, size_t size) const {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd_, bytes + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket: send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadFully(void* data, size_t size, bool* clean_eof) const {
+  if (clean_eof != nullptr) *clean_eof = false;
+  uint8_t* bytes = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket: recv");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::IoError(
+          "socket: peer closed mid-frame (" + std::to_string(got) + "/" +
+          std::to_string(size) + " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::Shutdown() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return -1;
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+}  // namespace cbir::net

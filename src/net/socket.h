@@ -1,0 +1,69 @@
+#ifndef CBIR_NET_SOCKET_H_
+#define CBIR_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/result.h"
+
+namespace cbir::net {
+
+/// \brief Move-only RAII wrapper over one POSIX TCP socket.
+///
+/// Thin by design: exactly the operations the frame-oriented server/client
+/// loops need (connect, listen/accept, full-buffer reads and writes, an
+/// unblocking shutdown), all reported as typed Status instead of errno
+/// spelunking at every call site. Reads and writes retry on EINTR and
+/// partial transfers; SIGPIPE is avoided via MSG_NOSIGNAL.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IP or resolvable name).
+  static Result<Socket> ConnectTcp(const std::string& host, int port);
+
+  /// Binds + listens on host:port (port 0 = OS-assigned ephemeral port;
+  /// read it back with local_port). SO_REUSEADDR is set so restarts do not
+  /// trip over TIME_WAIT.
+  static Result<Socket> ListenTcp(const std::string& host, int port,
+                                  int backlog);
+
+  /// Blocks for the next connection. Fails with FailedPrecondition once the
+  /// socket has been Shutdown() (the server's stop path).
+  Result<Socket> Accept() const;
+
+  /// Writes the whole buffer (looping over partial writes).
+  Status WriteAll(const void* data, size_t size) const;
+
+  /// Reads exactly `size` bytes. A peer close mid-buffer is an IoError;
+  /// a peer close before the first byte sets `*clean_eof` (when given) and
+  /// returns OK with the buffer untouched — the frame-boundary EOF a server
+  /// loop treats as a normal disconnect.
+  Status ReadFully(void* data, size_t size, bool* clean_eof = nullptr) const;
+
+  /// shutdown(2) both directions: unblocks any thread parked in Accept or
+  /// ReadFully on this socket (they fail / see EOF). Safe to call from
+  /// another thread; Close() is not.
+  void Shutdown() const;
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// The locally bound port (after ListenTcp), or -1 on error.
+  int local_port() const;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace cbir::net
+
+#endif  // CBIR_NET_SOCKET_H_

@@ -1,0 +1,137 @@
+#include "net/tcp_client.h"
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cbir::net {
+
+namespace {
+
+/// Unwraps the expected response alternative: a transport-level
+/// ErrorResponse or a non-OK wire status becomes the equivalent typed
+/// Status; a different alternative means the peer broke the in-order
+/// protocol.
+template <typename Expected>
+Result<Expected> Expect(Result<api::Response> response) {
+  if (!response.ok()) return response.status();
+  if (const auto* error = std::get_if<api::ErrorResponse>(&response.value())) {
+    return api::FromWireStatus(error->status);
+  }
+  auto* typed = std::get_if<Expected>(&response.value());
+  if (typed == nullptr) {
+    return Status::Internal("tcp client: unexpected response type");
+  }
+  if (!typed->status.ok()) return api::FromWireStatus(typed->status);
+  return std::move(*typed);
+}
+
+std::vector<int> FromWireRanking(const std::vector<int32_t>& ranking) {
+  return std::vector<int>(ranking.begin(), ranking.end());
+}
+
+}  // namespace
+
+Result<TcpClient> TcpClient::Connect(const std::string& host, int port) {
+  CBIR_ASSIGN_OR_RETURN(Socket socket, Socket::ConnectTcp(host, port));
+  return TcpClient(std::move(socket));
+}
+
+Result<TcpClient> TcpClient::ConnectEndpoint(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument(
+        "tcp client: endpoint must be host:port, got '" + endpoint + "'");
+  }
+  int port = 0;
+  try {
+    port = std::stoi(endpoint.substr(colon + 1));
+  } catch (...) {
+    return Status::InvalidArgument("tcp client: bad port in '" + endpoint +
+                                   "'");
+  }
+  return Connect(endpoint.substr(0, colon), port);
+}
+
+Status TcpClient::Send(const api::Request& request) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("tcp client: not connected");
+  }
+  const std::vector<uint8_t> frame = api::EncodeRequest(request);
+  if (frame.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
+    // The server would reject the frame and close; fail locally with the
+    // same typed error instead of desynchronizing the stream.
+    return Status::OutOfRange(
+        "tcp client: request frame exceeds the protocol body limit");
+  }
+  return socket_.WriteAll(frame.data(), frame.size());
+}
+
+Result<api::Response> TcpClient::Receive() {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("tcp client: not connected");
+  }
+  std::vector<uint8_t> header(api::kFrameHeaderBytes);
+  bool clean_eof = false;
+  CBIR_RETURN_NOT_OK(
+      socket_.ReadFully(header.data(), header.size(), &clean_eof));
+  if (clean_eof) {
+    return Status::IoError("tcp client: server closed the connection");
+  }
+  CBIR_ASSIGN_OR_RETURN(api::FrameHeader frame, api::DecodeFrameHeader(
+                                                    header.data(),
+                                                    header.size()));
+  std::vector<uint8_t> body(frame.body_size);
+  CBIR_RETURN_NOT_OK(socket_.ReadFully(body.data(), body.size()));
+  return api::DecodeResponseBody(frame, body.data(), body.size());
+}
+
+Result<api::Response> TcpClient::Call(const api::Request& request) {
+  CBIR_RETURN_NOT_OK(Send(request));
+  return Receive();
+}
+
+Result<uint64_t> TcpClient::StartSession(const api::QuerySpec& query) {
+  api::StartSessionRequest request;
+  request.query = query;
+  CBIR_ASSIGN_OR_RETURN(
+      api::StartSessionResponse response,
+      Expect<api::StartSessionResponse>(Call(api::Request(request))));
+  return response.session_id;
+}
+
+Result<std::vector<int>> TcpClient::Query(uint64_t session_id, int k) {
+  api::QueryRequest request;
+  request.session_id = session_id;
+  request.k = static_cast<int32_t>(k);
+  CBIR_ASSIGN_OR_RETURN(api::QueryResponse response,
+                        Expect<api::QueryResponse>(Call(api::Request(request))));
+  return FromWireRanking(response.ranking);
+}
+
+Result<std::vector<int>> TcpClient::Feedback(
+    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k) {
+  api::FeedbackRequest request;
+  request.session_id = session_id;
+  request.k = static_cast<int32_t>(k);
+  request.round = round;
+  CBIR_ASSIGN_OR_RETURN(
+      api::FeedbackResponse response,
+      Expect<api::FeedbackResponse>(Call(api::Request(std::move(request)))));
+  return FromWireRanking(response.ranking);
+}
+
+Status TcpClient::EndSession(uint64_t session_id) {
+  api::EndSessionRequest request;
+  request.session_id = session_id;
+  Result<api::EndSessionResponse> response =
+      Expect<api::EndSessionResponse>(Call(api::Request(request)));
+  return response.status();
+}
+
+Result<api::StatsResponse> TcpClient::Stats() {
+  return Expect<api::StatsResponse>(Call(api::Request(api::StatsRequest{})));
+}
+
+}  // namespace cbir::net

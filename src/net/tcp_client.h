@@ -1,0 +1,63 @@
+#ifndef CBIR_NET_TCP_CLIENT_H_
+#define CBIR_NET_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/messages.h"
+#include "net/socket.h"
+#include "util/result.h"
+
+namespace cbir::net {
+
+/// \brief Blocking client for a net::TcpServer.
+///
+/// Two layers:
+///  - Send()/Receive(): raw frame pipelining. The server answers strictly in
+///    order, so a client may Send any number of requests before draining the
+///    responses — one round trip for a whole feedback session if it wants.
+///  - Typed RPCs (StartSession/Query/Feedback/EndSession/Stats): one
+///    request-response round trip each, mirroring serve::RetrievalService's
+///    signatures. A non-OK wire status comes back as the equivalent typed
+///    Status (StatusCodeFromWireCode), so remote errors are indistinguishable
+///    from in-process ones — `client.Query(sid)` on an ended session returns
+///    NotFound exactly like `service.Query(sid)` does.
+///
+/// Not thread-safe: one connection serves one thread (open one client per
+/// worker, the way examples/load_driver.cpp --remote does).
+class TcpClient {
+ public:
+  static Result<TcpClient> Connect(const std::string& host, int port);
+
+  /// Parses "host:port" (e.g. "127.0.0.1:7345").
+  static Result<TcpClient> ConnectEndpoint(const std::string& endpoint);
+
+  // --- raw pipelining layer -----------------------------------------------
+  Status Send(const api::Request& request);
+  Result<api::Response> Receive();
+  /// Send + Receive in one call.
+  Result<api::Response> Call(const api::Request& request);
+
+  // --- typed RPCs ---------------------------------------------------------
+  Result<uint64_t> StartSession(const api::QuerySpec& query);
+  Result<std::vector<int>> Query(uint64_t session_id, int k = 0);
+  Result<std::vector<int>> Feedback(uint64_t session_id,
+                                    const std::vector<logdb::LogEntry>& round,
+                                    int k = 0);
+  Status EndSession(uint64_t session_id);
+  Result<api::StatsResponse> Stats();
+
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  explicit TcpClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+};
+
+}  // namespace cbir::net
+
+#endif  // CBIR_NET_TCP_CLIENT_H_

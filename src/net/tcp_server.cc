@@ -1,0 +1,159 @@
+#include "net/tcp_server.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "api/codec.h"
+
+namespace cbir::net {
+
+TcpServer::TcpServer(api::Dispatcher* dispatcher, TcpServerOptions options)
+    : dispatcher_(dispatcher), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("tcp server: already started");
+  }
+  CBIR_ASSIGN_OR_RETURN(
+      listener_,
+      Socket::ListenTcp(options_.host, options_.port, options_.backlog));
+  port_ = listener_.local_port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept(); the loop sees stopping_ and exits.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Unblock every connection thread parked in recv, then join them all.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) connection->socket.Shutdown();
+  }
+  std::vector<std::unique_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    to_join.swap(connections_);
+  }
+  for (auto& connection : to_join) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient accept failure (e.g. EMFILE when fds run out): reap
+      // finished connections — that releases their fds — and back off
+      // instead of busy-spinning on the failing accept.
+      {
+        std::lock_guard<std::mutex> lock(connections_mu_);
+        ReapFinishedLocked();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(accepted).value();
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      ReapFinishedLocked();
+      connections_.push_back(std::move(connection));
+    }
+    // The thread starts after the connection is registered so Stop() can
+    // always see (and shut down) every socket a live thread reads from.
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void TcpServer::ReapFinishedLocked() {
+  for (size_t i = 0; i < connections_.size();) {
+    if (connections_[i]->done.load(std::memory_order_acquire)) {
+      if (connections_[i]->thread.joinable()) connections_[i]->thread.join();
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void TcpServer::ServeConnection(Connection* connection) {
+  const Socket& socket = connection->socket;
+  std::vector<uint8_t> header(api::kFrameHeaderBytes);
+  std::vector<uint8_t> body;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool clean_eof = false;
+    if (!socket.ReadFully(header.data(), header.size(), &clean_eof).ok() ||
+        clean_eof) {
+      break;  // disconnect (clean between frames, or torn — either way done)
+    }
+    Result<api::FrameHeader> frame =
+        api::DecodeFrameHeader(header.data(), header.size());
+    Result<api::Request> request =
+        Status::Internal("tcp server: request not decoded");
+    if (frame.ok()) {
+      body.resize(frame->body_size);
+      if (!socket.ReadFully(body.data(), body.size()).ok()) break;
+      request = api::DecodeRequestBody(*frame, body.data(), body.size());
+    } else {
+      request = frame.status();
+    }
+    if (!request.ok()) {
+      // Malformed frame: answer with the typed error, then close — after a
+      // framing error the byte stream cannot be resynchronized.
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      api::ErrorResponse error;
+      error.status = api::ToWireStatus(request.status());
+      const std::vector<uint8_t> reply =
+          api::EncodeResponse(api::Response(std::move(error)));
+      socket.WriteAll(reply.data(), reply.size());  // best-effort
+      break;
+    }
+    const api::Response response = dispatcher_->Dispatch(request.value());
+    std::vector<uint8_t> reply = api::EncodeResponse(response);
+    if (reply.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
+      // The peer's decoder would reject this frame and desynchronize; send
+      // a typed error of bounded size instead (e.g. a full-corpus ranking
+      // at many millions of rows — ask for a smaller k / bounded depth).
+      api::ErrorResponse too_big;
+      too_big.status = api::ToWireStatus(Status::OutOfRange(
+          "tcp server: response frame exceeds the protocol body limit"));
+      reply = api::EncodeResponse(api::Response(std::move(too_big)));
+    }
+    if (!socket.WriteAll(reply.data(), reply.size()).ok()) break;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Shutdown (not Close) so the peer sees EOF now; Stop() may concurrently
+  // Shutdown the same fd, which is safe where a close/reuse race is not.
+  // The fd itself is released when the connection is reaped or at Stop().
+  socket.Shutdown();
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  connection->done.store(true, std::memory_order_release);
+}
+
+TcpServerStats TcpServer::stats() const {
+  TcpServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cbir::net

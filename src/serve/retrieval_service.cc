@@ -1,6 +1,8 @@
 #include "serve/retrieval_service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -91,8 +93,31 @@ int RetrievalService::EffectiveDepth() const {
 
 Result<uint64_t> RetrievalService::StartSession(int query_id) {
   if (query_id < 0 || query_id >= db_->num_images()) {
-    return Status::InvalidArgument("retrieval service: query id out of range");
+    return Status::InvalidArgument(
+        "retrieval service: query id " + std::to_string(query_id) +
+        " out of range [0, " + std::to_string(db_->num_images()) + ")");
   }
+  return RegisterSession(query_id, db_->feature(query_id));
+}
+
+Result<uint64_t> RetrievalService::StartSession(const la::Vec& query_feature) {
+  if (query_feature.size() != db_->features().cols()) {
+    return Status::InvalidArgument(
+        "retrieval service: query feature has " +
+        std::to_string(query_feature.size()) + " dims, corpus has " +
+        std::to_string(db_->features().cols()));
+  }
+  for (double v : query_feature) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "retrieval service: query feature contains a non-finite value");
+    }
+  }
+  return RegisterSession(-1, query_feature);
+}
+
+uint64_t RetrievalService::RegisterSession(int query_id,
+                                           la::Vec query_feature) {
   const uint64_t id =
       next_session_id_.fetch_add(1, std::memory_order_relaxed);
   // Fully initialize before registering: the session only becomes visible
@@ -106,7 +131,7 @@ Result<uint64_t> RetrievalService::StartSession(int query_id) {
   session->ctx.candidate_depth =
       options_.candidate_depth > 0 ? options_.candidate_depth : 0;
   session->ctx.session_state = &session->warm_start;
-  session->ctx.query_feature = db_->feature(query_id);
+  session->ctx.query_feature = std::move(query_feature);
   sessions_->Register(std::move(session));
   return id;
 }
@@ -190,8 +215,10 @@ Result<std::vector<int>> RetrievalService::Feedback(
   }
   if (!session->prepared) {
     // One candidate scan narrows every subsequent round's scoring loops,
-    // exactly like RunFeedbackSession's single Prepare() call.
-    session->ctx.Prepare();
+    // exactly like RunFeedbackSession's single Prepare() call. A Prepare
+    // failure is typed, not fatal: the session's inputs were validated at
+    // StartSession, but the invariant must hold even for future callers.
+    CBIR_RETURN_NOT_OK(session->ctx.Prepare());
     session->prepared = true;
   }
 

@@ -69,9 +69,19 @@ class RetrievalService {
       logdb::LogStore* log_store, const core::SchemeOptions& scheme_options,
       const ServiceOptions& options);
 
-  /// Opens a feedback session for the given query image and returns its
-  /// session id. May evict the least-recently-used session at capacity.
+  /// Opens a feedback session for the given corpus query image and returns
+  /// its session id. May evict the least-recently-used session at capacity.
   Result<uint64_t> StartSession(int query_id);
+
+  /// Opens a feedback session for an external query feature vector — the
+  /// standard CBIR query-by-example setting where the query image is not
+  /// part of the corpus (remote callers hand us raw features through
+  /// api::QuerySpec). The vector must match the corpus feature
+  /// dimensionality and be finite. Unlike an in-corpus session no row is
+  /// excluded from the ranking: a corpus image with the identical feature
+  /// ranks first instead of being dropped, so such a session reproduces the
+  /// matching in-corpus session's ranking with that one image re-inserted.
+  Result<uint64_t> StartSession(const la::Vec& query_feature);
 
   /// Top-k of the session's current ranking (k = 0 uses default_k; k is
   /// clamped to the ranking depth). The first call of a session computes —
@@ -116,6 +126,11 @@ class RetrievalService {
   /// Effective TopK depth of first-round retrievals (candidate_depth, or -1
   /// = full ranking when unset or the database has no index).
   int EffectiveDepth() const;
+
+  /// Builds + registers a session (query_id = -1 for an external query whose
+  /// feature is passed in `query_feature`); shared by both StartSession
+  /// overloads.
+  uint64_t RegisterSession(int query_id, la::Vec query_feature);
 
   /// Computes (or cache-loads) the session's first-round ranking. Caller
   /// holds the session mutex.

@@ -26,6 +26,17 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+uint32_t StatusCodeToWireCode(StatusCode code) {
+  return static_cast<uint32_t>(code);
+}
+
+StatusCode StatusCodeFromWireCode(uint32_t wire_code) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (static_cast<uint32_t>(code) == wire_code) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

@@ -23,8 +23,28 @@ enum class StatusCode {
   kInternal = 8,
 };
 
+/// Every StatusCode enumerator, for exhaustive iteration in tests and
+/// wire-mapping code. Keep in sync with the enum above.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,            StatusCode::kInvalidArgument,
+    StatusCode::kOutOfRange,    StatusCode::kNotFound,
+    StatusCode::kAlreadyExists, StatusCode::kIoError,
+    StatusCode::kNotImplemented, StatusCode::kFailedPrecondition,
+    StatusCode::kInternal,
+};
+
 /// \brief Returns a stable human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
+
+/// \brief Stable uint32 wire encoding of a status code (the enum's numeric
+/// value). Used by the api wire error responses; values never change once
+/// shipped.
+uint32_t StatusCodeToWireCode(StatusCode code);
+
+/// \brief Inverse of StatusCodeToWireCode. Wire values that do not name a
+/// known enumerator (a newer peer, a corrupted frame) map to kInternal so a
+/// malformed code can never masquerade as kOk.
+StatusCode StatusCodeFromWireCode(uint32_t wire_code);
 
 /// \brief A success-or-error outcome carrying a code and a message.
 ///

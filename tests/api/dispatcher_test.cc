@@ -1,0 +1,173 @@
+#include "api/dispatcher.h"
+
+#include <memory>
+#include <variant>
+
+#include <gtest/gtest.h>
+
+#include "api/codec.h"
+#include "core/feedback_scheme.h"
+#include "retrieval/synthetic_features.h"
+
+namespace cbir::api {
+namespace {
+
+/// Small synthetic-feature service shared by all dispatcher tests.
+class DispatcherTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new retrieval::ImageDatabase(retrieval::ClusteredDatabase(400, 3));
+    serve::ServiceOptions options;
+    options.scheme = "Euclidean";
+    options.candidate_depth = 0;
+    options.default_k = 10;
+    auto service = serve::RetrievalService::Create(
+        db_, nullptr, nullptr,
+        core::MakeDefaultSchemeOptions(*db_, nullptr), options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    service_ = std::move(service).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static retrieval::ImageDatabase* db_;
+  static serve::RetrievalService* service_;
+};
+
+retrieval::ImageDatabase* DispatcherTest::db_ = nullptr;
+serve::RetrievalService* DispatcherTest::service_ = nullptr;
+
+TEST_F(DispatcherTest, FullSessionFlow) {
+  Dispatcher dispatcher(service_);
+
+  StartSessionRequest start;
+  start.query = QuerySpec::ById(5);
+  StartSessionResponse started = dispatcher.Handle(start);
+  ASSERT_TRUE(started.status.ok()) << started.status.message;
+  ASSERT_NE(started.session_id, 0u);
+
+  QueryRequest query;
+  query.session_id = started.session_id;
+  query.k = 8;
+  QueryResponse ranked = dispatcher.Handle(query);
+  ASSERT_TRUE(ranked.status.ok()) << ranked.status.message;
+  ASSERT_EQ(ranked.ranking.size(), 8u);
+  // Same ranking the service returns directly: one shared code path.
+  auto direct = service_->Query(started.session_id, 8);
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(static_cast<int>(ranked.ranking[i]), direct.value()[i]);
+  }
+
+  FeedbackRequest feedback;
+  feedback.session_id = started.session_id;
+  feedback.k = 8;
+  feedback.round = {logdb::LogEntry{ranked.ranking[0], 1},
+                    logdb::LogEntry{ranked.ranking[1], -1}};
+  FeedbackResponse reranked = dispatcher.Handle(feedback);
+  ASSERT_TRUE(reranked.status.ok()) << reranked.status.message;
+  EXPECT_EQ(reranked.ranking.size(), 8u);
+
+  EndSessionRequest end;
+  end.session_id = started.session_id;
+  EXPECT_TRUE(dispatcher.Handle(end).status.ok());
+  // Ended session: typed NotFound in the wire status, not a crash.
+  QueryResponse after = dispatcher.Handle(query);
+  EXPECT_EQ(StatusCodeFromWireCode(after.status.code), StatusCode::kNotFound);
+}
+
+TEST_F(DispatcherTest, ExternalFeatureQueryStartsSession) {
+  Dispatcher dispatcher(service_);
+  StartSessionRequest start;
+  start.query = QuerySpec::ByFeature(db_->feature(7));
+  StartSessionResponse started = dispatcher.Handle(start);
+  ASSERT_TRUE(started.status.ok()) << started.status.message;
+
+  QueryRequest query;
+  query.session_id = started.session_id;
+  query.k = 5;
+  QueryResponse ranked = dispatcher.Handle(query);
+  ASSERT_TRUE(ranked.status.ok());
+  // The identical-feature corpus image ranks first (distance zero) instead
+  // of being excluded the way an in-corpus query session would exclude it.
+  ASSERT_FALSE(ranked.ranking.empty());
+  EXPECT_EQ(ranked.ranking[0], 7);
+  EXPECT_TRUE(
+      dispatcher.Handle(EndSessionRequest{started.session_id}).status.ok());
+}
+
+TEST_F(DispatcherTest, ErrorsComeBackAsWireStatusNotCrashes) {
+  Dispatcher dispatcher(service_);
+
+  StartSessionRequest bad_id;
+  bad_id.query = QuerySpec::ById(db_->num_images() + 5);
+  EXPECT_EQ(StatusCodeFromWireCode(dispatcher.Handle(bad_id).status.code),
+            StatusCode::kInvalidArgument);
+
+  StartSessionRequest bad_dims;
+  bad_dims.query = QuerySpec::ByFeature({1.0, 2.0});  // corpus is 36-dim
+  EXPECT_EQ(StatusCodeFromWireCode(dispatcher.Handle(bad_dims).status.code),
+            StatusCode::kInvalidArgument);
+
+  StartSessionRequest empty_feature;
+  empty_feature.query = QuerySpec::ByFeature({});
+  EXPECT_EQ(
+      StatusCodeFromWireCode(dispatcher.Handle(empty_feature).status.code),
+      StatusCode::kInvalidArgument);
+
+  QueryRequest unknown;
+  unknown.session_id = 0xFFFFFFFFull;
+  EXPECT_EQ(StatusCodeFromWireCode(dispatcher.Handle(unknown).status.code),
+            StatusCode::kNotFound);
+
+  FeedbackRequest bad_judgment;
+  auto sid = service_->StartSession(0);
+  ASSERT_TRUE(sid.ok());
+  bad_judgment.session_id = sid.value();
+  bad_judgment.round = {logdb::LogEntry{1, 5}};
+  EXPECT_EQ(
+      StatusCodeFromWireCode(dispatcher.Handle(bad_judgment).status.code),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(service_->EndSession(sid.value()).ok());
+}
+
+TEST_F(DispatcherTest, DispatchRoutesEveryRequestType) {
+  Dispatcher dispatcher(service_);
+  EXPECT_TRUE(
+      std::holds_alternative<StatsResponse>(dispatcher.Dispatch(
+          Request(StatsRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<QueryResponse>(
+      dispatcher.Dispatch(Request(QueryRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<FeedbackResponse>(
+      dispatcher.Dispatch(Request(FeedbackRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<EndSessionResponse>(
+      dispatcher.Dispatch(Request(EndSessionRequest{}))));
+  StartSessionRequest start;
+  start.query = QuerySpec::ById(0);
+  Response started = dispatcher.Dispatch(Request(start));
+  ASSERT_TRUE(std::holds_alternative<StartSessionResponse>(started));
+  EXPECT_TRUE(service_
+                  ->EndSession(std::get<StartSessionResponse>(started)
+                                   .session_id)
+                  .ok());
+}
+
+TEST_F(DispatcherTest, StatsReflectServiceCounters) {
+  Dispatcher dispatcher(service_);
+  const StatsResponse before = dispatcher.Handle(StatsRequest{});
+  auto sid = service_->StartSession(1);
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(service_->Query(sid.value()).ok());
+  ASSERT_TRUE(service_->EndSession(sid.value()).ok());
+  const StatsResponse after = dispatcher.Handle(StatsRequest{});
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_GE(after.queries, before.queries + 1);
+  EXPECT_GE(after.sessions_ended, before.sessions_ended + 1);
+}
+
+}  // namespace
+}  // namespace cbir::api

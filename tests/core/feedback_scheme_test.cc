@@ -1,5 +1,8 @@
 #include "core/feedback_scheme.h"
 
+#include <algorithm>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/euclidean_scheme.h"
@@ -23,25 +26,30 @@ TEST(FeedbackContextTest, PrepareFillsDerivedFields) {
   FeedbackContext ctx;
   ctx.db = &db;
   ctx.query_id = 3;
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   EXPECT_EQ(ctx.query_feature, db.feature(3));
   ASSERT_EQ(ctx.query_distances.size(), static_cast<size_t>(db.num_images()));
   EXPECT_DOUBLE_EQ(ctx.query_distances[3], 0.0);  // self-distance
   for (double d : ctx.query_distances) EXPECT_GE(d, 0.0);
 }
 
-TEST(FeedbackContextDeathTest, PrepareValidates) {
+// Regression (issue 4, satellite 1): malformed input used to CBIR_CHECK-
+// abort the process; it must surface as InvalidArgument so a bad request
+// can never kill a serving process.
+TEST(FeedbackContextTest, PrepareReturnsTypedErrorsInsteadOfAborting) {
   const retrieval::ImageDatabase db = SmallDb();
   {
     FeedbackContext ctx;  // no db
     ctx.query_id = 0;
-    EXPECT_DEATH(ctx.Prepare(), "Check failed");
+    EXPECT_EQ(ctx.Prepare().code(), StatusCode::kInvalidArgument);
   }
   {
     FeedbackContext ctx;
     ctx.db = &db;
     ctx.query_id = 99;  // out of range
-    EXPECT_DEATH(ctx.Prepare(), "Check failed");
+    const Status s = ctx.Prepare();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("out of range"), std::string::npos);
   }
   {
     FeedbackContext ctx;
@@ -49,8 +57,53 @@ TEST(FeedbackContextDeathTest, PrepareValidates) {
     ctx.query_id = 0;
     ctx.labeled_ids = {1, 2};
     ctx.labels = {1.0};  // arity mismatch
-    EXPECT_DEATH(ctx.Prepare(), "Check failed");
+    EXPECT_EQ(ctx.Prepare().code(), StatusCode::kInvalidArgument);
   }
+  {
+    FeedbackContext ctx;  // external query without a feature
+    ctx.db = &db;
+    ctx.query_id = -1;
+    EXPECT_EQ(ctx.Prepare().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FeedbackContext ctx;  // external query with wrong dimensionality
+    ctx.db = &db;
+    ctx.query_id = -1;
+    ctx.query_feature = {1.0, 2.0};
+    EXPECT_EQ(ctx.Prepare().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FeedbackContextTest, ExternalQueryFeaturePreparesLikeInCorpusQuery) {
+  const retrieval::ImageDatabase db = SmallDb();
+  FeedbackContext by_id;
+  by_id.db = &db;
+  by_id.query_id = 4;
+  ASSERT_TRUE(by_id.Prepare().ok());
+
+  FeedbackContext external;
+  external.db = &db;
+  external.query_id = -1;
+  external.query_feature = db.feature(4);
+  ASSERT_TRUE(external.Prepare().ok());
+
+  EXPECT_EQ(external.query_feature, by_id.query_feature);
+  EXPECT_EQ(external.query_distances, by_id.query_distances);
+  EXPECT_EQ(external.scan_size(), by_id.scan_size());
+
+  // The external session never excludes a corpus row: the identical-feature
+  // image stays in the ranking (by-id drops it).
+  EuclideanScheme scheme;
+  auto external_ranked = scheme.Rank(external);
+  auto by_id_ranked = scheme.Rank(by_id);
+  ASSERT_TRUE(external_ranked.ok());
+  ASSERT_TRUE(by_id_ranked.ok());
+  ASSERT_EQ(external_ranked->size(), by_id_ranked->size() + 1);
+  EXPECT_EQ(external_ranked->front(), 4);  // distance zero ranks first
+  std::vector<int> stripped = external_ranked.value();
+  stripped.erase(std::remove(stripped.begin(), stripped.end(), 4),
+                 stripped.end());
+  EXPECT_EQ(stripped, by_id_ranked.value());
 }
 
 TEST(FinalizeRankingTest, ExcludesQueryAndKeepsEveryoneElse) {
@@ -58,7 +111,7 @@ TEST(FinalizeRankingTest, ExcludesQueryAndKeepsEveryoneElse) {
   FeedbackContext ctx;
   ctx.db = &db;
   ctx.query_id = 7;
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   EuclideanScheme scheme;
   auto ranked = scheme.Rank(ctx);
   ASSERT_TRUE(ranked.ok());
@@ -71,7 +124,7 @@ TEST(FinalizeRankingTest, EuclideanRanksNearestFirst) {
   FeedbackContext ctx;
   ctx.db = &db;
   ctx.query_id = 0;
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   EuclideanScheme scheme;
   auto ranked = scheme.Rank(ctx);
   ASSERT_TRUE(ranked.ok());

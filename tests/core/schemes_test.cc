@@ -54,7 +54,7 @@ class SchemesTest : public ::testing::Test {
     ctx.db = db_;
     ctx.log_features = with_log ? log_features_ : nullptr;
     ctx.query_id = query_id;
-    ctx.Prepare();
+    EXPECT_TRUE(ctx.Prepare().ok());  // non-void helper: EXPECT, not ASSERT
     const auto initial = retrieval::RankByEuclidean(
         db_->features(), ctx.query_feature, 11);
     const int qcat = db_->category(query_id);
@@ -121,7 +121,7 @@ TEST_F(SchemesTest, RfSvmRequiresLabels) {
   FeedbackContext ctx;
   ctx.db = db_;
   ctx.query_id = 0;
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   EXPECT_FALSE(scheme.Rank(ctx).ok());
 }
 

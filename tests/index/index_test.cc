@@ -190,7 +190,7 @@ TEST_F(IndexDatabaseTest, ExactIndexLeavesSchemeRankingsUnchanged) {
   ctx.db = &db;
   ctx.query_id = 3;
   ctx.candidate_depth = 20;
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   const auto initial = db.TopK(ctx.query_feature, 11);
   const int query_category = db.category(ctx.query_id);
   for (int id : initial) {
@@ -210,7 +210,7 @@ TEST_F(IndexDatabaseTest, ExactIndexLeavesSchemeRankingsUnchanged) {
   EXPECT_EQ(ctx.scan_size(), static_cast<size_t>(db.num_images()));
 
   db.BuildIndex(IndexOptions{});  // exact: the sentinel keeps scans full
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   auto euclidean_after = euclidean.Rank(ctx);
   auto rf_after = rf_svm.Rank(ctx);
   ASSERT_TRUE(euclidean_after.ok());
@@ -230,7 +230,7 @@ TEST_F(IndexDatabaseTest, SignatureIndexNarrowsSchemeScans) {
   ctx.db = &db;
   ctx.query_id = 3;
   ctx.candidate_depth = 15;  // 30 candidates of 100 rows
-  ctx.Prepare();
+  ASSERT_TRUE(ctx.Prepare().ok());
   ASSERT_FALSE(ctx.scan_ids.empty());
   EXPECT_EQ(ctx.scan_ids.size(), 30u);
   EXPECT_EQ(ctx.scan_size(), 30u);

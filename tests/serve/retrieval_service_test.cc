@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <unordered_set>
@@ -353,6 +354,111 @@ TEST_F(RetrievalServiceTest, TtlEvictionExpiresIdleSessions) {
   EXPECT_EQ(service->Query(sid.value()).status().code(),
             StatusCode::kNotFound);
   EXPECT_EQ(service->stats().sessions_evicted_ttl, 1u);
+}
+
+// Tentpole gate: a session opened with a raw feature vector (an image the
+// corpus has never seen — here, a corpus image's feature re-submitted
+// externally) reproduces the matching in-corpus session's ranking; the only
+// difference is the identical-feature image itself, which the external
+// session keeps (it has no corpus row to exclude).
+TEST_F(RetrievalServiceTest, ExternalFeatureSessionReproducesCorpusSession) {
+  retrieval::ImageDatabase db(*db_);
+  retrieval::IndexOptions index_options;
+  index_options.mode = retrieval::IndexMode::kSignature;
+  db.BuildIndex(index_options);
+
+  ServiceOptions options;
+  options.scheme = "RF-SVM";
+  options.candidate_depth = 50;
+  auto service_or = RetrievalService::Create(
+      &db, log_features_, nullptr,
+      core::MakeDefaultSchemeOptions(db, log_features_), options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or.value();
+
+  const int query_id = 31;
+  auto by_id = service.StartSession(query_id);
+  auto by_feature = service.StartSession(db.feature(query_id));
+  ASSERT_TRUE(by_id.ok());
+  ASSERT_TRUE(by_feature.ok()) << by_feature.status();
+
+  auto strip_query = [&](std::vector<int> ranking) {
+    ranking.erase(std::remove(ranking.begin(), ranking.end(), query_id),
+                  ranking.end());
+    return ranking;
+  };
+
+  auto id_ranking = service.Query(by_id.value(), 50);
+  auto feature_ranking = service.Query(by_feature.value(), 50);
+  ASSERT_TRUE(id_ranking.ok());
+  ASSERT_TRUE(feature_ranking.ok());
+  // Distance zero: the identical-feature corpus image leads the external
+  // session's first round.
+  ASSERT_FALSE(feature_ranking->empty());
+  EXPECT_EQ(feature_ranking->front(), query_id);
+  // Stripping may shorten the fixed-size top-k by one (the query image sat
+  // inside it); the surviving prefix must match the by-id session exactly.
+  std::vector<int> stripped = strip_query(feature_ranking.value());
+  ASSERT_GE(stripped.size() + 1, id_ranking->size());
+  std::vector<int> expected = id_ranking.value();
+  expected.resize(std::min(stripped.size(), expected.size()));
+  stripped.resize(expected.size());
+  EXPECT_EQ(stripped, expected);
+
+  // Identical judgments (never the query image) across feedback rounds keep
+  // the two sessions rank-identical modulo the query image's own position.
+  logdb::SimulatedUser user(db_->categories(), logdb::UserModel{0.0});
+  Rng rng(7);
+  const int category = db.category(query_id);
+  std::unordered_set<int> judged{query_id};
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(round);
+    std::vector<logdb::LogEntry> entries;
+    for (int id : id_ranking.value()) {
+      if (static_cast<int>(entries.size()) >= 10) break;
+      if (!judged.insert(id).second) continue;
+      entries.push_back(logdb::LogEntry{id, user.Judge(id, category, &rng)});
+    }
+    id_ranking = service.Feedback(by_id.value(), entries, 50);
+    feature_ranking = service.Feedback(by_feature.value(), entries, 50);
+    ASSERT_TRUE(id_ranking.ok());
+    ASSERT_TRUE(feature_ranking.ok()) << feature_ranking.status();
+    std::vector<int> stripped_round = strip_query(feature_ranking.value());
+    ASSERT_GE(stripped_round.size() + 1, id_ranking->size());
+    std::vector<int> expected_round = id_ranking.value();
+    expected_round.resize(
+        std::min(stripped_round.size(), expected_round.size()));
+    stripped_round.resize(expected_round.size());
+    EXPECT_EQ(stripped_round, expected_round);
+  }
+  EXPECT_TRUE(service.EndSession(by_id.value()).ok());
+  EXPECT_TRUE(service.EndSession(by_feature.value()).ok());
+}
+
+TEST_F(RetrievalServiceTest, ExternalFeatureSessionValidatesInput) {
+  ServiceOptions options;
+  options.scheme = "Euclidean";
+  auto service = MakeService(nullptr, options);
+  // Wrong dimensionality.
+  EXPECT_EQ(service->StartSession(la::Vec{1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Empty.
+  EXPECT_EQ(service->StartSession(la::Vec{}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-finite values.
+  la::Vec nan_feature = db_->feature(0);
+  nan_feature[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service->StartSession(nan_feature).status().code(),
+            StatusCode::kInvalidArgument);
+  // A perturbed (not identical to any corpus row) feature still serves.
+  la::Vec perturbed = db_->feature(0);
+  for (double& v : perturbed) v += 0.01;
+  auto sid = service->StartSession(perturbed);
+  ASSERT_TRUE(sid.ok()) << sid.status();
+  auto ranking = service->Query(sid.value(), 10);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(ranking->size(), 10u);
+  EXPECT_TRUE(service->EndSession(sid.value()).ok());
 }
 
 TEST_F(RetrievalServiceTest, DefaultKAndClamping) {

@@ -1,6 +1,10 @@
 #include "util/status.h"
 
+#include <algorithm>
+#include <iterator>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +89,45 @@ Status PropagatesOk() {
 
 TEST(StatusTest, ReturnNotOkMacroFallsThroughOnOk) {
   EXPECT_EQ(PropagatesOk().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusWireCodeTest, EveryEnumeratorRoundTripsExactly) {
+  // Exhaustive: every enumerator survives the uint32 wire mapping, and the
+  // wire values are pairwise distinct (two codes sharing a wire value would
+  // silently alias remote errors).
+  std::set<uint32_t> seen;
+  for (StatusCode code : kAllStatusCodes) {
+    const uint32_t wire = StatusCodeToWireCode(code);
+    EXPECT_TRUE(seen.insert(wire).second)
+        << "duplicate wire code " << wire << " for "
+        << StatusCodeToString(code);
+    EXPECT_EQ(StatusCodeFromWireCode(wire), code)
+        << StatusCodeToString(code);
+  }
+  // kAllStatusCodes itself must be exhaustive: wire values are the enum's
+  // numeric values, contiguous from 0, so the next value after the largest
+  // must be unknown.
+  uint32_t max_wire = 0;
+  for (StatusCode code : kAllStatusCodes) {
+    max_wire = std::max(max_wire, StatusCodeToWireCode(code));
+  }
+  EXPECT_EQ(max_wire + 1, static_cast<uint32_t>(std::size(kAllStatusCodes)));
+}
+
+TEST(StatusWireCodeTest, UnknownWireValuesMapToInternalNeverOk) {
+  for (const uint32_t bogus : {9u, 100u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(StatusCodeFromWireCode(bogus), StatusCode::kInternal);
+  }
+}
+
+TEST(StatusWireCodeTest, StatusCodeToStringCoversEveryEnumerator) {
+  std::set<std::string> names;
+  for (StatusCode code : kAllStatusCodes) {
+    const std::string name = StatusCodeToString(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "Unknown") << "enumerator missing from the switch";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
 }
 
 }  // namespace
