@@ -1,8 +1,15 @@
 // Micro-benchmarks for the coupled SVM: alternating-optimization cost as a
-// function of the unlabeled-sample count N' and the rho annealing schedule.
+// function of the unlabeled-sample count N' and the rho annealing schedule,
+// plus the before/after pairs for kernel-cache sharing (per-QP caches vs one
+// cache per modality shared across the solve chain and across feedback
+// rounds).
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
 #include "core/coupled_svm.h"
+#include "core/feedback_scheme.h"
 #include "util/rng.h"
 
 namespace {
@@ -52,6 +59,30 @@ void BM_CoupledTrainByNPrime(benchmark::State& state) {
 }
 BENCHMARK(BM_CoupledTrainByNPrime)->Arg(0)->Arg(10)->Arg(20)->Arg(40);
 
+// Cold-vs-shared kernel caches on ONE annealing/label-correction chain:
+// range(0) == 0 rebuilds a fresh KernelCache for every QP solve (the PR 1
+// warm-start baseline), 1 shares one cache per modality across the whole
+// chain. Same QPs, same solution; only kernel-row recomputation differs.
+void BM_CoupledTrainCacheSharing(benchmark::State& state) {
+  const core::CsvmTrainData data = MakeData(20, 20, 3);
+  core::CsvmOptions options = BenchOptions();
+  options.reuse_chain_cache = state.range(0) != 0;
+  const core::CoupledSvm csvm(options);
+  double hit_rate = 0.0;
+  double misses = 0.0;
+  for (auto _ : state) {
+    auto model = csvm.Train(data);
+    benchmark::DoNotOptimize(model);
+    hit_rate = model.value().diagnostics.cache_stats.hit_rate();
+    misses =
+        static_cast<double>(model.value().diagnostics.cache_stats.misses);
+  }
+  state.counters["cache_hit_rate"] = hit_rate;
+  state.counters["cache_misses"] = misses;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoupledTrainCacheSharing)->Arg(0)->Arg(1);
+
 void BM_CoupledTrainByRhoInit(benchmark::State& state) {
   // Larger rho_init -> fewer annealing steps -> proportionally cheaper.
   const core::CsvmTrainData data = MakeData(20, 20, 5);
@@ -66,21 +97,26 @@ void BM_CoupledTrainByRhoInit(benchmark::State& state) {
 BENCHMARK(BM_CoupledTrainByRhoInit)->Arg(2)->Arg(64)->Arg(10000);
 
 // Multi-round coupled-SVM feedback simulation: round r trains on r * 10
-// labeled samples plus a fixed unlabeled pool. range(0) == 1 warm-starts
-// every round from the previous round's duals (alphas aligned by sample,
-// new samples entering at zero); 0 is the cold baseline. This is the
-// end-to-end pattern of a live relevance-feedback session.
+// labeled samples plus a fixed unlabeled pool. range(0) selects the
+// carry-over level: 0 = cold rounds; 1 = warm-start every round from the
+// previous round's duals (alphas aligned by sample, new samples entering at
+// zero); 2 = warm duals PLUS per-modality session kernel caches
+// (core::SessionKernelCache) carrying kernel rows across rounds, remapped
+// by sample id — the full cross-round path LRF-CSVM serving uses. This is
+// the end-to-end pattern of a live relevance-feedback session.
 void BM_CoupledFeedbackSession(benchmark::State& state) {
   constexpr int kRounds = 4;
   const size_t step = 10;
   const size_t nu = 20;
   const core::CsvmTrainData full = MakeData(step * kRounds, nu, 9);
   const core::CoupledSvm csvm(BenchOptions());
-  const bool warm = state.range(0) != 0;
+  const bool warm = state.range(0) >= 1;
+  const bool session_cache = state.range(0) >= 2;
   long total_smo_iters = 0;
   double hit_rate = 0.0;
   for (auto _ : state) {
     std::vector<double> carried_visual, carried_log;
+    core::SessionState session_state;
     for (int r = 1; r <= kRounds; ++r) {
       const size_t nl = step * static_cast<size_t>(r);
       core::CsvmTrainData data;
@@ -113,7 +149,34 @@ void BM_CoupledFeedbackSession(benchmark::State& state) {
           data.initial_log_alpha[nl + j] = carried_log[prev_nl + j];
         }
       }
-      auto model = csvm.Train(data);
+      cbir::Result<core::CoupledModel> model = [&] {
+        if (!session_cache) return csvm.Train(data);
+        // Rows keyed by their index in `full` (the bench's stand-in for
+        // image ids): the labeled prefix and the unlabeled pool both carry
+        // over between rounds, so their kernel rows are remapped, and only
+        // the step new judgments cost kernel evaluations.
+        std::vector<int> ids;
+        ids.reserve(nl + nu);
+        for (size_t i = 0; i < nl; ++i) ids.push_back(static_cast<int>(i));
+        for (size_t j = 0; j < nu; ++j) {
+          ids.push_back(static_cast<int>(full_nl + j));
+        }
+        const core::CsvmOptions& opt = csvm.options();
+        core::CsvmTrainView view;
+        view.labels = &data.labels;
+        view.initial_unlabeled_labels = &data.initial_unlabeled_labels;
+        view.initial_visual_alpha = &data.initial_visual_alpha;
+        view.initial_log_alpha = &data.initial_log_alpha;
+        view.visual_cache = session_state.visual_rows.Bind(
+            ids, std::move(data.visual), opt.visual_kernel,
+            opt.smo.cache_rows);
+        view.log_cache = session_state.log_rows.Bind(
+            std::move(ids), std::move(data.log), opt.log_kernel,
+            opt.smo.cache_rows);
+        view.visual = &session_state.visual_rows.data();
+        view.log = &session_state.log_rows.data();
+        return csvm.TrainView(view);
+      }();
       benchmark::DoNotOptimize(model);
       total_smo_iters += model.value().diagnostics.total_smo_iterations;
       hit_rate = model.value().diagnostics.cache_stats.hit_rate();
@@ -128,7 +191,7 @@ void BM_CoupledFeedbackSession(benchmark::State& state) {
       static_cast<double>(state.iterations());
   state.counters["cache_hit_rate"] = hit_rate;
 }
-BENCHMARK(BM_CoupledFeedbackSession)->Arg(0)->Arg(1);
+BENCHMARK(BM_CoupledFeedbackSession)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CoupledDecision(benchmark::State& state) {
   const core::CsvmTrainData data = MakeData(20, 20, 7);

@@ -166,9 +166,10 @@ int main(int argc, char** argv) {
 
   std::cerr << "running " << exp_options.num_queries << " queries..."
             << std::endl;
-  const core::ExperimentResult result = core::RunExperiment(
-      db, &log_features, core::MakePaperSchemes(scheme_options, csvm_options),
-      exp_options);
+  const std::vector<std::shared_ptr<core::FeedbackScheme>> schemes =
+      core::MakePaperSchemes(scheme_options, csvm_options);
+  const core::ExperimentResult result =
+      core::RunExperiment(db, &log_features, schemes, exp_options);
   std::cout << core::FormatPaperTable(result);
 
   const retrieval::IndexStats index_stats = db.index()->stats();
@@ -178,6 +179,28 @@ int main(int argc, char** argv) {
             << " candidates_reranked=" << index_stats.candidates_reranked
             << " recall_proxy=" << FormatDouble(index_stats.recall_proxy, 3)
             << std::endl;
+
+  // Kernel-cache behaviour of the coupled-SVM solve chains, aggregated over
+  // every query's training run (per-modality split: [0] = visual, [1] = log).
+  for (const auto& scheme : schemes) {
+    const auto* csvm = dynamic_cast<const core::LrfCsvmScheme*>(scheme.get());
+    if (csvm == nullptr) continue;
+    const core::CsvmDiagnostics diag = csvm->AggregatedDiagnostics();
+    std::cerr << "csvm cache stats: smo_iters=" << diag.total_smo_iterations
+              << " hits=" << diag.cache_stats.hits
+              << " misses=" << diag.cache_stats.misses
+              << " evictions=" << diag.cache_stats.evictions
+              << " hit_rate=" << FormatDouble(diag.cache_stats.hit_rate(), 3);
+    static constexpr const char* kModalityNames[] = {"visual", "log"};
+    for (size_t k = 0; k < diag.modality_cache_stats.size(); ++k) {
+      const svm::CacheStats& m = diag.modality_cache_stats[k];
+      std::cerr << " | " << (k < 2 ? kModalityNames[k] : "modality")
+                << " hits=" << m.hits << " misses=" << m.misses
+                << " evictions=" << m.evictions
+                << " hit_rate=" << FormatDouble(m.hit_rate(), 3);
+    }
+    std::cerr << std::endl;
+  }
 
   const std::string csv_path = flags.GetString("csv", "");
   if (!csv_path.empty()) {

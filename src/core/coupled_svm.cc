@@ -17,27 +17,44 @@ CoupledSvm::CoupledSvm(const CsvmOptions& options) : options_(options) {
   CBIR_CHECK_GT(options_.max_inner_iterations, 0);
 }
 
+Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
+  CsvmTrainView view;
+  view.visual = &data.visual;
+  view.log = &data.log;
+  view.labels = &data.labels;
+  view.initial_unlabeled_labels = &data.initial_unlabeled_labels;
+  view.initial_visual_alpha = &data.initial_visual_alpha;
+  view.initial_log_alpha = &data.initial_log_alpha;
+  return TrainView(view);
+}
+
 // The two-modality coupled SVM is exactly the K = 2 instantiation of the
-// Section 4.1 generalization, so Train delegates to MultiCoupledSvm (one
+// Section 4.1 generalization, so TrainView delegates to MultiCoupledSvm (one
 // shared implementation of the rho-annealing / label-correction chain)
 // and repackages the pair of models under the paper's visual/log names.
-Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
-  const size_t nl = data.labels.size();
-  const size_t nu = data.initial_unlabeled_labels.size();
+Result<CoupledModel> CoupledSvm::TrainView(const CsvmTrainView& data) const {
+  if (data.visual == nullptr || data.log == nullptr ||
+      data.labels == nullptr || data.initial_unlabeled_labels == nullptr) {
+    return Status::InvalidArgument("coupled SVM: null train-view field");
+  }
+  const size_t nl = data.labels->size();
+  const size_t nu = data.initial_unlabeled_labels->size();
   const size_t n = nl + nu;
   if (nl == 0) {
     return Status::InvalidArgument("coupled SVM: no labeled samples");
   }
-  if (data.visual.rows() != n || data.log.rows() != n) {
+  if (data.visual->rows() != n || data.log->rows() != n) {
     return Status::InvalidArgument(
         "coupled SVM: matrix rows must equal N_l + N'");
   }
-  if (!data.initial_visual_alpha.empty() &&
-      data.initial_visual_alpha.size() != n) {
+  if (data.initial_visual_alpha != nullptr &&
+      !data.initial_visual_alpha->empty() &&
+      data.initial_visual_alpha->size() != n) {
     return Status::InvalidArgument(
         "coupled SVM: initial_visual_alpha size must equal N_l + N'");
   }
-  if (!data.initial_log_alpha.empty() && data.initial_log_alpha.size() != n) {
+  if (data.initial_log_alpha != nullptr && !data.initial_log_alpha->empty() &&
+      data.initial_log_alpha->size() != n) {
     return Status::InvalidArgument(
         "coupled SVM: initial_log_alpha size must equal N_l + N'");
   }
@@ -48,24 +65,27 @@ Result<CoupledModel> CoupledSvm::Train(const CsvmTrainData& data) const {
   multi_options.delta = options_.delta;
   multi_options.max_inner_iterations = options_.max_inner_iterations;
   multi_options.enforce_class_balance = options_.enforce_class_balance;
+  multi_options.reuse_chain_cache = options_.reuse_chain_cache;
   multi_options.smo = options_.smo;
 
   // Views: the per-round delegation borrows the caller's matrices.
   std::vector<ModalityView> modalities(2);
-  modalities[0].data = &data.visual;
+  modalities[0].data = data.visual;
   modalities[0].kernel = options_.visual_kernel;
   modalities[0].c = options_.c_visual;
-  modalities[0].initial_alpha = &data.initial_visual_alpha;
-  modalities[1].data = &data.log;
+  modalities[0].initial_alpha = data.initial_visual_alpha;
+  modalities[0].shared_cache = data.visual_cache;
+  modalities[1].data = data.log;
   modalities[1].kernel = options_.log_kernel;
   modalities[1].c = options_.c_log;
-  modalities[1].initial_alpha = &data.initial_log_alpha;
+  modalities[1].initial_alpha = data.initial_log_alpha;
+  modalities[1].shared_cache = data.log_cache;
 
   CBIR_ASSIGN_OR_RETURN(
       MultiCoupledModel multi,
       MultiCoupledSvm(multi_options)
-          .TrainViews(modalities, data.labels,
-                      data.initial_unlabeled_labels));
+          .TrainViews(modalities, *data.labels,
+                      *data.initial_unlabeled_labels));
 
   CoupledModel model;
   model.visual = std::move(multi.models[0]);

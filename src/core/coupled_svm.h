@@ -47,6 +47,11 @@ struct CsvmOptions {
   /// relabel the entire pseudo-negative half positive and the decision
   /// function collapses. false = the literal Fig. 1 rule.
   bool enforce_class_balance = true;
+  /// Share one kernel cache per modality across the whole annealing /
+  /// label-correction chain (identical results; see
+  /// MultiCsvmOptions::reuse_chain_cache). false = one cache per QP solve,
+  /// the pre-sharing baseline kept for the benchmarks.
+  bool reuse_chain_cache = true;
 
   svm::KernelParams visual_kernel = svm::KernelParams::Rbf(1.0);
   svm::KernelParams log_kernel = svm::KernelParams::Rbf(1.0);
@@ -66,6 +71,28 @@ struct CsvmDiagnostics {
   long total_smo_iterations = 0;
   /// Kernel-cache counters aggregated across all solves.
   svm::CacheStats cache_stats;
+  /// The same counters split per modality (CoupledSvm: [0] = visual,
+  /// [1] = log), so shared-cache reuse is observable per kernel.
+  std::vector<svm::CacheStats> modality_cache_stats;
+
+  /// Folds another run's diagnostics in (counters sum, objectives keep the
+  /// other run's values); used to aggregate across many queries/rounds.
+  void Accumulate(const CsvmDiagnostics& other) {
+    outer_iterations += other.outer_iterations;
+    inner_iterations += other.inner_iterations;
+    total_flips += other.total_flips;
+    inner_cap_hit = inner_cap_hit || other.inner_cap_hit;
+    visual_objective = other.visual_objective;
+    log_objective = other.log_objective;
+    total_smo_iterations += other.total_smo_iterations;
+    cache_stats.Accumulate(other.cache_stats);
+    if (modality_cache_stats.size() < other.modality_cache_stats.size()) {
+      modality_cache_stats.resize(other.modality_cache_stats.size());
+    }
+    for (size_t k = 0; k < other.modality_cache_stats.size(); ++k) {
+      modality_cache_stats[k].Accumulate(other.modality_cache_stats[k]);
+    }
+  }
 };
 
 /// \brief The trained pair of consistent models.
@@ -102,6 +129,26 @@ struct CsvmTrainData {
   std::vector<double> initial_log_alpha;
 };
 
+/// \brief Non-owning CsvmTrainData: borrows the matrices/vectors (which must
+/// outlive the Train call) and optionally injects caller-owned per-modality
+/// kernel caches. This is how a feedback session trains on matrices that
+/// persist in its core::SessionState, so the caches bound to them can carry
+/// kernel rows across rounds.
+struct CsvmTrainView {
+  const la::Matrix* visual = nullptr;  ///< required, (N_l + N') x d
+  const la::Matrix* log = nullptr;     ///< required, (N_l + N') x M
+  const std::vector<double>* labels = nullptr;  ///< required, N_l entries
+  const std::vector<double>* initial_unlabeled_labels = nullptr;  ///< N'
+  /// Null or empty = cold start (otherwise N_l + N' entries).
+  const std::vector<double>* initial_visual_alpha = nullptr;
+  const std::vector<double>* initial_log_alpha = nullptr;
+  /// Optional caches bound to *visual / *log with the scheme's kernels;
+  /// contract as in svm::SmoOptions::shared_cache. Null = chain-local
+  /// caches per CsvmOptions::reuse_chain_cache.
+  svm::KernelCache* visual_cache = nullptr;
+  svm::KernelCache* log_cache = nullptr;
+};
+
 /// \brief Trainer implementing the alternating optimization of Section 4.2:
 ///
 /// 1. With pseudo-labels Y' fixed, solve the two weighted SVM QPs (visual
@@ -125,6 +172,11 @@ class CoupledSvm {
   const CsvmOptions& options() const { return options_; }
 
   Result<CoupledModel> Train(const CsvmTrainData& data) const;
+
+  /// Same optimization over borrowed data (no matrix copies), with optional
+  /// injected per-modality kernel caches. Train(data) is a thin wrapper over
+  /// this.
+  Result<CoupledModel> TrainView(const CsvmTrainView& data) const;
 
  private:
   CsvmOptions options_;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/session_cache.h"
 #include "la/matrix.h"
 #include "la/vector_ops.h"
 #include "retrieval/image_database.h"
@@ -18,17 +19,33 @@ namespace cbir::core {
 /// \brief Mutable cross-round state owned by one feedback session.
 ///
 /// Successive rounds of a session retrain SVMs on nearly identical problems
-/// (the labeled set only grows); schemes that solve QPs stash their final
-/// dual variables here, keyed by image id, and warm-start the next round's
-/// solver from them. Purely an accelerator: rankings are identical (within
-/// solver tolerance) with or without a state attached.
+/// (the labeled set only grows); schemes that solve QPs stash two kinds of
+/// carry-over here, both keyed by image id, and reuse them next round:
+///  - their final dual variables, to warm-start the next round's solver;
+///  - per-modality kernel rows (SessionKernelCache), so the stable part of
+///    the training set never recomputes its kernel entries.
+/// Purely an accelerator: rankings are identical (within solver tolerance)
+/// with or without a state attached. Move-only (the kernel caches own
+/// slabs).
 struct SessionState {
   std::unordered_map<int, double> visual_alpha;
   std::unordered_map<int, double> log_alpha;
+  /// Cross-round kernel rows per modality. RF-SVM uses visual_rows only;
+  /// LRF-CSVM uses both (rows = labeled + selected unlabeled samples).
+  SessionKernelCache visual_rows;
+  SessionKernelCache log_rows;
 
   void Clear() {
     visual_alpha.clear();
     log_alpha.clear();
+    visual_rows.Clear();
+    log_rows.Clear();
+  }
+
+  /// Bytes held by the kernel caches (slabs + gathered matrices); the
+  /// serving layer charges this against its session-memory accounting.
+  size_t AllocatedKernelBytes() const {
+    return visual_rows.AllocatedBytes() + log_rows.AllocatedBytes();
   }
 };
 
@@ -100,6 +117,11 @@ struct SchemeOptions {
   double c_log = 10.0;     ///< C_u
   svm::KernelParams visual_kernel = svm::KernelParams::Rbf(1.0);
   svm::KernelParams log_kernel = svm::KernelParams::Rbf(1.0);
+  /// Carry kernel rows across feedback rounds through the session's
+  /// SessionState (RF-SVM and LRF-CSVM). Only effective when a session
+  /// state is attached to the context; false recomputes every kernel row
+  /// each round. Rankings are identical within solver tolerance either way.
+  bool cross_round_kernel_cache = true;
   svm::SmoOptions smo;
 };
 

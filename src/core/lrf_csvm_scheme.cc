@@ -9,7 +9,8 @@ namespace cbir::core {
 
 LrfCsvmScheme::LrfCsvmScheme(const SchemeOptions& scheme_options,
                              const LrfCsvmOptions& options)
-    : options_(options) {
+    : options_(options),
+      cross_round_kernel_cache_(scheme_options.cross_round_kernel_cache) {
   // The shared scheme options carry the data-derived kernels and C values;
   // fold them into the coupled-SVM configuration.
   options_.csvm.c_visual = scheme_options.c_visual;
@@ -18,6 +19,11 @@ LrfCsvmScheme::LrfCsvmScheme(const SchemeOptions& scheme_options,
   options_.csvm.log_kernel = scheme_options.log_kernel;
   options_.csvm.smo = scheme_options.smo;
   CBIR_CHECK_GE(options_.n_prime, 0);
+}
+
+CsvmDiagnostics LrfCsvmScheme::AggregatedDiagnostics() const {
+  std::lock_guard<std::mutex> lock(diagnostics_mu_);
+  return aggregated_diagnostics_;
 }
 
 Result<CoupledModel> LrfCsvmScheme::TrainForContext(
@@ -105,20 +111,17 @@ Result<CoupledModel> LrfCsvmScheme::TrainForContext(
 
   // --- Fig. 1 step 2: coupled training --------------------------------------
   const size_t nu = selection.ids.size();
-  CsvmTrainData data;
-  data.visual = la::Matrix(nl + nu, visual_all.cols());
-  data.log = la::Matrix(nl + nu, log_all.cols());
-  data.labels = ctx.labels;
-  data.initial_unlabeled_labels = selection.initial_labels;
-  for (size_t i = 0; i < nl; ++i) {
-    const size_t id = static_cast<size_t>(ctx.labeled_ids[i]);
-    data.visual.SetRow(i, visual_all.Row(id));
-    data.log.SetRow(i, log_all.Row(id));
-  }
-  for (size_t j = 0; j < nu; ++j) {
-    const size_t id = static_cast<size_t>(selection.ids[j]);
-    data.visual.SetRow(nl + j, visual_all.Row(id));
-    data.log.SetRow(nl + j, log_all.Row(id));
+  std::vector<int> row_ids;
+  row_ids.reserve(nl + nu);
+  row_ids.insert(row_ids.end(), ctx.labeled_ids.begin(),
+                 ctx.labeled_ids.end());
+  row_ids.insert(row_ids.end(), selection.ids.begin(), selection.ids.end());
+  la::Matrix train_visual_all(nl + nu, visual_all.cols());
+  la::Matrix train_log_all(nl + nu, log_all.cols());
+  for (size_t i = 0; i < nl + nu; ++i) {
+    const size_t id = static_cast<size_t>(row_ids[i]);
+    train_visual_all.SetRow(i, visual_all.Row(id));
+    train_log_all.SetRow(i, log_all.Row(id));
   }
 
   // Warm start from the previous round of this session: rows whose image was
@@ -126,27 +129,60 @@ Result<CoupledModel> LrfCsvmScheme::TrainForContext(
   // rows start at zero (exactly the carried/new split the solver projects
   // back to feasibility).
   SessionState* state = ctx.session_state;
+  std::vector<double> initial_visual_alpha, initial_log_alpha;
   if (state != nullptr && !state->visual_alpha.empty()) {
-    data.initial_visual_alpha.assign(nl + nu, 0.0);
-    data.initial_log_alpha.assign(nl + nu, 0.0);
-    const auto seed_row = [&](size_t row, int id) {
-      if (auto it = state->visual_alpha.find(id);
+    initial_visual_alpha.assign(nl + nu, 0.0);
+    initial_log_alpha.assign(nl + nu, 0.0);
+    for (size_t i = 0; i < nl + nu; ++i) {
+      if (auto it = state->visual_alpha.find(row_ids[i]);
           it != state->visual_alpha.end()) {
-        data.initial_visual_alpha[row] = it->second;
+        initial_visual_alpha[i] = it->second;
       }
-      if (auto it = state->log_alpha.find(id); it != state->log_alpha.end()) {
-        data.initial_log_alpha[row] = it->second;
+      if (auto it = state->log_alpha.find(row_ids[i]);
+          it != state->log_alpha.end()) {
+        initial_log_alpha[i] = it->second;
       }
-    };
-    for (size_t i = 0; i < nl; ++i) seed_row(i, ctx.labeled_ids[i]);
-    for (size_t j = 0; j < nu; ++j) seed_row(nl + j, selection.ids[j]);
+    }
+  }
+
+  CsvmTrainView view;
+  view.labels = &ctx.labels;
+  view.initial_unlabeled_labels = &selection.initial_labels;
+  view.initial_visual_alpha = &initial_visual_alpha;
+  view.initial_log_alpha = &initial_log_alpha;
+  if (state != nullptr && cross_round_kernel_cache_) {
+    // Cross-round path: the session state takes ownership of the gathered
+    // matrices so the per-modality kernel caches bound to them survive
+    // between rounds. Rows of carried-over images keep their cached kernel
+    // entries (remapped by image id); only pairs involving new images cost
+    // kernel evaluations.
+    view.visual_cache =
+        state->visual_rows.Bind(row_ids, std::move(train_visual_all),
+                                options_.csvm.visual_kernel,
+                                options_.csvm.smo.cache_rows);
+    view.log_cache = state->log_rows.Bind(std::move(row_ids),
+                                          std::move(train_log_all),
+                                          options_.csvm.log_kernel,
+                                          options_.csvm.smo.cache_rows);
+    view.visual = &state->visual_rows.data();
+    view.log = &state->log_rows.data();
+  } else {
+    view.visual = &train_visual_all;
+    view.log = &train_log_all;
   }
 
   CoupledSvm csvm(options_.csvm);
-  auto model = csvm.Train(data);
+  auto model = csvm.TrainView(view);
+
+  if (model.ok()) {
+    std::lock_guard<std::mutex> lock(diagnostics_mu_);
+    aggregated_diagnostics_.Accumulate(model->diagnostics);
+  }
 
   if (model.ok() && state != nullptr) {
-    state->Clear();
+    // Only the duals are rebuilt; the kernel caches carry on to next round.
+    state->visual_alpha.clear();
+    state->log_alpha.clear();
     for (size_t i = 0; i < nl + nu; ++i) {
       const int id = i < nl ? ctx.labeled_ids[i]
                             : selection.ids[i - nl];

@@ -1,6 +1,8 @@
 #ifndef CBIR_CORE_LRF_CSVM_SCHEME_H_
 #define CBIR_CORE_LRF_CSVM_SCHEME_H_
 
+#include <mutex>
+
 #include "core/coupled_svm.h"
 #include "core/feedback_scheme.h"
 #include "core/unlabeled_selection.h"
@@ -47,8 +49,18 @@ class LrfCsvmScheme : public FeedbackScheme {
   /// and the feedback_session example to inspect diagnostics).
   Result<CoupledModel> TrainForContext(const FeedbackContext& ctx) const;
 
+  /// Diagnostics summed over every coupled training this scheme instance
+  /// ran (all queries, all rounds) — counters sum, cache stats aggregate
+  /// per modality. Thread-safe; the experiment driver prints this next to
+  /// the index stats.
+  CsvmDiagnostics AggregatedDiagnostics() const;
+
  private:
   LrfCsvmOptions options_;
+  bool cross_round_kernel_cache_ = true;
+
+  mutable std::mutex diagnostics_mu_;
+  mutable CsvmDiagnostics aggregated_diagnostics_;
 };
 
 }  // namespace cbir::core

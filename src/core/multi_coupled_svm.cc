@@ -1,6 +1,7 @@
 #include "core/multi_coupled_svm.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "svm/trainer.h"
 #include "util/logging.h"
@@ -31,7 +32,8 @@ Result<MultiCoupledModel> MultiCoupledSvm::Train(
   std::vector<ModalityView> views;
   views.reserve(modalities.size());
   for (const Modality& m : modalities) {
-    views.push_back(ModalityView{&m.data, m.kernel, m.c, &m.initial_alpha});
+    views.push_back(ModalityView{&m.data, m.kernel, m.c, &m.initial_alpha,
+                                 m.shared_cache});
   }
   return TrainViews(views, labels, initial_unlabeled_labels);
 }
@@ -78,6 +80,7 @@ Result<MultiCoupledModel> MultiCoupledSvm::TrainViews(
   MultiCoupledModel model;
   CsvmDiagnostics& diag = model.diagnostics;
   const size_t num_modalities = modalities.size();
+  diag.modality_cache_stats.resize(num_modalities);
   std::vector<svm::TrainOutput> outputs(num_modalities);
   // Successive solves of one modality differ only in rho_star or a few
   // flipped pseudo-labels; warm-start each from its predecessor, seeded
@@ -86,6 +89,23 @@ Result<MultiCoupledModel> MultiCoupledSvm::TrainViews(
   for (size_t k = 0; k < num_modalities; ++k) {
     if (modalities[k].initial_alpha != nullptr) {
       warm[k] = *modalities[k].initial_alpha;
+    }
+  }
+
+  // One kernel cache per modality serves every QP of the chain: the kernel
+  // matrix depends only on (data, kernel params), both constant here — the
+  // chain's solves differ only in labels, C bounds and warm starts. Callers
+  // may inject their own longer-lived cache through ModalityView;
+  // reuse_chain_cache = false falls back to one fresh cache per solve.
+  std::vector<std::unique_ptr<svm::KernelCache>> chain_caches(num_modalities);
+  std::vector<svm::KernelCache*> caches(num_modalities, nullptr);
+  for (size_t k = 0; k < num_modalities; ++k) {
+    if (modalities[k].shared_cache != nullptr) {
+      caches[k] = modalities[k].shared_cache;
+    } else if (options_.reuse_chain_cache) {
+      chain_caches[k] = std::make_unique<svm::KernelCache>(
+          *modalities[k].data, modalities[k].kernel, options_.smo.cache_rows);
+      caches[k] = chain_caches[k].get();
     }
   }
 
@@ -99,6 +119,7 @@ Result<MultiCoupledModel> MultiCoupledSvm::TrainViews(
       train_options.kernel = modalities[k].kernel;
       train_options.smo = options_.smo;
       train_options.smo.initial_alpha = warm[k];
+      train_options.smo.shared_cache = caches[k];
       svm::SvmTrainer trainer(train_options);
       auto out = trainer.TrainWeighted(*modalities[k].data, y, c_bounds);
       if (!out.ok()) return out.status();
@@ -106,6 +127,7 @@ Result<MultiCoupledModel> MultiCoupledSvm::TrainViews(
       warm[k] = outputs[k].alpha;
       diag.total_smo_iterations += outputs[k].iterations;
       diag.cache_stats.Accumulate(outputs[k].cache_stats);
+      diag.modality_cache_stats[k].Accumulate(outputs[k].cache_stats);
     }
     return Status::OK();
   };

@@ -22,6 +22,15 @@ struct Modality {
   /// Optional warm start (empty or N_l + N' entries): this modality's dual
   /// variables from a previous round's model, zero for rows new this round.
   std::vector<double> initial_alpha;
+  /// Optional caller-owned kernel cache for this modality, reused by every
+  /// QP of the annealing/label-correction chain (and, when the caller keeps
+  /// it across rounds, by future chains over overlapping data after a
+  /// RebindRemapped). Must be bound to this modality's `data` matrix object
+  /// with `kernel`-equal params and must outlive Train; see
+  /// svm::SmoOptions::shared_cache for the aliasing/lifetime rules. Null
+  /// lets the trainer build one chain-local cache per modality (see
+  /// MultiCsvmOptions::reuse_chain_cache).
+  svm::KernelCache* shared_cache = nullptr;
 };
 
 /// \brief Non-owning Modality: borrows the sample matrix (and warm start)
@@ -33,6 +42,9 @@ struct ModalityView {
   svm::KernelParams kernel = svm::KernelParams::Rbf(1.0);
   double c = 10.0;
   const std::vector<double>* initial_alpha = nullptr;  ///< null = cold start
+  /// Same contract as Modality::shared_cache (bound to *data, outlives the
+  /// call, not shared with concurrent solves).
+  svm::KernelCache* shared_cache = nullptr;
 };
 
 /// \brief Hyper-parameters shared across modalities; semantics match
@@ -43,6 +55,14 @@ struct MultiCsvmOptions {
   double delta = 2.0;  ///< threshold on the *sum* of per-modality slacks
   int max_inner_iterations = 20;
   bool enforce_class_balance = true;
+  /// Share one kernel cache per modality across every QP of the
+  /// annealing/label-correction chain (valid because only labels, C bounds
+  /// and warm starts change between those QPs — never the kernel matrix).
+  /// false restores the pre-sharing behaviour of one fresh cache per solve;
+  /// results are identical either way, this is purely a perf lever kept as
+  /// a before/after knob for the benchmarks. Ignored for modalities that
+  /// inject their own shared_cache.
+  bool reuse_chain_cache = true;
   svm::SmoOptions smo;
 };
 

@@ -1,5 +1,7 @@
 #include "core/rf_svm_scheme.h"
 
+#include <utility>
+
 #include "svm/trainer.h"
 
 namespace cbir::core {
@@ -30,8 +32,19 @@ Result<std::vector<int>> RfSvmScheme::Rank(const FeedbackContext& ctx) const {
       }
     }
   }
+  // Carry kernel rows across rounds the same way the duals are carried: the
+  // session state owns the training matrix + a cache keyed by image id, so
+  // the judged set's stable prefix never recomputes its kernel entries.
+  const la::Matrix* train_data = &train;
+  if (state != nullptr && options_.cross_round_kernel_cache) {
+    train_options.smo.shared_cache =
+        state->visual_rows.Bind(ctx.labeled_ids, std::move(train),
+                                options_.visual_kernel, options_.smo.cache_rows);
+    train_data = &state->visual_rows.data();
+  }
   svm::SvmTrainer trainer(train_options);
-  CBIR_ASSIGN_OR_RETURN(svm::TrainOutput out, trainer.Train(train, ctx.labels));
+  CBIR_ASSIGN_OR_RETURN(svm::TrainOutput out,
+                        trainer.Train(*train_data, ctx.labels));
   if (state != nullptr) {
     state->visual_alpha.clear();
     for (size_t i = 0; i < ctx.labeled_ids.size(); ++i) {

@@ -1,0 +1,57 @@
+#include "core/session_cache.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace cbir::core {
+
+svm::KernelCache* SessionKernelCache::Bind(std::vector<int> ids,
+                                           la::Matrix rows,
+                                           const svm::KernelParams& params,
+                                           size_t max_rows) {
+  CBIR_CHECK_EQ(ids.size(), rows.rows());
+  if (cache_ == nullptr) {
+    data_ = std::move(rows);
+    ids_ = std::move(ids);
+    cache_ = std::make_unique<svm::KernelCache>(data_, params, max_rows);
+    return cache_.get();
+  }
+
+  // Map this round's rows onto the previous round's by image id; rows whose
+  // image carried over keep their cached kernel entries.
+  std::unordered_map<int, int32_t> prev_index;
+  prev_index.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    prev_index.emplace(ids_[i], static_cast<int32_t>(i));
+  }
+  std::vector<int32_t> new_to_old(ids.size(), -1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (auto it = prev_index.find(ids[i]); it != prev_index.end()) {
+      new_to_old[i] = it->second;
+    }
+  }
+
+  // Replacing data_'s contents is safe: the cache references data_ by
+  // address (the same object across rounds), and RebindRemapped reads
+  // carried entries from its old slab, never from the old matrix.
+  data_ = std::move(rows);
+  ids_ = std::move(ids);
+  cache_->RebindRemapped(data_, params, new_to_old, max_rows);
+  return cache_.get();
+}
+
+size_t SessionKernelCache::AllocatedBytes() const {
+  if (cache_ == nullptr) return 0;
+  return cache_->AllocatedBytes() + data_.data().capacity() * sizeof(double);
+}
+
+void SessionKernelCache::Clear() {
+  cache_.reset();
+  data_ = la::Matrix();
+  ids_.clear();
+  ids_.shrink_to_fit();
+}
+
+}  // namespace cbir::core

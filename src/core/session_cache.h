@@ -1,0 +1,65 @@
+#ifndef CBIR_CORE_SESSION_CACHE_H_
+#define CBIR_CORE_SESSION_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.h"
+#include "svm/kernel.h"
+#include "svm/kernel_cache.h"
+
+namespace cbir::core {
+
+/// \brief Per-modality kernel rows carried across the rounds of one
+/// relevance-feedback session, keyed by image id (exactly like the
+/// warm-start alphas in SessionState).
+///
+/// Round t+1 of a session retrains on a training set that overlaps round
+/// t's heavily: the judged set only grows and the unlabeled selection
+/// shifts slowly. The kernel entry for an image pair depends only on the
+/// two images (and the kernel params), so every surviving pair's entry can
+/// be carried over. This class owns the gathered training matrix (so the
+/// svm::KernelCache bound to it never dangles between rounds) plus the
+/// image id of each row, and remaps resident rows onto each new round's
+/// training set via KernelCache::RebindRemapped.
+///
+/// Purely an accelerator: rankings are identical within solver tolerance
+/// with or without it. Not thread-safe; the owning session serializes
+/// rounds (e.g. behind ServeSession::mu).
+class SessionKernelCache {
+ public:
+  /// Binds the cache to this round's training set: `ids[i]` is the image id
+  /// of row i of `rows` (ids must be unique). Takes ownership of both.
+  /// Returns the cache, bound to the stored matrix — train on data() (the
+  /// exact object), with svm::SmoOptions::shared_cache set to the returned
+  /// pointer. Rows surviving from the previous bind keep their cached
+  /// kernel entries; pairs involving new images are computed. A change of
+  /// `params` invalidates everything (kernel values would differ).
+  svm::KernelCache* Bind(std::vector<int> ids, la::Matrix rows,
+                         const svm::KernelParams& params, size_t max_rows);
+
+  /// The training matrix of the current bind; valid until the next Bind().
+  const la::Matrix& data() const { return data_; }
+  const std::vector<int>& ids() const { return ids_; }
+  bool empty() const { return cache_ == nullptr; }
+  const svm::KernelCache* cache() const { return cache_.get(); }
+
+  /// Bytes held by the cache slab + the owned training matrix; feeds the
+  /// serving layer's per-session memory accounting.
+  size_t AllocatedBytes() const;
+
+  /// Drops the cache, matrix and ids (used when a session ends or is
+  /// evicted).
+  void Clear();
+
+ private:
+  la::Matrix data_;       ///< gathered training rows, owned across rounds
+  std::vector<int> ids_;  ///< image id per row of data_
+  std::unique_ptr<svm::KernelCache> cache_;
+};
+
+}  // namespace cbir::core
+
+#endif  // CBIR_CORE_SESSION_CACHE_H_

@@ -240,6 +240,15 @@ Result<std::vector<int>> RetrievalService::Feedback(
   if (!record.entries.empty()) {
     session->pending_log.push_back(std::move(record));
   }
+  // Settle this session's kernel-cache memory against the service-wide
+  // counter (the round may have grown the caches' slabs or, on the first
+  // round, created them).
+  const size_t kernel_bytes = session->warm_start.AllocatedKernelBytes();
+  session_kernel_bytes_.fetch_add(
+      static_cast<int64_t>(kernel_bytes) -
+          static_cast<int64_t>(session->accounted_kernel_bytes),
+      std::memory_order_relaxed);
+  session->accounted_kernel_bytes = kernel_bytes;
   session->has_ranking = true;
   ++session->rounds;
   Result<std::vector<int>> out = TopKOfRanking(*session, k);
@@ -264,15 +273,23 @@ size_t RetrievalService::EvictExpiredSessions() {
 }
 
 void RetrievalService::FlushSessionLocked(ServeSession& session) {
-  if (log_store_ == nullptr) {
-    session.pending_log.clear();
-    return;
-  }
-  for (logdb::LogSession& record : session.pending_log) {
-    log_store_->Append(std::move(record));
-    log_sessions_appended_.fetch_add(1, std::memory_order_relaxed);
+  if (log_store_ != nullptr) {
+    for (logdb::LogSession& record : session.pending_log) {
+      log_store_->Append(std::move(record));
+      log_sessions_appended_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   session.pending_log.clear();
+  // The session is ended (or evicted): its warm-start duals and kernel-cache
+  // slabs can never be reused, so release them now — eviction must actually
+  // bound memory — and refund the accounted bytes.
+  session.warm_start.Clear();
+  if (session.accounted_kernel_bytes != 0) {
+    session_kernel_bytes_.fetch_sub(
+        static_cast<int64_t>(session.accounted_kernel_bytes),
+        std::memory_order_relaxed);
+    session.accounted_kernel_bytes = 0;
+  }
 }
 
 void RetrievalService::InvalidateCache() { cache_.Invalidate(); }
@@ -299,6 +316,8 @@ ServiceStats RetrievalService::stats() const {
 
   s.log_sessions_appended =
       log_sessions_appended_.load(std::memory_order_relaxed);
+  s.session_kernel_cache_bytes = static_cast<uint64_t>(std::max<int64_t>(
+      session_kernel_bytes_.load(std::memory_order_relaxed), 0));
   s.elapsed_seconds = uptime_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(s.requests) / s.elapsed_seconds

@@ -136,8 +136,9 @@ class RetrievalService {
   /// holds the session mutex.
   void EnsureFirstRoundLocked(ServeSession& session);
 
-  /// Moves the session's recorded rounds into the log store. Caller holds
-  /// the session mutex.
+  /// Finishes an ended/evicted session under its mutex: moves its recorded
+  /// rounds into the log store and releases its warm-start state (duals +
+  /// kernel-cache slabs), settling the session-memory accounting.
   void FlushSessionLocked(ServeSession& session);
 
   /// Looks up + locks the session and finishes shared accounting; the
@@ -161,6 +162,10 @@ class RetrievalService {
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> feedbacks_{0};
   std::atomic<uint64_t> log_sessions_appended_{0};
+  /// Sum over live sessions of their accounted_kernel_bytes (cross-round
+  /// kernel-cache memory); updated after each feedback round and settled to
+  /// zero per session on end/eviction.
+  std::atomic<int64_t> session_kernel_bytes_{0};
 };
 
 }  // namespace cbir::serve

@@ -86,6 +86,8 @@ std::string FormatServiceStats(const ServiceStats& stats) {
      << stats.sessions_evicted_capacity + stats.sessions_evicted_ttl
      << " evicted/" << stats.active_sessions << " active"
      << " cache_hit_rate=" << FormatDouble(stats.cache_hit_rate, 3)
+     << " session_kernel_kb="
+     << stats.session_kernel_cache_bytes / 1024
      << " log_appends=" << stats.log_sessions_appended
      << " latency_us{p50=" << FormatDouble(stats.latency.p50_us, 0)
      << " p95=" << FormatDouble(stats.latency.p95_us, 0)

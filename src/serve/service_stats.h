@@ -83,6 +83,11 @@ struct ServiceStats {
   // Feedback log integration.
   uint64_t log_sessions_appended = 0;  ///< LogSessions flushed to the store
 
+  // Session memory: bytes held by per-session cross-round kernel caches
+  // (slabs + gathered training matrices) across all live sessions. Grows
+  // with feedback rounds, returns to zero as sessions end or are evicted.
+  uint64_t session_kernel_cache_bytes = 0;
+
   double elapsed_seconds = 0.0;  ///< since service start (or ResetStats)
   /// requests / elapsed_seconds (0 when no time has passed).
   double qps = 0.0;

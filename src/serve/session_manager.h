@@ -37,9 +37,15 @@ struct ServeSession {
   std::vector<logdb::LogSession> pending_log;
 
   /// The same context + warm-start state RunFeedbackSession threads through
-  /// a single-user session, owned here so rankings match it exactly.
+  /// a single-user session, owned here so rankings match it exactly. The
+  /// state carries dual variables *and* per-modality kernel caches across
+  /// rounds; both are released when the session ends or is evicted.
   core::FeedbackContext ctx;
   core::SessionState warm_start;
+  /// Bytes of warm_start kernel-cache memory currently charged to the
+  /// service's aggregate counter (updated after every feedback round,
+  /// zeroed on flush).
+  size_t accounted_kernel_bytes = 0;
 
   /// Current ranking (query id excluded); round 0 = first-round retrieval.
   std::vector<int> ranking;

@@ -36,6 +36,13 @@ struct KernelParams {
     return {KernelType::kPolynomial, gamma, coef0, degree};
   }
 
+  /// Exact parameter equality; a KernelCache may only be shared between
+  /// solves whose KernelParams compare equal.
+  friend bool operator==(const KernelParams& a, const KernelParams& b) {
+    return a.type == b.type && a.gamma == b.gamma && a.coef0 == b.coef0 &&
+           a.degree == b.degree;
+  }
+
   std::string ToString() const;
 };
 

@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace cbir::svm {
 
 KernelCache::KernelCache(const la::Matrix& data, const KernelParams& params,
-                         size_t max_rows)
-    : data_(data), params_(params), n_(data.rows()) {
+                         size_t max_rows) {
+  BindProblem(data, params, max_rows);
+}
+
+void KernelCache::BindProblem(const la::Matrix& data,
+                              const KernelParams& params, size_t max_rows,
+                              bool compute_diag) {
+  data_ = &data;
+  params_ = params;
+  n_ = data.rows();
   CBIR_CHECK_GT(n_, 0u);
   // Default budget: all rows when they fit in kDefaultSlabBytes, otherwise
   // as many as fit — an unbounded default would eagerly allocate n*n doubles
@@ -21,17 +30,129 @@ KernelCache::KernelCache(const la::Matrix& data, const KernelParams& params,
     budget = std::max<size_t>(kDefaultSlabBytes / (n_ * sizeof(double)), 2);
   }
   capacity_ = std::min(std::max<size_t>(budget, 2), n_);
-  slab_.resize(capacity_ * n_);
+  // The slab allocation survives rebinds that fit in it; it is only dropped
+  // (and lazily re-allocated at the new size) when the problem outgrew it.
+  if (slab_ != nullptr && slab_doubles_ < capacity_ * n_) {
+    slab_.reset();
+    slab_doubles_ = 0;
+  }
   slot_of_row_.assign(n_, kNoSlot);
   row_of_slot_.assign(capacity_, kNoSlot);
   lru_prev_.assign(capacity_, kNoSlot);
   lru_next_.assign(capacity_, kNoSlot);
+  lru_head_ = lru_tail_ = kNoSlot;
+  next_free_slot_ = 0;
+  stats_.resident_rows = 0;
   stats_.capacity_rows = capacity_;
 
   diag_.resize(n_);
-  for (size_t i = 0; i < n_; ++i) {
-    diag_[i] = EvalKernelRow(params_, data_, i, data_.Row(i));
+  if (compute_diag) {
+    for (size_t i = 0; i < n_; ++i) {
+      diag_[i] = EvalKernelRow(params_, *data_, i, data_->Row(i));
+    }
   }
+}
+
+void KernelCache::EnsureSlab() {
+  if (slab_ != nullptr) return;
+  slab_doubles_ = capacity_ * n_;
+  // Deliberately uninitialized (value-init would zero-fill the whole slab
+  // per solve): every slot is fully written by FillRow/FillRowPair or the
+  // remap gather before any read.
+  slab_ = std::unique_ptr<double[]>(new double[slab_doubles_]);
+}
+
+void KernelCache::Rebind(const la::Matrix& data, const KernelParams& params,
+                         size_t max_rows) {
+  BindProblem(data, params, max_rows);
+}
+
+void KernelCache::RebindRemapped(const la::Matrix& data,
+                                 const KernelParams& params,
+                                 const std::vector<int32_t>& new_to_old,
+                                 size_t max_rows) {
+  CBIR_CHECK_EQ(new_to_old.size(), data.rows());
+  // Validate the whole map and invert it up front (a partial scan would let
+  // out-of-range entries past the survivor found first reach raw indexing).
+  const size_t old_n = n_;
+  std::vector<int32_t> old_to_new(old_n, kNoSlot);
+  bool any_survivor = false;
+  if (params == params_) {
+    for (size_t i = 0; i < new_to_old.size(); ++i) {
+      const int32_t o = new_to_old[i];
+      if (o < 0) continue;
+      CBIR_CHECK_LT(static_cast<size_t>(o), old_n);
+      old_to_new[o] = static_cast<int32_t>(i);
+      any_survivor = any_survivor || slot_of_row_[o] != kNoSlot;
+    }
+  }
+  if (!any_survivor) {
+    // Different kernel or nothing resident to carry: plain invalidate (the
+    // slab allocation is still reused when it fits).
+    BindProblem(data, params, max_rows);
+    return;
+  }
+
+  // Snapshot the current problem's state, then rebind the tables to the new
+  // one. The old slab must stay alive while carried rows are gathered out of
+  // it (the row stride changes with n).
+  std::unique_ptr<double[]> old_slab = std::move(slab_);
+  slab_doubles_ = 0;
+  std::vector<int32_t> old_row_of_slot = std::move(row_of_slot_);
+  std::vector<int32_t> old_lru_next = std::move(lru_next_);
+  std::vector<double> old_diag = std::move(diag_);
+  const int32_t old_head = lru_head_;
+
+  BindProblem(data, params, max_rows, /*compute_diag=*/false);
+
+  // Diagonal: surviving samples keep their entries; only new samples are
+  // evaluated.
+  for (size_t i = 0; i < n_; ++i) {
+    const int32_t o = new_to_old[i];
+    diag_[i] = o >= 0 ? old_diag[o]
+                      : EvalKernelRow(params_, *data_, i, data_->Row(i));
+  }
+
+  // Surviving resident rows, most recently used first; rows beyond the new
+  // capacity would be carried only to be evicted in the same pass, so they
+  // are dropped here instead of paying the gather + new-pair evaluations.
+  std::vector<int32_t> survivors;
+  survivors.reserve(stats_.capacity_rows);
+  for (int32_t slot = old_head; slot != kNoSlot; slot = old_lru_next[slot]) {
+    if (old_to_new[old_row_of_slot[slot]] != kNoSlot) {
+      survivors.push_back(slot);
+      if (survivors.size() == capacity_) break;
+    }
+  }
+
+  // Carry them least recently used first so PushFront reproduces the old
+  // recency order.
+  for (auto it = survivors.rbegin(); it != survivors.rend(); ++it) {
+    const int32_t slot = *it;
+    const int32_t new_row = old_to_new[old_row_of_slot[slot]];
+    EnsureSlab();
+    const int32_t new_slot = AcquireSlot(kNoSlot);
+    double* dst = SlotPtr(new_slot);
+    const double* src = old_slab.get() + static_cast<size_t>(slot) * old_n;
+    const la::Vec xi = data_->Row(static_cast<size_t>(new_row));
+    for (size_t t = 0; t < n_; ++t) {
+      const int32_t o = new_to_old[t];
+      // Surviving pair: the kernel value is unchanged, copy it. New pair:
+      // K(x_new_row, x_t) = K(x_t, x_new_row) by symmetry.
+      dst[t] = o >= 0 ? src[o] : EvalKernelRow(params_, *data_, t, xi);
+    }
+    slot_of_row_[new_row] = new_slot;
+    row_of_slot_[new_slot] = new_row;
+    ++stats_.resident_rows;
+    PushFrontSlot(new_slot);
+  }
+}
+
+size_t KernelCache::AllocatedBytes() const {
+  return slab_doubles_ * sizeof(double) + diag_.capacity() * sizeof(double) +
+         (slot_of_row_.capacity() + row_of_slot_.capacity() +
+          lru_prev_.capacity() + lru_next_.capacity()) *
+             sizeof(int32_t);
 }
 
 void KernelCache::UnlinkSlot(int32_t slot) {
@@ -74,34 +195,34 @@ int32_t KernelCache::AcquireSlot(int32_t pinned_slot) {
 }
 
 void KernelCache::FillRow(size_t i, double* out) const {
-  EvalKernelRowBatch(params_, data_, data_.RowPtr(i), out, 0, n_);
+  EvalKernelRowBatch(params_, *data_, data_->RowPtr(i), out, 0, n_);
 }
 
 void KernelCache::FillRowPair(size_t i, size_t j, double* out_i,
                               double* out_j) const {
   // One pass over the data: each row x_t is loaded once and evaluated against
   // both x_i and x_j, halving memory traffic versus two separate fills.
-  const double* xi = data_.RowPtr(i);
-  const double* xj = data_.RowPtr(j);
-  const size_t dims = data_.cols();
+  const double* xi = data_->RowPtr(i);
+  const double* xj = data_->RowPtr(j);
+  const size_t dims = data_->cols();
   switch (params_.type) {
     case KernelType::kLinear:
       for (size_t t = 0; t < n_; ++t) {
-        const double* xt = data_.RowPtr(t);
+        const double* xt = data_->RowPtr(t);
         out_i[t] = la::DotN(xi, xt, dims);
         out_j[t] = la::DotN(xj, xt, dims);
       }
       return;
     case KernelType::kRbf:
       for (size_t t = 0; t < n_; ++t) {
-        const double* xt = data_.RowPtr(t);
+        const double* xt = data_->RowPtr(t);
         out_i[t] = std::exp(-params_.gamma * la::SquaredDistanceN(xi, xt, dims));
         out_j[t] = std::exp(-params_.gamma * la::SquaredDistanceN(xj, xt, dims));
       }
       return;
     case KernelType::kPolynomial:
       for (size_t t = 0; t < n_; ++t) {
-        const double* xt = data_.RowPtr(t);
+        const double* xt = data_->RowPtr(t);
         double base_i = params_.gamma * la::DotN(xi, xt, dims) + params_.coef0;
         double base_j = params_.gamma * la::DotN(xj, xt, dims) + params_.coef0;
         double vi = 1.0, vj = 1.0;
@@ -126,6 +247,7 @@ const double* KernelCache::GetRow(size_t i) {
     return SlotPtr(slot);
   }
   ++stats_.misses;
+  EnsureSlab();
   slot = AcquireSlot(kNoSlot);
   FillRow(i, SlotPtr(slot));
   slot_of_row_[i] = slot;
@@ -153,6 +275,7 @@ void KernelCache::GetRows(size_t i, size_t j, const double** ki,
     // Double miss: allocate both slots up front (pinning the first against
     // eviction by the second), then fill both rows in one data pass.
     stats_.misses += 2;
+    EnsureSlab();
     slot_i = AcquireSlot(kNoSlot);
     slot_j = AcquireSlot(slot_i);
     FillRowPair(i, j, SlotPtr(slot_i), SlotPtr(slot_j));
@@ -171,6 +294,7 @@ void KernelCache::GetRows(size_t i, size_t j, const double** ki,
     ++stats_.hits;
     ++stats_.misses;
     TouchSlot(pinned);
+    EnsureSlab();
     const int32_t slot = AcquireSlot(pinned);
     FillRow(missing, SlotPtr(slot));
     slot_of_row_[missing] = slot;

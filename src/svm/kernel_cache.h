@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "la/matrix.h"
@@ -35,6 +36,18 @@ struct CacheStats {
     resident_rows = std::max(resident_rows, other.resident_rows);
     capacity_rows = std::max(capacity_rows, other.capacity_rows);
   }
+  /// Counters attributable to the window between two snapshots of one
+  /// cache's lifetime stats: event counts subtract, the row fields report
+  /// the current (`now`) values. This is how a solve sharing a long-lived
+  /// cache reports only its own cache traffic.
+  static CacheStats DeltaSince(const CacheStats& now,
+                               const CacheStats& earlier) {
+    CacheStats d = now;
+    d.hits -= earlier.hits;
+    d.misses -= earlier.misses;
+    d.evictions -= earlier.evictions;
+    return d;
+  }
 };
 
 /// \brief Lazily computed, LRU-evicted kernel matrix rows backed by one
@@ -47,15 +60,50 @@ struct CacheStats {
 /// the SMO working pair's rows in one pass over the data and guarantees both
 /// pointers stay valid together (the first row is pinned while the second is
 /// fetched), so the solver never has to defensively copy a row.
+///
+/// The slab itself is allocated lazily on the first row fill (never
+/// zero-filled — every row is fully written before it is read) and the
+/// allocation is reused across any number of solves and Rebind() calls that
+/// fit in it, so a cache shared along a solve chain pays for its slab once.
+///
+/// A KernelCache can outlive a single QP solve: construct it once, hand it
+/// to any number of SmoSolver runs over the same (data, params) problem via
+/// SmoOptions::shared_cache, and Rebind()/RebindRemapped() it when the
+/// training set changes (e.g. between relevance-feedback rounds). Not
+/// thread-safe: concurrent solves must not share one cache.
 class KernelCache {
  public:
-  /// `data` must outlive the cache. `max_rows` bounds resident rows,
-  /// clamped to [2, n]; 0 selects a default budget of all rows up to a
-  /// 128 MiB slab (keeps corpus-scale n from eagerly allocating n*n).
+  /// `data` must outlive the cache (or its next Rebind). `max_rows` bounds
+  /// resident rows, clamped to [2, n]; 0 selects a default budget of all
+  /// rows up to a 128 MiB slab (keeps corpus-scale n from eagerly
+  /// allocating n*n).
   KernelCache(const la::Matrix& data, const KernelParams& params,
               size_t max_rows = 0);
 
   size_t n() const { return n_; }
+  /// The matrix this cache's rows are computed from. Solvers use pointer
+  /// identity to verify a shared cache is bound to the matrix being trained
+  /// on.
+  const la::Matrix* data() const { return data_; }
+  const KernelParams& params() const { return params_; }
+
+  /// Rebinds the cache to a new problem, invalidating every resident row
+  /// (the slab allocation is kept when the new problem fits in it). Use
+  /// RebindRemapped() to carry rows over instead.
+  void Rebind(const la::Matrix& data, const KernelParams& params,
+              size_t max_rows = 0);
+
+  /// Rebinds to a new problem that overlaps the current one:
+  /// `new_to_old[i]` is the current-problem index of new sample i, or -1
+  /// for a sample that is new. Resident rows of surviving samples are
+  /// carried over — surviving kernel entries are copied, entries against
+  /// new samples are computed — so only the genuinely new pairs cost kernel
+  /// evaluations. LRU order is preserved across the remap. When `params`
+  /// differ from the bound ones every row is invalid and this degrades to
+  /// Rebind().
+  void RebindRemapped(const la::Matrix& data, const KernelParams& params,
+                      const std::vector<int32_t>& new_to_old,
+                      size_t max_rows = 0);
 
   /// Returns kernel row i (K(x_i, x_t) for all t); the pointer is valid until
   /// the next GetRow/GetRows call.
@@ -73,12 +121,27 @@ class KernelCache {
   size_t hits() const { return stats_.hits; }
   size_t misses() const { return stats_.misses; }
 
+  /// Bytes currently allocated by this cache (slab + diagonal + index
+  /// tables). The slab — the dominant term — is only allocated once the
+  /// first row is materialized. Feeds the serving layer's per-session
+  /// memory accounting.
+  size_t AllocatedBytes() const;
+
  private:
   static constexpr int32_t kNoSlot = -1;
 
   double* SlotPtr(int32_t slot) {
-    return slab_.data() + static_cast<size_t>(slot) * n_;
+    return slab_.get() + static_cast<size_t>(slot) * n_;
   }
+  /// (Re)binds the problem: sets data/params/capacity, resets the row
+  /// tables and (when `compute_diag`) recomputes the diagonal — the remap
+  /// path carries surviving diagonal entries instead. Keeps the slab
+  /// allocation when it is large enough for the new capacity * n.
+  void BindProblem(const la::Matrix& data, const KernelParams& params,
+                   size_t max_rows, bool compute_diag = true);
+  /// Allocates the slab on first use (uninitialized — rows are always fully
+  /// written before they are read).
+  void EnsureSlab();
   /// Moves `slot` to the MRU end of the intrusive list.
   void TouchSlot(int32_t slot);
   void UnlinkSlot(int32_t slot);
@@ -91,12 +154,13 @@ class KernelCache {
   /// Computes rows i and j together in one pass over the data.
   void FillRowPair(size_t i, size_t j, double* out_i, double* out_j) const;
 
-  const la::Matrix& data_;
+  const la::Matrix* data_;
   KernelParams params_;
   size_t n_;
   size_t capacity_;
 
-  std::vector<double> slab_;           ///< capacity_ * n_ doubles
+  std::unique_ptr<double[]> slab_;     ///< capacity_ * n_ doubles, lazy
+  size_t slab_doubles_ = 0;            ///< allocated slab size in doubles
   std::vector<int32_t> slot_of_row_;   ///< n_ entries, kNoSlot if absent
   std::vector<int32_t> row_of_slot_;   ///< capacity_ entries
   std::vector<int32_t> lru_prev_;      ///< per slot

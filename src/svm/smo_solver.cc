@@ -22,8 +22,7 @@ SmoSolver::SmoSolver(const la::Matrix& data, std::vector<double> labels,
       c_(std::move(c_bounds)),
       kernel_params_(kernel),
       options_(options),
-      n_(data.rows()),
-      cache_(data, kernel, options.cache_rows) {
+      n_(data.rows()) {
   CBIR_CHECK_EQ(y_.size(), n_);
   CBIR_CHECK_EQ(c_.size(), n_);
 }
@@ -80,7 +79,7 @@ void SmoSolver::AccumulateSupportRows(size_t grad_begin, size_t grad_end) {
     const size_t s1 = svs[k + 1];
     const double* K0;
     const double* K1;
-    cache_.GetRows(s0, s1, &K0, &K1);
+    cache_->GetRows(s0, s1, &K0, &K1);
     const double c0 = alpha_[s0] * y_[s0];
     const double c1 = alpha_[s1] * y_[s1];
     for (size_t p = grad_begin; p < grad_end; ++p) {
@@ -90,7 +89,7 @@ void SmoSolver::AccumulateSupportRows(size_t grad_begin, size_t grad_end) {
   }
   if (k < svs.size()) {
     const size_t s = svs[k];
-    const double* Ks = cache_.GetRow(s);
+    const double* Ks = cache_->GetRow(s);
     const double coef = alpha_[s] * y_[s];
     for (size_t p = grad_begin; p < grad_end; ++p) {
       const size_t t = active_[p];
@@ -116,7 +115,7 @@ bool SmoSolver::SelectWorkingSet(size_t* out_i, size_t* out_j) {
   }
   if (i == n_) return false;
 
-  const double* Ki = cache_.GetRow(i);
+  const double* Ki = cache_->GetRow(i);
 
   // j: second-order selection among violating I_low members.
   size_t j = n_;
@@ -130,7 +129,7 @@ bool SmoSolver::SelectWorkingSet(size_t* out_i, size_t* out_j) {
     if (b_it <= 0.0) continue;  // not violating against i
     // Curvature along the feasible pair direction; the label signs cancel,
     // leaving ||phi(x_i) - phi(x_t)||^2 >= 0 for any Mercer kernel.
-    double a_it = cache_.Diag(i) + cache_.Diag(t) - 2.0 * Ki[t];
+    double a_it = cache_->Diag(i) + cache_->Diag(t) - 2.0 * Ki[t];
     if (a_it <= 0.0) a_it = kTau;
     const double gain = -(b_it * b_it) / a_it;
     if (gain < best_gain) {
@@ -208,6 +207,29 @@ Result<SmoSolution> SmoSolver::Solve() {
       return Status::InvalidArgument("SMO: non-positive C bound");
     }
   }
+  if (options_.shared_cache != nullptr) {
+    // The injected cache must serve rows of exactly the problem being
+    // solved: same matrix object (kernel rows are addressed by row index)
+    // and same kernel parameters.
+    if (options_.shared_cache->data() != &data_ ||
+        options_.shared_cache->n() != n_) {
+      // The row-count check catches a cache left stale by reassigning the
+      // bound matrix object to a different size without a Rebind.
+      return Status::InvalidArgument(
+          "SMO: shared kernel cache is not bound to this training matrix");
+    }
+    if (!(options_.shared_cache->params() == kernel_params_)) {
+      return Status::InvalidArgument(
+          "SMO: shared kernel cache kernel params mismatch");
+    }
+    cache_ = options_.shared_cache;
+  } else {
+    owned_cache_ =
+        std::make_unique<KernelCache>(data_, kernel_params_,
+                                      options_.cache_rows);
+    cache_ = owned_cache_.get();
+  }
+  const CacheStats cache_stats_at_entry = cache_->stats();
   CBIR_RETURN_NOT_OK(InitializeState());
 
   const long max_iter =
@@ -246,10 +268,10 @@ Result<SmoSolution> SmoSolver::Solve() {
     // Both rows stay valid together: the slab cache pins i while fetching j.
     const double* Ki;
     const double* Kj;
-    cache_.GetRows(i, j, &Ki, &Kj);
+    cache_->GetRows(i, j, &Ki, &Kj);
 
     const double yi = y_[i], yj = y_[j];
-    double a_ij = cache_.Diag(i) + cache_.Diag(j) - 2.0 * Ki[j];
+    double a_ij = cache_->Diag(i) + cache_->Diag(j) - 2.0 * Ki[j];
     if (a_ij <= 0.0) a_ij = kTau;
 
     const double old_ai = alpha_[i];
@@ -322,7 +344,10 @@ Result<SmoSolution> SmoSolver::Solve() {
   sol.bias = ComputeBias();
   sol.objective = ComputeObjective();
   sol.iterations = iter;
-  sol.cache_stats = cache_.stats();
+  // Only this solve's traffic: a shared cache carries counters (and rows)
+  // from earlier solves in the chain.
+  sol.cache_stats = CacheStats::DeltaSince(cache_->stats(),
+                                           cache_stats_at_entry);
   // f(x_t) recovered from the gradient identity grad_t = y_t (f_t - b) - 1.
   sol.train_decisions.resize(n_);
   for (size_t t = 0; t < n_; ++t) {

@@ -1,6 +1,7 @@
 #ifndef CBIR_SVM_SMO_SOLVER_H_
 #define CBIR_SVM_SMO_SOLVER_H_
 
+#include <memory>
 #include <vector>
 
 #include "la/matrix.h"
@@ -18,7 +19,29 @@ struct SmoOptions {
   long max_iterations = -1;
   /// Kernel-cache row budget; 0 selects KernelCache's default of all rows
   /// up to a 128 MiB slab (see kernel_cache.h), not an unlimited cache.
+  /// Ignored when `shared_cache` is set (the shared cache was built with its
+  /// own budget).
   size_t cache_rows = 0;
+  /// External kernel cache injection point. Null (the default) keeps the
+  /// internal path: the solver builds its own cache for the solve. Non-null
+  /// makes the solve fetch kernel rows from the caller's cache, so a chain
+  /// of solves over the same training data (rho annealing, label
+  /// correction, successive feedback rounds after a RebindRemapped) computes
+  /// each row once instead of once per QP — kernel rows depend only on
+  /// (data, kernel params), never on labels, C bounds, or warm starts.
+  ///
+  /// Aliasing / lifetime rules:
+  ///  - the cache must outlive the solve and is mutated by it;
+  ///  - it must be bound to the *same* la::Matrix object the solver was
+  ///    constructed with (pointer identity, not just equal contents) and to
+  ///    equal KernelParams — Solve() returns InvalidArgument otherwise;
+  ///  - ownership stays with the caller; the solver never frees or rebinds
+  ///    it;
+  ///  - neither KernelCache nor the solver is thread-safe: concurrent
+  ///    solves must use distinct caches.
+  /// SmoSolution::cache_stats reports only this solve's traffic (a delta of
+  /// the shared cache's lifetime counters).
+  KernelCache* shared_cache = nullptr;
   /// LIBSVM-style shrinking: periodically drop examples that are pinned at a
   /// bound and KKT-consistent from the active set; the full gradient is
   /// reconstructed and optimality re-verified over all examples before the
@@ -122,7 +145,10 @@ class SmoSolver {
   SmoOptions options_;
   size_t n_;
 
-  KernelCache cache_;
+  /// Either options_.shared_cache or owned_cache_ (built lazily in Solve()
+  /// so degenerate inputs fail with a Status before any slab work).
+  KernelCache* cache_ = nullptr;
+  std::unique_ptr<KernelCache> owned_cache_;
   std::vector<double> alpha_;
   std::vector<double> grad_;    ///< grad_i = (Qa)_i - 1 (active entries fresh)
   std::vector<size_t> active_;  ///< permutation; first active_size_ are active

@@ -11,6 +11,14 @@
 namespace cbir::svm {
 
 /// \brief Training configuration.
+///
+/// `smo.shared_cache` is the trainer-level kernel-cache injection point:
+/// when set, every solve launched through this trainer fetches kernel rows
+/// from that caller-owned cache instead of building its own. The cache must
+/// be bound (KernelCache ctor / Rebind) to the exact `data` matrix object
+/// passed to Train/TrainWeighted with `kernel`-equal params, must outlive
+/// the call, and must not be used by concurrent solves — see
+/// SmoOptions::shared_cache for the full aliasing/lifetime rules.
 struct TrainOptions {
   KernelParams kernel = KernelParams::Rbf(1.0);
   /// Default per-sample bound; overridden sample-by-sample via
@@ -34,7 +42,9 @@ struct TrainOutput {
   double objective = 0.0;
   long iterations = 0;
   bool converged = false;
-  /// Kernel-cache counters from the underlying SMO solve.
+  /// Kernel-cache counters from the underlying SMO solve. With an injected
+  /// shared cache this is the solve's own traffic only (delta of the shared
+  /// cache's lifetime counters).
   CacheStats cache_stats;
 };
 

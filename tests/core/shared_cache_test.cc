@@ -1,0 +1,356 @@
+// Equivalence gates for kernel-cache sharing across the coupled-SVM solve
+// chain and across feedback rounds: shared-cache training must reproduce
+// per-solve-cache models and rankings (within solver tolerance) for
+// CoupledSvm, MultiCoupledSvm and RunFeedbackSession — including after label
+// flips, labeled-set growth across rounds, and under eviction pressure.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/coupled_svm.h"
+#include "core/feedback_loop.h"
+#include "core/lrf_csvm_scheme.h"
+#include "core/multi_coupled_svm.h"
+#include "core/rf_svm_scheme.h"
+#include "core/session_cache.h"
+#include "logdb/log_store.h"
+#include "logdb/simulated_user.h"
+#include "util/rng.h"
+
+namespace cbir::core {
+namespace {
+
+// Two-modality problem with class overlap so chains iterate and labels flip.
+CsvmTrainData TwoModalityProblem(size_t nl_per_class, size_t nu,
+                                 double visual_gap, double log_gap,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  const size_t nl = 2 * nl_per_class;
+  CsvmTrainData data;
+  data.visual = la::Matrix(nl + nu, 2);
+  data.log = la::Matrix(nl + nu, 1);
+  for (size_t i = 0; i < nl; ++i) {
+    const double y = (i < nl_per_class) ? 1.0 : -1.0;
+    data.labels.push_back(y);
+    data.visual.At(i, 0) = rng.Gaussian() + visual_gap * y;
+    data.visual.At(i, 1) = rng.Gaussian();
+    data.log.At(i, 0) = rng.Gaussian() * 0.3 + log_gap * y;
+  }
+  for (size_t j = 0; j < nu; ++j) {
+    const double y = (j % 2 == 0) ? 1.0 : -1.0;
+    data.visual.At(nl + j, 0) = rng.Gaussian() + visual_gap * y;
+    data.visual.At(nl + j, 1) = rng.Gaussian();
+    data.log.At(nl + j, 0) = rng.Gaussian() * 0.3 + log_gap * y;
+    data.initial_unlabeled_labels.push_back(y);
+  }
+  return data;
+}
+
+CsvmOptions TestOptions() {
+  CsvmOptions options;
+  options.c_visual = 10.0;
+  options.c_log = 10.0;
+  options.rho = 0.5;
+  options.visual_kernel = svm::KernelParams::Rbf(0.5);
+  options.log_kernel = svm::KernelParams::Rbf(0.5);
+  return options;
+}
+
+TEST(CsvmSharedCacheTest, ChainSharingReproducesPerSolveCaches) {
+  // Overlapping classes (gap 1.0) force label-correction flips, so the chain
+  // re-solves with changed labels over the shared rows.
+  const CsvmTrainData data = TwoModalityProblem(8, 10, 1.0, 0.8, 31);
+
+  CsvmOptions per_solve = TestOptions();
+  per_solve.reuse_chain_cache = false;
+  auto cold = CoupledSvm(per_solve).Train(data);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  CsvmOptions shared = TestOptions();
+  shared.reuse_chain_cache = true;
+  auto hot = CoupledSvm(shared).Train(data);
+  ASSERT_TRUE(hot.ok());
+
+  // Kernel entries are identical whichever fill path produced them, so the
+  // chains solve literally the same QPs: labels, duals and decisions match.
+  EXPECT_EQ(hot->unlabeled_labels, cold->unlabeled_labels);
+  EXPECT_EQ(hot->visual_alpha, cold->visual_alpha);
+  EXPECT_EQ(hot->log_alpha, cold->log_alpha);
+  for (size_t i = 0; i < data.visual.rows(); ++i) {
+    EXPECT_NEAR(hot->Decision(data.visual.Row(i), data.log.Row(i)),
+                cold->Decision(data.visual.Row(i), data.log.Row(i)), 1e-9);
+  }
+  // The whole point: one cache per modality turns the chain's repeated row
+  // computations into hits.
+  EXPECT_GT(hot->diagnostics.cache_stats.hit_rate(),
+            cold->diagnostics.cache_stats.hit_rate());
+  EXPECT_LT(hot->diagnostics.cache_stats.misses,
+            cold->diagnostics.cache_stats.misses);
+  // Per-modality split is populated ([0] visual, [1] log) and sums to the
+  // aggregate.
+  ASSERT_EQ(hot->diagnostics.modality_cache_stats.size(), 2u);
+  EXPECT_EQ(hot->diagnostics.modality_cache_stats[0].hits +
+                hot->diagnostics.modality_cache_stats[1].hits,
+            hot->diagnostics.cache_stats.hits);
+}
+
+TEST(CsvmSharedCacheTest, TinyCacheBudgetStaysCorrect) {
+  const CsvmTrainData data = TwoModalityProblem(8, 8, 1.0, 0.8, 33);
+  CsvmOptions roomy = TestOptions();
+  auto reference = CoupledSvm(roomy).Train(data);
+  ASSERT_TRUE(reference.ok());
+
+  CsvmOptions squeezed = TestOptions();
+  squeezed.smo.cache_rows = 2;  // minimum budget: constant eviction churn
+  auto model = CoupledSvm(squeezed).Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->diagnostics.cache_stats.evictions, 0u);
+  EXPECT_EQ(model->unlabeled_labels, reference->unlabeled_labels);
+  for (size_t i = 0; i < data.visual.rows(); ++i) {
+    EXPECT_NEAR(model->Decision(data.visual.Row(i), data.log.Row(i)),
+                reference->Decision(data.visual.Row(i), data.log.Row(i)),
+                1e-9);
+  }
+}
+
+TEST(MultiCsvmSharedCacheTest, ThreeModalitySharingMatchesPerSolve) {
+  // K = 3: the same matrix serves as a third "shape" modality.
+  const CsvmTrainData base = TwoModalityProblem(6, 8, 1.2, 0.8, 35);
+  std::vector<Modality> modalities(3);
+  modalities[0].data = base.visual;
+  modalities[0].kernel = svm::KernelParams::Rbf(0.5);
+  modalities[1].data = base.log;
+  modalities[1].kernel = svm::KernelParams::Rbf(0.5);
+  modalities[2].data = base.visual;
+  modalities[2].kernel = svm::KernelParams::Rbf(0.25);
+
+  MultiCsvmOptions per_solve;
+  per_solve.rho = 0.5;
+  per_solve.reuse_chain_cache = false;
+  auto cold = MultiCoupledSvm(per_solve).Train(modalities, base.labels,
+                                               base.initial_unlabeled_labels);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  MultiCsvmOptions shared = per_solve;
+  shared.reuse_chain_cache = true;
+  auto hot = MultiCoupledSvm(shared).Train(modalities, base.labels,
+                                           base.initial_unlabeled_labels);
+  ASSERT_TRUE(hot.ok());
+
+  EXPECT_EQ(hot->unlabeled_labels, cold->unlabeled_labels);
+  ASSERT_EQ(hot->alphas.size(), 3u);
+  EXPECT_EQ(hot->alphas, cold->alphas);
+  ASSERT_EQ(hot->diagnostics.modality_cache_stats.size(), 3u);
+  EXPECT_LT(hot->diagnostics.cache_stats.misses,
+            cold->diagnostics.cache_stats.misses);
+}
+
+TEST(CsvmSharedCacheTest, InjectedSessionCachesAcrossGrowingRounds) {
+  // The cross-round serving pattern, driven directly: round 2 grows the
+  // labeled set; the session caches remap by id and the trained model must
+  // match a cache-free training of the same round-2 problem.
+  const CsvmTrainData full = TwoModalityProblem(10, 8, 1.0, 0.8, 37);
+  const size_t nl_full = 20;
+  const size_t nu = 8;
+  const CsvmOptions options = TestOptions();
+  const CoupledSvm csvm(options);
+
+  SessionKernelCache visual_rows, log_rows;
+  // Interleave the classes so the round-1 prefix is balanced: labeled slot t
+  // maps to image t/2 of the positive (even t) or negative (odd t) class.
+  const auto labeled_id = [&](size_t t) {
+    return static_cast<int>(t % 2 == 0 ? t / 2 : nl_full / 2 + t / 2);
+  };
+  auto run_round = [&](size_t nl) -> Result<CoupledModel> {
+    std::vector<int> ids;
+    la::Matrix visual(nl + nu, full.visual.cols());
+    la::Matrix log(nl + nu, full.log.cols());
+    std::vector<double> labels;
+    for (size_t i = 0; i < nl; ++i) {
+      const size_t id = static_cast<size_t>(labeled_id(i));
+      ids.push_back(static_cast<int>(id));
+      visual.SetRow(i, full.visual.Row(id));
+      log.SetRow(i, full.log.Row(id));
+      labels.push_back(full.labels[id]);
+    }
+    for (size_t j = 0; j < nu; ++j) {
+      ids.push_back(static_cast<int>(nl_full + j));
+      visual.SetRow(nl + j, full.visual.Row(nl_full + j));
+      log.SetRow(nl + j, full.log.Row(nl_full + j));
+    }
+    CsvmTrainView view;
+    view.labels = &labels;
+    view.initial_unlabeled_labels = &full.initial_unlabeled_labels;
+    view.visual_cache = visual_rows.Bind(ids, std::move(visual),
+                                         options.visual_kernel, 0);
+    view.log_cache =
+        log_rows.Bind(std::move(ids), std::move(log), options.log_kernel, 0);
+    view.visual = &visual_rows.data();
+    view.log = &log_rows.data();
+    return csvm.TrainView(view);
+  };
+
+  ASSERT_TRUE(run_round(10).ok());
+  auto carried = run_round(nl_full);
+  ASSERT_TRUE(carried.ok());
+
+  // Reference: the identical round-2 problem (same interleaved row order),
+  // trained without any carried caches.
+  CsvmTrainData round2;
+  round2.visual = la::Matrix(nl_full + nu, full.visual.cols());
+  round2.log = la::Matrix(nl_full + nu, full.log.cols());
+  round2.initial_unlabeled_labels = full.initial_unlabeled_labels;
+  for (size_t i = 0; i < nl_full; ++i) {
+    const size_t id = static_cast<size_t>(labeled_id(i));
+    round2.visual.SetRow(i, full.visual.Row(id));
+    round2.log.SetRow(i, full.log.Row(id));
+    round2.labels.push_back(full.labels[id]);
+  }
+  for (size_t j = 0; j < nu; ++j) {
+    round2.visual.SetRow(nl_full + j, full.visual.Row(nl_full + j));
+    round2.log.SetRow(nl_full + j, full.log.Row(nl_full + j));
+  }
+  auto reference = csvm.Train(round2);
+  ASSERT_TRUE(reference.ok());
+
+  EXPECT_EQ(carried->unlabeled_labels, reference->unlabeled_labels);
+  EXPECT_EQ(carried->visual_alpha, reference->visual_alpha);
+  EXPECT_EQ(carried->log_alpha, reference->log_alpha);
+  // Round 2 recomputed kernel rows only against the 10 new labeled images:
+  // strictly fewer misses than the cache-free training.
+  EXPECT_LT(carried->diagnostics.cache_stats.misses,
+            reference->diagnostics.cache_stats.misses);
+}
+
+// ---- Feedback-loop level: full sessions with and without the caches. ------
+
+class SessionCacheFeedbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    retrieval::DatabaseOptions options;
+    options.corpus.num_categories = 4;
+    options.corpus.images_per_category = 20;
+    options.corpus.width = 48;
+    options.corpus.height = 48;
+    options.corpus.seed = 19;
+    db_ = new retrieval::ImageDatabase(
+        retrieval::ImageDatabase::Build(options));
+    logdb::LogCollectionOptions log_options;
+    log_options.num_sessions = 30;
+    log_options.session_size = 10;
+    log_options.seed = 3;
+    logdb::LogStore store =
+        logdb::CollectLogs(db_->features(), db_->categories(), log_options);
+    log_features_ =
+        new la::Matrix(store.BuildMatrix(db_->num_images()).ToDenseMatrix());
+  }
+  static void TearDownTestSuite() {
+    delete log_features_;
+    log_features_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static SchemeOptions SchemeOpts() {
+    return MakeDefaultSchemeOptions(*db_, log_features_);
+  }
+
+  static retrieval::ImageDatabase* db_;
+  static la::Matrix* log_features_;
+};
+
+retrieval::ImageDatabase* SessionCacheFeedbackTest::db_ = nullptr;
+la::Matrix* SessionCacheFeedbackTest::log_features_ = nullptr;
+
+TEST_F(SessionCacheFeedbackTest, LrfCsvmSessionMatchesWithoutCaches) {
+  FeedbackLoopOptions loop;
+  loop.rounds = 3;
+  loop.judgments_per_round = 10;
+  loop.scopes = {10, 20};
+
+  SchemeOptions with = SchemeOpts();
+  with.cross_round_kernel_cache = true;
+  SchemeOptions without = SchemeOpts();
+  without.cross_round_kernel_cache = false;
+  LrfCsvmOptions csvm;
+  csvm.n_prime = 10;
+
+  for (int query : {4, 31, 57}) {
+    LrfCsvmScheme cached(with, csvm);
+    LrfCsvmScheme uncached(without, csvm);
+    auto a = RunFeedbackSession(*db_, log_features_, cached, query, loop);
+    auto b = RunFeedbackSession(*db_, log_features_, uncached, query, loop);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->precision, b->precision) << "query " << query;
+  }
+}
+
+TEST_F(SessionCacheFeedbackTest, LrfCsvmSessionUnderEvictionPressure) {
+  FeedbackLoopOptions loop;
+  loop.rounds = 2;
+  loop.judgments_per_round = 10;
+  loop.scopes = {10};
+
+  SchemeOptions base = SchemeOpts();
+  LrfCsvmOptions csvm;
+  csvm.n_prime = 10;
+  LrfCsvmScheme reference(base, csvm);
+
+  SchemeOptions tiny = base;
+  tiny.smo.cache_rows = 2;  // eviction churn in every solve, every round
+  LrfCsvmScheme squeezed(tiny, csvm);
+
+  auto a = RunFeedbackSession(*db_, log_features_, reference, 11, loop);
+  auto b = RunFeedbackSession(*db_, log_features_, squeezed, 11, loop);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->precision, b->precision);
+}
+
+TEST_F(SessionCacheFeedbackTest, RfSvmSessionMatchesWithoutCaches) {
+  FeedbackLoopOptions loop;
+  loop.rounds = 3;
+  loop.judgments_per_round = 12;
+  loop.scopes = {10, 20};
+
+  SchemeOptions with = SchemeOpts();
+  with.cross_round_kernel_cache = true;
+  SchemeOptions without = SchemeOpts();
+  without.cross_round_kernel_cache = false;
+
+  for (int query : {2, 43}) {
+    RfSvmScheme cached(with);
+    RfSvmScheme uncached(without);
+    auto a = RunFeedbackSession(*db_, nullptr, cached, query, loop);
+    auto b = RunFeedbackSession(*db_, nullptr, uncached, query, loop);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->precision, b->precision) << "query " << query;
+  }
+}
+
+TEST_F(SessionCacheFeedbackTest, AggregatedDiagnosticsAccumulate) {
+  FeedbackLoopOptions loop;
+  loop.rounds = 2;
+  loop.judgments_per_round = 10;
+  loop.scopes = {10};
+  LrfCsvmOptions csvm;
+  csvm.n_prime = 10;
+  LrfCsvmScheme scheme(SchemeOpts(), csvm);
+  EXPECT_EQ(scheme.AggregatedDiagnostics().total_smo_iterations, 0);
+
+  ASSERT_TRUE(
+      RunFeedbackSession(*db_, log_features_, scheme, 7, loop).ok());
+  const CsvmDiagnostics diag = scheme.AggregatedDiagnostics();
+  EXPECT_GT(diag.total_smo_iterations, 0);
+  EXPECT_GT(diag.cache_stats.hits + diag.cache_stats.misses, 0u);
+  ASSERT_EQ(diag.modality_cache_stats.size(), 2u);
+  EXPECT_EQ(diag.modality_cache_stats[0].hits +
+                diag.modality_cache_stats[1].hits,
+            diag.cache_stats.hits);
+}
+
+}  // namespace
+}  // namespace cbir::core

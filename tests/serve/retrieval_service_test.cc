@@ -356,6 +356,99 @@ TEST_F(RetrievalServiceTest, TtlEvictionExpiresIdleSessions) {
   EXPECT_EQ(service->stats().sessions_evicted_ttl, 1u);
 }
 
+// Sessions accumulate cross-round kernel-cache memory (slabs + gathered
+// training matrices) as they run feedback rounds; the service accounts for
+// it, and ending or evicting a session must release its share — eviction
+// has to actually bound memory.
+TEST_F(RetrievalServiceTest, SessionKernelCacheMemoryIsAccountedAndFreed) {
+  ServiceOptions options;
+  options.scheme = "LRF-CSVM";
+  options.csvm.n_prime = 10;
+  options.candidate_depth = 60;
+  options.sessions.max_sessions = 2;
+  auto service = MakeService(nullptr, options);
+  EXPECT_EQ(service->stats().session_kernel_cache_bytes, 0u);
+
+  logdb::SimulatedUser user(db_->categories(), logdb::UserModel{0.0});
+  Rng rng(7);
+  const auto run_round = [&](uint64_t sid, int query_id) {
+    auto ranking = service->Query(sid, 60);
+    ASSERT_TRUE(ranking.ok());
+    std::vector<logdb::LogEntry> entries;
+    for (int id : ranking.value()) {
+      if (entries.size() >= 10) break;
+      if (id == query_id) continue;
+      entries.push_back(
+          logdb::LogEntry{id, user.Judge(id, db_->category(query_id), &rng)});
+    }
+    ASSERT_TRUE(service->Feedback(sid, entries, 60).ok());
+  };
+
+  auto s1 = service->StartSession(1);
+  ASSERT_TRUE(s1.ok());
+  run_round(s1.value(), 1);
+  const uint64_t after_one = service->stats().session_kernel_cache_bytes;
+  EXPECT_GT(after_one, 0u);
+
+  auto s2 = service->StartSession(2);
+  ASSERT_TRUE(s2.ok());
+  run_round(s2.value(), 2);
+  const uint64_t after_two = service->stats().session_kernel_cache_bytes;
+  EXPECT_GT(after_two, after_one);
+
+  // Ending a session refunds exactly its share ...
+  ASSERT_TRUE(service->EndSession(s1.value()).ok());
+  EXPECT_EQ(service->stats().session_kernel_cache_bytes,
+            after_two - after_one);
+
+  // ... and capacity eviction refunds the victim's share too.
+  auto s3 = service->StartSession(3);
+  ASSERT_TRUE(s3.ok());
+  auto s4 = service->StartSession(4);  // evicts s2 (LRU)
+  ASSERT_TRUE(s4.ok());
+  EXPECT_EQ(service->stats().sessions_evicted_capacity, 1u);
+  EXPECT_EQ(service->stats().session_kernel_cache_bytes, 0u);
+}
+
+// A serve session re-ranked with a tiny kernel-cache row budget (constant
+// eviction churn inside every solve) stays rank-identical to the default
+// configuration: eviction pressure is a perf knob, never a results knob.
+TEST_F(RetrievalServiceTest, TinyKernelCacheBudgetKeepsRankingsIdentical) {
+  const auto run_session = [&](core::SchemeOptions scheme_options) {
+    ServiceOptions options;
+    options.scheme = "LRF-CSVM";
+    options.csvm.n_prime = 10;
+    options.candidate_depth = 60;
+    auto service =
+        RetrievalService::Create(db_, log_features_, nullptr, scheme_options,
+                                 options);
+    EXPECT_TRUE(service.ok()) << service.status();
+    logdb::SimulatedUser user(db_->categories(), logdb::UserModel{0.0});
+    Rng rng(9);
+    auto sid = service.value()->StartSession(5);
+    EXPECT_TRUE(sid.ok());
+    std::vector<int> last;
+    for (int round = 0; round < 2; ++round) {
+      auto ranking = service.value()->Query(sid.value(), 60);
+      EXPECT_TRUE(ranking.ok());
+      std::vector<logdb::LogEntry> entries;
+      for (int id : ranking.value()) {
+        if (entries.size() >= 10) break;
+        entries.push_back(
+            logdb::LogEntry{id, user.Judge(id, db_->category(5), &rng)});
+      }
+      auto result = service.value()->Feedback(sid.value(), entries, 60);
+      EXPECT_TRUE(result.ok()) << result.status();
+      last = result.value();
+    }
+    return last;
+  };
+
+  core::SchemeOptions tiny = SchemeOpts();
+  tiny.smo.cache_rows = 2;
+  EXPECT_EQ(run_session(SchemeOpts()), run_session(tiny));
+}
+
 // Tentpole gate: a session opened with a raw feature vector (an image the
 // corpus has never seen — here, a corpus image's feature re-submitted
 // externally) reproduces the matching in-corpus session's ranking; the only

@@ -1,0 +1,354 @@
+// Tests for the external kernel-cache injection point: KernelCache
+// Rebind/RebindRemapped semantics and SmoSolver solving through a shared,
+// caller-owned cache (the mechanism the coupled-SVM solve chain and the
+// cross-round session caches are built on).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "svm/kernel_cache.h"
+#include "svm/smo_solver.h"
+#include "svm/trainer.h"
+#include "util/rng.h"
+
+namespace cbir::svm {
+namespace {
+
+la::Matrix RandomData(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix data(n, dims);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < dims; ++c) data.At(r, c) = rng.Gaussian();
+  }
+  return data;
+}
+
+/// Two-class Gaussian problem with some overlap so the solver iterates.
+void MakeProblem(size_t n, uint64_t seed, la::Matrix* data,
+                 std::vector<double>* labels) {
+  Rng rng(seed);
+  *data = la::Matrix(n, 4);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double y = (i % 2 == 0) ? 1.0 : -1.0;
+    (*labels)[i] = y;
+    for (size_t d = 0; d < 4; ++d) {
+      data->At(i, d) = rng.Gaussian() + 0.5 * y;
+    }
+  }
+}
+
+void ExpectRowMatches(KernelCache& cache, const la::Matrix& data,
+                      const KernelParams& k, size_t i) {
+  const double* row = cache.GetRow(i);
+  for (size_t j = 0; j < data.rows(); ++j) {
+    EXPECT_NEAR(row[j], EvalKernel(k, data.Row(i), data.Row(j)), 1e-12)
+        << "row " << i << " col " << j;
+  }
+}
+
+TEST(KernelCacheRebindTest, SlabIsAllocatedLazily) {
+  const la::Matrix data = RandomData(8, 3, 21);
+  KernelCache cache(data, KernelParams::Rbf(0.5));
+  const size_t before_first_row = cache.AllocatedBytes();
+  cache.GetRow(0);
+  // The slab (8 rows x 8 doubles here) only exists after the first fill.
+  EXPECT_GE(cache.AllocatedBytes(),
+            before_first_row + 8 * 8 * sizeof(double));
+}
+
+TEST(KernelCacheRebindTest, RebindInvalidatesRowsAndReusesAllocation) {
+  const la::Matrix a = RandomData(6, 3, 1);
+  const la::Matrix b = RandomData(6, 3, 2);
+  const KernelParams k = KernelParams::Rbf(0.4);
+  KernelCache cache(a, k);
+  for (size_t i = 0; i < 6; ++i) cache.GetRow(i);
+  EXPECT_EQ(cache.stats().resident_rows, 6u);
+  const size_t bytes_before = cache.AllocatedBytes();
+
+  cache.Rebind(b, k);
+  EXPECT_EQ(cache.data(), &b);
+  EXPECT_EQ(cache.stats().resident_rows, 0u);
+  // Same-size problem: the slab allocation is reused, not reallocated.
+  EXPECT_EQ(cache.AllocatedBytes(), bytes_before);
+  for (size_t i = 0; i < 6; ++i) ExpectRowMatches(cache, b, k, i);
+}
+
+TEST(KernelCacheRebindTest, RemappedGrowthCarriesSurvivingRows) {
+  // New problem = old problem's rows {0, 2, 3} (permuted) + two new rows.
+  const la::Matrix a = RandomData(4, 3, 3);
+  const KernelParams k = KernelParams::Rbf(0.3);
+  KernelCache cache(a, k);
+  for (size_t i = 0; i < 4; ++i) cache.GetRow(i);
+  const size_t misses_before = cache.misses();
+
+  la::Matrix b(5, 3);
+  b.SetRow(0, a.Row(2));
+  b.SetRow(1, a.Row(0));
+  b.SetRow(2, RandomData(1, 3, 4).Row(0));
+  b.SetRow(3, a.Row(3));
+  b.SetRow(4, RandomData(1, 3, 5).Row(0));
+  const std::vector<int32_t> new_to_old = {2, 0, -1, 3, -1};
+  cache.RebindRemapped(b, k, new_to_old);
+
+  EXPECT_EQ(cache.stats().resident_rows, 3u);
+  // Carried rows are served as hits — no recomputation.
+  EXPECT_EQ(cache.GetRow(0)[0], EvalKernel(k, b.Row(0), b.Row(0)));
+  EXPECT_EQ(cache.misses(), misses_before);
+  for (size_t i = 0; i < 5; ++i) ExpectRowMatches(cache, b, k, i);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(cache.Diag(i), EvalKernel(k, b.Row(i), b.Row(i)), 1e-12);
+  }
+}
+
+TEST(KernelCacheRebindTest, RemappedShrinkDropsDepartedRows) {
+  const la::Matrix a = RandomData(6, 2, 6);
+  const KernelParams k = KernelParams::Linear();
+  KernelCache cache(a, k);
+  for (size_t i = 0; i < 6; ++i) cache.GetRow(i);
+
+  la::Matrix b(3, 2);
+  b.SetRow(0, a.Row(5));
+  b.SetRow(1, a.Row(1));
+  b.SetRow(2, a.Row(3));
+  cache.RebindRemapped(b, k, {5, 1, 3});
+  EXPECT_EQ(cache.stats().resident_rows, 3u);
+  for (size_t i = 0; i < 3; ++i) ExpectRowMatches(cache, b, k, i);
+}
+
+TEST(KernelCacheRebindTest, RemappedWithDifferentParamsInvalidates) {
+  const la::Matrix a = RandomData(4, 2, 7);
+  KernelCache cache(a, KernelParams::Rbf(0.5));
+  for (size_t i = 0; i < 4; ++i) cache.GetRow(i);
+
+  const KernelParams k2 = KernelParams::Rbf(2.0);
+  cache.RebindRemapped(a, k2, {0, 1, 2, 3});
+  // Same data, different gamma: nothing may be carried.
+  EXPECT_EQ(cache.stats().resident_rows, 0u);
+  for (size_t i = 0; i < 4; ++i) ExpectRowMatches(cache, a, k2, i);
+}
+
+TEST(KernelCacheRebindTest, RemappedUnderTinyCapacityKeepsHottestRows) {
+  const la::Matrix a = RandomData(6, 2, 8);
+  const KernelParams k = KernelParams::Rbf(0.7);
+  KernelCache cache(a, k, /*max_rows=*/2);
+  cache.GetRow(0);
+  cache.GetRow(1);  // resident: {0, 1}, 1 most recent
+  cache.RebindRemapped(a, k, {0, 1, 2, 3, 4, 5}, /*max_rows=*/2);
+  EXPECT_EQ(cache.stats().capacity_rows, 2u);
+  EXPECT_LE(cache.stats().resident_rows, 2u);
+  for (size_t i = 0; i < 6; ++i) ExpectRowMatches(cache, a, k, i);
+}
+
+TEST(SmoSharedCacheTest, SharedCacheSolveMatchesInternalExactly) {
+  la::Matrix data;
+  std::vector<double> labels;
+  MakeProblem(40, 11, &data, &labels);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+  const std::vector<double> c(40, 5.0);
+
+  SmoOptions internal_options;
+  SmoSolver internal_solver(data, labels, c, kernel, internal_options);
+  auto internal = internal_solver.Solve();
+  ASSERT_TRUE(internal.ok()) << internal.status();
+
+  KernelCache cache(data, kernel);
+  SmoOptions shared_options;
+  shared_options.shared_cache = &cache;
+  SmoSolver shared_solver(data, labels, c, kernel, shared_options);
+  auto shared = shared_solver.Solve();
+  ASSERT_TRUE(shared.ok()) << shared.status();
+
+  // Identical solver trajectory: a fresh shared cache serves exactly the
+  // same rows an internal one would.
+  EXPECT_EQ(shared->alpha, internal->alpha);
+  EXPECT_EQ(shared->bias, internal->bias);
+  EXPECT_EQ(shared->iterations, internal->iterations);
+  EXPECT_EQ(shared->cache_stats.hits, internal->cache_stats.hits);
+  EXPECT_EQ(shared->cache_stats.misses, internal->cache_stats.misses);
+}
+
+TEST(SmoSharedCacheTest, SecondSolveReusesRowsAndReportsDeltaStats) {
+  la::Matrix data;
+  std::vector<double> labels;
+  MakeProblem(30, 12, &data, &labels);
+  const KernelParams kernel = KernelParams::Rbf(0.8);
+  const std::vector<double> c_low(30, 1.0);
+  const std::vector<double> c_high(30, 10.0);
+
+  KernelCache cache(data, kernel);
+  SmoOptions options;
+  options.shared_cache = &cache;
+
+  SmoSolver first(data, labels, c_low, kernel, options);
+  auto a = first.Solve();
+  ASSERT_TRUE(a.ok());
+  EXPECT_GT(a->cache_stats.misses, 0u);
+
+  // Different C bounds, same kernel matrix: the second solve must not
+  // recompute a single row (every miss already happened), and its reported
+  // stats must be its own traffic only, not the cache's lifetime counters.
+  SmoSolver second(data, labels, c_high, kernel, options);
+  auto b = second.Solve();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->cache_stats.misses, 0u);
+  EXPECT_GT(b->cache_stats.hits, 0u);
+  EXPECT_EQ(cache.stats().misses, a->cache_stats.misses);
+
+  // And the result still matches a cold solve of the same problem.
+  SmoSolver cold(data, labels, c_high, kernel, SmoOptions{});
+  auto cold_solution = cold.Solve();
+  ASSERT_TRUE(cold_solution.ok());
+  EXPECT_EQ(b->alpha, cold_solution->alpha);
+  EXPECT_EQ(b->bias, cold_solution->bias);
+}
+
+TEST(SmoSharedCacheTest, LabelFlipsDoNotInvalidateSharedRows) {
+  la::Matrix data;
+  std::vector<double> labels;
+  MakeProblem(24, 13, &data, &labels);
+  const KernelParams kernel = KernelParams::Rbf(0.6);
+  const std::vector<double> c(24, 4.0);
+
+  KernelCache cache(data, kernel);
+  SmoOptions options;
+  options.shared_cache = &cache;
+  SmoSolver first(data, labels, c, kernel, options);
+  ASSERT_TRUE(first.Solve().ok());
+  const size_t resident = cache.stats().resident_rows;
+
+  // Flip a few labels (the coupled SVM's label-correction step): kernel
+  // rows are label-independent, so nothing resident is invalidated — the
+  // flipped solve can only miss on rows the first solve never materialized.
+  std::vector<double> flipped = labels;
+  flipped[3] = -flipped[3];
+  flipped[8] = -flipped[8];
+  SmoSolver second(data, flipped, c, kernel, options);
+  auto b = second.Solve();
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->cache_stats.misses, 24u - resident);
+  EXPECT_GT(b->cache_stats.hits, 0u);
+
+  SmoSolver cold(data, flipped, c, kernel, SmoOptions{});
+  auto cold_solution = cold.Solve();
+  ASSERT_TRUE(cold_solution.ok());
+  EXPECT_EQ(b->alpha, cold_solution->alpha);
+}
+
+TEST(SmoSharedCacheTest, EvictionPressureStaysCorrect) {
+  la::Matrix data;
+  std::vector<double> labels;
+  MakeProblem(32, 14, &data, &labels);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+  const std::vector<double> c(32, 8.0);
+
+  // cache_rows = 2 is the minimum budget: constant eviction churn.
+  KernelCache tiny(data, kernel, /*max_rows=*/2);
+  SmoOptions options;
+  options.shared_cache = &tiny;
+  SmoSolver solver(data, labels, c, kernel, options);
+  auto squeezed = solver.Solve();
+  ASSERT_TRUE(squeezed.ok());
+  EXPECT_GT(squeezed->cache_stats.evictions, 0u);
+
+  SmoSolver roomy(data, labels, c, kernel, SmoOptions{});
+  auto reference = roomy.Solve();
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(squeezed->alpha.size(), reference->alpha.size());
+  for (size_t i = 0; i < reference->alpha.size(); ++i) {
+    EXPECT_NEAR(squeezed->alpha[i], reference->alpha[i], 1e-6);
+  }
+  EXPECT_NEAR(squeezed->bias, reference->bias, 1e-6);
+}
+
+TEST(SmoSharedCacheTest, RejectsForeignMatrixAndParams) {
+  la::Matrix data;
+  std::vector<double> labels;
+  MakeProblem(10, 15, &data, &labels);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+  const std::vector<double> c(10, 1.0);
+
+  // Equal contents, different object: still rejected (the contract is
+  // pointer identity — rows are addressed by index into that matrix).
+  la::Matrix copy = data;
+  KernelCache foreign(copy, kernel);
+  SmoOptions options;
+  options.shared_cache = &foreign;
+  SmoSolver solver(data, labels, c, kernel, options);
+  EXPECT_EQ(solver.Solve().status().code(), StatusCode::kInvalidArgument);
+
+  KernelCache wrong_params(data, KernelParams::Rbf(2.0));
+  options.shared_cache = &wrong_params;
+  SmoSolver solver2(data, labels, c, kernel, options);
+  EXPECT_EQ(solver2.Solve().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SmoSharedCacheTest, TrainerThreadsSharedCacheThrough) {
+  la::Matrix data;
+  std::vector<double> labels;
+  MakeProblem(20, 16, &data, &labels);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+
+  KernelCache cache(data, kernel);
+  TrainOptions options;
+  options.kernel = kernel;
+  options.c = 3.0;
+  options.smo.shared_cache = &cache;
+  SvmTrainer trainer(options);
+  auto first = trainer.Train(data, labels);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = trainer.Train(data, labels);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache_stats.misses, 0u);
+  EXPECT_EQ(second->alpha, first->alpha);
+}
+
+TEST(SmoSharedCacheTest, SolveAfterRemappedGrowthMatchesFresh) {
+  // The cross-round pattern: solve on n samples, grow the set (prefix
+  // carries over), remap the cache, solve again — must match a cold solve
+  // of the grown problem within solver tolerance.
+  la::Matrix small_data;
+  std::vector<double> small_labels;
+  MakeProblem(20, 17, &small_data, &small_labels);
+  const KernelParams kernel = KernelParams::Rbf(0.5);
+
+  KernelCache cache(small_data, kernel);
+  SmoOptions options;
+  options.shared_cache = &cache;
+  SmoSolver first(small_data, small_labels,
+                  std::vector<double>(20, 5.0), kernel, options);
+  ASSERT_TRUE(first.Solve().ok());
+
+  la::Matrix grown_data;
+  std::vector<double> grown_labels;
+  MakeProblem(30, 17, &grown_data, &grown_labels);  // same seed: same prefix
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t d = 0; d < 4; ++d) {
+      ASSERT_EQ(grown_data.At(i, d), small_data.At(i, d));
+    }
+  }
+  std::vector<int32_t> new_to_old(30, -1);
+  for (int32_t i = 0; i < 20; ++i) new_to_old[i] = i;
+  cache.RebindRemapped(grown_data, kernel, new_to_old);
+
+  const size_t misses_before = cache.stats().misses;
+  SmoSolver second(grown_data, grown_labels, std::vector<double>(30, 5.0),
+                   kernel, options);
+  auto remapped = second.Solve();
+  ASSERT_TRUE(remapped.ok());
+  // The carried 20-row block was served from the remap, so the solve missed
+  // at most the 10 new rows.
+  EXPECT_LE(cache.stats().misses - misses_before, 10u);
+
+  SmoSolver cold(grown_data, grown_labels, std::vector<double>(30, 5.0),
+                 kernel, SmoOptions{});
+  auto reference = cold.Solve();
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(remapped->alpha[i], reference->alpha[i], 1e-6);
+  }
+  EXPECT_NEAR(remapped->bias, reference->bias, 1e-6);
+}
+
+}  // namespace
+}  // namespace cbir::svm
