@@ -20,6 +20,7 @@
 
 #include "api/dispatcher.h"
 #include "core/feedback_scheme.h"
+#include "logdb/log_store.h"
 #include "logdb/simulated_user.h"
 #include "net/tcp_server.h"
 #include "retrieval/synthetic_features.h"
@@ -35,6 +36,16 @@ constexpr const char* kHelp =
  transport
   --port=N              listen port (default 7345; 0 = OS-assigned, printed)
   --host=S              bind address (default 127.0.0.1; 0.0.0.0 = public)
+  --idle-timeout-ms=N   reap connections silent for N ms (default 0 = never)
+  --drain-timeout-ms=N  shutdown grace for in-flight requests (default 1000)
+
+ fault tolerance
+  --wal=PATH            durable feedback log: snapshot at PATH, write-ahead
+                        log at PATH.wal. Every acknowledged session survives
+                        kill -9; on boot the committed WAL prefix is replayed
+                        (torn tail truncated) and the recovered count printed
+  --max-inflight=N      admission cap: shed requests over N concurrently
+                        in flight with kUnavailable (default 0 = unbounded)
 
  corpus (must match the driver's for byte-identical rankings)
   --synthetic-rows=N    clustered 36-dim feature corpus (default 20000)
@@ -78,10 +89,10 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> known = retrieval::IndexFlagNames();
   for (const char* name :
-       {"help", "port", "host", "synthetic-rows", "categories",
-        "images-per-category", "seed", "scheme", "k", "rounds", "judgments",
-        "depth", "noise", "max-sessions", "ttl", "cache-capacity",
-        "log-sessions"}) {
+       {"help", "port", "host", "idle-timeout-ms", "drain-timeout-ms", "wal",
+        "max-inflight", "synthetic-rows", "categories", "images-per-category",
+        "seed", "scheme", "k", "rounds", "judgments", "depth", "noise",
+        "max-sessions", "ttl", "cache-capacity", "log-sessions"}) {
     known.push_back(name);
   }
   if (Status s = flags.RequireKnown(known); !s.ok()) {
@@ -131,8 +142,42 @@ int main(int argc, char** argv) {
   log_options.session_size = 20;
   log_options.user.noise_rate = noise;
   log_options.seed = seed + 1;
-  logdb::LogStore store =
-      logdb::CollectLogs(db.features(), db.categories(), log_options);
+  logdb::LogStore store;
+  const std::string wal_path = flags.GetString("wal", "");
+  if (wal_path.empty()) {
+    store = logdb::CollectLogs(db.features(), db.categories(), log_options);
+  } else {
+    // Durable mode: the feedback log lives on disk and outlives the process.
+    // A fresh store (first boot) is seeded with the simulated pre-collected
+    // log and compacted so the baseline is in the snapshot, not the WAL.
+    logdb::WalRecoveryStats recovery;
+    auto store_or =
+        logdb::LogStore::OpenDurable(wal_path, wal_path + ".wal", &recovery);
+    if (!store_or.ok()) {
+      std::cerr << store_or.status() << "\n";
+      return 1;
+    }
+    store = std::move(store_or).value();
+    if (store.num_sessions() == 0) {
+      logdb::LogStore seeded =
+          logdb::CollectLogs(db.features(), db.categories(), log_options);
+      for (const logdb::LogSession& session : seeded.sessions()) {
+        store.Append(session);
+      }
+      if (Status s = store.Compact(); !s.ok()) {
+        std::cerr << "wal: seed compaction failed: " << s << "\n";
+        return 1;
+      }
+    }
+    // One stable line the chaos-smoke CI job greps after a kill -9 restart.
+    std::cout << "wal: recovered " << store.num_sessions() << " sessions ("
+              << recovery.sessions << " replayed from wal, "
+              << recovery.torn_bytes << " torn bytes discarded";
+    if (!recovery.torn_reason.empty()) {
+      std::cout << ": " << recovery.torn_reason;
+    }
+    std::cout << ")\n";
+  }
   const la::Matrix log_features =
       store.BuildMatrix(db.num_images()).ToDenseMatrix();
 
@@ -147,6 +192,8 @@ int main(int argc, char** argv) {
   service_options.sessions.ttl_seconds = flags.GetDouble("ttl", 0.0);
   service_options.cache.capacity =
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  service_options.max_inflight =
+      static_cast<size_t>(flags.GetInt("max-inflight", 0));
 
   auto service_or = serve::RetrievalService::Create(
       &db, &log_features, &store,
@@ -160,6 +207,8 @@ int main(int argc, char** argv) {
   net::TcpServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");
   server_options.port = flags.GetInt("port", 7345);
+  server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 0);
+  server_options.drain_timeout_ms = flags.GetInt("drain-timeout-ms", 1000);
   net::TcpServer server(&dispatcher, server_options);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << s << "\n";
@@ -182,11 +231,19 @@ int main(int argc, char** argv) {
 
   std::cout << "shutting down...\n";
   server.Stop();
+  if (store.durable()) {
+    // Fold the WAL into the snapshot on a clean exit; a kill -9 skips this
+    // and the next boot replays the WAL instead.
+    if (Status s = store.Compact(); !s.ok()) {
+      std::cerr << "wal: final compaction failed: " << s << "\n";
+    }
+  }
   const net::TcpServerStats net_stats = server.stats();
   std::cout << serve::FormatServiceStats(service_or.value()->stats()) << "\n"
             << "connections accepted " << net_stats.connections_accepted
             << ", requests served " << net_stats.requests_served
-            << ", decode errors " << net_stats.decode_errors << "\n"
+            << ", decode errors " << net_stats.decode_errors
+            << ", idle reaped " << net_stats.connections_reaped_idle << "\n"
             << "feedback log " << store.num_sessions() << " sessions ("
             << store.TotalJudgments() << " judgments)\n";
   return 0;

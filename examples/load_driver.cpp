@@ -24,6 +24,7 @@
 #include <atomic>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "api/messages.h"
 #include "core/feedback_scheme.h"
 #include "logdb/simulated_user.h"
+#include "net/fault_injector.h"
+#include "net/retrying_client.h"
 #include "net/tcp_client.h"
 #include "retrieval/synthetic_features.h"
 #include "serve/retrieval_service.h"
@@ -72,6 +75,16 @@ constexpr const char* kHelp =
   --ttl=F               session idle TTL seconds (default 0 = none)
   --cache-capacity=N    first-round cache entries (default 4096)
   --log-sessions=N      pre-collected feedback-log sessions (default 150)
+
+ chaos (remote only)
+  --chaos               route every outgoing frame through a fault injector
+                        (delays, drops, resets, partial writes, bit flips)
+                        and replace each worker's client with a retrying one
+                        (backoff + jitter, reconnects, idempotent feedback).
+                        Sessions lost to injected faults count as chaos
+                        casualties; the run fails only if more than 20% die
+  --chaos-seed=N        fault-schedule seed (default: --seed)
+  --rpc-timeout-ms=N    per-RPC deadline under chaos (default 2000)
 
  index (see quickstart): --index=exact|signature (default signature),
   --signature_bits, --candidate_factor, --index-seed
@@ -135,6 +148,32 @@ class RemoteSessionApi : public SessionApi {
   net::TcpClient client_;
 };
 
+/// Chaos backend: a RetryingClient whose frames pass through the shared
+/// FaultInjector. Lost replies, resets and corrupted frames become bounded
+/// retries instead of hangs or torn sessions.
+class ChaosSessionApi : public SessionApi {
+ public:
+  ChaosSessionApi(std::string host, int port, net::RetryOptions options,
+                  net::FaultInjector* injector)
+      : client_(std::move(host), port, options, injector) {}
+  Result<uint64_t> Start(int query_id) override {
+    return client_.StartSession(api::QuerySpec::ById(query_id));
+  }
+  Result<std::vector<int>> Query(uint64_t sid, int k) override {
+    return client_.Query(sid, k);
+  }
+  Result<std::vector<int>> Feedback(uint64_t sid,
+                                    const std::vector<logdb::LogEntry>& round,
+                                    int k) override {
+    return client_.Feedback(sid, round, k);
+  }
+  Status End(uint64_t sid) override { return client_.EndSession(sid); }
+  net::RetryingClientStats retry_stats() const { return client_.stats(); }
+
+ private:
+  net::RetryingClient client_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,8 +191,9 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"help", "threads", "sessions", "rounds", "judgments", "noise",
         "repeat-queries", "seed", "synthetic-rows", "categories",
-        "images-per-category", "remote", "scheme", "k", "depth",
-        "max-sessions", "ttl", "cache-capacity", "log-sessions"}) {
+        "images-per-category", "remote", "chaos", "chaos-seed",
+        "rpc-timeout-ms", "scheme", "k", "depth", "max-sessions", "ttl",
+        "cache-capacity", "log-sessions"}) {
     known.push_back(name);
   }
   if (Status s = flags.RequireKnown(known); !s.ok()) {
@@ -170,11 +210,31 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
   const int k = flags.GetInt("k", 20);
   const std::string remote = flags.GetString("remote", "");
+  const bool chaos = flags.GetBool("chaos", false);
+  const int rpc_timeout_ms = flags.GetInt("rpc-timeout-ms", 2000);
   if (threads < 1 || total_sessions < 1 || rounds < 0 || judgments < 1 ||
       k < 1) {
     std::cerr << "invalid load shape\n" << kHelp;
     return 1;
   }
+  if (chaos && remote.empty()) {
+    std::cerr << "--chaos needs --remote (it injects wire-level faults)\n"
+              << kHelp;
+    return 1;
+  }
+
+  // Chaos mode: one shared fault injector (thread-safe, deterministic
+  // schedule) that every worker's frames pass through.
+  net::FaultInjectorOptions chaos_options;
+  chaos_options.seed = static_cast<uint64_t>(
+      flags.GetInt("chaos-seed", static_cast<int>(seed)));
+  chaos_options.delay_probability = 0.15;
+  chaos_options.max_delay_ms = 3;
+  chaos_options.drop_probability = 0.03;
+  chaos_options.reset_probability = 0.02;
+  chaos_options.partial_write_probability = 0.02;
+  chaos_options.bit_flip_probability = 0.02;
+  net::FaultInjector injector(chaos_options);
 
   auto index_options = retrieval::IndexOptionsFromFlags(flags);
   if (!index_options.ok()) {
@@ -254,7 +314,7 @@ int main(int argc, char** argv) {
   } else {
     // Probe the endpoint once up front so a bad address fails fast instead
     // of as N confusing worker failures.
-    auto probe = net::TcpClient::ConnectEndpoint(remote);
+    auto probe = net::TcpClient::ConnectEndpoint(remote, chaos ? 2000 : 0);
     if (!probe.ok()) {
       std::cerr << probe.status() << "\n" << kHelp;
       return 1;
@@ -271,9 +331,18 @@ int main(int argc, char** argv) {
               << remote_stats->sessions_started
               << " sessions served so far)\n";
   }
+  // The probe validated the endpoint format, so this split cannot fail.
+  std::string remote_host;
+  int remote_port = 0;
+  if (!remote.empty()) {
+    const size_t colon = remote.rfind(':');
+    remote_host = remote.substr(0, colon);
+    remote_port = std::stoi(remote.substr(colon + 1));
+  }
   std::cout << "replaying " << total_sessions << " sessions (" << rounds
             << " rounds x " << judgments << " judgments) on " << threads
-            << " thread(s)...\n";
+            << " thread(s)" << (chaos ? " under fault injection" : "")
+            << "...\n";
 
   // ---- the load: every thread replays sessions against the one service ----
   const logdb::SimulatedUser user(db.categories(), logdb::UserModel{noise});
@@ -283,13 +352,29 @@ int main(int argc, char** argv) {
   std::atomic<int> next_session{0};
   std::atomic<int> failures{0};
   std::atomic<int> evicted_midflight{0};
+  std::atomic<int> chaos_lost{0};
+  std::mutex retry_stats_mu;
+  net::RetryingClientStats retry_totals;
   Stopwatch load_watch;
-  auto worker = [&] {
+  auto worker = [&](int worker_id) {
     // One backend per worker: the in-process service is shared; a remote
     // worker owns its TCP connection (the server is thread-per-connection).
     std::unique_ptr<SessionApi> backend;
+    ChaosSessionApi* chaos_backend = nullptr;
     if (remote.empty()) {
       backend = std::make_unique<LocalSessionApi>(service.get());
+    } else if (chaos) {
+      net::RetryOptions retry_options;
+      retry_options.max_attempts = 8;
+      retry_options.initial_backoff_ms = 5;
+      retry_options.max_backoff_ms = 100;
+      retry_options.connect_timeout_ms = 2000;
+      retry_options.rpc_timeout_ms = rpc_timeout_ms;
+      retry_options.seed = seed + 31 * static_cast<uint64_t>(worker_id + 1);
+      auto api = std::make_unique<ChaosSessionApi>(remote_host, remote_port,
+                                                   retry_options, &injector);
+      chaos_backend = api.get();
+      backend = std::move(api);
     } else {
       auto client = net::TcpClient::ConnectEndpoint(remote);
       if (!client.ok()) {
@@ -299,6 +384,14 @@ int main(int argc, char** argv) {
       }
       backend = std::make_unique<RemoteSessionApi>(std::move(client).value());
     }
+    // A session that dies under fault injection is a chaos casualty, not a
+    // driver failure. Any status can surface: beyond the obvious
+    // kUnavailable/kDeadlineExceeded/kIoError, a bit-flipped frame can
+    // decode as a *different valid* request (the wire protocol carries no
+    // frame CRC — TCP's checksum is the real-world guard), poisoning the
+    // session into FailedPrecondition or Internal on a later call. The
+    // run's assertion is that casualties stay bounded, not zero.
+    const auto chaotic = [&](const Status&) { return chaos; };
     for (int s = next_session.fetch_add(1); s < total_sessions;
          s = next_session.fetch_add(1)) {
       // Deterministic per-session stream regardless of which thread runs it.
@@ -307,7 +400,7 @@ int main(int argc, char** argv) {
           static_cast<int>(rng.UniformInt(static_cast<uint64_t>(query_pool)));
       auto session_or = backend->Start(query_id);
       if (!session_or.ok()) {
-        failures.fetch_add(1);
+        (chaotic(session_or.status()) ? chaos_lost : failures).fetch_add(1);
         continue;
       }
       const uint64_t sid = session_or.value();
@@ -321,6 +414,7 @@ int main(int argc, char** argv) {
       auto ranking_or = backend->Query(sid, fetch_k);
       bool ok = ranking_or.ok();
       bool gone = !ok && evicted(ranking_or.status());
+      bool lost = !ok && chaotic(ranking_or.status());
       std::unordered_set<int> judged{query_id};
       const int query_category = db.category(query_id);
       for (int r = 0; r < rounds && ok; ++r) {
@@ -334,20 +428,32 @@ int main(int argc, char** argv) {
         ranking_or = backend->Feedback(sid, round, fetch_k);
         ok = ranking_or.ok();
         gone = !ok && evicted(ranking_or.status());
+        lost = !ok && chaotic(ranking_or.status());
       }
       // End the session even on a failed round so its completed rounds
       // still reach the log store and nothing idles until eviction.
       const Status end = backend->End(sid);
       if (gone || (!end.ok() && evicted(end))) {
         evicted_midflight.fetch_add(1);
+      } else if (lost || (!end.ok() && chaotic(end))) {
+        chaos_lost.fetch_add(1);
       } else if (!ok || !end.ok()) {
         failures.fetch_add(1);
       }
     }
+    if (chaos_backend != nullptr) {
+      const net::RetryingClientStats s = chaos_backend->retry_stats();
+      std::lock_guard<std::mutex> lock(retry_stats_mu);
+      retry_totals.rpcs += s.rpcs;
+      retry_totals.attempts += s.attempts;
+      retry_totals.retries += s.retries;
+      retry_totals.reconnects += s.reconnects;
+      retry_totals.exhausted += s.exhausted;
+    }
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   const double elapsed = load_watch.ElapsedSeconds();
 
@@ -374,6 +480,20 @@ int main(int argc, char** argv) {
               << FormatDouble(total_sessions / elapsed, 1) << "\n"
               << "failures         " << failures.load() << "\n"
               << "evicted mid-run  " << evicted_midflight.load() << "\n";
+    if (chaos) {
+      const net::FaultInjectorStats fi = injector.stats();
+      std::cout << "chaos casualties " << chaos_lost.load() << " sessions\n"
+                << "injected faults  " << fi.faults() << " over " << fi.frames
+                << " frames (delays " << fi.delays << ", drops " << fi.drops
+                << ", resets " << fi.resets << ", partial writes "
+                << fi.partial_writes << ", bit flips " << fi.bit_flips
+                << ")\n"
+                << "retries          " << retry_totals.retries << " over "
+                << retry_totals.rpcs << " rpcs (" << retry_totals.attempts
+                << " attempts, " << retry_totals.reconnects
+                << " reconnects, " << retry_totals.exhausted
+                << " exhausted)\n";
+    }
     if (final_client.ok()) {
       auto stats = final_client->Stats();
       if (stats.ok()) {
@@ -389,5 +509,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return failures.load() == 0 ? 0 : 1;
+  // Chaos gate: the retry machinery must keep injected-fault session loss
+  // bounded (a runaway loss rate means retries or deadlines are broken).
+  const bool chaos_bounded = chaos_lost.load() * 5 <= total_sessions;
+  return failures.load() == 0 && chaos_bounded ? 0 : 1;
 }

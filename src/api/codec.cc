@@ -283,14 +283,30 @@ bool ReadBody(Reader& r, ErrorResponse* m) {
 // ----------------------------------------------------------------- framing --
 
 template <typename Message>
-std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message) {
+std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
+                                 const RequestEnvelope& envelope) {
   std::vector<uint8_t> out;
   Writer w(&out);
   w.PutU32(kWireMagic);
-  w.PutU16(kProtocolVersion);
-  w.PutU8(static_cast<uint8_t>(type));
-  w.PutU8(0);  // reserved
-  w.PutU32(0);  // body_size placeholder
+  // An empty envelope encodes as a v1 frame, byte-identical to what this
+  // codec emitted before v2 existed — v1 peers never see a v2 byte unless
+  // the caller opted into deadlines or sequence numbers.
+  if (envelope.empty()) {
+    w.PutU16(kProtocolVersionV1);
+    w.PutU8(static_cast<uint8_t>(type));
+    w.PutU8(0);  // reserved
+    w.PutU32(0);  // body_size placeholder
+  } else {
+    uint8_t flags = 0;
+    if (envelope.has_deadline) flags |= kFrameFlagDeadline;
+    if (envelope.has_seq) flags |= kFrameFlagSeq;
+    w.PutU16(kProtocolVersion);
+    w.PutU8(static_cast<uint8_t>(type));
+    w.PutU8(flags);
+    w.PutU32(0);  // body_size placeholder
+    if (envelope.has_deadline) w.PutU32(envelope.deadline_ms);
+    if (envelope.has_seq) w.PutU32(envelope.seq);
+  }
   PutBody(w, message);
   const uint32_t body_size = static_cast<uint32_t>(out.size()) -
                              static_cast<uint32_t>(kFrameHeaderBytes);
@@ -338,15 +354,24 @@ MessageType TypeOf(const Response& response) {
 }
 
 std::vector<uint8_t> EncodeRequest(const Request& request) {
+  return EncodeRequest(request, RequestEnvelope{});
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& request,
+                                   const RequestEnvelope& envelope) {
   return std::visit(
-      [&](const auto& message) { return EncodeFrame(TypeOf(request), message); },
+      [&](const auto& message) {
+        return EncodeFrame(TypeOf(request), message, envelope);
+      },
       request);
 }
 
 std::vector<uint8_t> EncodeResponse(const Response& response) {
+  // Responses never carry an envelope, so they stay v1 frames forever: a
+  // v1 client talking to a v2 server reads byte-identical replies.
   return std::visit(
       [&](const auto& message) {
-        return EncodeFrame(TypeOf(response), message);
+        return EncodeFrame(TypeOf(response), message, RequestEnvelope{});
       },
       response);
 }
@@ -365,10 +390,15 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
     return Malformed("truncated header");
   }
   if (magic != kWireMagic) return Malformed("bad magic");
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersionV1 && version != kProtocolVersion) {
     return Status::NotImplemented(
         "wire codec: unsupported protocol version " + std::to_string(version) +
-        " (this peer speaks " + std::to_string(kProtocolVersion) + ")");
+        " (this peer speaks up to " + std::to_string(kProtocolVersion) + ")");
+  }
+  // v1 never defined the reserved byte, so it stays ignored; v2 made it the
+  // envelope flags, where an unknown bit means a peer newer than us.
+  if (version == kProtocolVersion && (reserved & ~kKnownFrameFlags) != 0) {
+    return Malformed("unknown frame flags");
   }
   if (body_size > kMaxFrameBody) {
     return Status::OutOfRange("wire codec: frame body of " +
@@ -382,12 +412,32 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   FrameHeader header;
   header.version = version;
   header.type = static_cast<MessageType>(type);
+  header.flags = version == kProtocolVersion ? reserved : 0;
   header.body_size = body_size;
   return header;
 }
 
 Result<Request> DecodeRequestBody(const FrameHeader& header,
-                                  const uint8_t* body, size_t size) {
+                                  const uint8_t* body, size_t size,
+                                  RequestEnvelope* envelope) {
+  // Strip the v2 envelope off the body prefix before the message decoder
+  // sees it; a v1 frame has no flags, so this is a no-op there.
+  RequestEnvelope parsed;
+  if (header.flags != 0) {
+    Reader r(body, size);
+    if (header.flags & kFrameFlagDeadline) {
+      parsed.has_deadline = true;
+      if (!r.ReadU32(&parsed.deadline_ms)) return Malformed("short envelope");
+    }
+    if (header.flags & kFrameFlagSeq) {
+      parsed.has_seq = true;
+      if (!r.ReadU32(&parsed.seq)) return Malformed("short envelope");
+    }
+    const size_t envelope_bytes = size - r.remaining();
+    body += envelope_bytes;
+    size -= envelope_bytes;
+  }
+  if (envelope != nullptr) *envelope = parsed;
   switch (header.type) {
     case MessageType::kStartSessionRequest:
       return DecodeAs<Request, StartSessionRequest>(body, size);
@@ -426,28 +476,31 @@ Result<Response> DecodeResponseBody(const FrameHeader& header,
 
 namespace {
 
-template <typename Variant>
-Result<Variant> DecodeFrame(
-    const uint8_t* data, size_t size,
-    Result<Variant> (*decode_body)(const FrameHeader&, const uint8_t*,
-                                   size_t)) {
+Result<FrameHeader> DecodeWholeFrameHeader(const uint8_t* data, size_t size) {
   CBIR_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(data, size));
   if (size != kFrameHeaderBytes + header.body_size) {
     return Malformed(size < kFrameHeaderBytes + header.body_size
                          ? "truncated body"
                          : "trailing bytes after frame");
   }
-  return decode_body(header, data + kFrameHeaderBytes, header.body_size);
+  return header;
 }
 
 }  // namespace
 
-Result<Request> DecodeRequest(const uint8_t* data, size_t size) {
-  return DecodeFrame<Request>(data, size, &DecodeRequestBody);
+Result<Request> DecodeRequest(const uint8_t* data, size_t size,
+                              RequestEnvelope* envelope) {
+  CBIR_ASSIGN_OR_RETURN(FrameHeader header,
+                        DecodeWholeFrameHeader(data, size));
+  return DecodeRequestBody(header, data + kFrameHeaderBytes, header.body_size,
+                           envelope);
 }
 
 Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
-  return DecodeFrame<Response>(data, size, &DecodeResponseBody);
+  CBIR_ASSIGN_OR_RETURN(FrameHeader header,
+                        DecodeWholeFrameHeader(data, size));
+  return DecodeResponseBody(header, data + kFrameHeaderBytes,
+                            header.body_size);
 }
 
 }  // namespace cbir::api

@@ -16,19 +16,39 @@ namespace cbir::api {
 /// and decoded byte-by-byte so the codec is endian-portable):
 ///
 ///   uint32 magic       0x43424952 ("CBIR" read as a big-endian word)
-///   uint16 version     kProtocolVersion
+///   uint16 version     1 or 2
 ///   uint8  type        MessageType
-///   uint8  reserved    0
-///   uint32 body_size   bytes following this header
-///   byte[body_size]    message body (layouts in docs/API.md)
+///   uint8  flags       v1: reserved, ignored. v2: envelope flags
+///   uint32 body_size   bytes following this header (incl. envelope)
+///   [envelope]         v2 request frames only, per flags (below)
+///   byte[...]          message body (layouts in docs/API.md)
+///
+/// Protocol v2 adds an optional request envelope between header and body,
+/// gated by flag bits:
+///
+///   0x01  u32 deadline_ms   relative deadline; the server sheds the
+///                           request once that budget has elapsed (0 =
+///                           already expired — a cancel)
+///   0x02  u32 seq           per-session sequence number (nonzero); lets
+///                           the service apply a retried Feedback at most
+///                           once and replay the cached response
+///
+/// Unknown v2 flag bits are malformed. Encoders emit a v1 frame whenever
+/// the envelope is empty — and responses never carry an envelope — so a v1
+/// peer sees byte-identical traffic unless the client opts into deadlines.
 ///
 /// Decoding never trusts the peer: truncated frames, bad magic, unsupported
 /// versions, oversized bodies, unknown message types, short bodies, and
 /// trailing bytes all return typed errors (never UB or a crash — the codec
 /// tests run the malformed-frame corpus under ASan).
 inline constexpr uint32_t kWireMagic = 0x43424952;  // "CBIR"
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersionV1 = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr uint8_t kFrameFlagDeadline = 0x01;
+inline constexpr uint8_t kFrameFlagSeq = 0x02;
+inline constexpr uint8_t kKnownFrameFlags =
+    kFrameFlagDeadline | kFrameFlagSeq;
 /// Upper bound on body_size (64 MiB): a frame any bigger is rejected before
 /// any allocation, so a hostile length prefix cannot OOM the server.
 inline constexpr uint32_t kMaxFrameBody = 64u << 20;
@@ -49,11 +69,36 @@ enum class MessageType : uint8_t {
   kErrorResponse = 11,
 };
 
-/// \brief Parsed frame header (magic already verified).
+/// \brief Parsed frame header (magic already verified). `flags` is 0 for
+/// v1 frames (whatever the reserved byte held — v1 never defined it).
 struct FrameHeader {
   uint16_t version = 0;
   MessageType type = MessageType::kErrorResponse;
+  uint8_t flags = 0;
   uint32_t body_size = 0;
+};
+
+/// \brief The optional v2 request envelope. Fields are meaningful only when
+/// their `has_` bit is set; an empty envelope encodes as a plain v1 frame.
+struct RequestEnvelope {
+  bool has_deadline = false;
+  bool has_seq = false;
+  uint32_t deadline_ms = 0;
+  uint32_t seq = 0;
+
+  bool empty() const { return !has_deadline && !has_seq; }
+
+  static RequestEnvelope WithDeadline(uint32_t ms) {
+    RequestEnvelope e;
+    e.has_deadline = true;
+    e.deadline_ms = ms;
+    return e;
+  }
+
+  bool operator==(const RequestEnvelope& o) const {
+    return has_deadline == o.has_deadline && has_seq == o.has_seq &&
+           deadline_ms == o.deadline_ms && seq == o.seq;
+  }
 };
 
 /// Serializes a message into one complete frame (header + body). Encoding
@@ -63,6 +108,10 @@ struct FrameHeader {
 /// net::TcpClient::Send fails OutOfRange), or the receiving decoder would
 /// reject the frame and desynchronize the stream.
 std::vector<uint8_t> EncodeRequest(const Request& request);
+/// Encodes with an envelope: a v2 frame when any envelope field is set, a
+/// byte-identical v1 frame otherwise.
+std::vector<uint8_t> EncodeRequest(const Request& request,
+                                   const RequestEnvelope& envelope);
 std::vector<uint8_t> EncodeResponse(const Response& response);
 
 /// Parses and validates the 12-byte frame header: checks size, magic,
@@ -73,14 +122,18 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
 /// Decodes one complete frame (header + body, exactly `size` bytes).
 /// A response frame handed to DecodeRequest (or vice versa) is an
 /// InvalidArgument, as are truncated/trailing bytes.
-Result<Request> DecodeRequest(const uint8_t* data, size_t size);
+Result<Request> DecodeRequest(const uint8_t* data, size_t size,
+                              RequestEnvelope* envelope = nullptr);
 Result<Response> DecodeResponse(const uint8_t* data, size_t size);
 
 /// Body-only decoders for transports that read the header and body
 /// separately (the TCP server/client do): `header` must come from
-/// DecodeFrameHeader and `size` must equal header.body_size.
+/// DecodeFrameHeader and `size` must equal header.body_size. The request
+/// decoder strips the v2 envelope (per header.flags) off the body first;
+/// `envelope` (optional) receives it — empty for v1 frames.
 Result<Request> DecodeRequestBody(const FrameHeader& header,
-                                  const uint8_t* body, size_t size);
+                                  const uint8_t* body, size_t size,
+                                  RequestEnvelope* envelope = nullptr);
 Result<Response> DecodeResponseBody(const FrameHeader& header,
                                     const uint8_t* body, size_t size);
 

@@ -1,5 +1,7 @@
 #include "api/dispatcher.h"
 
+#include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -13,12 +15,66 @@ std::vector<int32_t> ToWireRanking(const std::vector<int>& ranking) {
   return std::vector<int32_t>(ranking.begin(), ranking.end());
 }
 
+/// Builds the response type matching `request` carrying only `status` — the
+/// shape of every shed reply. The type must match the request so a client
+/// pipelining over one connection still pairs replies with requests.
+Response StatusOnlyResponse(const Request& request, const Status& status) {
+  const WireStatus wire = ToWireStatus(status);
+  return std::visit(
+      [&](const auto& typed) -> Response {
+        using Req = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<Req, StartSessionRequest>) {
+          StartSessionResponse r;
+          r.status = wire;
+          return r;
+        } else if constexpr (std::is_same_v<Req, QueryRequest>) {
+          QueryResponse r;
+          r.status = wire;
+          return r;
+        } else if constexpr (std::is_same_v<Req, FeedbackRequest>) {
+          FeedbackResponse r;
+          r.status = wire;
+          return r;
+        } else if constexpr (std::is_same_v<Req, EndSessionRequest>) {
+          EndSessionResponse r;
+          r.status = wire;
+          return r;
+        } else {
+          StatsResponse r;
+          r.status = wire;
+          return r;
+        }
+      },
+      request);
+}
+
 }  // namespace
 
 Response Dispatcher::Dispatch(const Request& request) {
   return std::visit(
       [this](const auto& typed) -> Response { return Handle(typed); },
       request);
+}
+
+Response Dispatcher::Dispatch(const Request& request,
+                              const RequestEnvelope& envelope,
+                              int64_t elapsed_ms) {
+  if (envelope.has_deadline &&
+      elapsed_ms >= static_cast<int64_t>(envelope.deadline_ms)) {
+    service_->RecordDeadlineShed();
+    return StatusOnlyResponse(
+        request,
+        Status::DeadlineExceeded(
+            "request deadline of " + std::to_string(envelope.deadline_ms) +
+            "ms expired before dispatch (" + std::to_string(elapsed_ms) +
+            "ms elapsed)"));
+  }
+  if (envelope.has_seq) {
+    if (const auto* feedback = std::get_if<FeedbackRequest>(&request)) {
+      return Handle(*feedback, envelope.seq);
+    }
+  }
+  return Dispatch(request);
 }
 
 StartSessionResponse Dispatcher::Handle(const StartSessionRequest& request) {
@@ -47,10 +103,11 @@ QueryResponse Dispatcher::Handle(const QueryRequest& request) {
   return response;
 }
 
-FeedbackResponse Dispatcher::Handle(const FeedbackRequest& request) {
+FeedbackResponse Dispatcher::Handle(const FeedbackRequest& request,
+                                    uint32_t seq) {
   FeedbackResponse response;
   Result<std::vector<int>> ranking = service_->Feedback(
-      request.session_id, request.round, static_cast<int>(request.k));
+      request.session_id, request.round, static_cast<int>(request.k), seq);
   if (ranking.ok()) {
     response.ranking = ToWireRanking(ranking.value());
   } else {

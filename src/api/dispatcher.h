@@ -1,6 +1,9 @@
 #ifndef CBIR_API_DISPATCHER_H_
 #define CBIR_API_DISPATCHER_H_
 
+#include <cstdint>
+
+#include "api/codec.h"
 #include "api/messages.h"
 #include "serve/retrieval_service.h"
 
@@ -25,9 +28,19 @@ class Dispatcher {
   /// Routes a request to its typed handler.
   Response Dispatch(const Request& request);
 
+  /// Envelope-aware dispatch (the transports' entry point). When the
+  /// request carries a deadline and `elapsed_ms` — time already spent since
+  /// the frame finished arriving — has consumed it, the request is shed
+  /// with kDeadlineExceeded (in the matching response type, so pipelined
+  /// clients stay in sync) and counted, without touching the service. A
+  /// deadline of 0 is an arrival-time cancel. envelope.seq routes into the
+  /// idempotent Feedback path.
+  Response Dispatch(const Request& request, const RequestEnvelope& envelope,
+                    int64_t elapsed_ms);
+
   StartSessionResponse Handle(const StartSessionRequest& request);
   QueryResponse Handle(const QueryRequest& request);
-  FeedbackResponse Handle(const FeedbackRequest& request);
+  FeedbackResponse Handle(const FeedbackRequest& request, uint32_t seq = 0);
   EndSessionResponse Handle(const EndSessionRequest& request);
   StatsResponse Handle(const StatsRequest& request);
 

@@ -1,5 +1,6 @@
 #include "logdb/log_store.h"
 
+#include <cstdio>
 #include <algorithm>
 #include <fstream>
 #include <utility>
@@ -25,17 +26,98 @@ LogStore& LogStore::operator=(const LogStore& other) {
 LogStore::LogStore(LogStore&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
   sessions_ = std::move(other.sessions_);
+  wal_ = std::move(other.wal_);
+  snapshot_path_ = std::move(other.snapshot_path_);
+  wal_status_ = std::move(other.wal_status_);
 }
 
 LogStore& LogStore::operator=(LogStore&& other) noexcept {
   if (this == &other) return *this;
   std::scoped_lock lock(mu_, other.mu_);
   sessions_ = std::move(other.sessions_);
+  wal_ = std::move(other.wal_);
+  snapshot_path_ = std::move(other.snapshot_path_);
+  wal_status_ = std::move(other.wal_status_);
   return *this;
+}
+
+Result<LogStore> LogStore::OpenDurable(const std::string& snapshot_path,
+                                       const std::string& wal_path,
+                                       WalRecoveryStats* recovery) {
+  LogStore store;
+  // Base state: the last compaction snapshot (absence = a fresh store).
+  uint64_t folded_gen = 0;
+  if (std::ifstream probe(snapshot_path); probe) {
+    probe.close();
+    CBIR_ASSIGN_OR_RETURN(LogStore snapshot,
+                          LoadFromFile(snapshot_path, &folded_gen));
+    store.sessions_ = std::move(snapshot.sessions_);
+  }
+  // Replay the sessions committed after that snapshot; a torn tail from a
+  // crash mid-append is measured here and truncated by WalWriter::Open.
+  WalRecoveryStats stats;
+  CBIR_ASSIGN_OR_RETURN(std::vector<LogSession> replayed,
+                        RecoverWal(wal_path, &stats));
+  if (folded_gen != 0 && folded_gen == stats.generation) {
+    // Crash landed between publishing the snapshot and resetting the WAL:
+    // the snapshot already folded this WAL generation, so replaying it
+    // would double-count every session. Discard it and start the WAL over.
+    stats.sessions = 0;
+    stats.torn_bytes = 0;
+    stats.valid_bytes = 0;  // forces a fresh generation below
+    replayed.clear();
+  }
+  for (LogSession& session : replayed) {
+    store.sessions_.push_back(std::move(session));
+  }
+  CBIR_ASSIGN_OR_RETURN(
+      WalWriter writer,
+      WalWriter::Open(wal_path, stats.valid_bytes, stats.generation));
+  store.wal_ = std::make_unique<WalWriter>(std::move(writer));
+  store.snapshot_path_ = snapshot_path;
+  if (recovery != nullptr) *recovery = stats;
+  return store;
+}
+
+Status LogStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("log store: not opened durable");
+  }
+  // Snapshot first, reset the WAL after. A crash between the two leaves a
+  // snapshot that already folded the WAL's sessions plus the intact WAL —
+  // the `wal_gen` trailer written here lets recovery detect exactly that
+  // window and discard the already-folded WAL instead of double-counting.
+  const std::string tmp = snapshot_path_ + ".tmp";
+  CBIR_RETURN_NOT_OK(WriteSessions(sessions_, tmp, wal_->generation()));
+  if (std::rename(tmp.c_str(), snapshot_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("log store: cannot publish snapshot " +
+                           snapshot_path_);
+  }
+  return wal_->Reset();
+}
+
+bool LogStore::durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr;
+}
+
+Status LogStore::wal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_status_;
 }
 
 void LogStore::Append(LogSession session) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    // WAL first: the in-memory store must never acknowledge a session the
+    // log on disk does not have. A failed append (disk full) is remembered
+    // and the session still serves from memory.
+    if (Status s = wal_->Append(session); !s.ok() && wal_status_.ok()) {
+      wal_status_ = std::move(s);
+    }
+  }
   sessions_.push_back(std::move(session));
 }
 
@@ -62,10 +144,8 @@ RelevanceMatrix LogStore::BuildMatrix(int num_images,
   return matrix;
 }
 
-Status LogStore::SaveToFile(const std::string& path) const {
-  // Write a snapshot so the (possibly slow) file I/O never holds the mutex
-  // — concurrent appends land in the store, just not in this save.
-  const std::vector<LogSession> sessions = Snapshot();
+Status LogStore::WriteSessions(const std::vector<LogSession>& sessions,
+                               const std::string& path, uint64_t wal_gen) {
   std::ofstream ofs(path, std::ios::trunc);
   if (!ofs) return Status::IoError("cannot open for writing: " + path);
   ofs << "cbir_log v1 " << sessions.size() << "\n";
@@ -75,11 +155,21 @@ Status LogStore::SaveToFile(const std::string& path) const {
       ofs << e.image_id << " " << static_cast<int>(e.judgment) << "\n";
     }
   }
+  if (wal_gen != 0) ofs << "wal_gen " << wal_gen << "\n";
+  ofs.flush();
   if (!ofs) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
-Result<LogStore> LogStore::LoadFromFile(const std::string& path) {
+Status LogStore::SaveToFile(const std::string& path) const {
+  // Write a snapshot so the (possibly slow) file I/O never holds the mutex
+  // — concurrent appends land in the store, just not in this save.
+  return WriteSessions(Snapshot(), path, /*wal_gen=*/0);
+}
+
+Result<LogStore> LogStore::LoadFromFile(const std::string& path,
+                                        uint64_t* wal_folded_gen) {
+  if (wal_folded_gen != nullptr) *wal_folded_gen = 0;
   std::ifstream ifs(path);
   if (!ifs) return Status::IoError("cannot open for reading: " + path);
   std::string magic, version;
@@ -110,6 +200,11 @@ Result<LogStore> LogStore::LoadFromFile(const std::string& path) {
           LogEntry{image_id, static_cast<int8_t>(judgment)});
     }
     store.Append(std::move(session));
+  }
+  if (wal_folded_gen != nullptr) {
+    std::string tag;
+    uint64_t gen = 0;
+    if (ifs >> tag >> gen && tag == "wal_gen") *wal_folded_gen = gen;
   }
   return store;
 }

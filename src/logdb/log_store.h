@@ -1,12 +1,14 @@
 #ifndef CBIR_LOGDB_LOG_STORE_H_
 #define CBIR_LOGDB_LOG_STORE_H_
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "logdb/log_session.h"
 #include "logdb/relevance_matrix.h"
+#include "logdb/wal.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -28,10 +30,38 @@ class LogStore {
  public:
   LogStore() = default;
 
+  /// Copies carry the sessions only — a copy is an in-memory snapshot, never
+  /// a second writer of the original's WAL. Moves carry the WAL attachment.
   LogStore(const LogStore& other);
   LogStore& operator=(const LogStore& other);
   LogStore(LogStore&& other) noexcept;
   LogStore& operator=(LogStore&& other) noexcept;
+
+  /// Opens a crash-durable store: loads `snapshot_path` (the SaveToFile
+  /// v-format; missing = empty), replays the committed prefix of
+  /// `wal_path` on top (truncating any torn tail from a previous crash),
+  /// and attaches the WAL so every subsequent Append is flushed to it
+  /// before returning — an acknowledged session survives `kill -9`.
+  /// `recovery` (optional) reports what the replay found.
+  static Result<LogStore> OpenDurable(const std::string& snapshot_path,
+                                      const std::string& wal_path,
+                                      WalRecoveryStats* recovery = nullptr);
+
+  /// Folds the WAL into the snapshot: atomically rewrites `snapshot_path`
+  /// (write-temp-then-rename) with every current session, then empties the
+  /// WAL. Bounds WAL growth; crash-safe at every step (a crash before the
+  /// rename keeps the old snapshot + full WAL; after it, the new snapshot
+  /// + a possibly stale WAL whose replay is idempotent only until the
+  /// reset — hence the rename happens first). FailedPrecondition when the
+  /// store is not durable.
+  Status Compact();
+
+  /// True when OpenDurable attached a WAL to this store.
+  bool durable() const;
+
+  /// OK, or the first WAL append/flush failure (a disk-full log store keeps
+  /// serving from memory but stops being durable; operators poll this).
+  Status wal_status() const;
 
   void Append(LogSession session);
 
@@ -52,14 +82,27 @@ class LogStore {
   /// Line-oriented text persistence:
   ///   session <query_id> <n>
   ///   <image_id> <judgment>   (n lines)
+  /// Compaction snapshots append an optional `wal_gen <g>` trailer naming
+  /// the WAL generation they folded; `wal_folded_gen` (optional) receives it
+  /// (0 when absent). Pre-trailer files load unchanged.
   Status SaveToFile(const std::string& path) const;
-  static Result<LogStore> LoadFromFile(const std::string& path);
+  static Result<LogStore> LoadFromFile(const std::string& path,
+                                       uint64_t* wal_folded_gen = nullptr);
 
   int64_t TotalJudgments() const;
 
  private:
+  /// Writes the v-format text under an already-held lock (SaveToFile and
+  /// Compact share it). Nonzero `wal_gen` appends the `wal_gen` trailer.
+  static Status WriteSessions(const std::vector<LogSession>& sessions,
+                              const std::string& path, uint64_t wal_gen);
+
   mutable std::mutex mu_;
   std::vector<LogSession> sessions_;
+  /// Durable mode (OpenDurable): appends also land here, pre-flush.
+  std::unique_ptr<WalWriter> wal_;
+  std::string snapshot_path_;
+  Status wal_status_;
 };
 
 }  // namespace cbir::logdb

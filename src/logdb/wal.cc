@@ -1,0 +1,292 @@
+#include "logdb/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <utility>
+
+namespace cbir::logdb {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+/// A nonzero value that is fresh across process lifetimes and resets
+/// (0 is reserved for "no WAL"). Uniqueness only has to hold between one
+/// snapshot's folded generation and the next WAL incarnation, so entropy
+/// plus a wall-clock tick is far more than enough.
+uint64_t FreshGeneration() {
+  static std::random_device rd;
+  const uint64_t entropy =
+      (uint64_t(rd()) << 32) ^ uint64_t(rd());
+  const uint64_t tick = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  const uint64_t gen = entropy ^ tick;
+  return gen == 0 ? 1 : gen;
+}
+
+/// Decodes one payload; false on any structural mismatch (recovery treats
+/// that as a torn tail even when the CRC accidentally matched garbage).
+bool DecodePayload(const uint8_t* data, size_t size, LogSession* session) {
+  if (size < 8) return false;
+  session->query_image_id = static_cast<int32_t>(ReadU32(data));
+  const uint32_t n = ReadU32(data + 4);
+  if (size != 8 + static_cast<size_t>(n) * 5) return false;
+  session->entries.clear();
+  session->entries.reserve(n);
+  const uint8_t* p = data + 8;
+  for (uint32_t i = 0; i < n; ++i, p += 5) {
+    const int image_id = static_cast<int32_t>(ReadU32(p));
+    const int8_t judgment = static_cast<int8_t>(p[4]);
+    if (judgment != 1 && judgment != -1) return false;
+    session->entries.push_back(LogEntry{image_id, judgment});
+  }
+  return true;
+}
+
+Status WriteHeaderAndFlush(std::FILE* file, uint64_t generation,
+                           const std::string& path) {
+  std::vector<uint8_t> header = EncodeWalFileHeader(generation);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+      std::fflush(file) != 0) {
+    return Status::IoError("wal: cannot write header of " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> EncodeWalRecord(const LogSession& session) {
+  std::vector<uint8_t> payload;
+  payload.reserve(8 + session.entries.size() * 5);
+  PutI32(&payload, session.query_image_id);
+  PutU32(&payload, static_cast<uint32_t>(session.entries.size()));
+  for (const LogEntry& e : session.entries) {
+    PutI32(&payload, e.image_id);
+    payload.push_back(static_cast<uint8_t>(e.judgment));
+  }
+  std::vector<uint8_t> record;
+  record.reserve(kWalRecordHeaderBytes + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, Crc32(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  return record;
+}
+
+std::vector<uint8_t> EncodeWalFileHeader(uint64_t generation) {
+  std::vector<uint8_t> header;
+  header.reserve(kWalFileHeaderBytes);
+  PutU32(&header, kWalMagic);
+  PutU32(&header, kWalVersion);
+  PutU64(&header, generation);
+  return header;
+}
+
+Result<std::vector<LogSession>> RecoverWal(const std::string& path,
+                                           WalRecoveryStats* stats) {
+  WalRecoveryStats local;
+  std::vector<LogSession> sessions;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      if (stats != nullptr) *stats = local;
+      return sessions;  // no WAL yet: a fresh log
+    }
+    return Status::IoError("wal: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+
+  const auto file_size = [&] {
+    const long pos = std::ftell(file);
+    std::fseek(file, 0, SEEK_END);
+    const long end = std::ftell(file);
+    std::fseek(file, pos, SEEK_SET);
+    return end > 0 ? static_cast<uint64_t>(end) : 0;
+  };
+  const auto torn = [&](const char* reason) {
+    local.torn_bytes = file_size() - local.valid_bytes;
+    local.torn_reason = reason;
+  };
+
+  // File header first: a torn or foreign header means no record can be
+  // trusted — recover empty and let the opener start the file over.
+  uint8_t file_header[kWalFileHeaderBytes];
+  const size_t header_got =
+      std::fread(file_header, 1, sizeof(file_header), file);
+  if (header_got < sizeof(file_header)) {
+    if (file_size() > 0) torn("truncated file header");
+  } else if (ReadU32(file_header) != kWalMagic ||
+             ReadU32(file_header + 4) != kWalVersion) {
+    torn("bad file header");
+  } else {
+    local.generation = ReadU64(file_header + 8);
+    local.valid_bytes = kWalFileHeaderBytes;
+    std::vector<uint8_t> buffer;
+    uint8_t record_header[kWalRecordHeaderBytes];
+    for (;;) {
+      const size_t got =
+          std::fread(record_header, 1, sizeof(record_header), file);
+      if (got == 0) break;  // clean end
+      if (got < sizeof(record_header)) {
+        torn("truncated record header");
+        break;
+      }
+      const uint32_t length = ReadU32(record_header);
+      const uint32_t crc = ReadU32(record_header + 4);
+      if (length > kMaxWalRecordBytes) {
+        torn("hostile record length");
+        break;
+      }
+      buffer.resize(length);
+      if (std::fread(buffer.data(), 1, length, file) < length) {
+        torn("truncated record body");
+        break;
+      }
+      if (Crc32(buffer.data(), buffer.size()) != crc) {
+        torn("crc mismatch");
+        break;
+      }
+      LogSession session;
+      if (!DecodePayload(buffer.data(), buffer.size(), &session)) {
+        torn("undecodable payload");
+        break;
+      }
+      sessions.push_back(std::move(session));
+      ++local.sessions;
+      local.valid_bytes += kWalRecordHeaderBytes + length;
+    }
+  }
+  std::fclose(file);
+  if (stats != nullptr) *stats = local;
+  return sessions;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    generation_ = other.generation_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path,
+                                  uint64_t valid_bytes, uint64_t generation) {
+  WalWriter writer;
+  writer.path_ = path;
+  if (valid_bytes < kWalFileHeaderBytes) {
+    // No usable WAL: start the file over under a fresh generation.
+    writer.file_ = std::fopen(path.c_str(), "wb");
+    if (writer.file_ == nullptr) {
+      return Status::IoError("wal: cannot create " + path + ": " +
+                             std::strerror(errno));
+    }
+    writer.generation_ = FreshGeneration();
+    CBIR_RETURN_NOT_OK(
+        WriteHeaderAndFlush(writer.file_, writer.generation_, path));
+    return writer;
+  }
+  // Drop any torn tail first so fresh appends extend the committed prefix.
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 &&
+      static_cast<uint64_t>(st.st_size) > valid_bytes) {
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+      return Status::IoError("wal: cannot truncate torn tail of " + path +
+                             ": " + std::strerror(errno));
+    }
+  }
+  writer.file_ = std::fopen(path.c_str(), "ab");
+  if (writer.file_ == nullptr) {
+    return Status::IoError("wal: cannot open " + path + " for append: " +
+                           std::strerror(errno));
+  }
+  writer.generation_ = generation;
+  return writer;
+}
+
+Status WalWriter::Append(const LogSession& session) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("wal: writer not open");
+  }
+  const std::vector<uint8_t> record = EncodeWalRecord(session);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IoError("wal: append to " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("wal: writer not open");
+  }
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");  // truncate
+  if (file_ == nullptr) {
+    return Status::IoError("wal: cannot reset " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  generation_ = FreshGeneration();
+  return WriteHeaderAndFlush(file_, generation_, path_);
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace cbir::logdb

@@ -1,0 +1,131 @@
+#ifndef CBIR_LOGDB_WAL_H_
+#define CBIR_LOGDB_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "logdb/log_session.h"
+#include "util/result.h"
+
+namespace cbir::logdb {
+
+/// \brief CRC-framed write-ahead log for LogSessions.
+///
+/// The feedback log is the paper's central artifact; whole-file snapshots
+/// (LogStore::SaveToFile) lose every session since the last save on a
+/// crash. The WAL closes that window: each committed session is one
+/// append-and-flush record, so after a `kill -9` recovery replays exactly
+/// the prefix of sessions whose Append() returned — never a torn or
+/// corrupted one.
+///
+/// File layout (all integers little-endian):
+///
+///   file header (16 bytes):
+///     u32 magic        0x4C574243 ("CBWL")
+///     u32 version      1
+///     u64 generation   fresh nonzero value per created/reset WAL
+///   records:
+///     u32 length       payload bytes (bounded by kMaxWalRecordBytes)
+///     u32 crc32        CRC-32 (IEEE 802.3) of the payload bytes
+///     payload          i32 query_image_id, u32 n, then n x (i32 image_id,
+///                      i8 judgment)
+///
+/// The generation makes compaction crash-safe: a snapshot records which WAL
+/// generation it folded, so if the process dies between publishing the
+/// snapshot and resetting the WAL, recovery sees generation == folded
+/// generation and discards the WAL instead of double-counting its sessions.
+///
+/// Recovery walks records from the start and stops at the first anomaly —
+/// truncated header, truncated body, hostile length, CRC mismatch, or a
+/// payload that does not decode — reporting the committed prefix and the
+/// torn-tail bytes to drop. Everything before the anomaly is trusted
+/// (CRC-verified); everything at and after it is a torn tail from a crash
+/// mid-write (or corruption) and is truncated by the opener.
+
+inline constexpr uint32_t kWalMagic = 0x4C574243;  // "CBWL"
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr size_t kWalFileHeaderBytes = 16;
+inline constexpr size_t kWalRecordHeaderBytes = 8;
+/// Upper bound on one record's payload (a session is a handful of
+/// judgments; 16 MiB is ~3M entries). A corrupt length prefix past this is
+/// treated as a torn tail instead of an allocation.
+inline constexpr uint32_t kMaxWalRecordBytes = 16u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Serializes one session into a complete WAL record (header + payload).
+std::vector<uint8_t> EncodeWalRecord(const LogSession& session);
+
+/// Serializes a WAL file header for the given generation (fixture builder
+/// for tests; WalWriter writes it itself).
+std::vector<uint8_t> EncodeWalFileHeader(uint64_t generation);
+
+/// \brief What recovery found in a WAL file.
+struct WalRecoveryStats {
+  uint64_t generation = 0;   ///< 0 = no (valid) WAL file existed
+  uint64_t sessions = 0;     ///< committed sessions recovered
+  uint64_t valid_bytes = 0;  ///< committed prefix end (incl. file header)
+  uint64_t torn_bytes = 0;   ///< tail bytes dropped past valid_bytes
+  std::string torn_reason;   ///< empty when the file ended cleanly
+};
+
+/// Reads the committed prefix of a WAL file. A missing file — or one whose
+/// file header is itself torn — recovers as an empty log with generation 0.
+/// IO errors are typed; record corruption is never an error, it marks the
+/// end of the committed prefix (stats.torn_reason says why).
+Result<std::vector<LogSession>> RecoverWal(const std::string& path,
+                                           WalRecoveryStats* stats = nullptr);
+
+/// \brief Appender over one WAL file: Append() writes a record and flushes
+/// it to the OS before returning, so an acknowledged session survives the
+/// process dying (kill -9). Not internally synchronized — the owning
+/// LogStore serializes appends under its mutex.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { Close(); }
+  WalWriter(WalWriter&& other) noexcept
+      : file_(other.file_),
+        path_(std::move(other.path_)),
+        generation_(other.generation_) {
+    other.file_ = nullptr;
+  }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the WAL for appending after recovery: truncates the file to
+  /// `valid_bytes` — the committed prefix RecoverWal reported — so a torn
+  /// tail from a previous crash never precedes fresh records. When
+  /// `valid_bytes` < the file-header size (no usable WAL: missing, empty,
+  /// or header torn), the file is created fresh with a new generation;
+  /// otherwise `generation` (the recovered one) is kept.
+  static Result<WalWriter> Open(const std::string& path, uint64_t valid_bytes,
+                                uint64_t generation);
+
+  /// Appends one record and flushes it. On return the record is in the OS
+  /// page cache: it survives process death, though not power loss (add
+  /// fsync at the call site if that matters).
+  Status Append(const LogSession& session);
+
+  /// Empties the file and starts a fresh generation (after a compaction
+  /// snapshot has been persisted).
+  Status Reset();
+
+  void Close();
+  bool open() const { return file_ != nullptr; }
+  uint64_t generation() const { return generation_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace cbir::logdb
+
+#endif  // CBIR_LOGDB_WAL_H_

@@ -1,0 +1,93 @@
+#include "net/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace cbir::net {
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options)
+    : options_(options), rng_state_(options.seed == 0 ? 1 : options.seed) {}
+
+double FaultInjector::NextUniform() {
+  // splitmix64: tiny, seedable, and statistically fine for fault schedules.
+  rng_state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+uint64_t FaultInjector::NextBelow(uint64_t n) {
+  return n == 0 ? 0 : static_cast<uint64_t>(NextUniform() *
+                                            static_cast<double>(n));
+}
+
+Status FaultInjector::SendFrame(const Socket& socket, const uint8_t* data,
+                                size_t size) {
+  // Decide the whole fault plan under the lock, then act outside it so a
+  // slow send or an injected delay never serializes other threads' frames.
+  int delay_ms = -1;
+  enum class Fault { kNone, kDrop, kReset, kPartial, kBitFlip } fault =
+      Fault::kNone;
+  size_t partial_bytes = 0;
+  size_t flip_bit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames;
+    if (NextUniform() < options_.delay_probability) {
+      ++stats_.delays;
+      delay_ms = static_cast<int>(
+          NextBelow(static_cast<uint64_t>(options_.max_delay_ms) + 1));
+    }
+    if (NextUniform() < options_.drop_probability) {
+      ++stats_.drops;
+      fault = Fault::kDrop;
+    } else if (NextUniform() < options_.reset_probability) {
+      ++stats_.resets;
+      fault = Fault::kReset;
+    } else if (NextUniform() < options_.partial_write_probability &&
+               size > 1) {
+      ++stats_.partial_writes;
+      fault = Fault::kPartial;
+      partial_bytes = 1 + static_cast<size_t>(NextBelow(size - 1));
+    } else if (NextUniform() < options_.bit_flip_probability && size > 0) {
+      ++stats_.bit_flips;
+      fault = Fault::kBitFlip;
+      flip_bit = static_cast<size_t>(NextBelow(size * 8));
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  switch (fault) {
+    case Fault::kNone:
+      return socket.WriteAll(data, size);
+    case Fault::kDrop:
+      // The network ate the frame; the sender has no way to know. The
+      // client's read deadline is what turns this into a typed failure.
+      return Status::OK();
+    case Fault::kReset:
+      socket.Shutdown();
+      return Status::OK();
+    case Fault::kPartial: {
+      const Status s = socket.WriteAll(data, partial_bytes);
+      socket.Shutdown();  // the rest of the frame never arrives
+      return s;
+    }
+    case Fault::kBitFlip: {
+      std::vector<uint8_t> corrupted(data, data + size);
+      corrupted[flip_bit / 8] ^= static_cast<uint8_t>(1u << (flip_bit % 8));
+      return socket.WriteAll(corrupted.data(), corrupted.size());
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cbir::net

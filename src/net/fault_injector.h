@@ -1,0 +1,82 @@
+#ifndef CBIR_NET_FAULT_INJECTOR_H_
+#define CBIR_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace cbir::net {
+
+/// \brief Fault rates of a FaultInjector. Probabilities are per frame and
+/// evaluated in the order listed: at most one fault fires per frame (a
+/// delay, which only slows the frame down, may additionally precede it).
+struct FaultInjectorOptions {
+  /// Seed of the deterministic PRNG — the same seed over the same call
+  /// sequence injects the same faults, so chaos failures reproduce.
+  uint64_t seed = 1;
+
+  double delay_probability = 0.0;  ///< sleep before sending
+  int max_delay_ms = 5;            ///< delay is uniform in [0, max]
+
+  double drop_probability = 0.0;   ///< frame silently never sent
+  double reset_probability = 0.0;  ///< connection shut down instead of send
+  double partial_write_probability = 0.0;  ///< prefix sent, then shut down
+  double bit_flip_probability = 0.0;       ///< one bit corrupted in flight
+};
+
+/// \brief How often each fault actually fired.
+struct FaultInjectorStats {
+  uint64_t frames = 0;  ///< frames offered to the injector
+  uint64_t delays = 0;
+  uint64_t drops = 0;
+  uint64_t resets = 0;
+  uint64_t partial_writes = 0;
+  uint64_t bit_flips = 0;
+
+  uint64_t faults() const {
+    return drops + resets + partial_writes + bit_flips;
+  }
+};
+
+/// \brief Chaos transport for client-side fault injection.
+///
+/// Sits between TcpClient and its socket: every outgoing frame passes
+/// through SendFrame, which delivers it intact, delays it, drops it,
+/// corrupts one bit, sends only a prefix, or resets the connection — the
+/// misbehaviors of a real degraded network, produced deterministically from
+/// a seed. The injected faults are *silent* (SendFrame reports OK for a
+/// dropped frame, exactly like a lossy network would), so the client's
+/// deadline/retry machinery — not the injector — must turn them into
+/// recoveries; a client that hangs under injection has a real bug.
+///
+/// Thread-safe: driver threads may share one injector (stats and the PRNG
+/// are guarded); the frame rates then interleave across threads.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options);
+
+  /// Sends one frame over `socket`, possibly injecting a fault. The return
+  /// value is what the transport's plain WriteAll would have reported for
+  /// the bytes actually sent — a silent fault reports OK.
+  Status SendFrame(const Socket& socket, const uint8_t* data, size_t size);
+
+  FaultInjectorStats stats() const;
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  /// Deterministic uniform draw in [0, 1) (splitmix64 under the lock).
+  double NextUniform();
+  /// Deterministic draw in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  FaultInjectorOptions options_;
+  mutable std::mutex mu_;
+  uint64_t rng_state_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace cbir::net
+
+#endif  // CBIR_NET_FAULT_INJECTOR_H_

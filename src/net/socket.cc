@@ -1,15 +1,19 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -48,6 +52,60 @@ Result<sockaddr_in> ResolveIpv4(const std::string& host, int port) {
   return addr;
 }
 
+/// Waits for an in-flight connect to resolve: polls for writability up to
+/// `timeout_ms` (-1 = forever), then reads the outcome from SO_ERROR —
+/// the only reliable way to learn how a non-blocking connect ended.
+Status AwaitConnect(int fd, int timeout_ms, const std::string& peer) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = static_cast<int>(std::max<int64_t>(left.count(), 0));
+    }
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0) return Errno("socket: poll during connect");
+    if (rc == 0) {
+      return Status::DeadlineExceeded("socket: connect to " + peer +
+                                      " timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    break;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return Errno("socket: getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    errno = err;
+    return Errno("socket: connect to " + peer);
+  }
+  return Status::OK();
+}
+
+Status SetSockTimeout(int fd, int optname, int timeout_ms,
+                      const char* what) {
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument(std::string("socket: negative ") + what +
+                                   " timeout");
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Errno(std::string("socket: setsockopt(") + what + ")");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -59,7 +117,8 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
-Result<Socket> Socket::ConnectTcp(const std::string& host, int port) {
+Result<Socket> Socket::ConnectTcp(const std::string& host, int port,
+                                  int timeout_ms) {
   CBIR_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveIpv4(host, port));
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) return Errno("socket: socket()");
@@ -67,32 +126,38 @@ Result<Socket> Socket::ConnectTcp(const std::string& host, int port) {
   // request/response round trips at sub-millisecond latency.
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string peer = host + ":" + std::to_string(port);
+
+  if (timeout_ms > 0) {
+    const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    if (flags < 0 || ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Errno("socket: fcntl(O_NONBLOCK)");
+    }
+    const int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      return Errno("socket: connect to " + peer);
+    }
+    if (rc != 0) {
+      CBIR_RETURN_NOT_OK(AwaitConnect(sock.fd(), timeout_ms, peer));
+    }
+    if (::fcntl(sock.fd(), F_SETFL, flags) != 0) {
+      return Errno("socket: fcntl(restore flags)");
+    }
+    return sock;
+  }
+
   int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
                      sizeof(addr));
   if (rc != 0 && errno == EINTR) {
     // POSIX: an interrupted connect continues asynchronously, and calling
     // connect() again yields EALREADY — so wait for writability and read
     // the outcome from SO_ERROR instead of retrying the call.
-    pollfd pfd{};
-    pfd.fd = sock.fd();
-    pfd.events = POLLOUT;
-    do {
-      rc = ::poll(&pfd, 1, -1);
-    } while (rc < 0 && errno == EINTR);
-    if (rc < 0) return Errno("socket: poll after interrupted connect");
-    int err = 0;
-    socklen_t len = sizeof(err);
-    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
-      return Errno("socket: getsockopt(SO_ERROR)");
-    }
-    if (err != 0) {
-      errno = err;
-      return Errno("socket: connect to " + host + ":" + std::to_string(port));
-    }
+    CBIR_RETURN_NOT_OK(AwaitConnect(sock.fd(), -1, peer));
     rc = 0;
   }
   if (rc != 0) {
-    return Errno("socket: connect to " + host + ":" + std::to_string(port));
+    return Errno("socket: connect to " + peer);
   }
   return sock;
 }
@@ -136,6 +201,11 @@ Status Socket::WriteAll(const void* data, size_t size) const {
         ::send(fd_, bytes + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "socket: send timed out (" + std::to_string(written) + "/" +
+            std::to_string(size) + " bytes)");
+      }
       return Errno("socket: send");
     }
     written += static_cast<size_t>(n);
@@ -151,6 +221,11 @@ Status Socket::ReadFully(void* data, size_t size, bool* clean_eof) const {
     const ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "socket: recv timed out (" + std::to_string(got) + "/" +
+            std::to_string(size) + " bytes)");
+      }
       return Errno("socket: recv");
     }
     if (n == 0) {
@@ -165,6 +240,14 @@ Status Socket::ReadFully(void* data, size_t size, bool* clean_eof) const {
     got += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Status Socket::SetReadTimeout(int timeout_ms) const {
+  return SetSockTimeout(fd_, SO_RCVTIMEO, timeout_ms, "SO_RCVTIMEO");
+}
+
+Status Socket::SetWriteTimeout(int timeout_ms) const {
+  return SetSockTimeout(fd_, SO_SNDTIMEO, timeout_ms, "SO_SNDTIMEO");
 }
 
 void Socket::Shutdown() const {

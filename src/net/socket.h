@@ -15,6 +15,12 @@ namespace cbir::net {
 /// unblocking shutdown), all reported as typed Status instead of errno
 /// spelunking at every call site. Reads and writes retry on EINTR and
 /// partial transfers; SIGPIPE is avoided via MSG_NOSIGNAL.
+///
+/// Deadlines: ConnectTcp takes an optional bounded-connect timeout, and
+/// SetReadTimeout/SetWriteTimeout arm per-call kernel timeouts
+/// (SO_RCVTIMEO/SO_SNDTIMEO). An expired timeout surfaces as
+/// kDeadlineExceeded — never as a hang or a generic IoError — so callers
+/// can distinguish "slow peer" from "broken peer" and retry or shed.
 class Socket {
  public:
   Socket() = default;
@@ -27,7 +33,13 @@ class Socket {
   Socket& operator=(const Socket&) = delete;
 
   /// Connects to host:port (numeric IP or resolvable name).
-  static Result<Socket> ConnectTcp(const std::string& host, int port);
+  /// `timeout_ms` > 0 bounds the connect: the socket connects in
+  /// non-blocking mode, waits for writability up to the deadline, and
+  /// returns kDeadlineExceeded if the peer has not answered — an
+  /// unreachable server costs `timeout_ms`, not the kernel's minutes-long
+  /// SYN retry schedule. 0 keeps the classic blocking connect.
+  static Result<Socket> ConnectTcp(const std::string& host, int port,
+                                   int timeout_ms = 0);
 
   /// Binds + listens on host:port (port 0 = OS-assigned ephemeral port;
   /// read it back with local_port). SO_REUSEADDR is set so restarts do not
@@ -47,6 +59,17 @@ class Socket {
   /// returns OK with the buffer untouched — the frame-boundary EOF a server
   /// loop treats as a normal disconnect.
   Status ReadFully(void* data, size_t size, bool* clean_eof = nullptr) const;
+
+  /// Arms a kernel receive timeout: a recv that sees no byte for
+  /// `timeout_ms` makes ReadFully return kDeadlineExceeded instead of
+  /// blocking forever. 0 disarms. The timeout is per-recv-call, so a
+  /// trickling peer can exceed it in aggregate — the serving loops treat
+  /// any expiry as a dead or idle peer and drop the connection.
+  Status SetReadTimeout(int timeout_ms) const;
+
+  /// Arms a kernel send timeout (SO_SNDTIMEO): WriteAll returns
+  /// kDeadlineExceeded when the peer stops draining its window. 0 disarms.
+  Status SetWriteTimeout(int timeout_ms) const;
 
   /// shutdown(2) both directions: unblocks any thread parked in Accept or
   /// ReadFully on this socket (they fail / see EOF). Safe to call from

@@ -32,12 +32,15 @@ std::vector<int> FromWireRanking(const std::vector<int32_t>& ranking) {
 
 }  // namespace
 
-Result<TcpClient> TcpClient::Connect(const std::string& host, int port) {
-  CBIR_ASSIGN_OR_RETURN(Socket socket, Socket::ConnectTcp(host, port));
+Result<TcpClient> TcpClient::Connect(const std::string& host, int port,
+                                     int connect_timeout_ms) {
+  CBIR_ASSIGN_OR_RETURN(Socket socket,
+                        Socket::ConnectTcp(host, port, connect_timeout_ms));
   return TcpClient(std::move(socket));
 }
 
-Result<TcpClient> TcpClient::ConnectEndpoint(const std::string& endpoint) {
+Result<TcpClient> TcpClient::ConnectEndpoint(const std::string& endpoint,
+                                             int connect_timeout_ms) {
   const size_t colon = endpoint.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
       colon + 1 == endpoint.size()) {
@@ -51,19 +54,46 @@ Result<TcpClient> TcpClient::ConnectEndpoint(const std::string& endpoint) {
     return Status::InvalidArgument("tcp client: bad port in '" + endpoint +
                                    "'");
   }
-  return Connect(endpoint.substr(0, colon), port);
+  return Connect(endpoint.substr(0, colon), port, connect_timeout_ms);
 }
 
-Status TcpClient::Send(const api::Request& request) {
+Status TcpClient::ArmDeadlines(int rpc_timeout_ms) {
   if (!socket_.valid()) {
     return Status::FailedPrecondition("tcp client: not connected");
   }
-  const std::vector<uint8_t> frame = api::EncodeRequest(request);
+  CBIR_RETURN_NOT_OK(socket_.SetReadTimeout(rpc_timeout_ms));
+  CBIR_RETURN_NOT_OK(socket_.SetWriteTimeout(rpc_timeout_ms));
+  rpc_timeout_ms_ = rpc_timeout_ms;
+  return Status::OK();
+}
+
+api::RequestEnvelope TcpClient::BaseEnvelope() const {
+  api::RequestEnvelope envelope;
+  if (rpc_timeout_ms_ > 0) {
+    envelope.has_deadline = true;
+    envelope.deadline_ms = static_cast<uint32_t>(rpc_timeout_ms_);
+  }
+  return envelope;
+}
+
+Status TcpClient::Send(const api::Request& request) {
+  return Send(request, api::RequestEnvelope{});
+}
+
+Status TcpClient::Send(const api::Request& request,
+                       const api::RequestEnvelope& envelope) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("tcp client: not connected");
+  }
+  const std::vector<uint8_t> frame = api::EncodeRequest(request, envelope);
   if (frame.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
     // The server would reject the frame and close; fail locally with the
     // same typed error instead of desynchronizing the stream.
     return Status::OutOfRange(
         "tcp client: request frame exceeds the protocol body limit");
+  }
+  if (injector_ != nullptr) {
+    return injector_->SendFrame(socket_, frame.data(), frame.size());
   }
   return socket_.WriteAll(frame.data(), frame.size());
 }
@@ -88,7 +118,12 @@ Result<api::Response> TcpClient::Receive() {
 }
 
 Result<api::Response> TcpClient::Call(const api::Request& request) {
-  CBIR_RETURN_NOT_OK(Send(request));
+  return Call(request, BaseEnvelope());
+}
+
+Result<api::Response> TcpClient::Call(const api::Request& request,
+                                      const api::RequestEnvelope& envelope) {
+  CBIR_RETURN_NOT_OK(Send(request, envelope));
   return Receive();
 }
 
@@ -111,14 +146,21 @@ Result<std::vector<int>> TcpClient::Query(uint64_t session_id, int k) {
 }
 
 Result<std::vector<int>> TcpClient::Feedback(
-    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k) {
+    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k,
+    uint32_t seq) {
   api::FeedbackRequest request;
   request.session_id = session_id;
   request.k = static_cast<int32_t>(k);
   request.round = round;
+  api::RequestEnvelope envelope = BaseEnvelope();
+  if (seq != 0) {
+    envelope.has_seq = true;
+    envelope.seq = seq;
+  }
   CBIR_ASSIGN_OR_RETURN(
       api::FeedbackResponse response,
-      Expect<api::FeedbackResponse>(Call(api::Request(std::move(request)))));
+      Expect<api::FeedbackResponse>(
+          Call(api::Request(std::move(request)), envelope)));
   return FromWireRanking(response.ranking);
 }
 

@@ -7,6 +7,7 @@
 
 #include "api/codec.h"
 #include "api/messages.h"
+#include "net/fault_injector.h"
 #include "net/socket.h"
 #include "util/result.h"
 
@@ -29,23 +30,44 @@ namespace cbir::net {
 /// worker, the way examples/load_driver.cpp --remote does).
 class TcpClient {
  public:
-  static Result<TcpClient> Connect(const std::string& host, int port);
+  /// `connect_timeout_ms` > 0 bounds the TCP connect (kDeadlineExceeded on
+  /// expiry); 0 = the kernel's default blocking connect.
+  static Result<TcpClient> Connect(const std::string& host, int port,
+                                   int connect_timeout_ms = 0);
 
   /// Parses "host:port" (e.g. "127.0.0.1:7345").
-  static Result<TcpClient> ConnectEndpoint(const std::string& endpoint);
+  static Result<TcpClient> ConnectEndpoint(const std::string& endpoint,
+                                           int connect_timeout_ms = 0);
+
+  /// Arms deadlines on every subsequent RPC: socket read/write timeouts (a
+  /// dead or stalled server turns into kDeadlineExceeded instead of a
+  /// hang), and each typed RPC carries `rpc_timeout_ms` as its protocol-v2
+  /// deadline so an overloaded server sheds it rather than serving into a
+  /// budget the client has given up on. 0 disarms both.
+  Status ArmDeadlines(int rpc_timeout_ms);
+
+  /// Routes every outgoing frame through `injector` (chaos testing; null
+  /// restores the plain transport). The injector must outlive the client.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // --- raw pipelining layer -----------------------------------------------
   Status Send(const api::Request& request);
+  Status Send(const api::Request& request,
+              const api::RequestEnvelope& envelope);
   Result<api::Response> Receive();
   /// Send + Receive in one call.
   Result<api::Response> Call(const api::Request& request);
+  Result<api::Response> Call(const api::Request& request,
+                             const api::RequestEnvelope& envelope);
 
   // --- typed RPCs ---------------------------------------------------------
   Result<uint64_t> StartSession(const api::QuerySpec& query);
   Result<std::vector<int>> Query(uint64_t session_id, int k = 0);
+  /// `seq` (nonzero) rides the v2 envelope into the service's idempotent
+  /// Feedback path: a retry resending the same seq is applied at most once.
   Result<std::vector<int>> Feedback(uint64_t session_id,
                                     const std::vector<logdb::LogEntry>& round,
-                                    int k = 0);
+                                    int k = 0, uint32_t seq = 0);
   Status EndSession(uint64_t session_id);
   Result<api::StatsResponse> Stats();
 
@@ -55,7 +77,13 @@ class TcpClient {
  private:
   explicit TcpClient(Socket socket) : socket_(std::move(socket)) {}
 
+  /// The envelope typed RPCs attach (the armed deadline; seq added per
+  /// call).
+  api::RequestEnvelope BaseEnvelope() const;
+
   Socket socket_;
+  int rpc_timeout_ms_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace cbir::net

@@ -1,10 +1,12 @@
 #include "net/tcp_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
 
 #include "api/codec.h"
+#include "util/stopwatch.h"
 
 namespace cbir::net {
 
@@ -34,14 +36,44 @@ void TcpServer::Stop() {
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
-  // Unblock every connection thread parked in recv, then join them all.
+  // Graceful drain. Idle connections (parked in recv between frames) are
+  // unblocked immediately — there is no response in flight to tear. Busy
+  // ones are left alone for up to drain_timeout_ms so the response frame
+  // they are computing or writing reaches the wire whole; after each
+  // finishes its current request it sees stopping_ and exits on its own.
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    for (auto& connection : connections_) connection->socket.Shutdown();
+    for (auto& connection : connections_) {
+      if (!connection->busy.load(std::memory_order_acquire)) {
+        connection->socket.Shutdown();
+      }
+    }
   }
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(options_.drain_timeout_ms, 0));
+  for (;;) {
+    bool any_busy = false;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      for (auto& connection : connections_) {
+        if (!connection->done.load(std::memory_order_acquire) &&
+            connection->busy.load(std::memory_order_acquire)) {
+          any_busy = true;
+          break;
+        }
+      }
+    }
+    if (!any_busy || std::chrono::steady_clock::now() >= drain_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Hard stop for whatever outlived the drain window, then join everything.
   std::vector<std::unique_ptr<Connection>> to_join;
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) connection->socket.Shutdown();
     to_join.swap(connections_);
   }
   for (auto& connection : to_join) {
@@ -93,25 +125,42 @@ void TcpServer::ReapFinishedLocked() {
 
 void TcpServer::ServeConnection(Connection* connection) {
   const Socket& socket = connection->socket;
+  if (options_.idle_timeout_ms > 0) {
+    // The reaper needs no extra thread: the kernel timeout turns a silent
+    // peer into a kDeadlineExceeded on the next header read.
+    socket.SetReadTimeout(options_.idle_timeout_ms);
+  }
   std::vector<uint8_t> header(api::kFrameHeaderBytes);
   std::vector<uint8_t> body;
   while (!stopping_.load(std::memory_order_acquire)) {
     bool clean_eof = false;
-    if (!socket.ReadFully(header.data(), header.size(), &clean_eof).ok() ||
-        clean_eof) {
+    if (const Status s =
+            socket.ReadFully(header.data(), header.size(), &clean_eof);
+        !s.ok() || clean_eof) {
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        // No frame within the idle window (or one trickling impossibly
+        // slowly): reap the connection, freeing its thread and fd.
+        connections_reaped_idle_.fetch_add(1, std::memory_order_relaxed);
+      }
       break;  // disconnect (clean between frames, or torn — either way done)
     }
     Result<api::FrameHeader> frame =
         api::DecodeFrameHeader(header.data(), header.size());
     Result<api::Request> request =
         Status::Internal("tcp server: request not decoded");
+    api::RequestEnvelope envelope;
     if (frame.ok()) {
       body.resize(frame->body_size);
       if (!socket.ReadFully(body.data(), body.size()).ok()) break;
-      request = api::DecodeRequestBody(*frame, body.data(), body.size());
+      request =
+          api::DecodeRequestBody(*frame, body.data(), body.size(), &envelope);
     } else {
       request = frame.status();
     }
+    // The frame is fully read: from here to the end of the response write
+    // the connection is busy, and Stop()'s drain leaves it alone.
+    connection->busy.store(true, std::memory_order_release);
+    const Stopwatch dispatch_watch;
     if (!request.ok()) {
       // Malformed frame: answer with the typed error, then close — after a
       // framing error the byte stream cannot be resynchronized.
@@ -121,9 +170,12 @@ void TcpServer::ServeConnection(Connection* connection) {
       const std::vector<uint8_t> reply =
           api::EncodeResponse(api::Response(std::move(error)));
       socket.WriteAll(reply.data(), reply.size());  // best-effort
+      connection->busy.store(false, std::memory_order_release);
       break;
     }
-    const api::Response response = dispatcher_->Dispatch(request.value());
+    const api::Response response = dispatcher_->Dispatch(
+        request.value(), envelope,
+        static_cast<int64_t>(dispatch_watch.ElapsedSeconds() * 1e3));
     std::vector<uint8_t> reply = api::EncodeResponse(response);
     if (reply.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
       // The peer's decoder would reject this frame and desynchronize; send
@@ -134,7 +186,9 @@ void TcpServer::ServeConnection(Connection* connection) {
           "tcp server: response frame exceeds the protocol body limit"));
       reply = api::EncodeResponse(api::Response(std::move(too_big)));
     }
-    if (!socket.WriteAll(reply.data(), reply.size()).ok()) break;
+    const bool wrote = socket.WriteAll(reply.data(), reply.size()).ok();
+    connection->busy.store(false, std::memory_order_release);
+    if (!wrote) break;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
   }
   // Shutdown (not Close) so the peer sees EOF now; Stop() may concurrently
@@ -151,6 +205,8 @@ TcpServerStats TcpServer::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   stats.connections_closed =
       connections_closed_.load(std::memory_order_relaxed);
+  stats.connections_reaped_idle =
+      connections_reaped_idle_.load(std::memory_order_relaxed);
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   return stats;

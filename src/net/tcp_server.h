@@ -24,12 +24,22 @@ struct TcpServerOptions {
   /// what the tests and the loopback bench use).
   int port = 0;
   int backlog = 64;
+  /// Idle-connection reaper: a connection that sends no frame for this long
+  /// is dropped (0 = never). Protects the per-connection threads from
+  /// clients that connect and go silent.
+  int idle_timeout_ms = 0;
+  /// Stop()'s graceful-drain window: connections mid-request get this long
+  /// to finish dispatching and write their response in full before their
+  /// socket is shut down. Idle connections (between frames) are shut down
+  /// immediately. 0 = no drain, the old hard stop.
+  int drain_timeout_ms = 1000;
 };
 
 /// \brief Lifetime counters of a TcpServer.
 struct TcpServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
+  uint64_t connections_reaped_idle = 0;  ///< dropped by the idle timeout
   uint64_t requests_served = 0;
   uint64_t decode_errors = 0;  ///< malformed frames (connection then closed)
 };
@@ -65,7 +75,12 @@ class TcpServer {
   /// address is unavailable; calling Start twice is a FailedPrecondition.
   Status Start();
 
-  /// Stops accepting, unblocks and joins every connection thread. Idempotent.
+  /// Stops accepting, drains, and joins every connection thread. Idempotent.
+  ///
+  /// Drain order: connections idle between frames are unblocked right away;
+  /// connections mid-request (dispatching or writing a response) get up to
+  /// drain_timeout_ms to put the complete response frame on the wire before
+  /// their socket is shut down — a Stop never tears a response mid-frame.
   void Stop();
 
   /// The bound port (valid after a successful Start).
@@ -76,11 +91,14 @@ class TcpServer {
 
  private:
   /// One live connection: the socket plus its completion flag (reaped
-  /// opportunistically by the accept loop, joined at Stop).
+  /// opportunistically by the accept loop, joined at Stop). `busy` is true
+  /// exactly while a fully-read request is being dispatched or its response
+  /// written — the window Stop()'s drain must not cut into.
   struct Connection {
     Socket socket;
     std::thread thread;
     std::atomic<bool> done{false};
+    std::atomic<bool> busy{false};
   };
 
   void AcceptLoop();
@@ -102,6 +120,7 @@ class TcpServer {
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> connections_reaped_idle_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> decode_errors_{0};
 };

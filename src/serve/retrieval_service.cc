@@ -175,8 +175,49 @@ Result<std::vector<int>> RetrievalService::TopKOfRanking(
                           session.ranking.begin() + static_cast<long>(n));
 }
 
+RetrievalService::AdmissionSlot::AdmissionSlot(RetrievalService* service)
+    : service_(service), admitted_(true) {
+  const size_t cap = service_->options_.max_inflight;
+  if (cap == 0) return;  // unbounded: every request is admitted
+  // Optimistically claim a slot and back out when over the cap; the window
+  // where two racers both see the cap reached just sheds both, which is the
+  // safe direction for an overload valve.
+  const uint64_t prior =
+      service_->inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (prior >= cap) {
+    service_->inflight_.fetch_sub(1, std::memory_order_relaxed);
+    admitted_ = false;
+  }
+}
+
+RetrievalService::AdmissionSlot::~AdmissionSlot() {
+  if (admitted_ && service_->options_.max_inflight > 0) {
+    service_->inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Status RetrievalService::ShedOverload() {
+  shed_overload_.fetch_add(1, std::memory_order_relaxed);
+  // The hint is a rough p50 of recent requests: by then a slot has likely
+  // freed up. Clients without better information back off around it.
+  const double p50_us = latency_.Summarize().p50_us;
+  const int retry_ms =
+      std::max(1, static_cast<int>(p50_us / 1000.0));
+  return Status::Unavailable(
+      "retrieval service: overloaded (" +
+      std::to_string(options_.max_inflight) +
+      " requests in flight); retry after ~" + std::to_string(retry_ms) +
+      "ms");
+}
+
+void RetrievalService::RecordDeadlineShed() {
+  shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<std::vector<int>> RetrievalService::Query(uint64_t session_id, int k) {
   Stopwatch watch;
+  AdmissionSlot slot(this);
+  if (!slot.admitted()) return ShedOverload();
   std::shared_ptr<ServeSession> session = sessions_->Acquire(session_id);
   if (session == nullptr) {
     return Status::NotFound("retrieval service: unknown session");
@@ -193,8 +234,11 @@ Result<std::vector<int>> RetrievalService::Query(uint64_t session_id, int k) {
 }
 
 Result<std::vector<int>> RetrievalService::Feedback(
-    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k) {
+    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k,
+    uint32_t seq) {
   Stopwatch watch;
+  AdmissionSlot slot(this);
+  if (!slot.admitted()) return ShedOverload();
   for (const logdb::LogEntry& e : round) {
     if (e.image_id < 0 || e.image_id >= db_->num_images()) {
       return Status::InvalidArgument(
@@ -212,6 +256,20 @@ Result<std::vector<int>> RetrievalService::Feedback(
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->ended) {
     return Status::NotFound("retrieval service: session already ended");
+  }
+  if (seq != 0 && session->last_feedback_seq != 0) {
+    if (seq == session->last_feedback_seq) {
+      // A retry of the round already applied (the reply got lost, not the
+      // request): answer from the cache, apply nothing a second time.
+      feedback_replays_.fetch_add(1, std::memory_order_relaxed);
+      return session->last_feedback_response;
+    }
+    if (seq < session->last_feedback_seq) {
+      return Status::FailedPrecondition(
+          "retrieval service: stale feedback seq " + std::to_string(seq) +
+          " (already applied up to " +
+          std::to_string(session->last_feedback_seq) + ")");
+    }
   }
   if (!session->prepared) {
     // One candidate scan narrows every subsequent round's scoring loops,
@@ -252,6 +310,10 @@ Result<std::vector<int>> RetrievalService::Feedback(
   session->has_ranking = true;
   ++session->rounds;
   Result<std::vector<int>> out = TopKOfRanking(*session, k);
+  if (seq != 0 && out.ok()) {
+    session->last_feedback_seq = seq;
+    session->last_feedback_response = out.value();
+  }
   feedbacks_.fetch_add(1, std::memory_order_relaxed);
   latency_.Record(watch.ElapsedSeconds() * 1e6);
   return out;
@@ -316,6 +378,9 @@ ServiceStats RetrievalService::stats() const {
 
   s.log_sessions_appended =
       log_sessions_appended_.load(std::memory_order_relaxed);
+  s.requests_shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.requests_shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.feedback_replays = feedback_replays_.load(std::memory_order_relaxed);
   s.session_kernel_cache_bytes = static_cast<uint64_t>(std::max<int64_t>(
       session_kernel_bytes_.load(std::memory_order_relaxed), 0));
   s.elapsed_seconds = uptime_.ElapsedSeconds();

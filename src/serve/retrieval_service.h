@@ -36,6 +36,13 @@ struct ServiceOptions {
   int candidate_depth = 0;
   /// Results returned by Query/Feedback when the caller passes k = 0.
   int default_k = 20;
+  /// Admission control: hard cap on concurrently executing Query/Feedback
+  /// requests (0 = unbounded, the pre-fault-tolerance behavior). A request
+  /// arriving with the cap already reached is rejected immediately with
+  /// kUnavailable (and a retry-after hint in the message) instead of
+  /// queueing — under overload the service sheds load at the door rather
+  /// than growing an unbounded latency queue.
+  size_t max_inflight = 0;
   SessionManagerOptions sessions;
   QueryCacheOptions cache;
 };
@@ -93,9 +100,16 @@ class RetrievalService {
   /// already-judged and query-self entries are ignored), re-ranks with the
   /// scheme, records the round for the log store, and returns the new
   /// top-k.
+  ///
+  /// `seq` (nonzero) makes the call idempotent per session: a retry carrying
+  /// the seq already applied is answered from the session's cached response
+  /// without re-applying the round, so a client that resends after a lost
+  /// reply never double-counts judgments. Seqs must be issued in increasing
+  /// order by a serial caller; one older than the last applied is rejected
+  /// as FailedPrecondition. 0 (the default) bypasses the dedup entirely.
   Result<std::vector<int>> Feedback(uint64_t session_id,
                                     const std::vector<logdb::LogEntry>& round,
-                                    int k = 0);
+                                    int k = 0, uint32_t seq = 0);
 
   /// Closes the session and appends its recorded rounds to the log store —
   /// the paper's "deployment accumulates the feedback log" loop. Unknown
@@ -110,6 +124,10 @@ class RetrievalService {
   /// Drops every cached first-round ranking (epoch bump); call after the
   /// serving data (index, log matrix) has been swapped.
   void InvalidateCache();
+
+  /// Counts one request the transport shed for an expired deadline (the
+  /// dispatcher decides; the service only owns the counter).
+  void RecordDeadlineShed();
 
   ServiceStats stats() const;
   void ResetStats();
@@ -146,6 +164,24 @@ class RetrievalService {
   Result<std::vector<int>> TopKOfRanking(const ServeSession& session,
                                          int k) const;
 
+  /// RAII admission slot: construction tries to claim one of max_inflight
+  /// slots; admitted() says whether it succeeded, destruction releases it.
+  class AdmissionSlot {
+   public:
+    explicit AdmissionSlot(RetrievalService* service);
+    ~AdmissionSlot();
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+    bool admitted() const { return admitted_; }
+
+   private:
+    RetrievalService* service_;
+    bool admitted_;
+  };
+
+  /// The kUnavailable status an over-capacity request is shed with.
+  Status ShedOverload();
+
   const retrieval::ImageDatabase* db_;
   const la::Matrix* log_features_;
   logdb::LogStore* log_store_;
@@ -162,6 +198,10 @@ class RetrievalService {
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> feedbacks_{0};
   std::atomic<uint64_t> log_sessions_appended_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> shed_overload_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> feedback_replays_{0};
   /// Sum over live sessions of their accounted_kernel_bytes (cross-round
   /// kernel-cache memory); updated after each feedback round and settled to
   /// zero per session on end/eviction.

@@ -89,6 +89,9 @@ std::string FormatServiceStats(const ServiceStats& stats) {
      << " session_kernel_kb="
      << stats.session_kernel_cache_bytes / 1024
      << " log_appends=" << stats.log_sessions_appended
+     << " shed{overload=" << stats.requests_shed_overload
+     << " deadline=" << stats.requests_shed_deadline
+     << "} feedback_replays=" << stats.feedback_replays
      << " latency_us{p50=" << FormatDouble(stats.latency.p50_us, 0)
      << " p95=" << FormatDouble(stats.latency.p95_us, 0)
      << " p99=" << FormatDouble(stats.latency.p99_us, 0)

@@ -83,6 +83,12 @@ struct ServiceStats {
   // Feedback log integration.
   uint64_t log_sessions_appended = 0;  ///< LogSessions flushed to the store
 
+  // Fault tolerance: requests rejected instead of served, and retried
+  // requests answered from the idempotency cache instead of re-applied.
+  uint64_t requests_shed_overload = 0;  ///< kUnavailable: over max_inflight
+  uint64_t requests_shed_deadline = 0;  ///< kDeadlineExceeded on arrival
+  uint64_t feedback_replays = 0;        ///< duplicate seq answered from cache
+
   // Session memory: bytes held by per-session cross-round kernel caches
   // (slabs + gathered training matrices) across all live sessions. Grows
   // with feedback rounds, returns to zero as sessions end or are evicted.

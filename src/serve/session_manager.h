@@ -50,6 +50,13 @@ struct ServeSession {
   /// Current ranking (query id excluded); round 0 = first-round retrieval.
   std::vector<int> ranking;
   bool has_ranking = false;
+
+  /// Idempotency cache for retried Feedback: the highest sequence number
+  /// applied so far (0 = none seen) and the top-k answered for it. A retry
+  /// carrying the same seq gets this response back without re-applying the
+  /// round — at-most-once application under client retries.
+  uint32_t last_feedback_seq = 0;
+  std::vector<int> last_feedback_response;
 };
 
 /// \brief Session capacity policy.

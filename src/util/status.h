@@ -21,6 +21,13 @@ enum class StatusCode {
   kNotImplemented = 6,
   kFailedPrecondition = 7,
   kInternal = 8,
+  /// A bounded operation (socket connect/read/write, an RPC with an attached
+  /// deadline) ran out of time. Retrying may succeed; the work may or may
+  /// not have happened on the other side.
+  kDeadlineExceeded = 9,
+  /// The server shed the request under overload (admission control, session
+  /// capacity). Transient by definition: back off and retry.
+  kUnavailable = 10,
 };
 
 /// Every StatusCode enumerator, for exhaustive iteration in tests and
@@ -30,7 +37,8 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kOutOfRange,    StatusCode::kNotFound,
     StatusCode::kAlreadyExists, StatusCode::kIoError,
     StatusCode::kNotImplemented, StatusCode::kFailedPrecondition,
-    StatusCode::kInternal,
+    StatusCode::kInternal,      StatusCode::kDeadlineExceeded,
+    StatusCode::kUnavailable,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -86,6 +94,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -304,15 +304,135 @@ TEST(CodecRobustnessTest, GarbageBytesNeverCrash) {
 }
 
 TEST(CodecFramingTest, HeaderFieldsAndTypeOf) {
+  // An envelope-free request encodes as a v1 frame: old servers keep
+  // understanding new clients that don't use v2 features.
   const std::vector<uint8_t> frame = ValidFrame();
   Result<FrameHeader> header = DecodeFrameHeader(frame.data(), frame.size());
   ASSERT_TRUE(header.ok());
-  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_EQ(header->version, kProtocolVersionV1);
+  EXPECT_EQ(header->flags, 0);
   EXPECT_EQ(header->type, MessageType::kFeedbackRequest);
   EXPECT_EQ(header->body_size, frame.size() - kFrameHeaderBytes);
 
   EXPECT_EQ(TypeOf(Request(StatsRequest{})), MessageType::kStatsRequest);
   EXPECT_EQ(TypeOf(Response(ErrorResponse{})), MessageType::kErrorResponse);
+}
+
+// ------------------------------------------------------ protocol v2 frames --
+
+TEST(CodecV2Test, EnvelopeRoundTripsThroughV2Frame) {
+  FeedbackRequest m;
+  m.session_id = 7;
+  m.round = {logdb::LogEntry{1, 1}};
+  for (const RequestEnvelope sent :
+       {RequestEnvelope::WithDeadline(1500),
+        [] {
+          RequestEnvelope e;
+          e.has_seq = true;
+          e.seq = 42;
+          return e;
+        }(),
+        [] {
+          RequestEnvelope e = RequestEnvelope::WithDeadline(0);  // cancel
+          e.has_seq = true;
+          e.seq = 0xFFFFFFFF;
+          return e;
+        }()}) {
+    const std::vector<uint8_t> frame = EncodeRequest(Request(m), sent);
+    Result<FrameHeader> header =
+        DecodeFrameHeader(frame.data(), frame.size());
+    ASSERT_TRUE(header.ok());
+    EXPECT_EQ(header->version, kProtocolVersion);
+    RequestEnvelope got;
+    Result<Request> decoded = DecodeRequest(frame.data(), frame.size(), &got);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(got == sent);
+    ASSERT_TRUE(std::holds_alternative<FeedbackRequest>(decoded.value()));
+    EXPECT_TRUE(std::get<FeedbackRequest>(decoded.value()) == m);
+  }
+}
+
+TEST(CodecV2Test, EmptyEnvelopeIsByteIdenticalToV1) {
+  QueryRequest m;
+  m.session_id = 9;
+  m.k = 5;
+  const std::vector<uint8_t> v1 = EncodeRequest(Request(m));
+  const std::vector<uint8_t> v2 = EncodeRequest(Request(m), RequestEnvelope{});
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(CodecV2Test, V1DecoderSurfacesEmptyEnvelope) {
+  // A v1 frame decoded through the envelope-aware path reports no deadline
+  // and no seq — old clients against new servers.
+  QueryRequest m;
+  m.session_id = 3;
+  const std::vector<uint8_t> frame = EncodeRequest(Request(m));
+  RequestEnvelope envelope = RequestEnvelope::WithDeadline(99);  // stale
+  Result<Request> decoded =
+      DecodeRequest(frame.data(), frame.size(), &envelope);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(envelope.empty());
+}
+
+TEST(CodecV2Test, UnknownFlagBitsRejected) {
+  FeedbackRequest m;
+  const std::vector<uint8_t> frame =
+      EncodeRequest(Request(m), RequestEnvelope::WithDeadline(10));
+  for (uint8_t bit = 2; bit < 8; ++bit) {
+    std::vector<uint8_t> corrupt = frame;
+    corrupt[7] = uint8_t(corrupt[7] | (1u << bit));  // flags live at offset 7
+    Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
+    ASSERT_FALSE(decoded.ok()) << "flag bit " << int(bit) << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CodecV2Test, TruncatedEnvelopeFailsTyped) {
+  FeedbackRequest m;
+  m.round = {logdb::LogEntry{4, -1}};
+  RequestEnvelope envelope = RequestEnvelope::WithDeadline(250);
+  envelope.has_seq = true;
+  envelope.seq = 8;
+  const std::vector<uint8_t> frame = EncodeRequest(Request(m), envelope);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Result<Request> decoded = DecodeRequest(frame.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(CodecV2Test, ResponsesStayV1) {
+  // Responses never carry envelopes, so a v2-speaking server remains
+  // byte-compatible with v1 clients on the reply path.
+  QueryResponse m;
+  m.ranking = {1, 2, 3};
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m));
+  Result<FrameHeader> header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersionV1);
+}
+
+TEST(CodecV2Test, EverySingleBitFlipOfV2FrameIsHandled) {
+  FeedbackRequest m;
+  m.session_id = 7;
+  m.round = {logdb::LogEntry{1, 1}, logdb::LogEntry{2, -1}};
+  RequestEnvelope envelope = RequestEnvelope::WithDeadline(2000);
+  envelope.has_seq = true;
+  envelope.seq = 77;
+  const std::vector<uint8_t> frame = EncodeRequest(Request(m), envelope);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[byte] = uint8_t(corrupt[byte] ^ (1u << bit));
+      Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
+      if (!decoded.ok()) {
+        const StatusCode code = decoded.status().code();
+        EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                    code == StatusCode::kOutOfRange ||
+                    code == StatusCode::kNotImplemented)
+            << "byte " << byte << " bit " << bit << ": " << decoded.status();
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,460 @@
+#include "logdb/wal.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "logdb/log_store.h"
+
+namespace cbir::logdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+LogSession Session(int query_id, int n) {
+  LogSession s;
+  s.query_image_id = query_id;
+  for (int i = 0; i < n; ++i) {
+    s.entries.push_back(LogEntry{query_id * 100 + i, i % 2 == 0 ? int8_t{1}
+                                                               : int8_t{-1}});
+  }
+  return s;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void AppendBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A complete, valid WAL file holding `sessions` under `generation`.
+std::vector<uint8_t> WalFile(uint64_t generation,
+                             const std::vector<LogSession>& sessions) {
+  std::vector<uint8_t> bytes = EncodeWalFileHeader(generation);
+  for (const LogSession& s : sessions) {
+    const std::vector<uint8_t> record = EncodeWalRecord(s);
+    bytes.insert(bytes.end(), record.begin(), record.end());
+  }
+  return bytes;
+}
+
+void ExpectSessionsEqual(const std::vector<LogSession>& got,
+                         const std::vector<LogSession>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(got[i].query_image_id, want[i].query_image_id);
+    ASSERT_EQ(got[i].entries.size(), want[i].entries.size());
+    for (size_t j = 0; j < got[i].entries.size(); ++j) {
+      EXPECT_EQ(got[i].entries[j].image_id, want[i].entries[j].image_id);
+      EXPECT_EQ(got[i].entries[j].judgment, want[i].entries[j].judgment);
+    }
+  }
+}
+
+// ------------------------------------------------------------ round trips --
+
+TEST(WalTest, WriterRoundTripsThroughRecovery) {
+  const std::string path = TempPath("wal_roundtrip.wal");
+  std::remove(path.c_str());
+  const std::vector<LogSession> sessions = {Session(1, 3), Session(2, 0),
+                                            Session(3, 7)};
+  uint64_t generation = 0;
+  {
+    auto writer = WalWriter::Open(path, 0, 0);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    generation = writer->generation();
+    EXPECT_NE(generation, 0u);
+    for (const LogSession& s : sessions) {
+      ASSERT_TRUE(writer->Append(s).ok());
+    }
+  }  // destructor closes; no clean-shutdown footer exists by design
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectSessionsEqual(recovered.value(), sessions);
+  EXPECT_EQ(stats.generation, generation);
+  EXPECT_EQ(stats.sessions, 3u);
+  EXPECT_EQ(stats.torn_bytes, 0u);
+  EXPECT_TRUE(stats.torn_reason.empty());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, MissingFileRecoversEmpty) {
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(TempPath("wal_never_existed.wal"), &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->empty());
+  EXPECT_EQ(stats.generation, 0u);
+  EXPECT_EQ(stats.valid_bytes, 0u);
+}
+
+// ---------------------------------------------- golden torn-tail fixtures --
+//
+// Each fixture is a hand-built WAL ending in a specific kind of tear; the
+// committed prefix must survive, the tail must be measured and named.
+
+TEST(WalTest, TornTailTruncatedRecordHeader) {
+  const std::string path = TempPath("wal_torn_header.wal");
+  const std::vector<LogSession> committed = {Session(1, 2), Session(2, 4)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  const size_t valid = bytes.size();
+  // A crash mid-write left 3 bytes of the next record's length prefix.
+  bytes.insert(bytes.end(), {0x21, 0x00, 0x00});
+  WriteBytes(path, bytes);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSessionsEqual(recovered.value(), committed);
+  EXPECT_EQ(stats.valid_bytes, valid);
+  EXPECT_EQ(stats.torn_bytes, 3u);
+  EXPECT_EQ(stats.torn_reason, "truncated record header");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailTruncatedRecordBody) {
+  const std::string path = TempPath("wal_torn_body.wal");
+  const std::vector<LogSession> committed = {Session(1, 2)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  const size_t valid = bytes.size();
+  // Full header of the next record but only part of its payload.
+  const std::vector<uint8_t> next = EncodeWalRecord(Session(9, 5));
+  bytes.insert(bytes.end(), next.begin(), next.end() - 4);
+  WriteBytes(path, bytes);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSessionsEqual(recovered.value(), committed);
+  EXPECT_EQ(stats.valid_bytes, valid);
+  EXPECT_EQ(stats.torn_bytes, next.size() - 4);
+  EXPECT_EQ(stats.torn_reason, "truncated record body");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailCrcMismatch) {
+  const std::string path = TempPath("wal_torn_crc.wal");
+  const std::vector<LogSession> committed = {Session(1, 2), Session(2, 2)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  const size_t valid = bytes.size();
+  std::vector<uint8_t> last = EncodeWalRecord(Session(3, 3));
+  last.back() ^= 0x40;  // one flipped payload bit
+  bytes.insert(bytes.end(), last.begin(), last.end());
+  WriteBytes(path, bytes);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSessionsEqual(recovered.value(), committed);
+  EXPECT_EQ(stats.valid_bytes, valid);
+  EXPECT_EQ(stats.torn_bytes, last.size());
+  EXPECT_EQ(stats.torn_reason, "crc mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailHostileLength) {
+  const std::string path = TempPath("wal_torn_length.wal");
+  const std::vector<LogSession> committed = {Session(1, 1)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  const size_t valid = bytes.size();
+  // A length prefix past the record bound must be treated as a tear, not an
+  // allocation request.
+  const uint32_t hostile = kMaxWalRecordBytes + 1;
+  for (int i = 0; i < 4; ++i) bytes.push_back(uint8_t(hostile >> (8 * i)));
+  for (int i = 0; i < 12; ++i) bytes.push_back(0xEE);
+  WriteBytes(path, bytes);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSessionsEqual(recovered.value(), committed);
+  EXPECT_EQ(stats.valid_bytes, valid);
+  EXPECT_EQ(stats.torn_bytes, 16u);
+  EXPECT_EQ(stats.torn_reason, "hostile record length");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailUndecodablePayload) {
+  const std::string path = TempPath("wal_torn_payload.wal");
+  const std::vector<LogSession> committed = {Session(1, 1)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  // A record whose CRC is valid but whose payload claims more entries than
+  // it holds: CRC framing alone must not be trusted.
+  std::vector<uint8_t> payload;
+  for (int i = 0; i < 4; ++i) payload.push_back(uint8_t(5 >> (8 * i)));
+  const uint32_t claimed_entries = 1000;
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(uint8_t(claimed_entries >> (8 * i)));
+  }
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  const uint32_t length = uint32_t(payload.size());
+  for (int i = 0; i < 4; ++i) bytes.push_back(uint8_t(length >> (8 * i)));
+  for (int i = 0; i < 4; ++i) bytes.push_back(uint8_t(crc >> (8 * i)));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  WriteBytes(path, bytes);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSessionsEqual(recovered.value(), committed);
+  EXPECT_EQ(stats.torn_reason, "undecodable payload");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailTrailingGarbage) {
+  const std::string path = TempPath("wal_torn_garbage.wal");
+  const std::vector<LogSession> committed = {Session(1, 2), Session(2, 3)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  const size_t valid = bytes.size();
+  std::vector<uint8_t> garbage;
+  uint64_t x = 0xDEADBEEFCAFEF00Dull;
+  for (int i = 0; i < 257; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    garbage.push_back(uint8_t(x));
+  }
+  WriteBytes(path, bytes);
+  AppendBytes(path, garbage);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSessionsEqual(recovered.value(), committed);
+  EXPECT_EQ(stats.valid_bytes, valid);
+  EXPECT_EQ(stats.torn_bytes, garbage.size());
+  EXPECT_FALSE(stats.torn_reason.empty());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornFileHeaderRecoversEmpty) {
+  const std::string path = TempPath("wal_torn_file_header.wal");
+  // Seven bytes of a 16-byte file header: the crash hit the very first
+  // write. Nothing committed, nothing to keep.
+  WriteBytes(path, {0x43, 0x42, 0x57, 0x4C, 0x01, 0x00, 0x00});
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->empty());
+  EXPECT_EQ(stats.generation, 0u);
+  EXPECT_EQ(stats.torn_reason, "truncated file header");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, BadMagicRecoversEmpty) {
+  const std::string path = TempPath("wal_bad_magic.wal");
+  std::vector<uint8_t> bytes = WalFile(7, {Session(1, 1)});
+  bytes[0] ^= 0xFF;
+  WriteBytes(path, bytes);
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->empty());
+  EXPECT_EQ(stats.generation, 0u);
+  EXPECT_EQ(stats.torn_reason, "bad file header");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- open-after-crash --
+
+TEST(WalTest, OpenTruncatesTornTailBeforeAppending) {
+  const std::string path = TempPath("wal_truncate_on_open.wal");
+  const std::vector<LogSession> committed = {Session(1, 2)};
+  std::vector<uint8_t> bytes = WalFile(7, committed);
+  bytes.insert(bytes.end(), {0x10, 0x00});  // torn tail
+  WriteBytes(path, bytes);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  {
+    auto writer = WalWriter::Open(path, stats.valid_bytes, stats.generation);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    EXPECT_EQ(writer->generation(), 7u);  // recovered generation is kept
+    ASSERT_TRUE(writer->Append(Session(5, 3)).ok());
+  }
+  // Recovery after the truncating reopen: the torn bytes are gone, the old
+  // prefix and the new record read back clean.
+  WalRecoveryStats after;
+  auto reread = RecoverWal(path, &after);
+  ASSERT_TRUE(reread.ok());
+  ExpectSessionsEqual(reread.value(), {Session(1, 2), Session(5, 3)});
+  EXPECT_EQ(after.torn_bytes, 0u);
+  EXPECT_EQ(after.generation, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ResetStartsFreshGeneration) {
+  const std::string path = TempPath("wal_reset.wal");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, 0, 0);
+  ASSERT_TRUE(writer.ok());
+  const uint64_t first = writer->generation();
+  ASSERT_TRUE(writer->Append(Session(1, 2)).ok());
+  ASSERT_TRUE(writer->Reset().ok());
+  const uint64_t second = writer->generation();
+  EXPECT_NE(second, first);
+  EXPECT_NE(second, 0u);
+
+  WalRecoveryStats stats;
+  auto recovered = RecoverWal(path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->empty());
+  EXPECT_EQ(stats.generation, second);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- durable LogStore glue --
+
+TEST(WalDurableStoreTest, AppendsSurviveReopen) {
+  const std::string snapshot = TempPath("durable_snap.txt");
+  const std::string wal = TempPath("durable_snap.wal");
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+  {
+    auto store = LogStore::OpenDurable(snapshot, wal);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_TRUE(store->durable());
+    store->Append(Session(1, 3));
+    store->Append(Session(2, 1));
+    EXPECT_TRUE(store->wal_status().ok());
+  }  // no Compact, no SaveToFile: the WAL alone carries the sessions
+  WalRecoveryStats recovery;
+  auto reopened = LogStore::OpenDurable(snapshot, wal, &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->num_sessions(), 2);
+  EXPECT_EQ(recovery.sessions, 2u);
+  ExpectSessionsEqual(reopened->sessions(), {Session(1, 3), Session(2, 1)});
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+}
+
+TEST(WalDurableStoreTest, CompactFoldsWalIntoSnapshot) {
+  const std::string snapshot = TempPath("compact_snap.txt");
+  const std::string wal = TempPath("compact_snap.wal");
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+  {
+    auto store = LogStore::OpenDurable(snapshot, wal);
+    ASSERT_TRUE(store.ok());
+    store->Append(Session(1, 2));
+    store->Append(Session(2, 2));
+    ASSERT_TRUE(store->Compact().ok());
+    store->Append(Session(3, 2));  // post-compaction append, WAL only
+  }
+  WalRecoveryStats recovery;
+  auto reopened = LogStore::OpenDurable(snapshot, wal, &recovery);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_sessions(), 3);
+  EXPECT_EQ(recovery.sessions, 1u);  // only the post-compaction session
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+}
+
+TEST(WalDurableStoreTest, CrashBetweenSnapshotAndWalResetNeverDoubleCounts) {
+  const std::string snapshot = TempPath("double_snap.txt");
+  const std::string wal = TempPath("double_snap.wal");
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+  // Simulate the compaction crash window: the snapshot (tagged with the WAL
+  // generation it folded) was published, but the process died before the
+  // WAL was reset — the WAL still holds the very sessions the snapshot has.
+  uint64_t generation = 0;
+  {
+    auto store = LogStore::OpenDurable(snapshot, wal);
+    ASSERT_TRUE(store.ok());
+    store->Append(Session(1, 2));
+    store->Append(Session(2, 2));
+  }
+  {
+    WalRecoveryStats pre;
+    auto recovered = RecoverWal(wal, &pre);
+    ASSERT_TRUE(recovered.ok());
+    generation = pre.generation;
+    LogStore folded;
+    for (const LogSession& s : recovered.value()) folded.Append(s);
+    ASSERT_TRUE(folded.SaveToFile(snapshot).ok());
+    // Re-save with the generation trailer the way Compact does.
+    std::ofstream out(snapshot, std::ios::app);
+    out << "wal_gen " << generation << "\n";
+  }
+  // Recovery: snapshot says it folded this WAL generation, so the WAL's
+  // sessions must be discarded, not replayed on top.
+  WalRecoveryStats recovery;
+  auto reopened = LogStore::OpenDurable(snapshot, wal, &recovery);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_sessions(), 2);  // not 4
+  // And the store remains writable with a fresh WAL generation.
+  reopened->Append(Session(3, 1));
+  EXPECT_TRUE(reopened->wal_status().ok());
+  auto again = LogStore::OpenDurable(snapshot, wal);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_sessions(), 3);
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+}
+
+// Concurrency gate (runs under TSan in CI): appends from many threads while
+// a compactor repeatedly folds the WAL must neither race nor lose an
+// acknowledged session.
+TEST(WalDurableStoreTest, ConcurrentAppendsWhileCompacting) {
+  const std::string snapshot = TempPath("concurrent_snap.txt");
+  const std::string wal = TempPath("concurrent_snap.wal");
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    auto store_or = LogStore::OpenDurable(snapshot, wal);
+    ASSERT_TRUE(store_or.ok());
+    LogStore store = std::move(store_or).value();
+    std::atomic<bool> go{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&store, &go, t] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < kPerThread; ++i) {
+          store.Append(LogSession{t, {LogEntry{i, 1}}});
+        }
+      });
+    }
+    std::thread compactor([&store, &go, &done] {
+      while (!go.load()) {
+      }
+      while (!done.load()) {
+        EXPECT_TRUE(store.Compact().ok());
+      }
+    });
+    go.store(true);
+    for (std::thread& t : pool) t.join();
+    done.store(true);
+    compactor.join();
+    EXPECT_EQ(store.num_sessions(), kThreads * kPerThread);
+    EXPECT_TRUE(store.wal_status().ok());
+  }
+  auto reopened = LogStore::OpenDurable(snapshot, wal);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_sessions(), kThreads * kPerThread);
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+}
+
+}  // namespace
+}  // namespace cbir::logdb

@@ -115,7 +115,10 @@ TEST(StatusWireCodeTest, EveryEnumeratorRoundTripsExactly) {
 }
 
 TEST(StatusWireCodeTest, UnknownWireValuesMapToInternalNeverOk) {
-  for (const uint32_t bogus : {9u, 100u, 0xFFFFFFFFu}) {
+  // First value past the known range (kAllStatusCodes is contiguous from
+  // 0, checked above), plus far-out garbage.
+  const uint32_t past_end = static_cast<uint32_t>(std::size(kAllStatusCodes));
+  for (const uint32_t bogus : {past_end, 100u, 0xFFFFFFFFu}) {
     EXPECT_EQ(StatusCodeFromWireCode(bogus), StatusCode::kInternal);
   }
 }
