@@ -16,6 +16,7 @@
 #include <csignal>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "api/dispatcher.h"
@@ -23,6 +24,9 @@
 #include "logdb/log_store.h"
 #include "logdb/simulated_user.h"
 #include "net/tcp_server.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
 #include "retrieval/synthetic_features.h"
 #include "serve/retrieval_service.h"
 #include "util/flags.h"
@@ -46,6 +50,18 @@ constexpr const char* kHelp =
                         (torn tail truncated) and the recovered count printed
   --max-inflight=N      admission cap: shed requests over N concurrently
                         in flight with kUnavailable (default 0 = unbounded)
+
+ observability
+  --metrics-port=N      plaintext metrics listener: every connection gets
+                        the full registry in Prometheus exposition format
+                        (curl or nc the port; 0 = OS-assigned, printed).
+                        Omit the flag to disable. The same counters are
+                        served on the main port as a MetricsResponse.
+  --slow-request-ms=N   dump the per-stage span tree of any request whose
+                        server-side time reaches N ms (default 0 = off)
+  --log-interval=F      per-event rate limit of the structured connection
+                        log, seconds (default 1.0; suppressed events are
+                        counted and reported on the next line through)
 
  corpus (must match the driver's for byte-identical rankings)
   --synthetic-rows=N    clustered 36-dim feature corpus (default 20000)
@@ -90,7 +106,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = retrieval::IndexFlagNames();
   for (const char* name :
        {"help", "port", "host", "idle-timeout-ms", "drain-timeout-ms", "wal",
-        "max-inflight", "synthetic-rows", "categories", "images-per-category",
+        "max-inflight", "metrics-port", "slow-request-ms", "log-interval",
+        "synthetic-rows", "categories", "images-per-category",
         "seed", "scheme", "k", "rounds", "judgments", "depth", "noise",
         "max-sessions", "ttl", "cache-capacity", "log-sessions"}) {
     known.push_back(name);
@@ -99,6 +116,11 @@ int main(int argc, char** argv) {
     std::cerr << s << "\n" << kHelp;
     return 1;
   }
+
+  // Structured timestamped key=value event log (connection lifecycle, WAL
+  // events). Connection events share one per-event rate limit so a storm is
+  // bounded; WAL events bypass it (LogAlways) — they are rare and must land.
+  obs::StructuredLog slog(&std::cout, flags.GetDouble("log-interval", 1.0));
 
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
   const int k = flags.GetInt("k", 20);
@@ -168,15 +190,25 @@ int main(int argc, char** argv) {
         std::cerr << "wal: seed compaction failed: " << s << "\n";
         return 1;
       }
+      slog.LogAlways("wal_compacted",
+                     {{"reason", "seed"},
+                      {"sessions", std::to_string(store.num_sessions())}});
     }
     // One stable line the chaos-smoke CI job greps after a kill -9 restart.
-    std::cout << "wal: recovered " << store.num_sessions() << " sessions ("
-              << recovery.sessions << " replayed from wal, "
-              << recovery.torn_bytes << " torn bytes discarded";
-    if (!recovery.torn_reason.empty()) {
-      std::cout << ": " << recovery.torn_reason;
+    if (recovery.torn_reason.empty()) {
+      slog.LogAlways(
+          "wal_recovered",
+          {{"sessions", std::to_string(store.num_sessions())},
+           {"replayed_from_wal", std::to_string(recovery.sessions)},
+           {"torn_bytes", std::to_string(recovery.torn_bytes)}});
+    } else {
+      slog.LogAlways(
+          "wal_recovered",
+          {{"sessions", std::to_string(store.num_sessions())},
+           {"replayed_from_wal", std::to_string(recovery.sessions)},
+           {"torn_bytes", std::to_string(recovery.torn_bytes)},
+           {"torn_reason", "\"" + recovery.torn_reason + "\""}});
     }
-    std::cout << ")\n";
   }
   const la::Matrix log_features =
       store.BuildMatrix(db.num_images()).ToDenseMatrix();
@@ -204,15 +236,50 @@ int main(int argc, char** argv) {
   }
   api::Dispatcher dispatcher(service_or.value().get());
 
+  // Pull-style gauges: every Snapshot() (wire MetricsResponse or a
+  // --metrics-port scrape) refreshes these from the live service first.
+  obs::MetricsRegistry::Default().OnGather(
+      [service = service_or.value().get(), store_ptr = &store] {
+        obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+        const serve::ServiceStats s = service->stats();
+        r.GetGauge("cbir_serve_active_sessions")
+            ->Set(static_cast<int64_t>(s.active_sessions));
+        r.GetGauge("cbir_serve_session_kernel_cache_bytes")
+            ->Set(static_cast<int64_t>(s.session_kernel_cache_bytes));
+        r.GetGauge("cbir_serve_uptime_seconds")
+            ->Set(static_cast<int64_t>(s.elapsed_seconds));
+        r.GetGauge("cbir_serve_cache_hit_rate_permille")
+            ->Set(static_cast<int64_t>(s.cache_hit_rate * 1000.0));
+        r.GetGauge("cbir_logdb_sessions")
+            ->Set(static_cast<int64_t>(store_ptr->num_sessions()));
+      });
+
   net::TcpServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");
   server_options.port = flags.GetInt("port", 7345);
   server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 0);
   server_options.drain_timeout_ms = flags.GetInt("drain-timeout-ms", 1000);
+  server_options.slow_request_ms = flags.GetInt("slow-request-ms", 0);
+  server_options.connection_observer = [&slog](const char* event,
+                                               uint64_t connection_id) {
+    slog.Log(std::string("conn_") + event,
+             {{"id", std::to_string(connection_id)}});
+  };
   net::TcpServer server(&dispatcher, server_options);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << s << "\n";
     return 1;
+  }
+
+  std::unique_ptr<obs::ExpositionServer> metrics_server;
+  if (flags.Has("metrics-port")) {
+    metrics_server = std::make_unique<obs::ExpositionServer>(
+        &obs::MetricsRegistry::Default(), server_options.host,
+        flags.GetInt("metrics-port", 0));
+    if (Status s = metrics_server->Start(); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
   }
 
   std::signal(SIGINT, HandleStopSignal);
@@ -222,8 +289,12 @@ int main(int argc, char** argv) {
             << ", scheme=" << service_options.scheme
             << ", depth=" << service_options.candidate_depth << ")\n"
             << "listening on " << server_options.host << ":" << server.port()
-            << "\n"
-            << std::flush;
+            << "\n";
+  if (metrics_server != nullptr) {
+    std::cout << "metrics listening on " << server_options.host << ":"
+              << metrics_server->port() << "\n";
+  }
+  std::cout << std::flush;
 
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -231,11 +302,16 @@ int main(int argc, char** argv) {
 
   std::cout << "shutting down...\n";
   server.Stop();
+  if (metrics_server != nullptr) metrics_server->Stop();
   if (store.durable()) {
     // Fold the WAL into the snapshot on a clean exit; a kill -9 skips this
     // and the next boot replays the WAL instead.
     if (Status s = store.Compact(); !s.ok()) {
       std::cerr << "wal: final compaction failed: " << s << "\n";
+    } else {
+      slog.LogAlways("wal_compacted",
+                     {{"reason", "shutdown"},
+                      {"sessions", std::to_string(store.num_sessions())}});
     }
   }
   const net::TcpServerStats net_stats = server.stats();

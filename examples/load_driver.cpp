@@ -41,6 +41,7 @@
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/table_printer.h"
 
 namespace {
 
@@ -286,6 +287,7 @@ int main(int argc, char** argv) {
   la::Matrix log_features;
   logdb::LogStore store;
   int64_t initial_log_sessions = 0;
+  int64_t initial_remote_requests = 0;
   std::unique_ptr<serve::RetrievalService> service;
   if (remote.empty()) {
     db.BuildIndex(index_options.value());
@@ -327,6 +329,7 @@ int main(int argc, char** argv) {
     }
     initial_log_sessions =
         static_cast<int64_t>(remote_stats->log_sessions_appended);
+    initial_remote_requests = static_cast<int64_t>(remote_stats->requests);
     std::cout << "remote service at " << remote << " ready ("
               << remote_stats->sessions_started
               << " sessions served so far)\n";
@@ -353,6 +356,10 @@ int main(int argc, char** argv) {
   std::atomic<int> failures{0};
   std::atomic<int> evicted_midflight{0};
   std::atomic<int> chaos_lost{0};
+  // Successful Query + Feedback calls the driver got answers to — the
+  // server's `requests` counter must have grown by exactly this much on a
+  // clean non-chaos remote run (the accounting cross-check below).
+  std::atomic<int64_t> requests_succeeded{0};
   std::mutex retry_stats_mu;
   net::RetryingClientStats retry_totals;
   Stopwatch load_watch;
@@ -413,6 +420,7 @@ int main(int argc, char** argv) {
       };
       auto ranking_or = backend->Query(sid, fetch_k);
       bool ok = ranking_or.ok();
+      if (ok) requests_succeeded.fetch_add(1);
       bool gone = !ok && evicted(ranking_or.status());
       bool lost = !ok && chaotic(ranking_or.status());
       std::unordered_set<int> judged{query_id};
@@ -427,6 +435,7 @@ int main(int argc, char** argv) {
         }
         ranking_or = backend->Feedback(sid, round, fetch_k);
         ok = ranking_or.ok();
+        if (ok) requests_succeeded.fetch_add(1);
         gone = !ok && evicted(ranking_or.status());
         lost = !ok && chaotic(ranking_or.status());
       }
@@ -458,6 +467,7 @@ int main(int argc, char** argv) {
   const double elapsed = load_watch.ElapsedSeconds();
 
   // ---- results ----
+  bool accounting_ok = true;
   std::cout << "\n";
   if (remote.empty()) {
     const serve::ServiceStats stats = service->stats();
@@ -506,11 +516,61 @@ int main(int argc, char** argv) {
                   << "feedback log     " << initial_log_sessions << " -> "
                   << stats->log_sessions_appended
                   << " sessions appended by the server\n";
+        // Accounting cross-check: on a clean non-chaos run every request
+        // the driver saw succeed must appear in the server's counter —
+        // a mismatch means a request was double-applied or lost, and the
+        // run fails. (Chaos runs legitimately diverge: a lost *reply*
+        // leaves the request counted server-side only.)
+        if (!chaos && failures.load() == 0 && evicted_midflight.load() == 0) {
+          const int64_t server_delta =
+              static_cast<int64_t>(stats->requests) - initial_remote_requests;
+          if (server_delta != requests_succeeded.load()) {
+            std::cerr << "ACCOUNTING MISMATCH: server request count grew by "
+                      << server_delta << " but the driver counted "
+                      << requests_succeeded.load()
+                      << " successful requests\n";
+            accounting_ok = false;
+          } else {
+            std::cout << "accounting check  server delta " << server_delta
+                      << " == driver count " << requests_succeeded.load()
+                      << "\n";
+          }
+        }
+      }
+      // Per-stage latency attribution, from the server's metrics registry
+      // over the wire: where each request's time went, stage by stage.
+      auto metrics = final_client->Metrics();
+      if (metrics.ok()) {
+        const char* kStageOrder[] = {"decode",     "admission", "queue_wait",
+                                     "index_scan", "solve",     "encode",
+                                     "write"};
+        TablePrinter table({"stage", "count", "p50_us", "p95_us", "p99_us"});
+        for (const char* stage : kStageOrder) {
+          for (const api::MetricHistogramSample& h : metrics->histograms) {
+            if (h.name != "cbir_request_stage_us" || h.label_value != stage) {
+              continue;
+            }
+            table.AddRow({stage, std::to_string(h.count),
+                          FormatDouble(h.p50_us, 0), FormatDouble(h.p95_us, 0),
+                          FormatDouble(h.p99_us, 0)});
+          }
+        }
+        for (const api::MetricHistogramSample& h : metrics->histograms) {
+          if (h.name != "cbir_net_request_us") continue;
+          table.AddSeparator();
+          table.AddRow({"total", std::to_string(h.count),
+                        FormatDouble(h.p50_us, 0), FormatDouble(h.p95_us, 0),
+                        FormatDouble(h.p99_us, 0)});
+        }
+        std::cout << "\nper-stage server latency (from MetricsResponse):\n";
+        table.Print(std::cout);
+      } else {
+        std::cerr << "metrics fetch failed: " << metrics.status() << "\n";
       }
     }
   }
   // Chaos gate: the retry machinery must keep injected-fault session loss
   // bounded (a runaway loss rate means retries or deadlines are broken).
   const bool chaos_bounded = chaos_lost.load() * 5 <= total_sessions;
-  return failures.load() == 0 && chaos_bounded ? 0 : 1;
+  return failures.load() == 0 && chaos_bounded && accounting_ok ? 0 : 1;
 }

@@ -194,6 +194,7 @@ void PutBody(Writer& w, const FeedbackRequest& m) {
 }
 void PutBody(Writer& w, const EndSessionRequest& m) { w.PutU64(m.session_id); }
 void PutBody(Writer&, const StatsRequest&) {}
+void PutBody(Writer&, const MetricsRequest&) {}
 
 void PutBody(Writer& w, const StartSessionResponse& m) {
   PutWireStatus(w, m.status);
@@ -227,6 +228,36 @@ void PutBody(Writer& w, const StatsResponse& m) {
   w.PutF64(m.latency_p95_us);
   w.PutF64(m.latency_p99_us);
 }
+void PutBody(Writer& w, const MetricsResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU32(static_cast<uint32_t>(m.counters.size()));
+  for (const MetricCounterSample& c : m.counters) {
+    w.PutString(c.name);
+    w.PutString(c.label_key);
+    w.PutString(c.label_value);
+    w.PutU64(c.value);
+  }
+  w.PutU32(static_cast<uint32_t>(m.gauges.size()));
+  for (const MetricGaugeSample& g : m.gauges) {
+    w.PutString(g.name);
+    w.PutString(g.label_key);
+    w.PutString(g.label_value);
+    w.PutU64(static_cast<uint64_t>(g.value));
+  }
+  w.PutU32(static_cast<uint32_t>(m.histograms.size()));
+  for (const MetricHistogramSample& h : m.histograms) {
+    w.PutString(h.name);
+    w.PutString(h.label_key);
+    w.PutString(h.label_value);
+    w.PutU64(h.count);
+    w.PutU64(h.saturated);
+    w.PutF64(h.mean_us);
+    w.PutF64(h.p50_us);
+    w.PutF64(h.p95_us);
+    w.PutF64(h.p99_us);
+    w.PutF64(h.max_us);
+  }
+}
 void PutBody(Writer& w, const ErrorResponse& m) { PutWireStatus(w, m.status); }
 
 bool ReadBody(Reader& r, StartSessionRequest* m) {
@@ -253,6 +284,7 @@ bool ReadBody(Reader& r, EndSessionRequest* m) {
   return r.ReadU64(&m->session_id);
 }
 bool ReadBody(Reader&, StatsRequest*) { return true; }
+bool ReadBody(Reader&, MetricsRequest*) { return true; }
 
 bool ReadBody(Reader& r, StartSessionResponse* m) {
   return ReadWireStatus(r, &m->status) && r.ReadU64(&m->session_id);
@@ -275,6 +307,49 @@ bool ReadBody(Reader& r, StatsResponse* m) {
          r.ReadF64(&m->cache_hit_rate) && r.ReadF64(&m->qps) &&
          r.ReadF64(&m->latency_p50_us) && r.ReadF64(&m->latency_p95_us) &&
          r.ReadF64(&m->latency_p99_us);
+}
+bool ReadBody(Reader& r, MetricsResponse* m) {
+  if (!ReadWireStatus(r, &m->status)) return false;
+  uint32_t n;
+  // Each count is verified against the bytes actually remaining (at the
+  // sample's minimum encoded size) before the vector is sized, so a hostile
+  // count cannot trigger a huge allocation.
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 20 > r.remaining()) return false;
+  m->counters.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricCounterSample& c = m->counters[i];
+    if (!r.ReadString(&c.name) || !r.ReadString(&c.label_key) ||
+        !r.ReadString(&c.label_value) || !r.ReadU64(&c.value)) {
+      return false;
+    }
+  }
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 20 > r.remaining()) return false;
+  m->gauges.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricGaugeSample& g = m->gauges[i];
+    uint64_t raw;
+    if (!r.ReadString(&g.name) || !r.ReadString(&g.label_key) ||
+        !r.ReadString(&g.label_value) || !r.ReadU64(&raw)) {
+      return false;
+    }
+    g.value = static_cast<int64_t>(raw);
+  }
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 68 > r.remaining()) return false;
+  m->histograms.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricHistogramSample& h = m->histograms[i];
+    if (!r.ReadString(&h.name) || !r.ReadString(&h.label_key) ||
+        !r.ReadString(&h.label_value) || !r.ReadU64(&h.count) ||
+        !r.ReadU64(&h.saturated) || !r.ReadF64(&h.mean_us) ||
+        !r.ReadF64(&h.p50_us) || !r.ReadF64(&h.p95_us) ||
+        !r.ReadF64(&h.p99_us) || !r.ReadF64(&h.max_us)) {
+      return false;
+    }
+  }
+  return true;
 }
 bool ReadBody(Reader& r, ErrorResponse* m) {
   return ReadWireStatus(r, &m->status);
@@ -300,12 +375,14 @@ std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
     uint8_t flags = 0;
     if (envelope.has_deadline) flags |= kFrameFlagDeadline;
     if (envelope.has_seq) flags |= kFrameFlagSeq;
+    if (envelope.has_trace_id) flags |= kFrameFlagTraceId;
     w.PutU16(kProtocolVersion);
     w.PutU8(static_cast<uint8_t>(type));
     w.PutU8(flags);
     w.PutU32(0);  // body_size placeholder
     if (envelope.has_deadline) w.PutU32(envelope.deadline_ms);
     if (envelope.has_seq) w.PutU32(envelope.seq);
+    if (envelope.has_trace_id) w.PutU64(envelope.trace_id);
   }
   PutBody(w, message);
   const uint32_t body_size = static_cast<uint32_t>(out.size()) -
@@ -316,7 +393,7 @@ std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
 
 bool KnownMessageType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kStartSessionRequest) &&
-         type <= static_cast<uint8_t>(MessageType::kErrorResponse);
+         type <= static_cast<uint8_t>(MessageType::kMetricsResponse);
 }
 
 /// Decodes one body into the variant alternative `header.type` names.
@@ -338,7 +415,8 @@ MessageType TypeOf(const Request& request) {
     case 1: return MessageType::kQueryRequest;
     case 2: return MessageType::kFeedbackRequest;
     case 3: return MessageType::kEndSessionRequest;
-    default: return MessageType::kStatsRequest;
+    case 4: return MessageType::kStatsRequest;
+    default: return MessageType::kMetricsRequest;
   }
 }
 
@@ -349,6 +427,7 @@ MessageType TypeOf(const Response& response) {
     case 2: return MessageType::kFeedbackResponse;
     case 3: return MessageType::kEndSessionResponse;
     case 4: return MessageType::kStatsResponse;
+    case 5: return MessageType::kMetricsResponse;
     default: return MessageType::kErrorResponse;
   }
 }
@@ -433,6 +512,10 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
       parsed.has_seq = true;
       if (!r.ReadU32(&parsed.seq)) return Malformed("short envelope");
     }
+    if (header.flags & kFrameFlagTraceId) {
+      parsed.has_trace_id = true;
+      if (!r.ReadU64(&parsed.trace_id)) return Malformed("short envelope");
+    }
     const size_t envelope_bytes = size - r.remaining();
     body += envelope_bytes;
     size -= envelope_bytes;
@@ -449,6 +532,8 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
       return DecodeAs<Request, EndSessionRequest>(body, size);
     case MessageType::kStatsRequest:
       return DecodeAs<Request, StatsRequest>(body, size);
+    case MessageType::kMetricsRequest:
+      return DecodeAs<Request, MetricsRequest>(body, size);
     default:
       return Malformed("response type where a request was expected");
   }
@@ -467,6 +552,8 @@ Result<Response> DecodeResponseBody(const FrameHeader& header,
       return DecodeAs<Response, EndSessionResponse>(body, size);
     case MessageType::kStatsResponse:
       return DecodeAs<Response, StatsResponse>(body, size);
+    case MessageType::kMetricsResponse:
+      return DecodeAs<Response, MetricsResponse>(body, size);
     case MessageType::kErrorResponse:
       return DecodeAs<Response, ErrorResponse>(body, size);
     default:

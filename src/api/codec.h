@@ -32,7 +32,12 @@ namespace cbir::api {
 ///   0x02  u32 seq           per-session sequence number (nonzero); lets
 ///                           the service apply a retried Feedback at most
 ///                           once and replay the cached response
+///   0x04  u64 trace_id      client-chosen trace id; the server stamps the
+///                           request's span tree and slow-request log with
+///                           it so a client-side outlier can be matched to
+///                           the server-side stage breakdown
 ///
+/// Envelope fields are encoded in flag-bit order (deadline, seq, trace_id).
 /// Unknown v2 flag bits are malformed. Encoders emit a v1 frame whenever
 /// the envelope is empty — and responses never carry an envelope — so a v1
 /// peer sees byte-identical traffic unless the client opts into deadlines.
@@ -47,8 +52,9 @@ inline constexpr uint16_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr uint8_t kFrameFlagDeadline = 0x01;
 inline constexpr uint8_t kFrameFlagSeq = 0x02;
+inline constexpr uint8_t kFrameFlagTraceId = 0x04;
 inline constexpr uint8_t kKnownFrameFlags =
-    kFrameFlagDeadline | kFrameFlagSeq;
+    kFrameFlagDeadline | kFrameFlagSeq | kFrameFlagTraceId;
 /// Upper bound on body_size (64 MiB): a frame any bigger is rejected before
 /// any allocation, so a hostile length prefix cannot OOM the server.
 inline constexpr uint32_t kMaxFrameBody = 64u << 20;
@@ -67,6 +73,8 @@ enum class MessageType : uint8_t {
   kStatsRequest = 9,
   kStatsResponse = 10,
   kErrorResponse = 11,
+  kMetricsRequest = 12,
+  kMetricsResponse = 13,
 };
 
 /// \brief Parsed frame header (magic already verified). `flags` is 0 for
@@ -83,10 +91,12 @@ struct FrameHeader {
 struct RequestEnvelope {
   bool has_deadline = false;
   bool has_seq = false;
+  bool has_trace_id = false;
   uint32_t deadline_ms = 0;
   uint32_t seq = 0;
+  uint64_t trace_id = 0;
 
-  bool empty() const { return !has_deadline && !has_seq; }
+  bool empty() const { return !has_deadline && !has_seq && !has_trace_id; }
 
   static RequestEnvelope WithDeadline(uint32_t ms) {
     RequestEnvelope e;
@@ -95,9 +105,17 @@ struct RequestEnvelope {
     return e;
   }
 
+  static RequestEnvelope WithTraceId(uint64_t id) {
+    RequestEnvelope e;
+    e.has_trace_id = true;
+    e.trace_id = id;
+    return e;
+  }
+
   bool operator==(const RequestEnvelope& o) const {
     return has_deadline == o.has_deadline && has_seq == o.has_seq &&
-           deadline_ms == o.deadline_ms && seq == o.seq;
+           has_trace_id == o.has_trace_id && deadline_ms == o.deadline_ms &&
+           seq == o.seq && trace_id == o.trace_id;
   }
 };
 

@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "obs/metrics.h"
+
 namespace cbir::api {
 
 namespace {
@@ -39,8 +41,12 @@ Response StatusOnlyResponse(const Request& request, const Status& status) {
           EndSessionResponse r;
           r.status = wire;
           return r;
-        } else {
+        } else if constexpr (std::is_same_v<Req, StatsRequest>) {
           StatsResponse r;
+          r.status = wire;
+          return r;
+        } else {
+          MetricsResponse r;
           r.status = wire;
           return r;
         }
@@ -137,6 +143,45 @@ StatsResponse Dispatcher::Handle(const StatsRequest&) {
   response.latency_p50_us = stats.latency.p50_us;
   response.latency_p95_us = stats.latency.p95_us;
   response.latency_p99_us = stats.latency.p99_us;
+  return response;
+}
+
+MetricsResponse Dispatcher::Handle(const MetricsRequest&) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+  MetricsResponse response;
+  response.counters.reserve(snap.counters.size());
+  for (const auto& c : snap.counters) {
+    MetricCounterSample s;
+    s.name = c.name;
+    s.label_key = c.label_key;
+    s.label_value = c.label_value;
+    s.value = c.value;
+    response.counters.push_back(std::move(s));
+  }
+  response.gauges.reserve(snap.gauges.size());
+  for (const auto& g : snap.gauges) {
+    MetricGaugeSample s;
+    s.name = g.name;
+    s.label_key = g.label_key;
+    s.label_value = g.label_value;
+    s.value = g.value;
+    response.gauges.push_back(std::move(s));
+  }
+  response.histograms.reserve(snap.histograms.size());
+  for (const auto& h : snap.histograms) {
+    MetricHistogramSample s;
+    s.name = h.name;
+    s.label_key = h.label_key;
+    s.label_value = h.label_value;
+    s.count = h.summary.count;
+    s.saturated = h.summary.saturated;
+    s.mean_us = h.summary.mean_us;
+    s.p50_us = h.summary.p50_us;
+    s.p95_us = h.summary.p95_us;
+    s.p99_us = h.summary.p99_us;
+    s.max_us = h.summary.max_us;
+    response.histograms.push_back(std::move(s));
+  }
   return response;
 }
 

@@ -43,6 +43,9 @@ class Dispatcher {
   FeedbackResponse Handle(const FeedbackRequest& request, uint32_t seq = 0);
   EndSessionResponse Handle(const EndSessionRequest& request);
   StatsResponse Handle(const StatsRequest& request);
+  /// Snapshots obs::MetricsRegistry::Default() (running its OnGather
+  /// callbacks first, so pull-style gauges are fresh).
+  MetricsResponse Handle(const MetricsRequest& request);
 
   serve::RetrievalService& service() { return *service_; }
 

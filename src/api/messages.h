@@ -123,6 +123,13 @@ struct StatsRequest {
   bool operator==(const StatsRequest&) const { return true; }
 };
 
+/// Asks for a full dump of the server's obs::MetricsRegistry — every
+/// counter, gauge, and histogram summary, one sample per (name, label)
+/// series. The wire twin of the --metrics-port plaintext exposition.
+struct MetricsRequest {
+  bool operator==(const MetricsRequest&) const { return true; }
+};
+
 // --------------------------------------------------------------- responses --
 
 struct StartSessionResponse {
@@ -190,6 +197,64 @@ struct StatsResponse {
   }
 };
 
+/// One metric series as it crosses the wire. `label_key`/`label_value` are
+/// empty strings for unlabeled metrics.
+struct MetricCounterSample {
+  std::string name, label_key, label_value;
+  uint64_t value = 0;
+
+  bool operator==(const MetricCounterSample& o) const {
+    return name == o.name && label_key == o.label_key &&
+           label_value == o.label_value && value == o.value;
+  }
+};
+
+struct MetricGaugeSample {
+  std::string name, label_key, label_value;
+  int64_t value = 0;
+
+  bool operator==(const MetricGaugeSample& o) const {
+    return name == o.name && label_key == o.label_key &&
+           label_value == o.label_value && value == o.value;
+  }
+};
+
+/// A histogram travels as its summary (count + saturation + percentiles),
+/// not its buckets: operators and the load driver want the percentiles, and
+/// the summary stays a fixed ~70 bytes however long the server has run.
+struct MetricHistogramSample {
+  std::string name, label_key, label_value;
+  uint64_t count = 0;
+  uint64_t saturated = 0;  ///< samples clamped beyond the top bucket
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  bool operator==(const MetricHistogramSample& o) const {
+    return name == o.name && label_key == o.label_key &&
+           label_value == o.label_value && count == o.count &&
+           saturated == o.saturated && mean_us == o.mean_us &&
+           p50_us == o.p50_us && p95_us == o.p95_us && p99_us == o.p99_us &&
+           max_us == o.max_us;
+  }
+};
+
+/// Snapshot of the server's metrics registry (samples sorted by name then
+/// label, the registry's iteration order).
+struct MetricsResponse {
+  WireStatus status;
+  std::vector<MetricCounterSample> counters;
+  std::vector<MetricGaugeSample> gauges;
+  std::vector<MetricHistogramSample> histograms;
+
+  bool operator==(const MetricsResponse& o) const {
+    return status == o.status && counters == o.counters &&
+           gauges == o.gauges && histograms == o.histograms;
+  }
+};
+
 /// Sent when a request frame could not be decoded at all (bad magic,
 /// unsupported version, malformed body): there is no request type to answer,
 /// so the server replies with this and closes the connection (the stream may
@@ -203,11 +268,13 @@ struct ErrorResponse {
 /// The closed set of API messages. The codec and the dispatcher both
 /// std::visit these, so adding a message type is a compile-enforced
 /// five-line checklist (struct, variant entry, MessageType, encode, decode).
-using Request = std::variant<StartSessionRequest, QueryRequest,
-                             FeedbackRequest, EndSessionRequest, StatsRequest>;
+using Request =
+    std::variant<StartSessionRequest, QueryRequest, FeedbackRequest,
+                 EndSessionRequest, StatsRequest, MetricsRequest>;
 using Response =
     std::variant<StartSessionResponse, QueryResponse, FeedbackResponse,
-                 EndSessionResponse, StatsResponse, ErrorResponse>;
+                 EndSessionResponse, StatsResponse, MetricsResponse,
+                 ErrorResponse>;
 
 }  // namespace cbir::api
 

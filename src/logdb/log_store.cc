@@ -5,9 +5,40 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace cbir::logdb {
+
+namespace {
+
+/// Registry series of the durable store (cached once, see obs docs).
+struct LogdbMetrics {
+  obs::Counter* wal_appends;
+  obs::Counter* wal_append_errors;
+  obs::Counter* compactions;
+  obs::Counter* recoveries;
+  obs::Counter* recovered_sessions;
+  obs::Counter* torn_bytes;
+};
+
+const LogdbMetrics& Metrics() {
+  static const LogdbMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    LogdbMetrics m;
+    m.wal_appends = r.GetCounter("cbir_logdb_wal_appends_total");
+    m.wal_append_errors = r.GetCounter("cbir_logdb_wal_append_errors_total");
+    m.compactions = r.GetCounter("cbir_logdb_compactions_total");
+    m.recoveries = r.GetCounter("cbir_logdb_recoveries_total");
+    m.recovered_sessions =
+        r.GetCounter("cbir_logdb_recovered_sessions_total");
+    m.torn_bytes = r.GetCounter("cbir_logdb_wal_torn_bytes_total");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 LogStore::LogStore(const LogStore& other) {
   std::lock_guard<std::mutex> lock(other.mu_);
@@ -75,6 +106,9 @@ Result<LogStore> LogStore::OpenDurable(const std::string& snapshot_path,
       WalWriter::Open(wal_path, stats.valid_bytes, stats.generation));
   store.wal_ = std::make_unique<WalWriter>(std::move(writer));
   store.snapshot_path_ = snapshot_path;
+  Metrics().recoveries->Increment();
+  Metrics().recovered_sessions->Increment(stats.sessions);
+  Metrics().torn_bytes->Increment(stats.torn_bytes);
   if (recovery != nullptr) *recovery = stats;
   return store;
 }
@@ -95,6 +129,7 @@ Status LogStore::Compact() {
     return Status::IoError("log store: cannot publish snapshot " +
                            snapshot_path_);
   }
+  Metrics().compactions->Increment();
   return wal_->Reset();
 }
 
@@ -114,8 +149,11 @@ void LogStore::Append(LogSession session) {
     // WAL first: the in-memory store must never acknowledge a session the
     // log on disk does not have. A failed append (disk full) is remembered
     // and the session still serves from memory.
-    if (Status s = wal_->Append(session); !s.ok() && wal_status_.ok()) {
-      wal_status_ = std::move(s);
+    if (Status s = wal_->Append(session); s.ok()) {
+      Metrics().wal_appends->Increment();
+    } else {
+      Metrics().wal_append_errors->Increment();
+      if (wal_status_.ok()) wal_status_ = std::move(s);
     }
   }
   sessions_.push_back(std::move(session));

@@ -6,7 +6,37 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace cbir::net {
+
+namespace {
+
+/// Registry twins of RetryingClientStats — aggregated across every client in
+/// the process, where the struct is per-instance.
+struct ClientMetrics {
+  obs::Counter* rpcs;
+  obs::Counter* attempts;
+  obs::Counter* retries;
+  obs::Counter* reconnects;
+  obs::Counter* exhausted;
+};
+
+const ClientMetrics& RegistryCounters() {
+  static const ClientMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    ClientMetrics m;
+    m.rpcs = r.GetCounter("cbir_client_rpcs_total");
+    m.attempts = r.GetCounter("cbir_client_attempts_total");
+    m.retries = r.GetCounter("cbir_client_retries_total");
+    m.reconnects = r.GetCounter("cbir_client_reconnects_total");
+    m.exhausted = r.GetCounter("cbir_client_rpcs_exhausted_total");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 RetryingClient::RetryingClient(std::string host, int port,
                                RetryOptions options, FaultInjector* injector)
@@ -30,6 +60,7 @@ Result<TcpClient*> RetryingClient::EnsureConnected() {
   if (client_.has_value()) {
     client_.reset();
     ++stats_.reconnects;
+    RegistryCounters().reconnects->Increment();
   }
   CBIR_ASSIGN_OR_RETURN(
       TcpClient client,
@@ -74,14 +105,17 @@ void RetryingClient::Backoff(int attempt) {
 template <typename T, typename Fn>
 Result<T> RetryingClient::WithRetry(Fn&& fn) {
   ++stats_.rpcs;
+  RegistryCounters().rpcs->Increment();
   Result<T> out = Status::Internal("retrying client: no attempt ran");
   const int attempts = std::max(options_.max_attempts, 1);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
+      RegistryCounters().retries->Increment();
       Backoff(attempt - 1);
     }
     ++stats_.attempts;
+    RegistryCounters().attempts->Increment();
     Result<TcpClient*> client = EnsureConnected();
     out = client.ok() ? fn(*client.value()) : Result<T>(client.status());
     if (out.ok()) return out;
@@ -92,6 +126,7 @@ Result<T> RetryingClient::WithRetry(Fn&& fn) {
     }
   }
   ++stats_.exhausted;
+  RegistryCounters().exhausted->Increment();
   return out;
 }
 
@@ -130,6 +165,11 @@ Status RetryingClient::EndSession(uint64_t session_id) {
 Result<api::StatsResponse> RetryingClient::Stats() {
   return WithRetry<api::StatsResponse>(
       [&](TcpClient& client) { return client.Stats(); });
+}
+
+Result<api::MetricsResponse> RetryingClient::Metrics() {
+  return WithRetry<api::MetricsResponse>(
+      [&](TcpClient& client) { return client.Metrics(); });
 }
 
 }  // namespace cbir::net

@@ -73,6 +73,7 @@ class RetryingClient {
                                     int k = 0);
   Status EndSession(uint64_t session_id);
   Result<api::StatsResponse> Stats();
+  Result<api::MetricsResponse> Metrics();
 
   RetryingClientStats stats() const { return stats_; }
   const RetryOptions& options() const { return options_; }

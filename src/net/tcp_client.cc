@@ -1,5 +1,6 @@
 #include "net/tcp_client.h"
 
+#include <atomic>
 #include <string>
 #include <utility>
 #include <variant>
@@ -67,11 +68,26 @@ Status TcpClient::ArmDeadlines(int rpc_timeout_ms) {
   return Status::OK();
 }
 
-api::RequestEnvelope TcpClient::BaseEnvelope() const {
+api::RequestEnvelope TcpClient::BaseEnvelope() {
   api::RequestEnvelope envelope;
   if (rpc_timeout_ms_ > 0) {
     envelope.has_deadline = true;
     envelope.deadline_ms = static_cast<uint32_t>(rpc_timeout_ms_);
+  }
+  if (tracing_) {
+    // Client-chosen ids: a counter mixed through the splitmix64 finalizer,
+    // so concurrent clients rarely collide and the id is greppable in the
+    // server's slow-request log.
+    static std::atomic<uint64_t> next{1};
+    uint64_t x = next.fetch_add(1, std::memory_order_relaxed);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    if (x == 0) x = 1;
+    envelope.has_trace_id = true;
+    envelope.trace_id = x;
+    last_trace_id_ = x;
   }
   return envelope;
 }
@@ -174,6 +190,11 @@ Status TcpClient::EndSession(uint64_t session_id) {
 
 Result<api::StatsResponse> TcpClient::Stats() {
   return Expect<api::StatsResponse>(Call(api::Request(api::StatsRequest{})));
+}
+
+Result<api::MetricsResponse> TcpClient::Metrics() {
+  return Expect<api::MetricsResponse>(
+      Call(api::Request(api::MetricsRequest{})));
 }
 
 }  // namespace cbir::net

@@ -50,6 +50,14 @@ class TcpClient {
   /// restores the plain transport). The injector must outlive the client.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Opt-in tracing: every subsequent typed RPC stamps its envelope with a
+  /// fresh trace id (0x04 flag), and trace_id() returns the one used last —
+  /// the handle for matching a client-side outlier to the server's
+  /// slow-request log. Off by default, so untraced traffic stays
+  /// byte-identical to what a v1 client sends.
+  void EnableTracing(bool on = true) { tracing_ = on; }
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   // --- raw pipelining layer -----------------------------------------------
   Status Send(const api::Request& request);
   Status Send(const api::Request& request,
@@ -70,6 +78,9 @@ class TcpClient {
                                     int k = 0, uint32_t seq = 0);
   Status EndSession(uint64_t session_id);
   Result<api::StatsResponse> Stats();
+  /// Full dump of the server's metrics registry (counters, gauges, stage
+  /// histograms) — the wire twin of the --metrics-port exposition.
+  Result<api::MetricsResponse> Metrics();
 
   void Close() { socket_.Close(); }
   bool connected() const { return socket_.valid(); }
@@ -77,12 +88,14 @@ class TcpClient {
  private:
   explicit TcpClient(Socket socket) : socket_(std::move(socket)) {}
 
-  /// The envelope typed RPCs attach (the armed deadline; seq added per
-  /// call).
-  api::RequestEnvelope BaseEnvelope() const;
+  /// The envelope typed RPCs attach (the armed deadline plus, when tracing
+  /// is on, a fresh trace id; seq added per call).
+  api::RequestEnvelope BaseEnvelope();
 
   Socket socket_;
   int rpc_timeout_ms_ = 0;
+  bool tracing_ = false;
+  uint64_t last_trace_id_ = 0;
   FaultInjector* injector_ = nullptr;
 };
 

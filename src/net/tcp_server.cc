@@ -6,12 +6,69 @@
 #include <utility>
 
 #include "api/codec.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace cbir::net {
 
+namespace {
+
+/// Registry series the transport writes. Looked up once (registration takes
+/// the registry mutex); every update after that is a relaxed fetch_add.
+struct NetMetrics {
+  obs::Counter* connections_accepted;
+  obs::Counter* connections_closed;
+  obs::Counter* connections_reaped_idle;
+  obs::Counter* requests;
+  obs::Counter* decode_errors;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+  obs::LatencyHistogram* stage_decode;
+  obs::LatencyHistogram* stage_encode;
+  obs::LatencyHistogram* stage_write;
+  obs::LatencyHistogram* request_us;
+};
+
+const NetMetrics& Metrics() {
+  static const NetMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    NetMetrics m;
+    m.connections_accepted =
+        r.GetCounter("cbir_net_connections_accepted_total");
+    m.connections_closed = r.GetCounter("cbir_net_connections_closed_total");
+    m.connections_reaped_idle =
+        r.GetCounter("cbir_net_connections_reaped_idle_total");
+    m.requests = r.GetCounter("cbir_net_requests_total");
+    m.decode_errors = r.GetCounter("cbir_net_decode_errors_total");
+    m.bytes_read = r.GetCounter("cbir_net_bytes_read_total");
+    m.bytes_written = r.GetCounter("cbir_net_bytes_written_total");
+    m.stage_decode = r.GetHistogram("cbir_request_stage_us", "stage", "decode");
+    m.stage_encode = r.GetHistogram("cbir_request_stage_us", "stage", "encode");
+    m.stage_write = r.GetHistogram("cbir_request_stage_us", "stage", "write");
+    m.request_us = r.GetHistogram("cbir_net_request_us");
+    return m;
+  }();
+  return metrics;
+}
+
+/// Server-side trace ids for requests whose client sent none: a counter fed
+/// through a 64-bit mix (splitmix64 finalizer) so ids are unique and don't
+/// collide with small client-chosen ids.
+uint64_t GenerateTraceId() {
+  static std::atomic<uint64_t> next{1};
+  uint64_t x = next.fetch_add(1, std::memory_order_relaxed);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 TcpServer::TcpServer(api::Dispatcher* dispatcher, TcpServerOptions options)
-    : dispatcher_(dispatcher), options_(std::move(options)) {}
+    : dispatcher_(dispatcher),
+      options_(std::move(options)),
+      slow_log_(options_.slow_request_ms, options_.slow_request_sink) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -96,9 +153,15 @@ void TcpServer::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t connection_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Metrics().connections_accepted->Increment();
+    if (options_.connection_observer) {
+      options_.connection_observer("accepted", connection_id);
+    }
     auto connection = std::make_unique<Connection>();
     connection->socket = std::move(accepted).value();
+    connection->id = connection_id;
     Connection* raw = connection.get();
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
@@ -141,19 +204,29 @@ void TcpServer::ServeConnection(Connection* connection) {
         // No frame within the idle window (or one trickling impossibly
         // slowly): reap the connection, freeing its thread and fd.
         connections_reaped_idle_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().connections_reaped_idle->Increment();
+        if (options_.connection_observer) {
+          options_.connection_observer("reaped_idle", connection->id);
+        }
       }
       break;  // disconnect (clean between frames, or torn — either way done)
     }
+    Metrics().bytes_read->Increment(header.size());
     Result<api::FrameHeader> frame =
         api::DecodeFrameHeader(header.data(), header.size());
     Result<api::Request> request =
         Status::Internal("tcp server: request not decoded");
     api::RequestEnvelope envelope;
+    uint64_t decode_us = 0;
     if (frame.ok()) {
       body.resize(frame->body_size);
       if (!socket.ReadFully(body.data(), body.size()).ok()) break;
+      Metrics().bytes_read->Increment(body.size());
+      const Stopwatch decode_watch;
       request =
           api::DecodeRequestBody(*frame, body.data(), body.size(), &envelope);
+      decode_us = static_cast<uint64_t>(decode_watch.ElapsedSeconds() * 1e6);
+      Metrics().stage_decode->Record(static_cast<double>(decode_us));
     } else {
       request = frame.status();
     }
@@ -165,6 +238,7 @@ void TcpServer::ServeConnection(Connection* connection) {
       // Malformed frame: answer with the typed error, then close — after a
       // framing error the byte stream cannot be resynchronized.
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().decode_errors->Increment();
       api::ErrorResponse error;
       error.status = api::ToWireStatus(request.status());
       const std::vector<uint8_t> reply =
@@ -173,29 +247,58 @@ void TcpServer::ServeConnection(Connection* connection) {
       connection->busy.store(false, std::memory_order_release);
       break;
     }
-    const api::Response response = dispatcher_->Dispatch(
-        request.value(), envelope,
-        static_cast<int64_t>(dispatch_watch.ElapsedSeconds() * 1e3));
-    std::vector<uint8_t> reply = api::EncodeResponse(response);
-    if (reply.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
-      // The peer's decoder would reject this frame and desynchronize; send
-      // a typed error of bounded size instead (e.g. a full-corpus ranking
-      // at many millions of rows — ask for a smaller k / bounded depth).
-      api::ErrorResponse too_big;
-      too_big.status = api::ToWireStatus(Status::OutOfRange(
-          "tcp server: response frame exceeds the protocol body limit"));
-      reply = api::EncodeResponse(api::Response(std::move(too_big)));
+    // The request's span tree: the client's trace id when the envelope
+    // carries one, a server-generated id otherwise (every slow-log line has
+    // an id to grep for either way). TraceScope makes it the thread's
+    // current trace, so the serve layer's spans attach without the trace
+    // being threaded through the dispatcher's signatures.
+    obs::RequestTrace trace(envelope.has_trace_id ? envelope.trace_id
+                                                  : GenerateTraceId());
+    trace.AddSpan("decode", 0, decode_us, 0);
+    bool wrote = false;
+    uint64_t total_us = 0;
+    {
+      obs::TraceScope trace_scope(&trace);
+      const api::Response response = dispatcher_->Dispatch(
+          request.value(), envelope,
+          static_cast<int64_t>(dispatch_watch.ElapsedSeconds() * 1e3));
+      std::vector<uint8_t> reply;
+      {
+        obs::ScopedSpan span("encode", Metrics().stage_encode);
+        reply = api::EncodeResponse(response);
+      }
+      if (reply.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
+        // The peer's decoder would reject this frame and desynchronize; send
+        // a typed error of bounded size instead (e.g. a full-corpus ranking
+        // at many millions of rows — ask for a smaller k / bounded depth).
+        api::ErrorResponse too_big;
+        too_big.status = api::ToWireStatus(Status::OutOfRange(
+            "tcp server: response frame exceeds the protocol body limit"));
+        reply = api::EncodeResponse(api::Response(std::move(too_big)));
+      }
+      {
+        obs::ScopedSpan span("write", Metrics().stage_write);
+        wrote = socket.WriteAll(reply.data(), reply.size()).ok();
+      }
+      if (wrote) Metrics().bytes_written->Increment(reply.size());
+      total_us = decode_us + trace.elapsed_us();
     }
-    const bool wrote = socket.WriteAll(reply.data(), reply.size()).ok();
     connection->busy.store(false, std::memory_order_release);
     if (!wrote) break;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().requests->Increment();
+    Metrics().request_us->Record(static_cast<double>(total_us));
+    slow_log_.MaybeLog(trace, total_us);
   }
   // Shutdown (not Close) so the peer sees EOF now; Stop() may concurrently
   // Shutdown the same fd, which is safe where a close/reuse race is not.
   // The fd itself is released when the connection is reaped or at Stop().
   socket.Shutdown();
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().connections_closed->Increment();
+  if (options_.connection_observer) {
+    options_.connection_observer("closed", connection->id);
+  }
   connection->done.store(true, std::memory_order_release);
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "api/dispatcher.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace cbir::net {
@@ -33,6 +35,17 @@ struct TcpServerOptions {
   /// socket is shut down. Idle connections (between frames) are shut down
   /// immediately. 0 = no drain, the old hard stop.
   int drain_timeout_ms = 1000;
+  /// Requests whose end-to-end server time (decode through socket write)
+  /// reaches this threshold get their full span tree dumped through the
+  /// slow-request log (exactly at threshold triggers; 0 disables).
+  int slow_request_ms = 0;
+  /// Where slow-request span trees go; null = stderr.
+  obs::SlowRequestLog::Sink slow_request_sink;
+  /// Invoked on connection lifecycle events ("accepted", "closed",
+  /// "reaped_idle") with the server-assigned connection id. Called from the
+  /// accept/connection threads — keep it cheap and thread-safe. Null = off.
+  std::function<void(const char* event, uint64_t connection_id)>
+      connection_observer;
 };
 
 /// \brief Lifetime counters of a TcpServer.
@@ -97,6 +110,7 @@ class TcpServer {
   struct Connection {
     Socket socket;
     std::thread thread;
+    uint64_t id = 0;  ///< 1-based accept order, for the observer/logs
     std::atomic<bool> done{false};
     std::atomic<bool> busy{false};
   };
@@ -123,6 +137,8 @@ class TcpServer {
   std::atomic<uint64_t> connections_reaped_idle_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> decode_errors_{0};
+
+  obs::SlowRequestLog slow_log_;
 };
 
 }  // namespace cbir::net

@@ -1,0 +1,57 @@
+#include "obs/exposition.h"
+
+#include <utility>
+
+namespace cbir::obs {
+
+ExpositionServer::ExpositionServer(MetricsRegistry* registry,
+                                   std::string host, int port)
+    : registry_(registry), host_(std::move(host)), requested_port_(port) {}
+
+ExpositionServer::~ExpositionServer() { Stop(); }
+
+Status ExpositionServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("exposition server: already started");
+  }
+  CBIR_ASSIGN_OR_RETURN(
+      listener_, net::Socket::ListenTcp(host_, requested_port_, 16));
+  port_ = listener_.local_port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ExpositionServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+}
+
+void ExpositionServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<net::Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    const net::Socket client = std::move(accepted).value();
+    // A scraper that stops draining must not wedge the accept loop.
+    client.SetWriteTimeout(2000);
+    const std::string body = registry_->RenderExposition();
+    const std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n"
+        "\r\n" + body;
+    client.WriteAll(response.data(), response.size());  // best-effort
+    client.Shutdown();
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cbir::obs

@@ -1,0 +1,59 @@
+#ifndef CBIR_OBS_EXPOSITION_H_
+#define CBIR_OBS_EXPOSITION_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cbir::obs {
+
+/// \brief Plaintext metrics listener: every TCP connection to its port gets
+/// one HTTP/1.0 200 response whose body is the registry's Prometheus-style
+/// exposition (`name{label="v"} value` lines), then the connection closes.
+///
+/// The response is written immediately on accept without reading a request
+/// line, so `curl http://host:port/metrics`, `nc host port < /dev/null`,
+/// and a Prometheus scraper all work. Connections are served serially from
+/// one accept thread — a metrics port needs no concurrency, and a stuck
+/// scraper cannot pile up threads (writes are bounded by a send timeout).
+class ExpositionServer {
+ public:
+  /// `registry` must outlive the server.
+  ExpositionServer(MetricsRegistry* registry, std::string host, int port);
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds and starts the accept thread. port 0 = OS-assigned; read it back
+  /// with port().
+  Status Start();
+
+  /// Stops accepting and joins. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  uint64_t scrapes() const { return scrapes_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+
+  MetricsRegistry* registry_;
+  std::string host_;
+  int requested_port_;
+  int port_ = -1;
+
+  net::Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> scrapes_{0};
+};
+
+}  // namespace cbir::obs
+
+#endif  // CBIR_OBS_EXPOSITION_H_

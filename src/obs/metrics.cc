@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cbir::obs {
+
+int LatencyHistogram::BucketIndex(uint64_t us) {
+  if (us < kSub) return static_cast<int>(us);
+  const int octave = 63 - std::countl_zero(us);
+  if (octave >= kMaxOctave) return kBuckets - 1;
+  const int sub =
+      static_cast<int>((us >> (octave - kSubBits)) & (kSub - 1));
+  return kSub + (octave - kSubBits) * kSub + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int bucket) {
+  if (bucket < kSub) return static_cast<uint64_t>(bucket) + 1;
+  const int octave = kSubBits + (bucket - kSub) / kSub;
+  const int sub = (bucket - kSub) % kSub;
+  const uint64_t base = uint64_t{1} << octave;
+  const uint64_t step = uint64_t{1} << (octave - kSubBits);
+  return base + static_cast<uint64_t>(sub + 1) * step;
+}
+
+void LatencyHistogram::Record(double micros) {
+  const uint64_t us =
+      micros <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(micros));
+  if (us >= BucketUpperBound(kBuckets - 1)) {
+    saturated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buckets_[static_cast<size_t>(BucketIndex(us))].fetch_add(
+      1, std::memory_order_relaxed);
+  total_us_.fetch_add(us, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencySummary LatencyHistogram::Summarize() const {
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  int top = -1;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    total += counts[static_cast<size_t>(b)];
+    if (counts[static_cast<size_t>(b)] > 0) top = b;
+  }
+  LatencySummary s;
+  s.count = total;
+  s.saturated = saturated_.load(std::memory_order_relaxed);
+  if (total == 0) return s;
+  s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
+              static_cast<double>(std::max<uint64_t>(
+                  count_.load(std::memory_order_relaxed), 1));
+  s.max_us = static_cast<double>(BucketUpperBound(top));
+
+  const auto percentile = [&](double q) {
+    const uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += counts[static_cast<size_t>(b)];
+      if (cum >= target) return static_cast<double>(BucketUpperBound(b));
+    }
+    return static_cast<double>(BucketUpperBound(kBuckets - 1));
+  };
+  s.p50_us = percentile(0.50);
+  s.p95_us = percentile(0.95);
+  s.p99_us = percentile(0.99);
+  return s;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  total_us_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  saturated_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{name, label_key, label_value}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& label_key,
+                                 const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key{name, label_key, label_value}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& label_key,
+    const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key{name, label_key, label_value}];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::OnGather(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gather_callbacks_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  // Callbacks run outside the lock: they typically Set() gauges, which
+  // re-enters the registry through GetGauge.
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks = gather_callbacks_;
+  }
+  for (const auto& fn : callbacks) fn();
+
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    snapshot.counters.push_back(
+        {key.name, key.label_key, key.label_value, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    snapshot.gauges.push_back(
+        {key.name, key.label_key, key.label_value, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    snapshot.histograms.push_back(
+        {key.name, key.label_key, key.label_value, histogram->Summarize()});
+  }
+  return snapshot;
+}
+
+namespace {
+
+std::string LabelSet(const std::string& label_key,
+                     const std::string& label_value,
+                     const std::string& extra = "") {
+  if (label_key.empty() && extra.empty()) return "";
+  std::string out = "{";
+  if (!label_key.empty()) {
+    out += label_key + "=\"" + label_value + "\"";
+    if (!extra.empty()) out += ",";
+  }
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderExposition(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const CounterSample& c : snapshot.counters) {
+    os << c.name << LabelSet(c.label_key, c.label_value) << " " << c.value
+       << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    os << g.name << LabelSet(g.label_key, g.label_value) << " " << g.value
+       << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string labels = LabelSet(h.label_key, h.label_value);
+    os << h.name << "_count" << labels << " " << h.summary.count << "\n";
+    os << h.name << "_saturated" << labels << " " << h.summary.saturated
+       << "\n";
+    os << h.name << "_sum" << labels << " "
+       << FormatDouble(h.summary.mean_us *
+                           static_cast<double>(h.summary.count), 0)
+       << "\n";
+    const auto quantile = [&](const char* q, double value) {
+      os << h.name
+         << LabelSet(h.label_key, h.label_value,
+                     std::string("quantile=\"") + q + "\"")
+         << " " << FormatDouble(value, 0) << "\n";
+    };
+    quantile("0.5", h.summary.p50_us);
+    quantile("0.95", h.summary.p95_us);
+    quantile("0.99", h.summary.p99_us);
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderExposition() {
+  return obs::RenderExposition(Snapshot());
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace cbir::obs

@@ -1,0 +1,191 @@
+#ifndef CBIR_OBS_METRICS_H_
+#define CBIR_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cbir::obs {
+
+/// \brief Latency percentiles summarized from a LatencyHistogram.
+///
+/// Percentile values are bucket upper bounds, so they over-estimate by at
+/// most one bucket width (~12.5% with the log-linear layout below); `max_us`
+/// has the same granularity. `saturated` counts the samples that landed
+/// beyond the top bucket (~2^36 us): they are clamped into the last bucket
+/// for the percentile math but reported here so a clamp never passes
+/// silently.
+struct LatencySummary {
+  uint64_t count = 0;
+  uint64_t saturated = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// \brief Fixed-bucket concurrent latency histogram (microsecond domain).
+///
+/// Log-linear layout: 8 linear buckets below 8us, then 8 sub-buckets per
+/// power of two up to ~68s, so relative resolution stays ~12.5% across the
+/// whole range. Record() is wait-free (one relaxed fetch_add per call plus
+/// two for the mean), which keeps the serving hot path uncontended; the
+/// percentile math happens only in Summarize().
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;                ///< 2^3 sub-buckets/octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kMaxOctave = 36;             ///< caps at ~2^36 us
+  static constexpr int kBuckets = kSub + (kMaxOctave - kSubBits) * kSub;
+
+  /// Records one latency observation. Values beyond the top bucket are
+  /// clamped into it and counted as saturated. Safe to call from any number
+  /// of threads.
+  void Record(double micros);
+
+  /// Aggregates the current counts into percentiles. Concurrent Record()
+  /// calls may or may not be included — the summary is a snapshot, not a
+  /// barrier.
+  LatencySummary Summarize() const;
+
+  /// Zeroes all buckets (not atomic with respect to concurrent Record()).
+  void Reset();
+
+  /// Bucket index for a microsecond value; exposed for tests.
+  static int BucketIndex(uint64_t us);
+  /// Exclusive upper bound (in us) of the given bucket; exposed for tests.
+  static uint64_t BucketUpperBound(int bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> total_us_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> saturated_{0};
+};
+
+/// \brief Monotonic named counter. Increment is one relaxed fetch_add.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins signed gauge (e.g. bytes resident, sessions live).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One sampled metric in a MetricsSnapshot. `label_key`/`label_value` are
+/// empty for unlabeled metrics.
+struct CounterSample {
+  std::string name, label_key, label_value;
+  uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name, label_key, label_value;
+  int64_t value = 0;
+};
+struct HistogramSample {
+  std::string name, label_key, label_value;
+  LatencySummary summary;
+};
+
+/// \brief Point-in-time copy of every registered metric, ordered by
+/// (name, label) so renderings are stable across snapshots.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// \brief Registry of named counters, gauges, and latency histograms.
+///
+/// Get*() registers on first use and returns a stable pointer: callers look
+/// a metric up once (typically into a function-local static) and then
+/// increment wait-free forever — registration takes the mutex, updates never
+/// do. Metrics support one optional label dimension; the same name with
+/// different label values yields distinct series (the per-stage latency
+/// histograms are one name with stage="decode"/"solve"/... labels).
+///
+/// Naming scheme (docs/OBSERVABILITY.md): `cbir_<layer>_<what>[_<unit>]`,
+/// counters suffixed `_total`, e.g. `cbir_net_bytes_read_total`,
+/// `cbir_request_stage_us{stage="solve"}`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name,
+                      const std::string& label_key = "",
+                      const std::string& label_value = "");
+  Gauge* GetGauge(const std::string& name, const std::string& label_key = "",
+                  const std::string& label_value = "");
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& label_key = "",
+                                 const std::string& label_value = "");
+
+  /// Registers a callback that runs before every Snapshot(), outside the
+  /// registry lock — the hook where pull-style sources (ServiceStats,
+  /// TcpServerStats) copy their current values into gauges. Callbacks must
+  /// stay valid for the registry's lifetime.
+  void OnGather(std::function<void()> fn);
+
+  /// Runs the gather callbacks, then copies every metric. Wait-free writers
+  /// are never blocked; the snapshot is consistent per metric, not across
+  /// metrics.
+  MetricsSnapshot Snapshot();
+
+  /// Renders a Snapshot() in the Prometheus plaintext exposition style:
+  /// one `name{label="v"} value` line per counter/gauge, and per histogram
+  /// `_count`/`_saturated`/`_sum` lines plus `quantile`-labeled p50/p95/p99.
+  std::string RenderExposition();
+
+  /// The process-wide registry every built-in instrumentation point writes
+  /// to. Libraries record here; exporters (the wire MetricsResponse, the
+  /// --metrics-port listener) read here.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Key {
+    std::string name, label_key, label_value;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      if (label_key != o.label_key) return label_key < o.label_key;
+      return label_value < o.label_value;
+    }
+  };
+
+  mutable std::mutex mu_;
+  // node-based maps: pointers handed out stay stable across registrations.
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::vector<std::function<void()>> gather_callbacks_;
+};
+
+/// Renders one snapshot as exposition text (exposed for tests; the member
+/// RenderExposition composes Snapshot + this).
+std::string RenderExposition(const MetricsSnapshot& snapshot);
+
+}  // namespace cbir::obs
+
+#endif  // CBIR_OBS_METRICS_H_

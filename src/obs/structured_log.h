@@ -1,0 +1,69 @@
+#ifndef CBIR_OBS_STRUCTURED_LOG_H_
+#define CBIR_OBS_STRUCTURED_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cbir::obs {
+
+/// \brief Timestamped key=value event log with per-event rate limiting.
+///
+/// One line per event:
+///
+///   ts=2026-08-08T12:34:56.789Z event=conn_accepted id=17
+///
+/// Every event name carries its own rate limit: at most one line per
+/// `min_interval_seconds` (0 = unlimited); suppressed occurrences are
+/// counted and reported as `suppressed=N` on the next line that makes it
+/// through, so a connection storm costs a bounded number of log lines but
+/// never loses the count. Thread-safe; lines never interleave.
+class StructuredLog {
+ public:
+  using Field = std::pair<std::string, std::string>;
+
+  /// Logs to `os` (must outlive the logger); typically &std::cout.
+  explicit StructuredLog(std::ostream* os, double min_interval_seconds = 0.0);
+
+  /// Emits one event line (or counts it as suppressed under the rate
+  /// limit).
+  void Log(const std::string& event, std::initializer_list<Field> fields);
+
+  /// Bypasses the rate limit — for rare must-not-drop events (WAL
+  /// recovery, compaction).
+  void LogAlways(const std::string& event,
+                 std::initializer_list<Field> fields);
+
+  uint64_t lines_written() const;
+  uint64_t lines_suppressed() const;
+
+ private:
+  struct EventState {
+    std::chrono::steady_clock::time_point last_emit{};
+    uint64_t suppressed = 0;
+    bool emitted_once = false;
+  };
+
+  void Emit(const std::string& event, std::initializer_list<Field> fields,
+            uint64_t suppressed);
+
+  std::ostream* os_;
+  double min_interval_seconds_;
+  mutable std::mutex mu_;
+  std::map<std::string, EventState> events_;
+  uint64_t lines_written_ = 0;
+  uint64_t lines_suppressed_ = 0;
+};
+
+/// The wall-clock timestamp used in log lines: UTC ISO-8601 with
+/// millisecond precision (exposed for tests).
+std::string Iso8601Now();
+
+}  // namespace cbir::obs
+
+#endif  // CBIR_OBS_STRUCTURED_LOG_H_

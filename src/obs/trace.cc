@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace cbir::obs {
+
+namespace {
+
+thread_local RequestTrace* t_current_trace = nullptr;
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+TraceScope::TraceScope(RequestTrace* trace) : previous_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { t_current_trace = previous_; }
+
+RequestTrace* CurrentTrace() { return t_current_trace; }
+
+ScopedSpan::ScopedSpan(const char* name, LatencyHistogram* histogram)
+    : name_(name), histogram_(histogram), trace_(t_current_trace) {
+  if (trace_ != nullptr) {
+    trace_start_us_ = trace_->elapsed_us();
+    depth_ = t_span_depth++;
+  }
+}
+
+void ScopedSpan::End() {
+  if (ended_) return;
+  ended_ = true;
+  const double micros = watch_.ElapsedSeconds() * 1e6;
+  if (histogram_ != nullptr) histogram_->Record(micros);
+  if (trace_ != nullptr) {
+    --t_span_depth;
+    trace_->AddSpan(name_, trace_start_us_,
+                    static_cast<uint64_t>(micros), depth_);
+  }
+}
+
+std::string FormatTrace(const RequestTrace& trace, uint64_t total_us) {
+  std::ostringstream os;
+  os << "trace 0x" << std::hex << trace.trace_id() << std::dec
+     << " total=" << total_us << "us";
+  for (const TraceSpan& span : trace.spans()) {
+    os << "\n  ";
+    for (int d = 0; d < span.depth; ++d) os << "  ";
+    os << span.name << " " << span.duration_us << "us @" << span.start_us
+       << "us";
+  }
+  return os.str();
+}
+
+SlowRequestLog::SlowRequestLog(int threshold_ms, Sink sink)
+    : threshold_ms_(threshold_ms), sink_(std::move(sink)) {
+  if (sink_ == nullptr) {
+    sink_ = [](const std::string& line) { std::cerr << line << "\n"; };
+  }
+}
+
+bool SlowRequestLog::MaybeLog(const RequestTrace& trace, uint64_t total_us) {
+  if (threshold_ms_ <= 0) return false;
+  if (total_us < static_cast<uint64_t>(threshold_ms_) * 1000) return false;
+  logged_.fetch_add(1, std::memory_order_relaxed);
+  const std::string line =
+      "slow request (>=" + std::to_string(threshold_ms_) + "ms): " +
+      FormatTrace(trace, total_us);
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_(line);
+  return true;
+}
+
+uint64_t SlowRequestLog::logged() const {
+  return logged_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cbir::obs

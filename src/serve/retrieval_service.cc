@@ -7,11 +7,52 @@
 #include <utility>
 
 #include "index/signature_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cbir::serve {
 
 namespace {
+
+/// Registry series the service writes (cached once; see obs::MetricsRegistry).
+/// The stage histograms share the net layer's `cbir_request_stage_us` family,
+/// so one metric name tells the whole per-request story across layers.
+struct ServeMetrics {
+  obs::Counter* queries;
+  obs::Counter* feedbacks;
+  obs::Counter* shed_overload;
+  obs::Counter* shed_deadline;
+  obs::Counter* feedback_replays;
+  obs::Counter* log_sessions_appended;
+  obs::LatencyHistogram* stage_admission;
+  obs::LatencyHistogram* stage_queue_wait;
+  obs::LatencyHistogram* stage_index_scan;
+  obs::LatencyHistogram* stage_solve;
+};
+
+const ServeMetrics& Metrics() {
+  static const ServeMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    ServeMetrics m;
+    m.queries = r.GetCounter("cbir_serve_queries_total");
+    m.feedbacks = r.GetCounter("cbir_serve_feedbacks_total");
+    m.shed_overload = r.GetCounter("cbir_serve_shed_overload_total");
+    m.shed_deadline = r.GetCounter("cbir_serve_shed_deadline_total");
+    m.feedback_replays = r.GetCounter("cbir_serve_feedback_replays_total");
+    m.log_sessions_appended =
+        r.GetCounter("cbir_serve_log_sessions_appended_total");
+    m.stage_admission =
+        r.GetHistogram("cbir_request_stage_us", "stage", "admission");
+    m.stage_queue_wait =
+        r.GetHistogram("cbir_request_stage_us", "stage", "queue_wait");
+    m.stage_index_scan =
+        r.GetHistogram("cbir_request_stage_us", "stage", "index_scan");
+    m.stage_solve = r.GetHistogram("cbir_request_stage_us", "stage", "solve");
+    return m;
+  }();
+  return metrics;
+}
 
 /// Hashes the parts of the retrieval configuration a cached first-round
 /// ranking depends on, so rankings computed against a differently-built
@@ -198,6 +239,7 @@ RetrievalService::AdmissionSlot::~AdmissionSlot() {
 
 Status RetrievalService::ShedOverload() {
   shed_overload_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().shed_overload->Increment();
   // The hint is a rough p50 of recent requests: by then a slot has likely
   // freed up. Clients without better information back off around it.
   const double p50_us = latency_.Summarize().p50_us;
@@ -212,23 +254,32 @@ Status RetrievalService::ShedOverload() {
 
 void RetrievalService::RecordDeadlineShed() {
   shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().shed_deadline->Increment();
 }
 
 Result<std::vector<int>> RetrievalService::Query(uint64_t session_id, int k) {
   Stopwatch watch;
+  obs::ScopedSpan admission_span("admission", Metrics().stage_admission);
   AdmissionSlot slot(this);
   if (!slot.admitted()) return ShedOverload();
+  admission_span.End();
+  obs::ScopedSpan queue_span("queue_wait", Metrics().stage_queue_wait);
   std::shared_ptr<ServeSession> session = sessions_->Acquire(session_id);
   if (session == nullptr) {
     return Status::NotFound("retrieval service: unknown session");
   }
   std::lock_guard<std::mutex> lock(session->mu);
+  queue_span.End();
   if (session->ended) {
     return Status::NotFound("retrieval service: session already ended");
   }
-  EnsureFirstRoundLocked(*session);
+  if (!session->has_ranking) {
+    obs::ScopedSpan scan_span("index_scan", Metrics().stage_index_scan);
+    EnsureFirstRoundLocked(*session);
+  }
   Result<std::vector<int>> out = TopKOfRanking(*session, k);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().queries->Increment();
   latency_.Record(watch.ElapsedSeconds() * 1e6);
   return out;
 }
@@ -237,8 +288,10 @@ Result<std::vector<int>> RetrievalService::Feedback(
     uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k,
     uint32_t seq) {
   Stopwatch watch;
+  obs::ScopedSpan admission_span("admission", Metrics().stage_admission);
   AdmissionSlot slot(this);
   if (!slot.admitted()) return ShedOverload();
+  admission_span.End();
   for (const logdb::LogEntry& e : round) {
     if (e.image_id < 0 || e.image_id >= db_->num_images()) {
       return Status::InvalidArgument(
@@ -249,11 +302,13 @@ Result<std::vector<int>> RetrievalService::Feedback(
           "retrieval service: judgment must be +-1");
     }
   }
+  obs::ScopedSpan queue_span("queue_wait", Metrics().stage_queue_wait);
   std::shared_ptr<ServeSession> session = sessions_->Acquire(session_id);
   if (session == nullptr) {
     return Status::NotFound("retrieval service: unknown session");
   }
   std::lock_guard<std::mutex> lock(session->mu);
+  queue_span.End();
   if (session->ended) {
     return Status::NotFound("retrieval service: session already ended");
   }
@@ -262,6 +317,7 @@ Result<std::vector<int>> RetrievalService::Feedback(
       // A retry of the round already applied (the reply got lost, not the
       // request): answer from the cache, apply nothing a second time.
       feedback_replays_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().feedback_replays->Increment();
       return session->last_feedback_response;
     }
     if (seq < session->last_feedback_seq) {
@@ -292,7 +348,10 @@ Result<std::vector<int>> RetrievalService::Feedback(
     record.entries.push_back(e);
   }
 
-  CBIR_ASSIGN_OR_RETURN(session->ranking, scheme_->Rank(session->ctx));
+  {
+    obs::ScopedSpan solve_span("solve", Metrics().stage_solve);
+    CBIR_ASSIGN_OR_RETURN(session->ranking, scheme_->Rank(session->ctx));
+  }
   // Recorded only after the round actually ranked: a failed round must not
   // end up in the persisted feedback log.
   if (!record.entries.empty()) {
@@ -315,6 +374,7 @@ Result<std::vector<int>> RetrievalService::Feedback(
     session->last_feedback_response = out.value();
   }
   feedbacks_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().feedbacks->Increment();
   latency_.Record(watch.ElapsedSeconds() * 1e6);
   return out;
 }
@@ -339,6 +399,7 @@ void RetrievalService::FlushSessionLocked(ServeSession& session) {
     for (logdb::LogSession& record : session.pending_log) {
       log_store_->Append(std::move(record));
       log_sessions_appended_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().log_sessions_appended->Increment();
     }
   }
   session.pending_log.clear();

@@ -1,84 +1,15 @@
 #include "serve/service_stats.h"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <sstream>
 
 #include "util/string_util.h"
 
 namespace cbir::serve {
 
-int LatencyHistogram::BucketIndex(uint64_t us) {
-  if (us < kSub) return static_cast<int>(us);
-  const int octave = 63 - std::countl_zero(us);
-  if (octave >= kMaxOctave) return kBuckets - 1;
-  const int sub =
-      static_cast<int>((us >> (octave - kSubBits)) & (kSub - 1));
-  return kSub + (octave - kSubBits) * kSub + sub;
-}
-
-uint64_t LatencyHistogram::BucketUpperBound(int bucket) {
-  if (bucket < kSub) return static_cast<uint64_t>(bucket) + 1;
-  const int octave = kSubBits + (bucket - kSub) / kSub;
-  const int sub = (bucket - kSub) % kSub;
-  const uint64_t base = uint64_t{1} << octave;
-  const uint64_t step = uint64_t{1} << (octave - kSubBits);
-  return base + static_cast<uint64_t>(sub + 1) * step;
-}
-
-void LatencyHistogram::Record(double micros) {
-  const uint64_t us =
-      micros <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(micros));
-  buckets_[static_cast<size_t>(BucketIndex(us))].fetch_add(
-      1, std::memory_order_relaxed);
-  total_us_.fetch_add(us, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-LatencySummary LatencyHistogram::Summarize() const {
-  std::array<uint64_t, kBuckets> counts;
-  uint64_t total = 0;
-  int top = -1;
-  for (int b = 0; b < kBuckets; ++b) {
-    counts[static_cast<size_t>(b)] =
-        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
-    total += counts[static_cast<size_t>(b)];
-    if (counts[static_cast<size_t>(b)] > 0) top = b;
-  }
-  LatencySummary s;
-  s.count = total;
-  if (total == 0) return s;
-  s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
-              static_cast<double>(std::max<uint64_t>(
-                  count_.load(std::memory_order_relaxed), 1));
-  s.max_us = static_cast<double>(BucketUpperBound(top));
-
-  const auto percentile = [&](double q) {
-    const uint64_t target = static_cast<uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
-    uint64_t cum = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      cum += counts[static_cast<size_t>(b)];
-      if (cum >= target) return static_cast<double>(BucketUpperBound(b));
-    }
-    return static_cast<double>(BucketUpperBound(kBuckets - 1));
-  };
-  s.p50_us = percentile(0.50);
-  s.p95_us = percentile(0.95);
-  s.p99_us = percentile(0.99);
-  return s;
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  total_us_.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-}
-
 std::string FormatServiceStats(const ServiceStats& stats) {
   std::ostringstream os;
-  os << "serve stats: qps=" << FormatDouble(stats.qps, 1)
+  os << "serve stats: uptime=" << FormatDouble(stats.elapsed_seconds, 1)
+     << "s qps=" << FormatDouble(stats.qps, 1)
      << " requests=" << stats.requests << " (queries=" << stats.queries
      << " feedbacks=" << stats.feedbacks << ")"
      << " sessions=" << stats.sessions_started << " started/"
@@ -95,7 +26,11 @@ std::string FormatServiceStats(const ServiceStats& stats) {
      << " latency_us{p50=" << FormatDouble(stats.latency.p50_us, 0)
      << " p95=" << FormatDouble(stats.latency.p95_us, 0)
      << " p99=" << FormatDouble(stats.latency.p99_us, 0)
-     << " mean=" << FormatDouble(stats.latency.mean_us, 0) << "}";
+     << " mean=" << FormatDouble(stats.latency.mean_us, 0);
+  if (stats.latency.saturated > 0) {
+    os << " saturated=" << stats.latency.saturated;
+  }
+  os << "}";
   return os.str();
 }
 

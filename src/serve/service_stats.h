@@ -1,63 +1,18 @@
 #ifndef CBIR_SERVE_SERVICE_STATS_H_
 #define CBIR_SERVE_SERVICE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace cbir::serve {
 
-/// \brief Latency percentiles summarized from a LatencyHistogram.
-///
-/// Percentile values are bucket upper bounds, so they over-estimate by at
-/// most one bucket width (~12.5% with the log-linear layout below); `max_us`
-/// has the same granularity.
-struct LatencySummary {
-  uint64_t count = 0;
-  double mean_us = 0.0;
-  double p50_us = 0.0;
-  double p95_us = 0.0;
-  double p99_us = 0.0;
-  double max_us = 0.0;
-};
-
-/// \brief Fixed-bucket concurrent latency histogram (microsecond domain).
-///
-/// Log-linear layout: 8 linear buckets below 8us, then 8 sub-buckets per
-/// power of two up to ~68s, so relative resolution stays ~12.5% across the
-/// whole range. Record() is wait-free (one relaxed fetch_add per call plus
-/// two for the mean), which keeps the serving hot path uncontended; the
-/// percentile math happens only in Summarize().
-class LatencyHistogram {
- public:
-  static constexpr int kSubBits = 3;                ///< 2^3 sub-buckets/octave
-  static constexpr int kSub = 1 << kSubBits;
-  static constexpr int kMaxOctave = 36;             ///< caps at ~2^36 us
-  static constexpr int kBuckets = kSub + (kMaxOctave - kSubBits) * kSub;
-
-  /// Records one latency observation (values are clamped to the last
-  /// bucket). Safe to call from any number of threads.
-  void Record(double micros);
-
-  /// Aggregates the current counts into percentiles. Concurrent Record()
-  /// calls may or may not be included — the summary is a snapshot, not a
-  /// barrier.
-  LatencySummary Summarize() const;
-
-  /// Zeroes all buckets (not atomic with respect to concurrent Record()).
-  void Reset();
-
-  /// Bucket index for a microsecond value; exposed for tests.
-  static int BucketIndex(uint64_t us);
-  /// Exclusive upper bound (in us) of the given bucket; exposed for tests.
-  static uint64_t BucketUpperBound(int bucket);
-
- private:
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> total_us_{0};
-  std::atomic<uint64_t> count_{0};
-};
+/// The latency machinery lives in obs/metrics.h now (the metrics registry
+/// hands out the same histogram type for any named series); these aliases
+/// keep the serve API spelled the way it always was.
+using LatencySummary = obs::LatencySummary;
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// \brief One coherent snapshot of everything the serving layer counts,
 /// surfaced the way IndexStats / CacheStats are for the lower layers.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "svm/kernel_cache.h"
 #include "util/logging.h"
 
@@ -12,6 +13,38 @@ namespace cbir::svm {
 
 namespace {
 constexpr double kTau = 1e-12;
+
+/// Registry series of the solver core (cached once, wait-free after that).
+/// Summed over every solve in the process: the per-solve numbers stay on
+/// SmoSolution, these answer "where does serving time go" in aggregate.
+struct SolverMetrics {
+  obs::Counter* solves;
+  obs::Counter* iterations;
+  obs::Counter* shrink_passes;
+  obs::Counter* gradient_reconstructions;
+  obs::Counter* unconverged;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+};
+
+const SolverMetrics& Metrics() {
+  static const SolverMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    SolverMetrics m;
+    m.solves = r.GetCounter("cbir_svm_solves_total");
+    m.iterations = r.GetCounter("cbir_svm_iterations_total");
+    m.shrink_passes = r.GetCounter("cbir_svm_shrink_passes_total");
+    m.gradient_reconstructions =
+        r.GetCounter("cbir_svm_gradient_reconstructions_total");
+    m.unconverged = r.GetCounter("cbir_svm_unconverged_total");
+    m.cache_hits = r.GetCounter("cbir_svm_kernel_cache_hits_total");
+    m.cache_misses = r.GetCounter("cbir_svm_kernel_cache_misses_total");
+    m.cache_evictions = r.GetCounter("cbir_svm_kernel_cache_evictions_total");
+    return m;
+  }();
+  return metrics;
+}
 }  // namespace
 
 SmoSolver::SmoSolver(const la::Matrix& data, std::vector<double> labels,
@@ -355,7 +388,17 @@ Result<SmoSolution> SmoSolver::Solve() {
   }
   if (iter >= max_iter) {
     CBIR_LOG(Warning) << "SMO hit iteration cap (" << max_iter << ")";
+    Metrics().unconverged->Increment();
   }
+  Metrics().solves->Increment();
+  Metrics().iterations->Increment(static_cast<uint64_t>(iter));
+  Metrics().shrink_passes->Increment(
+      static_cast<uint64_t>(sol.shrink_passes));
+  Metrics().gradient_reconstructions->Increment(
+      static_cast<uint64_t>(sol.gradient_reconstructions));
+  Metrics().cache_hits->Increment(sol.cache_stats.hits);
+  Metrics().cache_misses->Increment(sol.cache_stats.misses);
+  Metrics().cache_evictions->Increment(sol.cache_stats.evictions);
   return sol;
 }
 

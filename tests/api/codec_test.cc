@@ -337,6 +337,18 @@ TEST(CodecV2Test, EnvelopeRoundTripsThroughV2Frame) {
           e.has_seq = true;
           e.seq = 0xFFFFFFFF;
           return e;
+        }(),
+        RequestEnvelope::WithTraceId(0x0123456789ABCDEFull),
+        RequestEnvelope::WithTraceId(std::numeric_limits<uint64_t>::max()),
+        [] {
+          // All three fields at once: deadline, seq, trace id, in flag-bit
+          // order on the wire.
+          RequestEnvelope e = RequestEnvelope::WithDeadline(30000);
+          e.has_seq = true;
+          e.seq = 7;
+          e.has_trace_id = true;
+          e.trace_id = 0xCAFEBABEDEADBEEFull;
+          return e;
         }()}) {
     const std::vector<uint8_t> frame = EncodeRequest(Request(m), sent);
     Result<FrameHeader> header =
@@ -378,7 +390,7 @@ TEST(CodecV2Test, UnknownFlagBitsRejected) {
   FeedbackRequest m;
   const std::vector<uint8_t> frame =
       EncodeRequest(Request(m), RequestEnvelope::WithDeadline(10));
-  for (uint8_t bit = 2; bit < 8; ++bit) {
+  for (uint8_t bit = 3; bit < 8; ++bit) {
     std::vector<uint8_t> corrupt = frame;
     corrupt[7] = uint8_t(corrupt[7] | (1u << bit));  // flags live at offset 7
     Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
@@ -418,6 +430,8 @@ TEST(CodecV2Test, EverySingleBitFlipOfV2FrameIsHandled) {
   RequestEnvelope envelope = RequestEnvelope::WithDeadline(2000);
   envelope.has_seq = true;
   envelope.seq = 77;
+  envelope.has_trace_id = true;
+  envelope.trace_id = 0x1122334455667788ull;
   const std::vector<uint8_t> frame = EncodeRequest(Request(m), envelope);
   for (size_t byte = 0; byte < frame.size(); ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
@@ -433,6 +447,85 @@ TEST(CodecV2Test, EverySingleBitFlipOfV2FrameIsHandled) {
       }
     }
   }
+}
+
+TEST(CodecV2Test, TraceIdOnlyEnvelopeAddsExactlyNineBytes) {
+  // flag byte is already in the header; the trace id costs 8 envelope bytes,
+  // and the frame stays v1-shaped everywhere else.
+  QueryRequest m;
+  m.session_id = 11;
+  const std::vector<uint8_t> v1 = EncodeRequest(Request(m));
+  const std::vector<uint8_t> v2 =
+      EncodeRequest(Request(m), RequestEnvelope::WithTraceId(5));
+  EXPECT_EQ(v2.size(), v1.size() + 8);
+  Result<FrameHeader> header = DecodeFrameHeader(v2.data(), v2.size());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_EQ(header->flags, kFrameFlagTraceId);
+}
+
+// --------------------------------------------------------- metrics messages --
+
+TEST(CodecRoundTripTest, MetricsRequest) {
+  ExpectRequestRoundTrip(MetricsRequest{});
+}
+
+TEST(CodecRoundTripTest, MetricsResponseEmpty) {
+  ExpectResponseRoundTrip(MetricsResponse{});
+}
+
+TEST(CodecRoundTripTest, MetricsResponsePopulated) {
+  MetricsResponse m;
+  MetricCounterSample c;
+  c.name = "cbir_net_requests_total";
+  c.value = std::numeric_limits<uint64_t>::max();
+  m.counters.push_back(c);
+  c.name = "cbir_request_stage_us";
+  c.label_key = "stage";
+  c.label_value = "solve";
+  c.value = 0;
+  m.counters.push_back(c);
+
+  MetricGaugeSample g;
+  g.name = "cbir_serve_active_sessions";
+  g.value = -42;  // gauges are signed
+  m.gauges.push_back(g);
+
+  MetricHistogramSample h;
+  h.name = "cbir_request_stage_us";
+  h.label_key = "stage";
+  h.label_value = "queue_wait";
+  h.count = 123456;
+  h.saturated = 7;
+  h.mean_us = 41.5;
+  h.p50_us = 10.0;
+  h.p95_us = 510.25;
+  h.p99_us = 990.0;
+  h.max_us = 1e9;
+  m.histograms.push_back(h);
+  ExpectResponseRoundTrip(m);
+
+  m.status.code = StatusCodeToWireCode(StatusCode::kUnavailable);
+  m.status.message = "shed";
+  ExpectResponseRoundTrip(m);
+}
+
+TEST(CodecRobustnessTest, MetricsResponseHostileCountRejected) {
+  // A sample-count prefix claiming 2^32-1 histograms in a tiny body must
+  // fail the bounds check before any allocation.
+  MetricsResponse m;
+  MetricHistogramSample h;
+  h.name = "x";
+  m.histograms.push_back(h);
+  std::vector<uint8_t> frame = EncodeResponse(Response(m));
+  // Body layout: WireStatus (u32 code, u32 len, bytes), then u32 counter
+  // count (0), u32 gauge count (0), u32 histogram count.
+  const size_t histogram_count_offset = kFrameHeaderBytes + 8 + 8;
+  ASSERT_LT(histogram_count_offset + 4, frame.size());
+  for (int i = 0; i < 4; ++i) frame[histogram_count_offset + i] = 0xFF;
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

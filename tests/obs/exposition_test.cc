@@ -1,0 +1,70 @@
+#include "obs/exposition.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace cbir::obs {
+namespace {
+
+/// One scrape: connect, send nothing (the server replies on accept, like
+/// `nc host port < /dev/null`), read to EOF.
+std::string Scrape(int port) {
+  Result<net::Socket> conn = net::Socket::ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(conn.ok()) << conn.status();
+  if (!conn.ok()) return "";
+  std::string out;
+  for (;;) {
+    char byte = 0;
+    bool eof = false;
+    const Status s = conn->ReadFully(&byte, 1, &eof);
+    EXPECT_TRUE(s.ok()) << s;
+    if (!s.ok() || eof) break;
+    out.push_back(byte);
+  }
+  return out;
+}
+
+TEST(ExpositionServerTest, ServesRegistryOnEveryConnection) {
+  MetricsRegistry registry;
+  registry.GetCounter("cbir_net_requests_total")->Increment(5);
+  registry.GetHistogram("cbir_net_request_us")->Record(100.0);
+
+  ExpositionServer server(&registry, "127.0.0.1", 0);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string first = Scrape(server.port());
+  // HTTP/1.0 framing so curl works, plaintext exposition body.
+  EXPECT_EQ(first.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << first;
+  EXPECT_NE(first.find("Content-Type: text/plain"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("cbir_net_requests_total 5\n"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("cbir_net_request_us_count 1\n"), std::string::npos)
+      << first;
+
+  // The next scrape sees updated values — the body is rendered per request,
+  // not cached at Start().
+  registry.GetCounter("cbir_net_requests_total")->Increment(2);
+  const std::string second = Scrape(server.port());
+  EXPECT_NE(second.find("cbir_net_requests_total 7\n"), std::string::npos)
+      << second;
+  EXPECT_EQ(server.scrapes(), 2u);
+
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(ExpositionServerTest, StartFailsOnUnbindableAddress) {
+  MetricsRegistry registry;
+  ExpositionServer server(&registry, "203.0.113.1", 0);  // TEST-NET: no if
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();  // safe after a failed start
+}
+
+}  // namespace
+}  // namespace cbir::obs

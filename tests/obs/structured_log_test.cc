@@ -1,0 +1,83 @@
+#include "obs/structured_log.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cbir::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::ostringstream& os) {
+  std::vector<std::string> out;
+  std::istringstream in(os.str());
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Iso8601NowTest, ShapeIsUtcWithMilliseconds) {
+  const std::string ts = Iso8601Now();
+  // 2026-08-08T12:34:56.789Z
+  ASSERT_EQ(ts.size(), 24u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts[23], 'Z');
+}
+
+TEST(StructuredLogTest, EmitsTimestampedKeyValueLine) {
+  std::ostringstream os;
+  StructuredLog log(&os);
+  log.Log("conn_accepted", {{"id", "17"}, {"peer", "10.0.0.1"}});
+  const std::vector<std::string> lines = Lines(os);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("ts=", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find(" event=conn_accepted id=17 peer=10.0.0.1"),
+            std::string::npos)
+      << lines[0];
+  EXPECT_EQ(log.lines_written(), 1u);
+  EXPECT_EQ(log.lines_suppressed(), 0u);
+}
+
+TEST(StructuredLogTest, RateLimitSuppressesAndReportsCount) {
+  std::ostringstream os;
+  StructuredLog log(&os, /*min_interval_seconds=*/1000.0);
+  log.Log("conn_accepted", {{"id", "1"}});   // first always emits
+  log.Log("conn_accepted", {{"id", "2"}});   // suppressed
+  log.Log("conn_accepted", {{"id", "3"}});   // suppressed
+  EXPECT_EQ(log.lines_written(), 1u);
+  EXPECT_EQ(log.lines_suppressed(), 2u);
+  // LogAlways bypasses the limit and carries the pending suppressed count,
+  // so the storm's size is never lost.
+  log.LogAlways("conn_accepted", {{"id", "4"}});
+  const std::vector<std::string> lines = Lines(os);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("id=4 suppressed=2"), std::string::npos)
+      << lines[1];
+  EXPECT_EQ(log.lines_written(), 2u);
+}
+
+TEST(StructuredLogTest, RateLimitIsPerEventName) {
+  std::ostringstream os;
+  StructuredLog log(&os, 1000.0);
+  log.Log("conn_accepted", {{"id", "1"}});
+  log.Log("conn_closed", {{"id", "1"}});  // different event: not suppressed
+  EXPECT_EQ(log.lines_written(), 2u);
+  EXPECT_EQ(log.lines_suppressed(), 0u);
+}
+
+TEST(StructuredLogTest, ZeroIntervalNeverSuppresses) {
+  std::ostringstream os;
+  StructuredLog log(&os, 0.0);
+  for (int i = 0; i < 10; ++i) log.Log("tick", {});
+  EXPECT_EQ(log.lines_written(), 10u);
+  EXPECT_EQ(log.lines_suppressed(), 0u);
+}
+
+}  // namespace
+}  // namespace cbir::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace cbir::obs {
+namespace {
+
+// ------------------------------------------------------------ trace scope --
+
+TEST(TraceScopeTest, InstallsAndRestoresCurrentTrace) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  RequestTrace outer(1);
+  {
+    TraceScope scope(&outer);
+    EXPECT_EQ(CurrentTrace(), &outer);
+    RequestTrace inner(2);
+    {
+      TraceScope nested(&inner);
+      EXPECT_EQ(CurrentTrace(), &inner);
+    }
+    EXPECT_EQ(CurrentTrace(), &outer);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceScopeTest, CurrentTraceIsPerThread) {
+  RequestTrace trace(7);
+  TraceScope scope(&trace);
+  RequestTrace* seen = &trace;
+  std::thread other([&seen] { seen = CurrentTrace(); });
+  other.join();
+  EXPECT_EQ(seen, nullptr);  // the scope binds this thread only
+  EXPECT_EQ(CurrentTrace(), &trace);
+}
+
+// ------------------------------------------------------------ scoped span --
+
+TEST(ScopedSpanTest, RecordsHistogramWithoutTrace) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  LatencyHistogram h;
+  { ScopedSpan span("solve", &h); }
+  EXPECT_EQ(h.Summarize().count, 1u);
+}
+
+TEST(ScopedSpanTest, AttachesSpanToCurrentTrace) {
+  RequestTrace trace(0xABC);
+  {
+    TraceScope scope(&trace);
+    { ScopedSpan span("admission"); }
+    { ScopedSpan span("solve"); }
+  }
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0].name, "admission");
+  EXPECT_EQ(trace.spans()[0].depth, 0);
+  EXPECT_EQ(trace.spans()[1].name, "solve");
+  EXPECT_EQ(trace.spans()[1].depth, 0);
+  // The second span starts no earlier than the first.
+  EXPECT_GE(trace.spans()[1].start_us, trace.spans()[0].start_us);
+}
+
+TEST(ScopedSpanTest, NestedSpansCarryDepth) {
+  RequestTrace trace(1);
+  {
+    TraceScope scope(&trace);
+    ScopedSpan outer("request");
+    {
+      ScopedSpan inner("solve");
+      { ScopedSpan innermost("kernel"); }
+    }
+  }
+  // Spans land in End() order (innermost first).
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.spans()[0].name, "kernel");
+  EXPECT_EQ(trace.spans()[0].depth, 2);
+  EXPECT_EQ(trace.spans()[1].name, "solve");
+  EXPECT_EQ(trace.spans()[1].depth, 1);
+  EXPECT_EQ(trace.spans()[2].name, "request");
+  EXPECT_EQ(trace.spans()[2].depth, 0);
+}
+
+TEST(ScopedSpanTest, EndIsIdempotent) {
+  RequestTrace trace(1);
+  LatencyHistogram h;
+  {
+    TraceScope scope(&trace);
+    ScopedSpan span("write", &h);
+    span.End();
+    span.End();  // second call must be a no-op; destructor adds a third
+  }
+  EXPECT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(h.Summarize().count, 1u);
+}
+
+TEST(ScopedSpanTest, TraceCapturedAtConstructionNotEnd) {
+  // A span built outside any scope stays detached even if a trace is
+  // installed before it ends — spans never attach retroactively.
+  RequestTrace trace(1);
+  ScopedSpan span("early");
+  {
+    TraceScope scope(&trace);
+    span.End();
+  }
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+// ----------------------------------------------------------- format trace --
+
+TEST(FormatTraceTest, RendersIdTotalAndIndentedSpans) {
+  RequestTrace trace(0x1F3A);
+  trace.AddSpan("decode", 0, 12, 0);
+  trace.AddSpan("solve", 118, 3970, 1);
+  const std::string text = FormatTrace(trace, 4211);
+  EXPECT_NE(text.find("trace 0x1f3a total=4211us"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\n  decode 12us @0us"), std::string::npos) << text;
+  // Depth 1 gets one extra indent level.
+  EXPECT_NE(text.find("\n    solve 3970us @118us"), std::string::npos)
+      << text;
+}
+
+// ------------------------------------------------------- slow request log --
+
+TEST(SlowRequestLogTest, TriggersExactlyAtThreshold) {
+  std::vector<std::string> lines;
+  SlowRequestLog log(5, [&lines](const std::string& l) {
+    lines.push_back(l);
+  });
+  RequestTrace trace(9);
+  trace.AddSpan("solve", 0, 4999, 0);
+  EXPECT_FALSE(log.MaybeLog(trace, 4999));  // one microsecond under
+  EXPECT_TRUE(log.MaybeLog(trace, 5000));   // exactly at 5ms: logged
+  EXPECT_TRUE(log.MaybeLog(trace, 5001));
+  EXPECT_EQ(log.logged(), 2u);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("slow request (>=5ms)"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("trace 0x9 total=5000us"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("solve 4999us @0us"), std::string::npos)
+      << lines[0];
+}
+
+TEST(SlowRequestLogTest, NonPositiveThresholdDisables) {
+  int calls = 0;
+  SlowRequestLog zero(0, [&calls](const std::string&) { ++calls; });
+  SlowRequestLog negative(-3, [&calls](const std::string&) { ++calls; });
+  RequestTrace trace(1);
+  EXPECT_FALSE(zero.MaybeLog(trace, 1u << 30));
+  EXPECT_FALSE(negative.MaybeLog(trace, 1u << 30));
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(zero.logged(), 0u);
+}
+
+TEST(SlowRequestLogTest, ConcurrentLoggingCountsEveryHit) {
+  std::vector<std::string> lines;
+  SlowRequestLog log(1, [&lines](const std::string& l) {
+    lines.push_back(l);  // sink runs under the log's mutex
+  });
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      RequestTrace trace(42);
+      for (int i = 0; i < kIters; ++i) log.MaybeLog(trace, 1000);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.logged(), uint64_t{kThreads} * kIters);
+  EXPECT_EQ(lines.size(), size_t{kThreads} * kIters);
+}
+
+}  // namespace
+}  // namespace cbir::obs
