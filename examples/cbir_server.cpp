@@ -13,6 +13,7 @@
 //
 // SIGINT/SIGTERM shut the server down cleanly (all connection threads
 // joined) and print the final service stats.
+#include <algorithm>
 #include <csignal>
 #include <chrono>
 #include <iostream>
@@ -25,11 +26,15 @@
 #include "logdb/simulated_user.h"
 #include "net/tcp_server.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/slo.h"
 #include "obs/structured_log.h"
 #include "retrieval/synthetic_features.h"
 #include "serve/retrieval_service.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace {
@@ -52,13 +57,25 @@ constexpr const char* kHelp =
                         in flight with kUnavailable (default 0 = unbounded)
 
  observability
-  --metrics-port=N      plaintext metrics listener: every connection gets
-                        the full registry in Prometheus exposition format
-                        (curl or nc the port; 0 = OS-assigned, printed).
-                        Omit the flag to disable. The same counters are
-                        served on the main port as a MetricsResponse.
+  --metrics-port=N      plaintext metrics-and-debug listener (curl or nc the
+                        port; 0 = OS-assigned, printed). Omit to disable.
+                        Endpoints: /metrics (Prometheus exposition, also the
+                        default for a path-less peer), /statusz (uptime,
+                        build, flags, sessions, SLO state), /flightz (flight
+                        recorder dump), /slowz (recent slow-request trees)
   --slow-request-ms=N   dump the per-stage span tree of any request whose
-                        server-side time reaches N ms (default 0 = off)
+                        server-side time reaches N ms (default 0 = off);
+                        also the flight recorder's always-capture threshold
+  --flight-capacity=N   flight recorder ring size, records (default 256;
+                        0 disables the recorder)
+  --flight-sample=N     capture 1 of every N healthy requests (default 64;
+                        errors/sheds/slow requests are always captured)
+  --slo-query-p99-ms=F  latency objective: p99 of request latency stays
+                        under F ms (default 0 = no latency objective)
+  --slo-error-ratio=F   error objective: at most this fraction of responses
+                        non-OK (default 0 = no error objective). Breaches
+                        set cbir_slo_breach and emit event=slo_breach;
+                        windowed p99s are tracked even with no objectives
   --log-interval=F      per-event rate limit of the structured connection
                         log, seconds (default 1.0; suppressed events are
                         counted and reported on the next line through)
@@ -107,6 +124,8 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"help", "port", "host", "idle-timeout-ms", "drain-timeout-ms", "wal",
         "max-inflight", "metrics-port", "slow-request-ms", "log-interval",
+        "flight-capacity", "flight-sample", "slo-query-p99-ms",
+        "slo-error-ratio",
         "synthetic-rows", "categories", "images-per-category",
         "seed", "scheme", "k", "rounds", "judgments", "depth", "noise",
         "max-sessions", "ttl", "cache-capacity", "log-sessions"}) {
@@ -238,6 +257,11 @@ int main(int argc, char** argv) {
 
   // Pull-style gauges: every Snapshot() (wire MetricsResponse or a
   // --metrics-port scrape) refreshes these from the live service first.
+  obs::MetricsRegistry::Default().SetHelp(
+      "cbir_process_rss_bytes", "Resident set size from /proc/self/statm.");
+  obs::MetricsRegistry::Default().SetHelp(
+      "cbir_process_cpu_seconds",
+      "Whole seconds of user+system CPU from /proc/self/stat.");
   obs::MetricsRegistry::Default().OnGather(
       [service = service_or.value().get(), store_ptr = &store] {
         obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
@@ -252,7 +276,24 @@ int main(int argc, char** argv) {
             ->Set(static_cast<int64_t>(s.cache_hit_rate * 1000.0));
         r.GetGauge("cbir_logdb_sessions")
             ->Set(static_cast<int64_t>(store_ptr->num_sessions()));
+        const obs::ProcessStats p = obs::ReadProcessStats();
+        r.GetGauge("cbir_process_rss_bytes")->Set(p.rss_bytes);
+        r.GetGauge("cbir_process_cpu_seconds")
+            ->Set(static_cast<int64_t>(p.cpu_seconds));
       });
+
+  // Flight recorder: every completed request (decode errors included) is
+  // offered; errors/sheds/slow always captured, healthy traffic sampled.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (flags.GetInt("flight-capacity", 256) > 0) {
+    obs::FlightRecorderOptions flight_options;
+    flight_options.capacity =
+        static_cast<size_t>(flags.GetInt("flight-capacity", 256));
+    flight_options.sample_every =
+        static_cast<uint64_t>(std::max(0, flags.GetInt("flight-sample", 64)));
+    flight_options.slow_threshold_ms = flags.GetInt("slow-request-ms", 0);
+    flight = std::make_unique<obs::FlightRecorder>(flight_options);
+  }
 
   net::TcpServerOptions server_options;
   server_options.host = flags.GetString("host", "127.0.0.1");
@@ -260,6 +301,7 @@ int main(int argc, char** argv) {
   server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 0);
   server_options.drain_timeout_ms = flags.GetInt("drain-timeout-ms", 1000);
   server_options.slow_request_ms = flags.GetInt("slow-request-ms", 0);
+  server_options.flight_recorder = flight.get();
   server_options.connection_observer = [&slog](const char* event,
                                                uint64_t connection_id) {
     slog.Log(std::string("conn_") + event,
@@ -271,11 +313,71 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Windowed SLO tracking over the net layer's since-boot series. Always on
+  // (so /statusz shows windowed p99s even without objectives); breaches
+  // alert through the structured log, rate-limited per event.
+  obs::SloOptions slo_options;
+  slo_options.query_p99_ms = flags.GetDouble("slo-query-p99-ms", 0.0);
+  slo_options.error_ratio = flags.GetDouble("slo-error-ratio", 0.0);
+  obs::SloTracker slo_tracker(&obs::MetricsRegistry::Default(), slo_options,
+                              &slog);
+  slo_tracker.Start();
+
+  const Stopwatch uptime;
   std::unique_ptr<obs::ExpositionServer> metrics_server;
   if (flags.Has("metrics-port")) {
     metrics_server = std::make_unique<obs::ExpositionServer>(
         &obs::MetricsRegistry::Default(), server_options.host,
         flags.GetInt("metrics-port", 0));
+    metrics_server->SetHandler(
+        "/statusz",
+        [&flags, &server, &slo_tracker, &uptime, &flight,
+         service = service_or.value().get()] {
+          std::string out = "cbir_server statusz\n";
+          out += "uptime_seconds: " +
+                 std::to_string(static_cast<int64_t>(
+                     uptime.ElapsedSeconds())) + "\n";
+          out += std::string("build: ") + __VERSION__ + ", C++" +
+                 std::to_string(__cplusplus / 100 % 100) + ", " + __DATE__ +
+                 "\n";
+          out += "flags:";
+          for (const std::string& key : flags.Keys()) {
+            out += " --" + key + "=" + flags.GetString(key, "");
+          }
+          out += "\n";
+          const serve::ServiceStats s = service->stats();
+          out += "active_sessions: " + std::to_string(s.active_sessions) +
+                 "\n";
+          out += "requests: " + std::to_string(s.requests) +
+                 " (shed_overload=" +
+                 std::to_string(s.requests_shed_overload) +
+                 " shed_deadline=" +
+                 std::to_string(s.requests_shed_deadline) + ")\n";
+          if (flight != nullptr) {
+            out += "flight_recorder: seen=" + std::to_string(flight->seen()) +
+                   " captured=" + std::to_string(flight->captured()) +
+                   " errors=" + std::to_string(flight->captured_errors()) +
+                   "\n";
+          }
+          const net::TcpServerStats n = server.stats();
+          out += "connections: accepted=" +
+                 std::to_string(n.connections_accepted) +
+                 " closed=" + std::to_string(n.connections_closed) +
+                 " decode_errors=" + std::to_string(n.decode_errors) + "\n";
+          out += slo_tracker.FormatState();
+          return out;
+        });
+    metrics_server->SetHandler("/flightz", [&flight] {
+      return flight != nullptr ? flight->Dump()
+                               : std::string("flight recorder disabled\n");
+    });
+    metrics_server->SetHandler("/slowz", [&server] {
+      const std::vector<std::string> recent = server.slow_log().Recent();
+      if (recent.empty()) return std::string("no slow requests logged\n");
+      std::string out;
+      for (const std::string& entry : recent) out += entry + "\n";
+      return out;
+    });
     if (Status s = metrics_server->Start(); !s.ok()) {
       std::cerr << s << "\n";
       return 1;
@@ -303,6 +405,12 @@ int main(int argc, char** argv) {
   std::cout << "shutting down...\n";
   server.Stop();
   if (metrics_server != nullptr) metrics_server->Stop();
+  slo_tracker.Stop();
+  if (flight != nullptr) {
+    // The black box survives the crash-adjacent exits too: SIGTERM lands
+    // here through g_stop, and the dump goes out before stats.
+    std::cout << flight->Dump() << std::flush;
+  }
   if (store.durable()) {
     // Fold the WAL into the snapshot on a clean exit; a kill -9 skips this
     // and the next boot replays the WAL instead.

@@ -21,7 +21,9 @@
 // truth categories to simulate user judgments — so start the server with
 // the same corpus/seed flags; the sessions it replays are then
 // byte-identical to the in-process run (test-gated in tests/net).
+#include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -35,6 +37,8 @@
 #include "net/fault_injector.h"
 #include "net/retrying_client.h"
 #include "net/tcp_client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "retrieval/synthetic_features.h"
 #include "serve/retrieval_service.h"
 #include "util/flags.h"
@@ -87,6 +91,13 @@ constexpr const char* kHelp =
   --chaos-seed=N        fault-schedule seed (default: --seed)
   --rpc-timeout-ms=N    per-RPC deadline under chaos (default 2000)
 
+ output
+  --json=FILE           also write a machine-readable run summary to FILE
+                        (one JSON object; schema in bench/README.md)
+  --explain-worst=K     remote non-chaos only: set the EXPLAIN flag on every
+                        RPC and, after the run, print the K slowest requests'
+                        server-side stage/counter breakdowns
+
  index (see quickstart): --index=exact|signature (default signature),
   --signature_bits, --candidate_factor, --index-seed
 )";
@@ -128,25 +139,69 @@ class LocalSessionApi : public SessionApi {
   serve::RetrievalService* service_;
 };
 
+/// The K latency-worst EXPLAIN profiles seen across all workers
+/// (--explain-worst). Offers are rare enough (one small sort per RPC) that
+/// one mutex is fine for a load driver.
+class WorstProfiles {
+ public:
+  explicit WorstProfiles(size_t k) : k_(k) {}
+  void Offer(const api::ResponseProfile& profile) {
+    if (k_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    worst_.push_back(profile);
+    std::sort(worst_.begin(), worst_.end(),
+              [](const api::ResponseProfile& a, const api::ResponseProfile& b) {
+                return a.total_us > b.total_us;
+              });
+    if (worst_.size() > k_) worst_.resize(k_);
+  }
+  /// Worst first.
+  std::vector<api::ResponseProfile> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(worst_);
+  }
+
+ private:
+  size_t k_;
+  std::mutex mu_;
+  std::vector<api::ResponseProfile> worst_;
+};
+
 class RemoteSessionApi : public SessionApi {
  public:
-  explicit RemoteSessionApi(net::TcpClient client)
-      : client_(std::move(client)) {}
+  explicit RemoteSessionApi(net::TcpClient client,
+                            WorstProfiles* worst = nullptr)
+      : client_(std::move(client)), worst_(worst) {
+    if (worst_ != nullptr) client_.EnableProfiling();
+  }
   Result<uint64_t> Start(int query_id) override {
-    return client_.StartSession(api::QuerySpec::ById(query_id));
+    auto out = client_.StartSession(api::QuerySpec::ById(query_id));
+    OfferProfile();
+    return out;
   }
   Result<std::vector<int>> Query(uint64_t sid, int k) override {
-    return client_.Query(sid, k);
+    auto out = client_.Query(sid, k);
+    OfferProfile();
+    return out;
   }
   Result<std::vector<int>> Feedback(uint64_t sid,
                                     const std::vector<logdb::LogEntry>& round,
                                     int k) override {
-    return client_.Feedback(sid, round, k);
+    auto out = client_.Feedback(sid, round, k);
+    OfferProfile();
+    return out;
   }
   Status End(uint64_t sid) override { return client_.EndSession(sid); }
 
  private:
+  void OfferProfile() {
+    if (worst_ != nullptr && client_.last_profile().has_value()) {
+      worst_->Offer(*client_.last_profile());
+    }
+  }
+
   net::TcpClient client_;
+  WorstProfiles* worst_;
 };
 
 /// Chaos backend: a RetryingClient whose frames pass through the shared
@@ -194,7 +249,7 @@ int main(int argc, char** argv) {
         "repeat-queries", "seed", "synthetic-rows", "categories",
         "images-per-category", "remote", "chaos", "chaos-seed",
         "rpc-timeout-ms", "scheme", "k", "depth", "max-sessions", "ttl",
-        "cache-capacity", "log-sessions"}) {
+        "cache-capacity", "log-sessions", "json", "explain-worst"}) {
     known.push_back(name);
   }
   if (Status s = flags.RequireKnown(known); !s.ok()) {
@@ -213,6 +268,8 @@ int main(int argc, char** argv) {
   const std::string remote = flags.GetString("remote", "");
   const bool chaos = flags.GetBool("chaos", false);
   const int rpc_timeout_ms = flags.GetInt("rpc-timeout-ms", 2000);
+  const std::string json_path = flags.GetString("json", "");
+  const int explain_worst = flags.GetInt("explain-worst", 0);
   if (threads < 1 || total_sessions < 1 || rounds < 0 || judgments < 1 ||
       k < 1) {
     std::cerr << "invalid load shape\n" << kHelp;
@@ -220,6 +277,12 @@ int main(int argc, char** argv) {
   }
   if (chaos && remote.empty()) {
     std::cerr << "--chaos needs --remote (it injects wire-level faults)\n"
+              << kHelp;
+    return 1;
+  }
+  if (explain_worst > 0 && (remote.empty() || chaos)) {
+    std::cerr << "--explain-worst needs --remote without --chaos (the "
+                 "profile rides the plain TcpClient)\n"
               << kHelp;
     return 1;
   }
@@ -362,6 +425,8 @@ int main(int argc, char** argv) {
   std::atomic<int64_t> requests_succeeded{0};
   std::mutex retry_stats_mu;
   net::RetryingClientStats retry_totals;
+  WorstProfiles worst_profiles(
+      static_cast<size_t>(std::max(0, explain_worst)));
   Stopwatch load_watch;
   auto worker = [&](int worker_id) {
     // One backend per worker: the in-process service is shared; a remote
@@ -389,7 +454,9 @@ int main(int argc, char** argv) {
         failures.fetch_add(1);
         return;
       }
-      backend = std::make_unique<RemoteSessionApi>(std::move(client).value());
+      backend = std::make_unique<RemoteSessionApi>(
+          std::move(client).value(),
+          explain_worst > 0 ? &worst_profiles : nullptr);
     }
     // A session that dies under fault injection is a chaos casualty, not a
     // driver failure. Any status can surface: beyond the obvious
@@ -468,9 +535,40 @@ int main(int argc, char** argv) {
 
   // ---- results ----
   bool accounting_ok = true;
+  // --json accumulators: the mode-specific blocks are rendered where the
+  // numbers already are, the file written once at the end.
+  std::string json_server;
+  std::string json_stages;
+  const auto stage_json = [](const std::string& stage, uint64_t count,
+                             double p50, double p95, double p99) {
+    return "    {\"stage\": \"" + stage + "\", \"count\": " +
+           std::to_string(count) + ", \"p50_us\": " + FormatDouble(p50, 1) +
+           ", \"p95_us\": " + FormatDouble(p95, 1) +
+           ", \"p99_us\": " + FormatDouble(p99, 1) + "}";
+  };
   std::cout << "\n";
   if (remote.empty()) {
     const serve::ServiceStats stats = service->stats();
+    json_server =
+        "  \"server\": {\"requests\": " + std::to_string(stats.requests) +
+        ", \"qps\": " + FormatDouble(stats.qps, 1) +
+        ", \"latency_p50_us\": " + FormatDouble(stats.latency.p50_us, 1) +
+        ", \"latency_p95_us\": " + FormatDouble(stats.latency.p95_us, 1) +
+        ", \"latency_p99_us\": " + FormatDouble(stats.latency.p99_us, 1) +
+        ", \"cache_hit_rate\": " + FormatDouble(stats.cache_hit_rate, 4) +
+        "},\n";
+    // The in-process service records into the process-global registry, so
+    // the per-stage attribution comes from the same series a remote run
+    // reads over the wire.
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::Default().Snapshot();
+    for (const obs::HistogramSample& h : snap.histograms) {
+      if (h.name != "cbir_request_stage_us") continue;
+      if (!json_stages.empty()) json_stages += ",\n";
+      json_stages += stage_json(h.label_value, h.summary.count,
+                                h.summary.p50_us, h.summary.p95_us,
+                                h.summary.p99_us);
+    }
     std::cout << serve::FormatServiceStats(stats) << "\n\n"
               << "wall time        " << FormatDouble(elapsed, 2) << " s\n"
               << "sessions/s       "
@@ -507,6 +605,14 @@ int main(int argc, char** argv) {
     if (final_client.ok()) {
       auto stats = final_client->Stats();
       if (stats.ok()) {
+        json_server =
+            "  \"server\": {\"requests\": " + std::to_string(stats->requests) +
+            ", \"qps\": " + FormatDouble(stats->qps, 1) +
+            ", \"latency_p50_us\": " + FormatDouble(stats->latency_p50_us, 1) +
+            ", \"latency_p95_us\": " + FormatDouble(stats->latency_p95_us, 1) +
+            ", \"latency_p99_us\": " + FormatDouble(stats->latency_p99_us, 1) +
+            ", \"cache_hit_rate\": " + FormatDouble(stats->cache_hit_rate, 4) +
+            "},\n";
         std::cout << "server: " << stats->requests << " requests, "
                   << stats->sessions_started << " sessions started, "
                   << stats->sessions_ended << " ended, p95 "
@@ -553,6 +659,9 @@ int main(int argc, char** argv) {
             table.AddRow({stage, std::to_string(h.count),
                           FormatDouble(h.p50_us, 0), FormatDouble(h.p95_us, 0),
                           FormatDouble(h.p99_us, 0)});
+            if (!json_stages.empty()) json_stages += ",\n";
+            json_stages +=
+                stage_json(stage, h.count, h.p50_us, h.p95_us, h.p99_us);
           }
         }
         for (const api::MetricHistogramSample& h : metrics->histograms) {
@@ -569,8 +678,75 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (explain_worst > 0) {
+    const std::vector<api::ResponseProfile> worst = worst_profiles.Take();
+    std::cout << "\n" << worst.size()
+              << " slowest profiled requests (--explain-worst="
+              << explain_worst << "), server-side view:\n";
+    for (const api::ResponseProfile& p : worst) {
+      // Reuse the server's span-tree rendering: the profile block is the
+      // same spans/counters, just carried over the wire.
+      std::vector<obs::TraceSpan> spans;
+      spans.reserve(p.spans.size());
+      for (const api::ProfileSpan& s : p.spans) {
+        spans.push_back(
+            {s.name, s.start_us, s.duration_us, static_cast<int>(s.depth)});
+      }
+      std::vector<obs::TraceCounter> counters;
+      counters.reserve(p.counters.size());
+      for (const api::ProfileCounter& c : p.counters) {
+        counters.push_back({c.name, c.value});
+      }
+      std::cout << obs::FormatSpanTree(p.trace_id, p.total_us, spans,
+                                       counters)
+                << "\n";
+    }
+  }
+
   // Chaos gate: the retry machinery must keep injected-fault session loss
   // bounded (a runaway loss rate means retries or deadlines are broken).
   const bool chaos_bounded = chaos_lost.load() * 5 <= total_sessions;
-  return failures.load() == 0 && chaos_bounded && accounting_ok ? 0 : 1;
+  const bool run_ok = failures.load() == 0 && chaos_bounded && accounting_ok;
+
+  if (!json_path.empty()) {
+    std::string json = "{\n";
+    json += "  \"schema_version\": 1,\n";
+    json += std::string("  \"mode\": \"") +
+            (remote.empty() ? "local" : "remote") + "\",\n";
+    json += std::string("  \"chaos\": ") + (chaos ? "true" : "false") + ",\n";
+    json += "  \"threads\": " + std::to_string(threads) + ",\n";
+    json += "  \"sessions\": " + std::to_string(total_sessions) + ",\n";
+    json += "  \"rounds\": " + std::to_string(rounds) + ",\n";
+    json += "  \"judgments\": " + std::to_string(judgments) + ",\n";
+    json += "  \"wall_time_s\": " + FormatDouble(elapsed, 3) + ",\n";
+    json += "  \"sessions_per_s\": " +
+            FormatDouble(total_sessions / elapsed, 2) + ",\n";
+    json += "  \"requests_succeeded\": " +
+            std::to_string(requests_succeeded.load()) + ",\n";
+    json += "  \"failures\": " + std::to_string(failures.load()) + ",\n";
+    json += "  \"evicted_midflight\": " +
+            std::to_string(evicted_midflight.load()) + ",\n";
+    json += "  \"chaos_lost\": " + std::to_string(chaos_lost.load()) + ",\n";
+    if (chaos) {
+      json += "  \"retries\": {\"rpcs\": " +
+              std::to_string(retry_totals.rpcs) +
+              ", \"attempts\": " + std::to_string(retry_totals.attempts) +
+              ", \"retries\": " + std::to_string(retry_totals.retries) +
+              ", \"reconnects\": " + std::to_string(retry_totals.reconnects) +
+              ", \"exhausted\": " + std::to_string(retry_totals.exhausted) +
+              "},\n";
+    }
+    json += json_server;  // may be empty when the final stats fetch failed
+    json += "  \"stages\": [\n" + json_stages + "\n  ],\n";
+    json += std::string("  \"ok\": ") + (run_ok ? "true" : "false") + "\n";
+    json += "}\n";
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write --json file " << json_path << "\n";
+      return 1;
+    }
+    out << json;
+    std::cout << "wrote run summary to " << json_path << "\n";
+  }
+  return run_ok ? 0 : 1;
 }

@@ -174,6 +174,57 @@ bool ReadWireStatus(Reader& r, WireStatus* status) {
   return r.ReadU32(&status->code) && r.ReadString(&status->message);
 }
 
+/// The 0x08 profile block, between a v2 response header and its body:
+///   u64 trace_id, u64 total_us,
+///   u32 span_count,    { string name, u64 start_us, u64 duration_us,
+///                        u8 depth } each,
+///   u32 counter_count, { string name, u64 value (two's complement) } each.
+void PutProfile(Writer& w, const ResponseProfile& profile) {
+  w.PutU64(profile.trace_id);
+  w.PutU64(profile.total_us);
+  w.PutU32(static_cast<uint32_t>(profile.spans.size()));
+  for (const ProfileSpan& span : profile.spans) {
+    w.PutString(span.name);
+    w.PutU64(span.start_us);
+    w.PutU64(span.duration_us);
+    w.PutU8(span.depth);
+  }
+  w.PutU32(static_cast<uint32_t>(profile.counters.size()));
+  for (const ProfileCounter& counter : profile.counters) {
+    w.PutString(counter.name);
+    w.PutU64(static_cast<uint64_t>(counter.value));
+  }
+}
+
+bool ReadProfile(Reader& r, ResponseProfile* profile) {
+  if (!r.ReadU64(&profile->trace_id) || !r.ReadU64(&profile->total_us)) {
+    return false;
+  }
+  uint32_t n;
+  // Counts verified against the bytes remaining at minimum encoded size
+  // before sizing the vector, like every other container in this codec.
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 21 > r.remaining()) return false;
+  profile->spans.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ProfileSpan& span = profile->spans[i];
+    if (!r.ReadString(&span.name) || !r.ReadU64(&span.start_us) ||
+        !r.ReadU64(&span.duration_us) || !r.ReadU8(&span.depth)) {
+      return false;
+    }
+  }
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 12 > r.remaining()) return false;
+  profile->counters.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ProfileCounter& counter = profile->counters[i];
+    uint64_t raw;
+    if (!r.ReadString(&counter.name) || !r.ReadU64(&raw)) return false;
+    counter.value = static_cast<int64_t>(raw);
+  }
+  return true;
+}
+
 // ----------------------------------------------------------- message bodies --
 
 void PutBody(Writer& w, const StartSessionRequest& m) {
@@ -376,6 +427,7 @@ std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
     if (envelope.has_deadline) flags |= kFrameFlagDeadline;
     if (envelope.has_seq) flags |= kFrameFlagSeq;
     if (envelope.has_trace_id) flags |= kFrameFlagTraceId;
+    if (envelope.has_profile) flags |= kFrameFlagProfile;
     w.PutU16(kProtocolVersion);
     w.PutU8(static_cast<uint8_t>(type));
     w.PutU8(flags);
@@ -455,6 +507,27 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       response);
 }
 
+std::vector<uint8_t> EncodeResponse(const Response& response,
+                                    const ResponseProfile* profile) {
+  if (profile == nullptr) return EncodeResponse(response);
+  // The profiled reply is the one place a response goes v2: flag 0x08 and
+  // the profile block between header and body. Only a client that set 0x08
+  // on its request ever receives one, so v1 clients still see v1 bytes.
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.PutU32(kWireMagic);
+  w.PutU16(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(TypeOf(response)));
+  w.PutU8(kFrameFlagProfile);
+  w.PutU32(0);  // body_size placeholder
+  PutProfile(w, *profile);
+  std::visit([&](const auto& message) { PutBody(w, message); }, response);
+  const uint32_t body_size = static_cast<uint32_t>(out.size()) -
+                             static_cast<uint32_t>(kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) out[8 + i] = uint8_t(body_size >> (8 * i));
+  return out;
+}
+
 Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   if (size < kFrameHeaderBytes) return Malformed("truncated header");
   Reader r(data, kFrameHeaderBytes);
@@ -516,6 +589,8 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
       parsed.has_trace_id = true;
       if (!r.ReadU64(&parsed.trace_id)) return Malformed("short envelope");
     }
+    // 0x08 is flag-only on requests: the ask rides the bit, not bytes.
+    if (header.flags & kFrameFlagProfile) parsed.has_profile = true;
     const size_t envelope_bytes = size - r.remaining();
     body += envelope_bytes;
     size -= envelope_bytes;
@@ -540,7 +615,22 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
 }
 
 Result<Response> DecodeResponseBody(const FrameHeader& header,
-                                    const uint8_t* body, size_t size) {
+                                    const uint8_t* body, size_t size,
+                                    ResponseProfile* profile) {
+  if ((header.flags & ~kFrameFlagProfile) != 0) {
+    // Responses carry no envelope: deadline/seq/trace bits on a response
+    // frame mean a confused or hostile peer, not a newer protocol.
+    return Malformed("request envelope flags on a response");
+  }
+  if (header.flags & kFrameFlagProfile) {
+    ResponseProfile parsed;
+    Reader r(body, size);
+    if (!ReadProfile(r, &parsed)) return Malformed("short profile block");
+    const size_t profile_bytes = size - r.remaining();
+    body += profile_bytes;
+    size -= profile_bytes;
+    if (profile != nullptr) *profile = std::move(parsed);
+  }
   switch (header.type) {
     case MessageType::kStartSessionResponse:
       return DecodeAs<Response, StartSessionResponse>(body, size);
@@ -583,11 +673,12 @@ Result<Request> DecodeRequest(const uint8_t* data, size_t size,
                            envelope);
 }
 
-Result<Response> DecodeResponse(const uint8_t* data, size_t size) {
+Result<Response> DecodeResponse(const uint8_t* data, size_t size,
+                                ResponseProfile* profile) {
   CBIR_ASSIGN_OR_RETURN(FrameHeader header,
                         DecodeWholeFrameHeader(data, size));
   return DecodeResponseBody(header, data + kFrameHeaderBytes,
-                            header.body_size);
+                            header.body_size, profile);
 }
 
 }  // namespace cbir::api

@@ -36,11 +36,18 @@ namespace cbir::api {
 ///                           request's span tree and slow-request log with
 ///                           it so a client-side outlier can be matched to
 ///                           the server-side stage breakdown
+///   0x08  (no payload)      EXPLAIN: asks the server to attach a profile
+///                           block to its response. On a request the flag
+///                           carries zero envelope bytes; the server's
+///                           response then comes back as a v2 frame with
+///                           flag 0x08 and a profile block (layout in
+///                           docs/API.md) between header and body
 ///
 /// Envelope fields are encoded in flag-bit order (deadline, seq, trace_id).
 /// Unknown v2 flag bits are malformed. Encoders emit a v1 frame whenever
-/// the envelope is empty — and responses never carry an envelope — so a v1
-/// peer sees byte-identical traffic unless the client opts into deadlines.
+/// the envelope is empty — and responses carry no envelope and only ever
+/// the 0x08 profile flag, only when asked — so a v1 peer sees
+/// byte-identical traffic unless the client opts in.
 ///
 /// Decoding never trusts the peer: truncated frames, bad magic, unsupported
 /// versions, oversized bodies, unknown message types, short bodies, and
@@ -53,8 +60,10 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr uint8_t kFrameFlagDeadline = 0x01;
 inline constexpr uint8_t kFrameFlagSeq = 0x02;
 inline constexpr uint8_t kFrameFlagTraceId = 0x04;
+inline constexpr uint8_t kFrameFlagProfile = 0x08;
 inline constexpr uint8_t kKnownFrameFlags =
-    kFrameFlagDeadline | kFrameFlagSeq | kFrameFlagTraceId;
+    kFrameFlagDeadline | kFrameFlagSeq | kFrameFlagTraceId |
+    kFrameFlagProfile;
 /// Upper bound on body_size (64 MiB): a frame any bigger is rejected before
 /// any allocation, so a hostile length prefix cannot OOM the server.
 inline constexpr uint32_t kMaxFrameBody = 64u << 20;
@@ -92,11 +101,16 @@ struct RequestEnvelope {
   bool has_deadline = false;
   bool has_seq = false;
   bool has_trace_id = false;
+  /// EXPLAIN request: flag-only, no envelope bytes — the server answers
+  /// with a profile block attached to the response.
+  bool has_profile = false;
   uint32_t deadline_ms = 0;
   uint32_t seq = 0;
   uint64_t trace_id = 0;
 
-  bool empty() const { return !has_deadline && !has_seq && !has_trace_id; }
+  bool empty() const {
+    return !has_deadline && !has_seq && !has_trace_id && !has_profile;
+  }
 
   static RequestEnvelope WithDeadline(uint32_t ms) {
     RequestEnvelope e;
@@ -112,10 +126,17 @@ struct RequestEnvelope {
     return e;
   }
 
+  static RequestEnvelope WithProfile() {
+    RequestEnvelope e;
+    e.has_profile = true;
+    return e;
+  }
+
   bool operator==(const RequestEnvelope& o) const {
     return has_deadline == o.has_deadline && has_seq == o.has_seq &&
-           has_trace_id == o.has_trace_id && deadline_ms == o.deadline_ms &&
-           seq == o.seq && trace_id == o.trace_id;
+           has_trace_id == o.has_trace_id && has_profile == o.has_profile &&
+           deadline_ms == o.deadline_ms && seq == o.seq &&
+           trace_id == o.trace_id;
   }
 };
 
@@ -131,6 +152,11 @@ std::vector<uint8_t> EncodeRequest(const Request& request);
 std::vector<uint8_t> EncodeRequest(const Request& request,
                                    const RequestEnvelope& envelope);
 std::vector<uint8_t> EncodeResponse(const Response& response);
+/// Encodes with an EXPLAIN profile attached: a v2 frame with flag 0x08 and
+/// the profile block between header and body. `profile == nullptr` is the
+/// plain (v1, byte-identical) encoding.
+std::vector<uint8_t> EncodeResponse(const Response& response,
+                                    const ResponseProfile* profile);
 
 /// Parses and validates the 12-byte frame header: checks size, magic,
 /// version, body limit, and that `type` names a known message. `size` may
@@ -142,18 +168,25 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
 /// InvalidArgument, as are truncated/trailing bytes.
 Result<Request> DecodeRequest(const uint8_t* data, size_t size,
                               RequestEnvelope* envelope = nullptr);
-Result<Response> DecodeResponse(const uint8_t* data, size_t size);
+Result<Response> DecodeResponse(const uint8_t* data, size_t size,
+                                ResponseProfile* profile = nullptr);
 
 /// Body-only decoders for transports that read the header and body
 /// separately (the TCP server/client do): `header` must come from
 /// DecodeFrameHeader and `size` must equal header.body_size. The request
 /// decoder strips the v2 envelope (per header.flags) off the body first;
-/// `envelope` (optional) receives it — empty for v1 frames.
+/// `envelope` (optional) receives it — empty for v1 frames. The response
+/// decoder strips the 0x08 profile block the same way; `profile`
+/// (optional) receives it (trace_id stays 0 when the frame carried none) —
+/// a profile the caller did not ask to receive is still parsed and
+/// validated, just dropped. Any other flag bit on a response frame is
+/// malformed: responses carry no envelope.
 Result<Request> DecodeRequestBody(const FrameHeader& header,
                                   const uint8_t* body, size_t size,
                                   RequestEnvelope* envelope = nullptr);
 Result<Response> DecodeResponseBody(const FrameHeader& header,
-                                    const uint8_t* body, size_t size);
+                                    const uint8_t* body, size_t size,
+                                    ResponseProfile* profile = nullptr);
 
 /// Wire type of a message (exposed for tests and the server loop).
 MessageType TypeOf(const Request& request);

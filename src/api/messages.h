@@ -255,6 +255,52 @@ struct MetricsResponse {
   }
 };
 
+// ----------------------------------------------------- EXPLAIN profile --
+
+/// One timed stage of the request, as it crosses the wire in a profile
+/// block (the server-side obs::TraceSpan, flattened).
+struct ProfileSpan {
+  std::string name;
+  uint64_t start_us = 0;     ///< offset from the request's trace start
+  uint64_t duration_us = 0;
+  uint8_t depth = 0;         ///< span-tree nesting depth
+
+  bool operator==(const ProfileSpan& o) const {
+    return name == o.name && start_us == o.start_us &&
+           duration_us == o.duration_us && depth == o.depth;
+  }
+};
+
+/// One named per-request work counter (smo_iterations,
+/// kernel_cache_hits, index_rows_scanned...) — a delta for THIS request,
+/// not a process aggregate.
+struct ProfileCounter {
+  std::string name;
+  int64_t value = 0;
+
+  bool operator==(const ProfileCounter& o) const {
+    return name == o.name && value == o.value;
+  }
+};
+
+/// \brief The per-query EXPLAIN block a server attaches to its response
+/// when the request envelope carried the 0x08 profile flag: the stage
+/// breakdown and work counters of exactly this request, measured where the
+/// time was actually spent. Spans cover the stages completed before the
+/// response was encoded (decode through solve); the encode/write stages
+/// happen after the profile is serialized and so cannot appear in it.
+struct ResponseProfile {
+  uint64_t trace_id = 0;
+  uint64_t total_us = 0;  ///< server time up to profile serialization
+  std::vector<ProfileSpan> spans;
+  std::vector<ProfileCounter> counters;
+
+  bool operator==(const ResponseProfile& o) const {
+    return trace_id == o.trace_id && total_us == o.total_us &&
+           spans == o.spans && counters == o.counters;
+  }
+};
+
 /// Sent when a request frame could not be decoded at all (bad magic,
 /// unsupported version, malformed body): there is no request type to answer,
 /// so the server replies with this and closes the connection (the stream may

@@ -89,6 +89,7 @@ api::RequestEnvelope TcpClient::BaseEnvelope() {
     envelope.trace_id = x;
     last_trace_id_ = x;
   }
+  if (profiling_) envelope.has_profile = true;
   return envelope;
 }
 
@@ -130,7 +131,16 @@ Result<api::Response> TcpClient::Receive() {
                                                     header.size()));
   std::vector<uint8_t> body(frame.body_size);
   CBIR_RETURN_NOT_OK(socket_.ReadFully(body.data(), body.size()));
-  return api::DecodeResponseBody(frame, body.data(), body.size());
+  // A profiled response (v2 + 0x08) refreshes last_profile_; any other
+  // frame clears it, so the profile always describes the last response.
+  last_profile_.reset();
+  api::ResponseProfile profile;
+  Result<api::Response> response =
+      api::DecodeResponseBody(frame, body.data(), body.size(), &profile);
+  if (response.ok() && (frame.flags & api::kFrameFlagProfile) != 0) {
+    last_profile_ = std::move(profile);
+  }
+  return response;
 }
 
 Result<api::Response> TcpClient::Call(const api::Request& request) {

@@ -2,6 +2,7 @@
 #define CBIR_NET_TCP_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,16 @@ class TcpClient {
   void EnableTracing(bool on = true) { tracing_ = on; }
   uint64_t last_trace_id() const { return last_trace_id_; }
 
+  /// Opt-in EXPLAIN: every subsequent typed RPC sets the 0x08 profile flag,
+  /// asking the server to attach its per-query profile block (stage micros
+  /// + work counters) to the response. last_profile() holds the most recent
+  /// one (empty when the last response carried none). Off by default —
+  /// unprofiled traffic stays byte-identical to a v1 client's.
+  void EnableProfiling(bool on = true) { profiling_ = on; }
+  const std::optional<api::ResponseProfile>& last_profile() const {
+    return last_profile_;
+  }
+
   // --- raw pipelining layer -----------------------------------------------
   Status Send(const api::Request& request);
   Status Send(const api::Request& request,
@@ -95,7 +106,9 @@ class TcpClient {
   Socket socket_;
   int rpc_timeout_ms_ = 0;
   bool tracing_ = false;
+  bool profiling_ = false;
   uint64_t last_trace_id_ = 0;
+  std::optional<api::ResponseProfile> last_profile_;
   FaultInjector* injector_ = nullptr;
 };
 

@@ -20,6 +20,7 @@ struct NetMetrics {
   obs::Counter* connections_closed;
   obs::Counter* connections_reaped_idle;
   obs::Counter* requests;
+  obs::Counter* responses_error;
   obs::Counter* decode_errors;
   obs::Counter* bytes_read;
   obs::Counter* bytes_written;
@@ -39,6 +40,7 @@ const NetMetrics& Metrics() {
     m.connections_reaped_idle =
         r.GetCounter("cbir_net_connections_reaped_idle_total");
     m.requests = r.GetCounter("cbir_net_requests_total");
+    m.responses_error = r.GetCounter("cbir_net_responses_error_total");
     m.decode_errors = r.GetCounter("cbir_net_decode_errors_total");
     m.bytes_read = r.GetCounter("cbir_net_bytes_read_total");
     m.bytes_written = r.GetCounter("cbir_net_bytes_written_total");
@@ -46,9 +48,30 @@ const NetMetrics& Metrics() {
     m.stage_encode = r.GetHistogram("cbir_request_stage_us", "stage", "encode");
     m.stage_write = r.GetHistogram("cbir_request_stage_us", "stage", "write");
     m.request_us = r.GetHistogram("cbir_net_request_us");
+    r.SetHelp("cbir_net_requests_total",
+              "Requests fully served (decoded, dispatched, response "
+              "written).");
+    r.SetHelp("cbir_net_responses_error_total",
+              "Responses written with a non-OK wire status, including "
+              "deadline sheds and decode-error replies.");
+    r.SetHelp("cbir_net_decode_errors_total",
+              "Frames that failed to decode (connection closed after).");
+    r.SetHelp("cbir_net_request_us",
+              "End-to-end server latency per request, decode through "
+              "socket write.");
+    r.SetHelp("cbir_request_stage_us",
+              "Per-stage request latency, labeled by stage.");
     return m;
   }();
   return metrics;
+}
+
+/// Every response alternative carries a `status` field; this is the one
+/// place the transport needs it generically (error accounting + the flight
+/// recorder's capture policy).
+const api::WireStatus& StatusOf(const api::Response& response) {
+  return *std::visit(
+      [](const auto& message) { return &message.status; }, response);
 }
 
 /// Server-side trace ids for requests whose client sent none: a counter fed
@@ -239,8 +262,19 @@ void TcpServer::ServeConnection(Connection* connection) {
       // framing error the byte stream cannot be resynchronized.
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       Metrics().decode_errors->Increment();
+      Metrics().responses_error->Increment();
       api::ErrorResponse error;
       error.status = api::ToWireStatus(request.status());
+      if (options_.flight_recorder != nullptr) {
+        // Even an undecodable frame leaves a flight record (error capture
+        // is 100%): a server-generated trace id, the decode span, and the
+        // raw type byte the frame claimed (0 when the header itself died).
+        obs::RequestTrace trace(GenerateTraceId());
+        trace.AddSpan("decode", 0, decode_us, 0);
+        options_.flight_recorder->Record(
+            trace, frame.ok() ? static_cast<uint8_t>(frame->type) : 0,
+            error.status.code, decode_us);
+      }
       const std::vector<uint8_t> reply =
           api::EncodeResponse(api::Response(std::move(error)));
       socket.WriteAll(reply.data(), reply.size());  // best-effort
@@ -257,15 +291,37 @@ void TcpServer::ServeConnection(Connection* connection) {
     trace.AddSpan("decode", 0, decode_us, 0);
     bool wrote = false;
     uint64_t total_us = 0;
+    uint32_t status_code = 0;
     {
       obs::TraceScope trace_scope(&trace);
       const api::Response response = dispatcher_->Dispatch(
           request.value(), envelope,
           static_cast<int64_t>(dispatch_watch.ElapsedSeconds() * 1e3));
+      status_code = StatusOf(response).code;
       std::vector<uint8_t> reply;
       {
         obs::ScopedSpan span("encode", Metrics().stage_encode);
-        reply = api::EncodeResponse(response);
+        if (envelope.has_profile) {
+          // EXPLAIN: serialize the trace as it stands — every stage up to
+          // and including solve; encode/write have not happened yet and so
+          // cannot appear in their own payload.
+          api::ResponseProfile profile;
+          profile.trace_id = trace.trace_id();
+          profile.total_us = decode_us + trace.elapsed_us();
+          profile.spans.reserve(trace.spans().size());
+          for (const obs::TraceSpan& s : trace.spans()) {
+            profile.spans.push_back(
+                {s.name, s.start_us, s.duration_us,
+                 static_cast<uint8_t>(std::clamp(s.depth, 0, 255))});
+          }
+          profile.counters.reserve(trace.counters().size());
+          for (const obs::TraceCounter& c : trace.counters()) {
+            profile.counters.push_back({c.name, c.value});
+          }
+          reply = api::EncodeResponse(response, &profile);
+        } else {
+          reply = api::EncodeResponse(response);
+        }
       }
       if (reply.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
         // The peer's decoder would reject this frame and desynchronize; send
@@ -274,6 +330,7 @@ void TcpServer::ServeConnection(Connection* connection) {
         api::ErrorResponse too_big;
         too_big.status = api::ToWireStatus(Status::OutOfRange(
             "tcp server: response frame exceeds the protocol body limit"));
+        status_code = too_big.status.code;
         reply = api::EncodeResponse(api::Response(std::move(too_big)));
       }
       {
@@ -287,8 +344,14 @@ void TcpServer::ServeConnection(Connection* connection) {
     if (!wrote) break;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     Metrics().requests->Increment();
+    if (status_code != 0) Metrics().responses_error->Increment();
     Metrics().request_us->Record(static_cast<double>(total_us));
     slow_log_.MaybeLog(trace, total_us);
+    if (options_.flight_recorder != nullptr) {
+      options_.flight_recorder->Record(
+          trace, static_cast<uint8_t>(api::TypeOf(request.value())),
+          status_code, total_us);
+    }
   }
   // Shutdown (not Close) so the peer sees EOF now; Stop() may concurrently
   // Shutdown the same fd, which is safe where a close/reuse race is not.

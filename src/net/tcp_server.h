@@ -12,6 +12,7 @@
 
 #include "api/dispatcher.h"
 #include "net/socket.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/result.h"
 
@@ -41,6 +42,10 @@ struct TcpServerOptions {
   int slow_request_ms = 0;
   /// Where slow-request span trees go; null = stderr.
   obs::SlowRequestLog::Sink slow_request_sink;
+  /// Every completed request (including decode errors) is offered to this
+  /// recorder — errors and sheds always captured, healthy traffic sampled.
+  /// Caller-owned, must outlive the server; null = off.
+  obs::FlightRecorder* flight_recorder = nullptr;
   /// Invoked on connection lifecycle events ("accepted", "closed",
   /// "reaped_idle") with the server-assigned connection id. Called from the
   /// accept/connection threads — keep it cheap and thread-safe. Null = off.
@@ -99,6 +104,9 @@ class TcpServer {
   /// The bound port (valid after a successful Start).
   int port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The server's slow-request log — /slowz serves its Recent() lines.
+  const obs::SlowRequestLog& slow_log() const { return slow_log_; }
 
   TcpServerStats stats() const;
 

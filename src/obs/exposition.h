@@ -2,6 +2,8 @@
 #define CBIR_OBS_EXPOSITION_H_
 
 #include <atomic>
+#include <functional>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -11,23 +13,38 @@
 
 namespace cbir::obs {
 
-/// \brief Plaintext metrics listener: every TCP connection to its port gets
-/// one HTTP/1.0 200 response whose body is the registry's Prometheus-style
-/// exposition (`name{label="v"} value` lines), then the connection closes.
+/// \brief Plaintext metrics-and-debug listener: every TCP connection to its
+/// port gets one HTTP/1.0 200 response, then the connection closes.
 ///
-/// The response is written immediately on accept without reading a request
-/// line, so `curl http://host:port/metrics`, `nc host port < /dev/null`,
-/// and a Prometheus scraper all work. Connections are served serially from
-/// one accept thread — a metrics port needs no concurrency, and a stuck
-/// scraper cannot pile up threads (writes are bounded by a send timeout).
+/// The request line is parsed (bounded, with a short read timeout) to pick
+/// the endpoint:
+///
+///   /metrics   the registry's Prometheus-style exposition (the default —
+///              a peer that sends nothing at all, like `nc host port
+///              < /dev/null`, still gets it after the read timeout)
+///   <path>     any handler registered with SetHandler ("/statusz",
+///              "/flightz", "/slowz" in cbir_server)
+///   otherwise  404
+///
+/// Connections are served serially from one accept thread — a debug port
+/// needs no concurrency, and a stuck scraper cannot pile up threads (reads
+/// and writes are bounded by kernel timeouts).
 class ExpositionServer {
  public:
+  /// A handler renders one endpoint's plaintext body; invoked on the accept
+  /// thread, one call at a time.
+  using Handler = std::function<std::string()>;
+
   /// `registry` must outlive the server.
   ExpositionServer(MetricsRegistry* registry, std::string host, int port);
   ~ExpositionServer();
 
   ExpositionServer(const ExpositionServer&) = delete;
   ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Registers (or replaces) the handler for `path` (e.g. "/statusz").
+  /// Call before Start(); "/metrics" is built in and cannot be replaced.
+  void SetHandler(const std::string& path, Handler handler);
 
   /// Binds and starts the accept thread. port 0 = OS-assigned; read it back
   /// with port().
@@ -41,11 +58,14 @@ class ExpositionServer {
 
  private:
   void AcceptLoop();
+  void ServeOne(const net::Socket& client);
 
   MetricsRegistry* registry_;
   std::string host_;
   int requested_port_;
   int port_ = -1;
+
+  std::map<std::string, Handler> handlers_;
 
   net::Socket listener_;
   std::thread accept_thread_;

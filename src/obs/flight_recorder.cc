@@ -1,0 +1,90 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cbir::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options),
+      slots_(std::max<size_t>(options.capacity, 1)) {}
+
+void FlightRecorder::Record(const RequestTrace& trace, uint8_t message_type,
+                            uint32_t status_code, uint64_t total_us) {
+  seen_.fetch_add(1, std::memory_order_relaxed);
+  const bool is_error = status_code != 0;
+  if (is_error) seen_errors_.fetch_add(1, std::memory_order_relaxed);
+  const bool is_slow =
+      options_.slow_threshold_ms > 0 &&
+      total_us >= static_cast<uint64_t>(options_.slow_threshold_ms) * 1000;
+  const char* reason = nullptr;
+  if (is_error) {
+    reason = "error";
+    captured_errors_.fetch_add(1, std::memory_order_relaxed);
+  } else if (is_slow) {
+    reason = "slow";
+    captured_slow_.fetch_add(1, std::memory_order_relaxed);
+  } else if (options_.sample_every > 0 &&
+             sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+                     options_.sample_every ==
+                 0) {
+    reason = "sampled";
+    captured_sampled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (reason == nullptr) return;
+  captured_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t sequence =
+      next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(sequence - 1) % slots_.size()];
+  FlightRecord record;
+  record.sequence = sequence;
+  record.trace_id = trace.trace_id();
+  record.message_type = message_type;
+  record.status_code = status_code;
+  record.total_us = total_us;
+  record.reason = reason;
+  record.spans = trace.spans();
+  record.counters = trace.counters();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.record = std::move(record);
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.record.sequence != 0) out.push_back(slot.record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+std::string FlightRecorder::Dump() const {
+  // The counters are read before the records, so under concurrent Record()
+  // the header may claim slightly fewer captures than the slots hold —
+  // never more; the chaos assertion (captured_errors == seen_errors)
+  // compares two counters read here together.
+  std::ostringstream os;
+  os << "flight recorder: capacity=" << slots_.size() << " seen=" << seen()
+     << " captured=" << captured() << " seen_errors=" << seen_errors()
+     << " captured_errors=" << captured_errors()
+     << " captured_slow=" << captured_slow()
+     << " captured_sampled=" << captured_sampled()
+     << " sample_every=" << options_.sample_every << "\n";
+  for (const FlightRecord& record : Snapshot()) {
+    os << "record seq=" << record.sequence << " reason=" << record.reason
+       << " type=" << static_cast<int>(record.message_type)
+       << " status=" << record.status_code << " "
+       << FormatSpanTree(record.trace_id, record.total_us, record.spans,
+                         record.counters)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cbir::obs

@@ -1,0 +1,117 @@
+#ifndef CBIR_OBS_FLIGHT_RECORDER_H_
+#define CBIR_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cbir::obs {
+
+/// \brief Flight recorder knobs.
+struct FlightRecorderOptions {
+  /// Ring capacity: how many completed-request records are retained. Older
+  /// records are overwritten, newest-first survives.
+  size_t capacity = 256;
+  /// Sampling period for healthy requests: 1 of every `sample_every`
+  /// OK-and-fast requests is captured (deterministic — the 1st, N+1st,
+  /// 2N+1st... non-error request is taken, so a short run always leaves at
+  /// least one healthy record to compare outliers against). 0 disables
+  /// sampling, leaving only errors and slow requests.
+  uint64_t sample_every = 64;
+  /// Requests at or above this total latency are always captured, like
+  /// errors (0 disables the slow criterion).
+  int slow_threshold_ms = 0;
+};
+
+/// \brief One retained request: identity, outcome, and the full span tree
+/// with its work counters — everything needed to answer "why was trace
+/// 0x7f3a slow" after the request is long gone.
+struct FlightRecord {
+  uint64_t sequence = 0;      ///< capture order, monotonic from 1
+  uint64_t trace_id = 0;
+  uint8_t message_type = 0;   ///< api::MessageType wire value
+  uint32_t status_code = 0;   ///< wire status code; 0 = OK
+  uint64_t total_us = 0;
+  const char* reason = "";    ///< "error", "slow", or "sampled"
+  std::vector<TraceSpan> spans;
+  std::vector<TraceCounter> counters;
+};
+
+/// \brief Bounded lock-light ring buffer of recently completed requests.
+///
+/// Capture policy: 100% of error responses (non-OK wire status — sheds and
+/// deadline expiries included, since those answer with kDeadlineExceeded /
+/// kResourceExhausted), 100% of slow requests (>= slow_threshold_ms), and a
+/// deterministic 1-in-N sample of everything else. The decision costs one
+/// relaxed fetch_add per request; a capture claims its slot with a second
+/// fetch_add and copies the spans under that slot's own mutex — no global
+/// lock, so concurrent connection threads never serialize against each
+/// other, only against a dump reading the same slot.
+///
+/// Dump() renders every retained record oldest-first, preceded by a header
+/// line carrying the seen/captured accounting — including
+/// `seen_errors=N captured_errors=N`, which the chaos CI job asserts are
+/// equal (no error ever escapes the recorder; only healthy traffic is
+/// sampled). Serve it on /flightz and dump it on SIGTERM.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Considers one completed request for capture. `status_code` is the wire
+  /// status of the response (0 = OK). Thread-safe.
+  void Record(const RequestTrace& trace, uint8_t message_type,
+              uint32_t status_code, uint64_t total_us);
+
+  /// Copies the retained records, oldest (lowest sequence) first.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// Renders the header line plus every retained record's span tree.
+  std::string Dump() const;
+
+  uint64_t seen() const { return seen_.load(std::memory_order_relaxed); }
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  uint64_t seen_errors() const {
+    return seen_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t captured_errors() const {
+    return captured_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t captured_slow() const {
+    return captured_slow_.load(std::memory_order_relaxed);
+  }
+  uint64_t captured_sampled() const {
+    return captured_sampled_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    FlightRecord record;  ///< record.sequence == 0 means never written
+  };
+
+  FlightRecorderOptions options_;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_sequence_{0};  ///< claimed captures
+  std::atomic<uint64_t> sample_tick_{0};    ///< healthy requests considered
+
+  std::atomic<uint64_t> seen_{0};
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> seen_errors_{0};
+  std::atomic<uint64_t> captured_errors_{0};
+  std::atomic<uint64_t> captured_slow_{0};
+  std::atomic<uint64_t> captured_sampled_{0};
+};
+
+}  // namespace cbir::obs
+
+#endif  // CBIR_OBS_FLIGHT_RECORDER_H_

@@ -39,23 +39,31 @@ void LatencyHistogram::Record(double micros) {
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
-LatencySummary LatencyHistogram::Summarize() const {
-  std::array<uint64_t, kBuckets> counts;
+LatencyHistogram::Counts LatencyHistogram::SnapshotCounts() const {
+  Counts c;
+  for (int b = 0; b < kBuckets; ++b) {
+    c.buckets[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  c.total_us = total_us_.load(std::memory_order_relaxed);
+  c.count = count_.load(std::memory_order_relaxed);
+  c.saturated = saturated_.load(std::memory_order_relaxed);
+  return c;
+}
+
+LatencySummary LatencyHistogram::SummarizeCounts(const Counts& counts) {
   uint64_t total = 0;
   int top = -1;
   for (int b = 0; b < kBuckets; ++b) {
-    counts[static_cast<size_t>(b)] =
-        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
-    total += counts[static_cast<size_t>(b)];
-    if (counts[static_cast<size_t>(b)] > 0) top = b;
+    total += counts.buckets[static_cast<size_t>(b)];
+    if (counts.buckets[static_cast<size_t>(b)] > 0) top = b;
   }
   LatencySummary s;
   s.count = total;
-  s.saturated = saturated_.load(std::memory_order_relaxed);
+  s.saturated = counts.saturated;
   if (total == 0) return s;
-  s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
-              static_cast<double>(std::max<uint64_t>(
-                  count_.load(std::memory_order_relaxed), 1));
+  s.mean_us = static_cast<double>(counts.total_us) /
+              static_cast<double>(std::max<uint64_t>(counts.count, 1));
   s.max_us = static_cast<double>(BucketUpperBound(top));
 
   const auto percentile = [&](double q) {
@@ -63,7 +71,7 @@ LatencySummary LatencyHistogram::Summarize() const {
         std::ceil(q * static_cast<double>(total)));
     uint64_t cum = 0;
     for (int b = 0; b < kBuckets; ++b) {
-      cum += counts[static_cast<size_t>(b)];
+      cum += counts.buckets[static_cast<size_t>(b)];
       if (cum >= target) return static_cast<double>(BucketUpperBound(b));
     }
     return static_cast<double>(BucketUpperBound(kBuckets - 1));
@@ -72,6 +80,41 @@ LatencySummary LatencyHistogram::Summarize() const {
   s.p95_us = percentile(0.95);
   s.p99_us = percentile(0.99);
   return s;
+}
+
+LatencySummary LatencyHistogram::Summarize() const {
+  return SummarizeCounts(SnapshotCounts());
+}
+
+LatencyHistogram::Counts LatencyHistogram::DeltaCounts(const Counts& newer,
+                                                       const Counts& older) {
+  // Saturating subtraction: buckets are monotonic, but the two snapshots
+  // are not a consistent cut under concurrent Record(), so a bucket the
+  // newer snapshot read *before* the older one's reader got there can
+  // appear smaller. Clamp instead of wrapping to a huge count.
+  const auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+  Counts d;
+  for (int b = 0; b < kBuckets; ++b) {
+    d.buckets[static_cast<size_t>(b)] =
+        sub(newer.buckets[static_cast<size_t>(b)],
+            older.buckets[static_cast<size_t>(b)]);
+  }
+  d.total_us = sub(newer.total_us, older.total_us);
+  d.count = sub(newer.count, older.count);
+  d.saturated = sub(newer.saturated, older.saturated);
+  return d;
+}
+
+uint64_t LatencyHistogram::CountAtOrAbove(const Counts& counts,
+                                          uint64_t threshold_us) {
+  uint64_t over = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const uint64_t lower_bound = b == 0 ? 0 : BucketUpperBound(b - 1);
+    if (lower_bound >= threshold_us) {
+      over += counts.buckets[static_cast<size_t>(b)];
+    }
+  }
+  return over;
 }
 
 void LatencyHistogram::Reset() {
@@ -108,6 +151,12 @@ LatencyHistogram* MetricsRegistry::GetHistogram(
   return slot.get();
 }
 
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = help;
+}
+
 void MetricsRegistry::OnGather(std::function<void()> fn) {
   std::lock_guard<std::mutex> lock(mu_);
   gather_callbacks_.push_back(std::move(fn));
@@ -140,6 +189,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() {
     snapshot.histograms.push_back(
         {key.name, key.label_key, key.label_value, histogram->Summarize()});
   }
+  snapshot.help = help_;
   return snapshot;
 }
 
@@ -163,15 +213,31 @@ std::string LabelSet(const std::string& label_key,
 
 std::string RenderExposition(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
+  // # HELP/# TYPE precede the first sample of each name (samples arrive
+  // sorted by name, so one comparison against the previous name suffices);
+  // real Prometheus scrapers require the TYPE line to ingest the family.
+  std::string announced;
+  const auto announce = [&](const std::string& name, const char* type) {
+    if (name == announced) return;
+    announced = name;
+    const auto help = snapshot.help.find(name);
+    if (help != snapshot.help.end()) {
+      os << "# HELP " << name << " " << help->second << "\n";
+    }
+    os << "# TYPE " << name << " " << type << "\n";
+  };
   for (const CounterSample& c : snapshot.counters) {
+    announce(c.name, "counter");
     os << c.name << LabelSet(c.label_key, c.label_value) << " " << c.value
        << "\n";
   }
   for (const GaugeSample& g : snapshot.gauges) {
+    announce(g.name, "gauge");
     os << g.name << LabelSet(g.label_key, g.label_value) << " " << g.value
        << "\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
+    announce(h.name, "summary");
     const std::string labels = LabelSet(h.label_key, h.label_value);
     os << h.name << "_count" << labels << " " << h.summary.count << "\n";
     os << h.name << "_saturated" << labels << " " << h.summary.saturated

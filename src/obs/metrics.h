@@ -45,6 +45,17 @@ class LatencyHistogram {
   static constexpr int kMaxOctave = 36;             ///< caps at ~2^36 us
   static constexpr int kBuckets = kSub + (kMaxOctave - kSubBits) * kSub;
 
+  /// Raw bucket counts at one instant — the currency of windowed summaries:
+  /// subtract two snapshots taken `window` apart and the difference
+  /// summarizes exactly the samples recorded in between (counters are
+  /// monotonic, so the delta is always well-formed).
+  struct Counts {
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t total_us = 0;
+    uint64_t count = 0;
+    uint64_t saturated = 0;
+  };
+
   /// Records one latency observation. Values beyond the top bucket are
   /// clamped into it and counted as saturated. Safe to call from any number
   /// of threads.
@@ -54,6 +65,25 @@ class LatencyHistogram {
   /// calls may or may not be included — the summary is a snapshot, not a
   /// barrier.
   LatencySummary Summarize() const;
+
+  /// Copies the current bucket counts (same snapshot semantics as
+  /// Summarize: consistent enough for deltas, not a barrier).
+  Counts SnapshotCounts() const;
+
+  /// Percentiles over one counts snapshot (Summarize() is SummarizeCounts
+  /// over SnapshotCounts()).
+  static LatencySummary SummarizeCounts(const Counts& counts);
+
+  /// `newer - older` per bucket, clamped at zero — the samples recorded
+  /// between the two snapshots. Both must come from the same histogram
+  /// with `older` taken first for the result to mean anything.
+  static Counts DeltaCounts(const Counts& newer, const Counts& older);
+
+  /// Samples in `counts` whose bucket lies entirely at or above
+  /// `threshold_us`. The bucket straddling the threshold is NOT counted, so
+  /// this under-reports by at most one bucket (~12.5%) — the conservative
+  /// direction for a burn rate.
+  static uint64_t CountAtOrAbove(const Counts& counts, uint64_t threshold_us);
 
   /// Zeroes all buckets (not atomic with respect to concurrent Record()).
   void Reset();
@@ -109,11 +139,14 @@ struct HistogramSample {
 };
 
 /// \brief Point-in-time copy of every registered metric, ordered by
-/// (name, label) so renderings are stable across snapshots.
+/// (name, label) so renderings are stable across snapshots. `help` maps a
+/// metric name to its registered # HELP text (names without an entry render
+/// with # TYPE only).
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::map<std::string, std::string> help;
 };
 
 /// \brief Registry of named counters, gauges, and latency histograms.
@@ -143,6 +176,11 @@ class MetricsRegistry {
                                  const std::string& label_key = "",
                                  const std::string& label_value = "");
 
+  /// Attaches a one-line # HELP text to a metric name (all label series of
+  /// the name share it). Idempotent last-write-wins; call once next to the
+  /// Get*() that registers the series.
+  void SetHelp(const std::string& name, const std::string& help);
+
   /// Registers a callback that runs before every Snapshot(), outside the
   /// registry lock — the hook where pull-style sources (ServiceStats,
   /// TcpServerStats) copy their current values into gauges. Callbacks must
@@ -157,6 +195,8 @@ class MetricsRegistry {
   /// Renders a Snapshot() in the Prometheus plaintext exposition style:
   /// one `name{label="v"} value` line per counter/gauge, and per histogram
   /// `_count`/`_saturated`/`_sum` lines plus `quantile`-labeled p50/p95/p99.
+  /// Each name is preceded by a `# TYPE` line (counter/gauge/summary) and,
+  /// when SetHelp was called for it, a `# HELP` line.
   std::string RenderExposition();
 
   /// The process-wide registry every built-in instrumentation point writes
@@ -179,6 +219,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::string> help_;
   std::vector<std::function<void()>> gather_callbacks_;
 };
 

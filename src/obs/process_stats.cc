@@ -1,0 +1,60 @@
+#include "obs/process_stats.h"
+
+#ifdef __linux__
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#endif
+
+namespace cbir::obs {
+
+#ifdef __linux__
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+  {
+    // /proc/self/statm: size resident shared ... (in pages).
+    std::ifstream statm("/proc/self/statm");
+    long long size_pages = 0, resident_pages = 0;
+    if (statm >> size_pages >> resident_pages) {
+      stats.rss_bytes = static_cast<int64_t>(resident_pages) *
+                        static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+    }
+  }
+  {
+    // /proc/self/stat: pid (comm) state ppid ... utime stime ... — comm may
+    // contain spaces, so fields are counted from after the closing paren.
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    if (std::getline(stat, line)) {
+      const size_t paren = line.rfind(')');
+      if (paren != std::string::npos) {
+        std::istringstream rest(line.substr(paren + 1));
+        std::string field;
+        // After ')': state(1) ppid(2) ... cmajflt(10) utime(11) stime(12).
+        unsigned long long utime = 0, stime = 0;
+        for (int i = 1; i <= 10 && rest >> field; ++i) {
+        }
+        if (rest >> utime >> stime) {
+          const long ticks = sysconf(_SC_CLK_TCK);
+          if (ticks > 0) {
+            stats.cpu_seconds =
+                static_cast<double>(utime + stime) /
+                static_cast<double>(ticks);
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+#else  // !__linux__
+
+ProcessStats ReadProcessStats() { return ProcessStats{}; }
+
+#endif
+
+}  // namespace cbir::obs

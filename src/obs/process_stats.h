@@ -1,0 +1,23 @@
+#ifndef CBIR_OBS_PROCESS_STATS_H_
+#define CBIR_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace cbir::obs {
+
+/// \brief Self-observability numbers read from the OS: how big the process
+/// is and how much CPU it has burned. Zeroes on platforms without
+/// /proc/self (the gauges then just read 0 — never an error path).
+struct ProcessStats {
+  int64_t rss_bytes = 0;     ///< resident set size
+  double cpu_seconds = 0.0;  ///< user + system CPU time since start
+};
+
+/// Reads the current process' stats (on Linux: /proc/self/statm for RSS,
+/// /proc/self/stat for CPU). Cheap enough for an OnGather callback — two
+/// small reads per metrics scrape.
+ProcessStats ReadProcessStats();
+
+}  // namespace cbir::obs
+
+#endif  // CBIR_OBS_PROCESS_STATS_H_

@@ -41,17 +41,27 @@ void ScopedSpan::End() {
   }
 }
 
-std::string FormatTrace(const RequestTrace& trace, uint64_t total_us) {
+std::string FormatSpanTree(uint64_t trace_id, uint64_t total_us,
+                           const std::vector<TraceSpan>& spans,
+                           const std::vector<TraceCounter>& counters) {
   std::ostringstream os;
-  os << "trace 0x" << std::hex << trace.trace_id() << std::dec
-     << " total=" << total_us << "us";
-  for (const TraceSpan& span : trace.spans()) {
+  os << "trace 0x" << std::hex << trace_id << std::dec << " total="
+     << total_us << "us";
+  for (const TraceSpan& span : spans) {
     os << "\n  ";
     for (int d = 0; d < span.depth; ++d) os << "  ";
     os << span.name << " " << span.duration_us << "us @" << span.start_us
        << "us";
   }
+  for (const TraceCounter& counter : counters) {
+    os << "\n  " << counter.name << "=" << counter.value;
+  }
   return os.str();
+}
+
+std::string FormatTrace(const RequestTrace& trace, uint64_t total_us) {
+  return FormatSpanTree(trace.trace_id(), total_us, trace.spans(),
+                        trace.counters());
 }
 
 SlowRequestLog::SlowRequestLog(int threshold_ms, Sink sink)
@@ -69,8 +79,26 @@ bool SlowRequestLog::MaybeLog(const RequestTrace& trace, uint64_t total_us) {
       "slow request (>=" + std::to_string(threshold_ms_) + "ms): " +
       FormatTrace(trace, total_us);
   std::lock_guard<std::mutex> lock(mu_);
+  if (recent_.size() < kRecentCapacity) {
+    recent_.push_back(line);
+  } else {
+    recent_[recent_next_] = line;
+    recent_next_ = (recent_next_ + 1) % kRecentCapacity;
+  }
   sink_(line);
   return true;
+}
+
+std::vector<std::string> SlowRequestLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(recent_.size());
+  // Before the ring wraps, recent_next_ is 0 and the vector is already in
+  // arrival order; after, recent_[recent_next_] is the oldest entry.
+  for (size_t i = 0; i < recent_.size(); ++i) {
+    out.push_back(recent_[(recent_next_ + i) % recent_.size()]);
+  }
+  return out;
 }
 
 uint64_t SlowRequestLog::logged() const {

@@ -22,6 +22,15 @@ struct TraceSpan {
   int depth = 0;
 };
 
+/// \brief One named work counter attached to a request's trace (SMO
+/// iterations, index rows scanned, kernel-cache hits...). Counters are
+/// per-request deltas, not process aggregates: they answer "what did THIS
+/// request cost", the question the EXPLAIN profile block exists for.
+struct TraceCounter {
+  std::string name;
+  int64_t value = 0;
+};
+
 /// \brief The span tree of one request, identified by its trace id.
 ///
 /// A trace is owned by the thread serving the request and is written from
@@ -45,12 +54,28 @@ class RequestTrace {
     spans_.push_back({std::move(name), start_us, duration_us, depth});
   }
 
+  /// Accumulates `delta` into the named counter (created at zero on first
+  /// use). Same-thread-only, like AddSpan: instrumentation points deep in
+  /// the stack (the SMO solver, the index scan) call this through
+  /// CurrentTrace() to attach their per-request work counts.
+  void AddCounter(const std::string& name, int64_t delta) {
+    for (TraceCounter& c : counters_) {
+      if (c.name == name) {
+        c.value += delta;
+        return;
+      }
+    }
+    counters_.push_back({name, delta});
+  }
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceCounter>& counters() const { return counters_; }
 
  private:
   uint64_t trace_id_;
   Stopwatch watch_;
   std::vector<TraceSpan> spans_;
+  std::vector<TraceCounter> counters_;
 };
 
 /// \brief Installs `trace` as the calling thread's current trace for its
@@ -99,12 +124,20 @@ class ScopedSpan {
   bool ended_ = false;
 };
 
-/// Multi-line rendering of a trace's span tree, e.g.
+/// Multi-line rendering of a trace's span tree (and its work counters when
+/// any were attached), e.g.
 ///   trace 0x1f3a total=4211us
-///     decode           12us @0us
-///     queue_wait       31us @15us
-///     solve          3970us @118us
+///     decode 12us @0us
+///     queue_wait 31us @15us
+///     solve 3970us @118us
+///     smo_iterations=142
 std::string FormatTrace(const RequestTrace& trace, uint64_t total_us);
+
+/// Same rendering for span/counter vectors that outlived their trace (the
+/// flight recorder keeps copies after the request is gone).
+std::string FormatSpanTree(uint64_t trace_id, uint64_t total_us,
+                           const std::vector<TraceSpan>& spans,
+                           const std::vector<TraceCounter>& counters);
 
 /// \brief Structured log of requests slower than a threshold: each outlier
 /// is rendered as its full span tree, so a p99 spike comes with the stage
@@ -123,12 +156,21 @@ class SlowRequestLog {
   /// from concurrent connections never interleave).
   bool MaybeLog(const RequestTrace& trace, uint64_t total_us);
 
+  /// The most recent logged entries, oldest first (bounded ring of
+  /// `kRecentCapacity`) — what the /slowz debug endpoint serves, so the
+  /// last outliers are inspectable after the fact without stderr access.
+  std::vector<std::string> Recent() const;
+
+  static constexpr size_t kRecentCapacity = 32;
+
   uint64_t logged() const;
 
  private:
   int threshold_ms_;
   Sink sink_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::vector<std::string> recent_;  ///< ring, recent_[next_] is the oldest
+  size_t recent_next_ = 0;
   std::atomic<uint64_t> logged_{0};
 };
 

@@ -77,6 +77,39 @@ uint64_t ConfigFingerprint(const retrieval::ImageDatabase& db) {
   return fp;
 }
 
+/// Attaches the index work done inside its scope to the current request's
+/// trace as per-request counters (EXPLAIN's `index_*` lines). The index
+/// counters are process-wide atomics, so under concurrent traffic a delta
+/// can include a slice of another request's scan — the numbers are
+/// attributions, not exact accounting (see docs/OBSERVABILITY.md).
+class ScopedIndexCounters {
+ public:
+  explicit ScopedIndexCounters(const retrieval::Index* index)
+      : index_(index), trace_(obs::CurrentTrace()) {
+    if (index_ != nullptr && trace_ != nullptr) before_ = index_->stats();
+  }
+  ~ScopedIndexCounters() {
+    if (index_ == nullptr || trace_ == nullptr) return;
+    const retrieval::IndexStats after = index_->stats();
+    trace_->AddCounter(
+        "index_rows_scanned",
+        static_cast<int64_t>(after.rows_scanned - before_.rows_scanned));
+    trace_->AddCounter("index_signatures_scanned",
+                       static_cast<int64_t>(after.signatures_scanned -
+                                            before_.signatures_scanned));
+    trace_->AddCounter("index_candidates_reranked",
+                       static_cast<int64_t>(after.candidates_reranked -
+                                            before_.candidates_reranked));
+  }
+  ScopedIndexCounters(const ScopedIndexCounters&) = delete;
+  ScopedIndexCounters& operator=(const ScopedIndexCounters&) = delete;
+
+ private:
+  const retrieval::Index* index_;
+  obs::RequestTrace* trace_;
+  retrieval::IndexStats before_;
+};
+
 }  // namespace
 
 RetrievalService::RetrievalService(
@@ -186,6 +219,7 @@ void RetrievalService::EnsureFirstRoundLocked(ServeSession& session) {
   // positive candidate_depth over an index) get the memoization.
   std::vector<int> ranking;
   if (depth <= 0) {
+    ScopedIndexCounters index_counters(db_->index());
     ranking = db_->TopK(session.ctx.query_feature, depth);
   } else {
     // The cached ranking still contains the query row itself: the TopK
@@ -194,10 +228,15 @@ void RetrievalService::EnsureFirstRoundLocked(ServeSession& session) {
     // the session-specific self-exclusion happens after the fetch.
     const uint64_t key = QueryCache::FingerprintQuery(
         session.ctx.query_feature, depth, config_fingerprint_);
-    if (!cache_.Lookup(key, &ranking)) {
+    const bool hit = cache_.Lookup(key, &ranking);
+    if (!hit) {
       const uint64_t epoch = cache_.epoch();
+      ScopedIndexCounters index_counters(db_->index());
       ranking = db_->TopK(session.ctx.query_feature, depth);
       cache_.Insert(key, ranking, epoch);
+    }
+    if (obs::RequestTrace* trace = obs::CurrentTrace(); trace != nullptr) {
+      trace->AddCounter("query_cache_hit", hit ? 1 : 0);
     }
   }
   ranking.erase(
@@ -327,6 +366,9 @@ Result<std::vector<int>> RetrievalService::Feedback(
           std::to_string(session->last_feedback_seq) + ")");
     }
   }
+  // Covers the (first-round) candidate scan and everything Rank touches —
+  // the index work EXPLAIN attributes to this feedback round.
+  ScopedIndexCounters index_counters(db_->index());
   if (!session->prepared) {
     // One candidate scan narrows every subsequent round's scoring loops,
     // exactly like RunFeedbackSession's single Prepare() call. A Prepare

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svm/kernel_cache.h"
 #include "util/logging.h"
 
@@ -399,6 +400,16 @@ Result<SmoSolution> SmoSolver::Solve() {
   Metrics().cache_hits->Increment(sol.cache_stats.hits);
   Metrics().cache_misses->Increment(sol.cache_stats.misses);
   Metrics().cache_evictions->Increment(sol.cache_stats.evictions);
+  // Attach this solve's work to the request being traced (if any): a
+  // feedback round runs several coupled solves, so the counters accumulate
+  // into per-request totals for the EXPLAIN profile.
+  if (obs::RequestTrace* trace = obs::CurrentTrace(); trace != nullptr) {
+    trace->AddCounter("smo_iterations", static_cast<int64_t>(iter));
+    trace->AddCounter("kernel_cache_hits",
+                      static_cast<int64_t>(sol.cache_stats.hits));
+    trace->AddCounter("kernel_cache_misses",
+                      static_cast<int64_t>(sol.cache_stats.misses));
+  }
   return sol;
 }
 

@@ -390,7 +390,9 @@ TEST(CodecV2Test, UnknownFlagBitsRejected) {
   FeedbackRequest m;
   const std::vector<uint8_t> frame =
       EncodeRequest(Request(m), RequestEnvelope::WithDeadline(10));
-  for (uint8_t bit = 3; bit < 8; ++bit) {
+  // Bits 0-3 are assigned (deadline/seq/trace/profile); the rest must stay
+  // rejected so they remain available to future protocol revisions.
+  for (uint8_t bit = 4; bit < 8; ++bit) {
     std::vector<uint8_t> corrupt = frame;
     corrupt[7] = uint8_t(corrupt[7] | (1u << bit));  // flags live at offset 7
     Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
@@ -462,6 +464,131 @@ TEST(CodecV2Test, TraceIdOnlyEnvelopeAddsExactlyNineBytes) {
   ASSERT_TRUE(header.ok());
   EXPECT_EQ(header->version, kProtocolVersion);
   EXPECT_EQ(header->flags, kFrameFlagTraceId);
+}
+
+// ----------------------------------------------------- profile (EXPLAIN) --
+
+ResponseProfile MakeProfile() {
+  ResponseProfile p;
+  p.trace_id = 0xabcdef0123456789ull;
+  p.total_us = 4211;
+  p.spans = {{"decode", 0, 12, 0},
+             {"solve", 118, 3970, 0},
+             {"smo_inner", 200, 3500, 1}};
+  p.counters = {{"smo_iterations", 142},
+                {"kernel_cache_hits", 950},
+                {"index_delta", -3}};  // two's complement survives the wire
+  return p;
+}
+
+TEST(CodecProfileTest, ProfileFlagOnRequestCarriesNoEnvelopeBytes) {
+  QueryRequest m;
+  m.session_id = 4;
+  const std::vector<uint8_t> v1 = EncodeRequest(Request(m));
+  const std::vector<uint8_t> flagged =
+      EncodeRequest(Request(m), RequestEnvelope::WithProfile());
+  // Same length: the flag bit is the whole encoding.
+  EXPECT_EQ(flagged.size(), v1.size());
+  Result<FrameHeader> header =
+      DecodeFrameHeader(flagged.data(), flagged.size());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_EQ(header->flags, kFrameFlagProfile);
+  RequestEnvelope envelope;
+  Result<Request> decoded =
+      DecodeRequest(flagged.data(), flagged.size(), &envelope);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(envelope.has_profile);
+  EXPECT_FALSE(envelope.has_deadline);
+}
+
+TEST(CodecProfileTest, ProfiledResponseRoundTrips) {
+  QueryResponse m;
+  m.ranking = {5, 3, 8};
+  const ResponseProfile sent = MakeProfile();
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m), &sent);
+  Result<FrameHeader> header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_EQ(header->flags, kFrameFlagProfile);
+  ResponseProfile got;
+  Result<Response> decoded =
+      DecodeResponse(frame.data(), frame.size(), &got);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(std::holds_alternative<QueryResponse>(decoded.value()));
+  EXPECT_TRUE(std::get<QueryResponse>(decoded.value()) == m);
+  EXPECT_TRUE(got == sent);
+}
+
+TEST(CodecProfileTest, ProfiledResponseDecodesWithoutOutParam) {
+  // A caller that never asked for the profile still decodes the response;
+  // the block is parsed, validated, and dropped.
+  QueryResponse m;
+  m.ranking = {1};
+  const ResponseProfile profile = MakeProfile();
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m), &profile);
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(std::get<QueryResponse>(decoded.value()) == m);
+}
+
+TEST(CodecProfileTest, NullProfileEncodesByteIdenticalV1) {
+  // The whole compatibility story in one assertion: not asking for a
+  // profile yields exactly the bytes the previous protocol revision sent.
+  QueryResponse m;
+  m.ranking = {9, 2, 4};
+  EXPECT_EQ(EncodeResponse(Response(m), nullptr), EncodeResponse(Response(m)));
+}
+
+TEST(CodecProfileTest, EnvelopeFlagsOnResponseRejected) {
+  QueryResponse m;
+  const ResponseProfile profile = MakeProfile();
+  std::vector<uint8_t> frame = EncodeResponse(Response(m), &profile);
+  for (uint8_t flag : {kFrameFlagDeadline, kFrameFlagSeq, kFrameFlagTraceId}) {
+    std::vector<uint8_t> corrupt = frame;
+    corrupt[7] = uint8_t(corrupt[7] | flag);  // flags live at offset 7
+    Result<Response> decoded = DecodeResponse(corrupt.data(), corrupt.size());
+    ASSERT_FALSE(decoded.ok()) << "flag " << int(flag) << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CodecProfileTest, HostileSpanCountRejectedBeforeAllocation) {
+  QueryResponse m;
+  const ResponseProfile profile = MakeProfile();
+  std::vector<uint8_t> frame = EncodeResponse(Response(m), &profile);
+  // span_count is the u32 after the header (12) + trace_id (8) + total (8).
+  const size_t count_at = kFrameHeaderBytes + 16;
+  for (size_t i = 0; i < 4; ++i) frame[count_at + i] = 0xFF;
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecProfileTest, EverySingleBitFlipOfProfiledFrameIsHandled) {
+  // The profiled-response corpus twin of EverySingleBitFlipOfV2Frame: no
+  // flip may crash or hang the decoder, only fail typed (or decode as a
+  // different valid frame — the protocol carries no CRC by design).
+  FeedbackResponse m;
+  m.ranking = {3, 1, 4, 1, 5};
+  const ResponseProfile profile = MakeProfile();
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m), &profile);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[byte] = uint8_t(corrupt[byte] ^ (1u << bit));
+      ResponseProfile got;
+      Result<Response> decoded =
+          DecodeResponse(corrupt.data(), corrupt.size(), &got);
+      if (!decoded.ok()) {
+        const StatusCode code = decoded.status().code();
+        EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                    code == StatusCode::kOutOfRange ||
+                    code == StatusCode::kNotImplemented)
+            << "byte " << byte << " bit " << bit << ": " << decoded.status();
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------- metrics messages --

@@ -2,6 +2,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_set>
 #include <variant>
@@ -365,6 +366,85 @@ TEST_F(TcpServiceTest, ConcurrentClientsReplayCleanly) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(TcpServiceTest, ProfiledSessionCarriesSpansAndWorkCounters) {
+  TcpClient client = MustConnect();
+  EXPECT_FALSE(client.last_profile().has_value());
+  client.EnableProfiling();
+
+  const uint64_t sid = client.StartSession(api::QuerySpec::ById(8)).value();
+  ASSERT_TRUE(client.last_profile().has_value());
+  EXPECT_NE(client.last_profile()->trace_id, 0u);
+
+  ASSERT_TRUE(client.Query(sid, kDepth).ok());
+  ASSERT_TRUE(client.last_profile().has_value());
+  const api::ResponseProfile query_profile = *client.last_profile();
+  auto span_names = [](const api::ResponseProfile& p) {
+    std::vector<std::string> names;
+    for (const api::ProfileSpan& s : p.spans) names.push_back(s.name);
+    return names;
+  };
+  // The server profiles the stages completed before serialization: decode,
+  // admission, and the retrieval work. encode/write happen after the
+  // profile is built, so they can never appear.
+  std::vector<std::string> names = span_names(query_profile);
+  EXPECT_NE(std::find(names.begin(), names.end(), "decode"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "admission"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "encode"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "write"), names.end());
+  // total_us covers at least the recorded spans' work.
+  for (const api::ProfileSpan& s : query_profile.spans) {
+    EXPECT_LE(s.duration_us, query_profile.total_us) << s.name;
+  }
+
+  // A feedback round runs the coupled-SVM solve: its per-request work
+  // counters ride back on the profile.
+  std::vector<logdb::LogEntry> round;
+  const std::vector<int> ranking = client.Query(sid, kDepth).value();
+  for (size_t i = 0; i < 4 && i < ranking.size(); ++i) {
+    round.push_back(
+        logdb::LogEntry{ranking[i], static_cast<int8_t>(i % 2 == 0 ? 1 : -1)});
+  }
+  ASSERT_TRUE(client.Feedback(sid, round, kDepth).ok());
+  ASSERT_TRUE(client.last_profile().has_value());
+  const api::ResponseProfile feedback_profile = *client.last_profile();
+  names = span_names(feedback_profile);
+  EXPECT_NE(std::find(names.begin(), names.end(), "solve"), names.end());
+  int64_t smo_iterations = -1;
+  for (const api::ProfileCounter& c : feedback_profile.counters) {
+    if (c.name == "smo_iterations") smo_iterations = c.value;
+  }
+  EXPECT_GT(smo_iterations, 0) << "solve ran, its counter must be attached";
+
+  // Turning profiling off stops both the request flag and the cached block.
+  client.EnableProfiling(false);
+  ASSERT_TRUE(client.Query(sid, kDepth).ok());
+  EXPECT_FALSE(client.last_profile().has_value());
+  EXPECT_TRUE(client.EndSession(sid).ok());
+
+  // A plain client on the same server stays pure v1: no profile ever.
+  TcpClient plain = MustConnect();
+  const uint64_t plain_sid =
+      plain.StartSession(api::QuerySpec::ById(8)).value();
+  ASSERT_TRUE(plain.Query(plain_sid, kDepth).ok());
+  EXPECT_FALSE(plain.last_profile().has_value());
+  EXPECT_TRUE(plain.EndSession(plain_sid).ok());
+}
+
+TEST_F(TcpServiceTest, ProfilingDoesNotPerturbRankings) {
+  // The EXPLAIN path must be a pure observer: the same session replayed
+  // with profiling on reproduces the unprofiled rankings exactly.
+  TcpClient plain = MustConnect();
+  TcpClient profiled = MustConnect();
+  profiled.EnableProfiling();
+  const auto baseline = ReplayRemote(plain, 31, 53);
+  const auto observed = ReplayRemote(profiled, 31, 53);
+  ASSERT_EQ(baseline.size(), observed.size());
+  for (size_t round = 0; round < baseline.size(); ++round) {
+    SCOPED_TRACE(round);
+    EXPECT_EQ(baseline[round], observed[round]);
+  }
 }
 
 TEST_F(TcpServiceTest, StatsRpcReportsServiceCounters) {

@@ -66,5 +66,88 @@ TEST(ExpositionServerTest, StartFailsOnUnbindableAddress) {
   server.Stop();  // safe after a failed start
 }
 
+/// One HTTP-shaped request: send a request line + blank line, read to EOF.
+std::string Get(int port, const std::string& path) {
+  Result<net::Socket> conn = net::Socket::ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(conn.ok()) << conn.status();
+  if (!conn.ok()) return "";
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_TRUE(conn->WriteAll(request.data(), request.size()).ok());
+  std::string out;
+  for (;;) {
+    char byte = 0;
+    bool eof = false;
+    const Status s = conn->ReadFully(&byte, 1, &eof);
+    EXPECT_TRUE(s.ok()) << s;
+    if (!s.ok() || eof) break;
+    out.push_back(byte);
+  }
+  return out;
+}
+
+TEST(ExpositionServerTest, RoutesPathsToHandlersAnd404sTheRest) {
+  MetricsRegistry registry;
+  registry.GetCounter("cbir_net_requests_total")->Increment(3);
+  ExpositionServer server(&registry, "127.0.0.1", 0);
+  int statusz_calls = 0;
+  server.SetHandler("/statusz", [&statusz_calls] {
+    ++statusz_calls;
+    return std::string("slo: ok\nwindow 60s: windowed p99=120us\n");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // An explicit GET /metrics serves the exposition, same as the default.
+  const std::string metrics = Get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("cbir_net_requests_total 3\n"), std::string::npos)
+      << metrics;
+  // The exposition endpoint advertises the Prometheus text format version.
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics;
+
+  const std::string statusz = Get(server.port(), "/statusz");
+  EXPECT_EQ(statusz.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << statusz;
+  EXPECT_NE(statusz.find("windowed p99=120us"), std::string::npos) << statusz;
+  EXPECT_EQ(statusz_calls, 1);
+
+  // Query strings are stripped before routing.
+  const std::string with_query = Get(server.port(), "/statusz?verbose=1");
+  EXPECT_NE(with_query.find("slo: ok"), std::string::npos) << with_query;
+
+  const std::string missing = Get(server.port(), "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+  EXPECT_NE(missing.find("/nope"), std::string::npos) << missing;
+
+  // Every connection counts as a scrape, whatever the path.
+  EXPECT_EQ(server.scrapes(), 4u);
+  server.Stop();
+}
+
+TEST(ExpositionServerTest, ExpositionCarriesHelpAndTypeComments) {
+  MetricsRegistry registry;
+  registry.GetCounter("cbir_net_requests_total")->Increment();
+  registry.SetHelp("cbir_net_requests_total",
+                   "Requests fully read off a connection.");
+  registry.GetGauge("cbir_process_rss_bytes")->Set(123);
+  registry.GetHistogram("cbir_net_request_us")->Record(50.0);
+  ExpositionServer server(&registry, "127.0.0.1", 0);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string body = Get(server.port(), "/metrics");
+  EXPECT_NE(body.find("# HELP cbir_net_requests_total Requests fully read "
+                      "off a connection.\n# TYPE cbir_net_requests_total "
+                      "counter\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE cbir_process_rss_bytes gauge\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE cbir_net_request_us summary\n"),
+            std::string::npos)
+      << body;
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace cbir::obs

@@ -243,8 +243,9 @@ TEST(RenderExpositionTest, CountersGaugesAndHistogramLines) {
               std::string::npos)
         << text;
   }
-  // Every line is `name... value`: non-empty, no leading space.
-  EXPECT_EQ(text.front(), 'c');
+  // Non-empty, no leading space; the rendering opens with the first
+  // metric's `# TYPE` comment.
+  EXPECT_EQ(text.front(), '#');
   EXPECT_EQ(text.back(), '\n');
 }
 

@@ -1,0 +1,210 @@
+#include "obs/slo.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+
+namespace cbir::obs {
+namespace {
+
+SloOptions OneSecondWindow() {
+  SloOptions options;
+  options.tick_seconds = 1;
+  options.windows_s = {1};
+  return options;
+}
+
+// ------------------------------------------- windowed histogram plumbing --
+
+TEST(LatencyHistogramCountsTest, DeltaCountsIsolateTheWindow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(100.0);
+  const LatencyHistogram::Counts before = h.SnapshotCounts();
+  for (int i = 0; i < 20; ++i) h.Record(5000.0);
+  const LatencyHistogram::Counts after = h.SnapshotCounts();
+
+  const LatencyHistogram::Counts delta =
+      LatencyHistogram::DeltaCounts(after, before);
+  const LatencySummary window = LatencyHistogram::SummarizeCounts(delta);
+  EXPECT_EQ(window.count, 20u);
+  // Only the second batch is in the window: its percentiles sit at the
+  // 5000us bucket's upper bound, nowhere near the earlier 100us samples.
+  EXPECT_GT(window.p50_us, 4000.0);
+  EXPECT_LE(window.p50_us, 6000.0);
+  // The full-histogram summary still sees all 30.
+  EXPECT_EQ(LatencyHistogram::SummarizeCounts(after).count, 30u);
+}
+
+TEST(LatencyHistogramCountsTest, DeltaCountsSaturatesNeverUnderflows) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(10.0);
+  // a - b with b ahead: clamps to zero instead of wrapping.
+  const LatencyHistogram::Counts delta = LatencyHistogram::DeltaCounts(
+      a.SnapshotCounts(), b.SnapshotCounts());
+  EXPECT_EQ(LatencyHistogram::SummarizeCounts(delta).count, 0u);
+}
+
+TEST(LatencyHistogramCountsTest, CountAtOrAboveIsConservative) {
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.Record(100.0);
+  for (int i = 0; i < 50; ++i) h.Record(10000.0);
+  const LatencyHistogram::Counts counts = h.SnapshotCounts();
+  // Everything at 10000us lies in buckets fully above 1000us.
+  EXPECT_EQ(LatencyHistogram::CountAtOrAbove(counts, 1000), 50u);
+  // A threshold inside a sample's own bucket excludes that straddling
+  // bucket (conservative: never over-reports the burn).
+  EXPECT_EQ(LatencyHistogram::CountAtOrAbove(counts, 100), 50u);
+  EXPECT_EQ(LatencyHistogram::CountAtOrAbove(counts, 1), 100u);
+}
+
+// ---------------------------------------------------------- the tracker --
+
+TEST(SloTrackerTest, WindowedCountsAreDeltasNotLifetimeTotals) {
+  MetricsRegistry registry;
+  SloTracker tracker(&registry, OneSecondWindow());
+  LatencyHistogram* latency = registry.GetHistogram("cbir_net_request_us");
+  Counter* requests = registry.GetCounter("cbir_net_requests_total");
+
+  for (int i = 0; i < 10; ++i) latency->Record(100.0);
+  requests->Increment(10);
+  tracker.Tick();
+  for (int i = 0; i < 20; ++i) latency->Record(5000.0);
+  requests->Increment(20);
+  tracker.Tick();
+
+  const SloState state = tracker.state();
+  EXPECT_FALSE(state.configured);
+  EXPECT_FALSE(state.breached);
+  EXPECT_EQ(state.ticks, 2u);
+  ASSERT_EQ(state.windows.size(), 1u);
+  const SloWindowState& w = state.windows[0];
+  EXPECT_EQ(w.requests, 20u);       // second tick's traffic only
+  EXPECT_EQ(w.latency.count, 20u);
+  EXPECT_GT(w.latency.p99_us, 4000.0);  // the 100us batch is outside
+  // Windowed p99 lands in the registry as a labeled gauge.
+  bool found = false;
+  for (const GaugeSample& g : registry.Snapshot().gauges) {
+    if (g.name == "cbir_slo_window_p99_us" && g.label_value == "1s") {
+      found = true;
+      EXPECT_GT(g.value, 4000);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SloTrackerTest, LatencyBurnBreachesAndAlerts) {
+  MetricsRegistry registry;
+  std::ostringstream log_out;
+  StructuredLog alert_log(&log_out);
+  SloOptions options = OneSecondWindow();
+  options.query_p99_ms = 1.0;  // p99 must stay under 1000us
+  SloTracker tracker(&registry, options, &alert_log);
+  LatencyHistogram* latency = registry.GetHistogram("cbir_net_request_us");
+  Counter* requests = registry.GetCounter("cbir_net_requests_total");
+
+  tracker.Tick();  // baseline
+  for (int i = 0; i < 50; ++i) latency->Record(100.0);
+  for (int i = 0; i < 50; ++i) latency->Record(10000.0);
+  requests->Increment(100);
+  tracker.Tick();
+
+  const SloState state = tracker.state();
+  EXPECT_TRUE(state.configured);
+  ASSERT_EQ(state.windows.size(), 1u);
+  // Half the window over a 1% budget: burn rate 50x.
+  EXPECT_NEAR(state.windows[0].latency_burn, 50.0, 1.0);
+  EXPECT_TRUE(state.windows[0].breached);
+  EXPECT_TRUE(state.breached);
+  bool breach_gauge = false;
+  for (const GaugeSample& g : registry.Snapshot().gauges) {
+    if (g.name == "cbir_slo_breach") breach_gauge = g.value == 1;
+  }
+  EXPECT_TRUE(breach_gauge);
+  EXPECT_NE(log_out.str().find("event=slo_breach"), std::string::npos)
+      << log_out.str();
+  EXPECT_NE(tracker.FormatState().find("BREACH"), std::string::npos);
+}
+
+TEST(SloTrackerTest, ErrorBurnUsesTheConfiguredObjective) {
+  MetricsRegistry registry;
+  SloOptions options = OneSecondWindow();
+  options.error_ratio = 0.1;
+  SloTracker tracker(&registry, options);
+  Counter* requests = registry.GetCounter("cbir_net_requests_total");
+  Counter* errors = registry.GetCounter("cbir_net_responses_error_total");
+
+  tracker.Tick();
+  requests->Increment(100);
+  errors->Increment(20);  // 20% errors against a 10% objective
+  tracker.Tick();
+
+  const SloState state = tracker.state();
+  ASSERT_EQ(state.windows.size(), 1u);
+  EXPECT_NEAR(state.windows[0].error_ratio, 0.2, 1e-9);
+  EXPECT_NEAR(state.windows[0].error_burn, 2.0, 1e-9);
+  EXPECT_TRUE(state.breached);
+
+  // Errors back under budget: the 1s window forgets the bad tick.
+  requests->Increment(100);
+  tracker.Tick();
+  EXPECT_FALSE(tracker.state().breached);
+}
+
+TEST(SloTrackerTest, NoObjectivesStillTracksWindowedPercentiles) {
+  MetricsRegistry registry;
+  SloTracker tracker(&registry, OneSecondWindow());
+  LatencyHistogram* latency = registry.GetHistogram("cbir_net_request_us");
+
+  tracker.Tick();
+  for (int i = 0; i < 100; ++i) latency->Record(50000.0);  // huge latencies
+  registry.GetCounter("cbir_net_requests_total")->Increment(100);
+  tracker.Tick();
+
+  const SloState state = tracker.state();
+  EXPECT_FALSE(state.configured);
+  EXPECT_FALSE(state.breached);  // nothing to breach without objectives
+  ASSERT_EQ(state.windows.size(), 1u);
+  EXPECT_GT(state.windows[0].latency.p99_us, 40000.0);
+  EXPECT_EQ(state.windows[0].latency_burn, 0.0);
+  const std::string formatted = tracker.FormatState();
+  EXPECT_NE(formatted.find("no objectives configured"), std::string::npos)
+      << formatted;
+  EXPECT_NE(formatted.find("windowed p99="), std::string::npos) << formatted;
+}
+
+TEST(SloTrackerTest, MultiWindowRingDistinguishesFastAndSlowBurn) {
+  MetricsRegistry registry;
+  SloOptions options;
+  options.tick_seconds = 1;
+  options.windows_s = {1, 4};
+  options.error_ratio = 0.2;  // the 4s window's 10/40 = 0.25 burns past it
+  SloTracker tracker(&registry, options);
+  Counter* requests = registry.GetCounter("cbir_net_requests_total");
+  Counter* errors = registry.GetCounter("cbir_net_responses_error_total");
+  // One bad tick, then three clean ones.
+  tracker.Tick();
+  requests->Increment(10);
+  errors->Increment(10);
+  tracker.Tick();
+  for (int t = 0; t < 3; ++t) {
+    requests->Increment(10);
+    tracker.Tick();
+  }
+  const SloState state = tracker.state();
+  ASSERT_EQ(state.windows.size(), 2u);
+  // The 1s window has moved past the bad tick (no breach); the 4s window
+  // still sees it — the slow-burn alarm outlives the fast one.
+  EXPECT_EQ(state.windows[0].errors, 0u);
+  EXPECT_FALSE(state.windows[0].breached);
+  EXPECT_EQ(state.windows[1].errors, 10u);
+  EXPECT_EQ(state.windows[1].requests, 40u);
+  EXPECT_TRUE(state.windows[1].breached);
+}
+
+}  // namespace
+}  // namespace cbir::obs

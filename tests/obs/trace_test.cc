@@ -124,6 +124,32 @@ TEST(FormatTraceTest, RendersIdTotalAndIndentedSpans) {
       << text;
 }
 
+TEST(FormatTraceTest, CountersRenderAfterSpansAndAccumulateByName) {
+  RequestTrace trace(0x2);
+  trace.AddSpan("solve", 0, 100, 0);
+  trace.AddCounter("smo_iterations", 40);
+  trace.AddCounter("kernel_cache_hits", 9);
+  trace.AddCounter("smo_iterations", 2);  // same name: summed, not appended
+  ASSERT_EQ(trace.counters().size(), 2u);
+  EXPECT_EQ(trace.counters()[0].value, 42);
+
+  const std::string text = FormatTrace(trace, 100);
+  EXPECT_NE(text.find("\n  smo_iterations=42"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n  kernel_cache_hits=9"), std::string::npos) << text;
+  // Counters follow the span tree.
+  EXPECT_LT(text.find("solve 100us"), text.find("smo_iterations=42"));
+}
+
+TEST(FormatTraceTest, SpanTreeRenderingMatchesDetachedVectors) {
+  // FormatSpanTree (used by the flight recorder on copies that outlived
+  // their trace) and FormatTrace must agree byte for byte.
+  RequestTrace trace(0x77);
+  trace.AddSpan("decode", 0, 12, 0);
+  trace.AddCounter("index_rows_scanned", -3);
+  EXPECT_EQ(FormatTrace(trace, 500),
+            FormatSpanTree(0x77, 500, trace.spans(), trace.counters()));
+}
+
 // ------------------------------------------------------- slow request log --
 
 TEST(SlowRequestLogTest, TriggersExactlyAtThreshold) {
@@ -175,6 +201,27 @@ TEST(SlowRequestLogTest, ConcurrentLoggingCountsEveryHit) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(log.logged(), uint64_t{kThreads} * kIters);
   EXPECT_EQ(lines.size(), size_t{kThreads} * kIters);
+}
+
+TEST(SlowRequestLogTest, RecentIsABoundedRingOldestFirst) {
+  SlowRequestLog log(1, [](const std::string&) {});  // swallow the sink
+  EXPECT_TRUE(log.Recent().empty());
+
+  RequestTrace trace(0xA);
+  // Overfill the ring by three: entries 1..3 are evicted.
+  const size_t total = SlowRequestLog::kRecentCapacity + 3;
+  for (size_t i = 1; i <= total; ++i) {
+    log.MaybeLog(trace, 1000 + i);  // distinct total_us tags each entry
+  }
+  const std::vector<std::string> recent = log.Recent();
+  ASSERT_EQ(recent.size(), SlowRequestLog::kRecentCapacity);
+  // Oldest survivor is entry 4 (total_us=1004); newest is the last logged.
+  EXPECT_NE(recent.front().find("total=1004us"), std::string::npos)
+      << recent.front();
+  EXPECT_NE(recent.back().find("total=" + std::to_string(1000 + total) +
+                               "us"),
+            std::string::npos)
+      << recent.back();
 }
 
 }  // namespace
