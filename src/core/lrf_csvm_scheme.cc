@@ -22,7 +22,7 @@ LrfCsvmScheme::LrfCsvmScheme(const SchemeOptions& scheme_options,
 }
 
 CsvmDiagnostics LrfCsvmScheme::AggregatedDiagnostics() const {
-  std::lock_guard<std::mutex> lock(diagnostics_mu_);
+  util::MutexLock lock(diagnostics_mu_);
   return aggregated_diagnostics_;
 }
 
@@ -175,7 +175,7 @@ Result<CoupledModel> LrfCsvmScheme::TrainForContext(
   auto model = csvm.TrainView(view);
 
   if (model.ok()) {
-    std::lock_guard<std::mutex> lock(diagnostics_mu_);
+    util::MutexLock lock(diagnostics_mu_);
     aggregated_diagnostics_.Accumulate(model->diagnostics);
   }
 

@@ -1,11 +1,10 @@
 #ifndef CBIR_CORE_LRF_CSVM_SCHEME_H_
 #define CBIR_CORE_LRF_CSVM_SCHEME_H_
 
-#include <mutex>
-
 #include "core/coupled_svm.h"
 #include "core/feedback_scheme.h"
 #include "core/unlabeled_selection.h"
+#include "util/sync.h"
 
 namespace cbir::core {
 
@@ -59,8 +58,10 @@ class LrfCsvmScheme : public FeedbackScheme {
   LrfCsvmOptions options_;
   bool cross_round_kernel_cache_ = true;
 
-  mutable std::mutex diagnostics_mu_;
-  mutable CsvmDiagnostics aggregated_diagnostics_;
+  mutable util::Mutex diagnostics_mu_{util::LockRank::kScheme,
+                                      "lrf_csvm_diagnostics"};
+  mutable CsvmDiagnostics aggregated_diagnostics_
+      CBIR_GUARDED_BY(diagnostics_mu_);
 };
 
 }  // namespace cbir::core

@@ -41,21 +41,21 @@ const LogdbMetrics& Metrics() {
 }  // namespace
 
 LogStore::LogStore(const LogStore& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  util::MutexLock lock(other.mu_);
   sessions_ = other.sessions_;
 }
 
 LogStore& LogStore::operator=(const LogStore& other) {
   if (this == &other) return *this;
-  // Consistent order (address order) would matter only for concurrent
-  // cross-assignment; scoped_lock's deadlock-avoidance handles it.
-  std::scoped_lock lock(mu_, other.mu_);
+  // Same-rank pair: TwoMutexLock orders the acquisitions by address, the
+  // one sanctioned way to hold two kLogStore locks at once.
+  util::TwoMutexLock lock(mu_, other.mu_);
   sessions_ = other.sessions_;
   return *this;
 }
 
 LogStore::LogStore(LogStore&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  util::MutexLock lock(other.mu_);
   sessions_ = std::move(other.sessions_);
   wal_ = std::move(other.wal_);
   snapshot_path_ = std::move(other.snapshot_path_);
@@ -64,7 +64,7 @@ LogStore::LogStore(LogStore&& other) noexcept {
 
 LogStore& LogStore::operator=(LogStore&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
+  util::TwoMutexLock lock(mu_, other.mu_);
   sessions_ = std::move(other.sessions_);
   wal_ = std::move(other.wal_);
   snapshot_path_ = std::move(other.snapshot_path_);
@@ -72,9 +72,12 @@ LogStore& LogStore::operator=(LogStore&& other) noexcept {
   return *this;
 }
 
+// Builds up a local store nobody else can see yet; lockless by design, so
+// the static analysis is waived for the function body.
 Result<LogStore> LogStore::OpenDurable(const std::string& snapshot_path,
                                        const std::string& wal_path,
-                                       WalRecoveryStats* recovery) {
+                                       WalRecoveryStats* recovery)
+    CBIR_NO_THREAD_SAFETY_ANALYSIS {
   LogStore store;
   // Base state: the last compaction snapshot (absence = a fresh store).
   uint64_t folded_gen = 0;
@@ -114,7 +117,7 @@ Result<LogStore> LogStore::OpenDurable(const std::string& snapshot_path,
 }
 
 Status LogStore::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("log store: not opened durable");
   }
@@ -134,17 +137,17 @@ Status LogStore::Compact() {
 }
 
 bool LogStore::durable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return wal_ != nullptr;
 }
 
 Status LogStore::wal_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return wal_status_;
 }
 
 void LogStore::Append(LogSession session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (wal_ != nullptr) {
     // WAL first: the in-memory store must never acknowledge a session the
     // log on disk does not have. A failed append (disk full) is remembered
@@ -160,18 +163,18 @@ void LogStore::Append(LogSession session) {
 }
 
 int LogStore::num_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return static_cast<int>(sessions_.size());
 }
 
 std::vector<LogSession> LogStore::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return sessions_;
 }
 
 RelevanceMatrix LogStore::BuildMatrix(int num_images,
                                       int max_sessions) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   RelevanceMatrix matrix(num_images);
   const int available = static_cast<int>(sessions_.size());
   int limit =
@@ -248,7 +251,7 @@ Result<LogStore> LogStore::LoadFromFile(const std::string& path,
 }
 
 int64_t LogStore::TotalJudgments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   int64_t total = 0;
   for (const LogSession& s : sessions_) {
     total += static_cast<int64_t>(s.entries.size());

@@ -2,7 +2,6 @@
 #define CBIR_LOGDB_LOG_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "logdb/wal.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace cbir::logdb {
 
@@ -68,8 +68,13 @@ class LogStore {
   int num_sessions() const;
 
   /// Borrowed view of the sessions. NOT safe against concurrent Append (the
-  /// vector may reallocate under the reader); single-writer phases only.
-  const std::vector<LogSession>& sessions() const { return sessions_; }
+  /// vector may reallocate under the reader); single-writer phases only —
+  /// which is why it is exempted from the static analysis instead of taking
+  /// the lock.
+  const std::vector<LogSession>& sessions() const
+      CBIR_NO_THREAD_SAFETY_ANALYSIS {
+    return sessions_;
+  }
 
   /// Copy of the sessions, consistent under concurrent appends.
   std::vector<LogSession> Snapshot() const;
@@ -97,12 +102,12 @@ class LogStore {
   static Status WriteSessions(const std::vector<LogSession>& sessions,
                               const std::string& path, uint64_t wal_gen);
 
-  mutable std::mutex mu_;
-  std::vector<LogSession> sessions_;
+  mutable util::Mutex mu_{util::LockRank::kLogStore, "log_store"};
+  std::vector<LogSession> sessions_ CBIR_GUARDED_BY(mu_);
   /// Durable mode (OpenDurable): appends also land here, pre-flush.
-  std::unique_ptr<WalWriter> wal_;
-  std::string snapshot_path_;
-  Status wal_status_;
+  std::unique_ptr<WalWriter> wal_ CBIR_GUARDED_BY(mu_);
+  std::string snapshot_path_ CBIR_GUARDED_BY(mu_);
+  Status wal_status_ CBIR_GUARDED_BY(mu_);
 };
 
 }  // namespace cbir::logdb

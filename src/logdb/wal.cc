@@ -1,5 +1,7 @@
 #include "logdb/wal.h"
 
+#include "util/string_util.h"
+
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -89,7 +91,7 @@ Status WriteHeaderAndFlush(std::FILE* file, uint64_t generation,
   if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
       std::fflush(file) != 0) {
     return Status::IoError("wal: cannot write header of " + path + ": " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   return Status::OK();
 }
@@ -142,7 +144,7 @@ Result<std::vector<LogSession>> RecoverWal(const std::string& path,
       return sessions;  // no WAL yet: a fresh log
     }
     return Status::IoError("wal: cannot open " + path + ": " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
 
   const auto file_size = [&] {
@@ -230,7 +232,7 @@ Result<WalWriter> WalWriter::Open(const std::string& path,
     writer.file_ = std::fopen(path.c_str(), "wb");
     if (writer.file_ == nullptr) {
       return Status::IoError("wal: cannot create " + path + ": " +
-                             std::strerror(errno));
+                             ErrnoString(errno));
     }
     writer.generation_ = FreshGeneration();
     CBIR_RETURN_NOT_OK(
@@ -243,13 +245,13 @@ Result<WalWriter> WalWriter::Open(const std::string& path,
       static_cast<uint64_t>(st.st_size) > valid_bytes) {
     if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
       return Status::IoError("wal: cannot truncate torn tail of " + path +
-                             ": " + std::strerror(errno));
+                             ": " + ErrnoString(errno));
     }
   }
   writer.file_ = std::fopen(path.c_str(), "ab");
   if (writer.file_ == nullptr) {
     return Status::IoError("wal: cannot open " + path + " for append: " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   writer.generation_ = generation;
   return writer;
@@ -263,7 +265,7 @@ Status WalWriter::Append(const LogSession& session) {
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
       std::fflush(file_) != 0) {
     return Status::IoError("wal: append to " + path_ + " failed: " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   return Status::OK();
 }
@@ -276,7 +278,7 @@ Status WalWriter::Reset() {
   file_ = std::fopen(path_.c_str(), "wb");  // truncate
   if (file_ == nullptr) {
     return Status::IoError("wal: cannot reset " + path_ + ": " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   generation_ = FreshGeneration();
   return WriteHeaderAndFlush(file_, generation_, path_);

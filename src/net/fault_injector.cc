@@ -34,7 +34,7 @@ Status FaultInjector::SendFrame(const Socket& socket, const uint8_t* data,
   size_t partial_bytes = 0;
   size_t flip_bit = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.frames;
     if (NextUniform() < options_.delay_probability) {
       ++stats_.delays;
@@ -86,7 +86,7 @@ Status FaultInjector::SendFrame(const Socket& socket, const uint8_t* data,
 }
 
 FaultInjectorStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -2,10 +2,10 @@
 #define CBIR_NET_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 
 #include "net/socket.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace cbir::net {
 
@@ -67,14 +67,14 @@ class FaultInjector {
 
  private:
   /// Deterministic uniform draw in [0, 1) (splitmix64 under the lock).
-  double NextUniform();
+  double NextUniform() CBIR_REQUIRES(mu_);
   /// Deterministic draw in [0, n).
-  uint64_t NextBelow(uint64_t n);
+  uint64_t NextBelow(uint64_t n) CBIR_REQUIRES(mu_);
 
   FaultInjectorOptions options_;
-  mutable std::mutex mu_;
-  uint64_t rng_state_;
-  FaultInjectorStats stats_;
+  mutable util::Mutex mu_{util::LockRank::kFaultInjector, "fault_injector"};
+  uint64_t rng_state_ CBIR_GUARDED_BY(mu_);
+  FaultInjectorStats stats_ CBIR_GUARDED_BY(mu_);
 };
 
 }  // namespace cbir::net

@@ -1,5 +1,7 @@
 #include "net/socket.h"
 
+#include "util/string_util.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netdb.h>
@@ -22,7 +24,7 @@ namespace cbir::net {
 namespace {
 
 Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+  return Status::IoError(what + ": " + ErrnoString(errno));
 }
 
 /// Resolves host:port into a sockaddr_in (IPv4; the serving deployments this
@@ -184,7 +186,7 @@ Result<Socket> Socket::Accept() const {
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return Status::FailedPrecondition(
-        std::string("socket: accept interrupted (") + std::strerror(errno) +
+        std::string("socket: accept interrupted (") + ErrnoString(errno) +
         ")");
   }
   Socket sock(fd);

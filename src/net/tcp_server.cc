@@ -122,7 +122,7 @@ void TcpServer::Stop() {
   // they are computing or writing reaches the wire whole; after each
   // finishes its current request it sees stopping_ and exits on its own.
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    util::MutexLock lock(connections_mu_);
     for (auto& connection : connections_) {
       if (!connection->busy.load(std::memory_order_acquire)) {
         connection->socket.Shutdown();
@@ -135,7 +135,7 @@ void TcpServer::Stop() {
   for (;;) {
     bool any_busy = false;
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      util::MutexLock lock(connections_mu_);
       for (auto& connection : connections_) {
         if (!connection->done.load(std::memory_order_acquire) &&
             connection->busy.load(std::memory_order_acquire)) {
@@ -152,7 +152,7 @@ void TcpServer::Stop() {
   // Hard stop for whatever outlived the drain window, then join everything.
   std::vector<std::unique_ptr<Connection>> to_join;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    util::MutexLock lock(connections_mu_);
     for (auto& connection : connections_) connection->socket.Shutdown();
     to_join.swap(connections_);
   }
@@ -170,7 +170,7 @@ void TcpServer::AcceptLoop() {
       // finished connections — that releases their fds — and back off
       // instead of busy-spinning on the failing accept.
       {
-        std::lock_guard<std::mutex> lock(connections_mu_);
+        util::MutexLock lock(connections_mu_);
         ReapFinishedLocked();
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -187,7 +187,7 @@ void TcpServer::AcceptLoop() {
     connection->id = connection_id;
     Connection* raw = connection.get();
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      util::MutexLock lock(connections_mu_);
       ReapFinishedLocked();
       connections_.push_back(std::move(connection));
     }

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace cbir::net {
 
@@ -126,7 +126,7 @@ class TcpServer {
   void AcceptLoop();
   void ServeConnection(Connection* connection);
   /// Joins finished connection threads (cheap: they are already done).
-  void ReapFinishedLocked();
+  void ReapFinishedLocked() CBIR_REQUIRES(connections_mu_);
 
   api::Dispatcher* dispatcher_;
   TcpServerOptions options_;
@@ -137,8 +137,10 @@ class TcpServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  util::Mutex connections_mu_{util::LockRank::kTcpConnections,
+                              "tcp_server_connections"};
+  std::vector<std::unique_ptr<Connection>> connections_
+      CBIR_GUARDED_BY(connections_mu_);
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_closed_{0};

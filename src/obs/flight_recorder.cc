@@ -46,7 +46,7 @@ void FlightRecorder::Record(const RequestTrace& trace, uint8_t message_type,
   record.reason = reason;
   record.spans = trace.spans();
   record.counters = trace.counters();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  util::MutexLock lock(slot.mu);
   slot.record = std::move(record);
 }
 
@@ -54,7 +54,7 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
   std::vector<FlightRecord> out;
   out.reserve(slots_.size());
   for (const Slot& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    util::MutexLock lock(slot.mu);
     if (slot.record.sequence != 0) out.push_back(slot.record);
   }
   std::sort(out.begin(), out.end(),

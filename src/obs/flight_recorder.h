@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/sync.h"
 
 namespace cbir::obs {
 
@@ -95,8 +95,10 @@ class FlightRecorder {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    FlightRecord record;  ///< record.sequence == 0 means never written
+    mutable util::Mutex mu{util::LockRank::kFlightRecorder,
+                           "flight_recorder_slot"};
+    /// record.sequence == 0 means never written
+    FlightRecord record CBIR_GUARDED_BY(mu);
   };
 
   FlightRecorderOptions options_;

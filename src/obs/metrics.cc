@@ -127,7 +127,7 @@ void LatencyHistogram::Reset() {
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& label_key,
                                      const std::string& label_value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   auto& slot = counters_[Key{name, label_key, label_value}];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -136,7 +136,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& label_key,
                                  const std::string& label_value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   auto& slot = gauges_[Key{name, label_key, label_value}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -145,7 +145,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 LatencyHistogram* MetricsRegistry::GetHistogram(
     const std::string& name, const std::string& label_key,
     const std::string& label_value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   auto& slot = histograms_[Key{name, label_key, label_value}];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -153,12 +153,12 @@ LatencyHistogram* MetricsRegistry::GetHistogram(
 
 void MetricsRegistry::SetHelp(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   help_[name] = help;
 }
 
 void MetricsRegistry::OnGather(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   gather_callbacks_.push_back(std::move(fn));
 }
 
@@ -167,13 +167,13 @@ MetricsSnapshot MetricsRegistry::Snapshot() {
   // re-enters the registry through GetGauge.
   std::vector<std::function<void()>> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ReaderLock lock(mu_);
     callbacks = gather_callbacks_;
   }
   for (const auto& fn : callbacks) fn();
 
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [key, counter] : counters_) {
     snapshot.counters.push_back(

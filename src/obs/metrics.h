@@ -7,9 +7,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cbir::obs {
 
@@ -214,13 +215,18 @@ class MetricsRegistry {
     }
   };
 
-  mutable std::mutex mu_;
+  // Reader-writer split: registrations and help/callback setup are rare and
+  // take the lock exclusively; Snapshot (per scrape) only reads the maps —
+  // the instrument values themselves are atomics — so scrapes proceed
+  // concurrently.
+  mutable util::SharedMutex mu_{util::LockRank::kMetrics, "metrics_registry"};
   // node-based maps: pointers handed out stay stable across registrations.
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, std::string> help_;
-  std::vector<std::function<void()>> gather_callbacks_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ CBIR_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ CBIR_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_
+      CBIR_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ CBIR_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> gather_callbacks_ CBIR_GUARDED_BY(mu_);
 };
 
 /// Renders one snapshot as exposition text (exposed for tests; the member

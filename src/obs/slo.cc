@@ -64,7 +64,7 @@ void SloTracker::Tick() {
   const size_t max_ring =
       static_cast<size_t>(max_window_s / options_.tick_seconds) + 1;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ring_.push_back(now);
   while (ring_.size() > max_ring) ring_.pop_front();
 
@@ -137,7 +137,7 @@ void SloTracker::Tick() {
 
 void SloTracker::Start() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
     if (running_) return;
     running_ = true;
     stopping_ = false;
@@ -145,10 +145,9 @@ void SloTracker::Start() {
   thread_ = std::thread([this] {
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(stop_mu_);
-        stop_cv_.wait_for(lock,
-                          std::chrono::seconds(options_.tick_seconds),
-                          [this] { return stopping_; });
+        util::MutexLock lock(stop_mu_);
+        stop_cv_.WaitFor(stop_mu_, std::chrono::seconds(options_.tick_seconds),
+                         [this]() CBIR_REQUIRES(stop_mu_) { return stopping_; });
         if (stopping_) return;
       }
       Tick();
@@ -158,17 +157,17 @@ void SloTracker::Start() {
 
 void SloTracker::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
     if (!running_) return;
     running_ = false;
     stopping_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 SloState SloTracker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return state_;
 }
 

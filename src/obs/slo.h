@@ -2,16 +2,15 @@
 #define CBIR_OBS_SLO_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/structured_log.h"
+#include "util/sync.h"
 
 namespace cbir::obs {
 
@@ -126,15 +125,16 @@ class SloTracker {
   };
   std::vector<WindowGauges> window_gauges_;
 
-  mutable std::mutex mu_;
-  std::deque<Sample> ring_;  ///< oldest at front; one entry per tick
-  SloState state_;
+  mutable util::Mutex mu_{util::LockRank::kSlo, "slo_tracker"};
+  /// oldest at front; one entry per tick
+  std::deque<Sample> ring_ CBIR_GUARDED_BY(mu_);
+  SloState state_ CBIR_GUARDED_BY(mu_);
 
   std::thread thread_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool running_ = false;
-  bool stopping_ = false;
+  util::Mutex stop_mu_{util::LockRank::kLifecycle, "slo_tracker_stop"};
+  util::CondVar stop_cv_;
+  bool running_ CBIR_GUARDED_BY(stop_mu_) = false;
+  bool stopping_ CBIR_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace cbir::obs

@@ -26,7 +26,7 @@ StructuredLog::StructuredLog(std::ostream* os, double min_interval_seconds)
 
 void StructuredLog::Log(const std::string& event,
                         std::initializer_list<Field> fields) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   EventState& state = events_[event];
   const auto now = std::chrono::steady_clock::now();
   if (min_interval_seconds_ > 0.0 && state.emitted_once &&
@@ -45,7 +45,7 @@ void StructuredLog::Log(const std::string& event,
 
 void StructuredLog::LogAlways(const std::string& event,
                               std::initializer_list<Field> fields) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   EventState& state = events_[event];
   state.last_emit = std::chrono::steady_clock::now();
   state.emitted_once = true;
@@ -57,7 +57,6 @@ void StructuredLog::LogAlways(const std::string& event,
 void StructuredLog::Emit(const std::string& event,
                          std::initializer_list<Field> fields,
                          uint64_t suppressed) {
-  // Caller holds mu_.
   *os_ << "ts=" << Iso8601Now() << " event=" << event;
   for (const Field& field : fields) {
     *os_ << " " << field.first << "=" << field.second;
@@ -68,12 +67,12 @@ void StructuredLog::Emit(const std::string& event,
 }
 
 uint64_t StructuredLog::lines_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return lines_written_;
 }
 
 uint64_t StructuredLog::lines_suppressed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return lines_suppressed_;
 }
 

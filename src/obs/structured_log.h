@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace cbir::obs {
 
@@ -50,14 +51,14 @@ class StructuredLog {
   };
 
   void Emit(const std::string& event, std::initializer_list<Field> fields,
-            uint64_t suppressed);
+            uint64_t suppressed) CBIR_REQUIRES(mu_);
 
   std::ostream* os_;
   double min_interval_seconds_;
-  mutable std::mutex mu_;
-  std::map<std::string, EventState> events_;
-  uint64_t lines_written_ = 0;
-  uint64_t lines_suppressed_ = 0;
+  mutable util::Mutex mu_{util::LockRank::kStructuredLog, "structured_log"};
+  std::map<std::string, EventState> events_ CBIR_GUARDED_BY(mu_);
+  uint64_t lines_written_ CBIR_GUARDED_BY(mu_) = 0;
+  uint64_t lines_suppressed_ CBIR_GUARDED_BY(mu_) = 0;
 };
 
 /// The wall-clock timestamp used in log lines: UTC ISO-8601 with

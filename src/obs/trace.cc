@@ -78,7 +78,7 @@ bool SlowRequestLog::MaybeLog(const RequestTrace& trace, uint64_t total_us) {
   const std::string line =
       "slow request (>=" + std::to_string(threshold_ms_) + "ms): " +
       FormatTrace(trace, total_us);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (recent_.size() < kRecentCapacity) {
     recent_.push_back(line);
   } else {
@@ -90,7 +90,7 @@ bool SlowRequestLog::MaybeLog(const RequestTrace& trace, uint64_t total_us) {
 }
 
 std::vector<std::string> SlowRequestLog::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(recent_.size());
   // Before the ring wraps, recent_next_ is 0 and the vector is already in

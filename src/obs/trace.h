@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
+#include "util/sync.h"
 
 namespace cbir::obs {
 
@@ -168,9 +168,10 @@ class SlowRequestLog {
  private:
   int threshold_ms_;
   Sink sink_;
-  mutable std::mutex mu_;
-  std::vector<std::string> recent_;  ///< ring, recent_[next_] is the oldest
-  size_t recent_next_ = 0;
+  mutable util::Mutex mu_{util::LockRank::kSlowLog, "slow_request_log"};
+  /// ring, recent_[next_] is the oldest
+  std::vector<std::string> recent_ CBIR_GUARDED_BY(mu_);
+  size_t recent_next_ CBIR_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> logged_{0};
 };
 

@@ -49,7 +49,7 @@ bool QueryCache::Lookup(uint64_t key, std::vector<int>* out) {
   CBIR_CHECK(out != nullptr);
   const uint64_t now = epoch();
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +73,7 @@ void QueryCache::Insert(uint64_t key, const std::vector<int>& ranking,
   if (per_shard_capacity_ == 0) return;
   if (epoch != this->epoch()) return;  // computed against invalidated data
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->epoch = epoch;
@@ -109,7 +109,7 @@ QueryCacheStats QueryCache::stats() const {
 size_t QueryCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     total += shard->map.size();
   }
   return total;

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "la/vector_ops.h"
+#include "util/sync.h"
 
 namespace cbir::serve {
 
@@ -94,9 +94,11 @@ class QueryCache {
     std::vector<int> ranking;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    util::Mutex mu{util::LockRank::kQueryCache, "query_cache_shard"};
+    /// front = most recently used
+    std::list<Entry> lru CBIR_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map
+        CBIR_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t key);

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace cbir::serve {
 
@@ -126,7 +127,12 @@ RetrievalService::RetrievalService(
       config_fingerprint_(ConfigFingerprint(*db)) {
   sessions_ = std::make_unique<SessionManager>(
       options_.sessions,
-      [this](ServeSession& session) { FlushSessionLocked(session); });
+      [this](ServeSession& session) {
+        // The manager holds the victim's lock across the callback; re-assert
+        // the capability across the type-erased std::function boundary.
+        session.mu.AssertHeld();
+        FlushSessionLocked(session);
+      });
 }
 
 Result<std::unique_ptr<RetrievalService>> RetrievalService::Create(
@@ -307,7 +313,7 @@ Result<std::vector<int>> RetrievalService::Query(uint64_t session_id, int k) {
   if (session == nullptr) {
     return Status::NotFound("retrieval service: unknown session");
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  util::MutexLock lock(session->mu);
   queue_span.End();
   if (session->ended) {
     return Status::NotFound("retrieval service: session already ended");
@@ -346,7 +352,7 @@ Result<std::vector<int>> RetrievalService::Feedback(
   if (session == nullptr) {
     return Status::NotFound("retrieval service: unknown session");
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  util::MutexLock lock(session->mu);
   queue_span.End();
   if (session->ended) {
     return Status::NotFound("retrieval service: session already ended");
@@ -426,7 +432,7 @@ Status RetrievalService::EndSession(uint64_t session_id) {
   if (session == nullptr) {
     return Status::NotFound("retrieval service: unknown session");
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  util::MutexLock lock(session->mu);
   session->ended = true;
   FlushSessionLocked(*session);
   return Status::OK();
@@ -437,6 +443,12 @@ size_t RetrievalService::EvictExpiredSessions() {
 }
 
 void RetrievalService::FlushSessionLocked(ServeSession& session) {
+  // The PR 3 invariant, now machine-checked: flushes (end, TTL/capacity
+  // eviction) run under the victim's session lock but never under the
+  // manager lock, so a slow log append cannot stall Start/Acquire traffic
+  // for every other session.
+  util::AssertRankNotHeld(util::LockRank::kSessionManager,
+                          "flushing a session to the log store");
   if (log_store_ != nullptr) {
     for (logdb::LogSession& record : session.pending_log) {
       log_store_->Append(std::move(record));

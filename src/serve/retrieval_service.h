@@ -152,17 +152,19 @@ class RetrievalService {
 
   /// Computes (or cache-loads) the session's first-round ranking. Caller
   /// holds the session mutex.
-  void EnsureFirstRoundLocked(ServeSession& session);
+  void EnsureFirstRoundLocked(ServeSession& session)
+      CBIR_REQUIRES(session.mu);
 
   /// Finishes an ended/evicted session under its mutex: moves its recorded
   /// rounds into the log store and releases its warm-start state (duals +
   /// kernel-cache slabs), settling the session-memory accounting.
-  void FlushSessionLocked(ServeSession& session);
+  void FlushSessionLocked(ServeSession& session) CBIR_REQUIRES(session.mu);
 
   /// Looks up + locks the session and finishes shared accounting; the
   /// callback runs under the session mutex.
   Result<std::vector<int>> TopKOfRanking(const ServeSession& session,
-                                         int k) const;
+                                         int k) const
+      CBIR_REQUIRES(session.mu);
 
   /// RAII admission slot: construction tries to claim one of max_inflight
   /// slots; admitted() says whether it succeeded, destruction releases it.

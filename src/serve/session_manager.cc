@@ -49,7 +49,7 @@ SessionManager::CollectVictimsLocked(bool need_room) {
 void SessionManager::FinishVictims(
     const std::vector<std::shared_ptr<ServeSession>>& victims) {
   for (const std::shared_ptr<ServeSession>& victim : victims) {
-    std::lock_guard<std::mutex> lock(victim->mu);
+    util::MutexLock lock(victim->mu);
     victim->ended = true;
     if (on_evict_) on_evict_(*victim);
   }
@@ -60,7 +60,7 @@ void SessionManager::Register(std::shared_ptr<ServeSession> session) {
   const uint64_t id = session->id;
   std::vector<std::shared_ptr<ServeSession>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     victims = CollectVictimsLocked(/*need_room=*/true);
     CBIR_CHECK(entries_.find(id) == entries_.end())
         << "duplicate session id " << id;
@@ -72,7 +72,7 @@ void SessionManager::Register(std::shared_ptr<ServeSession> session) {
 }
 
 std::shared_ptr<ServeSession> SessionManager::Acquire(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -81,7 +81,7 @@ std::shared_ptr<ServeSession> SessionManager::Acquire(uint64_t id) {
 }
 
 std::shared_ptr<ServeSession> SessionManager::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
   std::shared_ptr<ServeSession> session = std::move(it->second.session);
@@ -95,7 +95,7 @@ size_t SessionManager::EvictExpired() {
   if (options_.ttl_seconds <= 0.0) return 0;
   std::vector<std::shared_ptr<ServeSession>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     victims = CollectVictimsLocked(/*need_room=*/false);
   }
   FinishVictims(victims);
@@ -103,7 +103,7 @@ size_t SessionManager::EvictExpired() {
 }
 
 SessionManagerStats SessionManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   SessionManagerStats s;
   s.started = started_;
   s.ended = ended_;
@@ -114,7 +114,7 @@ SessionManagerStats SessionManager::stats() const {
 }
 
 size_t SessionManager::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

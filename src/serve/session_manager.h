@@ -6,12 +6,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/feedback_scheme.h"
 #include "logdb/log_session.h"
+#include "util/sync.h"
 
 namespace cbir::serve {
 
@@ -24,39 +24,39 @@ namespace cbir::serve {
 /// `ended` and later requests see NotFound.
 struct ServeSession {
   uint64_t id = 0;
-  std::mutex mu;
+  util::Mutex mu{util::LockRank::kSession, "serve_session"};
 
   /// Set by EndSession or eviction; requests on an ended session fail.
-  bool ended = false;
+  bool ended CBIR_GUARDED_BY(mu) = false;
   /// True once ctx.Prepare() ran (deferred to the first Feedback so
   /// query-only sessions never pay the candidate scan).
-  bool prepared = false;
+  bool prepared CBIR_GUARDED_BY(mu) = false;
   /// Completed feedback rounds.
-  int rounds = 0;
+  int rounds CBIR_GUARDED_BY(mu) = 0;
   /// Per-round judgments not yet flushed to the log store.
-  std::vector<logdb::LogSession> pending_log;
+  std::vector<logdb::LogSession> pending_log CBIR_GUARDED_BY(mu);
 
   /// The same context + warm-start state RunFeedbackSession threads through
   /// a single-user session, owned here so rankings match it exactly. The
   /// state carries dual variables *and* per-modality kernel caches across
   /// rounds; both are released when the session ends or is evicted.
-  core::FeedbackContext ctx;
-  core::SessionState warm_start;
+  core::FeedbackContext ctx CBIR_GUARDED_BY(mu);
+  core::SessionState warm_start CBIR_GUARDED_BY(mu);
   /// Bytes of warm_start kernel-cache memory currently charged to the
   /// service's aggregate counter (updated after every feedback round,
   /// zeroed on flush).
-  size_t accounted_kernel_bytes = 0;
+  size_t accounted_kernel_bytes CBIR_GUARDED_BY(mu) = 0;
 
   /// Current ranking (query id excluded); round 0 = first-round retrieval.
-  std::vector<int> ranking;
-  bool has_ranking = false;
+  std::vector<int> ranking CBIR_GUARDED_BY(mu);
+  bool has_ranking CBIR_GUARDED_BY(mu) = false;
 
   /// Idempotency cache for retried Feedback: the highest sequence number
   /// applied so far (0 = none seen) and the top-k answered for it. A retry
   /// carrying the same seq gets this response back without re-applying the
   /// round — at-most-once application under client retries.
-  uint32_t last_feedback_seq = 0;
-  std::vector<int> last_feedback_response;
+  uint32_t last_feedback_seq CBIR_GUARDED_BY(mu) = 0;
+  std::vector<int> last_feedback_response CBIR_GUARDED_BY(mu);
 };
 
 /// \brief Session capacity policy.
@@ -128,21 +128,24 @@ class SessionManager {
   /// Pops expired (and, when `need_room` and at capacity, LRU) entries under
   /// the manager lock, collecting victims; the caller finishes them outside.
   std::vector<std::shared_ptr<ServeSession>> CollectVictimsLocked(
-      bool need_room);
-  /// Marks victims ended and runs the callback (victim mutex held).
-  void FinishVictims(
-      const std::vector<std::shared_ptr<ServeSession>>& victims);
+      bool need_room) CBIR_REQUIRES(mu_);
+  /// Marks victims ended and runs the callback (victim mutex held). Must be
+  /// called with the manager lock released: the session rank sits above the
+  /// manager rank, but more importantly a slow eviction flush must never
+  /// stall Start/Acquire traffic (the PR 3 invariant).
+  void FinishVictims(const std::vector<std::shared_ptr<ServeSession>>& victims)
+      CBIR_EXCLUDES(mu_);
 
   SessionManagerOptions options_;
   EvictCallback on_evict_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  std::list<uint64_t> lru_;  ///< front = most recently used
-  uint64_t started_ = 0;
-  uint64_t ended_ = 0;
-  uint64_t evicted_capacity_ = 0;
-  uint64_t evicted_ttl_ = 0;
+  mutable util::Mutex mu_{util::LockRank::kSessionManager, "session_manager"};
+  std::unordered_map<uint64_t, Entry> entries_ CBIR_GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ CBIR_GUARDED_BY(mu_);  ///< front = most recently used
+  uint64_t started_ CBIR_GUARDED_BY(mu_) = 0;
+  uint64_t ended_ CBIR_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_capacity_ CBIR_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_ttl_ CBIR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cbir::serve

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 
 namespace cbir {
 
@@ -57,6 +58,33 @@ std::string FormatPercent(double fraction) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%+.1f%%", fraction * 100.0);
   return buf;
+}
+
+namespace {
+
+// strerror_r comes in two flavors: the GNU one returns the message pointer
+// (not necessarily buf), the POSIX one returns an int and fills buf. The
+// overloads read whichever the libc provides.
+[[maybe_unused]] const char* StrerrorResult(const char* returned,
+                                            const char* /*buf*/) {
+  return returned;
+}
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : nullptr;
+}
+
+}  // namespace
+
+std::string ErrnoString(int errno_value) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg =
+      StrerrorResult(strerror_r(errno_value, buf, sizeof(buf)), buf);
+  if (msg == nullptr || msg[0] == '\0') {
+    std::snprintf(buf, sizeof(buf), "errno %d", errno_value);
+    msg = buf;
+  }
+  return msg;
 }
 
 }  // namespace cbir

@@ -25,6 +25,10 @@ std::string FormatDouble(double value, int precision);
 /// Renders a signed percentage with one decimal, e.g. "+42.4%".
 std::string FormatPercent(double fraction);
 
+/// Thread-safe strerror: the message for `errno_value` without the shared
+/// static buffer strerror(3) may hand back (concurrency-mt-unsafe).
+std::string ErrnoString(int errno_value);
+
 }  // namespace cbir
 
 #endif  // CBIR_UTIL_STRING_UTIL_H_

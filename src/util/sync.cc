@@ -1,0 +1,144 @@
+#include "util/sync.h"
+
+#if CBIR_SYNC_RANK_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cbir::util::internal {
+namespace {
+
+// Per-thread stack of held util locks, in acquisition order. Ranks on the
+// stack are nondecreasing by construction (strictly increasing except for
+// TwoMutexLock's sanctioned same-rank pair), so the top entry always carries
+// the maximum held rank.
+constexpr int kMaxHeldLocks = 64;
+
+struct HeldLock {
+  const void* mutex;
+  int rank;
+  const char* name;
+};
+
+thread_local HeldLock t_held[kMaxHeldLocks];
+thread_local int t_depth = 0;
+
+void DumpHeldStack() {
+  std::fprintf(stderr, "  held locks (oldest first):\n");
+  if (t_depth == 0) std::fprintf(stderr, "    (none)\n");
+  for (int i = 0; i < t_depth; ++i) {
+    std::fprintf(stderr, "    \"%s\" (rank %d)\n", t_held[i].name,
+                 t_held[i].rank);
+  }
+}
+
+[[noreturn]] void Die() {
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void RankAcquire(const void* mutex, int rank, const char* name,
+                 bool allow_equal) {
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].mutex == mutex) {
+      std::fprintf(stderr,
+                   "cbir lock-rank violation: recursive acquisition of "
+                   "\"%s\" (rank %d)\n",
+                   name, rank);
+      DumpHeldStack();
+      Die();
+    }
+  }
+  if (t_depth > 0) {
+    const HeldLock& top = t_held[t_depth - 1];
+    const bool ok = allow_equal ? rank >= top.rank : rank > top.rank;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "cbir lock-rank violation: acquiring \"%s\" (rank %d) "
+                   "while holding \"%s\" (rank %d) inverts the lock "
+                   "hierarchy\n",
+                   name, rank, top.name, top.rank);
+      DumpHeldStack();
+      Die();
+    }
+  }
+  if (t_depth == kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "cbir lock-rank violation: more than %d locks held while "
+                 "acquiring \"%s\" (rank %d)\n",
+                 kMaxHeldLocks, name, rank);
+    DumpHeldStack();
+    Die();
+  }
+  t_held[t_depth++] = HeldLock{mutex, rank, name};
+}
+
+void RankRelease(const void* mutex) {
+  // Out-of-LIFO release is legal (std::scoped_lock-style pairs unlock in
+  // construction order), so search from the top and close the gap.
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+    --t_depth;
+    return;
+  }
+  std::fprintf(stderr,
+               "cbir lock-rank violation: releasing a lock this thread does "
+               "not hold\n");
+  DumpHeldStack();
+  Die();
+}
+
+bool RankHeldByThisThread(const void* mutex) {
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].mutex == mutex) return true;
+  }
+  return false;
+}
+
+void RankAssertHeld(const void* mutex, const char* name) {
+  if (RankHeldByThisThread(mutex)) return;
+  std::fprintf(stderr,
+               "cbir lock-rank violation: AssertHeld(\"%s\") failed — lock "
+               "not held by this thread\n",
+               name);
+  DumpHeldStack();
+  Die();
+}
+
+void RankAssertNotHeld(int rank, const char* what) {
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].rank != rank) continue;
+    std::fprintf(stderr,
+                 "cbir lock-rank violation: %s requires that no rank-%d "
+                 "lock is held, but \"%s\" is\n",
+                 what, rank, t_held[i].name);
+    DumpHeldStack();
+    Die();
+  }
+}
+
+void RankAssertNoneAtOrAbove(int rank, const char* what) {
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].rank < rank) continue;
+    std::fprintf(stderr,
+                 "cbir lock-rank violation: %s requires that no lock of "
+                 "rank >= %d is held, but \"%s\" (rank %d) is\n",
+                 what, rank, t_held[i].name, t_held[i].rank);
+    DumpHeldStack();
+    Die();
+  }
+}
+
+}  // namespace cbir::util::internal
+
+#else  // !CBIR_SYNC_RANK_CHECKS
+
+// Keep the TU non-empty so the library builds identically either way.
+namespace cbir::util::internal {
+void SyncRankChecksCompiledOut() {}
+}  // namespace cbir::util::internal
+
+#endif  // CBIR_SYNC_RANK_CHECKS
