@@ -14,6 +14,7 @@
 // SIGINT/SIGTERM shut the server down cleanly (all connection threads
 // joined) and print the final service stats.
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <chrono>
 #include <iostream>
@@ -60,7 +61,8 @@ constexpr const char* kHelp =
   --metrics-port=N      plaintext metrics-and-debug listener (curl or nc the
                         port; 0 = OS-assigned, printed). Omit to disable.
                         Endpoints: /metrics (Prometheus exposition, also the
-                        default for a path-less peer), /statusz (uptime,
+                        default for a path-less peer), /healthz (200 while
+                        serving, 503 while draining), /statusz (uptime,
                         build, flags, sessions, SLO state), /flightz (flight
                         recorder dump), /slowz (recent slow-request trees)
   --slow-request-ms=N   dump the per-stage span tree of any request whose
@@ -96,6 +98,9 @@ constexpr const char* kHelp =
   --depth=N             session ranking depth (0 = auto: k + rounds*judgments + 1)
   --noise=F             pre-collected log judgment noise (default 0.1)
   --max-sessions=N --ttl=F --cache-capacity=N --log-sessions=N
+  --first-session-id=N  first session id this server hands out (default 1).
+                        Give each shard behind a router a disjoint range
+                        (e.g. 1, 1000001, 2000001) so ids never collide)
 
  index (see quickstart): --index=exact|signature (default signature),
   --signature_bits, --candidate_factor, --index-seed
@@ -128,7 +133,8 @@ int main(int argc, char** argv) {
         "slo-error-ratio",
         "synthetic-rows", "categories", "images-per-category",
         "seed", "scheme", "k", "rounds", "judgments", "depth", "noise",
-        "max-sessions", "ttl", "cache-capacity", "log-sessions"}) {
+        "max-sessions", "ttl", "cache-capacity", "log-sessions",
+        "first-session-id"}) {
     known.push_back(name);
   }
   if (Status s = flags.RequireKnown(known); !s.ok()) {
@@ -245,6 +251,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
   service_options.max_inflight =
       static_cast<size_t>(flags.GetInt("max-inflight", 0));
+  service_options.first_session_id =
+      static_cast<uint64_t>(flags.GetInt("first-session-id", 1));
 
   auto service_or = serve::RetrievalService::Create(
       &db, &log_features, &store,
@@ -324,11 +332,22 @@ int main(int argc, char** argv) {
   slo_tracker.Start();
 
   const Stopwatch uptime;
+  std::atomic<bool> draining{false};
   std::unique_ptr<obs::ExpositionServer> metrics_server;
   if (flags.Has("metrics-port")) {
     metrics_server = std::make_unique<obs::ExpositionServer>(
         &obs::MetricsRegistry::Default(), server_options.host,
         flags.GetInt("metrics-port", 0));
+    metrics_server->SetStatusHandler("/healthz", [&draining] {
+      obs::ExpositionServer::StatusResult result;
+      if (draining.load(std::memory_order_acquire)) {
+        result.code = 503;
+        result.body = "draining\n";
+      } else {
+        result.body = "ok\n";
+      }
+      return result;
+    });
     metrics_server->SetHandler(
         "/statusz",
         [&flags, &server, &slo_tracker, &uptime, &flight,
@@ -403,6 +422,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "shutting down...\n";
+  draining.store(true, std::memory_order_release);
   server.Stop();
   if (metrics_server != nullptr) metrics_server->Stop();
   slo_tracker.Stop();

@@ -16,11 +16,13 @@
 //   ./example_load_driver --threads=1 --sessions=200   # scaling baseline
 //
 // With --remote=host:port the same load is driven over TCP against a
-// running example_cbir_server (one net::TcpClient connection per worker
-// thread). The driver still builds the corpus locally — it needs the ground
-// truth categories to simulate user judgments — so start the server with
-// the same corpus/seed flags; the sessions it replays are then
-// byte-identical to the in-process run (test-gated in tests/net).
+// running example_cbir_server or example_cbir_router (one net::TcpClient
+// connection per worker thread). The driver does NOT rebuild the corpus: it
+// sends a DescribeRequest and learns the corpus size, dims, and category
+// count over the wire, deriving ground-truth judgments from the synthetic
+// clustered layout (category = id % num_categories). Against a router,
+// --expect-degraded additionally requires that at least one response came
+// back with the degraded flag (partial scatter-gather).
 #include <algorithm>
 #include <atomic>
 #include <fstream>
@@ -69,9 +71,15 @@ constexpr const char* kHelp =
                         render a real synthetic-Corel corpus instead (slow)
 
  service
-  --remote=HOST:PORT    drive a running example_cbir_server over TCP instead
-                        of an in-process service (one connection per worker;
-                        start the server with the same corpus/seed flags)
+  --remote=HOST:PORT    drive a running example_cbir_server (or
+                        example_cbir_router) over TCP instead of an
+                        in-process service (one connection per worker). The
+                        corpus is discovered over the wire via Describe —
+                        nothing is rebuilt locally; the server must use the
+                        default synthetic clustered corpus
+  --expect-degraded     remote only: require >= 1 response carrying the
+                        degraded flag (router answering with a shard down)
+                        and skip the single-server accounting cross-check
   --scheme=S            Euclidean | RF-SVM | LRF-2SVMs | LRF-CSVM
                         (default RF-SVM)
   --k=N                 results per response (default 20)
@@ -116,6 +124,9 @@ class SessionApi {
   virtual Result<std::vector<int>> Feedback(
       uint64_t sid, const std::vector<logdb::LogEntry>& round, int k) = 0;
   virtual Status End(uint64_t sid) = 0;
+  /// True when the last response carried the degraded flag (a router
+  /// answered from a partial shard set); always false in-process.
+  virtual bool last_degraded() const { return false; }
 };
 
 class LocalSessionApi : public SessionApi {
@@ -192,6 +203,7 @@ class RemoteSessionApi : public SessionApi {
     return out;
   }
   Status End(uint64_t sid) override { return client_.EndSession(sid); }
+  bool last_degraded() const override { return client_.last_degraded(); }
 
  private:
   void OfferProfile() {
@@ -224,6 +236,7 @@ class ChaosSessionApi : public SessionApi {
     return client_.Feedback(sid, round, k);
   }
   Status End(uint64_t sid) override { return client_.EndSession(sid); }
+  bool last_degraded() const override { return client_.last_degraded(); }
   net::RetryingClientStats retry_stats() const { return client_.stats(); }
 
  private:
@@ -247,9 +260,10 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"help", "threads", "sessions", "rounds", "judgments", "noise",
         "repeat-queries", "seed", "synthetic-rows", "categories",
-        "images-per-category", "remote", "chaos", "chaos-seed",
-        "rpc-timeout-ms", "scheme", "k", "depth", "max-sessions", "ttl",
-        "cache-capacity", "log-sessions", "json", "explain-worst"}) {
+        "images-per-category", "remote", "expect-degraded", "chaos",
+        "chaos-seed", "rpc-timeout-ms", "scheme", "k", "depth",
+        "max-sessions", "ttl", "cache-capacity", "log-sessions", "json",
+        "explain-worst"}) {
     known.push_back(name);
   }
   if (Status s = flags.RequireKnown(known); !s.ok()) {
@@ -266,6 +280,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
   const int k = flags.GetInt("k", 20);
   const std::string remote = flags.GetString("remote", "");
+  const bool expect_degraded = flags.GetBool("expect-degraded", false);
   const bool chaos = flags.GetBool("chaos", false);
   const int rpc_timeout_ms = flags.GetInt("rpc-timeout-ms", 2000);
   const std::string json_path = flags.GetString("json", "");
@@ -277,6 +292,19 @@ int main(int argc, char** argv) {
   }
   if (chaos && remote.empty()) {
     std::cerr << "--chaos needs --remote (it injects wire-level faults)\n"
+              << kHelp;
+    return 1;
+  }
+  if (expect_degraded && remote.empty()) {
+    std::cerr << "--expect-degraded needs --remote (only a router degrades)\n"
+              << kHelp;
+    return 1;
+  }
+  if (!remote.empty() &&
+      (flags.Has("categories") || flags.Has("images-per-category"))) {
+    std::cerr << "--remote discovers the corpus via Describe and derives "
+                 "judgments from the synthetic clustered layout; the "
+                 "rendered-corpus flags only apply locally\n"
               << kHelp;
     return 1;
   }
@@ -311,29 +339,33 @@ int main(int argc, char** argv) {
   }
 
   // ---- shared serving data: one database, one index, one feedback log ----
-  // In remote mode the server owns the serving copy; the driver still
-  // builds the corpus because the simulated users judge against its ground
-  // truth categories (no index/log build needed locally, though).
+  // Local mode builds everything in-process. Remote mode builds NOTHING:
+  // the corpus shape (size, dims, categories) arrives over the wire via
+  // DescribeRequest, and ground-truth judgments are derived from the
+  // synthetic clustered layout (category = id % num_categories).
   Stopwatch setup_watch;
-  retrieval::ImageDatabase db = [&] {
-    if (flags.Has("categories") || flags.Has("images-per-category")) {
-      retrieval::DatabaseOptions db_options;
-      db_options.corpus.num_categories = flags.GetInt("categories", 8);
-      db_options.corpus.images_per_category =
-          flags.GetInt("images-per-category", 40);
-      db_options.corpus.width = 64;
-      db_options.corpus.height = 64;
-      db_options.corpus.seed = 21;
-      std::cout << "rendering corpus ("
-                << db_options.corpus.num_categories << " x "
-                << db_options.corpus.images_per_category << " images)...\n";
-      return retrieval::ImageDatabase::Build(db_options);
-    }
-    const int rows = flags.GetInt("synthetic-rows", 20000);
-    std::cout << "building synthetic clustered corpus (" << rows
-              << " rows)...\n";
-    return retrieval::ClusteredDatabase(rows, seed);
-  }();
+  std::unique_ptr<retrieval::ImageDatabase> db;
+  if (remote.empty()) {
+    db = std::make_unique<retrieval::ImageDatabase>([&] {
+      if (flags.Has("categories") || flags.Has("images-per-category")) {
+        retrieval::DatabaseOptions db_options;
+        db_options.corpus.num_categories = flags.GetInt("categories", 8);
+        db_options.corpus.images_per_category =
+            flags.GetInt("images-per-category", 40);
+        db_options.corpus.width = 64;
+        db_options.corpus.height = 64;
+        db_options.corpus.seed = 21;
+        std::cout << "rendering corpus ("
+                  << db_options.corpus.num_categories << " x "
+                  << db_options.corpus.images_per_category << " images)...\n";
+        return retrieval::ImageDatabase::Build(db_options);
+      }
+      const int rows = flags.GetInt("synthetic-rows", 20000);
+      std::cout << "building synthetic clustered corpus (" << rows
+                << " rows)...\n";
+      return retrieval::ClusteredDatabase(rows, seed);
+    }());
+  }
 
   serve::ServiceOptions service_options;
   service_options.scheme = flags.GetString("scheme", "RF-SVM");
@@ -351,38 +383,68 @@ int main(int argc, char** argv) {
   logdb::LogStore store;
   int64_t initial_log_sessions = 0;
   int64_t initial_remote_requests = 0;
+  // Corpus shape the workers judge against: from the local database, or
+  // from the remote Describe handshake.
+  int corpus_size = 0;
+  std::vector<int> categories;
+  int fetch_depth = service_options.candidate_depth;
   std::unique_ptr<serve::RetrievalService> service;
   if (remote.empty()) {
-    db.BuildIndex(index_options.value());
+    db->BuildIndex(index_options.value());
     logdb::LogCollectionOptions log_options;
     log_options.num_sessions = flags.GetInt("log-sessions", 150);
     log_options.session_size = 20;
     log_options.user.noise_rate = noise;
     log_options.seed = seed + 1;
-    store = logdb::CollectLogs(db.features(), db.categories(), log_options);
-    log_features = store.BuildMatrix(db.num_images()).ToDenseMatrix();
+    store = logdb::CollectLogs(db->features(), db->categories(), log_options);
+    log_features = store.BuildMatrix(db->num_images()).ToDenseMatrix();
     initial_log_sessions = store.num_sessions();
 
     auto service_or = serve::RetrievalService::Create(
-        &db, &log_features, &store,
-        core::MakeDefaultSchemeOptions(db, &log_features), service_options);
+        db.get(), &log_features, &store,
+        core::MakeDefaultSchemeOptions(*db, &log_features), service_options);
     if (!service_or.ok()) {
       std::cerr << service_or.status() << "\n" << kHelp;
       return 1;
     }
     service = std::move(service_or).value();
+    corpus_size = db->num_images();
+    categories = db->categories();
     std::cout << "service ready in "
               << FormatDouble(setup_watch.ElapsedSeconds(), 2) << "s: "
-              << db.num_images() << " images, index=" << db.index()->name()
+              << db->num_images() << " images, index=" << db->index()->name()
               << ", scheme=" << service_options.scheme
               << ", depth=" << service_options.candidate_depth << "\n";
   } else {
     // Probe the endpoint once up front so a bad address fails fast instead
-    // of as N confusing worker failures.
+    // of as N confusing worker failures, and Describe it — the corpus
+    // shape comes over the wire, nothing is rebuilt locally.
     auto probe = net::TcpClient::ConnectEndpoint(remote, chaos ? 2000 : 0);
     if (!probe.ok()) {
       std::cerr << probe.status() << "\n" << kHelp;
       return 1;
+    }
+    auto described = probe->Describe();
+    if (!described.ok()) {
+      std::cerr << "remote describe failed: " << described.status() << "\n";
+      return 1;
+    }
+    if (described->corpus_size == 0 || described->num_categories == 0) {
+      std::cerr << "remote corpus is empty (" << described->corpus_size
+                << " images, " << described->num_categories
+                << " categories)\n";
+      return 1;
+    }
+    corpus_size = static_cast<int>(described->corpus_size);
+    // The synthetic clustered corpus labels image i with i % categories —
+    // the layout contract that lets the driver judge without the corpus.
+    categories.resize(static_cast<size_t>(corpus_size));
+    for (int i = 0; i < corpus_size; ++i) {
+      categories[static_cast<size_t>(i)] =
+          i % static_cast<int>(described->num_categories);
+    }
+    if (described->candidate_depth > 0) {
+      fetch_depth = described->candidate_depth;
     }
     auto remote_stats = probe->Stats();
     if (!remote_stats.ok()) {
@@ -393,9 +455,12 @@ int main(int argc, char** argv) {
     initial_log_sessions =
         static_cast<int64_t>(remote_stats->log_sessions_appended);
     initial_remote_requests = static_cast<int64_t>(remote_stats->requests);
-    std::cout << "remote service at " << remote << " ready ("
-              << remote_stats->sessions_started
-              << " sessions served so far)\n";
+    std::cout << "remote service at " << remote << " described: "
+              << described->corpus_size << " images x " << described->dims
+              << " dims, " << described->num_categories
+              << " categories, scheme=" << described->scheme
+              << ", index=" << described->index << ", depth="
+              << described->candidate_depth << " (no local corpus build)\n";
   }
   // The probe validated the endpoint format, so this split cannot fail.
   std::string remote_host;
@@ -411,18 +476,22 @@ int main(int argc, char** argv) {
             << "...\n";
 
   // ---- the load: every thread replays sessions against the one service ----
-  const logdb::SimulatedUser user(db.categories(), logdb::UserModel{noise});
+  const logdb::SimulatedUser user(categories, logdb::UserModel{noise});
   const int query_pool =
-      repeat_queries > 0 ? std::min(repeat_queries, db.num_images())
-                         : db.num_images();
+      repeat_queries > 0 ? std::min(repeat_queries, corpus_size)
+                         : corpus_size;
   std::atomic<int> next_session{0};
   std::atomic<int> failures{0};
   std::atomic<int> evicted_midflight{0};
   std::atomic<int> chaos_lost{0};
+  std::atomic<int> outage_lost{0};
   // Successful Query + Feedback calls the driver got answers to — the
   // server's `requests` counter must have grown by exactly this much on a
   // clean non-chaos remote run (the accounting cross-check below).
   std::atomic<int64_t> requests_succeeded{0};
+  // Responses that arrived with the degraded frame flag set — a router
+  // answering from a partial scatter while a shard is down or slow.
+  std::atomic<int64_t> degraded_seen{0};
   std::mutex retry_stats_mu;
   net::RetryingClientStats retry_totals;
   WorstProfiles worst_profiles(
@@ -461,11 +530,19 @@ int main(int argc, char** argv) {
     // A session that dies under fault injection is a chaos casualty, not a
     // driver failure. Any status can surface: beyond the obvious
     // kUnavailable/kDeadlineExceeded/kIoError, a bit-flipped frame can
-    // decode as a *different valid* request (the wire protocol carries no
-    // frame CRC — TCP's checksum is the real-world guard), poisoning the
-    // session into FailedPrecondition or Internal on a later call. The
-    // run's assertion is that casualties stay bounded, not zero.
+    // decode as a *different valid* request (frames carry a CRC only when
+    // the checksum flag is negotiated; raw TcpClient frames do not),
+    // poisoning the session into FailedPrecondition or Internal on a later
+    // call. The run's assertion is that casualties stay bounded, not zero.
     const auto chaotic = [&](const Status&) { return chaos; };
+    // Under --expect-degraded a shard is being killed on purpose: sessions
+    // pinned to it fail fast with kUnavailable (or lose their shard
+    // mid-RPC). Those are the outage doing its job, not driver failures.
+    const auto outage = [&](const Status& st) {
+      return expect_degraded && (st.code() == StatusCode::kUnavailable ||
+                                 st.code() == StatusCode::kDeadlineExceeded ||
+                                 st.code() == StatusCode::kIoError);
+    };
     for (int s = next_session.fetch_add(1); s < total_sessions;
          s = next_session.fetch_add(1)) {
       // Deterministic per-session stream regardless of which thread runs it.
@@ -474,11 +551,14 @@ int main(int argc, char** argv) {
           static_cast<int>(rng.UniformInt(static_cast<uint64_t>(query_pool)));
       auto session_or = backend->Start(query_id);
       if (!session_or.ok()) {
-        (chaotic(session_or.status()) ? chaos_lost : failures).fetch_add(1);
+        (chaotic(session_or.status())  ? chaos_lost
+         : outage(session_or.status()) ? outage_lost
+                                       : failures)
+            .fetch_add(1);
         continue;
       }
       const uint64_t sid = session_or.value();
-      const int fetch_k = service_options.candidate_depth;
+      const int fetch_k = fetch_depth;
       // A NotFound mid-session is not a failure: under --ttl /
       // --max-sessions eviction pressure the service legitimately reclaims
       // sessions out from under slow users.
@@ -487,11 +567,15 @@ int main(int argc, char** argv) {
       };
       auto ranking_or = backend->Query(sid, fetch_k);
       bool ok = ranking_or.ok();
-      if (ok) requests_succeeded.fetch_add(1);
+      if (ok) {
+        requests_succeeded.fetch_add(1);
+        if (backend->last_degraded()) degraded_seen.fetch_add(1);
+      }
       bool gone = !ok && evicted(ranking_or.status());
       bool lost = !ok && chaotic(ranking_or.status());
+      bool down = !ok && outage(ranking_or.status());
       std::unordered_set<int> judged{query_id};
-      const int query_category = db.category(query_id);
+      const int query_category = categories[static_cast<size_t>(query_id)];
       for (int r = 0; r < rounds && ok; ++r) {
         std::vector<logdb::LogEntry> round;
         for (int id : ranking_or.value()) {
@@ -502,9 +586,13 @@ int main(int argc, char** argv) {
         }
         ranking_or = backend->Feedback(sid, round, fetch_k);
         ok = ranking_or.ok();
-        if (ok) requests_succeeded.fetch_add(1);
+        if (ok) {
+          requests_succeeded.fetch_add(1);
+          if (backend->last_degraded()) degraded_seen.fetch_add(1);
+        }
         gone = !ok && evicted(ranking_or.status());
         lost = !ok && chaotic(ranking_or.status());
+        down = !ok && outage(ranking_or.status());
       }
       // End the session even on a failed round so its completed rounds
       // still reach the log store and nothing idles until eviction.
@@ -513,6 +601,8 @@ int main(int argc, char** argv) {
         evicted_midflight.fetch_add(1);
       } else if (lost || (!end.ok() && chaotic(end))) {
         chaos_lost.fetch_add(1);
+      } else if (down || (!end.ok() && outage(end))) {
+        outage_lost.fetch_add(1);
       } else if (!ok || !end.ok()) {
         failures.fetch_add(1);
       }
@@ -587,7 +677,12 @@ int main(int argc, char** argv) {
               << "sessions/s       "
               << FormatDouble(total_sessions / elapsed, 1) << "\n"
               << "failures         " << failures.load() << "\n"
-              << "evicted mid-run  " << evicted_midflight.load() << "\n";
+              << "evicted mid-run  " << evicted_midflight.load() << "\n"
+              << "degraded replies " << degraded_seen.load() << "\n";
+    if (expect_degraded) {
+      std::cout << "outage casualties " << outage_lost.load()
+                << " sessions (pinned to a down shard — expected)\n";
+    }
     if (chaos) {
       const net::FaultInjectorStats fi = injector.stats();
       std::cout << "chaos casualties " << chaos_lost.load() << " sessions\n"
@@ -625,9 +720,10 @@ int main(int argc, char** argv) {
         // Accounting cross-check: on a clean non-chaos run every request
         // the driver saw succeed must appear in the server's counter —
         // a mismatch means a request was double-applied or lost, and the
-        // run fails. (Chaos runs legitimately diverge: a lost *reply*
-        // leaves the request counted server-side only.)
-        if (!chaos && failures.load() == 0 && evicted_midflight.load() == 0) {
+        // run fails. (Chaos and expected-outage runs legitimately diverge:
+        // a lost *reply* leaves the request counted server-side only.)
+        if (!chaos && !expect_degraded && failures.load() == 0 &&
+            evicted_midflight.load() == 0) {
           const int64_t server_delta =
               static_cast<int64_t>(stats->requests) - initial_remote_requests;
           if (server_delta != requests_succeeded.load()) {
@@ -706,7 +802,19 @@ int main(int argc, char** argv) {
   // Chaos gate: the retry machinery must keep injected-fault session loss
   // bounded (a runaway loss rate means retries or deadlines are broken).
   const bool chaos_bounded = chaos_lost.load() * 5 <= total_sessions;
-  const bool run_ok = failures.load() == 0 && chaos_bounded && accounting_ok;
+  // Degradation gate: --expect-degraded means a shard went down mid-run, so
+  // the router must have (a) kept answering (some sessions succeeded) and
+  // (b) actually flagged at least one partial merge.
+  const bool degraded_ok =
+      !expect_degraded ||
+      (degraded_seen.load() > 0 && requests_succeeded.load() > 0);
+  if (expect_degraded && !degraded_ok) {
+    std::cerr << "DEGRADED EXPECTATION FAILED: saw " << degraded_seen.load()
+              << " degraded responses and " << requests_succeeded.load()
+              << " successful requests\n";
+  }
+  const bool run_ok = failures.load() == 0 && chaos_bounded &&
+                      accounting_ok && degraded_ok;
 
   if (!json_path.empty()) {
     std::string json = "{\n";
@@ -727,6 +835,10 @@ int main(int argc, char** argv) {
     json += "  \"evicted_midflight\": " +
             std::to_string(evicted_midflight.load()) + ",\n";
     json += "  \"chaos_lost\": " + std::to_string(chaos_lost.load()) + ",\n";
+    json += "  \"outage_lost\": " + std::to_string(outage_lost.load()) +
+            ",\n";
+    json += "  \"degraded_responses\": " +
+            std::to_string(degraded_seen.load()) + ",\n";
     if (chaos) {
       json += "  \"retries\": {\"rpcs\": " +
               std::to_string(retry_totals.rpcs) +

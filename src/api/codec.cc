@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "logdb/wal.h"
+
 namespace cbir::api {
 
 namespace {
@@ -246,6 +248,11 @@ void PutBody(Writer& w, const FeedbackRequest& m) {
 void PutBody(Writer& w, const EndSessionRequest& m) { w.PutU64(m.session_id); }
 void PutBody(Writer&, const StatsRequest&) {}
 void PutBody(Writer&, const MetricsRequest&) {}
+void PutBody(Writer&, const DescribeRequest&) {}
+void PutBody(Writer& w, const CandidateRequest& m) {
+  PutQuerySpec(w, m.query);
+  w.PutI32(m.k);
+}
 
 void PutBody(Writer& w, const StartSessionResponse& m) {
   PutWireStatus(w, m.status);
@@ -309,6 +316,24 @@ void PutBody(Writer& w, const MetricsResponse& m) {
     w.PutF64(h.max_us);
   }
 }
+void PutBody(Writer& w, const DescribeResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU64(m.corpus_size);
+  w.PutU32(m.dims);
+  w.PutU32(m.num_categories);
+  w.PutI32(m.candidate_depth);
+  w.PutI32(m.default_k);
+  w.PutString(m.scheme);
+  w.PutString(m.index);
+}
+void PutBody(Writer& w, const CandidateResponse& m) {
+  PutWireStatus(w, m.status);
+  w.PutU32(static_cast<uint32_t>(m.candidates.size()));
+  for (const Candidate& c : m.candidates) {
+    w.PutI32(c.id);
+    w.PutF64(c.distance);
+  }
+}
 void PutBody(Writer& w, const ErrorResponse& m) { PutWireStatus(w, m.status); }
 
 bool ReadBody(Reader& r, StartSessionRequest* m) {
@@ -336,6 +361,10 @@ bool ReadBody(Reader& r, EndSessionRequest* m) {
 }
 bool ReadBody(Reader&, StatsRequest*) { return true; }
 bool ReadBody(Reader&, MetricsRequest*) { return true; }
+bool ReadBody(Reader&, DescribeRequest*) { return true; }
+bool ReadBody(Reader& r, CandidateRequest* m) {
+  return ReadQuerySpec(r, &m->query) && r.ReadI32(&m->k);
+}
 
 bool ReadBody(Reader& r, StartSessionResponse* m) {
   return ReadWireStatus(r, &m->status) && r.ReadU64(&m->session_id);
@@ -402,11 +431,74 @@ bool ReadBody(Reader& r, MetricsResponse* m) {
   }
   return true;
 }
+bool ReadBody(Reader& r, DescribeResponse* m) {
+  return ReadWireStatus(r, &m->status) && r.ReadU64(&m->corpus_size) &&
+         r.ReadU32(&m->dims) && r.ReadU32(&m->num_categories) &&
+         r.ReadI32(&m->candidate_depth) && r.ReadI32(&m->default_k) &&
+         r.ReadString(&m->scheme) && r.ReadString(&m->index);
+}
+bool ReadBody(Reader& r, CandidateResponse* m) {
+  if (!ReadWireStatus(r, &m->status)) return false;
+  uint32_t n;
+  if (!r.ReadU32(&n)) return false;
+  if (static_cast<size_t>(n) * 12 > r.remaining()) return false;
+  m->candidates.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r.ReadI32(&m->candidates[i].id) ||
+        !r.ReadF64(&m->candidates[i].distance)) {
+      return false;
+    }
+  }
+  return true;
+}
 bool ReadBody(Reader& r, ErrorResponse* m) {
   return ReadWireStatus(r, &m->status);
 }
 
 // ----------------------------------------------------------------- framing --
+
+/// Appends the flag-0x10 integrity trailer: the CRC32 of every frame byte
+/// written so far (body_size must already count the four trailer bytes).
+void AppendChecksum(std::vector<uint8_t>* out) {
+  const uint32_t crc = logdb::Crc32(out->data(), out->size());
+  Writer w(out);
+  w.PutU32(crc);
+}
+
+/// Verifies and strips the flag-0x10 trailer off a frame body: recomputes
+/// the CRC over the canonical header bytes plus the body up to the trailer
+/// and compares. On success `*size` shrinks past the trailer; a mismatch is
+/// a typed kDataLoss.
+Status VerifyAndStripChecksum(const FrameHeader& header, const uint8_t* body,
+                              size_t* size) {
+  if (*size < kChecksumTrailerBytes) {
+    return Malformed("short checksum trailer");
+  }
+  const size_t payload = *size - kChecksumTrailerBytes;
+  // Rebuild the 12 header bytes exactly as the sender framed them — the
+  // trailer covers type, flags, and body_size too, so a bit flip anywhere
+  // in the frame is caught.
+  std::vector<uint8_t> canonical;
+  canonical.reserve(kFrameHeaderBytes);
+  Writer w(&canonical);
+  w.PutU32(kWireMagic);
+  w.PutU16(header.version);
+  w.PutU8(static_cast<uint8_t>(header.type));
+  w.PutU8(header.flags);
+  w.PutU32(header.body_size);
+  uint32_t crc = logdb::Crc32(canonical.data(), canonical.size());
+  crc = logdb::Crc32Continue(crc, body, payload);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= uint32_t(body[payload + i]) << (8 * i);
+  }
+  if (crc != stored) {
+    return Status::DataLoss(
+        "wire codec: frame failed its CRC32 integrity check (flag 0x10)");
+  }
+  *size = payload;
+  return Status::OK();
+}
 
 template <typename Message>
 std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
@@ -428,6 +520,7 @@ std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
     if (envelope.has_seq) flags |= kFrameFlagSeq;
     if (envelope.has_trace_id) flags |= kFrameFlagTraceId;
     if (envelope.has_profile) flags |= kFrameFlagProfile;
+    if (envelope.has_checksum) flags |= kFrameFlagChecksum;
     w.PutU16(kProtocolVersion);
     w.PutU8(static_cast<uint8_t>(type));
     w.PutU8(flags);
@@ -437,15 +530,19 @@ std::vector<uint8_t> EncodeFrame(MessageType type, const Message& message,
     if (envelope.has_trace_id) w.PutU64(envelope.trace_id);
   }
   PutBody(w, message);
-  const uint32_t body_size = static_cast<uint32_t>(out.size()) -
-                             static_cast<uint32_t>(kFrameHeaderBytes);
+  const bool checksum = !envelope.empty() && envelope.has_checksum;
+  const uint32_t body_size =
+      static_cast<uint32_t>(out.size()) -
+      static_cast<uint32_t>(kFrameHeaderBytes) +
+      (checksum ? static_cast<uint32_t>(kChecksumTrailerBytes) : 0);
   for (int i = 0; i < 4; ++i) out[8 + i] = uint8_t(body_size >> (8 * i));
+  if (checksum) AppendChecksum(&out);
   return out;
 }
 
 bool KnownMessageType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kStartSessionRequest) &&
-         type <= static_cast<uint8_t>(MessageType::kMetricsResponse);
+         type <= static_cast<uint8_t>(MessageType::kCandidateResponse);
 }
 
 /// Decodes one body into the variant alternative `header.type` names.
@@ -468,7 +565,9 @@ MessageType TypeOf(const Request& request) {
     case 2: return MessageType::kFeedbackRequest;
     case 3: return MessageType::kEndSessionRequest;
     case 4: return MessageType::kStatsRequest;
-    default: return MessageType::kMetricsRequest;
+    case 5: return MessageType::kMetricsRequest;
+    case 6: return MessageType::kDescribeRequest;
+    default: return MessageType::kCandidateRequest;
   }
 }
 
@@ -480,6 +579,8 @@ MessageType TypeOf(const Response& response) {
     case 3: return MessageType::kEndSessionResponse;
     case 4: return MessageType::kStatsResponse;
     case 5: return MessageType::kMetricsResponse;
+    case 6: return MessageType::kDescribeResponse;
+    case 7: return MessageType::kCandidateResponse;
     default: return MessageType::kErrorResponse;
   }
 }
@@ -509,22 +610,37 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
 
 std::vector<uint8_t> EncodeResponse(const Response& response,
                                     const ResponseProfile* profile) {
-  if (profile == nullptr) return EncodeResponse(response);
-  // The profiled reply is the one place a response goes v2: flag 0x08 and
-  // the profile block between header and body. Only a client that set 0x08
-  // on its request ever receives one, so v1 clients still see v1 bytes.
+  ResponseFrameOptions options;
+  options.profile = profile;
+  return EncodeResponse(response, options);
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response,
+                                    const ResponseFrameOptions& options) {
+  if (options.plain()) return EncodeResponse(response);
+  // The one place a response goes v2: a profile block (flag 0x08, between
+  // header and body), a degraded marker (0x20, flag-only), or a checksum
+  // trailer (0x10, echoed when the request carried one). Each is opt-in per
+  // request, so v1 clients still see v1 bytes.
   std::vector<uint8_t> out;
   Writer w(&out);
   w.PutU32(kWireMagic);
   w.PutU16(kProtocolVersion);
   w.PutU8(static_cast<uint8_t>(TypeOf(response)));
-  w.PutU8(kFrameFlagProfile);
+  uint8_t flags = 0;
+  if (options.profile != nullptr) flags |= kFrameFlagProfile;
+  if (options.checksum) flags |= kFrameFlagChecksum;
+  if (options.degraded) flags |= kFrameFlagDegraded;
+  w.PutU8(flags);
   w.PutU32(0);  // body_size placeholder
-  PutProfile(w, *profile);
+  if (options.profile != nullptr) PutProfile(w, *options.profile);
   std::visit([&](const auto& message) { PutBody(w, message); }, response);
-  const uint32_t body_size = static_cast<uint32_t>(out.size()) -
-                             static_cast<uint32_t>(kFrameHeaderBytes);
+  const uint32_t body_size =
+      static_cast<uint32_t>(out.size()) -
+      static_cast<uint32_t>(kFrameHeaderBytes) +
+      (options.checksum ? static_cast<uint32_t>(kChecksumTrailerBytes) : 0);
   for (int i = 0; i < 4; ++i) out[8 + i] = uint8_t(body_size >> (8 * i));
+  if (options.checksum) AppendChecksum(&out);
   return out;
 }
 
@@ -575,6 +691,18 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
   // Strip the v2 envelope off the body prefix before the message decoder
   // sees it; a v1 frame has no flags, so this is a no-op there.
   RequestEnvelope parsed;
+  if (header.flags & kFrameFlagDegraded) {
+    // 0x20 marks a degraded *response*; on a request it is nonsense.
+    return Malformed("degraded flag on a request");
+  }
+  if (header.flags & kFrameFlagChecksum) {
+    // Integrity first: nothing else in the frame is parsed until the
+    // trailer matches, so a flipped bit cannot decode as a different
+    // valid request.
+    Status verified = VerifyAndStripChecksum(header, body, &size);
+    if (!verified.ok()) return verified;
+    parsed.has_checksum = true;
+  }
   if (header.flags != 0) {
     Reader r(body, size);
     if (header.flags & kFrameFlagDeadline) {
@@ -609,6 +737,10 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
       return DecodeAs<Request, StatsRequest>(body, size);
     case MessageType::kMetricsRequest:
       return DecodeAs<Request, MetricsRequest>(body, size);
+    case MessageType::kDescribeRequest:
+      return DecodeAs<Request, DescribeRequest>(body, size);
+    case MessageType::kCandidateRequest:
+      return DecodeAs<Request, CandidateRequest>(body, size);
     default:
       return Malformed("response type where a request was expected");
   }
@@ -616,11 +748,20 @@ Result<Request> DecodeRequestBody(const FrameHeader& header,
 
 Result<Response> DecodeResponseBody(const FrameHeader& header,
                                     const uint8_t* body, size_t size,
-                                    ResponseProfile* profile) {
-  if ((header.flags & ~kFrameFlagProfile) != 0) {
+                                    ResponseProfile* profile,
+                                    bool* degraded) {
+  if ((header.flags &
+       ~(kFrameFlagProfile | kFrameFlagChecksum | kFrameFlagDegraded)) != 0) {
     // Responses carry no envelope: deadline/seq/trace bits on a response
     // frame mean a confused or hostile peer, not a newer protocol.
     return Malformed("request envelope flags on a response");
+  }
+  if (header.flags & kFrameFlagChecksum) {
+    Status verified = VerifyAndStripChecksum(header, body, &size);
+    if (!verified.ok()) return verified;
+  }
+  if (degraded != nullptr) {
+    *degraded = (header.flags & kFrameFlagDegraded) != 0;
   }
   if (header.flags & kFrameFlagProfile) {
     ResponseProfile parsed;
@@ -644,6 +785,10 @@ Result<Response> DecodeResponseBody(const FrameHeader& header,
       return DecodeAs<Response, StatsResponse>(body, size);
     case MessageType::kMetricsResponse:
       return DecodeAs<Response, MetricsResponse>(body, size);
+    case MessageType::kDescribeResponse:
+      return DecodeAs<Response, DescribeResponse>(body, size);
+    case MessageType::kCandidateResponse:
+      return DecodeAs<Response, CandidateResponse>(body, size);
     case MessageType::kErrorResponse:
       return DecodeAs<Response, ErrorResponse>(body, size);
     default:
@@ -674,11 +819,11 @@ Result<Request> DecodeRequest(const uint8_t* data, size_t size,
 }
 
 Result<Response> DecodeResponse(const uint8_t* data, size_t size,
-                                ResponseProfile* profile) {
+                                ResponseProfile* profile, bool* degraded) {
   CBIR_ASSIGN_OR_RETURN(FrameHeader header,
                         DecodeWholeFrameHeader(data, size));
   return DecodeResponseBody(header, data + kFrameHeaderBytes,
-                            header.body_size, profile);
+                            header.body_size, profile, degraded);
 }
 
 }  // namespace cbir::api

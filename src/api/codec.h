@@ -42,12 +42,26 @@ namespace cbir::api {
 ///                           response then comes back as a v2 frame with
 ///                           flag 0x08 and a profile block (layout in
 ///                           docs/API.md) between header and body
+///   0x10  u32 crc32         integrity trailer: the IEEE CRC32 of the whole
+///                           frame (canonical header + envelope/profile +
+///                           body) appended as the LAST four body bytes and
+///                           counted in body_size. Verified before anything
+///                           else is parsed; a mismatch is a typed kDataLoss
+///                           error, so a bit-flipped frame is rejected
+///                           instead of decoding as a different valid
+///                           message. Valid on requests and responses; a
+///                           server echoes it on the response when the
+///                           request carried it
+///   0x20  (no payload)      degraded response: the result was merged from
+///                           fewer shards than configured (a router lost a
+///                           backend mid-request). Response frames only
 ///
-/// Envelope fields are encoded in flag-bit order (deadline, seq, trace_id).
-/// Unknown v2 flag bits are malformed. Encoders emit a v1 frame whenever
-/// the envelope is empty — and responses carry no envelope and only ever
-/// the 0x08 profile flag, only when asked — so a v1 peer sees
-/// byte-identical traffic unless the client opts in.
+/// Envelope fields are encoded in flag-bit order (deadline, seq, trace_id;
+/// the crc32 trailer goes last by definition). Unknown v2 flag bits are
+/// malformed. Encoders emit a v1 frame whenever the envelope is empty — and
+/// responses carry no envelope and only ever the 0x08/0x10/0x20 flags, only
+/// when asked — so a v1 peer sees byte-identical traffic unless the client
+/// opts in.
 ///
 /// Decoding never trusts the peer: truncated frames, bad magic, unsupported
 /// versions, oversized bodies, unknown message types, short bodies, and
@@ -61,9 +75,13 @@ inline constexpr uint8_t kFrameFlagDeadline = 0x01;
 inline constexpr uint8_t kFrameFlagSeq = 0x02;
 inline constexpr uint8_t kFrameFlagTraceId = 0x04;
 inline constexpr uint8_t kFrameFlagProfile = 0x08;
+inline constexpr uint8_t kFrameFlagChecksum = 0x10;
+inline constexpr uint8_t kFrameFlagDegraded = 0x20;
 inline constexpr uint8_t kKnownFrameFlags =
     kFrameFlagDeadline | kFrameFlagSeq | kFrameFlagTraceId |
-    kFrameFlagProfile;
+    kFrameFlagProfile | kFrameFlagChecksum | kFrameFlagDegraded;
+/// Bytes of the flag-0x10 integrity trailer (one little-endian u32 CRC32).
+inline constexpr size_t kChecksumTrailerBytes = 4;
 /// Upper bound on body_size (64 MiB): a frame any bigger is rejected before
 /// any allocation, so a hostile length prefix cannot OOM the server.
 inline constexpr uint32_t kMaxFrameBody = 64u << 20;
@@ -84,6 +102,10 @@ enum class MessageType : uint8_t {
   kErrorResponse = 11,
   kMetricsRequest = 12,
   kMetricsResponse = 13,
+  kDescribeRequest = 14,
+  kDescribeResponse = 15,
+  kCandidateRequest = 16,
+  kCandidateResponse = 17,
 };
 
 /// \brief Parsed frame header (magic already verified). `flags` is 0 for
@@ -104,12 +126,16 @@ struct RequestEnvelope {
   /// EXPLAIN request: flag-only, no envelope bytes — the server answers
   /// with a profile block attached to the response.
   bool has_profile = false;
+  /// Integrity: append the flag-0x10 CRC32 trailer to the frame. A server
+  /// echoes the trailer on its response to a checksummed request.
+  bool has_checksum = false;
   uint32_t deadline_ms = 0;
   uint32_t seq = 0;
   uint64_t trace_id = 0;
 
   bool empty() const {
-    return !has_deadline && !has_seq && !has_trace_id && !has_profile;
+    return !has_deadline && !has_seq && !has_trace_id && !has_profile &&
+           !has_checksum;
   }
 
   static RequestEnvelope WithDeadline(uint32_t ms) {
@@ -132,11 +158,35 @@ struct RequestEnvelope {
     return e;
   }
 
+  static RequestEnvelope WithChecksum() {
+    RequestEnvelope e;
+    e.has_checksum = true;
+    return e;
+  }
+
   bool operator==(const RequestEnvelope& o) const {
     return has_deadline == o.has_deadline && has_seq == o.has_seq &&
            has_trace_id == o.has_trace_id && has_profile == o.has_profile &&
+           has_checksum == o.has_checksum &&
            deadline_ms == o.deadline_ms && seq == o.seq &&
            trace_id == o.trace_id;
+  }
+};
+
+/// \brief Transport metadata a server attaches when encoding a response.
+/// All-defaults encodes the plain (v1, byte-identical) frame.
+struct ResponseFrameOptions {
+  /// EXPLAIN profile block (flag 0x08); null = none.
+  const ResponseProfile* profile = nullptr;
+  /// Degraded-result marker (flag 0x20): fewer shards answered than are
+  /// configured.
+  bool degraded = false;
+  /// Append the flag-0x10 CRC32 trailer (echoed when the request carried
+  /// one).
+  bool checksum = false;
+
+  bool plain() const {
+    return profile == nullptr && !degraded && !checksum;
   }
 };
 
@@ -157,6 +207,10 @@ std::vector<uint8_t> EncodeResponse(const Response& response);
 /// plain (v1, byte-identical) encoding.
 std::vector<uint8_t> EncodeResponse(const Response& response,
                                     const ResponseProfile* profile);
+/// Encodes with full transport metadata (profile, degraded flag, checksum
+/// trailer). All-default options encode the plain frame.
+std::vector<uint8_t> EncodeResponse(const Response& response,
+                                    const ResponseFrameOptions& options);
 
 /// Parses and validates the 12-byte frame header: checks size, magic,
 /// version, body limit, and that `type` names a known message. `size` may
@@ -169,7 +223,8 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
 Result<Request> DecodeRequest(const uint8_t* data, size_t size,
                               RequestEnvelope* envelope = nullptr);
 Result<Response> DecodeResponse(const uint8_t* data, size_t size,
-                                ResponseProfile* profile = nullptr);
+                                ResponseProfile* profile = nullptr,
+                                bool* degraded = nullptr);
 
 /// Body-only decoders for transports that read the header and body
 /// separately (the TCP server/client do): `header` must come from
@@ -179,14 +234,19 @@ Result<Response> DecodeResponse(const uint8_t* data, size_t size,
 /// decoder strips the 0x08 profile block the same way; `profile`
 /// (optional) receives it (trace_id stays 0 when the frame carried none) —
 /// a profile the caller did not ask to receive is still parsed and
-/// validated, just dropped. Any other flag bit on a response frame is
-/// malformed: responses carry no envelope.
+/// validated, just dropped. The flag-0x10 checksum trailer, when present,
+/// is verified FIRST (over the canonical header bytes plus the body up to
+/// the trailer) and stripped — a mismatch is a typed kDataLoss error.
+/// `degraded` (optional) receives the response's 0x20 flag. Any other flag
+/// bit on a response frame is malformed: responses carry no envelope; and
+/// 0x20 on a request frame is malformed in turn.
 Result<Request> DecodeRequestBody(const FrameHeader& header,
                                   const uint8_t* body, size_t size,
                                   RequestEnvelope* envelope = nullptr);
 Result<Response> DecodeResponseBody(const FrameHeader& header,
                                     const uint8_t* body, size_t size,
-                                    ResponseProfile* profile = nullptr);
+                                    ResponseProfile* profile = nullptr,
+                                    bool* degraded = nullptr);
 
 /// Wire type of a message (exposed for tests and the server loop).
 MessageType TypeOf(const Request& request);

@@ -17,9 +17,8 @@ std::vector<int32_t> ToWireRanking(const std::vector<int>& ranking) {
   return std::vector<int32_t>(ranking.begin(), ranking.end());
 }
 
-/// Builds the response type matching `request` carrying only `status` — the
-/// shape of every shed reply. The type must match the request so a client
-/// pipelining over one connection still pairs replies with requests.
+}  // namespace
+
 Response StatusOnlyResponse(const Request& request, const Status& status) {
   const WireStatus wire = ToWireStatus(status);
   return std::visit(
@@ -45,6 +44,14 @@ Response StatusOnlyResponse(const Request& request, const Status& status) {
           StatsResponse r;
           r.status = wire;
           return r;
+        } else if constexpr (std::is_same_v<Req, DescribeRequest>) {
+          DescribeResponse r;
+          r.status = wire;
+          return r;
+        } else if constexpr (std::is_same_v<Req, CandidateRequest>) {
+          CandidateResponse r;
+          r.status = wire;
+          return r;
         } else {
           MetricsResponse r;
           r.status = wire;
@@ -53,8 +60,6 @@ Response StatusOnlyResponse(const Request& request, const Status& status) {
       },
       request);
 }
-
-}  // namespace
 
 Response Dispatcher::Dispatch(const Request& request) {
   return std::visit(
@@ -81,6 +86,13 @@ Response Dispatcher::Dispatch(const Request& request,
     }
   }
   return Dispatch(request);
+}
+
+Response Dispatcher::HandleRequest(const Request& request,
+                                   const RequestEnvelope& envelope,
+                                   int64_t elapsed_ms,
+                                   ResponseContext* /*context*/) {
+  return Dispatch(request, envelope, elapsed_ms);
 }
 
 StartSessionResponse Dispatcher::Handle(const StartSessionRequest& request) {
@@ -146,7 +158,63 @@ StatsResponse Dispatcher::Handle(const StatsRequest&) {
   return response;
 }
 
+DescribeResponse Dispatcher::Handle(const DescribeRequest&) {
+  const retrieval::ImageDatabase& db = service_->db();
+  const serve::ServiceOptions& options = service_->options();
+  DescribeResponse response;
+  response.corpus_size = static_cast<uint64_t>(db.num_images());
+  response.dims = static_cast<uint32_t>(db.features().cols());
+  response.num_categories = static_cast<uint32_t>(db.num_categories());
+  response.candidate_depth = options.candidate_depth;
+  response.default_k = options.default_k;
+  response.scheme = options.scheme;
+  response.index = db.index() == nullptr ? "none" : db.index()->name();
+  return response;
+}
+
+CandidateResponse Dispatcher::Handle(const CandidateRequest& request) {
+  CandidateResponse response;
+  // An in-corpus query resolves to its stored feature and excludes itself
+  // from the answer, mirroring StartSession's session semantics; an
+  // external feature is used as-is.
+  const retrieval::ImageDatabase& db = service_->db();
+  la::Vec feature;
+  int exclude_id = -1;
+  if (request.query.kind == QuerySpec::Kind::kCorpusId) {
+    const int id = static_cast<int>(request.query.corpus_id);
+    if (id < 0 || id >= db.num_images()) {
+      response.status = ToWireStatus(Status::InvalidArgument(
+          "retrieval service: query id " + std::to_string(id) +
+          " out of range [0, " + std::to_string(db.num_images()) + ")"));
+      return response;
+    }
+    feature = db.feature(id);
+    exclude_id = id;
+  } else {
+    feature = request.query.feature;
+  }
+  Result<std::vector<serve::ScoredCandidate>> candidates =
+      service_->FirstRoundCandidates(feature, static_cast<int>(request.k),
+                                     exclude_id);
+  if (!candidates.ok()) {
+    response.status = ToWireStatus(candidates.status());
+    return response;
+  }
+  response.candidates.reserve(candidates.value().size());
+  for (const serve::ScoredCandidate& c : candidates.value()) {
+    Candidate wire;
+    wire.id = c.id;
+    wire.distance = c.distance;
+    response.candidates.push_back(wire);
+  }
+  return response;
+}
+
 MetricsResponse Dispatcher::Handle(const MetricsRequest&) {
+  return MetricsSnapshotResponse();
+}
+
+MetricsResponse MetricsSnapshotResponse() {
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
   MetricsResponse response;
   response.counters.reserve(snap.counters.size());

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "api/codec.h"
+#include "api/handler.h"
 #include "api/messages.h"
 #include "serve/retrieval_service.h"
 
@@ -20,7 +21,7 @@ namespace cbir::api {
 /// WireStatus, never as an exception or a crash — and thread-safe, because
 /// RetrievalService is (the TCP server dispatches from one thread per
 /// connection).
-class Dispatcher {
+class Dispatcher : public RequestHandler {
  public:
   /// `service` must outlive the dispatcher.
   explicit Dispatcher(serve::RetrievalService* service) : service_(service) {}
@@ -38,6 +39,12 @@ class Dispatcher {
   Response Dispatch(const Request& request, const RequestEnvelope& envelope,
                     int64_t elapsed_ms);
 
+  /// RequestHandler: the transport entry point. A single-node dispatcher
+  /// never degrades a result, so `context` is left untouched.
+  Response HandleRequest(const Request& request,
+                         const RequestEnvelope& envelope, int64_t elapsed_ms,
+                         ResponseContext* context) override;
+
   StartSessionResponse Handle(const StartSessionRequest& request);
   QueryResponse Handle(const QueryRequest& request);
   FeedbackResponse Handle(const FeedbackRequest& request, uint32_t seq = 0);
@@ -46,6 +53,13 @@ class Dispatcher {
   /// Snapshots obs::MetricsRegistry::Default() (running its OnGather
   /// callbacks first, so pull-style gauges are fresh).
   MetricsResponse Handle(const MetricsRequest& request);
+  /// Describes the service's corpus and configuration — the connect-time
+  /// compatibility handshake and the router's health probe.
+  DescribeResponse Handle(const DescribeRequest& request);
+  /// Sessionless first-round candidates with distances (the router's
+  /// scatter-gather unit; served from the same index/cache path as
+  /// StartSession+Query).
+  CandidateResponse Handle(const CandidateRequest& request);
 
   serve::RetrievalService& service() { return *service_; }
 

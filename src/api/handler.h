@@ -1,0 +1,57 @@
+#ifndef CBIR_API_HANDLER_H_
+#define CBIR_API_HANDLER_H_
+
+#include <cstdint>
+
+#include "api/codec.h"
+#include "api/messages.h"
+#include "util/status.h"
+
+namespace cbir::api {
+
+/// \brief Per-response transport metadata a handler hands back to the
+/// transport alongside the typed response. The transport turns these into
+/// response frame flags (api::ResponseFrameOptions).
+struct ResponseContext {
+  /// The result was assembled from fewer shards than are configured (a
+  /// router lost a backend mid-request): still useful, but partial. Encoded
+  /// as response frame flag 0x20.
+  bool degraded = false;
+};
+
+/// \brief The transport-facing request surface: one call per decoded frame.
+///
+/// net::TcpServer dispatches every well-formed request through this
+/// interface, so anything that can answer the API — the single-node
+/// api::Dispatcher or the multi-node router::ShardRouter — plugs into the
+/// same transport unchanged. Implementations must be total (errors come
+/// back as the response's WireStatus, never an exception) and thread-safe
+/// (the server calls from one thread per connection).
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Answers `request`. `envelope` is the request's v2 envelope (empty for
+  /// v1 frames); `elapsed_ms` is the time already spent since the frame
+  /// finished arriving, for deadline shedding. `context` (never null)
+  /// carries response transport metadata back to the caller.
+  virtual Response HandleRequest(const Request& request,
+                                 const RequestEnvelope& envelope,
+                                 int64_t elapsed_ms,
+                                 ResponseContext* context) = 0;
+};
+
+/// Builds the response type matching `request` carrying only `status` — the
+/// shape of every shed or fail-fast reply. The type must match the request
+/// so a client pipelining over one connection still pairs replies with
+/// requests.
+Response StatusOnlyResponse(const Request& request, const Status& status);
+
+/// Snapshots the process-wide obs::MetricsRegistry into the wire
+/// representation — the MetricsRequest answer shared by the single-node
+/// Dispatcher and the router.
+MetricsResponse MetricsSnapshotResponse();
+
+}  // namespace cbir::api
+
+#endif  // CBIR_API_HANDLER_H_

@@ -130,6 +130,27 @@ struct MetricsRequest {
   bool operator==(const MetricsRequest&) const { return true; }
 };
 
+/// Asks a server to describe the corpus and configuration it serves. The
+/// connect-time handshake: the router validates shard compatibility with it,
+/// remote drivers use it instead of rebuilding the corpus locally, and the
+/// router's health checker uses it as the lightweight probe RPC.
+struct DescribeRequest {
+  bool operator==(const DescribeRequest&) const { return true; }
+};
+
+/// Asks for the first-round candidate set of a query — the top-k nearest
+/// corpus images by exact feature distance, *with* the distances — without
+/// creating a session. Stateless: the router scatter-gathers this across
+/// shards and merges the per-shard lists by distance.
+struct CandidateRequest {
+  QuerySpec query;
+  int32_t k = 0;  ///< 0 = the service's default_k
+
+  bool operator==(const CandidateRequest& o) const {
+    return query == o.query && k == o.k;
+  }
+};
+
 // --------------------------------------------------------------- responses --
 
 struct StartSessionResponse {
@@ -255,6 +276,52 @@ struct MetricsResponse {
   }
 };
 
+/// What a server serves: corpus shape, feedback scheme, and index
+/// configuration, enough for a peer to decide compatibility without seeing
+/// the data. Two shards are mergeable when everything except corpus_size
+/// matches (replicas additionally match corpus_size).
+struct DescribeResponse {
+  WireStatus status;
+  uint64_t corpus_size = 0;     ///< images in this shard's corpus
+  uint32_t dims = 0;            ///< feature dimensionality
+  uint32_t num_categories = 0;  ///< ground-truth categories (eval corpora)
+  int32_t candidate_depth = 0;  ///< first-round cutoff (<=0 = full corpus)
+  int32_t default_k = 0;        ///< ranking length when the client passes 0
+  std::string scheme;           ///< feedback scheme name (e.g. "RF-SVM")
+  std::string index;            ///< index description (e.g. "exact", "none")
+
+  bool operator==(const DescribeResponse& o) const {
+    return status == o.status && corpus_size == o.corpus_size &&
+           dims == o.dims && num_categories == o.num_categories &&
+           candidate_depth == o.candidate_depth &&
+           default_k == o.default_k && scheme == o.scheme &&
+           index == o.index;
+  }
+};
+
+/// One scored first-round candidate: a corpus image id plus its exact
+/// feature distance to the query. Distances make per-shard lists mergeable.
+struct Candidate {
+  int32_t id = -1;
+  double distance = 0.0;
+
+  bool operator==(const Candidate& o) const {
+    return id == o.id && distance == o.distance;
+  }
+};
+
+/// First-round candidates sorted by (distance, id) ascending — the same
+/// total order the index uses, so merging shard lists reproduces the
+/// single-node ranking on replicas.
+struct CandidateResponse {
+  WireStatus status;
+  std::vector<Candidate> candidates;
+
+  bool operator==(const CandidateResponse& o) const {
+    return status == o.status && candidates == o.candidates;
+  }
+};
+
 // ----------------------------------------------------- EXPLAIN profile --
 
 /// One timed stage of the request, as it crosses the wire in a profile
@@ -316,11 +383,12 @@ struct ErrorResponse {
 /// five-line checklist (struct, variant entry, MessageType, encode, decode).
 using Request =
     std::variant<StartSessionRequest, QueryRequest, FeedbackRequest,
-                 EndSessionRequest, StatsRequest, MetricsRequest>;
+                 EndSessionRequest, StatsRequest, MetricsRequest,
+                 DescribeRequest, CandidateRequest>;
 using Response =
     std::variant<StartSessionResponse, QueryResponse, FeedbackResponse,
                  EndSessionResponse, StatsResponse, MetricsResponse,
-                 ErrorResponse>;
+                 DescribeResponse, CandidateResponse, ErrorResponse>;
 
 }  // namespace cbir::api
 

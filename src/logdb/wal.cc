@@ -98,13 +98,19 @@ Status WriteHeaderAndFlush(std::FILE* file, uint64_t generation,
 
 }  // namespace
 
-uint32_t Crc32(const uint8_t* data, size_t size) {
+uint32_t Crc32Continue(uint32_t crc, const uint8_t* data, size_t size) {
   static const std::array<uint32_t, 256> table = BuildCrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
+  // Un-finalize the incoming value so chunked calls chain as if the chunks
+  // were one contiguous buffer (Crc32Continue(Crc32(a), b) == Crc32(a||b)).
+  crc ^= 0xFFFFFFFFu;
   for (size_t i = 0; i < size; ++i) {
     crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Continue(0, data, size);
 }
 
 std::vector<uint8_t> EncodeWalRecord(const LogSession& session) {

@@ -56,6 +56,13 @@ inline constexpr uint32_t kMaxWalRecordBytes = 16u << 20;
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
 uint32_t Crc32(const uint8_t* data, size_t size);
 
+/// Incremental form: extends `crc` (a value returned by Crc32 or
+/// Crc32Continue) over `data`, as if the chunks were one contiguous buffer —
+/// Crc32Continue(Crc32(a, n), b, m) == Crc32(a||b, n + m). Lets callers
+/// checksum non-contiguous pieces (the wire codec's header + body) without
+/// copying them together.
+uint32_t Crc32Continue(uint32_t crc, const uint8_t* data, size_t size);
+
 /// Serializes one session into a complete WAL record (header + payload).
 std::vector<uint8_t> EncodeWalRecord(const LogSession& session);
 

@@ -69,6 +69,7 @@ Result<TcpClient*> RetryingClient::EnsureConnected() {
     CBIR_RETURN_NOT_OK(client.ArmDeadlines(options_.rpc_timeout_ms));
   }
   client.set_fault_injector(injector_);
+  if (options_.checksum) client.EnableChecksum();
   client_.emplace(std::move(client));
   return &*client_;
 }
@@ -84,6 +85,12 @@ bool RetryingClient::ShouldRetry(const Status& status, bool* reconnect) {
       // A lost reply, a dead server, or a reset stream: the connection may
       // be desynchronized (a late reply to the timed-out request could be
       // mistaken for the retry's), so always rebuild it.
+      *reconnect = true;
+      return true;
+    case StatusCode::kDataLoss:
+      // A frame failed its CRC — the bytes on this connection cannot be
+      // trusted, so rebuild and resend (idempotency seq makes that safe
+      // even for Feedback).
       *reconnect = true;
       return true;
     default:
@@ -141,12 +148,16 @@ Result<std::vector<int>> RetryingClient::Query(uint64_t session_id, int k) {
 }
 
 Result<std::vector<int>> RetryingClient::Feedback(
-    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k) {
+    uint64_t session_id, const std::vector<logdb::LogEntry>& round, int k,
+    uint32_t seq) {
   // One seq per *logical* call: every wire attempt of this Feedback carries
   // the same number, so the service applies it at most once no matter how
-  // many retries it takes to hear the answer.
-  const uint32_t seq = next_seq_++;
-  if (next_seq_ == 0) next_seq_ = 1;  // 0 means "no seq" on the wire
+  // many retries it takes to hear the answer. A caller-supplied (nonzero)
+  // seq takes precedence — the router's per-session counter.
+  if (seq == 0) {
+    seq = next_seq_++;
+    if (next_seq_ == 0) next_seq_ = 1;  // 0 means "no seq" on the wire
+  }
   return WithRetry<std::vector<int>>([&](TcpClient& client) {
     return client.Feedback(session_id, round, k, seq);
   });
@@ -170,6 +181,17 @@ Result<api::StatsResponse> RetryingClient::Stats() {
 Result<api::MetricsResponse> RetryingClient::Metrics() {
   return WithRetry<api::MetricsResponse>(
       [&](TcpClient& client) { return client.Metrics(); });
+}
+
+Result<api::DescribeResponse> RetryingClient::Describe() {
+  return WithRetry<api::DescribeResponse>(
+      [&](TcpClient& client) { return client.Describe(); });
+}
+
+Result<std::vector<api::Candidate>> RetryingClient::Candidates(
+    const api::QuerySpec& query, int k) {
+  return WithRetry<std::vector<api::Candidate>>(
+      [&](TcpClient& client) { return client.Candidates(query, k); });
 }
 
 }  // namespace cbir::net

@@ -32,6 +32,11 @@ struct RetryOptions {
   int rpc_timeout_ms = 2000;
   /// Seed of the jitter PRNG (deterministic backoff schedules in tests).
   uint64_t seed = 1;
+  /// Stamp every RPC with the 0x10 CRC32 frame checksum (and verify the
+  /// echoed checksum on responses). On by default: a client that already
+  /// pays for retries wants corruption surfaced as retryable kDataLoss, not
+  /// silently decoded garbage.
+  bool checksum = true;
 };
 
 /// \brief Lifetime counters of a RetryingClient.
@@ -65,15 +70,28 @@ class RetryingClient {
   RetryingClient(std::string host, int port, RetryOptions options,
                  FaultInjector* injector = nullptr);
 
-  // Mirrors TcpClient's typed RPC surface.
+  // Mirrors TcpClient's typed RPC surface. Feedback's `seq`: 0 (the
+  // default) allocates the idempotency sequence number from this client's
+  // own counter; nonzero uses the caller's — what a router forwarding a
+  // session pinned to one backend does, so the sequence stays per-session
+  // even when successive rounds ride different pooled clients.
   Result<uint64_t> StartSession(const api::QuerySpec& query);
   Result<std::vector<int>> Query(uint64_t session_id, int k = 0);
   Result<std::vector<int>> Feedback(uint64_t session_id,
                                     const std::vector<logdb::LogEntry>& round,
-                                    int k = 0);
+                                    int k = 0, uint32_t seq = 0);
   Status EndSession(uint64_t session_id);
   Result<api::StatsResponse> Stats();
   Result<api::MetricsResponse> Metrics();
+  Result<api::DescribeResponse> Describe();
+  Result<std::vector<api::Candidate>> Candidates(const api::QuerySpec& query,
+                                                 int k = 0);
+
+  /// True when the last successful RPC's response carried the 0x20 degraded
+  /// flag (partial scatter-gather results from a router).
+  bool last_degraded() const {
+    return client_.has_value() && client_->last_degraded();
+  }
 
   RetryingClientStats stats() const { return stats_; }
   const RetryOptions& options() const { return options_; }

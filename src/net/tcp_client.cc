@@ -90,6 +90,7 @@ api::RequestEnvelope TcpClient::BaseEnvelope() {
     last_trace_id_ = x;
   }
   if (profiling_) envelope.has_profile = true;
+  if (checksum_) envelope.has_checksum = true;
   return envelope;
 }
 
@@ -133,13 +134,17 @@ Result<api::Response> TcpClient::Receive() {
   CBIR_RETURN_NOT_OK(socket_.ReadFully(body.data(), body.size()));
   // A profiled response (v2 + 0x08) refreshes last_profile_; any other
   // frame clears it, so the profile always describes the last response.
+  // Likewise last_degraded_ always describes the last response.
   last_profile_.reset();
+  last_degraded_ = false;
   api::ResponseProfile profile;
-  Result<api::Response> response =
-      api::DecodeResponseBody(frame, body.data(), body.size(), &profile);
+  bool degraded = false;
+  Result<api::Response> response = api::DecodeResponseBody(
+      frame, body.data(), body.size(), &profile, &degraded);
   if (response.ok() && (frame.flags & api::kFrameFlagProfile) != 0) {
     last_profile_ = std::move(profile);
   }
+  if (response.ok()) last_degraded_ = degraded;
   return response;
 }
 
@@ -205,6 +210,22 @@ Result<api::StatsResponse> TcpClient::Stats() {
 Result<api::MetricsResponse> TcpClient::Metrics() {
   return Expect<api::MetricsResponse>(
       Call(api::Request(api::MetricsRequest{})));
+}
+
+Result<api::DescribeResponse> TcpClient::Describe() {
+  return Expect<api::DescribeResponse>(
+      Call(api::Request(api::DescribeRequest{})));
+}
+
+Result<std::vector<api::Candidate>> TcpClient::Candidates(
+    const api::QuerySpec& query, int k) {
+  api::CandidateRequest request;
+  request.query = query;
+  request.k = static_cast<int32_t>(k);
+  CBIR_ASSIGN_OR_RETURN(
+      api::CandidateResponse response,
+      Expect<api::CandidateResponse>(Call(api::Request(std::move(request)))));
+  return std::move(response.candidates);
 }
 
 }  // namespace cbir::net

@@ -69,6 +69,17 @@ class TcpClient {
     return last_profile_;
   }
 
+  /// Opt-in integrity: every subsequent typed RPC sets the 0x10 checksum
+  /// flag (CRC32 trailer over the whole frame), and the server echoes the
+  /// flag on its response, which Receive() verifies — a flipped bit on
+  /// either leg surfaces as typed kDataLoss instead of silent corruption.
+  /// Off by default, so unchecked traffic stays byte-identical.
+  void EnableChecksum(bool on = true) { checksum_ = on; }
+
+  /// True when the last received response carried the 0x20 degraded flag —
+  /// a router answered from a partial shard set. Cleared by every Receive.
+  bool last_degraded() const { return last_degraded_; }
+
   // --- raw pipelining layer -----------------------------------------------
   Status Send(const api::Request& request);
   Status Send(const api::Request& request,
@@ -92,6 +103,14 @@ class TcpClient {
   /// Full dump of the server's metrics registry (counters, gauges, stage
   /// histograms) — the wire twin of the --metrics-port exposition.
   Result<api::MetricsResponse> Metrics();
+  /// The server's corpus/config self-description (size, dims, scheme, index)
+  /// — connect-time compatibility handshake, and cheap enough to double as a
+  /// health probe.
+  Result<api::DescribeResponse> Describe();
+  /// Stateless first-round scan: top-k candidates with distances for an
+  /// arbitrary query, no session created — what a router scatters to shards.
+  Result<std::vector<api::Candidate>> Candidates(const api::QuerySpec& query,
+                                                 int k = 0);
 
   void Close() { socket_.Close(); }
   bool connected() const { return socket_.valid(); }
@@ -107,6 +126,8 @@ class TcpClient {
   int rpc_timeout_ms_ = 0;
   bool tracing_ = false;
   bool profiling_ = false;
+  bool checksum_ = false;
+  bool last_degraded_ = false;
   uint64_t last_trace_id_ = 0;
   std::optional<api::ResponseProfile> last_profile_;
   FaultInjector* injector_ = nullptr;

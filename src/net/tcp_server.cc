@@ -88,8 +88,8 @@ uint64_t GenerateTraceId() {
 
 }  // namespace
 
-TcpServer::TcpServer(api::Dispatcher* dispatcher, TcpServerOptions options)
-    : dispatcher_(dispatcher),
+TcpServer::TcpServer(api::RequestHandler* handler, TcpServerOptions options)
+    : handler_(handler),
       options_(std::move(options)),
       slow_log_(options_.slow_request_ms, options_.slow_request_sink) {}
 
@@ -294,10 +294,18 @@ void TcpServer::ServeConnection(Connection* connection) {
     uint32_t status_code = 0;
     {
       obs::TraceScope trace_scope(&trace);
-      const api::Response response = dispatcher_->Dispatch(
+      api::ResponseContext context;
+      const api::Response response = handler_->HandleRequest(
           request.value(), envelope,
-          static_cast<int64_t>(dispatch_watch.ElapsedSeconds() * 1e3));
+          static_cast<int64_t>(dispatch_watch.ElapsedSeconds() * 1e3),
+          &context);
       status_code = StatusOf(response).code;
+      // The response's transport flags: degraded when the handler says so,
+      // the checksum trailer echoed whenever the request carried one.
+      api::ResponseFrameOptions frame_options;
+      frame_options.degraded = context.degraded;
+      frame_options.checksum = envelope.has_checksum;
+      api::ResponseProfile profile;
       std::vector<uint8_t> reply;
       {
         obs::ScopedSpan span("encode", Metrics().stage_encode);
@@ -305,7 +313,6 @@ void TcpServer::ServeConnection(Connection* connection) {
           // EXPLAIN: serialize the trace as it stands — every stage up to
           // and including solve; encode/write have not happened yet and so
           // cannot appear in their own payload.
-          api::ResponseProfile profile;
           profile.trace_id = trace.trace_id();
           profile.total_us = decode_us + trace.elapsed_us();
           profile.spans.reserve(trace.spans().size());
@@ -318,10 +325,9 @@ void TcpServer::ServeConnection(Connection* connection) {
           for (const obs::TraceCounter& c : trace.counters()) {
             profile.counters.push_back({c.name, c.value});
           }
-          reply = api::EncodeResponse(response, &profile);
-        } else {
-          reply = api::EncodeResponse(response);
+          frame_options.profile = &profile;
         }
+        reply = api::EncodeResponse(response, frame_options);
       }
       if (reply.size() > api::kFrameHeaderBytes + api::kMaxFrameBody) {
         // The peer's decoder would reject this frame and desynchronize; send
@@ -331,7 +337,10 @@ void TcpServer::ServeConnection(Connection* connection) {
         too_big.status = api::ToWireStatus(Status::OutOfRange(
             "tcp server: response frame exceeds the protocol body limit"));
         status_code = too_big.status.code;
-        reply = api::EncodeResponse(api::Response(std::move(too_big)));
+        api::ResponseFrameOptions error_options;
+        error_options.checksum = envelope.has_checksum;
+        reply = api::EncodeResponse(api::Response(std::move(too_big)),
+                                    error_options);
       }
       {
         obs::ScopedSpan span("write", Metrics().stage_write);

@@ -9,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "api/dispatcher.h"
+#include "api/handler.h"
 #include "net/socket.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
@@ -62,7 +62,9 @@ struct TcpServerStats {
   uint64_t decode_errors = 0;  ///< malformed frames (connection then closed)
 };
 
-/// \brief Blocking thread-per-connection TCP transport over api::Dispatcher.
+/// \brief Blocking thread-per-connection TCP transport over an
+/// api::RequestHandler (the single-node api::Dispatcher or the multi-node
+/// router::ShardRouter — the transport cannot tell them apart).
 ///
 /// Each accepted connection gets one thread running a read-dispatch-write
 /// loop over the api codec's length-prefixed frames. Requests on one
@@ -82,8 +84,8 @@ struct TcpServerStats {
 /// leaked threads, TSan-verified.
 class TcpServer {
  public:
-  /// `dispatcher` must outlive the server.
-  TcpServer(api::Dispatcher* dispatcher, TcpServerOptions options);
+  /// `handler` must outlive the server.
+  TcpServer(api::RequestHandler* handler, TcpServerOptions options);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -128,7 +130,7 @@ class TcpServer {
   /// Joins finished connection threads (cheap: they are already done).
   void ReapFinishedLocked() CBIR_REQUIRES(connections_mu_);
 
-  api::Dispatcher* dispatcher_;
+  api::RequestHandler* handler_;
   TcpServerOptions options_;
 
   Socket listener_;

@@ -69,6 +69,11 @@ void ExpositionServer::SetHandler(const std::string& path, Handler handler) {
   handlers_[path] = std::move(handler);
 }
 
+void ExpositionServer::SetStatusHandler(const std::string& path,
+                                        StatusHandler handler) {
+  status_handlers_[path] = std::move(handler);
+}
+
 Status ExpositionServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("exposition server: already started");
@@ -105,6 +110,11 @@ void ExpositionServer::ServeOne(const net::Socket& client) {
     // content type so real scrapers ingest it without content sniffing.
     body = registry_->RenderExposition();
     content_type = "text/plain; version=0.0.4";
+  } else if (const auto sit = status_handlers_.find(path);
+             sit != status_handlers_.end()) {
+    StatusResult result = sit->second();
+    if (result.code != 200) status_line = "503 Service Unavailable";
+    body = std::move(result.body);
   } else if (const auto it = handlers_.find(path); it != handlers_.end()) {
     body = it->second();
   } else {

@@ -35,6 +35,15 @@ class ExpositionServer {
   /// thread, one call at a time.
   using Handler = std::function<std::string()>;
 
+  /// A status handler additionally chooses the HTTP status code — what a
+  /// health endpoint needs: load balancers and orchestrators act on the
+  /// code, not the body. Only 200 and 503 are supported.
+  struct StatusResult {
+    int code = 200;  ///< 200 or 503
+    std::string body;
+  };
+  using StatusHandler = std::function<StatusResult()>;
+
   /// `registry` must outlive the server.
   ExpositionServer(MetricsRegistry* registry, std::string host, int port);
   ~ExpositionServer();
@@ -45,6 +54,12 @@ class ExpositionServer {
   /// Registers (or replaces) the handler for `path` (e.g. "/statusz").
   /// Call before Start(); "/metrics" is built in and cannot be replaced.
   void SetHandler(const std::string& path, Handler handler);
+
+  /// Registers (or replaces) a code-carrying handler for `path` (e.g.
+  /// "/healthz" answering 200 while serving and 503 while draining or with
+  /// no healthy backends). Call before Start(). A StatusHandler and a plain
+  /// Handler on the same path: the StatusHandler wins.
+  void SetStatusHandler(const std::string& path, StatusHandler handler);
 
   /// Binds and starts the accept thread. port 0 = OS-assigned; read it back
   /// with port().
@@ -66,6 +81,7 @@ class ExpositionServer {
   int port_ = -1;
 
   std::map<std::string, Handler> handlers_;
+  std::map<std::string, StatusHandler> status_handlers_;
 
   net::Socket listener_;
   std::thread accept_thread_;

@@ -1,0 +1,403 @@
+#include "router/backend_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cbir::router {
+
+Result<std::vector<BackendEndpoint>> ParseBackendList(
+    const std::string& spec) {
+  std::vector<BackendEndpoint> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      return Status::InvalidArgument(
+          "backend list: '" + item + "' is not host:port");
+    }
+    BackendEndpoint endpoint;
+    endpoint.host = item.substr(0, colon);
+    try {
+      endpoint.port = std::stoi(item.substr(colon + 1));
+    } catch (...) {
+      return Status::InvalidArgument("backend list: bad port in '" + item +
+                                     "'");
+    }
+    if (endpoint.port <= 0 || endpoint.port > 65535) {
+      return Status::InvalidArgument("backend list: port out of range in '" +
+                                     item + "'");
+    }
+    out.push_back(std::move(endpoint));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("backend list: no backends given");
+  }
+  return out;
+}
+
+BackendPool::BackendPool(std::vector<BackendEndpoint> backends,
+                         BackendPoolOptions options)
+    : backends_(std::move(backends)), options_(std::move(options)) {
+  util::MutexLock lock(mu_);
+  states_.resize(backends_.size());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.SetHelp("cbir_router_backend_healthy",
+                   "1 when the router considers the backend admitted, 0 "
+                   "while it is ejected.");
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    states_[i].healthy_gauge = registry.GetGauge(
+        "cbir_router_backend_healthy", "backend", backends_[i].Label());
+    states_[i].healthy_gauge->Set(0);
+  }
+}
+
+BackendPool::~BackendPool() { Stop(); }
+
+std::unique_ptr<net::RetryingClient> BackendPool::NewClient(
+    int backend, bool scatter) const {
+  net::RetryOptions retry = options_.session_retry;
+  if (scatter) {
+    // A scatter leg gets exactly one shot inside the shard deadline: a slow
+    // shard is dropped from the merge, never retried into the caller's
+    // latency budget.
+    retry.max_attempts = 1;
+    retry.rpc_timeout_ms = options_.shard_deadline_ms;
+    retry.connect_timeout_ms = options_.shard_deadline_ms;
+  }
+  net::FaultInjector* injector =
+      static_cast<size_t>(backend) < options_.injectors.size()
+          ? options_.injectors[static_cast<size_t>(backend)]
+          : nullptr;
+  const BackendEndpoint& endpoint = backends_[static_cast<size_t>(backend)];
+  return std::make_unique<net::RetryingClient>(endpoint.host, endpoint.port,
+                                               retry, injector);
+}
+
+std::unique_ptr<net::RetryingClient> BackendPool::NewProbeClient(
+    int backend) const {
+  net::RetryOptions retry = options_.session_retry;
+  retry.max_attempts = 1;  // the prober loop IS the retry loop
+  retry.rpc_timeout_ms = options_.probe_timeout_ms;
+  retry.connect_timeout_ms = options_.probe_timeout_ms;
+  net::FaultInjector* injector =
+      static_cast<size_t>(backend) < options_.injectors.size()
+          ? options_.injectors[static_cast<size_t>(backend)]
+          : nullptr;
+  const BackendEndpoint& endpoint = backends_[static_cast<size_t>(backend)];
+  return std::make_unique<net::RetryingClient>(endpoint.host, endpoint.port,
+                                               retry, injector);
+}
+
+std::string BackendPool::CompatibilityError(
+    const api::DescribeResponse& described) const {
+  if (described.corpus_size != reference_.corpus_size) {
+    return "corpus size " + std::to_string(described.corpus_size) +
+           " != " + std::to_string(reference_.corpus_size);
+  }
+  if (described.dims != reference_.dims) {
+    return "feature dims " + std::to_string(described.dims) +
+           " != " + std::to_string(reference_.dims);
+  }
+  if (described.scheme != reference_.scheme) {
+    return "scheme '" + described.scheme + "' != '" + reference_.scheme + "'";
+  }
+  return "";
+}
+
+void BackendPool::LogTransition(const char* event, int backend,
+                                const char* reason) {
+  if (options_.log == nullptr) return;
+  options_.log->LogAlways(
+      event, {{"backend", backends_[static_cast<size_t>(backend)].Label()},
+              {"reason", reason}});
+}
+
+Status BackendPool::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("backend pool: already started");
+  }
+  // Connect-time handshake: describe every backend with a one-shot probe
+  // client. The first reachable backend defines the reference corpus; every
+  // other reachable backend must agree. Backends that are down right now
+  // start ejected and join later through the prober (which re-runs the same
+  // validation).
+  std::vector<std::unique_ptr<api::DescribeResponse>> described(
+      backends_.size());
+  bool have_reference = false;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    std::unique_ptr<net::RetryingClient> probe =
+        NewProbeClient(static_cast<int>(i));
+    Result<api::DescribeResponse> response = probe->Describe();
+    if (!response.ok()) continue;
+    if (!have_reference) {
+      reference_ = response.value();
+      have_reference = true;
+    }
+    described[i] =
+        std::make_unique<api::DescribeResponse>(std::move(response.value()));
+  }
+  if (!have_reference) {
+    return Status::Unavailable(
+        "backend pool: no backend reachable at startup");
+  }
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (described[i] == nullptr) continue;
+    const std::string error = CompatibilityError(*described[i]);
+    if (!error.empty()) {
+      return Status::FailedPrecondition("backend pool: shard " +
+                                        backends_[i].Label() +
+                                        " is incompatible: " + error);
+    }
+  }
+  {
+    util::MutexLock lock(mu_);
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (described[i] == nullptr) continue;
+      states_[i].healthy = true;
+      states_[i].validated = true;
+      states_[i].healthy_gauge->Set(1);
+    }
+  }
+  {
+    util::MutexLock lock(prober_mu_);
+    stop_requested_ = false;
+  }
+  prober_ = std::thread([this] { ProbeLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void BackendPool::Stop() {
+  if (!started_) return;
+  {
+    util::MutexLock lock(prober_mu_);
+    stop_requested_ = true;
+  }
+  prober_cv_.NotifyAll();
+  if (prober_.joinable()) prober_.join();
+  started_ = false;
+}
+
+void BackendPool::ProbeLoop() {
+  // One dedicated client per backend, owned by this thread alone — probes
+  // never contend with forwarded traffic for a pooled connection.
+  std::vector<std::unique_ptr<net::RetryingClient>> probes;
+  probes.reserve(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    probes.push_back(NewProbeClient(static_cast<int>(i)));
+  }
+  for (;;) {
+    {
+      util::MutexLock lock(prober_mu_);
+      if (prober_cv_.WaitFor(
+              prober_mu_,
+              std::chrono::milliseconds(options_.probe_interval_ms),
+              [this]() CBIR_REQUIRES(prober_mu_) { return stop_requested_; })) {
+        return;
+      }
+    }
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      // Network strictly outside the pool lock.
+      Result<api::DescribeResponse> response = probes[i]->Describe();
+      std::string incompatible;
+      if (response.ok()) {
+        util::MutexLock lock(mu_);
+        ++stats_.probes;
+        BackendState& state = states_[i];
+        if (!state.validated) {
+          const std::string error = CompatibilityError(response.value());
+          if (!error.empty()) {
+            // Never admitted: an incompatible shard would silently merge
+            // candidates from a different corpus.
+            state.consecutive_probe_successes = 0;
+            incompatible = error;
+          } else {
+            state.validated = true;
+          }
+        }
+        if (incompatible.empty()) {
+          state.consecutive_failures = 0;
+          if (!state.healthy) {
+            ++state.consecutive_probe_successes;
+            if (state.consecutive_probe_successes >=
+                options_.readmit_after_successes) {
+              state.healthy = true;
+              state.consecutive_probe_successes = 0;
+              state.healthy_gauge->Set(1);
+              ++stats_.readmissions;
+              LogTransition("backend_up", static_cast<int>(i),
+                            "probe_recovery");
+            }
+          }
+        }
+      } else {
+        util::MutexLock lock(mu_);
+        ++stats_.probes;
+        ++stats_.probe_failures;
+        states_[i].consecutive_probe_successes = 0;
+        RecordFailure(static_cast<int>(i), "probe");
+      }
+      if (!incompatible.empty()) {
+        LogTransition("backend_incompatible", static_cast<int>(i),
+                      incompatible.c_str());
+      }
+    }
+  }
+}
+
+void BackendPool::RecordFailure(int backend, const char* source) {
+  BackendState& state = states_[static_cast<size_t>(backend)];
+  ++state.consecutive_failures;
+  if (state.healthy &&
+      state.consecutive_failures >= options_.eject_after_failures) {
+    state.healthy = false;
+    state.consecutive_probe_successes = 0;
+    state.healthy_gauge->Set(0);
+    ++stats_.ejections;
+    // Pooled clients may hold connections to the dead backend; drop them so
+    // re-admitted traffic starts on fresh connections.
+    state.session_free.clear();
+    state.scatter_free.clear();
+    LogTransition("backend_down", backend, source);
+  }
+}
+
+void BackendPool::ReportOutcome(int backend, const Status& status) {
+  util::MutexLock lock(mu_);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      states_[static_cast<size_t>(backend)].consecutive_failures = 0;
+      break;
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIoError:
+    case StatusCode::kDataLoss:
+      RecordFailure(backend, "rpc");
+      break;
+    default:
+      // An application-level answer (NotFound, InvalidArgument, ...) means
+      // the backend is alive and talking.
+      states_[static_cast<size_t>(backend)].consecutive_failures = 0;
+      break;
+  }
+}
+
+Result<BackendPool::Lease> BackendPool::LeaseSession(int backend) {
+  if (backend < 0 || backend >= num_backends()) {
+    return Status::InvalidArgument("backend pool: backend index " +
+                                   std::to_string(backend) + " out of range");
+  }
+  std::unique_ptr<net::RetryingClient> client;
+  {
+    util::MutexLock lock(mu_);
+    BackendState& state = states_[static_cast<size_t>(backend)];
+    if (!state.healthy) {
+      return Status::Unavailable(
+          "backend pool: backend " +
+          backends_[static_cast<size_t>(backend)].Label() +
+          " is ejected (failing health checks)");
+    }
+    if (!state.session_free.empty()) {
+      client = std::move(state.session_free.back());
+      state.session_free.pop_back();
+    }
+  }
+  if (client == nullptr) client = NewClient(backend, /*scatter=*/false);
+  return Lease(this, backend, /*scatter=*/false, std::move(client));
+}
+
+Result<BackendPool::Lease> BackendPool::LeaseScatter(int backend) {
+  if (backend < 0 || backend >= num_backends()) {
+    return Status::InvalidArgument("backend pool: backend index " +
+                                   std::to_string(backend) + " out of range");
+  }
+  std::unique_ptr<net::RetryingClient> client;
+  {
+    util::MutexLock lock(mu_);
+    BackendState& state = states_[static_cast<size_t>(backend)];
+    if (!state.healthy) {
+      return Status::Unavailable(
+          "backend pool: backend " +
+          backends_[static_cast<size_t>(backend)].Label() +
+          " is ejected (failing health checks)");
+    }
+    if (!state.scatter_free.empty()) {
+      client = std::move(state.scatter_free.back());
+      state.scatter_free.pop_back();
+    }
+  }
+  if (client == nullptr) client = NewClient(backend, /*scatter=*/true);
+  return Lease(this, backend, /*scatter=*/true, std::move(client));
+}
+
+void BackendPool::ReturnClient(int backend, bool scatter,
+                               std::unique_ptr<net::RetryingClient> client) {
+  util::MutexLock lock(mu_);
+  BackendState& state = states_[static_cast<size_t>(backend)];
+  // A client returned to an ejected backend is discarded — its connection
+  // points at a server we no longer trust.
+  if (!state.healthy) return;
+  if (scatter) {
+    state.scatter_free.push_back(std::move(client));
+  } else {
+    state.session_free.push_back(std::move(client));
+  }
+}
+
+BackendPool::Lease& BackendPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    backend_ = other.backend_;
+    scatter_ = other.scatter_;
+    client_ = std::move(other.client_);
+    other.pool_ = nullptr;
+    other.client_ = nullptr;
+  }
+  return *this;
+}
+
+void BackendPool::Lease::Release() {
+  if (pool_ != nullptr && client_ != nullptr) {
+    pool_->ReturnClient(backend_, scatter_, std::move(client_));
+  }
+  pool_ = nullptr;
+  client_ = nullptr;
+}
+
+bool BackendPool::healthy(int backend) const {
+  if (backend < 0 || backend >= num_backends()) return false;
+  util::MutexLock lock(mu_);
+  return states_[static_cast<size_t>(backend)].healthy;
+}
+
+std::vector<int> BackendPool::HealthyBackends() const {
+  std::vector<int> out;
+  util::MutexLock lock(mu_);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].healthy) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int BackendPool::num_healthy() const {
+  util::MutexLock lock(mu_);
+  int n = 0;
+  for (const BackendState& state : states_) {
+    if (state.healthy) ++n;
+  }
+  return n;
+}
+
+BackendPoolStats BackendPool::stats() const {
+  util::MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace cbir::router

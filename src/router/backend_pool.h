@@ -1,0 +1,217 @@
+#ifndef CBIR_ROUTER_BACKEND_POOL_H_
+#define CBIR_ROUTER_BACKEND_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/messages.h"
+#include "net/fault_injector.h"
+#include "net/retrying_client.h"
+#include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "util/result.h"
+#include "util/sync.h"
+
+namespace cbir::router {
+
+/// \brief One backend shard's address.
+struct BackendEndpoint {
+  std::string host;
+  int port = 0;
+
+  std::string Label() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "h1:p1,h2:p2,..." (the --backends flag) into endpoints.
+Result<std::vector<BackendEndpoint>> ParseBackendList(const std::string& spec);
+
+/// \brief BackendPool knobs.
+struct BackendPoolOptions {
+  /// Active prober cadence. Every backend — healthy or ejected — gets one
+  /// lightweight Describe probe per interval, so detection latency and
+  /// re-admission latency are both bounded by it.
+  int probe_interval_ms = 250;
+  /// Consecutive failures (probe or forwarded-RPC) that eject a backend.
+  int eject_after_failures = 2;
+  /// Consecutive successful probes that re-admit an ejected backend (the
+  /// half-open ramp: real traffic only returns after the backend has proven
+  /// itself this many probes in a row).
+  int readmit_after_successes = 2;
+  /// Probe RPC budget (connect + describe). Kept short: a probe that hangs
+  /// for seconds would stall detection of every other backend.
+  int probe_timeout_ms = 500;
+  /// Budget for one scatter-gather leg (LeaseScatter clients): a shard that
+  /// cannot answer inside this is dropped from the merge and the response
+  /// goes out degraded.
+  int shard_deadline_ms = 1000;
+  /// Retry policy for pinned-session forwarding (LeaseSession clients).
+  net::RetryOptions session_retry;
+  /// Per-backend chaos injectors (tests): index i applies to backend i on
+  /// every client the pool creates for it. Missing/short vector = none.
+  std::vector<net::FaultInjector*> injectors;
+  /// Structured event log for backend_down / backend_up / incompatible
+  /// transitions. Null = off. Must outlive the pool.
+  obs::StructuredLog* log = nullptr;
+};
+
+/// \brief Lifetime counters of a BackendPool.
+struct BackendPoolStats {
+  uint64_t probes = 0;
+  uint64_t probe_failures = 0;
+  uint64_t ejections = 0;    ///< healthy -> ejected transitions
+  uint64_t readmissions = 0; ///< ejected -> healthy transitions
+};
+
+/// \brief Health-checked client pool over the router's backend shards.
+///
+/// Owns, per backend: a liveness state machine, a free-list of
+/// RetryingClients for pinned-session forwarding (full retry policy), and a
+/// second free-list for scatter legs (single attempt, short deadline — a
+/// scatter leg that fails is dropped from the merge, not retried into the
+/// caller's latency budget).
+///
+/// Liveness is a consecutive-failure circuit breaker fed from two sides:
+/// passively by ReportOutcome() on every forwarded RPC, and actively by the
+/// prober thread, which Describes every backend each interval. A backend
+/// that fails `eject_after_failures` times in a row is ejected — leases
+/// against it fail fast with kUnavailable and its gauge
+/// (`cbir_router_backend_healthy{backend=...}`) drops to 0 — and an ejected
+/// backend is re-admitted only after `readmit_after_successes` consecutive
+/// probe successes (half-open: probes carry the risk, not user traffic).
+///
+/// Start() performs the connect-time compatibility handshake: the first
+/// reachable backend's DescribeResponse becomes the pool's reference corpus
+/// description, and every other backend must match it (corpus size, dims,
+/// scheme) — at Start for backends that are up, or at their first successful
+/// probe for backends that join later. An incompatible backend is never
+/// admitted.
+///
+/// Thread-safe. The pool's mutex is never held across a network call:
+/// clients are leased out under the lock, used outside it, and returned
+/// under it.
+class BackendPool {
+ public:
+  BackendPool(std::vector<BackendEndpoint> backends,
+              BackendPoolOptions options);
+  ~BackendPool();
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  /// Runs the initial describe/compatibility pass and starts the prober.
+  /// Fails when no backend is reachable or two reachable backends disagree
+  /// on the corpus; backends merely unreachable at start begin ejected and
+  /// are admitted by the prober once they come up and validate.
+  Status Start();
+
+  /// Stops the prober and joins it. Idempotent.
+  void Stop();
+
+  /// \brief RAII client lease: returns the client to its free-list on
+  /// destruction. Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    net::RetryingClient* operator->() { return client_.get(); }
+    net::RetryingClient& operator*() { return *client_; }
+    bool valid() const { return client_ != nullptr; }
+    int backend() const { return backend_; }
+
+   private:
+    friend class BackendPool;
+    Lease(BackendPool* pool, int backend, bool scatter,
+          std::unique_ptr<net::RetryingClient> client)
+        : pool_(pool),
+          backend_(backend),
+          scatter_(scatter),
+          client_(std::move(client)) {}
+    void Release();
+
+    BackendPool* pool_ = nullptr;
+    int backend_ = -1;
+    bool scatter_ = false;
+    std::unique_ptr<net::RetryingClient> client_;
+  };
+
+  /// A client for pinned-session traffic to `backend` (full retry policy).
+  /// Fails fast with kUnavailable when the backend is ejected — no network
+  /// touched, which is what makes pinned sessions on a dead shard cheap to
+  /// reject.
+  Result<Lease> LeaseSession(int backend);
+
+  /// A client for one scatter leg (single attempt, shard_deadline_ms).
+  Result<Lease> LeaseScatter(int backend);
+
+  /// Feeds a forwarded RPC's outcome into the circuit breaker. Transport
+  /// and shedding failures (kUnavailable, kDeadlineExceeded, kIoError,
+  /// kDataLoss) count against the backend; application errors (NotFound,
+  /// InvalidArgument, ...) are the backend answering fine and reset the
+  /// streak.
+  void ReportOutcome(int backend, const Status& status);
+
+  bool healthy(int backend) const;
+  std::vector<int> HealthyBackends() const;
+  int num_healthy() const;
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  const BackendEndpoint& endpoint(int backend) const {
+    return backends_[static_cast<size_t>(backend)];
+  }
+
+  /// The reference corpus description (valid after a successful Start).
+  const api::DescribeResponse& describe() const { return reference_; }
+
+  BackendPoolStats stats() const;
+  const BackendPoolOptions& options() const { return options_; }
+
+ private:
+  struct BackendState {
+    bool healthy = false;
+    bool validated = false;  ///< passed the compatibility handshake
+    int consecutive_failures = 0;
+    int consecutive_probe_successes = 0;
+    std::vector<std::unique_ptr<net::RetryingClient>> session_free;
+    std::vector<std::unique_ptr<net::RetryingClient>> scatter_free;
+    obs::Gauge* healthy_gauge = nullptr;  ///< registry-owned
+  };
+
+  std::unique_ptr<net::RetryingClient> NewClient(int backend,
+                                                 bool scatter) const;
+  std::unique_ptr<net::RetryingClient> NewProbeClient(int backend) const;
+  void ReturnClient(int backend, bool scatter,
+                    std::unique_ptr<net::RetryingClient> client);
+  void ProbeLoop();
+  /// One failure against `backend`; ejects at the threshold.
+  void RecordFailure(int backend, const char* source) CBIR_REQUIRES(mu_);
+  /// Matches `described` against the reference; "" on match, else why not.
+  std::string CompatibilityError(const api::DescribeResponse& described) const;
+  void LogTransition(const char* event, int backend, const char* reason);
+
+  std::vector<BackendEndpoint> backends_;
+  BackendPoolOptions options_;
+
+  mutable util::Mutex mu_{util::LockRank::kRouterBackend, "router_backends"};
+  std::vector<BackendState> states_ CBIR_GUARDED_BY(mu_);
+  BackendPoolStats stats_ CBIR_GUARDED_BY(mu_);
+
+  api::DescribeResponse reference_;  ///< written once in Start()
+
+  util::Mutex prober_mu_{util::LockRank::kRouterHealth, "router_prober"};
+  util::CondVar prober_cv_;
+  bool stop_requested_ CBIR_GUARDED_BY(prober_mu_) = false;
+  std::thread prober_;
+  bool started_ = false;
+};
+
+}  // namespace cbir::router
+
+#endif  // CBIR_ROUTER_BACKEND_POOL_H_

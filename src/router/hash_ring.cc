@@ -1,0 +1,62 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+
+namespace cbir::router {
+
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(int num_backends, int vnodes_per_backend)
+    : num_backends_(num_backends < 0 ? 0 : num_backends) {
+  if (vnodes_per_backend < 1) vnodes_per_backend = 1;
+  ring_.reserve(static_cast<size_t>(num_backends_) *
+                static_cast<size_t>(vnodes_per_backend));
+  for (int b = 0; b < num_backends_; ++b) {
+    for (int v = 0; v < vnodes_per_backend; ++v) {
+      Point p;
+      // Double-mixed so ring points live in a different domain than keys:
+      // keys are hashed once, and small keys (session ids count up from 1)
+      // would otherwise coincide exactly with backend 0's single-mixed
+      // vnode inputs (0 << 32 | v) and all land on backend 0.
+      p.hash = MixHash(MixHash((static_cast<uint64_t>(b) << 32) |
+                               static_cast<uint64_t>(v)));
+      p.backend = b;
+      ring_.push_back(p);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.backend < b.backend);
+  });
+}
+
+int HashRing::Pick(uint64_t key,
+                   const std::function<bool(int)>& healthy) const {
+  if (ring_.empty()) return -1;
+  const uint64_t h = MixHash(key);
+  size_t start = std::lower_bound(ring_.begin(), ring_.end(), h,
+                                  [](const Point& p, uint64_t value) {
+                                    return p.hash < value;
+                                  }) -
+                 ring_.begin();
+  // Walk at most one full revolution; vnodes of a rejected backend repeat,
+  // so cap the walk by distinct backends seen rather than ring size alone.
+  std::vector<bool> rejected(static_cast<size_t>(num_backends_), false);
+  int rejected_count = 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[(start + i) % ring_.size()];
+    if (rejected[static_cast<size_t>(p.backend)]) continue;
+    if (healthy == nullptr || healthy(p.backend)) return p.backend;
+    rejected[static_cast<size_t>(p.backend)] = true;
+    if (++rejected_count == num_backends_) return -1;
+  }
+  return -1;
+}
+
+int HashRing::Pick(uint64_t key) const { return Pick(key, nullptr); }
+
+}  // namespace cbir::router

@@ -1,0 +1,52 @@
+#ifndef CBIR_ROUTER_HASH_RING_H_
+#define CBIR_ROUTER_HASH_RING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cbir::router {
+
+/// \brief Immutable consistent-hash ring over backend indices.
+///
+/// Each backend owns `vnodes_per_backend` points on a 64-bit ring (the
+/// splitmix64 mix of (backend, vnode), so placement is deterministic across
+/// router restarts — a session id that mapped to backend 2 yesterday maps to
+/// backend 2 today). Pick() walks clockwise from the key's hash to the first
+/// point whose backend passes the caller's predicate, which is how ejection
+/// composes with placement: an unhealthy backend's keys spill to the next
+/// point on the ring instead of reshuffling everyone (the consistent-hash
+/// property the vnodes exist to smooth).
+///
+/// The ring itself is immutable after construction and therefore freely
+/// shared across threads; liveness is the predicate's problem.
+class HashRing {
+ public:
+  explicit HashRing(int num_backends, int vnodes_per_backend = 64);
+
+  /// The backend owning `key`, skipping backends rejected by `healthy`.
+  /// Returns -1 when every backend is rejected.
+  int Pick(uint64_t key, const std::function<bool(int)>& healthy) const;
+
+  /// Pick with no liveness filter (never -1 for a non-empty ring).
+  int Pick(uint64_t key) const;
+
+  int num_backends() const { return num_backends_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int backend;
+  };
+
+  int num_backends_;
+  std::vector<Point> ring_;  ///< sorted by hash
+};
+
+/// The splitmix64 finalizer — the hash both the ring points and callers'
+/// keys go through (exposed so tests and the router hash identically).
+uint64_t MixHash(uint64_t x);
+
+}  // namespace cbir::router
+
+#endif  // CBIR_ROUTER_HASH_RING_H_

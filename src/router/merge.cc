@@ -1,0 +1,39 @@
+#include "router/merge.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cbir::router {
+
+std::vector<api::Candidate> MergeCandidates(
+    const std::vector<std::vector<api::Candidate>>& shard_results, int k) {
+  std::unordered_map<int32_t, double> best;
+  size_t total = 0;
+  for (const auto& shard : shard_results) total += shard.size();
+  best.reserve(total);
+  for (const auto& shard : shard_results) {
+    for (const api::Candidate& c : shard) {
+      auto [it, inserted] = best.emplace(c.id, c.distance);
+      if (!inserted && c.distance < it->second) it->second = c.distance;
+    }
+  }
+  std::vector<api::Candidate> merged;
+  merged.reserve(best.size());
+  for (const auto& [id, distance] : best) {
+    api::Candidate c;
+    c.id = id;
+    c.distance = distance;
+    merged.push_back(c);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const api::Candidate& a, const api::Candidate& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.id < b.id);
+            });
+  if (k > 0 && merged.size() > static_cast<size_t>(k)) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+}  // namespace cbir::router

@@ -1,0 +1,25 @@
+#ifndef CBIR_ROUTER_MERGE_H_
+#define CBIR_ROUTER_MERGE_H_
+
+#include <vector>
+
+#include "api/messages.h"
+
+namespace cbir::router {
+
+/// \brief Merges per-shard first-round candidate lists into one global
+/// top-k.
+///
+/// Each shard returns its local top-k as (id, distance) pairs; the global
+/// answer is the distance-ascending union, deduplicated by id (replicated
+/// shards all score the same image identically, so the minimum distance per
+/// id is kept), truncated to `k` (k <= 0 keeps everything). Ties break on
+/// ascending id so the merged ranking is deterministic regardless of which
+/// shard answered first — a degraded (partial) merge is a strict subset of
+/// the full one, never a reordering.
+std::vector<api::Candidate> MergeCandidates(
+    const std::vector<std::vector<api::Candidate>>& shard_results, int k);
+
+}  // namespace cbir::router
+
+#endif  // CBIR_ROUTER_MERGE_H_

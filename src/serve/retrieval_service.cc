@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "index/signature_index.h"
+#include "la/vector_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -125,6 +126,8 @@ RetrievalService::RetrievalService(
       options_(options),
       cache_(options.cache),
       config_fingerprint_(ConfigFingerprint(*db)) {
+  next_session_id_.store(options_.first_session_id,
+                         std::memory_order_relaxed);
   sessions_ = std::make_unique<SessionManager>(
       options_.sessions,
       [this](ServeSession& session) {
@@ -152,6 +155,10 @@ Result<std::unique_ptr<RetrievalService>> RetrievalService::Create(
   if (options.sessions.max_sessions == 0) {
     return Status::InvalidArgument(
         "retrieval service: max_sessions must be > 0");
+  }
+  if (options.first_session_id == 0) {
+    return Status::InvalidArgument(
+        "retrieval service: first_session_id must be >= 1");
   }
   if (options.sessions.ttl_seconds < 0.0) {
     return Status::InvalidArgument(
@@ -216,8 +223,8 @@ uint64_t RetrievalService::RegisterSession(int query_id,
   return id;
 }
 
-void RetrievalService::EnsureFirstRoundLocked(ServeSession& session) {
-  if (session.has_ranking) return;
+std::vector<int> RetrievalService::FirstRoundRanking(
+    const la::Vec& query_feature) {
   const int depth = EffectiveDepth();
   // Full-corpus rankings (depth <= 0) are never cached: the cache capacity
   // counts entries, so corpus-length vectors would turn it into
@@ -226,30 +233,84 @@ void RetrievalService::EnsureFirstRoundLocked(ServeSession& session) {
   std::vector<int> ranking;
   if (depth <= 0) {
     ScopedIndexCounters index_counters(db_->index());
-    ranking = db_->TopK(session.ctx.query_feature, depth);
+    ranking = db_->TopK(query_feature, depth);
   } else {
     // The cached ranking still contains the query row itself: the TopK
     // result depends only on (feature, depth, index config), so sessions
     // for different images with identical features can share one entry;
-    // the session-specific self-exclusion happens after the fetch.
-    const uint64_t key = QueryCache::FingerprintQuery(
-        session.ctx.query_feature, depth, config_fingerprint_);
+    // the caller-specific self-exclusion happens after the fetch.
+    const uint64_t key = QueryCache::FingerprintQuery(query_feature, depth,
+                                                     config_fingerprint_);
     const bool hit = cache_.Lookup(key, &ranking);
     if (!hit) {
       const uint64_t epoch = cache_.epoch();
       ScopedIndexCounters index_counters(db_->index());
-      ranking = db_->TopK(session.ctx.query_feature, depth);
+      ranking = db_->TopK(query_feature, depth);
       cache_.Insert(key, ranking, epoch);
     }
     if (obs::RequestTrace* trace = obs::CurrentTrace(); trace != nullptr) {
       trace->AddCounter("query_cache_hit", hit ? 1 : 0);
     }
   }
+  return ranking;
+}
+
+void RetrievalService::EnsureFirstRoundLocked(ServeSession& session) {
+  if (session.has_ranking) return;
+  std::vector<int> ranking = FirstRoundRanking(session.ctx.query_feature);
   ranking.erase(
       std::remove(ranking.begin(), ranking.end(), session.ctx.query_id),
       ranking.end());
   session.ranking = std::move(ranking);
   session.has_ranking = true;
+}
+
+Result<std::vector<ScoredCandidate>> RetrievalService::FirstRoundCandidates(
+    const la::Vec& query_feature, int k, int exclude_id) {
+  Stopwatch watch;
+  obs::ScopedSpan admission_span("admission", Metrics().stage_admission);
+  AdmissionSlot slot(this);
+  if (!slot.admitted()) return ShedOverload();
+  admission_span.End();
+  if (query_feature.size() != db_->features().cols()) {
+    return Status::InvalidArgument(
+        "retrieval service: query feature has " +
+        std::to_string(query_feature.size()) + " dims, corpus has " +
+        std::to_string(db_->features().cols()));
+  }
+  for (double v : query_feature) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "retrieval service: query feature contains a non-finite value");
+    }
+  }
+  std::vector<int> ranking;
+  {
+    obs::ScopedSpan scan_span("index_scan", Metrics().stage_index_scan);
+    ranking = FirstRoundRanking(query_feature);
+  }
+  if (exclude_id >= 0) {
+    ranking.erase(std::remove(ranking.begin(), ranking.end(), exclude_id),
+                  ranking.end());
+  }
+  const int want = k > 0 ? k : options_.default_k;
+  const size_t n =
+      std::min(ranking.size(), static_cast<size_t>(want));
+  std::vector<ScoredCandidate> out(n);
+  // Distances are recomputed exactly over the truncated prefix (n rows, not
+  // the whole ranking): TopK already ordered by exact distance, the router
+  // just needs the values to merge shard lists on.
+  const la::Matrix& features = db_->features();
+  for (size_t i = 0; i < n; ++i) {
+    out[i].id = ranking[i];
+    out[i].distance = std::sqrt(la::SquaredDistanceN(
+        query_feature.data(), features.RowPtr(static_cast<size_t>(ranking[i])),
+        features.cols()));
+  }
+  candidate_queries_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().queries->Increment();
+  latency_.Record(watch.ElapsedSeconds() * 1e6);
+  return out;
 }
 
 Result<std::vector<int>> RetrievalService::TopKOfRanking(
@@ -475,7 +536,8 @@ ServiceStats RetrievalService::stats() const {
   ServiceStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.feedbacks = feedbacks_.load(std::memory_order_relaxed);
-  s.requests = s.queries + s.feedbacks;
+  s.candidate_queries = candidate_queries_.load(std::memory_order_relaxed);
+  s.requests = s.queries + s.feedbacks + s.candidate_queries;
 
   const SessionManagerStats sm = sessions_->stats();
   s.sessions_started = sm.started;

@@ -43,8 +43,25 @@ struct ServiceOptions {
   /// queueing — under overload the service sheds load at the door rather
   /// than growing an unbounded latency queue.
   size_t max_inflight = 0;
+  /// First session id this service issues (ids count up from here, must be
+  /// >= 1). A sharded deployment gives each shard a disjoint id range so a
+  /// router — or an operator reading two shards' logs — can tell sessions
+  /// apart without a mapping table.
+  uint64_t first_session_id = 1;
   SessionManagerOptions sessions;
   QueryCacheOptions cache;
+};
+
+/// \brief One scored first-round candidate: a corpus image id plus its
+/// exact feature distance to the query. Distances make per-shard candidate
+/// lists mergeable by a router.
+struct ScoredCandidate {
+  int id = -1;
+  double distance = 0.0;
+
+  bool operator==(const ScoredCandidate& o) const {
+    return id == o.id && distance == o.distance;
+  }
 };
 
 /// \brief Thread-safe many-user serving facade over one shared
@@ -111,6 +128,16 @@ class RetrievalService {
                                     const std::vector<logdb::LogEntry>& round,
                                     int k = 0, uint32_t seq = 0);
 
+  /// Sessionless first-round retrieval: the top-k candidates nearest
+  /// `query_feature` with their exact distances, sorted by (distance, id)
+  /// ascending and served through the same index/cache path as a session's
+  /// first round (k = 0 uses default_k; the ranking depth still caps the
+  /// answer). `exclude_id` >= 0 drops that corpus row — the in-corpus
+  /// query's self-exclusion. This is the unit a shard router scatter-gathers
+  /// and merges by distance.
+  Result<std::vector<ScoredCandidate>> FirstRoundCandidates(
+      const la::Vec& query_feature, int k, int exclude_id = -1);
+
   /// Closes the session and appends its recorded rounds to the log store —
   /// the paper's "deployment accumulates the feedback log" loop. Unknown
   /// (ended, evicted, never-issued) ids return NotFound.
@@ -155,6 +182,12 @@ class RetrievalService {
   void EnsureFirstRoundLocked(ServeSession& session)
       CBIR_REQUIRES(session.mu);
 
+  /// The shared first-round retrieval: TopK at the effective depth, through
+  /// the query cache when the depth is bounded. No session state touched —
+  /// EnsureFirstRoundLocked and FirstRoundCandidates both build on it (the
+  /// self-exclusion, which differs between them, happens in the callers).
+  std::vector<int> FirstRoundRanking(const la::Vec& query_feature);
+
   /// Finishes an ended/evicted session under its mutex: moves its recorded
   /// rounds into the log store and releases its warm-start state (duals +
   /// kernel-cache slabs), settling the session-memory accounting.
@@ -198,6 +231,7 @@ class RetrievalService {
   Stopwatch uptime_;
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> candidate_queries_{0};
   std::atomic<uint64_t> feedbacks_{0};
   std::atomic<uint64_t> log_sessions_appended_{0};
   std::atomic<uint64_t> inflight_{0};

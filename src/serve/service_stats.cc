@@ -11,7 +11,8 @@ std::string FormatServiceStats(const ServiceStats& stats) {
   os << "serve stats: uptime=" << FormatDouble(stats.elapsed_seconds, 1)
      << "s qps=" << FormatDouble(stats.qps, 1)
      << " requests=" << stats.requests << " (queries=" << stats.queries
-     << " feedbacks=" << stats.feedbacks << ")"
+     << " feedbacks=" << stats.feedbacks
+     << " candidates=" << stats.candidate_queries << ")"
      << " sessions=" << stats.sessions_started << " started/"
      << stats.sessions_ended << " ended/"
      << stats.sessions_evicted_capacity + stats.sessions_evicted_ttl

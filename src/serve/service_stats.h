@@ -20,7 +20,8 @@ struct ServiceStats {
   // Request counters.
   uint64_t queries = 0;        ///< first-round Query() calls answered
   uint64_t feedbacks = 0;      ///< Feedback() rounds ranked
-  uint64_t requests = 0;       ///< queries + feedbacks
+  uint64_t candidate_queries = 0;  ///< sessionless FirstRoundCandidates calls
+  uint64_t requests = 0;       ///< queries + feedbacks + candidate_queries
 
   // Session lifecycle (from the SessionManager).
   uint64_t sessions_started = 0;

@@ -28,6 +28,10 @@ enum class StatusCode {
   /// The server shed the request under overload (admission control, session
   /// capacity). Transient by definition: back off and retry.
   kUnavailable = 10,
+  /// Data failed an integrity check (a wire frame whose CRC32 trailer does
+  /// not match, a corrupted log record). The bytes were delivered but cannot
+  /// be trusted; retrying over a fresh transfer may succeed.
+  kDataLoss = 11,
 };
 
 /// Every StatusCode enumerator, for exhaustive iteration in tests and
@@ -38,7 +42,7 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kAlreadyExists, StatusCode::kIoError,
     StatusCode::kNotImplemented, StatusCode::kFailedPrecondition,
     StatusCode::kInternal,      StatusCode::kDeadlineExceeded,
-    StatusCode::kUnavailable,
+    StatusCode::kUnavailable,   StatusCode::kDataLoss,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -100,6 +104,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

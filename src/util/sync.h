@@ -91,6 +91,9 @@ namespace cbir::util {
 enum class LockRank : int {
   kService = 10,          ///< reserved: future whole-service state
   kTcpConnections = 20,   ///< net::TcpServer connection registry
+  kRouterSessions = 22,   ///< router::ShardRouter session-pin table
+  kRouterBackend = 24,    ///< router::BackendPool per-backend state + leases
+  kRouterHealth = 26,     ///< router::BackendPool prober wakeup latch
   kSessionManager = 30,   ///< serve::SessionManager table + LRU
   kSession = 40,          ///< serve::ServeSession per-session state
   kQueryCache = 50,       ///< serve::QueryCache shard

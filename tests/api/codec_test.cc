@@ -390,15 +390,23 @@ TEST(CodecV2Test, UnknownFlagBitsRejected) {
   FeedbackRequest m;
   const std::vector<uint8_t> frame =
       EncodeRequest(Request(m), RequestEnvelope::WithDeadline(10));
-  // Bits 0-3 are assigned (deadline/seq/trace/profile); the rest must stay
-  // rejected so they remain available to future protocol revisions.
-  for (uint8_t bit = 4; bit < 8; ++bit) {
+  // Bits 0-4 are assigned (deadline/seq/trace/profile/checksum) and bit 5
+  // (degraded) is response-only; 6-7 must stay rejected so they remain
+  // available to future protocol revisions.
+  for (uint8_t bit = 5; bit < 8; ++bit) {
     std::vector<uint8_t> corrupt = frame;
     corrupt[7] = uint8_t(corrupt[7] | (1u << bit));  // flags live at offset 7
     Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
     ASSERT_FALSE(decoded.ok()) << "flag bit " << int(bit) << " accepted";
     EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
   }
+  // Bit 4 claims a CRC32 trailer the frame doesn't carry: rejected too, but
+  // as data loss — the decoder can't tell a missing trailer from corruption.
+  std::vector<uint8_t> claims_crc = frame;
+  claims_crc[7] = uint8_t(claims_crc[7] | 0x10);
+  Result<Request> decoded = DecodeRequest(claims_crc.data(), claims_crc.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(CodecV2Test, TruncatedEnvelopeFailsTyped) {
@@ -442,9 +450,12 @@ TEST(CodecV2Test, EverySingleBitFlipOfV2FrameIsHandled) {
       Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
       if (!decoded.ok()) {
         const StatusCode code = decoded.status().code();
+        // kDataLoss: a flip of flags bit 4 makes the frame claim a CRC32
+        // trailer it doesn't carry, which fails the integrity check typed.
         EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
                     code == StatusCode::kOutOfRange ||
-                    code == StatusCode::kNotImplemented)
+                    code == StatusCode::kNotImplemented ||
+                    code == StatusCode::kDataLoss)
             << "byte " << byte << " bit " << bit << ": " << decoded.status();
       }
     }
@@ -568,7 +579,8 @@ TEST(CodecProfileTest, HostileSpanCountRejectedBeforeAllocation) {
 TEST(CodecProfileTest, EverySingleBitFlipOfProfiledFrameIsHandled) {
   // The profiled-response corpus twin of EverySingleBitFlipOfV2Frame: no
   // flip may crash or hang the decoder, only fail typed (or decode as a
-  // different valid frame — the protocol carries no CRC by design).
+  // different valid frame — integrity is opt-in via flag 0x10, and this
+  // frame doesn't carry it).
   FeedbackResponse m;
   m.ranking = {3, 1, 4, 1, 5};
   const ResponseProfile profile = MakeProfile();
@@ -582,9 +594,12 @@ TEST(CodecProfileTest, EverySingleBitFlipOfProfiledFrameIsHandled) {
           DecodeResponse(corrupt.data(), corrupt.size(), &got);
       if (!decoded.ok()) {
         const StatusCode code = decoded.status().code();
+        // kDataLoss: a flip of flags bit 4 claims a CRC32 trailer the frame
+        // doesn't carry, which fails the integrity check typed.
         EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
                     code == StatusCode::kOutOfRange ||
-                    code == StatusCode::kNotImplemented)
+                    code == StatusCode::kNotImplemented ||
+                    code == StatusCode::kDataLoss)
             << "byte " << byte << " bit " << bit << ": " << decoded.status();
       }
     }

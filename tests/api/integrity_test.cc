@@ -1,0 +1,299 @@
+// Frame-integrity and multi-node codec coverage: the flag-0x10 CRC32
+// trailer (bit flips become typed kDataLoss instead of silently decoding as
+// a different message), the flag-0x20 degraded-response marker, and the
+// Describe/Candidate messages the shard router speaks.
+#include <cstdint>
+#include <limits>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/codec.h"
+
+namespace cbir::api {
+namespace {
+
+FeedbackRequest SampleFeedback() {
+  FeedbackRequest m;
+  m.session_id = 77;
+  m.k = 10;
+  m.round = {logdb::LogEntry{4, 1}, logdb::LogEntry{9, -1}};
+  return m;
+}
+
+QueryResponse SampleRanking() {
+  QueryResponse m;
+  m.ranking = {5, 1, 4, 1, 5, 9, 2, 6};
+  return m;
+}
+
+// ------------------------------------------------------ checksum trailer --
+
+TEST(ChecksumTest, RequestRoundTripsWithTrailer) {
+  const FeedbackRequest m = SampleFeedback();
+  const std::vector<uint8_t> frame =
+      EncodeRequest(Request(m), RequestEnvelope::WithChecksum());
+  Result<FrameHeader> header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_NE(header->flags & kFrameFlagChecksum, 0);
+  RequestEnvelope envelope;
+  Result<Request> decoded =
+      DecodeRequest(frame.data(), frame.size(), &envelope);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(envelope.has_checksum);
+  ASSERT_TRUE(std::holds_alternative<FeedbackRequest>(decoded.value()));
+  EXPECT_TRUE(std::get<FeedbackRequest>(decoded.value()) == m);
+}
+
+TEST(ChecksumTest, ResponseRoundTripsWithTrailer) {
+  const QueryResponse m = SampleRanking();
+  ResponseFrameOptions options;
+  options.checksum = true;
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m), options);
+  Result<FrameHeader> header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_NE(header->flags & kFrameFlagChecksum, 0);
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(std::holds_alternative<QueryResponse>(decoded.value()));
+  EXPECT_TRUE(std::get<QueryResponse>(decoded.value()) == m);
+}
+
+TEST(ChecksumTest, ChecksumComposesWithEnvelopeFields) {
+  const FeedbackRequest m = SampleFeedback();
+  RequestEnvelope sent = RequestEnvelope::WithDeadline(2500);
+  sent.has_seq = true;
+  sent.seq = 3;
+  sent.has_checksum = true;
+  const std::vector<uint8_t> frame = EncodeRequest(Request(m), sent);
+  RequestEnvelope got;
+  Result<Request> decoded = DecodeRequest(frame.data(), frame.size(), &got);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(got == sent);
+}
+
+TEST(ChecksumTest, UnsetFlagIsByteIdenticalToPlainFrame) {
+  // The trailer is strictly opt-in: without the flag the frame must not
+  // change by a single byte (v1 peers see v1 traffic).
+  const FeedbackRequest m = SampleFeedback();
+  RequestEnvelope off;
+  off.has_checksum = false;
+  EXPECT_EQ(EncodeRequest(Request(m)), EncodeRequest(Request(m), off));
+  ResponseFrameOptions plain;
+  plain.checksum = false;
+  EXPECT_EQ(EncodeResponse(Response(SampleRanking())),
+            EncodeResponse(Response(SampleRanking()), plain));
+}
+
+TEST(ChecksumTest, CorruptTrailerIsDataLoss) {
+  const std::vector<uint8_t> frame =
+      EncodeRequest(Request(SampleFeedback()), RequestEnvelope::WithChecksum());
+  std::vector<uint8_t> corrupt = frame;
+  corrupt.back() ^= 0x01;  // the CRC itself
+  Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ChecksumTest, EverySingleBitFlipOfBodyIsDataLoss) {
+  // The trailer's whole point: with the checksum on, NO body or envelope
+  // bit flip may decode — each one must surface as typed kDataLoss. (The
+  // plain-frame corpus test only asserts "no UB"; a flipped plain frame may
+  // legally decode as a different valid message.)
+  const std::vector<uint8_t> frame =
+      EncodeRequest(Request(SampleFeedback()), RequestEnvelope::WithChecksum());
+  for (size_t byte = kFrameHeaderBytes; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[byte] = uint8_t(corrupt[byte] ^ (1u << bit));
+      Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
+      ASSERT_FALSE(decoded.ok())
+          << "byte " << byte << " bit " << bit << " decoded";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+          << "byte " << byte << " bit " << bit << ": " << decoded.status();
+    }
+  }
+}
+
+TEST(ChecksumTest, HeaderBitFlipsNeverDecodeSuccessfully) {
+  // Header flips can fail structurally (bad magic, bad version, wrong
+  // length) before the CRC is even checked — any typed error is fine, but
+  // success would mean the CRC failed to cover the header.
+  const std::vector<uint8_t> frame =
+      EncodeRequest(Request(SampleFeedback()), RequestEnvelope::WithChecksum());
+  for (size_t byte = 0; byte < kFrameHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[byte] = uint8_t(corrupt[byte] ^ (1u << bit));
+      Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
+      EXPECT_FALSE(decoded.ok())
+          << "header byte " << byte << " bit " << bit << " decoded";
+    }
+  }
+}
+
+TEST(ChecksumTest, ResponseBitFlipsAreDataLossToo) {
+  ResponseFrameOptions options;
+  options.checksum = true;
+  const std::vector<uint8_t> frame =
+      EncodeResponse(Response(SampleRanking()), options);
+  for (size_t byte = kFrameHeaderBytes; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = frame;
+      corrupt[byte] = uint8_t(corrupt[byte] ^ (1u << bit));
+      Result<Response> decoded =
+          DecodeResponse(corrupt.data(), corrupt.size());
+      ASSERT_FALSE(decoded.ok())
+          << "byte " << byte << " bit " << bit << " decoded";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(ChecksumTest, TruncatedTrailerFailsTyped) {
+  const std::vector<uint8_t> frame =
+      EncodeRequest(Request(SampleFeedback()), RequestEnvelope::WithChecksum());
+  // Shorten body_size so the checksum flag is set but the body cannot hold
+  // the 4-byte trailer: must be a typed error, never an OOB read.
+  for (size_t cut = 1; cut <= kChecksumTrailerBytes; ++cut) {
+    std::vector<uint8_t> corrupt(frame.begin(), frame.end() - cut);
+    const uint32_t new_size =
+        static_cast<uint32_t>(corrupt.size() - kFrameHeaderBytes);
+    corrupt[8] = uint8_t(new_size & 0xFF);
+    corrupt[9] = uint8_t((new_size >> 8) & 0xFF);
+    corrupt[10] = uint8_t((new_size >> 16) & 0xFF);
+    corrupt[11] = uint8_t((new_size >> 24) & 0xFF);
+    Result<Request> decoded = DecodeRequest(corrupt.data(), corrupt.size());
+    EXPECT_FALSE(decoded.ok()) << "cut " << cut << " decoded";
+  }
+}
+
+// ------------------------------------------------------- degraded flag --
+
+TEST(DegradedTest, FlagRoundTripsOnResponses) {
+  ResponseFrameOptions options;
+  options.degraded = true;
+  const std::vector<uint8_t> frame =
+      EncodeResponse(Response(SampleRanking()), options);
+  Result<FrameHeader> header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_NE(header->flags & kFrameFlagDegraded, 0);
+  bool degraded = false;
+  Result<Response> decoded =
+      DecodeResponse(frame.data(), frame.size(), nullptr, &degraded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(degraded);
+  ASSERT_TRUE(std::holds_alternative<QueryResponse>(decoded.value()));
+  EXPECT_TRUE(std::get<QueryResponse>(decoded.value()) == SampleRanking());
+}
+
+TEST(DegradedTest, FlagComposesWithChecksum) {
+  ResponseFrameOptions options;
+  options.degraded = true;
+  options.checksum = true;
+  const std::vector<uint8_t> frame =
+      EncodeResponse(Response(SampleRanking()), options);
+  bool degraded = false;
+  Result<Response> decoded =
+      DecodeResponse(frame.data(), frame.size(), nullptr, &degraded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(degraded);
+}
+
+TEST(DegradedTest, PlainResponseReportsNotDegraded) {
+  const std::vector<uint8_t> frame = EncodeResponse(Response(SampleRanking()));
+  bool degraded = true;
+  Result<Response> decoded =
+      DecodeResponse(frame.data(), frame.size(), nullptr, &degraded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_FALSE(degraded);
+}
+
+TEST(DegradedTest, DegradedBitOnRequestRejected) {
+  // 0x20 is response-only; a request frame carrying it is malformed.
+  std::vector<uint8_t> frame =
+      EncodeRequest(Request(SampleFeedback()), RequestEnvelope::WithChecksum());
+  frame[7] = uint8_t(frame[7] | kFrameFlagDegraded);
+  Result<Request> decoded = DecodeRequest(frame.data(), frame.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+// ------------------------------------------- router handshake messages --
+
+TEST(DescribeTest, RequestRoundTrips) {
+  const Request request((DescribeRequest()));
+  const std::vector<uint8_t> frame = EncodeRequest(request);
+  Result<Request> decoded = DecodeRequest(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(std::holds_alternative<DescribeRequest>(decoded.value()));
+}
+
+TEST(DescribeTest, ResponseRoundTrips) {
+  DescribeResponse m;
+  m.corpus_size = 123456789ull;
+  m.dims = 36;
+  m.num_categories = 50;
+  m.candidate_depth = 41;
+  m.default_k = 20;
+  m.scheme = "RF-SVM";
+  m.index = "signature(64 bits)";
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m));
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(std::holds_alternative<DescribeResponse>(decoded.value()));
+  EXPECT_TRUE(std::get<DescribeResponse>(decoded.value()) == m);
+}
+
+TEST(CandidateTest, RequestRoundTripsBothQueryKinds) {
+  CandidateRequest by_id;
+  by_id.query = QuerySpec::ById(42);
+  by_id.k = 30;
+  {
+    const std::vector<uint8_t> frame = EncodeRequest(Request(by_id));
+    Result<Request> decoded = DecodeRequest(frame.data(), frame.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_TRUE(std::holds_alternative<CandidateRequest>(decoded.value()));
+    EXPECT_TRUE(std::get<CandidateRequest>(decoded.value()) == by_id);
+  }
+  CandidateRequest by_feature;
+  by_feature.query = QuerySpec::ByFeature({1.0, -2.5, 1e-9});
+  {
+    const std::vector<uint8_t> frame = EncodeRequest(Request(by_feature));
+    Result<Request> decoded = DecodeRequest(frame.data(), frame.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_TRUE(std::holds_alternative<CandidateRequest>(decoded.value()));
+    EXPECT_TRUE(std::get<CandidateRequest>(decoded.value()) == by_feature);
+  }
+}
+
+TEST(CandidateTest, ResponseRoundTripsWithDistances) {
+  CandidateResponse m;
+  m.candidates = {{7, 0.0},
+                  {3, 1.25},
+                  {-1, std::numeric_limits<double>::infinity()}};
+  const std::vector<uint8_t> frame = EncodeResponse(Response(m));
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(std::holds_alternative<CandidateResponse>(decoded.value()));
+  EXPECT_TRUE(std::get<CandidateResponse>(decoded.value()) == m);
+}
+
+TEST(CandidateTest, HostileCandidateCountRejectedBeforeAllocation) {
+  CandidateResponse m;
+  m.candidates = {{1, 1.0}};
+  std::vector<uint8_t> frame = EncodeResponse(Response(m));
+  // The count u32 follows the 8-byte OK WireStatus (u32 code + u32 empty
+  // message length); inflate it far past the actual payload and far past
+  // kMaxFrameBody-worth of candidates.
+  frame[kFrameHeaderBytes + 8] = 0xFF;
+  frame[kFrameHeaderBytes + 9] = 0xFF;
+  frame[kFrameHeaderBytes + 10] = 0xFF;
+  frame[kFrameHeaderBytes + 11] = 0x7F;
+  Result<Response> decoded = DecodeResponse(frame.data(), frame.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+}  // namespace
+}  // namespace cbir::api

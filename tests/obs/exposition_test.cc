@@ -1,5 +1,6 @@
 #include "obs/exposition.h"
 
+#include <atomic>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -146,6 +147,39 @@ TEST(ExpositionServerTest, ExpositionCarriesHelpAndTypeComments) {
   EXPECT_NE(body.find("# TYPE cbir_net_request_us summary\n"),
             std::string::npos)
       << body;
+  server.Stop();
+}
+
+TEST(ExpositionServerTest, StatusHandlerDrivesTheHttpCode) {
+  // The /healthz contract: the handler picks 200 or 503 per call, so a load
+  // balancer polling the code sees serving -> draining flips immediately.
+  MetricsRegistry registry;
+  ExpositionServer server(&registry, "127.0.0.1", 0);
+  std::atomic<bool> draining{false};
+  server.SetStatusHandler("/healthz", [&draining] {
+    ExpositionServer::StatusResult result;
+    if (draining.load()) {
+      result.code = 503;
+      result.body = "draining\n";
+    } else {
+      result.body = "ok\n";
+    }
+    return result;
+  });
+  // A StatusHandler outranks a plain Handler on the same path.
+  server.SetHandler("/healthz", [] { return std::string("shadowed\n"); });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string serving = Get(server.port(), "/healthz");
+  EXPECT_EQ(serving.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << serving;
+  EXPECT_NE(serving.find("ok\n"), std::string::npos) << serving;
+  EXPECT_EQ(serving.find("shadowed"), std::string::npos) << serving;
+
+  draining.store(true);
+  const std::string drained = Get(server.port(), "/healthz");
+  EXPECT_EQ(drained.rfind("HTTP/1.0 503 Service Unavailable\r\n", 0), 0u)
+      << drained;
+  EXPECT_NE(drained.find("draining\n"), std::string::npos) << drained;
   server.Stop();
 }
 
